@@ -1,0 +1,105 @@
+// Related-work baseline comparison (ours; operationalises the paper's
+// Section 8 argument): on the same workload, how many probe queries can be
+// served by
+//   (a) exact canonical-form matching  (SPARQL result caches, [56]),
+//   (b) subgraph-isomorphism matching  (graph caches, [69-71]),
+//   (c) containment via the mv-index   (this paper)?
+// Containment subsumes both (every exact and iso hit is a containment hit),
+// and the measured deltas quantify what the weaker notions leave on the
+// table.  Also reports lookup latency per strategy.
+
+#include <cstdio>
+
+#include "baselines/canonical_cache.h"
+#include "baselines/subgraph_iso.h"
+#include "harness.h"
+#include "index/mv_index.h"
+
+using namespace rdfc;         // NOLINT(build/namespaces)
+using namespace rdfc::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  rdf::TermDictionary dict;
+  workload::WorkloadOptions options = OptionsFromEnv();
+  options.dbpedia = std::min<std::size_t>(options.dbpedia, 30000);
+  options.watdiv = std::min<std::size_t>(options.watdiv, 6000);
+  options.bsbm = std::min<std::size_t>(options.bsbm, 4000);
+  auto queries = BuildWorkload(&dict, options);
+
+  // Split the log: first 70% is "cached/indexed", last 30% probes.
+  const std::size_t split = queries.size() * 7 / 10;
+
+  index::MvIndex mv(&dict);
+  baselines::CanonicalCache exact(&dict);
+  for (std::size_t i = 0; i < split; ++i) {
+    if (!mv.Insert(queries[i].query, i).ok()) return 1;
+    if (!exact.Insert(queries[i].query, i).ok()) return 1;
+  }
+  std::fprintf(stderr, "[harness] stored %s queries (%s distinct)\n",
+               util::WithThousands(split).c_str(),
+               util::WithThousands(mv.num_entries()).c_str());
+
+  std::size_t exact_hits = 0, iso_hits = 0, containment_hits = 0;
+  std::size_t iso_checked = 0, containment_hits_on_sample = 0;
+  util::StreamingStats exact_ms, iso_ms, containment_ms;
+
+  for (std::size_t i = split; i < queries.size(); ++i) {
+    const query::BgpQuery& q = queries[i].query;
+
+    util::Timer te;
+    const bool e = exact.Lookup(q).found;
+    exact_ms.Add(te.ElapsedMillis());
+    exact_hits += e ? 1 : 0;
+
+    util::Timer tc;
+    const auto probe = mv.FindContaining(q);
+    containment_ms.Add(tc.ElapsedMillis());
+    containment_hits += probe.contained.empty() ? 0 : 1;
+
+    // Subgraph isomorphism "filter-then-verify": use the mv-index's
+    // candidates as the filter (generous to the baseline), verify each by
+    // isomorphism.  Sampled 1-in-4 to keep the quadratic verify affordable.
+    if (i % 4 == 0) {
+      ++iso_checked;
+      util::Timer ti;
+      bool hit = false;
+      for (const auto& match : probe.contained) {
+        if (baselines::IsSubgraphIsomorphic(mv.entry(match.stored_id).canonical,
+                                            q, dict)) {
+          hit = true;
+          break;
+        }
+      }
+      iso_ms.Add(ti.ElapsedMillis());
+      iso_hits += hit ? 1 : 0;
+      // Same-sample containment counter: per probe, iso hits are a strict
+      // subset of containment hits, so these two rows are comparable.
+      containment_hits_on_sample += probe.contained.empty() ? 0 : 1;
+    }
+  }
+
+  const auto probes = queries.size() - split;
+  auto pct = [](std::size_t part, std::size_t whole) {
+    return util::FormatDouble(
+               100.0 * static_cast<double>(part) / static_cast<double>(whole),
+               1) +
+           "%";
+  };
+
+  std::printf("== Baseline comparison: what each matching notion serves ==\n\n");
+  Table table({"strategy", "probes", "hit rate", "avg lookup (ms)"});
+  table.AddRow({"exact canonical match [56]", util::WithThousands(probes),
+                pct(exact_hits, probes), Ms(exact_ms.mean())});
+  table.AddRow({"subgraph isomorphism [69-71]",
+                util::WithThousands(iso_checked), pct(iso_hits, iso_checked),
+                Ms(iso_ms.mean())});
+  table.AddRow({"containment (same sample)", util::WithThousands(iso_checked),
+                pct(containment_hits_on_sample, iso_checked), "-"});
+  table.AddRow({"containment (mv-index)", util::WithThousands(probes),
+                pct(containment_hits, probes), Ms(containment_ms.mean())});
+  table.Print();
+  std::printf(
+      "\nContainment subsumes both baselines; the gap to the exact-match row"
+      "\nis the value of containment-aware caching (Section 8's argument).\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Section 7.2 "Containment Cost":
+//   - Text table: avg containment-probe time per workload against the full
+//     combined index.  (Paper: DBPedia 0.0092 ms, WatDiv 0.0127 ms,
+//     BSBM 0.0166 ms, LDBC 0.0409 ms, LUBM 0.0103 ms; index with 397,507
+//     distinct queries.)
+//   - Figure 4: avg time (with 95% CI) vs query size, in four panels:
+//     {f-graph, non-f-graph} x {acyclic, cyclic}, per workload.  Expected
+//     shape: grows with size; non-f-graph > f-graph at equal size; cyclic >
+//     acyclic.
+//
+// Probes can be capped with RDFC_PROBES=<n> (uniform sample); default probes
+// every workload query once, like the paper.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "harness.h"
+#include "index/mv_index.h"
+
+using namespace rdfc;         // NOLINT(build/namespaces)
+using namespace rdfc::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  rdf::TermDictionary dict;
+  const workload::WorkloadOptions options = OptionsFromEnv();
+  auto queries = BuildWorkload(&dict, options);
+
+  index::MvIndex index(&dict);
+  for (const auto& wq : queries) {
+    auto outcome = index.Insert(wq.query, wq.seq);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "insert failed: %s\n",
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "[harness] index ready: %s distinct queries, %s nodes\n",
+               util::WithThousands(index.num_entries()).c_str(),
+               util::WithThousands(index.num_nodes()).c_str());
+
+  std::size_t stride = 1;
+  if (const char* env = std::getenv("RDFC_PROBES")) {
+    const std::size_t cap = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    if (cap > 0 && cap < queries.size()) stride = queries.size() / cap;
+  }
+
+  util::StreamingStats per_workload[workload::kNumWorkloads];
+  // Figure 4: (class, workload) -> size buckets.
+  std::map<std::pair<int, std::size_t>, util::BucketedStats> fig4;
+  util::StreamingStats hits;       // containments found per probe
+  util::StreamingStats candidates; // filter survivors per probe
+  util::StreamingStats np_checks;  // NP verifications per probe
+  util::StreamingStats states;     // matcher steps per probe
+
+  std::size_t probes = 0;
+  util::Timer wall;
+  for (std::size_t i = 0; i < queries.size(); i += stride) {
+    const auto& wq = queries[i];
+    const query::QueryShape shape = query::AnalyzeShape(wq.query, dict);
+    util::Timer t;
+    const index::ProbeResult result = index.FindContaining(wq.query);
+    const double ms = t.ElapsedMillis();
+    ++probes;
+    per_workload[static_cast<std::size_t>(wq.source)].Add(ms);
+    hits.Add(static_cast<double>(result.contained.size()));
+    candidates.Add(static_cast<double>(result.candidates));
+    np_checks.Add(static_cast<double>(result.np_checks));
+    states.Add(static_cast<double>(result.states_explored));
+    auto key = std::make_pair(static_cast<int>(Classify(shape)),
+                              static_cast<std::size_t>(wq.source));
+    auto it = fig4.find(key);
+    if (it == fig4.end()) {
+      it = fig4.emplace(key, util::BucketedStats(5, 1)).first;
+    }
+    it->second.Add(shape.num_triples, ms);
+  }
+  const double wall_ms = wall.ElapsedMillis();
+
+  std::printf("== Section 7.2: containment probes against the full index ==\n\n");
+  std::printf("index size:      %s distinct queries (paper: 397,507)\n",
+              util::WithThousands(index.num_entries()).c_str());
+  std::printf("probes:          %s (stride %zu)\n",
+              util::WithThousands(probes).c_str(), stride);
+  std::printf("total wall time: %s ms\n",
+              util::FormatDouble(wall_ms, 1).c_str());
+  std::printf("avg containments found per probe: %s\n",
+              util::FormatDouble(hits.mean(), 2).c_str());
+  std::printf("avg filter candidates per probe:  %s\n",
+              util::FormatDouble(candidates.mean(), 2).c_str());
+  std::printf("avg NP verifications per probe:   %s\n",
+              util::FormatDouble(np_checks.mean(), 2).c_str());
+  std::printf("avg matcher steps per probe:      %s\n\n",
+              util::FormatDouble(states.mean(), 1).c_str());
+
+  Table per_wl({"workload", "probes", "avg containment (ms)", "paper (ms)"});
+  const char* paper_avgs[] = {"0.0092", "0.0127", "0.0166", "0.0103",
+                              "0.0409"};
+  for (std::size_t i = 0; i < workload::kNumWorkloads; ++i) {
+    per_wl.AddRow({workload::WorkloadName(static_cast<workload::WorkloadId>(i)),
+                   util::WithThousands(per_workload[i].count()),
+                   Ms(per_workload[i].mean()), paper_avgs[i]});
+  }
+  per_wl.Print();
+
+  std::printf("\n== Figure 4: containment cost vs query size, by class ==\n");
+  std::printf("(mean ±95%% CI, milliseconds)\n\n");
+  for (int cls = 0; cls < 4; ++cls) {
+    std::printf("-- %s --\n", QueryClassName(static_cast<QueryClass>(cls)));
+    Table panel({"workload", "query size", "probes", "avg ±CI95 (ms)"});
+    for (const auto& [key, buckets] : fig4) {
+      if (key.first != cls) continue;
+      for (const auto& bucket : buckets.NonEmptyBuckets()) {
+        panel.AddRow(
+            {workload::WorkloadName(
+                 static_cast<workload::WorkloadId>(key.second)),
+             std::to_string(bucket.lo) + "-" + std::to_string(bucket.hi),
+             util::WithThousands(bucket.stats.count()),
+             MeanCi(bucket.stats)});
+      }
+    }
+    panel.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

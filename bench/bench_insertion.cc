@@ -1,0 +1,117 @@
+// Section 7.1 "Insertion Cost":
+//   - Text table: total bulk-insert time, resulting index size (vertices)
+//     and distinct-query count, and avg insertion time per workload.
+//     (Paper: 7.425 s total, 466,576 vertices, 397,507 distinct queries;
+//      avg 0.0028/0.0098/0.0065/0.0070/0.0072 ms for
+//      DBPedia/LDBC/WatDiv/BSBM/LUBM.)
+//   - Figure 3a: avg & min insertion time bucketed by mv-index size
+//     (per 5,000 vertices) — expected flat, with a slower initial phase.
+//   - Figure 3b: avg insertion time by query size (1-5, 6-10, ...) per
+//     workload, split acyclic/cyclic — expected near-linear in size.
+
+#include <cstdio>
+#include <map>
+
+#include "harness.h"
+#include "index/mv_index.h"
+
+using namespace rdfc;         // NOLINT(build/namespaces)
+using namespace rdfc::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  rdf::TermDictionary dict;
+  const workload::WorkloadOptions options = OptionsFromEnv();
+  auto queries = BuildWorkload(&dict, options);
+
+  // Pre-compute shapes outside the timed region (the paper excludes parsing
+  // and bookkeeping from the measured insertion time).
+  std::vector<query::QueryShape> shapes;
+  shapes.reserve(queries.size());
+  for (const auto& wq : queries) {
+    shapes.push_back(query::AnalyzeShape(wq.query, dict));
+  }
+
+  index::MvIndex index(&dict);
+  util::StreamingStats per_workload[workload::kNumWorkloads];
+  // Figure 3a: bucket by index size at insertion time, per 5,000 vertices.
+  util::BucketedStats by_index_size(5000);
+  // Figure 3b: per (workload, cyclic?) -> size-bucketed stats.
+  std::map<std::pair<std::size_t, bool>, util::BucketedStats> by_query_size;
+
+  util::Timer total_timer;
+  double total_ms = 0.0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto& wq = queries[i];
+    const std::size_t vertices_before = index.num_nodes();
+    util::Timer t;
+    auto outcome = index.Insert(wq.query, wq.seq);
+    const double ms = t.ElapsedMillis();
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "insert failed: %s\n",
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    total_ms += ms;
+    per_workload[static_cast<std::size_t>(wq.source)].Add(ms);
+    by_index_size.Add(static_cast<std::int64_t>(vertices_before), ms);
+    auto key = std::make_pair(static_cast<std::size_t>(wq.source),
+                              !shapes[i].is_acyclic);
+    auto it = by_query_size.find(key);
+    if (it == by_query_size.end()) {
+      it = by_query_size.emplace(key, util::BucketedStats(5, 1)).first;
+    }
+    it->second.Add(shapes[i].num_triples, ms);
+  }
+  const double wall_ms = total_timer.ElapsedMillis();
+
+  const index::RadixStats stats = index.ComputeStats();
+  std::printf("== Section 7.1: bulk insertion of the combined workload ==\n\n");
+  std::printf("queries inserted:        %s\n",
+              util::WithThousands(queries.size()).c_str());
+  std::printf("distinct queries:        %s   (paper: 397,507 of 1,536,378)\n",
+              util::WithThousands(index.num_entries()).c_str());
+  std::printf("mv-index vertices:       %s   (paper: 466,576)\n",
+              util::WithThousands(stats.num_nodes).c_str());
+  std::printf("mv-index edges:          %s\n",
+              util::WithThousands(stats.num_edges).c_str());
+  std::printf("max radix depth:         %zu\n", stats.max_depth);
+  std::printf("total insert time:       %s ms   (paper: 7,425 ms at 10x scale)\n",
+              util::FormatDouble(total_ms, 1).c_str());
+  std::printf("wall time incl. stats:   %s ms\n\n",
+              util::FormatDouble(wall_ms, 1).c_str());
+
+  Table per_wl({"workload", "insertions", "avg insert (ms)", "paper (ms)"});
+  const char* paper_avgs[] = {"0.0028", "0.0065", "0.0070", "0.0072",
+                              "0.0098"};
+  for (std::size_t i = 0; i < workload::kNumWorkloads; ++i) {
+    per_wl.AddRow({workload::WorkloadName(static_cast<workload::WorkloadId>(i)),
+                   util::WithThousands(per_workload[i].count()),
+                   Ms(per_workload[i].mean()), paper_avgs[i]});
+  }
+  per_wl.Print();
+
+  std::printf("\n== Figure 3a: insertion time vs mv-index size ==\n");
+  std::printf("(avg and min per bucket of 5,000 index vertices)\n\n");
+  Table fig3a({"index vertices", "insertions", "avg (ms)", "min (ms)"});
+  for (const auto& bucket : by_index_size.NonEmptyBuckets()) {
+    fig3a.AddRow({std::to_string(bucket.lo) + "-" + std::to_string(bucket.hi),
+                  util::WithThousands(bucket.stats.count()),
+                  Ms(bucket.stats.mean()), Ms(bucket.stats.min())});
+  }
+  fig3a.Print();
+
+  std::printf("\n== Figure 3b: insertion time vs query size ==\n\n");
+  Table fig3b({"workload", "class", "query size", "insertions", "avg (ms)"});
+  for (const auto& [key, buckets] : by_query_size) {
+    for (const auto& bucket : buckets.NonEmptyBuckets()) {
+      fig3b.AddRow(
+          {workload::WorkloadName(static_cast<workload::WorkloadId>(key.first)),
+           key.second ? "cyclic" : "acyclic",
+           std::to_string(bucket.lo) + "-" + std::to_string(bucket.hi),
+           util::WithThousands(bucket.stats.count()),
+           Ms(bucket.stats.mean())});
+    }
+  }
+  fig3b.Print();
+  return 0;
+}

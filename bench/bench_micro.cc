@@ -1,0 +1,176 @@
+// Google-benchmark microbenchmarks for the core operations: structural
+// analysis, serialisation, witness construction, radix insertion, and index
+// probing at several index sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/subgraph_iso.h"
+#include "containment/pipeline.h"
+#include "index/mv_index.h"
+#include "query/analysis.h"
+#include "query/serialisation.h"
+#include "query/canonical_label.h"
+#include "query/witness.h"
+#include "rdfs/extension.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace rdfc;  // NOLINT(build/namespaces)
+
+/// Shared fixture state: one dictionary + a DBpedia-alike workload.
+struct Corpus {
+  rdf::TermDictionary dict;
+  std::vector<query::BgpQuery> queries;
+
+  explicit Corpus(std::size_t n) {
+    queries = workload::GenerateDbpedia(&dict, n, 77);
+  }
+};
+
+Corpus& SharedCorpus() {
+  static auto* corpus = new Corpus(50000);
+  return *corpus;
+}
+
+void BM_AnalyzeShape(benchmark::State& state) {
+  Corpus& c = SharedCorpus();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        query::AnalyzeShape(c.queries[i % c.queries.size()], c.dict));
+    ++i;
+  }
+}
+BENCHMARK(BM_AnalyzeShape);
+
+void BM_Serialise(benchmark::State& state) {
+  Corpus& c = SharedCorpus();
+  std::size_t i = 0;
+  std::size_t skipped = 0;
+  for (auto _ : state) {
+    const query::BgpQuery& q = c.queries[i % c.queries.size()];
+    ++i;
+    query::CanonicalMap canonical(&c.dict);
+    auto result = query::SerialiseQuery(q, &c.dict, &canonical);
+    if (result.ok()) {
+      benchmark::DoNotOptimize(result.value().tokens.size());
+    } else {
+      ++skipped;  // var-predicate queries are not serialisable
+    }
+  }
+  state.counters["skipped"] = static_cast<double>(skipped);
+}
+BENCHMARK(BM_Serialise);
+
+void BM_BuildWitness(benchmark::State& state) {
+  Corpus& c = SharedCorpus();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        query::BuildWitness(c.queries[i % c.queries.size()]).nd_degree);
+    ++i;
+  }
+}
+BENCHMARK(BM_BuildWitness);
+
+void BM_PrepareStored(benchmark::State& state) {
+  Corpus& c = SharedCorpus();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto result =
+        containment::PrepareStored(c.queries[i % c.queries.size()], &c.dict);
+    benchmark::DoNotOptimize(result.ok());
+    ++i;
+  }
+}
+BENCHMARK(BM_PrepareStored);
+
+void BM_IndexInsert(benchmark::State& state) {
+  Corpus& c = SharedCorpus();
+  std::size_t i = 0;
+  index::MvIndex index(&c.dict);
+  for (auto _ : state) {
+    auto result = index.Insert(c.queries[i % c.queries.size()], i);
+    benchmark::DoNotOptimize(result.ok());
+    ++i;
+  }
+  state.counters["entries"] = static_cast<double>(index.num_entries());
+}
+BENCHMARK(BM_IndexInsert);
+
+void BM_IndexProbe(benchmark::State& state) {
+  Corpus& c = SharedCorpus();
+  const auto target = static_cast<std::size_t>(state.range(0));
+  index::MvIndex index(&c.dict);
+  for (std::size_t i = 0; i < target && i < c.queries.size(); ++i) {
+    auto result = index.Insert(c.queries[i], i);
+    if (!result.ok()) state.SkipWithError("insert failed");
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto result =
+        index.FindContaining(c.queries[i % c.queries.size()]);
+    benchmark::DoNotOptimize(result.contained.size());
+    ++i;
+  }
+  state.counters["entries"] = static_cast<double>(index.num_entries());
+}
+BENCHMARK(BM_IndexProbe)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_CanonicalLabel(benchmark::State& state) {
+  Corpus& c = SharedCorpus();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        query::CanonicalLabel(c.queries[i % c.queries.size()], &c.dict).hash);
+    ++i;
+  }
+}
+BENCHMARK(BM_CanonicalLabel);
+
+void BM_RdfsExtendQuery(benchmark::State& state) {
+  rdf::TermDictionary dict;
+  const rdfs::RdfsSchema schema = workload::LubmSchema(&dict);
+  auto queries = workload::GenerateLubmExtended(&dict, 500, 31);
+  if (!queries.ok()) {
+    state.SkipWithError("workload generation failed");
+    return;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rdfs::ExtendQuery((*queries)[i % queries->size()], schema, &dict)
+            .size());
+    ++i;
+  }
+}
+BENCHMARK(BM_RdfsExtendQuery);
+
+void BM_SubgraphIso(benchmark::State& state) {
+  Corpus& c = SharedCorpus();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const query::BgpQuery& w = c.queries[i % c.queries.size()];
+    const query::BgpQuery& q = c.queries[(i * 17 + 3) % c.queries.size()];
+    benchmark::DoNotOptimize(baselines::IsSubgraphIsomorphic(w, q, c.dict));
+    ++i;
+  }
+}
+BENCHMARK(BM_SubgraphIso);
+
+void BM_PairwiseCheck(benchmark::State& state) {
+  Corpus& c = SharedCorpus();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const query::BgpQuery& q = c.queries[i % c.queries.size()];
+    const query::BgpQuery& w = c.queries[(i * 31 + 7) % c.queries.size()];
+    benchmark::DoNotOptimize(containment::Contains(q, w, &c.dict));
+    ++i;
+  }
+}
+BENCHMARK(BM_PairwiseCheck);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Figure 5: containment cost vs ND-degree, split into acyclic and cyclic
+// panels, per workload.  ND-degree 1 queries are f-graphs (pure PTime path);
+// higher ND-degrees pay the Section 5.1 NP verification, so cost should grow
+// with the ND-degree.
+
+#include <cstdio>
+#include <map>
+
+#include "harness.h"
+#include "index/mv_index.h"
+
+using namespace rdfc;         // NOLINT(build/namespaces)
+using namespace rdfc::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  rdf::TermDictionary dict;
+  const workload::WorkloadOptions options = OptionsFromEnv();
+  auto queries = BuildWorkload(&dict, options);
+
+  index::MvIndex index(&dict);
+  for (const auto& wq : queries) {
+    auto outcome = index.Insert(wq.query, wq.seq);
+    if (!outcome.ok()) return 1;
+  }
+  std::fprintf(stderr, "[harness] index ready: %s distinct queries\n",
+               util::WithThousands(index.num_entries()).c_str());
+
+  // (acyclic?, workload, nd-degree) -> stats.  ND-degrees are reported
+  // exactly (the paper's x-axis shows the observed values 1, 2, 3, 4, 9, 12).
+  std::map<std::tuple<bool, std::size_t, std::uint64_t>, util::StreamingStats>
+      cells;
+
+  for (const auto& wq : queries) {
+    const query::QueryShape shape = query::AnalyzeShape(wq.query, dict);
+    const std::uint64_t nd = query::NdDegree(wq.query);
+    util::Timer t;
+    (void)index.FindContaining(wq.query);
+    const double ms = t.ElapsedMillis();
+    cells[{shape.is_acyclic, static_cast<std::size_t>(wq.source), nd}].Add(ms);
+  }
+
+  std::printf("== Figure 5: containment cost vs ND-degree ==\n\n");
+  for (const bool acyclic : {true, false}) {
+    std::printf("-- %s queries --\n", acyclic ? "Acyclic" : "Cyclic");
+    Table panel({"workload", "ND-degree", "probes", "avg ±CI95 (ms)"});
+    for (const auto& [key, stats] : cells) {
+      if (std::get<0>(key) != acyclic) continue;
+      panel.AddRow(
+          {workload::WorkloadName(
+               static_cast<workload::WorkloadId>(std::get<1>(key))),
+           std::to_string(std::get<2>(key)),
+           util::WithThousands(stats.count()), MeanCi(stats)});
+    }
+    panel.Print();
+    std::printf("\n");
+  }
+
+  // Summary: cost by ND-degree pooled over workloads — the figure's trend.
+  std::map<std::uint64_t, util::StreamingStats> pooled;
+  for (const auto& [key, stats] : cells) {
+    pooled[std::get<2>(key)].Merge(stats);
+  }
+  std::printf("-- Pooled trend (all workloads) --\n");
+  Table trend({"ND-degree", "probes", "avg (ms)"});
+  for (const auto& [nd, stats] : pooled) {
+    trend.AddRow({std::to_string(nd), util::WithThousands(stats.count()),
+                  Ms(stats.mean())});
+  }
+  trend.Print();
+  return 0;
+}

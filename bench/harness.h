@@ -1,0 +1,112 @@
+#pragma once
+
+// Shared scaffolding for the figure/table harnesses: workload construction
+// at the RDFC_SCALE-selected size, fixed-width table printing, and the query
+// classification used by Figures 4 and 5.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "query/analysis.h"
+#include "query/witness.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+#include "workload/workload.h"
+
+namespace rdfc {
+namespace bench {
+
+inline workload::WorkloadOptions OptionsFromEnv() {
+  const double scale = workload::ScaleFromEnv(0.1);
+  return workload::ScaledWorkloadOptions(scale);
+}
+
+inline std::vector<workload::WorkloadQuery> BuildWorkload(
+    rdf::TermDictionary* dict, const workload::WorkloadOptions& options) {
+  std::fprintf(stderr,
+               "[harness] generating combined workload: %s queries "
+               "(DBPedia %zu, WatDiv %zu, BSBM %zu, LUBM %zu, LDBC %zu)\n",
+               util::WithThousands(options.total()).c_str(), options.dbpedia,
+               options.watdiv, options.bsbm, options.lubm, options.ldbc);
+  return workload::GenerateCombined(dict, options);
+}
+
+/// Figure 4/5 panel classification.
+enum class QueryClass {
+  kFGraphAcyclic = 0,
+  kFGraphCyclic = 1,
+  kNonFGraphAcyclic = 2,
+  kNonFGraphCyclic = 3,
+};
+
+inline QueryClass Classify(const query::QueryShape& shape) {
+  if (shape.is_fgraph) {
+    return shape.is_acyclic ? QueryClass::kFGraphAcyclic
+                            : QueryClass::kFGraphCyclic;
+  }
+  return shape.is_acyclic ? QueryClass::kNonFGraphAcyclic
+                          : QueryClass::kNonFGraphCyclic;
+}
+
+inline const char* QueryClassName(QueryClass c) {
+  switch (c) {
+    case QueryClass::kFGraphAcyclic: return "F-Graph & Acyclic";
+    case QueryClass::kFGraphCyclic: return "F-Graph & Cyclic";
+    case QueryClass::kNonFGraphAcyclic: return "Non-F-Graph & Acyclic";
+    case QueryClass::kNonFGraphCyclic: return "Non-F-Graph & Cyclic";
+  }
+  return "?";
+}
+
+/// Minimal fixed-width table printer for the harness outputs.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("|");
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Ms(double v, int precision = 4) {
+  return util::FormatDouble(v, precision);
+}
+
+inline std::string MeanCi(const util::StreamingStats& stats, int precision = 4) {
+  if (stats.count() == 0) return "-";
+  return util::FormatDouble(stats.mean(), precision) + " ±" +
+         util::FormatDouble(stats.ci95_halfwidth(), precision);
+}
+
+}  // namespace bench
+}  // namespace rdfc

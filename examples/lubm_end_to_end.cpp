@@ -1,0 +1,81 @@
+// End-to-end LUBM: generate a univ-bench instance graph, materialise it
+// under the ontology, register the 14 benchmark queries as views, then
+// answer RDFS-extended variants through the view executor — the complete
+// loop the paper motivates: schema-aware containment steering execution
+// onto materialised results.
+
+#include <cstdio>
+
+#include "rdfs/extension.h"
+#include "rdfs/materialise.h"
+#include "rewriting/rewriter.h"
+#include "util/timer.h"
+#include "workload/lubm_data.h"
+#include "workload/workload.h"
+
+using namespace rdfc;  // NOLINT(build/namespaces)
+
+int main() {
+  rdf::TermDictionary dict;
+
+  // --- 1. Data: one university at modest scale, saturated under RDFS. ----
+  workload::LubmDataOptions data_options;
+  data_options.scale = 0.2;
+  rdf::Graph graph = workload::GenerateLubmData(&dict, data_options);
+  const rdfs::RdfsSchema schema = workload::LubmSchema(&dict);
+  const std::size_t asserted = graph.size();
+  const std::size_t inferred =
+      rdfs::MaterialiseGraph(schema, &dict, &graph);
+  std::printf("data: %zu asserted + %zu inferred = %zu triples\n", asserted,
+              inferred, graph.size());
+
+  // --- 2. Views: the 14 LUBM queries, materialised. -----------------------
+  auto queries = workload::LubmQueries(&dict);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+  rewriting::ExecutorOptions exec_options;
+  exec_options.cost_factor = 1000.0;  // demo: always exercise the views
+  rewriting::ViewExecutor executor(&graph, &dict, exec_options);
+  for (std::size_t i = 0; i < queries->size(); ++i) {
+    auto id = executor.AddView((*queries)[i]);
+    if (!id.ok()) return 1;
+    std::printf("  Q%-2zu materialised: %zu rows\n", i + 1,
+                executor.view(*id).rows.size());
+  }
+
+  // --- 3. Probe with RDFS-extended variants of the workload. --------------
+  auto extended = workload::GenerateLubmExtended(&dict, 200, 99);
+  if (!extended.ok()) return 1;
+  std::size_t via_view = 0, via_base = 0, answers = 0;
+  util::Timer timer;
+  for (const query::BgpQuery& q : *extended) {
+    const query::BgpQuery probe = rdfs::ExtendQuery(q, schema, &dict);
+    const rewriting::ExecutionReport report = executor.Answer(probe);
+    answers += report.answers.size();
+    if (report.strategy ==
+        rewriting::ExecutionReport::Strategy::kBaseEvaluation) {
+      ++via_base;
+    } else {
+      ++via_view;
+    }
+  }
+  std::printf("\nreplayed %zu RDFS-extended queries in %.1f ms:\n",
+              extended->size(), timer.ElapsedMillis());
+  std::printf("  answered from materialised views: %zu\n", via_view);
+  std::printf("  answered from the base graph:     %zu\n", via_base);
+  std::printf("  total answers produced:           %zu\n", answers);
+  std::printf("\nWithout the Section 6 extension, view hits drop:\n");
+  std::size_t plain_view = 0;
+  for (const query::BgpQuery& q : *extended) {
+    const rewriting::ExecutionReport report = executor.Answer(q);
+    plain_view += report.strategy !=
+                  rewriting::ExecutionReport::Strategy::kBaseEvaluation;
+  }
+  std::printf("  view hits with extension:    %zu / %zu\n", via_view,
+              extended->size());
+  std::printf("  view hits without extension: %zu / %zu\n", plain_view,
+              extended->size());
+  return 0;
+}

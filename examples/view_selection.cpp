@@ -1,0 +1,85 @@
+// View selection: given a query workload, pick the handful of views whose
+// materialisation serves the largest share of the workload — the
+// "which views should we materialise?" question the paper's index makes
+// tractable (each candidate's benefit = frequency-weighted number of
+// workload queries it contains, one index probe per distinct query).
+//
+// The demo selects views for a DBpedia-alike workload, registers them in a
+// ViewExecutor over a synthetic graph, and replays the workload to show the
+// realised view-hit share.
+
+#include <cstdio>
+
+#include "rewriting/rewriter.h"
+#include "rewriting/view_selection.h"
+#include "util/rng.h"
+#include "workload/workload.h"
+
+using namespace rdfc;  // NOLINT(build/namespaces)
+
+int main() {
+  rdf::TermDictionary dict;
+  const auto workload = workload::GenerateDbpedia(&dict, 8000, 77);
+
+  // --- 1. Choose views under a budget of 12. -------------------------------
+  rewriting::ViewSelectionOptions options;
+  options.max_views = 12;
+  auto selection = rewriting::SelectViews(workload, &dict, options);
+  if (!selection.ok()) {
+    std::fprintf(stderr, "selection failed: %s\n",
+                 selection.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("selected %zu views covering %.1f%% of %zu workload queries:\n",
+              selection->views.size(), 100.0 * selection->coverage_rate(),
+              selection->workload_size);
+  for (std::size_t i = 0; i < selection->views.size(); ++i) {
+    const auto& view = selection->views[i];
+    std::printf("  view %zu: %zu patterns, marginal benefit %zu queries\n", i,
+                view.definition.size(), view.marginal_benefit);
+  }
+
+  // --- 2. Materialise them over a synthetic graph. -------------------------
+  rdf::Graph graph;
+  util::Rng rng(78);
+  for (const auto& q : workload) {
+    if (!rng.Chance(0.05)) continue;  // freeze a sample into data
+    for (const rdf::Triple& t : q.patterns()) {
+      if (dict.IsVariable(t.p)) continue;
+      auto freeze = [&](rdf::TermId term) {
+        return dict.IsVariable(term)
+                   ? dict.MakeIri("urn:n" + std::to_string(rng.Uniform(0, 300)))
+                   : term;
+      };
+      graph.Add(freeze(t.s), t.p, freeze(t.o));
+    }
+  }
+  std::printf("\nsynthetic graph: %zu triples\n", graph.size());
+
+  rewriting::ViewExecutor executor(&graph, &dict);
+  for (const auto& view : selection->views) {
+    auto id = executor.AddView(view.definition);
+    if (!id.ok()) return 1;
+  }
+
+  // --- 3. Replay the workload and report the realised hit share. -----------
+  std::size_t via_view = 0, via_base = 0;
+  for (const auto& q : workload) {
+    const rewriting::ExecutionReport report = executor.Answer(q);
+    if (report.strategy ==
+        rewriting::ExecutionReport::Strategy::kBaseEvaluation) {
+      ++via_base;
+    } else {
+      ++via_view;
+    }
+  }
+  std::printf("replay: %zu queries answered from views (%.1f%%), %zu from "
+              "the base graph\n",
+              via_view,
+              100.0 * static_cast<double>(via_view) /
+                  static_cast<double>(workload.size()),
+              via_base);
+  std::printf("(predicted coverage from selection: %.1f%%)\n",
+              100.0 * selection->coverage_rate());
+  return 0;
+}

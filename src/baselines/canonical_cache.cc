@@ -1,0 +1,54 @@
+#include "baselines/canonical_cache.h"
+
+namespace rdfc {
+namespace baselines {
+
+std::uint64_t CanonicalCache::HashTokens(
+    const std::vector<query::Token>& tokens) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  query::TokenHash token_hash;
+  for (const query::Token& t : tokens) {
+    h ^= token_hash(t);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+util::Result<CanonicalCache::InsertOutcome> CanonicalCache::Insert(
+    const query::BgpQuery& q, std::uint64_t external_id) {
+  RDFC_ASSIGN_OR_RETURN(containment::PreparedStored prepared,
+                        containment::PrepareStored(q, dict_));
+  const std::uint64_t key = HashTokens(prepared.tokens);
+  auto& bucket = by_hash_[key];
+  for (std::uint32_t id : bucket) {
+    if (entries_[id].canonical.SamePatterns(prepared.canonical)) {
+      entries_[id].external_ids.push_back(external_id);
+      return InsertOutcome{id, false};
+    }
+  }
+  const auto id = static_cast<std::uint32_t>(entries_.size());
+  entries_.push_back(Entry{std::move(prepared.canonical), {external_id}});
+  bucket.push_back(id);
+  return InsertOutcome{id, true};
+}
+
+CanonicalCache::LookupResult CanonicalCache::Lookup(
+    const query::BgpQuery& q) const {
+  LookupResult result;
+  auto prepared = containment::PrepareStored(q, dict_);
+  if (!prepared.ok()) return result;
+  const std::uint64_t key = HashTokens(prepared->tokens);
+  auto it = by_hash_.find(key);
+  if (it == by_hash_.end()) return result;
+  for (std::uint32_t id : it->second) {
+    if (entries_[id].canonical.SamePatterns(prepared->canonical)) {
+      result.found = true;
+      result.entry_id = id;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace rdfc

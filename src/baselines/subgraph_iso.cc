@@ -1,0 +1,127 @@
+#include "baselines/subgraph_iso.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rdfc {
+namespace baselines {
+
+namespace {
+
+class IsoSearch {
+ public:
+  IsoSearch(const query::BgpQuery& w, const query::BgpQuery& q,
+            const rdf::TermDictionary& dict)
+      : w_(w), q_(q), dict_(dict) {
+    for (const rdf::Triple& t : q_.patterns()) {
+      q_by_pred_[t.p].push_back(t);
+    }
+  }
+
+  SubgraphIsoResult Run() {
+    SubgraphIsoResult result;
+    if (w_.empty()) {
+      result.found = true;
+      return result;
+    }
+    if (Extend(0)) {
+      result.found = true;
+      result.mapping = sigma_;
+      for (const auto& [var, pred] : pred_sigma_) {
+        result.mapping.emplace(var, pred);
+      }
+    }
+    return result;
+  }
+
+ private:
+  bool Unify(rdf::TermId pt, rdf::TermId qt,
+             std::vector<rdf::TermId>* trail) {
+    if (!dict_.IsVariable(pt)) return pt == qt;
+    // Variables map to variables only — constants in Q are off-limits.
+    if (!dict_.IsVariable(qt)) return false;
+    auto it = sigma_.find(pt);
+    if (it != sigma_.end()) return it->second == qt;
+    // Injectivity: no two W variables share an image.
+    if (used_images_.count(qt)) return false;
+    sigma_.emplace(pt, qt);
+    used_images_.insert(qt);
+    trail->push_back(pt);
+    return true;
+  }
+
+  /// Predicates are edge labels, not vertices: a variable predicate is a
+  /// wildcard bound consistently but without injectivity or the
+  /// variables-only restriction.
+  bool UnifyPred(rdf::TermId pt, rdf::TermId qt,
+                 std::vector<rdf::TermId>* trail) {
+    if (!dict_.IsVariable(pt)) return pt == qt;
+    auto it = pred_sigma_.find(pt);
+    if (it != pred_sigma_.end()) return it->second == qt;
+    pred_sigma_.emplace(pt, qt);
+    trail->push_back(pt);
+    return true;
+  }
+
+  void Undo(const std::vector<rdf::TermId>& trail) {
+    for (rdf::TermId var : trail) {
+      auto it = sigma_.find(var);
+      used_images_.erase(it->second);
+      sigma_.erase(it);
+    }
+  }
+
+  bool Extend(std::size_t depth) {
+    if (depth == w_.patterns().size()) return true;
+    const rdf::Triple& pattern = w_.patterns()[depth];
+
+    const std::vector<rdf::Triple>* bucket;
+    std::vector<rdf::Triple> all;
+    if (!dict_.IsVariable(pattern.p)) {
+      auto it = q_by_pred_.find(pattern.p);
+      if (it == q_by_pred_.end()) return false;
+      bucket = &it->second;
+    } else {
+      all = q_.patterns();
+      bucket = &all;
+    }
+
+    for (const rdf::Triple& candidate : *bucket) {
+      std::vector<rdf::TermId> trail;
+      std::vector<rdf::TermId> pred_trail;
+      if (Unify(pattern.s, candidate.s, &trail) &&
+          UnifyPred(pattern.p, candidate.p, &pred_trail) &&
+          Unify(pattern.o, candidate.o, &trail)) {
+        if (Extend(depth + 1)) return true;
+      }
+      Undo(trail);
+      for (rdf::TermId var : pred_trail) pred_sigma_.erase(var);
+    }
+    return false;
+  }
+
+  const query::BgpQuery& w_;
+  const query::BgpQuery& q_;
+  const rdf::TermDictionary& dict_;
+  std::unordered_map<rdf::TermId, std::vector<rdf::Triple>> q_by_pred_;
+  containment::VarMapping sigma_;
+  containment::VarMapping pred_sigma_;
+  std::unordered_set<rdf::TermId> used_images_;
+};
+
+}  // namespace
+
+SubgraphIsoResult FindSubgraphIsomorphism(const query::BgpQuery& w,
+                                          const query::BgpQuery& q,
+                                          const rdf::TermDictionary& dict) {
+  IsoSearch search(w, q, dict);
+  return search.Run();
+}
+
+bool IsSubgraphIsomorphic(const query::BgpQuery& w, const query::BgpQuery& q,
+                          const rdf::TermDictionary& dict) {
+  return FindSubgraphIsomorphism(w, q, dict).found;
+}
+
+}  // namespace baselines
+}  // namespace rdfc

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "containment/homomorphism.h"
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+
+namespace rdfc {
+namespace baselines {
+
+/// Subgraph-isomorphism matching between query graphs — the strategy of the
+/// graph-caching systems in the paper's related work ([69-71]: filter
+/// candidates, then verify by subgraph isomorphism).  Differs from a
+/// containment mapping in two ways that make it an *incomplete* proxy for
+/// containment (the paper's Section 8 example):
+///   1. the vertex mapping must be injective;
+///   2. variables may only map to variables (never fold onto constants).
+///
+/// Returns true iff the pattern graph of `w` is subgraph-isomorphic to the
+/// pattern graph of `q` (constants fixed, predicates matched exactly,
+/// variable predicates acting as wildcards that must still map injectively
+/// and consistently).
+bool IsSubgraphIsomorphic(const query::BgpQuery& w, const query::BgpQuery& q,
+                          const rdf::TermDictionary& dict);
+
+/// Demonstrating witness for the mapping, when one exists.
+struct SubgraphIsoResult {
+  bool found = false;
+  containment::VarMapping mapping;
+};
+SubgraphIsoResult FindSubgraphIsomorphism(const query::BgpQuery& w,
+                                          const query::BgpQuery& q,
+                                          const rdf::TermDictionary& dict);
+
+}  // namespace baselines
+}  // namespace rdfc

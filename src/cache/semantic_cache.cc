@@ -1,0 +1,136 @@
+#include "cache/semantic_cache.h"
+
+#include <limits>
+
+namespace rdfc {
+namespace cache {
+
+SemanticCache::SemanticCache(const rdf::Graph* graph,
+                             rdf::TermDictionary* dict,
+                             const CacheOptions& options)
+    : graph_(graph), dict_(dict), options_(options), index_(dict) {}
+
+rewriting::ExecutionReport SemanticCache::Answer(const query::BgpQuery& q) {
+  ++stats_.lookups;
+  ++clock_;
+
+  index::ProbeOptions probe_options;
+  probe_options.max_mappings = 1;
+  const index::ProbeResult probe = index_.FindContaining(q, probe_options);
+
+  // Cheapest containing entry (fewest rows) wins.
+  Entry* best = nullptr;
+  const containment::VarMapping* best_sigma = nullptr;
+  for (const auto& match : probe.contained) {
+    if (match.outcome.mappings.empty()) continue;
+    auto it = live_.find(match.stored_id);
+    if (it == live_.end()) continue;
+    if (best == nullptr || it->second.view.rows.size() <
+                               best->view.rows.size()) {
+      best = &it->second;
+      best_sigma = &match.outcome.mappings[0];
+    }
+  }
+
+  if (best != nullptr) {
+    ++stats_.hits;
+    best->last_used = clock_;
+    ++best->hits;
+    rewriting::ExecutionReport report = rewriting::AnswerWithView(
+        q, best->view, *best_sigma, *graph_, *dict_);
+    report.view_id = best->stored_id;
+    if (!options_.skip_admission_on_hit) Admit(q, report);
+    return report;
+  }
+
+  ++stats_.misses;
+  rewriting::ExecutionReport report =
+      rewriting::AnswerFromGraph(q, *graph_, *dict_);
+  Admit(q, report);
+  return report;
+}
+
+void SemanticCache::Admit(const query::BgpQuery& q,
+                          const rewriting::ExecutionReport& answer) {
+  if (q.empty()) return;
+  if (options_.capacity_rows != 0 &&
+      answer.answers.size() > options_.capacity_rows) {
+    return;  // the single result set alone would bust the budget
+  }
+  if (options_.evict_subsumed_on_admit) {
+    for (std::uint32_t subsumed : index_.FindContainedBy(q)) {
+      auto it = live_.find(subsumed);
+      if (it == live_.end()) continue;
+      stats_.rows_resident -= it->second.view.rows.size();
+      (void)index_.Remove(subsumed);
+      live_.erase(it);
+      ++stats_.evictions;
+    }
+  }
+  auto outcome = index_.Insert(q, clock_);
+  if (!outcome.ok()) return;
+  if (!outcome->was_new) {
+    // Already cached (repeat admission of an equivalent query): refresh.
+    auto it = live_.find(outcome->stored_id);
+    if (it != live_.end()) it->second.last_used = clock_;
+    return;
+  }
+  Entry entry;
+  entry.stored_id = outcome->stored_id;
+  entry.view.definition = q;
+  entry.view.columns = rewriting::ResolvedProjection(q, *dict_);
+  entry.view.rows = answer.answers;
+  entry.last_used = clock_;
+  stats_.rows_resident += entry.view.rows.size();
+  live_.emplace(entry.stored_id, std::move(entry));
+  ++stats_.admissions;
+  EvictUntilWithinBudget();
+}
+
+void SemanticCache::EvictUntilWithinBudget() {
+  if (options_.capacity_rows == 0) return;
+  while (stats_.rows_resident > options_.capacity_rows && live_.size() > 1) {
+    // Select the victim per policy (never the entry just admitted when it is
+    // the only one left).
+    auto victim = live_.end();
+    for (auto it = live_.begin(); it != live_.end(); ++it) {
+      if (victim == live_.end()) {
+        victim = it;
+        continue;
+      }
+      const Entry& a = it->second;
+      const Entry& b = victim->second;
+      bool worse = false;
+      switch (options_.eviction) {
+        case EvictionPolicy::kLru:
+          worse = a.last_used < b.last_used;
+          break;
+        case EvictionPolicy::kLargest:
+          worse = a.view.rows.size() > b.view.rows.size();
+          break;
+        case EvictionPolicy::kLeastHits:
+          worse = a.hits < b.hits ||
+                  (a.hits == b.hits && a.last_used < b.last_used);
+          break;
+      }
+      if (worse) victim = it;
+    }
+    if (victim == live_.end()) break;
+    stats_.rows_resident -= victim->second.view.rows.size();
+    (void)index_.Remove(victim->first);
+    live_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void SemanticCache::Invalidate() {
+  for (const auto& [stored_id, entry] : live_) {
+    (void)entry;
+    (void)index_.Remove(stored_id);
+  }
+  live_.clear();
+  stats_.rows_resident = 0;
+}
+
+}  // namespace cache
+}  // namespace rdfc

@@ -1,0 +1,103 @@
+#include "containment/equivalence.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "containment/homomorphism.h"
+
+namespace rdfc {
+namespace containment {
+
+namespace {
+
+/// The distinguished variables, resolved: explicit projection, or all
+/// variables under SELECT * (ASK yields the empty set).
+std::vector<rdf::TermId> OutputVars(const query::BgpQuery& q,
+                                    const rdf::TermDictionary& dict) {
+  if (q.form() == query::QueryForm::kAsk) return {};
+  if (q.select_all() || q.distinguished().empty()) return q.Variables(dict);
+  return q.distinguished();
+}
+
+bool ContainsWithFixed(const query::BgpQuery& q, const query::BgpQuery& w,
+                       const rdf::TermDictionary& dict,
+                       std::vector<rdf::TermId> fixed) {
+  HomomorphismOptions options;
+  options.max_results = 1;
+  options.fixed_vars = std::move(fixed);
+  return FindHomomorphisms(w, q, dict, options).found();
+}
+
+}  // namespace
+
+bool AreEquivalentBoolean(const query::BgpQuery& a, const query::BgpQuery& b,
+                          const rdf::TermDictionary& dict) {
+  return IsContainedIn(a, b, dict) && IsContainedIn(b, a, dict);
+}
+
+bool AreEquivalent(const query::BgpQuery& a, const query::BgpQuery& b,
+                   const rdf::TermDictionary& dict) {
+  std::vector<rdf::TermId> out_a = OutputVars(a, dict);
+  std::vector<rdf::TermId> out_b = OutputVars(b, dict);
+  std::vector<rdf::TermId> sorted_a = out_a;
+  std::vector<rdf::TermId> sorted_b = out_b;
+  std::sort(sorted_a.begin(), sorted_a.end());
+  std::sort(sorted_b.begin(), sorted_b.end());
+  if (sorted_a != sorted_b) return false;  // different output schema
+  return ContainsWithFixed(a, b, dict, out_a) &&
+         ContainsWithFixed(b, a, dict, out_a);
+}
+
+query::BgpQuery MinimizeQuery(const query::BgpQuery& q,
+                              const rdf::TermDictionary& dict) {
+  const std::vector<rdf::TermId> output = OutputVars(q, dict);
+  const std::unordered_set<rdf::TermId> output_set(output.begin(),
+                                                   output.end());
+
+  std::vector<rdf::Triple> patterns = q.patterns();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      // Candidate subquery without pattern i.
+      query::BgpQuery candidate;
+      for (std::size_t j = 0; j < patterns.size(); ++j) {
+        if (j != i) candidate.AddPattern(patterns[j]);
+      }
+      // Distinguished variables must survive the removal (the projection
+      // would otherwise be unbound).
+      bool outputs_survive = true;
+      for (rdf::TermId var : output) {
+        bool occurs = false;
+        for (const rdf::Triple& t : candidate.patterns()) {
+          occurs = occurs || t.s == var || t.p == var || t.o == var;
+        }
+        if (!occurs) {
+          outputs_survive = false;
+          break;
+        }
+      }
+      if (!outputs_survive) continue;
+
+      // Q∖{t} ⊑ Q iff a homomorphism Q -> Q∖{t} exists that fixes the
+      // output variables (the reverse containment is the identity).
+      query::BgpQuery full;
+      for (const rdf::Triple& t : patterns) full.AddPattern(t);
+      if (ContainsWithFixed(candidate, full, dict, output)) {
+        patterns.erase(patterns.begin() + static_cast<std::ptrdiff_t>(i));
+        changed = true;
+        break;  // restart the scan over the smaller query
+      }
+    }
+  }
+
+  query::BgpQuery minimized;
+  minimized.set_form(q.form());
+  minimized.set_select_all(q.select_all());
+  for (rdf::TermId var : q.distinguished()) minimized.AddDistinguished(var);
+  for (const rdf::Triple& t : patterns) minimized.AddPattern(t);
+  return minimized;
+}
+
+}  // namespace containment
+}  // namespace rdfc

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+
+namespace rdfc {
+namespace containment {
+
+/// Boolean equivalence: Q ⊑ W and W ⊑ Q (mutual containment mappings).
+bool AreEquivalentBoolean(const query::BgpQuery& a, const query::BgpQuery& b,
+                          const rdf::TermDictionary& dict);
+
+/// Answer-set equivalence for queries with projections: containment mappings
+/// in both directions that additionally fix the distinguished variables —
+/// i.e. the two queries return the same rows over the shared output
+/// variables on every graph.  Requires both queries to use the same
+/// distinguished variable set (otherwise false).
+bool AreEquivalent(const query::BgpQuery& a, const query::BgpQuery& b,
+                   const rdf::TermDictionary& dict);
+
+/// Chandra-Merlin minimisation: computes the core of the query by repeatedly
+/// dropping a triple pattern t when a homomorphism Q -> Q∖{t} exists that
+/// fixes the distinguished variables.  The result is equivalent to the input
+/// (same answer set on every graph) and minimal — no smaller equivalent
+/// subquery exists.  A natural companion to the index: minimising stored
+/// views increases dedup and shrinks serialised forms.
+query::BgpQuery MinimizeQuery(const query::BgpQuery& q,
+                              const rdf::TermDictionary& dict);
+
+}  // namespace containment
+}  // namespace rdfc

@@ -1,0 +1,121 @@
+#include "containment/explain.h"
+
+#include "containment/pipeline.h"
+#include "query/analysis.h"
+#include "query/serialisation.h"
+#include "query/witness.h"
+
+namespace rdfc {
+namespace containment {
+
+namespace {
+
+std::string ClassLabel(const query::Witness& witness, std::uint32_t cls,
+                       const rdf::TermDictionary& dict) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < witness.class_members[cls].size(); ++i) {
+    if (i) out += ", ";
+    out += dict.ToString(witness.class_members[cls][i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string ExplainContainment(const query::BgpQuery& q,
+                               const query::BgpQuery& w,
+                               rdf::TermDictionary* dict) {
+  std::string out;
+  out += "=== Does Q fit inside W?  (Q ⊑ W) ===\n";
+
+  // --- Probe-side structure. ---
+  const query::QueryShape q_shape = query::AnalyzeShape(q, *dict);
+  out += "Q: " + std::to_string(q_shape.num_triples) + " triple pattern(s), " +
+         std::to_string(q_shape.num_vertices) + " vertices; " +
+         (q_shape.is_fgraph ? "f-graph" : "NOT an f-graph") + ", " +
+         (q_shape.is_acyclic ? "acyclic" : "cyclic") + "\n";
+
+  const query::Witness witness = query::BuildWitness(q);
+  out += "witness: " + std::to_string(witness.num_classes) +
+         " class(es), ND-degree " + std::to_string(witness.nd_degree) + "\n";
+  for (std::uint32_t c = 0; c < witness.num_classes; ++c) {
+    if (witness.class_members[c].size() > 1) {
+      out += "  merged class [" + std::to_string(c) + "] = " +
+             ClassLabel(witness, c, *dict) + "\n";
+    }
+  }
+
+  // --- Stored-side preparation. ---
+  auto stored = PrepareStored(w, dict);
+  if (!stored.ok()) {
+    out += "W could not be prepared: " + stored.status().ToString() + "\n";
+    return out;
+  }
+  const query::QueryShape w_shape = stored->shape;
+  out += "W: " + std::to_string(w_shape.num_triples) + " triple pattern(s); " +
+         std::to_string(stored->var_pred_patterns.size()) +
+         " variable-predicate pattern(s) stripped (Section 5.2)\n";
+  if (!stored->tokens.empty()) {
+    out += "serialised skeleton of W (Algorithm 1):\n  " +
+           query::TokensToString(stored->tokens, *dict) + "\n";
+  } else {
+    out += "W has no indexable skeleton (all patterns have variable "
+           "predicates)\n";
+  }
+
+  // --- Phase 1: the PTime filter. ---
+  const PreparedProbe probe = PrepareProbe(q, *dict);
+  std::vector<MatchState> sigmas;
+  if (stored->tokens.empty()) {
+    sigmas.emplace_back();
+    out += "phase 1 (witness filter): vacuous — single empty σ_w\n";
+  } else {
+    sigmas = MatchTokens(probe.view, *dict, stored->tokens);
+    out += "phase 1 (witness filter, Algorithm 2 over the witness): " +
+           std::to_string(sigmas.size()) + " surviving σ_w\n";
+    for (std::size_t i = 0; i < sigmas.size(); ++i) {
+      out += "  σ_w[" + std::to_string(i) + "]:";
+      for (const auto& [var, cls] : sigmas[i].sigma) {
+        out += " " + dict->ToString(var) + "→" +
+               ClassLabel(witness, cls, *dict);
+      }
+      out += "\n";
+    }
+  }
+  if (sigmas.empty()) {
+    out += "verdict: NOT contained — Proposition 5.1 contrapositive "
+           "(Q_w ⋢ W already in PTime)\n";
+    return out;
+  }
+
+  // --- Phase 2: decision. ---
+  CheckOptions options;
+  options.max_mappings = 1;
+  const CheckOutcome outcome =
+      DecideFromSigmas(probe, *stored, sigmas, *dict, options);
+  if (!outcome.needed_np) {
+    out += "phase 2: ND-degree 1 and no variable predicates — the filter "
+           "verdict is exact (pure PTime)\n";
+  } else {
+    out += "phase 2: NP verification over class members "
+           "(Proposition 5.2)\n";
+  }
+  if (outcome.contained) {
+    out += "verdict: CONTAINED";
+    if (!outcome.mappings.empty()) {
+      out += " — containment mapping σ:";
+      for (const auto& [var, term] : outcome.mappings[0]) {
+        out += " " + dict->ToString(var) + "→" + dict->ToString(term);
+      }
+    }
+    out += "\n";
+  } else {
+    out += "verdict: NOT contained — no σ_w instantiates to a containment "
+           "mapping\n";
+  }
+  return out;
+}
+
+}  // namespace containment
+}  // namespace rdfc

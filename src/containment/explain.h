@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+
+namespace rdfc {
+namespace containment {
+
+/// Produces a human-readable account of deciding Q ⊑ W through the paper's
+/// pipeline: the probe's structural classification, its witness classes and
+/// ND-degree, the serialised form of W's skeleton, every surviving witness
+/// filter mapping σ_w, whether the NP verification ran, and — on success —
+/// a concrete containment mapping σ.  Intended for debugging, teaching, and
+/// the shell's `.explain` command; the decision itself matches Check().
+std::string ExplainContainment(const query::BgpQuery& q,
+                               const query::BgpQuery& w,
+                               rdf::TermDictionary* dict);
+
+}  // namespace containment
+}  // namespace rdfc

@@ -1,0 +1,178 @@
+#include "containment/fgraph_matcher.h"
+
+#include "util/macros.h"
+
+namespace rdfc {
+namespace containment {
+
+FGraphView::FGraphView(query::Witness witness,
+                       const rdf::TermDictionary& dict)
+    : witness_(std::move(witness)) {
+  out_.reserve(witness_.triples.size() * 2);
+  in_.reserve(witness_.triples.size() * 2);
+  adjacency_.resize(witness_.num_classes);
+  for (const query::Witness::WTriple& t : witness_.triples) {
+    // Uniqueness per (vertex, predicate) is guaranteed by the witness fix
+    // point; with plain insert the first entry would win anyway, but assert
+    // in debug builds to catch regressions in BuildWitness.
+    auto [out_it, out_fresh] = out_.emplace(Key(t.s, t.p), t.o);
+    RDFC_DCHECK(out_fresh || out_it->second == t.o);
+    auto [in_it, in_fresh] = in_.emplace(Key(t.o, t.p), t.s);
+    RDFC_DCHECK(in_fresh || in_it->second == t.s);
+    // Witness triples are already deduplicated, so each contributes one
+    // outgoing and one incoming adjacency entry.
+    adjacency_[t.s].push_back(AdjEdge{t.p, false, t.o});
+    adjacency_[t.o].push_back(AdjEdge{t.p, true, t.s});
+    (void)out_it;
+    (void)out_fresh;
+    (void)in_it;
+    (void)in_fresh;
+  }
+  constants_in_class_.resize(witness_.num_classes);
+  for (std::uint32_t cls = 0; cls < witness_.num_classes; ++cls) {
+    for (rdf::TermId member : witness_.class_members[cls]) {
+      if (dict.IsConstant(member)) constants_in_class_[cls].push_back(member);
+    }
+  }
+}
+
+namespace {
+
+/// Extends σ with term -> cls; fails when term is already mapped elsewhere,
+/// or when a constant term does not belong to class `cls` (Proposition 5.2:
+/// constants can only map to the class that contains them).
+bool BindTerm(const FGraphView& probe, const rdf::TermDictionary& dict,
+              rdf::TermId term, std::uint32_t cls, MatchState* state) {
+  if (dict.IsConstant(term)) {
+    return probe.ClassOfTerm(term) == cls;
+  }
+  auto [it, fresh] = state->sigma.emplace(term, cls);
+  return fresh || it->second == cls;
+}
+
+}  // namespace
+
+bool BindAnchor(const FGraphView& probe, const rdf::TermDictionary& dict,
+                const query::Token& anchor, std::uint32_t cls,
+                MatchState* state) {
+  RDFC_DCHECK(anchor.type == query::TokenType::kAnchor);
+  if (!BindTerm(probe, dict, anchor.term, cls, state)) return false;
+  state->v = cls;
+  state->v_next = cls;
+  return true;
+}
+
+StepResult Step(const FGraphView& probe, const rdf::TermDictionary& dict,
+                const query::Token& token, MatchState* state) {
+  switch (token.type) {
+    case query::TokenType::kAnchor: {
+      if (state->v == MatchState::kNoVertex) {
+        // Component anchor after a separator: forced when σ or a constant
+        // already pins it, otherwise the caller must fork over all classes.
+        if (dict.IsConstant(token.term)) {
+          const std::uint32_t cls = probe.ClassOfTerm(token.term);
+          if (cls == FGraphView::kInvalidVertex) return StepResult::kFail;
+          state->v = cls;
+          state->v_next = cls;
+          return StepResult::kOk;
+        }
+        auto it = state->sigma.find(token.term);
+        if (it != state->sigma.end()) {
+          state->v = it->second;
+          state->v_next = it->second;
+          return StepResult::kOk;
+        }
+        return StepResult::kNeedsFork;
+      }
+      // Initial anchor (line 5-7 of Algorithm 2): σ(t) := v'.
+      if (!BindTerm(probe, dict, token.term, state->v, state)) {
+        return StepResult::kFail;
+      }
+      state->v_next = state->v;
+      return StepResult::kOk;
+    }
+    case query::TokenType::kPair: {
+      if (state->v == MatchState::kNoVertex) return StepResult::kFail;
+      const std::uint32_t target = token.inverse
+                                       ? probe.In(state->v, token.pred)
+                                       : probe.Out(state->v, token.pred);
+      if (target == FGraphView::kInvalidVertex) return StepResult::kFail;
+      if (!BindTerm(probe, dict, token.term, target, state)) {
+        return StepResult::kFail;
+      }
+      state->v_next = target;
+      return StepResult::kOk;
+    }
+    case query::TokenType::kOpen:
+      state->path_stack.push_back(state->v);
+      state->v = state->v_next;
+      return StepResult::kOk;
+    case query::TokenType::kClose:
+      if (state->path_stack.empty()) return StepResult::kFail;
+      state->v = state->path_stack.back();
+      state->path_stack.pop_back();
+      return StepResult::kOk;
+    case query::TokenType::kSeparator:
+      state->v = MatchState::kNoVertex;
+      state->v_next = MatchState::kNoVertex;
+      return StepResult::kOk;
+  }
+  return StepResult::kFail;
+}
+
+namespace {
+
+/// Advances every state in `states` through tokens[from..), forking on
+/// separator anchors.  Returns the surviving states.
+std::vector<MatchState> Drive(const FGraphView& probe,
+                              const rdf::TermDictionary& dict,
+                              const std::vector<query::Token>& tokens,
+                              std::size_t from,
+                              std::vector<MatchState> states) {
+  for (std::size_t i = from; i < tokens.size() && !states.empty(); ++i) {
+    const query::Token& token = tokens[i];
+    std::vector<MatchState> next;
+    next.reserve(states.size());
+    for (MatchState& st : states) {
+      const StepResult r = Step(probe, dict, token, &st);
+      if (r == StepResult::kOk) {
+        next.push_back(std::move(st));
+      } else if (r == StepResult::kNeedsFork) {
+        for (std::uint32_t cls = 0; cls < probe.num_vertices(); ++cls) {
+          MatchState forked = st;
+          if (BindAnchor(probe, dict, token, cls, &forked)) {
+            next.push_back(std::move(forked));
+          }
+        }
+      }
+    }
+    states = std::move(next);
+  }
+  return states;
+}
+
+}  // namespace
+
+std::vector<MatchState> MatchTokensFrom(const FGraphView& probe,
+                                        const rdf::TermDictionary& dict,
+                                        const std::vector<query::Token>& tokens,
+                                        std::uint32_t start_class) {
+  std::vector<MatchState> states;
+  states.push_back(MatchState::AtAnchor(start_class));
+  return Drive(probe, dict, tokens, 0, std::move(states));
+}
+
+std::vector<MatchState> MatchTokens(const FGraphView& probe,
+                                    const rdf::TermDictionary& dict,
+                                    const std::vector<query::Token>& tokens) {
+  std::vector<MatchState> all;
+  for (std::uint32_t cls = 0; cls < probe.num_vertices(); ++cls) {
+    std::vector<MatchState> from_cls =
+        MatchTokensFrom(probe, dict, tokens, cls);
+    for (MatchState& st : from_cls) all.push_back(std::move(st));
+  }
+  return all;
+}
+
+}  // namespace containment
+}  // namespace rdfc

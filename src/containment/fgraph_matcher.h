@@ -1,0 +1,190 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "query/serialisation.h"
+#include "query/witness.h"
+#include "rdf/dictionary.h"
+
+namespace rdfc {
+namespace containment {
+
+/// Read-optimised view of an f-graph (always materialised via a Witness, so
+/// arbitrary probe queries work uniformly: an f-graph query is its own
+/// witness with singleton classes).  Provides the O(1) lookups Algorithm 2
+/// needs: the unique p-successor and p-predecessor of a vertex — uniqueness
+/// is exactly the f-graph property, re-established by the witness merge.
+class FGraphView {
+ public:
+  static constexpr std::uint32_t kInvalidVertex = query::Witness::kInvalidClass;
+
+  FGraphView(query::Witness witness, const rdf::TermDictionary& dict);
+
+  std::uint32_t num_vertices() const { return witness_.num_classes; }
+
+  /// The unique o with (v, pred, o) in the witness, or kInvalidVertex.
+  std::uint32_t Out(std::uint32_t v, rdf::TermId pred) const {
+    auto it = out_.find(Key(v, pred));
+    return it == out_.end() ? kInvalidVertex : it->second;
+  }
+
+  /// The unique s with (s, pred, v) in the witness, or kInvalidVertex.
+  std::uint32_t In(std::uint32_t v, rdf::TermId pred) const {
+    auto it = in_.find(Key(v, pred));
+    return it == in_.end() ? kInvalidVertex : it->second;
+  }
+
+  /// Class containing the constant/variable `term`, or kInvalidVertex when
+  /// the term does not occur as a vertex of the probe query.
+  std::uint32_t ClassOfTerm(rdf::TermId term) const {
+    return witness_.ClassOf(term);
+  }
+
+  const query::Witness& witness() const { return witness_; }
+
+  /// Incident edge of a witness vertex, deduplicated per (pred, direction).
+  /// Drives the candidate-token enumeration of the mv-index walk
+  /// (optimisations I+III: only edges consistent with the probe's current
+  /// vertex are ever looked up, via hashing).
+  struct AdjEdge {
+    rdf::TermId pred;
+    bool inverse;          // true: edge arrives at the vertex
+    std::uint32_t target;  // the unique opposite class
+  };
+  const std::vector<AdjEdge>& Adjacency(std::uint32_t v) const {
+    return adjacency_[v];
+  }
+
+  /// Constant members of a class (IRIs and literals) — the terms a stored
+  /// query's constant token could name when mapping onto this class.
+  const std::vector<rdf::TermId>& ConstantsIn(std::uint32_t cls) const {
+    return constants_in_class_[cls];
+  }
+
+ private:
+  static std::uint64_t Key(std::uint32_t v, rdf::TermId pred) {
+    return (static_cast<std::uint64_t>(v) << 32) | pred;
+  }
+
+  query::Witness witness_;
+  std::unordered_map<std::uint64_t, std::uint32_t> out_;
+  std::unordered_map<std::uint64_t, std::uint32_t> in_;
+  std::vector<std::vector<AdjEdge>> adjacency_;
+  std::vector<std::vector<rdf::TermId>> constants_in_class_;
+};
+
+/// Flat map from canonical variables to witness classes.  σ holds a handful
+/// of entries (one per distinct W variable seen so far), and the index walk
+/// copies states at every branch, so a sorted-insertion vector with linear
+/// lookup beats a hash map on both copy and probe cost.  The interface
+/// mirrors the std::unordered_map subset the matcher uses.
+class SigmaMap {
+ public:
+  using value_type = std::pair<rdf::TermId, std::uint32_t>;
+  using const_iterator = std::vector<value_type>::const_iterator;
+  using iterator = std::vector<value_type>::iterator;
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  iterator find(rdf::TermId term) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == term) return it;
+    }
+    return entries_.end();
+  }
+  const_iterator find(rdf::TermId term) const {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == term) return it;
+    }
+    return entries_.end();
+  }
+  std::size_t count(rdf::TermId term) const {
+    return find(term) == end() ? 0 : 1;
+  }
+
+  std::pair<iterator, bool> emplace(rdf::TermId term, std::uint32_t cls) {
+    iterator it = find(term);
+    if (it != entries_.end()) return {it, false};
+    entries_.emplace_back(term, cls);
+    return {entries_.end() - 1, true};
+  }
+
+  std::uint32_t& operator[](rdf::TermId term) {
+    return emplace(term, 0).first->second;
+  }
+
+  /// Lookup that must succeed; aborts on a missing key like map::at.
+  std::uint32_t at(rdf::TermId term) const {
+    const_iterator it = find(term);
+    RDFC_CHECK(it != end());
+    return it->second;
+  }
+
+ private:
+  std::vector<value_type> entries_;
+};
+
+/// Resumable state of Algorithm 2 — the quintuple the paper threads through
+/// consecutive Containment calls in Algorithm 3: current vertex v', the
+/// look-ahead vertex v'_next, the m_path stack, and the partial mapping σ
+/// from W's (canonicalised) terms to witness classes.
+struct MatchState {
+  static constexpr std::uint32_t kNoVertex = FGraphView::kInvalidVertex;
+
+  std::uint32_t v = kNoVertex;
+  std::uint32_t v_next = kNoVertex;
+  std::vector<std::uint32_t> path_stack;
+  SigmaMap sigma;
+
+  /// Starts a match whose first anchor will bind to `start_class`.
+  static MatchState AtAnchor(std::uint32_t start_class) {
+    MatchState st;
+    st.v = start_class;
+    return st;
+  }
+};
+
+enum class StepResult : std::uint8_t {
+  kFail,      // containment mapping violated; drop this state
+  kOk,        // token consumed, continue
+  kNeedsFork, // token is an unconstrained component anchor (after a
+              // kSeparator): caller must fork the state over every class,
+              // binding each via BindAnchor
+};
+
+/// Consumes one serialised-form token, updating `state`.  Implements the
+/// case analysis of Algorithm 2 plus the component-separator extension of
+/// Section 5.2.
+StepResult Step(const FGraphView& probe, const rdf::TermDictionary& dict,
+                const query::Token& token, MatchState* state);
+
+/// Resolves a kNeedsFork: binds the pending anchor token to `cls`.
+/// Returns false when the binding violates σ (e.g. constant mismatch).
+bool BindAnchor(const FGraphView& probe, const rdf::TermDictionary& dict,
+                const query::Token& anchor, std::uint32_t cls,
+                MatchState* state);
+
+/// Runs a whole token stream against the probe from every possible start
+/// class (Theorem 4.2 requires trying every vertex), returning every
+/// surviving σ.  This is the pairwise (non-indexed) form of the matcher and
+/// the reference implementation the mv-index walk is tested against.
+std::vector<MatchState> MatchTokens(const FGraphView& probe,
+                                    const rdf::TermDictionary& dict,
+                                    const std::vector<query::Token>& tokens);
+
+/// Like MatchTokens but anchored: the first anchor must bind `start_class`.
+std::vector<MatchState> MatchTokensFrom(const FGraphView& probe,
+                                        const rdf::TermDictionary& dict,
+                                        const std::vector<query::Token>& tokens,
+                                        std::uint32_t start_class);
+
+}  // namespace containment
+}  // namespace rdfc

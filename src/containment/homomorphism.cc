@@ -1,0 +1,202 @@
+#include "containment/homomorphism.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace rdfc {
+namespace containment {
+
+namespace {
+
+class Search {
+ public:
+  Search(const query::BgpQuery& w, const query::BgpQuery& q,
+         const rdf::TermDictionary& dict,
+         const std::unordered_map<rdf::TermId,
+                                  std::unordered_set<rdf::TermId>>* allowed,
+         const HomomorphismOptions& options)
+      : w_(w), q_(q), dict_(dict), allowed_(allowed), options_(options) {
+    // Index Q's patterns by predicate: the common case binds an IRI
+    // predicate, which prunes the candidate set to one predicate bucket.
+    for (const rdf::Triple& t : q_.patterns()) {
+      q_by_pred_[t.p].push_back(t);
+    }
+    // Fixed variables behave like constants: pre-bind them to themselves.
+    for (rdf::TermId var : options_.fixed_vars) {
+      sigma_.emplace(var, var);
+    }
+    OrderPatterns();
+  }
+
+  HomomorphismResult Run() {
+    Extend(0);
+    result_.steps = steps_;
+    return std::move(result_);
+  }
+
+ private:
+  /// Greedy join order: repeatedly pick the unchosen pattern with the most
+  /// already-bound terms (constants count as bound), tie-broken by input
+  /// order.  Keeps the backtracking tree narrow for star/path queries.
+  void OrderPatterns() {
+    const auto& patterns = w_.patterns();
+    std::vector<bool> chosen(patterns.size(), false);
+    std::unordered_set<rdf::TermId> bound;
+    auto bound_score = [&](const rdf::Triple& t) {
+      int score = 0;
+      auto counts = [&](rdf::TermId term) {
+        return !dict_.IsVariable(term) || bound.count(term) > 0;
+      };
+      if (counts(t.s)) ++score;
+      if (counts(t.p)) score += 2;  // predicate selectivity dominates
+      if (counts(t.o)) ++score;
+      return score;
+    };
+    for (std::size_t k = 0; k < patterns.size(); ++k) {
+      int best_score = -1;
+      std::size_t best = 0;
+      for (std::size_t i = 0; i < patterns.size(); ++i) {
+        if (chosen[i]) continue;
+        const int score = bound_score(patterns[i]);
+        if (score > best_score) {
+          best_score = score;
+          best = i;
+        }
+      }
+      chosen[best] = true;
+      order_.push_back(patterns[best]);
+      for (rdf::TermId term : {patterns[best].s, patterns[best].p,
+                               patterns[best].o}) {
+        if (dict_.IsVariable(term)) bound.insert(term);
+      }
+    }
+  }
+
+  bool Allowed(rdf::TermId var, rdf::TermId value) const {
+    if (allowed_ == nullptr) return true;
+    auto it = allowed_->find(var);
+    if (it == allowed_->end()) return true;
+    return it->second.count(value) > 0;
+  }
+
+  /// Tries to unify pattern term `pt` (from W) with data term `qt` (from Q),
+  /// recording new bindings in `trail`.  Returns false on mismatch.
+  bool Unify(rdf::TermId pt, rdf::TermId qt,
+             std::vector<rdf::TermId>* trail) {
+    if (!dict_.IsVariable(pt)) return pt == qt;
+    auto it = sigma_.find(pt);
+    if (it != sigma_.end()) return it->second == qt;
+    if (!Allowed(pt, qt)) return false;
+    sigma_.emplace(pt, qt);
+    trail->push_back(pt);
+    return true;
+  }
+
+  void Undo(const std::vector<rdf::TermId>& trail) {
+    for (rdf::TermId var : trail) sigma_.erase(var);
+  }
+
+  /// Returns true when the search should stop (enough results / step cap).
+  bool Extend(std::size_t depth) {
+    if (depth == order_.size()) {
+      result_.mappings.push_back(sigma_);
+      return result_.mappings.size() >= options_.max_results;
+    }
+    const rdf::Triple& pattern = order_[depth];
+
+    // Candidate triples of Q: one predicate bucket when the pattern's
+    // predicate is rigid (constant or already bound), otherwise all buckets.
+    const std::vector<rdf::Triple>* bucket = nullptr;
+    std::vector<rdf::Triple> all;
+    rdf::TermId rigid_pred = rdf::kNullTerm;
+    if (!dict_.IsVariable(pattern.p)) {
+      rigid_pred = pattern.p;
+    } else {
+      auto it = sigma_.find(pattern.p);
+      if (it != sigma_.end()) rigid_pred = it->second;
+    }
+    if (rigid_pred != rdf::kNullTerm) {
+      auto it = q_by_pred_.find(rigid_pred);
+      if (it == q_by_pred_.end()) return false;
+      bucket = &it->second;
+    } else {
+      all = q_.patterns();
+      bucket = &all;
+    }
+
+    for (const rdf::Triple& candidate : *bucket) {
+      if (options_.max_steps != 0 && steps_ >= options_.max_steps) {
+        result_.exhausted = false;
+        return true;
+      }
+      ++steps_;
+      std::vector<rdf::TermId> trail;
+      if (Unify(pattern.s, candidate.s, &trail) &&
+          Unify(pattern.p, candidate.p, &trail) &&
+          Unify(pattern.o, candidate.o, &trail)) {
+        if (Extend(depth + 1)) return true;
+      }
+      Undo(trail);
+    }
+    return false;
+  }
+
+  const query::BgpQuery& w_;
+  const query::BgpQuery& q_;
+  const rdf::TermDictionary& dict_;
+  const std::unordered_map<rdf::TermId, std::unordered_set<rdf::TermId>>*
+      allowed_;
+  HomomorphismOptions options_;
+
+  std::unordered_map<rdf::TermId, std::vector<rdf::Triple>> q_by_pred_;
+  std::vector<rdf::Triple> order_;
+  VarMapping sigma_;
+  std::size_t steps_ = 0;
+  HomomorphismResult result_;
+};
+
+}  // namespace
+
+HomomorphismResult FindHomomorphisms(const query::BgpQuery& from_w,
+                                     const query::BgpQuery& into_q,
+                                     const rdf::TermDictionary& dict,
+                                     const HomomorphismOptions& options) {
+  if (from_w.empty()) {
+    // The empty query contains everything; the empty mapping is a witness.
+    HomomorphismResult result;
+    result.mappings.emplace_back();
+    return result;
+  }
+  Search search(from_w, into_q, dict, nullptr, options);
+  return search.Run();
+}
+
+bool IsContainedIn(const query::BgpQuery& q, const query::BgpQuery& w,
+                   const rdf::TermDictionary& dict) {
+  HomomorphismOptions options;
+  options.max_results = 1;
+  return FindHomomorphisms(w, q, dict, options).found();
+}
+
+HomomorphismResult FindHomomorphismsRestricted(
+    const query::BgpQuery& from_w, const query::BgpQuery& into_q,
+    const rdf::TermDictionary& dict,
+    const std::unordered_map<rdf::TermId, std::vector<rdf::TermId>>& allowed,
+    const HomomorphismOptions& options) {
+  std::unordered_map<rdf::TermId, std::unordered_set<rdf::TermId>> sets;
+  sets.reserve(allowed.size());
+  for (const auto& [var, values] : allowed) {
+    sets.emplace(var,
+                 std::unordered_set<rdf::TermId>(values.begin(), values.end()));
+  }
+  if (from_w.empty()) {
+    HomomorphismResult result;
+    result.mappings.emplace_back();
+    return result;
+  }
+  Search search(from_w, into_q, dict, &sets, options);
+  return search.Run();
+}
+
+}  // namespace containment
+}  // namespace rdfc

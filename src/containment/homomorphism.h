@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+
+namespace rdfc {
+namespace containment {
+
+/// A containment mapping σ from the variables of W into the terms of Q
+/// (Chandra & Merlin): every triple pattern of W, with σ applied, is a
+/// triple pattern of Q.  Constants map to themselves and are not recorded.
+using VarMapping = std::unordered_map<rdf::TermId, rdf::TermId>;
+
+struct HomomorphismOptions {
+  /// Stop after this many mappings (1 = existence check).
+  std::size_t max_results = 1;
+  /// Safety valve on the backtracking search for adversarial inputs; the
+  /// search aborts (reporting what it found so far) after this many
+  /// candidate extensions.  0 disables the cap.
+  std::size_t max_steps = 0;
+  /// Variables of W that must map to themselves (treated like constants).
+  /// Non-Boolean equivalence and query minimisation fix the distinguished
+  /// variables this way (Chandra-Merlin for queries with output columns).
+  std::vector<rdf::TermId> fixed_vars;
+};
+
+struct HomomorphismResult {
+  std::vector<VarMapping> mappings;
+  bool exhausted = true;  // false when max_steps tripped
+  std::size_t steps = 0;
+
+  bool found() const { return !mappings.empty(); }
+};
+
+/// Backtracking search for containment mappings σ : W -> Q.  This is the
+/// classic NP procedure and serves three roles in the reproduction:
+///   1. ground truth for the PTime f-graph algorithm in tests,
+///   2. the "check each pair directly" baseline of the ablation bench,
+///   3. the verification step after the witness filter (Section 5.1) when
+///      invoked through the pipeline with candidate class constraints.
+///
+/// Handles variables in any position (including predicates, Section 5.2).
+HomomorphismResult FindHomomorphisms(const query::BgpQuery& from_w,
+                                     const query::BgpQuery& into_q,
+                                     const rdf::TermDictionary& dict,
+                                     const HomomorphismOptions& options = {});
+
+/// Convenience: true iff q ⊑ w for Boolean semantics, i.e. a containment
+/// mapping w -> q exists.
+bool IsContainedIn(const query::BgpQuery& q, const query::BgpQuery& w,
+                   const rdf::TermDictionary& dict);
+
+/// Verification with per-variable candidate restrictions: each variable of W
+/// may only map to one of `allowed[var]` (when present).  This is how the
+/// witness filter's class mappings constrain the NP step (Proposition 5.2:
+/// σ(?x) must be a member of the class σ_w(?x)).
+HomomorphismResult FindHomomorphismsRestricted(
+    const query::BgpQuery& from_w, const query::BgpQuery& into_q,
+    const rdf::TermDictionary& dict,
+    const std::unordered_map<rdf::TermId, std::vector<rdf::TermId>>& allowed,
+    const HomomorphismOptions& options = {});
+
+}  // namespace containment
+}  // namespace rdfc

@@ -1,0 +1,199 @@
+#include "containment/pipeline.h"
+
+#include <algorithm>
+
+#include "containment/var_predicates.h"
+#include "query/witness.h"
+
+namespace rdfc {
+namespace containment {
+
+namespace {
+
+/// Stable deduplication key for a class mapping: sorted (term, class) pairs.
+std::vector<std::uint64_t> SigmaKey(const MatchState& state) {
+  std::vector<std::uint64_t> key;
+  key.reserve(state.sigma.size());
+  for (const auto& [term, cls] : state.sigma) {
+    key.push_back((static_cast<std::uint64_t>(term) << 32) | cls);
+  }
+  std::sort(key.begin(), key.end());
+  return key;
+}
+
+VarMapping TranslateToOriginal(
+    const VarMapping& canonical_mapping,
+    const std::unordered_map<rdf::TermId, rdf::TermId>& original_of) {
+  VarMapping out;
+  out.reserve(canonical_mapping.size());
+  for (const auto& [canonical_var, value] : canonical_mapping) {
+    auto it = original_of.find(canonical_var);
+    out.emplace(it == original_of.end() ? canonical_var : it->second, value);
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Result<PreparedStored> PrepareStored(const query::BgpQuery& w,
+                                           rdf::TermDictionary* dict) {
+  PreparedStored out;
+  out.shape = query::AnalyzeShape(w, *dict);
+
+  // Split off variable-predicate patterns (Section 5.2), keeping the
+  // skeleton for serialisation.
+  query::BgpQuery skeleton;
+  std::vector<rdf::Triple> raw_var_preds;
+  for (const rdf::Triple& t : w.patterns()) {
+    if (dict->IsVariable(t.p)) {
+      raw_var_preds.push_back(t);
+    } else {
+      skeleton.AddPattern(t);
+    }
+  }
+
+  query::CanonicalMap canonical(dict);
+  if (!skeleton.empty()) {
+    RDFC_ASSIGN_OR_RETURN(query::SerialisedQuery serialised,
+                          query::SerialiseQuery(skeleton, dict, &canonical));
+    out.tokens = std::move(serialised.tokens);
+  }
+
+  // Canonicalise the full pattern set.  Variables that the serialisation
+  // never saw (variable predicates, and vertices touched only by
+  // var-predicate patterns) are canonicalised now, in pattern order, so the
+  // renaming stays deterministic.
+  for (const rdf::Triple& t : w.patterns()) {
+    const rdf::Triple canonical_triple(canonical.Canonicalise(t.s),
+                                       canonical.Canonicalise(t.p),
+                                       canonical.Canonicalise(t.o));
+    out.canonical.AddPattern(canonical_triple);
+    if (dict->IsVariable(t.p)) {
+      out.var_pred_patterns.push_back(canonical_triple);
+    }
+  }
+  out.canonical.set_form(query::QueryForm::kAsk);
+  out.original_of_canonical = canonical.original_map();
+  return out;
+}
+
+PreparedProbe PrepareProbe(const query::BgpQuery& q,
+                           const rdf::TermDictionary& dict) {
+  PreparedProbe out(FGraphView(query::BuildWitness(q), dict));
+  out.shape = query::AnalyzeShape(q, dict);
+  out.patterns = q;
+  return out;
+}
+
+CheckOutcome DecideFromSigmas(const PreparedProbe& probe,
+                              const PreparedStored& stored,
+                              const std::vector<MatchState>& sigmas,
+                              const rdf::TermDictionary& dict,
+                              const CheckOptions& options) {
+  CheckOutcome outcome;
+
+  // The empty query contains every query (Boolean semantics).
+  if (stored.canonical.empty()) {
+    outcome.contained = true;
+    outcome.filter_passed = true;
+    if (options.max_mappings > 0) outcome.mappings.emplace_back();
+    return outcome;
+  }
+
+  outcome.filter_passed = !sigmas.empty();
+  outcome.num_filter_sigmas = sigmas.size();
+  if (!outcome.filter_passed) {
+    // Proposition 5.1 contrapositive: Q_w ⋢ W ⇒ Q ⋢ W.  PTime certainty.
+    return outcome;
+  }
+  if (!options.verify) return outcome;
+
+  const query::Witness& witness = probe.view.witness();
+
+  // --- Phase 2a: PTime certainty when no nondeterminism remains. ---
+  if (witness.nd_degree == 1 && stored.var_pred_patterns.empty()) {
+    outcome.contained = true;
+    if (options.max_mappings > 0) {
+      for (const MatchState& st : sigmas) {
+        VarMapping concrete;
+        for (const auto& [term, cls] : st.sigma) {
+          concrete.emplace(term, witness.class_members[cls].front());
+        }
+        outcome.mappings.push_back(
+            TranslateToOriginal(concrete, stored.original_of_canonical));
+        if (outcome.mappings.size() >= options.max_mappings) break;
+      }
+    }
+    return outcome;
+  }
+
+  // --- Phase 2b: NP verification (Proposition 5.2 + Section 5.2 bounds). ---
+  outcome.needed_np = true;
+  std::vector<std::vector<std::uint64_t>> seen_keys;
+  for (const MatchState& st : sigmas) {
+    std::vector<std::uint64_t> key = SigmaKey(st);
+    if (std::find(seen_keys.begin(), seen_keys.end(), key) !=
+        seen_keys.end()) {
+      continue;
+    }
+    seen_keys.push_back(std::move(key));
+
+    std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> allowed;
+    for (const auto& [term, cls] : st.sigma) {
+      allowed.emplace(term, witness.class_members[cls]);
+    }
+    AddVarPredicateBounds(probe.patterns, dict, witness, st,
+                          stored.var_pred_patterns, &allowed);
+
+    HomomorphismOptions ho;
+    ho.max_results = std::max<std::size_t>(1, options.max_mappings);
+    ho.max_steps = options.max_np_steps;
+    HomomorphismResult result = FindHomomorphismsRestricted(
+        stored.canonical, probe.patterns, dict, allowed, ho);
+    if (result.found()) {
+      outcome.contained = true;
+      for (const VarMapping& m : result.mappings) {
+        outcome.mappings.push_back(
+            TranslateToOriginal(m, stored.original_of_canonical));
+        if (outcome.mappings.size() >= options.max_mappings) break;
+      }
+      if (outcome.mappings.size() >= options.max_mappings) break;
+      if (options.max_mappings == 0) break;  // decision only
+    }
+  }
+  return outcome;
+}
+
+CheckOutcome CheckPrepared(const PreparedProbe& probe,
+                           const PreparedStored& stored,
+                           const rdf::TermDictionary& dict,
+                           const CheckOptions& options) {
+  // --- Phase 1: PTime witness filter (Algorithm 2 over the witness). ---
+  std::vector<MatchState> sigmas;
+  if (stored.tokens.empty()) {
+    // Every pattern of W has a variable predicate (or W is empty); the
+    // skeleton imposes no constraint and the single empty σ_w survives.
+    sigmas.emplace_back();
+  } else {
+    sigmas = MatchTokens(probe.view, dict, stored.tokens);
+  }
+  return DecideFromSigmas(probe, stored, sigmas, dict, options);
+}
+
+util::Result<CheckOutcome> Check(const query::BgpQuery& q,
+                                 const query::BgpQuery& w,
+                                 rdf::TermDictionary* dict,
+                                 const CheckOptions& options) {
+  RDFC_ASSIGN_OR_RETURN(PreparedStored stored, PrepareStored(w, dict));
+  PreparedProbe probe = PrepareProbe(q, *dict);
+  return CheckPrepared(probe, stored, *dict, options);
+}
+
+bool Contains(const query::BgpQuery& q, const query::BgpQuery& w,
+              rdf::TermDictionary* dict) {
+  util::Result<CheckOutcome> result = Check(q, w, dict);
+  return result.ok() && result->contained;
+}
+
+}  // namespace containment
+}  // namespace rdfc

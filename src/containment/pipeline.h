@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "containment/fgraph_matcher.h"
+#include "containment/homomorphism.h"
+#include "query/analysis.h"
+#include "query/bgp_query.h"
+#include "query/serialisation.h"
+#include "rdf/dictionary.h"
+#include "util/status.h"
+
+namespace rdfc {
+namespace containment {
+
+/// Stored-query-side preparation (the W of Q ⊑ W): variable-predicate
+/// patterns stripped (Section 5.2), the skeleton serialised per Algorithm 1
+/// with canonical variable renaming, and the canonicalised query retained
+/// for the NP verification step.
+struct PreparedStored {
+  /// All of W's patterns, with every variable (vertex *and* predicate)
+  /// renamed to canonical `?xk`s.
+  query::BgpQuery canonical;
+  /// The subset of `canonical` whose predicate is a variable.
+  std::vector<rdf::Triple> var_pred_patterns;
+  /// Serialisation of the skeleton (canonical minus var_pred_patterns);
+  /// empty when every pattern has a variable predicate.
+  std::vector<query::Token> tokens;
+  /// canonical variable -> original variable, for reporting mappings.
+  std::unordered_map<rdf::TermId, rdf::TermId> original_of_canonical;
+  query::QueryShape shape;
+};
+
+util::Result<PreparedStored> PrepareStored(const query::BgpQuery& w,
+                                           rdf::TermDictionary* dict);
+
+/// Probe-side preparation (the Q of Q ⊑ W): witness construction plus the
+/// f-graph view the matcher walks.  Constructing the witness of an f-graph
+/// query yields singleton classes, so the same code path serves both the
+/// PTime case of Section 3 and the general case of Section 5.
+struct PreparedProbe {
+  explicit PreparedProbe(FGraphView view_in) : view(std::move(view_in)) {}
+
+  FGraphView view;
+  query::QueryShape shape;
+  /// Triples of the probe in original term space (for the NP verification).
+  query::BgpQuery patterns;
+};
+
+PreparedProbe PrepareProbe(const query::BgpQuery& q,
+                           const rdf::TermDictionary& dict);
+
+struct CheckOptions {
+  /// Run the NP verification after the witness filter.  With this off the
+  /// result reports only the PTime filter outcome (a sound *necessary*
+  /// condition: filter_passed == false proves non-containment).
+  bool verify = true;
+  /// Number of concrete containment mappings to materialise (0 = just decide).
+  std::size_t max_mappings = 0;
+  /// Step cap for the NP search (0 = unbounded).
+  std::size_t max_np_steps = 0;
+};
+
+struct CheckOutcome {
+  bool contained = false;       // final verdict (when verify was requested)
+  bool filter_passed = false;   // PTime witness filter found >= 1 σ_w
+  bool needed_np = false;       // verification had to run an NP search
+  std::size_t num_filter_sigmas = 0;
+  std::vector<VarMapping> mappings;  // in W's *original* variable space
+};
+
+/// Phase-2 decision given the surviving witness-filter mappings.  Exposed so
+/// the mv-index walk (which produces the σ_w set itself, Algorithm 3) can
+/// share the verification logic with the pairwise path.
+CheckOutcome DecideFromSigmas(const PreparedProbe& probe,
+                              const PreparedStored& stored,
+                              const std::vector<MatchState>& sigmas,
+                              const rdf::TermDictionary& dict,
+                              const CheckOptions& options);
+
+/// Decides Q ⊑ W for Boolean semantics via the paper's pipeline:
+///   1. run the f-graph matcher of the skeleton tokens against Q's witness
+///      from every start class (PTime; Theorem 4.2 / Proposition 5.1);
+///   2. if the query is an f-graph (ND-degree 1) and W has no variable
+///      predicates, the filter verdict is exact — done in PTime;
+///   3. otherwise instantiate each surviving σ_w via the restricted NP
+///      search of Proposition 5.2, with the Section 5.2 bounds applied.
+CheckOutcome CheckPrepared(const PreparedProbe& probe,
+                           const PreparedStored& stored,
+                           const rdf::TermDictionary& dict,
+                           const CheckOptions& options = {});
+
+/// End-to-end convenience for tests and the pairwise baseline: prepares both
+/// sides and checks.  Q ⊑ W.
+util::Result<CheckOutcome> Check(const query::BgpQuery& q,
+                                 const query::BgpQuery& w,
+                                 rdf::TermDictionary* dict,
+                                 const CheckOptions& options = {});
+
+/// Boolean convenience.
+bool Contains(const query::BgpQuery& q, const query::BgpQuery& w,
+              rdf::TermDictionary* dict);
+
+}  // namespace containment
+}  // namespace rdfc

@@ -1,0 +1,32 @@
+#include "containment/ucq.h"
+
+#include "containment/pipeline.h"
+
+namespace rdfc {
+namespace containment {
+
+bool ContainedInUnion(const query::BgpQuery& q, const UnionQuery& disjuncts,
+                      rdf::TermDictionary* dict) {
+  // Prepare the probe once; each disjunct is checked through the standard
+  // witness-filter pipeline.
+  const PreparedProbe probe = PrepareProbe(q, *dict);
+  for (const query::BgpQuery& w : disjuncts) {
+    util::Result<PreparedStored> stored = PrepareStored(w, dict);
+    if (!stored.ok()) continue;  // unserialisable disjunct cannot witness
+    if (CheckPrepared(probe, *stored, *dict, CheckOptions{}).contained) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool UnionContainedInUnion(const UnionQuery& lhs, const UnionQuery& rhs,
+                           rdf::TermDictionary* dict) {
+  for (const query::BgpQuery& q : lhs) {
+    if (!ContainedInUnion(q, rhs, dict)) return false;
+  }
+  return true;
+}
+
+}  // namespace containment
+}  // namespace rdfc

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+#include "util/status.h"
+
+namespace rdfc {
+namespace containment {
+
+/// A union of conjunctive queries (SPARQL UNION of BGPs).
+using UnionQuery = std::vector<query::BgpQuery>;
+
+/// Q ⊑ W1 ∪ ... ∪ Wn.  For conjunctive Q under set semantics this reduces
+/// to ∃i. Q ⊑ Wi (Sagiv & Yannakakis): a single "canonical database" of Q
+/// must satisfy some disjunct, and that disjunct then contains Q outright.
+bool ContainedInUnion(const query::BgpQuery& q, const UnionQuery& disjuncts,
+                      rdf::TermDictionary* dict);
+
+/// Q1 ∪ ... ∪ Qm ⊑ W1 ∪ ... ∪ Wn  iff every Qi is contained in some Wj
+/// (apply the reduction per disjunct of the left side).
+bool UnionContainedInUnion(const UnionQuery& lhs, const UnionQuery& rhs,
+                           rdf::TermDictionary* dict);
+
+}  // namespace containment
+}  // namespace rdfc

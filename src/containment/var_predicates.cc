@@ -1,0 +1,84 @@
+#include "containment/var_predicates.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace rdfc {
+namespace containment {
+
+namespace {
+
+/// Candidate values for `var` implied by one var-predicate pattern, given
+/// that the opposite end is restricted to the members of class `cls`.
+/// `use_subject_side` selects whether the bound end is the subject.
+std::vector<rdf::TermId> CandidatesAcrossEdge(
+    const query::BgpQuery& probe_patterns, const query::Witness& witness,
+    std::uint32_t cls, bool bound_end_is_subject) {
+  std::unordered_set<rdf::TermId> bound_members(
+      witness.class_members[cls].begin(), witness.class_members[cls].end());
+  std::unordered_set<rdf::TermId> out_set;
+  for (const rdf::Triple& t : probe_patterns.patterns()) {
+    if (bound_end_is_subject) {
+      if (bound_members.count(t.s)) out_set.insert(t.o);
+    } else {
+      if (bound_members.count(t.o)) out_set.insert(t.s);
+    }
+  }
+  return std::vector<rdf::TermId>(out_set.begin(), out_set.end());
+}
+
+/// Intersects `values` into allowed[var] (or installs it when absent).
+void Restrict(rdf::TermId var, std::vector<rdf::TermId> values,
+              std::unordered_map<rdf::TermId, std::vector<rdf::TermId>>*
+                  allowed) {
+  auto it = allowed->find(var);
+  if (it == allowed->end()) {
+    (*allowed)[var] = std::move(values);
+    return;
+  }
+  std::unordered_set<rdf::TermId> incoming(values.begin(), values.end());
+  auto& existing = it->second;
+  existing.erase(std::remove_if(existing.begin(), existing.end(),
+                                [&](rdf::TermId v) { return !incoming.count(v); }),
+                 existing.end());
+}
+
+}  // namespace
+
+void AddVarPredicateBounds(
+    const query::BgpQuery& probe_patterns, const rdf::TermDictionary& dict,
+    const query::Witness& witness, const MatchState& sigma,
+    const std::vector<rdf::Triple>& var_pred_patterns,
+    std::unordered_map<rdf::TermId, std::vector<rdf::TermId>>* allowed) {
+  auto class_of = [&](rdf::TermId term) -> std::uint32_t {
+    if (dict.IsConstant(term)) return witness.ClassOf(term);
+    auto it = sigma.sigma.find(term);
+    return it == sigma.sigma.end() ? query::Witness::kInvalidClass
+                                   : it->second;
+  };
+
+  for (const rdf::Triple& t : var_pred_patterns) {
+    const std::uint32_t s_cls = class_of(t.s);
+    const std::uint32_t o_cls = class_of(t.o);
+    // Only derive a bound when exactly the opposite end is pinned; when both
+    // ends are pinned the NP search checks the pattern directly, and when
+    // neither is pinned no bound is available from this pattern.
+    if (s_cls != query::Witness::kInvalidClass &&
+        o_cls == query::Witness::kInvalidClass && dict.IsVariable(t.o)) {
+      Restrict(t.o,
+               CandidatesAcrossEdge(probe_patterns, witness, s_cls,
+                                    /*bound_end_is_subject=*/true),
+               allowed);
+    }
+    if (o_cls != query::Witness::kInvalidClass &&
+        s_cls == query::Witness::kInvalidClass && dict.IsVariable(t.s)) {
+      Restrict(t.s,
+               CandidatesAcrossEdge(probe_patterns, witness, o_cls,
+                                    /*bound_end_is_subject=*/false),
+               allowed);
+    }
+  }
+}
+
+}  // namespace containment
+}  // namespace rdfc

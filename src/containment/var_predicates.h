@@ -1,0 +1,31 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "containment/fgraph_matcher.h"
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+
+namespace rdfc {
+namespace containment {
+
+/// Section 5.2 bounding: given the class mapping σ_w produced by the f-graph
+/// filter for W's skeleton and the stripped variable-predicate patterns of
+/// W, derive candidate-value bounds for W terms that the skeleton left
+/// unbound.
+///
+/// For a pattern (s, ?p, o) where σ_w binds s to class C, variable o may
+/// only map to `{o' | (s', p', o') ∈ Q, s' ∈ C}` — and dually when o is
+/// bound.  The returned map feeds FindHomomorphismsRestricted.
+///
+/// `existing` carries the class-membership restrictions already implied by
+/// σ_w; bounds are added (intersected) on top of it.
+void AddVarPredicateBounds(
+    const query::BgpQuery& probe_patterns, const rdf::TermDictionary& dict,
+    const query::Witness& witness, const MatchState& sigma,
+    const std::vector<rdf::Triple>& var_pred_patterns,
+    std::unordered_map<rdf::TermId, std::vector<rdf::TermId>>* allowed);
+
+}  // namespace containment
+}  // namespace rdfc

@@ -1,0 +1,174 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace rdfc {
+namespace eval {
+
+namespace {
+
+class Engine {
+ public:
+  Engine(const query::BgpQuery& q, const rdf::Graph& graph,
+         const rdf::TermDictionary& dict, const EvalOptions& options)
+      : q_(q), graph_(graph), dict_(dict), options_(options) {
+    OrderPatterns();
+  }
+
+  EvalResult Run() {
+    binding_ = options_.initial_binding;
+    if (q_.empty()) {
+      // The empty BGP has a single solution: the initial binding itself.
+      result_.solutions.push_back(binding_);
+      return std::move(result_);
+    }
+    Extend(0);
+    return std::move(result_);
+  }
+
+ private:
+  void OrderPatterns() {
+    const auto& patterns = q_.patterns();
+    std::vector<bool> chosen(patterns.size(), false);
+    std::unordered_set<rdf::TermId> bound;
+    auto score = [&](const rdf::Triple& t) {
+      int s = 0;
+      auto is_bound = [&](rdf::TermId term) {
+        return !dict_.IsVariable(term) || bound.count(term) > 0;
+      };
+      if (is_bound(t.s)) s += 2;
+      if (is_bound(t.p)) s += 1;
+      if (is_bound(t.o)) s += 2;
+      return s;
+    };
+    for (std::size_t k = 0; k < patterns.size(); ++k) {
+      int best_score = -1;
+      std::size_t best = 0;
+      for (std::size_t i = 0; i < patterns.size(); ++i) {
+        if (chosen[i]) continue;
+        const int s = score(patterns[i]);
+        if (s > best_score) {
+          best_score = s;
+          best = i;
+        }
+      }
+      chosen[best] = true;
+      order_.push_back(patterns[best]);
+      for (rdf::TermId term :
+           {patterns[best].s, patterns[best].p, patterns[best].o}) {
+        if (dict_.IsVariable(term)) bound.insert(term);
+      }
+    }
+  }
+
+  rdf::TermId Resolve(rdf::TermId term) const {
+    if (!dict_.IsVariable(term)) return term;
+    auto it = binding_.find(term);
+    return it == binding_.end() ? rdf::kNullTerm : it->second;
+  }
+
+  bool Extend(std::size_t depth) {
+    if (depth == order_.size()) {
+      result_.solutions.push_back(binding_);
+      return options_.max_solutions != 0 &&
+             result_.solutions.size() >= options_.max_solutions;
+    }
+    const rdf::Triple& pattern = order_[depth];
+    const rdf::TermId s = Resolve(pattern.s);
+    const rdf::TermId p = Resolve(pattern.p);
+    const rdf::TermId o = Resolve(pattern.o);
+
+    bool stop = false;
+    graph_.Match(s, p, o, [&](const rdf::Triple& t) {
+      if (stop) return;
+      ++result_.steps;
+      std::vector<rdf::TermId> trail;
+      auto bind = [&](rdf::TermId pt, rdf::TermId value) {
+        if (!dict_.IsVariable(pt)) return pt == value;
+        auto [it, fresh] = binding_.emplace(pt, value);
+        if (fresh) {
+          trail.push_back(pt);
+          return true;
+        }
+        return it->second == value;
+      };
+      if (bind(pattern.s, t.s) && bind(pattern.p, t.p) &&
+          bind(pattern.o, t.o)) {
+        if (Extend(depth + 1)) stop = true;
+      }
+      for (rdf::TermId var : trail) binding_.erase(var);
+    });
+    return stop;
+  }
+
+  const query::BgpQuery& q_;
+  const rdf::Graph& graph_;
+  const rdf::TermDictionary& dict_;
+  EvalOptions options_;
+  std::vector<rdf::Triple> order_;
+  Binding binding_;
+  EvalResult result_;
+};
+
+}  // namespace
+
+EvalResult Evaluate(const query::BgpQuery& q, const rdf::Graph& graph,
+                    const rdf::TermDictionary& dict,
+                    const EvalOptions& options) {
+  Engine engine(q, graph, dict, options);
+  return engine.Run();
+}
+
+bool Ask(const query::BgpQuery& q, const rdf::Graph& graph,
+         const rdf::TermDictionary& dict) {
+  EvalOptions options;
+  options.max_solutions = 1;
+  return Evaluate(q, graph, dict, options).ask();
+}
+
+std::vector<std::vector<rdf::TermId>> ProjectedAnswers(
+    const query::BgpQuery& q, const rdf::Graph& graph,
+    const rdf::TermDictionary& dict) {
+  std::vector<rdf::TermId> projection = q.distinguished();
+  if (q.select_all() || projection.empty()) {
+    projection = q.Variables(dict);
+  }
+  EvalResult result = Evaluate(q, graph, dict);
+  std::set<std::vector<rdf::TermId>> dedup;
+  for (const Binding& binding : result.solutions) {
+    std::vector<rdf::TermId> row;
+    row.reserve(projection.size());
+    for (rdf::TermId var : projection) {
+      auto it = binding.find(var);
+      row.push_back(it == binding.end() ? rdf::kNullTerm : it->second);
+    }
+    dedup.insert(std::move(row));
+  }
+  return std::vector<std::vector<rdf::TermId>>(dedup.begin(), dedup.end());
+}
+
+rdf::Graph Freeze(const query::BgpQuery& q, rdf::TermDictionary* dict,
+                  std::unordered_map<rdf::TermId, rdf::TermId>* image) {
+  rdf::Graph graph;
+  std::unordered_map<rdf::TermId, rdf::TermId> local;
+  auto frozen = [&](rdf::TermId term) {
+    if (!dict->IsVariable(term) && !dict->IsBlank(term)) return term;
+    auto it = local.find(term);
+    if (it != local.end()) return it->second;
+    const rdf::TermId iri = dict->MakeIri(
+        "urn:rdfc:frozen/" + dict->lexical(term) + "/" +
+        std::to_string(term));
+    local.emplace(term, iri);
+    return iri;
+  };
+  for (const rdf::Triple& t : q.patterns()) {
+    graph.Add(frozen(t.s), frozen(t.p), frozen(t.o));
+  }
+  if (image != nullptr) *image = std::move(local);
+  return graph;
+}
+
+}  // namespace eval
+}  // namespace rdfc

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+
+namespace rdfc {
+namespace eval {
+
+/// A solution: variable -> graph term.
+using Binding = std::unordered_map<rdf::TermId, rdf::TermId>;
+
+struct EvalOptions {
+  /// Stop after this many solutions (0 = all).  Ask() uses 1.
+  std::size_t max_solutions = 0;
+  /// Pre-bound variables: the evaluation only extends this binding.  The
+  /// rewriting executor seeds evaluations with view-row bindings this way.
+  Binding initial_binding;
+};
+
+struct EvalResult {
+  std::vector<Binding> solutions;  // full bindings over all variables
+  std::size_t steps = 0;
+  bool ask() const { return !solutions.empty(); }
+};
+
+/// Backtracking BGP evaluation over an in-memory Graph — the query-answering
+/// substrate the containment semantics is defined against.  Pattern order is
+/// chosen greedily by bound-position count; each pattern probe uses the
+/// graph's positional indexes.
+///
+/// Used by the examples (materialised views hold real result sets) and by
+/// the property tests: if Q ⊑ W then Ask(Q, G) implies Ask(W, G) for every
+/// graph G, and the distinguished-variable projections nest.
+EvalResult Evaluate(const query::BgpQuery& q, const rdf::Graph& graph,
+                    const rdf::TermDictionary& dict,
+                    const EvalOptions& options = {});
+
+/// Boolean convenience.
+bool Ask(const query::BgpQuery& q, const rdf::Graph& graph,
+         const rdf::TermDictionary& dict);
+
+/// Projects solutions onto the query's distinguished variables, producing
+/// deduplicated answer tuples in a stable order (for set comparison).
+std::vector<std::vector<rdf::TermId>> ProjectedAnswers(
+    const query::BgpQuery& q, const rdf::Graph& graph,
+    const rdf::TermDictionary& dict);
+
+/// Freezes a query into its canonical instance: each variable becomes a
+/// fresh IRI, each pattern a data triple.  The Chandra-Merlin argument makes
+/// this the second ground truth used in the tests: Q ⊑ W iff W has a match
+/// on freeze(Q) consistent with the frozen variable images.
+rdf::Graph Freeze(const query::BgpQuery& q, rdf::TermDictionary* dict,
+                  std::unordered_map<rdf::TermId, rdf::TermId>* image =
+                      nullptr);
+
+}  // namespace eval
+}  // namespace rdfc

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "containment/pipeline.h"
+#include "index/mv_index.h"
+
+namespace rdfc {
+namespace index {
+
+/// Algorithm 3: finds every indexed query containing the probe by walking
+/// the Radix tree while advancing the resumable Algorithm-2 matcher along
+/// edge labels.  State is copied at branch vertices (the paper's CopyOf) and
+/// a failing edge prunes the entire subtree below it.
+///
+/// Per Theorem 4.2 the walk is started once per witness class of the probe;
+/// the per-entry verdicts are then decided by the shared Phase-2 logic
+/// (PTime certainty for ND-degree-1 probes, NP verification otherwise).
+ProbeResult ContQueries(const MvIndex& index,
+                        const containment::PreparedProbe& probe,
+                        const ProbeOptions& options);
+
+}  // namespace index
+}  // namespace rdfc

@@ -1,0 +1,100 @@
+#include "index/dot_export.h"
+
+#include <functional>
+
+#include "util/string_util.h"
+
+namespace rdfc {
+namespace index {
+
+namespace {
+
+std::string ShortIri(const std::string& iri) {
+  std::size_t cut = iri.find_last_of("/#");
+  std::string out = cut == std::string::npos ? iri : iri.substr(cut + 1);
+  if (out.empty()) out = iri;
+  if (out.size() > 18) out = out.substr(0, 15) + "...";
+  return out;
+}
+
+std::string EscapeDot(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string TokenLabel(const query::Token& tok,
+                       const rdf::TermDictionary& dict) {
+  auto term_label = [&](rdf::TermId t) {
+    switch (dict.kind(t)) {
+      case rdf::TermKind::kIri:
+        return ShortIri(dict.lexical(t));
+      case rdf::TermKind::kVariable:
+        return "?" + dict.lexical(t);
+      default:
+        return ShortIri(dict.lexical(t));
+    }
+  };
+  switch (tok.type) {
+    case query::TokenType::kAnchor:
+      return term_label(tok.term);
+    case query::TokenType::kPair:
+      return "<" + ShortIri(dict.lexical(tok.pred)) +
+             (tok.inverse ? ">⁻¹," : ">,") + term_label(tok.term);
+    case query::TokenType::kOpen:
+      return "(";
+    case query::TokenType::kClose:
+      return ")";
+    case query::TokenType::kSeparator:
+      return "||";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ExportDot(const MvIndex& index, std::size_t max_label_tokens) {
+  const rdf::TermDictionary& dict = *index.dict();
+  std::string out = "digraph mvindex {\n  rankdir=LR;\n  node [shape=circle,"
+                    " label=\"\", width=0.18];\n";
+  std::size_t next_id = 0;
+  std::function<std::size_t(const RadixNode&)> emit =
+      [&](const RadixNode& node) -> std::size_t {
+    const std::size_t my_id = next_id++;
+    if (node.is_query()) {
+      std::string ids;
+      for (std::uint32_t sid : node.stored_ids) {
+        if (!ids.empty()) ids += ",";
+        ids += std::to_string(sid);
+      }
+      out += "  n" + std::to_string(my_id) +
+             " [shape=doublecircle, width=0.25, label=\"" + ids + "\"];\n";
+    }
+    for (const auto& [first, edge] : node.edges) {
+      (void)first;
+      std::vector<std::string> parts;
+      for (std::size_t i = 0;
+           i < edge.label.size() && i < max_label_tokens; ++i) {
+        parts.push_back(TokenLabel(edge.label[i], dict));
+      }
+      if (edge.label.size() > max_label_tokens) {
+        parts.push_back("+" +
+                        std::to_string(edge.label.size() - max_label_tokens));
+      }
+      const std::size_t child_id = emit(*edge.child);
+      out += "  n" + std::to_string(my_id) + " -> n" +
+             std::to_string(child_id) + " [label=\"" +
+             EscapeDot(util::Join(parts, " ")) + "\"];\n";
+    }
+    return my_id;
+  };
+  emit(index.root());
+  out += "}\n";
+  return out;
+}
+
+}  // namespace index
+}  // namespace rdfc

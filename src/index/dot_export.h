@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "index/mv_index.h"
+
+namespace rdfc {
+namespace index {
+
+/// Renders the mv-index Radix tree as Graphviz DOT (the paper's Figure 1
+/// visual).  Query vertices are drawn as double circles annotated with their
+/// stored ids; edge labels show the token sequence (IRIs shortened to their
+/// final path segment, `⁻¹` marking inverse pairs).  Intended for debugging
+/// and documentation of small indexes — the output grows with the tree.
+std::string ExportDot(const MvIndex& index, std::size_t max_label_tokens = 6);
+
+}  // namespace index
+}  // namespace rdfc

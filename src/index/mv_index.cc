@@ -1,0 +1,273 @@
+#include "index/mv_index.h"
+
+#include "index/cont_queries.h"
+
+#include "query/canonical_label.h"
+
+namespace rdfc {
+namespace index {
+
+namespace {
+
+/// Length of the common prefix of `label` and tokens[from..].
+std::size_t CommonPrefix(const std::vector<query::Token>& label,
+                         const std::vector<query::Token>& tokens,
+                         std::size_t from) {
+  std::size_t k = 0;
+  while (k < label.size() && from + k < tokens.size() &&
+         label[k] == tokens[from + k]) {
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace
+
+util::Result<MvIndex::InsertOutcome> MvIndex::Insert(
+    const query::BgpQuery& w, std::uint64_t external_id) {
+  if (w.empty()) {
+    return util::Status::InvalidArgument("cannot index an empty query");
+  }
+  containment::PreparedStored prepared;
+  if (options_.exact_dedup) {
+    // Pre-normalise to the isomorphism-exact canonical form so serialisation
+    // tie-breaks cannot tell isomorphic queries apart.  The canonical form
+    // preserves the pattern structure, so containment semantics are
+    // untouched — only dedup improves.
+    const query::CanonicalForm form = query::CanonicalLabel(w, dict_);
+    query::BgpQuery normalised;
+    normalised.set_form(query::QueryForm::kAsk);
+    for (const rdf::Triple& t : form.triples) normalised.AddPattern(t);
+    RDFC_ASSIGN_OR_RETURN(prepared,
+                          containment::PrepareStored(normalised, dict_));
+  } else {
+    RDFC_ASSIGN_OR_RETURN(prepared, containment::PrepareStored(w, dict_));
+  }
+  ++num_insertions_;
+
+  auto finish_at = [&](RadixNode* node) -> InsertOutcome {
+    // Dedup against entries already terminating at this vertex: identical
+    // skeleton tokens do not imply identical queries once var-predicate
+    // patterns differ, so compare the full canonical pattern sets.
+    for (std::uint32_t id : node->stored_ids) {
+      if (entries_[id].prepared.canonical.SamePatterns(prepared.canonical)) {
+        entries_[id].external_ids.push_back(external_id);
+        return InsertOutcome{id, false};
+      }
+    }
+    const auto id = static_cast<std::uint32_t>(entries_.size());
+    entries_.push_back(Entry{std::move(prepared), {external_id}, true});
+    ++num_live_;
+    node->stored_ids.push_back(id);
+    return InsertOutcome{id, true};
+  };
+
+  if (prepared.tokens.empty()) {
+    // No skeleton to index (every pattern has a variable predicate): keep on
+    // the side list, dedup by canonical pattern set.
+    for (std::uint32_t id : skeleton_free_) {
+      if (entries_[id].prepared.canonical.SamePatterns(prepared.canonical)) {
+        entries_[id].external_ids.push_back(external_id);
+        return InsertOutcome{id, false};
+      }
+    }
+    const auto id = static_cast<std::uint32_t>(entries_.size());
+    entries_.push_back(Entry{std::move(prepared), {external_id}, true});
+    ++num_live_;
+    skeleton_free_.push_back(id);
+    return InsertOutcome{id, true};
+  }
+
+  const std::vector<query::Token>& tokens = prepared.tokens;
+  RadixNode* node = &root_;
+  std::size_t i = 0;
+  while (true) {
+    if (i == tokens.size()) return finish_at(node);
+
+    auto it = node->edges.find(tokens[i]);
+    if (it == node->edges.end()) {
+      // No edge starts with this token: append the whole remainder.
+      RadixNode::Edge edge;
+      edge.label.assign(tokens.begin() + static_cast<std::ptrdiff_t>(i),
+                        tokens.end());
+      edge.child = std::make_unique<RadixNode>();
+      ++num_nodes_;
+      RadixNode* child = edge.child.get();
+      node->edges.emplace(tokens[i], std::move(edge));
+      return finish_at(child);
+    }
+
+    RadixNode::Edge& edge = it->second;
+    const std::size_t k = CommonPrefix(edge.label, tokens, i);
+    RDFC_DCHECK(k > 0);
+    if (k == edge.label.size()) {
+      // Full edge match: descend.
+      node = edge.child.get();
+      i += k;
+      continue;
+    }
+
+    // Partial match: split the edge at k.
+    auto mid = std::make_unique<RadixNode>();
+    ++num_nodes_;
+    RadixNode::Edge tail;
+    tail.label.assign(edge.label.begin() + static_cast<std::ptrdiff_t>(k),
+                      edge.label.end());
+    tail.child = std::move(edge.child);
+    mid->edges.emplace(tail.label.front(), std::move(tail));
+    edge.label.resize(k);
+    edge.child = std::move(mid);
+    node = edge.child.get();
+    i += k;
+    // Loop continues: either i == tokens.size() (the new mid node is the
+    // query vertex) or a fresh edge is appended below mid.
+  }
+}
+
+util::Status MvIndex::Remove(std::uint32_t stored_id) {
+  if (stored_id >= entries_.size() || !entries_[stored_id].alive) {
+    return util::Status::NotFound("no live entry with id " +
+                                  std::to_string(stored_id));
+  }
+  Entry& entry = entries_[stored_id];
+  entry.alive = false;
+  --num_live_;
+
+  auto detach = [stored_id](std::vector<std::uint32_t>* ids) {
+    for (std::size_t i = 0; i < ids->size(); ++i) {
+      if ((*ids)[i] == stored_id) {
+        ids->erase(ids->begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  };
+
+  if (entry.prepared.tokens.empty()) {
+    if (!detach(&skeleton_free_)) {
+      return util::Status::Internal("side-list entry missing");
+    }
+    return util::Status::OK();
+  }
+
+  // Walk the entry's serialised path, recording the spine for pruning.
+  const std::vector<query::Token>& tokens = entry.prepared.tokens;
+  struct Hop {
+    RadixNode* parent;
+    query::Token first;  // key of the edge taken out of `parent`
+  };
+  std::vector<Hop> spine;
+  RadixNode* node = &root_;
+  std::size_t i = 0;
+  while (i < tokens.size()) {
+    auto it = node->edges.find(tokens[i]);
+    if (it == node->edges.end()) {
+      return util::Status::Internal("stored path missing from radix tree");
+    }
+    spine.push_back(Hop{node, it->first});
+    node = it->second.child.get();
+    i += it->second.label.size();
+  }
+  if (i != tokens.size() || !detach(&node->stored_ids)) {
+    return util::Status::Internal("stored entry not found at its vertex");
+  }
+
+  // Prune upward: drop empty leaves, then re-merge unary non-query chains.
+  for (auto hop = spine.rbegin(); hop != spine.rend(); ++hop) {
+    auto edge_it = hop->parent->edges.find(hop->first);
+    RDFC_DCHECK(edge_it != hop->parent->edges.end());
+    RadixNode* child = edge_it->second.child.get();
+    if (!child->is_query() && child->edges.empty()) {
+      hop->parent->edges.erase(edge_it);
+      --num_nodes_;
+      continue;
+    }
+    if (!child->is_query() && child->edges.size() == 1) {
+      // Merge the lone grandchild edge into this edge's label.
+      auto grand_it = child->edges.begin();
+      RadixNode::Edge grand = std::move(grand_it->second);
+      edge_it->second.label.insert(edge_it->second.label.end(),
+                                   grand.label.begin(), grand.label.end());
+      edge_it->second.child = std::move(grand.child);
+      --num_nodes_;
+    }
+    break;  // ancestors still have other content below them
+  }
+  return util::Status::OK();
+}
+
+ProbeResult MvIndex::FindContaining(const query::BgpQuery& q,
+                                    const ProbeOptions& options) const {
+  containment::PreparedProbe probe =
+      containment::PrepareProbe(q, *dict_);
+  return ContQueries(*this, probe, options);
+}
+
+ProbeResult MvIndex::FindContaining(const containment::PreparedProbe& probe,
+                                    const ProbeOptions& options) const {
+  return ContQueries(*this, probe, options);
+}
+
+ProbeResult MvIndex::ScanContaining(const query::BgpQuery& q,
+                                    const ProbeOptions& options) const {
+  containment::PreparedProbe probe =
+      containment::PrepareProbe(q, *dict_);
+  containment::CheckOptions check_options;
+  check_options.verify = options.verify;
+  check_options.max_mappings = options.max_mappings;
+  check_options.max_np_steps = options.max_np_steps;
+
+  ProbeResult result;
+  for (std::uint32_t id = 0; id < entries_.size(); ++id) {
+    if (!entries_[id].alive) continue;
+    containment::CheckOutcome outcome = containment::CheckPrepared(
+        probe, entries_[id].prepared, *dict_, check_options);
+    if (outcome.filter_passed) {
+      ++result.candidates;
+      if (outcome.needed_np) ++result.np_checks;
+    }
+    const bool hit = options.verify ? outcome.contained : outcome.filter_passed;
+    if (hit) {
+      result.contained.push_back(ProbeMatch{id, std::move(outcome)});
+    }
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> MvIndex::FindContainedBy(
+    const query::BgpQuery& q) const {
+  std::vector<std::uint32_t> out;
+  auto stored_q = containment::PrepareStored(q, dict_);
+  if (!stored_q.ok()) return out;
+  for (std::uint32_t id = 0; id < entries_.size(); ++id) {
+    if (!entries_[id].alive) continue;
+    const containment::PreparedProbe probe =
+        containment::PrepareProbe(entries_[id].prepared.canonical, *dict_);
+    if (containment::CheckPrepared(probe, *stored_q, *dict_, {}).contained) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+util::Status MvIndex::MergeFrom(const MvIndex& other) {
+  if (other.dict_ != dict_) {
+    return util::Status::InvalidArgument(
+        "MergeFrom requires indexes sharing one dictionary");
+  }
+  for (std::uint32_t id = 0; id < other.entries_.size(); ++id) {
+    if (!other.entries_[id].alive) continue;
+    for (std::uint64_t external_id : other.entries_[id].external_ids) {
+      RDFC_ASSIGN_OR_RETURN(InsertOutcome outcome,
+                            Insert(other.entries_[id].prepared.canonical,
+                                   external_id));
+      (void)outcome;
+    }
+  }
+  return util::Status::OK();
+}
+
+RadixStats MvIndex::ComputeStats() const { return ComputeRadixStats(root_); }
+
+}  // namespace index
+}  // namespace rdfc

@@ -1,0 +1,172 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "containment/pipeline.h"
+#include "index/radix_node.h"
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+#include "util/status.h"
+
+namespace rdfc {
+namespace index {
+
+/// Probe-time knobs for MvIndex::FindContaining.
+struct ProbeOptions {
+  /// Run the NP verification on candidates that need it (Section 5.1); with
+  /// this off, the probe reports every *candidate* (PTime filter survivors),
+  /// which over-approximates the true answer for non-f-graph probes.
+  bool verify = true;
+  /// Concrete containment mappings to materialise per contained query.
+  std::size_t max_mappings = 0;
+  /// Step cap for each NP verification (0 = unbounded).
+  std::size_t max_np_steps = 0;
+};
+
+/// One indexed query found to contain the probe.
+struct ProbeMatch {
+  std::uint32_t stored_id = 0;
+  containment::CheckOutcome outcome;
+};
+
+/// Result of a containment probe plus the work counters the evaluation
+/// section reports on.
+struct ProbeResult {
+  std::vector<ProbeMatch> contained;
+  std::size_t candidates = 0;      // stored queries whose filter passed
+  std::size_t np_checks = 0;       // candidates that required NP verification
+  std::size_t states_explored = 0; // matcher states advanced during the walk
+};
+
+/// The paper's core contribution: the materialised-view index (Section 4).
+///
+/// A Radix tree over the serialised forms of the indexed queries.  Inserting
+/// N queries that share patterns collapses their common serialised prefixes
+/// into shared edges; probing with a query Q walks the tree once per witness
+/// class of Q, advancing the Algorithm-2 matcher along edge labels and
+/// forking only at branch vertices (Algorithm 3) — so one edge test covers
+/// every indexed query below that edge.
+///
+/// Queries with variable predicates are indexed by their skeleton
+/// serialisation with the var-predicate patterns kept aside (Section 5.2);
+/// queries whose patterns are *all* var-predicate live on a side list and
+/// are checked directly (they have no skeleton to index).
+struct IndexOptions {
+  /// When true, inserted queries are canonically labelled (isomorphism-
+  /// exact, query/canonical_label.h) before serialisation, so isomorphic
+  /// queries dedup onto one entry even when serialisation tie-breaks (raw
+  /// term-id order) would have told them apart.  Costs ~1 µs extra per
+  /// insertion; probe behaviour is unchanged.
+  bool exact_dedup = false;
+};
+
+class MvIndex {
+ public:
+  explicit MvIndex(rdf::TermDictionary* dict, const IndexOptions& options = {})
+      : dict_(dict), options_(options) {}
+  RDFC_DISALLOW_COPY_AND_ASSIGN(MvIndex);
+
+  struct InsertOutcome {
+    std::uint32_t stored_id = 0;
+    bool was_new = false;  // false: the query deduplicated onto an entry
+  };
+
+  /// Inserts (or dedups) a query.  `external_id` is an opaque caller handle
+  /// (e.g. the position in a workload) recorded against the entry.
+  /// Complexity: serialisation O(|W| log |W|) + radix insertion O(|Ws|)
+  /// expected (hash-indexed edges, optimisation III).
+  util::Result<InsertOutcome> Insert(const query::BgpQuery& w,
+                                     std::uint64_t external_id = 0);
+
+  /// Removes a stored entry (a "view dropped" event, the paper's future-work
+  /// maintenance direction).  Walks the entry's serialised path, detaches
+  /// the id, prunes now-empty leaf vertices, and re-merges single-child
+  /// non-query vertices with their parent edge so the Radix invariants
+  /// (distinct first tokens, no redundant unary chains) are restored.
+  /// Returns NotFound for unknown or already-removed ids.  Stored ids are
+  /// never reused; `entry(id)` stays valid for removed ids but `alive(id)`
+  /// turns false.
+  util::Status Remove(std::uint32_t stored_id);
+
+  bool alive(std::uint32_t stored_id) const {
+    return stored_id < entries_.size() && entries_[stored_id].alive;
+  }
+  /// Number of live entries (num_entries() counts all ever stored).
+  std::size_t num_live_entries() const { return num_live_; }
+
+  /// Finds every indexed query W with Q ⊑ W (Theorem 4.2 + Section 5
+  /// extensions).  Runs the tree walk once per witness class of `q`.
+  ProbeResult FindContaining(const query::BgpQuery& q,
+                             const ProbeOptions& options = {}) const;
+
+  /// Overload taking an already-prepared probe (witness + f-graph view),
+  /// for callers that probe the same query against several indexes or
+  /// interleave probes with other per-query work — preparation is the
+  /// fixed per-probe cost.
+  ProbeResult FindContaining(const containment::PreparedProbe& probe,
+                             const ProbeOptions& options = {}) const;
+
+  /// Pairwise baseline: same verdicts, but checks every stored entry
+  /// individually without the shared-prefix tree (the "inefficient to make
+  /// each and every comparison" strawman of Section 4).  Used by the
+  /// ablation bench and the equivalence tests.
+  ProbeResult ScanContaining(const query::BgpQuery& q,
+                             const ProbeOptions& options = {}) const;
+
+  /// The dual direction: every live entry W with W ⊑ q.  The mv-index is
+  /// built for the forward direction, so this is a guarded scan (each entry
+  /// is the probe, q the stored side); it exists for maintenance flows —
+  /// e.g. a cache admitting a broad query can evict the entries it subsumes.
+  /// Cost: O(live entries × pipeline check).
+  std::vector<std::uint32_t> FindContainedBy(const query::BgpQuery& q) const;
+
+  /// Merges every live entry of `other` into this index (set union of the
+  /// stored query sets; external ids carried over, duplicates dedup onto
+  /// existing entries).  Both indexes must share the same dictionary —
+  /// the common case of sharding one workload across builders.
+  util::Status MergeFrom(const MvIndex& other);
+
+  std::size_t num_entries() const { return entries_.size(); }
+  std::size_t num_insertions() const { return num_insertions_; }
+  const containment::PreparedStored& entry(std::uint32_t stored_id) const {
+    return entries_[stored_id].prepared;
+  }
+  const std::vector<std::uint64_t>& external_ids(std::uint32_t stored_id) const {
+    return entries_[stored_id].external_ids;
+  }
+
+  /// Structural statistics (node/edge counts; the paper's Figure 3a x-axis).
+  RadixStats ComputeStats() const;
+  /// Cheap incremental node count (root excluded to match "intermediate
+  /// vertices" reporting; maintained during insertion).
+  std::size_t num_nodes() const { return num_nodes_; }
+
+  const RadixNode& root() const { return root_; }
+  rdf::TermDictionary* dict() const { return dict_; }
+
+  /// Entries that have no indexable skeleton (every pattern has a variable
+  /// predicate); the probe checks these directly.
+  const std::vector<std::uint32_t>& skeleton_free_entries() const {
+    return skeleton_free_;
+  }
+
+ private:
+  struct Entry {
+    containment::PreparedStored prepared;
+    std::vector<std::uint64_t> external_ids;
+    bool alive = true;
+  };
+
+  rdf::TermDictionary* dict_;
+  IndexOptions options_;
+  RadixNode root_;
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> skeleton_free_;  // entries with no skeleton
+  std::size_t num_nodes_ = 1;                 // counts the root
+  std::size_t num_insertions_ = 0;
+  std::size_t num_live_ = 0;
+};
+
+}  // namespace index
+}  // namespace rdfc

@@ -1,0 +1,205 @@
+#include "index/persistence.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace rdfc {
+namespace index {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'D', 'F', 'C', 'I', 'X', '0', '1'};
+
+/// FNV-1a over the payload, to catch truncation/corruption on load.
+class Checksum {
+ public:
+  void Update(const void* data, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 0x100000001B3ull;
+    }
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ull;
+};
+
+class Writer {
+ public:
+  explicit Writer(std::FILE* file) : file_(file) {}
+
+  void U8(std::uint8_t v) { Raw(&v, 1); }
+  void U32(std::uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(std::uint64_t v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void Raw(const void* data, std::size_t n) {
+    checksum_.Update(data, n);
+    ok_ = ok_ && std::fwrite(data, 1, n, file_) == n;
+  }
+  /// Writes the checksum itself (not folded into the running hash).
+  void Finish() {
+    const std::uint64_t sum = checksum_.value();
+    ok_ = ok_ && std::fwrite(&sum, 1, sizeof(sum), file_) == sizeof(sum);
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  std::FILE* file_;
+  Checksum checksum_;
+  bool ok_ = true;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::FILE* file) : file_(file) {}
+
+  bool U8(std::uint8_t* v) { return Raw(v, 1); }
+  bool U32(std::uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(std::uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool Str(std::string* s) {
+    std::uint32_t n = 0;
+    if (!U32(&n)) return false;
+    if (n > (1u << 28)) return false;  // sanity cap: 256 MiB per string
+    s->resize(n);
+    return n == 0 || Raw(s->data(), n);
+  }
+  bool Raw(void* data, std::size_t n) {
+    if (std::fread(data, 1, n, file_) != n) return false;
+    checksum_.Update(data, n);
+    return true;
+  }
+  bool VerifyChecksum() {
+    const std::uint64_t expected = checksum_.value();
+    std::uint64_t stored = 0;
+    if (std::fread(&stored, 1, sizeof(stored), file_) != sizeof(stored)) {
+      return false;
+    }
+    return stored == expected;
+  }
+
+ private:
+  std::FILE* file_;
+  Checksum checksum_;
+};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+util::Status SaveIndex(const MvIndex& index, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return util::Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  const rdf::TermDictionary& dict = *index.dict();
+  Writer w(file.get());
+  w.Raw(kMagic, sizeof(kMagic));
+
+  // Dictionary in id order (slot 0 is the reserved null term; skipped).
+  w.U32(static_cast<std::uint32_t>(dict.size()));
+  for (rdf::TermId id = 1; id < dict.size(); ++id) {
+    w.U8(static_cast<std::uint8_t>(dict.kind(id)));
+    w.Str(dict.lexical(id));
+  }
+
+  // Live entries: canonical patterns + external ids.  The canonical form is
+  // stable across reloads because re-preparation is deterministic.
+  std::uint32_t live = 0;
+  for (std::uint32_t id = 0; id < index.num_entries(); ++id) {
+    live += index.alive(id) ? 1 : 0;
+  }
+  w.U32(live);
+  for (std::uint32_t id = 0; id < index.num_entries(); ++id) {
+    if (!index.alive(id)) continue;
+    const containment::PreparedStored& stored = index.entry(id);
+    w.U32(static_cast<std::uint32_t>(stored.canonical.size()));
+    for (const rdf::Triple& t : stored.canonical.patterns()) {
+      w.U32(t.s);
+      w.U32(t.p);
+      w.U32(t.o);
+    }
+    const auto& externals = index.external_ids(id);
+    w.U32(static_cast<std::uint32_t>(externals.size()));
+    for (std::uint64_t ext : externals) w.U64(ext);
+  }
+  w.Finish();
+  if (!w.ok()) return util::Status::Internal("write failed: " + path);
+  return util::Status::OK();
+}
+
+util::Result<std::unique_ptr<MvIndex>> LoadIndex(const std::string& path,
+                                                 rdf::TermDictionary* dict) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return util::Status::NotFound("cannot open for reading: " + path);
+  }
+  Reader r(file.get());
+  char magic[8];
+  if (!r.Raw(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::ParseError("bad magic in " + path);
+  }
+
+  std::uint32_t dict_size = 0;
+  if (!r.U32(&dict_size)) return util::Status::ParseError("truncated header");
+  // Old id -> new id.  With a fresh dictionary the mapping is the identity,
+  // but re-interning keeps loads into pre-populated dictionaries correct.
+  std::vector<rdf::TermId> remap(dict_size, rdf::kNullTerm);
+  for (std::uint32_t id = 1; id < dict_size; ++id) {
+    std::uint8_t kind = 0;
+    std::string lexical;
+    if (!r.U8(&kind) || !r.Str(&lexical) || kind > 3) {
+      return util::Status::ParseError("truncated dictionary entry");
+    }
+    remap[id] = dict->Intern(static_cast<rdf::TermKind>(kind), lexical);
+  }
+
+  auto index = std::make_unique<MvIndex>(dict);
+  std::uint32_t num_entries = 0;
+  if (!r.U32(&num_entries)) return util::Status::ParseError("truncated body");
+  for (std::uint32_t e = 0; e < num_entries; ++e) {
+    std::uint32_t num_triples = 0;
+    if (!r.U32(&num_triples)) return util::Status::ParseError("truncated entry");
+    query::BgpQuery q;
+    q.set_form(query::QueryForm::kAsk);
+    for (std::uint32_t i = 0; i < num_triples; ++i) {
+      std::uint32_t s = 0, p = 0, o = 0;
+      if (!r.U32(&s) || !r.U32(&p) || !r.U32(&o)) {
+        return util::Status::ParseError("truncated triple");
+      }
+      if (s >= dict_size || p >= dict_size || o >= dict_size) {
+        return util::Status::ParseError("term id out of range");
+      }
+      q.AddPattern(remap[s], remap[p], remap[o]);
+    }
+    std::uint32_t num_externals = 0;
+    if (!r.U32(&num_externals)) {
+      return util::Status::ParseError("truncated externals");
+    }
+    for (std::uint32_t i = 0; i < num_externals; ++i) {
+      std::uint64_t ext = 0;
+      if (!r.U64(&ext)) return util::Status::ParseError("truncated external");
+      RDFC_ASSIGN_OR_RETURN(MvIndex::InsertOutcome outcome,
+                            index->Insert(q, ext));
+      (void)outcome;
+    }
+  }
+  if (!r.VerifyChecksum()) {
+    return util::Status::ParseError("checksum mismatch in " + path);
+  }
+  return index;
+}
+
+}  // namespace index
+}  // namespace rdfc

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "index/mv_index.h"
+#include "rdf/dictionary.h"
+#include "util/status.h"
+
+namespace rdfc {
+namespace index {
+
+/// Binary snapshot of an mv-index.
+///
+/// Format (little-endian, versioned magic header, trailing FNV checksum):
+/// the term dictionary in id order, followed by every *live* stored entry as
+/// its canonical triple list plus external ids.  Loading re-runs the
+/// deterministic preparation pipeline (serialisation + radix insertion), so
+/// the rebuilt tree is structurally identical to the saved one — the file
+/// stays small (no tree encoding) and can never desynchronise from the
+/// insertion logic.
+///
+/// Dead (Remove()d) entries are not persisted; stored ids are therefore NOT
+/// stable across a save/load cycle — external ids are the durable handles.
+util::Status SaveIndex(const MvIndex& index, const std::string& path);
+
+/// Loads a snapshot.  `dict` must be freshly constructed (terms are
+/// re-interned in file order); the returned index points at it.
+util::Result<std::unique_ptr<MvIndex>> LoadIndex(const std::string& path,
+                                                 rdf::TermDictionary* dict);
+
+}  // namespace index
+}  // namespace rdfc

@@ -1,0 +1,29 @@
+#include "index/radix_node.h"
+
+namespace rdfc {
+namespace index {
+
+namespace {
+
+void Accumulate(const RadixNode& node, std::size_t depth, RadixStats* stats) {
+  ++stats->num_nodes;
+  if (node.is_query()) ++stats->num_query_nodes;
+  if (depth > stats->max_depth) stats->max_depth = depth;
+  for (const auto& [first, edge] : node.edges) {
+    (void)first;
+    ++stats->num_edges;
+    stats->total_label_tokens += edge.label.size();
+    Accumulate(*edge.child, depth + 1, stats);
+  }
+}
+
+}  // namespace
+
+RadixStats ComputeRadixStats(const RadixNode& root) {
+  RadixStats stats;
+  Accumulate(root, 0, &stats);
+  return stats;
+}
+
+}  // namespace index
+}  // namespace rdfc

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "query/serialisation.h"
+
+namespace rdfc {
+namespace index {
+
+/// One vertex of the mv-index Radix tree.  Edges carry non-empty token-list
+/// labels; a vertex "corresponds to an actual query inserted into M" (the
+/// paper's L_Q flag) iff `stored_ids` is non-empty.  Several stored entries
+/// can share one vertex: queries whose skeleton serialisations coincide but
+/// whose variable-predicate patterns differ (Section 5.2).
+///
+/// Per optimisation III, edges are hash-indexed by their first token, so
+/// both insertion and the ContQueries walk access the relevant edge in O(1).
+struct RadixNode {
+  struct Edge {
+    std::vector<query::Token> label;
+    std::unique_ptr<RadixNode> child;
+  };
+
+  std::unordered_map<query::Token, Edge, query::TokenHash> edges;
+  std::vector<std::uint32_t> stored_ids;
+
+  bool is_query() const { return !stored_ids.empty(); }
+};
+
+/// Aggregate structural statistics of the tree rooted at `node` (the paper
+/// reports "intermediate vertices" for the combined workload index).
+struct RadixStats {
+  std::size_t num_nodes = 0;        // including the root
+  std::size_t num_edges = 0;
+  std::size_t num_query_nodes = 0;  // nodes with L_Q = true
+  std::size_t total_label_tokens = 0;
+  std::size_t max_depth = 0;        // in edges
+};
+
+RadixStats ComputeRadixStats(const RadixNode& root);
+
+}  // namespace index
+}  // namespace rdfc

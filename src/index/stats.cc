@@ -1,0 +1,41 @@
+#include "index/stats.h"
+
+#include <functional>
+
+namespace rdfc {
+namespace index {
+
+namespace {
+constexpr std::size_t kFanoutCap = 16;
+}  // namespace
+
+DetailedStats ComputeDetailedStats(const MvIndex& index) {
+  DetailedStats stats;
+  stats.basic = index.ComputeStats();
+  stats.fanout_histogram.assign(kFanoutCap + 1, 0);
+
+  std::function<void(const RadixNode&, std::size_t)> walk =
+      [&](const RadixNode& node, std::size_t depth) {
+        if (stats.nodes_per_depth.size() <= depth) {
+          stats.nodes_per_depth.resize(depth + 1, 0);
+        }
+        ++stats.nodes_per_depth[depth];
+        const std::size_t fanout = std::min(node.edges.size(), kFanoutCap);
+        ++stats.fanout_histogram[fanout];
+        for (const auto& [first, edge] : node.edges) {
+          (void)first;
+          stats.label_length.Add(static_cast<double>(edge.label.size()));
+          walk(*edge.child, depth + 1);
+        }
+      };
+  walk(index.root(), 0);
+
+  for (std::uint32_t id = 0; id < index.num_entries(); ++id) {
+    if (!index.alive(id)) continue;
+    stats.total_serialised_tokens += index.entry(id).tokens.size();
+  }
+  return stats;
+}
+
+}  // namespace index
+}  // namespace rdfc

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "index/mv_index.h"
+#include "util/stats.h"
+
+namespace rdfc {
+namespace index {
+
+/// Deep structural statistics of an mv-index, beyond RadixStats: where the
+/// sharing happens (depth/fan-out profiles) and how much of the serialised
+/// corpus the tree actually stores (the compression the paper's Figure 1
+/// illustrates).
+struct DetailedStats {
+  RadixStats basic;
+  /// Vertices at each depth (root = depth 0).
+  std::vector<std::size_t> nodes_per_depth;
+  /// Histogram of per-vertex fan-out; index = number of outgoing edges,
+  /// capped at 16 (last bucket aggregates the tail).
+  std::vector<std::size_t> fanout_histogram;
+  /// Distribution of edge-label lengths in tokens.
+  util::StreamingStats label_length;
+  /// Σ over live entries of their serialised-form length.  The ratio
+  /// against basic.total_label_tokens is the prefix-sharing compression.
+  std::size_t total_serialised_tokens = 0;
+
+  double compression_ratio() const {
+    return basic.total_label_tokens == 0
+               ? 1.0
+               : static_cast<double>(total_serialised_tokens) /
+                     static_cast<double>(basic.total_label_tokens);
+  }
+};
+
+DetailedStats ComputeDetailedStats(const MvIndex& index);
+
+}  // namespace index
+}  // namespace rdfc

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+
+namespace rdfc {
+namespace query {
+
+/// Structural facts about a BGP query that drive the containment machinery
+/// and the workload statistics of the paper's evaluation (Sections 3 and 7).
+struct QueryShape {
+  /// Paper Section 3.1 conditions: no two patterns (s,p,o1),(s,p,o2) with
+  /// o1 != o2 and no two patterns (s1,p,o),(s2,p,o) with s1 != s2.
+  bool is_fgraph = false;
+  /// True when the undirected query multigraph has no cycle (parallel edges
+  /// between the same two vertices and self-loops count as cycles).
+  bool is_acyclic = false;
+  /// True when every predicate position holds an IRI — the precondition for
+  /// the right-hand side of the PTime containment of Section 3.
+  bool only_iri_predicates = false;
+  /// True when at least one predicate position holds a variable.
+  bool has_var_predicates = false;
+  /// Connected components of the query graph *ignoring* triple patterns with
+  /// variable predicates never splits here; this counts components of the
+  /// full graph (predicates connect s and o regardless of their kind).
+  std::uint32_t num_components = 0;
+  std::uint32_t num_vertices = 0;
+  std::uint32_t num_triples = 0;
+};
+
+/// Computes all structural facts in one pass (O(|Q| log |Q|)).
+QueryShape AnalyzeShape(const BgpQuery& query, const rdf::TermDictionary& dict);
+
+/// True iff the query satisfies the f-graph conditions of Section 3.1.
+bool IsFGraph(const BgpQuery& query);
+
+/// True iff the undirected query multigraph is acyclic.
+bool IsAcyclic(const BgpQuery& query);
+
+/// Component id per vertex (indexed like BgpQuery::Vertices()), plus count.
+struct ComponentAssignment {
+  std::vector<rdf::TermId> vertices;        // from BgpQuery::Vertices()
+  std::vector<std::uint32_t> component_of;  // parallel to `vertices`
+  std::uint32_t num_components = 0;
+};
+
+/// Connected components of the query graph where each triple pattern links
+/// its subject and object vertex.  `exclude_var_predicates` drops patterns
+/// whose predicate is a variable first — the decomposition of Section 5.2.
+ComponentAssignment ConnectedComponents(const BgpQuery& query,
+                                        const rdf::TermDictionary& dict,
+                                        bool exclude_var_predicates = false);
+
+/// Splits a query into one BgpQuery per connected component (patterns with
+/// variable predicates excluded when `exclude_var_predicates`).  Patterns
+/// keep their original term ids.  Var-predicate patterns, when excluded, are
+/// returned through `var_pred_patterns` if non-null.
+std::vector<BgpQuery> SplitComponents(
+    const BgpQuery& query, const rdf::TermDictionary& dict,
+    bool exclude_var_predicates = false,
+    std::vector<rdf::Triple>* var_pred_patterns = nullptr);
+
+}  // namespace query
+}  // namespace rdfc

@@ -1,0 +1,66 @@
+#include "query/bgp_query.h"
+
+#include <algorithm>
+
+namespace rdfc {
+namespace query {
+
+bool BgpQuery::AddPattern(const rdf::Triple& pattern) {
+  if (!pattern_set_.insert(pattern).second) return false;
+  patterns_.push_back(pattern);
+  return true;
+}
+
+void BgpQuery::AddDistinguished(rdf::TermId var) {
+  if (std::find(distinguished_.begin(), distinguished_.end(), var) ==
+      distinguished_.end()) {
+    distinguished_.push_back(var);
+  }
+}
+
+std::vector<rdf::TermId> BgpQuery::Vertices() const {
+  std::vector<rdf::TermId> out;
+  std::unordered_set<rdf::TermId> seen;
+  for (const rdf::Triple& t : patterns_) {
+    if (seen.insert(t.s).second) out.push_back(t.s);
+    if (seen.insert(t.o).second) out.push_back(t.o);
+  }
+  return out;
+}
+
+std::vector<rdf::TermId> BgpQuery::Variables(
+    const rdf::TermDictionary& dict) const {
+  std::vector<rdf::TermId> out;
+  std::unordered_set<rdf::TermId> seen;
+  auto consider = [&](rdf::TermId t) {
+    if (dict.IsVariable(t) && seen.insert(t).second) out.push_back(t);
+  };
+  for (const rdf::Triple& t : patterns_) {
+    consider(t.s);
+    consider(t.p);
+    consider(t.o);
+  }
+  return out;
+}
+
+bool BgpQuery::SamePatterns(const BgpQuery& other) const {
+  if (form_ != other.form_) return false;
+  if (patterns_.size() != other.patterns_.size()) return false;
+  for (const rdf::Triple& t : patterns_) {
+    if (!other.ContainsPattern(t)) return false;
+  }
+  return true;
+}
+
+std::string BgpQuery::ToString(const rdf::TermDictionary& dict) const {
+  std::string out = form_ == QueryForm::kAsk ? "ASK {\n" : "SELECT {\n";
+  for (const rdf::Triple& t : patterns_) {
+    out += "  " + dict.ToString(t.s) + " " + dict.ToString(t.p) + " " +
+           dict.ToString(t.o) + " .\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace query
+}  // namespace rdfc

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+
+namespace rdfc {
+namespace query {
+
+/// SELECT queries project distinguished variables; ASK queries are Boolean.
+/// Containment is decided on the Boolean projections (Levy et al.), so most
+/// of the library only looks at the triple patterns.
+enum class QueryForm : std::uint8_t { kSelect, kAsk };
+
+/// A basic-graph-pattern (conjunctive) query over RDF: a set of triple
+/// patterns plus a solution modifier.  Triple patterns are stored in
+/// insertion order with set semantics (duplicates are dropped), matching the
+/// paper's set-based model.
+class BgpQuery {
+ public:
+  BgpQuery() = default;
+
+  /// Adds a pattern; returns false when it was already present.
+  bool AddPattern(const rdf::Triple& pattern);
+  bool AddPattern(rdf::TermId s, rdf::TermId p, rdf::TermId o) {
+    return AddPattern(rdf::Triple(s, p, o));
+  }
+
+  const std::vector<rdf::Triple>& patterns() const { return patterns_; }
+  std::size_t size() const { return patterns_.size(); }
+  bool empty() const { return patterns_.empty(); }
+
+  bool ContainsPattern(const rdf::Triple& pattern) const {
+    return pattern_set_.count(pattern) > 0;
+  }
+
+  QueryForm form() const { return form_; }
+  void set_form(QueryForm form) { form_ = form; }
+
+  /// SELECT * — all variables are distinguished.
+  bool select_all() const { return select_all_; }
+  void set_select_all(bool v) { select_all_ = v; }
+
+  void AddDistinguished(rdf::TermId var);
+  const std::vector<rdf::TermId>& distinguished() const {
+    return distinguished_;
+  }
+
+  /// All vertices of the query graph — terms in subject or object position,
+  /// deduplicated, in first-appearance order.  Predicates are edge labels,
+  /// not vertices (Section 3.2 of the paper).
+  std::vector<rdf::TermId> Vertices() const;
+
+  /// All variables occurring anywhere (including predicate position),
+  /// deduplicated, in first-appearance order.
+  std::vector<rdf::TermId> Variables(const rdf::TermDictionary& dict) const;
+
+  /// Structural equality: same pattern set (order-insensitive) and same form.
+  bool SamePatterns(const BgpQuery& other) const;
+
+  /// Debug rendering, one pattern per line.
+  std::string ToString(const rdf::TermDictionary& dict) const;
+
+ private:
+  std::vector<rdf::Triple> patterns_;
+  std::unordered_set<rdf::Triple, rdf::TripleHash> pattern_set_;
+  std::vector<rdf::TermId> distinguished_;
+  QueryForm form_ = QueryForm::kSelect;
+  bool select_all_ = false;
+};
+
+}  // namespace query
+}  // namespace rdfc

@@ -1,0 +1,253 @@
+#include "query/canonical_label.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <unordered_map>
+
+namespace rdfc {
+namespace query {
+
+namespace {
+
+constexpr std::uint64_t kConstTag = 0x1000000000000000ull;
+constexpr std::uint64_t kVarTag = 0x2000000000000000ull;
+
+class Labeller {
+ public:
+  Labeller(const BgpQuery& q, rdf::TermDictionary* dict)
+      : q_(q), dict_(dict) {
+    for (const rdf::Triple& t : q_.patterns()) {
+      for (rdf::TermId term : {t.s, t.p, t.o}) {
+        if (dict_->IsVariable(term) || dict_->IsBlank(term)) {
+          if (!var_index_.count(term)) {
+            var_index_.emplace(term, static_cast<std::uint32_t>(vars_.size()));
+            vars_.push_back(term);
+          }
+        }
+      }
+    }
+  }
+
+  CanonicalForm Run() {
+    CanonicalForm form;
+    std::vector<std::uint32_t> colours(vars_.size(), 0);
+    Refine(&colours);
+    Search(colours);
+
+    // Materialise the best ranking as canonical variables.
+    std::unordered_map<rdf::TermId, rdf::TermId> rename;
+    for (std::uint32_t i = 0; i < vars_.size(); ++i) {
+      rename.emplace(vars_[i], dict_->CanonicalVariable(best_rank_[i] + 1));
+    }
+    std::vector<std::vector<std::uint64_t>> coded;
+    for (const rdf::Triple& t : q_.patterns()) {
+      coded.push_back(EncodeTriple(t, best_rank_));
+    }
+    std::vector<std::size_t> order(coded.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return coded[a] < coded[b];
+    });
+    for (std::size_t i : order) {
+      const rdf::Triple& t = q_.patterns()[i];
+      auto rn = [&](rdf::TermId term) {
+        auto it = rename.find(term);
+        return it == rename.end() ? term : it->second;
+      };
+      form.triples.push_back(rdf::Triple(rn(t.s), rn(t.p), rn(t.o)));
+    }
+    // FNV digest over the rank-encoded (dictionary-order-independent) code.
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (std::size_t i : order) {
+      for (std::uint64_t v : coded[i]) {
+        h ^= v;
+        h *= 0x100000001B3ull;
+      }
+    }
+    form.hash = h;
+    return form;
+  }
+
+ private:
+  std::uint64_t SlotColour(rdf::TermId term,
+                           const std::vector<std::uint32_t>& colours) const {
+    auto it = var_index_.find(term);
+    if (it == var_index_.end()) return kConstTag | term;
+    return kVarTag | colours[it->second];
+  }
+
+  /// Colour refinement (1-WL): a variable's new colour is determined by its
+  /// old colour plus the sorted multiset of its occurrence signatures.
+  /// New colours are dense ids assigned from the *full* signature, so no
+  /// hash collision can merge distinct classes.
+  void Refine(std::vector<std::uint32_t>* colours) const {
+    std::size_t distinct = CountDistinct(*colours);
+    using Occurrence = std::array<std::uint64_t, 3>;  // (role, other, other)
+    while (true) {
+      std::vector<std::vector<Occurrence>> occurrences(vars_.size());
+      for (const rdf::Triple& t : q_.patterns()) {
+        const std::uint64_t cs = SlotColour(t.s, *colours);
+        const std::uint64_t cp = SlotColour(t.p, *colours);
+        const std::uint64_t co = SlotColour(t.o, *colours);
+        auto add = [&](rdf::TermId term, std::uint64_t role,
+                       std::uint64_t a, std::uint64_t b) {
+          auto it = var_index_.find(term);
+          if (it == var_index_.end()) return;
+          occurrences[it->second].push_back(Occurrence{role, a, b});
+        };
+        add(t.s, 1, cp, co);
+        add(t.p, 2, cs, co);
+        add(t.o, 3, cs, cp);
+      }
+      // Full (collision-free) signature: old colour + sorted occurrence
+      // multiset, flattened.  New colour ids are assigned by SIGNATURE sort
+      // order (not encounter order), which keeps colour values — and hence
+      // the final ranking — isomorphism-invariant: old colours are invariant
+      // by induction (round 0 is all-zero) and occurrence blocks only
+      // reference invariant colours and constant ids.
+      std::map<std::vector<std::uint64_t>, std::uint32_t> dense;
+      std::vector<std::vector<std::uint64_t>> signature_of(vars_.size());
+      for (std::uint32_t i = 0; i < vars_.size(); ++i) {
+        std::sort(occurrences[i].begin(), occurrences[i].end());
+        std::vector<std::uint64_t>& signature = signature_of[i];
+        signature.reserve(1 + occurrences[i].size() * 3);
+        signature.push_back((*colours)[i]);
+        for (const Occurrence& occ : occurrences[i]) {
+          signature.insert(signature.end(), occ.begin(), occ.end());
+        }
+        dense.emplace(signature, 0);
+      }
+      std::uint32_t id = 0;
+      for (auto& [signature, colour] : dense) {
+        (void)signature;
+        colour = id++;
+      }
+      std::vector<std::uint32_t> next(vars_.size());
+      for (std::uint32_t i = 0; i < vars_.size(); ++i) {
+        next[i] = dense[signature_of[i]];
+      }
+      const std::size_t next_distinct = dense.size();
+      *colours = std::move(next);
+      if (next_distinct == distinct) return;  // stable partition
+      distinct = next_distinct;
+    }
+  }
+
+  static std::size_t CountDistinct(const std::vector<std::uint32_t>& colours) {
+    std::vector<std::uint32_t> sorted = colours;
+    std::sort(sorted.begin(), sorted.end());
+    return static_cast<std::size_t>(
+        std::unique(sorted.begin(), sorted.end()) - sorted.begin());
+  }
+
+  /// Ranks variables by colour; requires a discrete partition.
+  std::vector<std::uint32_t> RanksFromColours(
+      const std::vector<std::uint32_t>& colours) const {
+    std::vector<std::uint32_t> order(vars_.size());
+    for (std::uint32_t i = 0; i < vars_.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return colours[a] < colours[b];
+    });
+    std::vector<std::uint32_t> rank(vars_.size());
+    for (std::uint32_t r = 0; r < order.size(); ++r) rank[order[r]] = r;
+    return rank;
+  }
+
+  std::vector<std::uint64_t> EncodeTriple(
+      const rdf::Triple& t, const std::vector<std::uint32_t>& rank) const {
+    auto code = [&](rdf::TermId term) -> std::uint64_t {
+      auto it = var_index_.find(term);
+      if (it == var_index_.end()) return kConstTag | term;
+      return kVarTag | rank[it->second];
+    };
+    return {code(t.s), code(t.p), code(t.o)};
+  }
+
+  /// The full code of the query under a ranking: sorted triple codes.
+  std::vector<std::uint64_t> QueryCode(
+      const std::vector<std::uint32_t>& rank) const {
+    std::vector<std::vector<std::uint64_t>> coded;
+    for (const rdf::Triple& t : q_.patterns()) {
+      coded.push_back(EncodeTriple(t, rank));
+    }
+    std::sort(coded.begin(), coded.end());
+    std::vector<std::uint64_t> flat;
+    for (const auto& c : coded) flat.insert(flat.end(), c.begin(), c.end());
+    return flat;
+  }
+
+  /// Individualisation-refinement: branch over the members of the smallest
+  /// non-singleton colour class, keep the lexicographically smallest code.
+  void Search(std::vector<std::uint32_t> colours) {
+    // Find the smallest non-singleton class (by colour value for
+    // determinism).
+    std::map<std::uint32_t, std::vector<std::uint32_t>> classes;
+    for (std::uint32_t i = 0; i < vars_.size(); ++i) {
+      classes[colours[i]].push_back(i);
+    }
+    const std::vector<std::uint32_t>* target = nullptr;
+    for (const auto& [colour, members] : classes) {
+      (void)colour;
+      if (members.size() > 1 &&
+          (target == nullptr || members.size() < target->size())) {
+        target = &members;
+      }
+    }
+    if (target == nullptr) {
+      // Discrete: evaluate this candidate.
+      ++leaves_;
+      const std::vector<std::uint32_t> rank = RanksFromColours(colours);
+      std::vector<std::uint64_t> code = QueryCode(rank);
+      if (best_code_.empty() || code < best_code_) {
+        best_code_ = std::move(code);
+        best_rank_ = rank;
+      }
+      return;
+    }
+    const std::vector<std::uint32_t> members = *target;  // copy: classes dies
+    for (std::uint32_t member : members) {
+      // Branching cap: a large symmetric class (e.g. a k-arm same-predicate
+      // star) would otherwise explore k! leaves.  Past the cap the result is
+      // still deterministic for a given pattern set but only *best-effort*
+      // canonical: isomorphic inputs may fail to share a form, which costs a
+      // missed dedup / a false-negative AreIsomorphic — never a false
+      // positive and never a containment error.  Real query workloads stay
+      // far below the cap (a class of 7 fully symmetric variables already
+      // needs 5040 leaves).
+      if (leaves_ >= kMaxLeaves) return;
+      std::vector<std::uint32_t> branched = colours;
+      // Individualise: give `member` a colour below every existing one.
+      for (std::uint32_t& c : branched) ++c;
+      branched[member] = 0;
+      Refine(&branched);
+      Search(std::move(branched));
+    }
+  }
+
+  static constexpr std::size_t kMaxLeaves = 4096;
+  std::size_t leaves_ = 0;
+
+  const BgpQuery& q_;
+  rdf::TermDictionary* dict_;
+  std::vector<rdf::TermId> vars_;
+  std::unordered_map<rdf::TermId, std::uint32_t> var_index_;
+  std::vector<std::uint64_t> best_code_;
+  std::vector<std::uint32_t> best_rank_;
+};
+
+}  // namespace
+
+CanonicalForm CanonicalLabel(const BgpQuery& q, rdf::TermDictionary* dict) {
+  Labeller labeller(q, dict);
+  return labeller.Run();
+}
+
+bool AreIsomorphic(const BgpQuery& a, const BgpQuery& b,
+                   rdf::TermDictionary* dict) {
+  if (a.size() != b.size()) return false;
+  return CanonicalLabel(a, dict) == CanonicalLabel(b, dict);
+}
+
+}  // namespace query
+}  // namespace rdfc

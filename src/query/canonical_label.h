@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+
+namespace rdfc {
+namespace query {
+
+/// A canonical form of a BGP query under variable renaming: the pattern set
+/// with variables renamed to canonical `?x1..?xk` such that any two
+/// isomorphic queries (equal up to a bijective variable renaming) produce
+/// the *same* form, and non-isomorphic queries produce different forms.
+///
+/// This is stronger than the serialisation-based canonicalisation the
+/// mv-index uses for dedup: serialisation breaks anchor/sibling ties by raw
+/// term ids, so isomorphic queries interned in different orders can —
+/// rarely — serialise differently.  Canonical labelling closes that gap
+/// (the canonical-labelling strategy of the SPARQL caches in the paper's
+/// related work [56]); tests/query/canonical_label_test.cc verifies the
+/// iso-invariance property against explicit permutation oracles.
+struct CanonicalForm {
+  /// Patterns with variables canonically renamed, sorted lexicographically.
+  std::vector<rdf::Triple> triples;
+  /// Order-independent 64-bit digest of `triples` (fast inequality test).
+  std::uint64_t hash = 0;
+
+  bool operator==(const CanonicalForm& other) const {
+    return hash == other.hash && triples == other.triples;
+  }
+};
+
+/// Computes the canonical form via colour refinement (1-WL over the
+/// occurrence structure) with individualisation-refinement branching on
+/// ties.  Exponential only on highly symmetric queries, which real
+/// workloads do not contain; cost is O(k · |Q| log |Q|) refinement passes
+/// otherwise.  Variables in predicate position participate fully.
+CanonicalForm CanonicalLabel(const BgpQuery& q, rdf::TermDictionary* dict);
+
+/// True iff the two queries are equal up to a bijective variable renaming.
+bool AreIsomorphic(const BgpQuery& a, const BgpQuery& b,
+                   rdf::TermDictionary* dict);
+
+}  // namespace query
+}  // namespace rdfc

@@ -1,0 +1,269 @@
+#include "query/serialisation.h"
+
+#include <algorithm>
+
+#include "query/analysis.h"
+
+namespace rdfc {
+namespace query {
+
+namespace {
+
+struct EdgeRef {
+  std::uint32_t pattern_idx;
+  bool inverse;        // true: the triple is (other, pred, v)
+  rdf::TermId pred;
+  rdf::TermId other;
+};
+
+/// Total order on tokens used (a) to order sibling pairs in the serialised
+/// form (optimisation I) and (b) to order components deterministically.
+bool TokenLess(const Token& a, const Token& b) {
+  if (a.type != b.type) return a.type < b.type;
+  if (a.pred != b.pred) return a.pred < b.pred;
+  if (a.inverse != b.inverse) return !a.inverse;  // forward before inverse
+  return a.term < b.term;
+}
+
+bool TokenStreamLess(const std::vector<Token>& a, const std::vector<Token>& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end(),
+                                      TokenLess);
+}
+
+class ComponentSerialiser {
+ public:
+  ComponentSerialiser(const BgpQuery& component, rdf::TermDictionary* dict)
+      : component_(component), dict_(dict) {}
+
+  void Run(rdf::TermId anchor, std::vector<Token>* out) {
+    BuildAdjacency();
+    out_ = out;
+    emitted_.assign(component_.size(), false);
+    visited_.clear();
+    visited_.insert(anchor);
+    out_->push_back(Token::Anchor(anchor));
+    Visit(anchor);
+  }
+
+ private:
+  void BuildAdjacency() {
+    const auto& patterns = component_.patterns();
+    for (std::uint32_t i = 0; i < patterns.size(); ++i) {
+      const rdf::Triple& t = patterns[i];
+      adjacency_[t.s].push_back(EdgeRef{i, false, t.p, t.o});
+      if (t.o != t.s) {
+        adjacency_[t.o].push_back(EdgeRef{i, true, t.p, t.s});
+      }
+    }
+    // Optimisation I: impose a total order on ⟨r, o⟩ pairs — predicate first,
+    // forward before inverse, constant targets before variables (constants
+    // prune index probes earlier), then constant id, then input order.
+    for (auto& [vertex, edges] : adjacency_) {
+      (void)vertex;
+      std::sort(edges.begin(), edges.end(),
+                [this](const EdgeRef& a, const EdgeRef& b) {
+                  if (a.pred != b.pred) return a.pred < b.pred;
+                  if (a.inverse != b.inverse) return !a.inverse;
+                  const bool ac = dict_->IsConstant(a.other);
+                  const bool bc = dict_->IsConstant(b.other);
+                  if (ac != bc) return ac;
+                  if (ac && a.other != b.other) return a.other < b.other;
+                  return a.pattern_idx < b.pattern_idx;
+                });
+    }
+  }
+
+  void Visit(rdf::TermId v) {
+    auto it = adjacency_.find(v);
+    if (it == adjacency_.end()) return;
+    // Anything already emitted by a deeper recursive call is skipped; the
+    // check must be re-evaluated per edge, not precomputed, because the
+    // recursion below can consume later edges of this very vertex.
+    bool any_left = false;
+    for (const EdgeRef& e : it->second) {
+      if (!emitted_[e.pattern_idx]) {
+        any_left = true;
+        break;
+      }
+    }
+    if (!any_left) return;
+
+    out_->push_back(Token::Open());
+    for (const EdgeRef& e : it->second) {
+      if (emitted_[e.pattern_idx]) continue;
+      emitted_[e.pattern_idx] = true;
+      out_->push_back(Token::Pair(e.pred, e.other, e.inverse));
+      if (visited_.insert(e.other).second) {
+        Visit(e.other);
+      }
+      // An already-visited target is a cycle-closing edge: the pair alone
+      // encodes the constraint (DESIGN.md, deviation 1).
+    }
+    out_->push_back(Token::Close());
+  }
+
+  const BgpQuery& component_;
+  rdf::TermDictionary* dict_;
+  std::vector<Token>* out_ = nullptr;
+  std::unordered_map<rdf::TermId, std::vector<EdgeRef>> adjacency_;
+  std::vector<bool> emitted_;
+  std::unordered_set<rdf::TermId> visited_;
+};
+
+}  // namespace
+
+rdf::TermId CanonicalMap::Canonicalise(rdf::TermId term) {
+  // Blank nodes in query patterns are existential variables (SPARQL
+  // semantics) and MUST be canonicalised like variables: the index walk
+  // enumerates candidate tokens over canonical variables and constants only,
+  // so an un-canonicalised blank token could never be matched.
+  if (!dict_->IsVariable(term) && !dict_->IsBlank(term)) return term;
+  auto it = canon_of_.find(term);
+  if (it != canon_of_.end()) return it->second;
+  const auto k = static_cast<std::uint32_t>(original_of_.size()) + 1;
+  const rdf::TermId canon = dict_->CanonicalVariable(k);
+  canon_of_.emplace(term, canon);
+  original_of_.emplace(canon, term);
+  return canon;
+}
+
+rdf::TermId CanonicalMap::OriginalOf(rdf::TermId canonical_var) const {
+  auto it = original_of_.find(canonical_var);
+  return it == original_of_.end() ? rdf::kNullTerm : it->second;
+}
+
+rdf::TermId ChooseAnchor(const BgpQuery& component) {
+  struct Candidate {
+    rdf::TermId term = rdf::kNullTerm;
+    std::size_t degree = 0;
+    std::vector<std::uint64_t> signature;  // sorted (pred, dir) keys
+  };
+  std::unordered_map<rdf::TermId, Candidate> candidates;
+  auto touch = [&](rdf::TermId v, rdf::TermId pred, bool inverse) {
+    Candidate& c = candidates[v];
+    c.term = v;
+    ++c.degree;
+    c.signature.push_back((static_cast<std::uint64_t>(pred) << 1) |
+                          (inverse ? 1u : 0u));
+  };
+  for (const rdf::Triple& t : component.patterns()) {
+    touch(t.s, t.p, false);
+    touch(t.o, t.p, true);
+  }
+  Candidate best;
+  for (auto& [term, c] : candidates) {
+    (void)term;
+    std::sort(c.signature.begin(), c.signature.end());
+    if (best.term == rdf::kNullTerm) {
+      best = c;
+      continue;
+    }
+    if (c.degree != best.degree) {
+      if (c.degree > best.degree) best = c;
+      continue;
+    }
+    if (c.signature != best.signature) {
+      if (c.signature < best.signature) best = c;
+      continue;
+    }
+    if (c.term < best.term) best = c;
+  }
+  return best.term;
+}
+
+util::Status SerialiseComponent(const BgpQuery& component,
+                                rdf::TermDictionary* dict, rdf::TermId anchor,
+                                CanonicalMap* canonical,
+                                std::vector<Token>* out) {
+  if (component.empty()) {
+    return util::Status::InvalidArgument("cannot serialise an empty component");
+  }
+  std::vector<Token> raw;
+  ComponentSerialiser serialiser(component, dict);
+  serialiser.Run(anchor, &raw);
+  for (Token& tok : raw) {
+    if ((tok.type == TokenType::kAnchor || tok.type == TokenType::kPair) &&
+        canonical != nullptr) {
+      tok.term = canonical->Canonicalise(tok.term);
+    }
+    out->push_back(tok);
+  }
+  return util::Status::OK();
+}
+
+util::Result<SerialisedQuery> SerialiseQuery(const BgpQuery& query,
+                                             rdf::TermDictionary* dict,
+                                             CanonicalMap* canonical) {
+  if (query.empty()) {
+    return util::Status::InvalidArgument("cannot serialise an empty query");
+  }
+  for (const rdf::Triple& t : query.patterns()) {
+    if (dict->IsVariable(t.p)) {
+      return util::Status::InvalidArgument(
+          "variable predicates must be stripped before serialisation "
+          "(Section 5.2)");
+    }
+  }
+  std::vector<BgpQuery> components = SplitComponents(query, *dict);
+
+  // Serialise each component with original variable names, order the
+  // component streams deterministically, then canonicalise variables across
+  // the concatenated stream so `?x1` is the first variable of the first
+  // component (optimisation II).  Note: the per-component ordering uses raw
+  // term ids, so isomorphic multi-component queries with different raw ids
+  // may order differently — multi-component queries only arise via
+  // Section 5.2 and never dedup across workloads anyway.
+  std::vector<std::vector<Token>> streams;
+  streams.reserve(components.size());
+  for (const BgpQuery& component : components) {
+    std::vector<Token> raw;
+    const rdf::TermId anchor = ChooseAnchor(component);
+    ComponentSerialiser serialiser(component, dict);
+    serialiser.Run(anchor, &raw);
+    streams.push_back(std::move(raw));
+  }
+  std::sort(streams.begin(), streams.end(), TokenStreamLess);
+
+  SerialisedQuery out;
+  out.num_components = static_cast<std::uint32_t>(streams.size());
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    if (i > 0) out.tokens.push_back(Token::Separator());
+    for (Token& tok : streams[i]) {
+      if (tok.type == TokenType::kAnchor || tok.type == TokenType::kPair) {
+        if (canonical != nullptr) tok.term = canonical->Canonicalise(tok.term);
+      }
+      out.tokens.push_back(tok);
+    }
+  }
+  return out;
+}
+
+std::string TokensToString(const std::vector<Token>& tokens,
+                           const rdf::TermDictionary& dict) {
+  std::string out;
+  for (const Token& tok : tokens) {
+    if (!out.empty()) out += ' ';
+    switch (tok.type) {
+      case TokenType::kAnchor:
+        out += dict.ToString(tok.term);
+        break;
+      case TokenType::kPair:
+        out += "<" + dict.lexical(tok.pred) + (tok.inverse ? ">⁻¹:" : ">:") +
+               dict.ToString(tok.term);
+        break;
+      case TokenType::kOpen:
+        out += "(";
+        break;
+      case TokenType::kClose:
+        out += ")";
+        break;
+      case TokenType::kSeparator:
+        out += "||";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace query
+}  // namespace rdfc

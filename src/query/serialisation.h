@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+#include "util/status.h"
+
+namespace rdfc {
+namespace query {
+
+/// Alphabet of the serialised form (Section 3.2).  A serialised query is a
+/// list of tokens: the anchor term, `⟨p,o⟩` / `⟨p⁻¹,s⟩` pairs, parenthesis
+/// delimiters for nested subgraphs, and — for multi-component queries arising
+/// in Section 5.2 — a component separator followed by the next component's
+/// anchor.
+enum class TokenType : std::uint8_t {
+  kAnchor,     // a term: the anchor vertex of a (sub-)serialisation
+  kPair,       // ⟨p,o⟩ (inverse=false) or ⟨p⁻¹,s⟩ (inverse=true)
+  kOpen,       // (
+  kClose,      // )
+  kSeparator,  // component boundary; the next token is a kAnchor
+};
+
+struct Token {
+  TokenType type = TokenType::kOpen;
+  bool inverse = false;       // only for kPair
+  rdf::TermId pred = rdf::kNullTerm;  // only for kPair
+  rdf::TermId term = rdf::kNullTerm;  // kAnchor: anchor term; kPair: target
+
+  static Token Anchor(rdf::TermId term) {
+    Token t;
+    t.type = TokenType::kAnchor;
+    t.term = term;
+    return t;
+  }
+  static Token Pair(rdf::TermId pred, rdf::TermId term, bool inverse) {
+    Token t;
+    t.type = TokenType::kPair;
+    t.pred = pred;
+    t.term = term;
+    t.inverse = inverse;
+    return t;
+  }
+  static Token Open() { return Token{TokenType::kOpen, false, 0, 0}; }
+  static Token Close() { return Token{TokenType::kClose, false, 0, 0}; }
+  static Token Separator() { return Token{TokenType::kSeparator, false, 0, 0}; }
+
+  bool operator==(const Token& other) const {
+    return type == other.type && inverse == other.inverse &&
+           pred == other.pred && term == other.term;
+  }
+};
+
+struct TokenHash {
+  std::size_t operator()(const Token& t) const {
+    std::uint64_t h = static_cast<std::uint64_t>(t.type) |
+                      (static_cast<std::uint64_t>(t.inverse) << 8);
+    h = h * 0x9E3779B97F4A7C15ull + t.pred;
+    h = h * 0x9E3779B97F4A7C15ull + t.term;
+    h ^= h >> 31;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Maps original variables to canonical `?x1, ?x2, ...` in first-appearance
+/// order (optimisation II of Section 4.2) and remembers the inverse mapping.
+class CanonicalMap {
+ public:
+  explicit CanonicalMap(rdf::TermDictionary* dict) : dict_(dict) {}
+
+  /// Canonical rendering of `term`: canonical variable for variables,
+  /// identity for constants/blanks.
+  rdf::TermId Canonicalise(rdf::TermId term);
+
+  /// Original term for a canonical variable, kNullTerm if unknown.
+  rdf::TermId OriginalOf(rdf::TermId canonical_var) const;
+
+  std::uint32_t num_variables() const {
+    return static_cast<std::uint32_t>(original_of_.size());
+  }
+
+  /// Full canonical-variable -> original-variable mapping.
+  const std::unordered_map<rdf::TermId, rdf::TermId>& original_map() const {
+    return original_of_;
+  }
+
+ private:
+  rdf::TermDictionary* dict_;
+  std::unordered_map<rdf::TermId, rdf::TermId> canon_of_;
+  std::unordered_map<rdf::TermId, rdf::TermId> original_of_;
+};
+
+/// Serialisation output: token stream plus the variable renaming used.
+struct SerialisedQuery {
+  std::vector<Token> tokens;
+  std::uint32_t num_components = 0;
+};
+
+/// Deterministic anchor selection for a connected component: highest degree,
+/// then lexicographically smallest incident (pred, direction) signature, then
+/// smallest term id.  Deterministic anchors are what let recurring queries
+/// dedup to the same radix path.
+rdf::TermId ChooseAnchor(const BgpQuery& component);
+
+/// Algorithm 1 with the losslessness fix described in DESIGN.md: every
+/// triple pattern is emitted exactly once; pairs whose target vertex was
+/// already visited encode cycle-closing edges.  `component` must be a single
+/// connected component with no variable predicates.  Appends to `out`.
+util::Status SerialiseComponent(const BgpQuery& component,
+                                rdf::TermDictionary* dict, rdf::TermId anchor,
+                                CanonicalMap* canonical,
+                                std::vector<Token>* out);
+
+/// Serialises an arbitrary BGP query with IRI predicates: each connected
+/// component is serialised from its deterministic anchor; components are
+/// joined with kSeparator tokens in a deterministic order (by first token).
+/// Returns InvalidArgument when the query has variable predicates (callers
+/// strip those first, Section 5.2) or is empty.
+util::Result<SerialisedQuery> SerialiseQuery(const BgpQuery& query,
+                                             rdf::TermDictionary* dict,
+                                             CanonicalMap* canonical);
+
+/// Debug/golden rendering, e.g. `?x1 ( <fromAlbum>:?x2 ( <name>:?x3 ) )`.
+std::string TokensToString(const std::vector<Token>& tokens,
+                           const rdf::TermDictionary& dict);
+
+}  // namespace query
+}  // namespace rdfc

@@ -1,0 +1,127 @@
+#include "query/witness.h"
+
+#include <unordered_set>
+
+#include "util/union_find.h"
+
+namespace rdfc {
+namespace query {
+
+namespace {
+
+struct U64Hash {
+  std::size_t operator()(std::uint64_t v) const {
+    v ^= v >> 33;
+    v *= 0xFF51AFD7ED558CCDull;
+    v ^= v >> 33;
+    return static_cast<std::size_t>(v);
+  }
+};
+
+}  // namespace
+
+Witness BuildWitness(const BgpQuery& query) {
+  Witness out;
+  const std::vector<rdf::TermId> vertices = query.Vertices();
+  std::unordered_map<rdf::TermId, std::uint32_t> index_of;
+  index_of.reserve(vertices.size());
+  for (std::uint32_t i = 0; i < vertices.size(); ++i) index_of[vertices[i]] = i;
+
+  util::UnionFind uf(vertices.size());
+
+  // Fix-point congruence closure: condition (i) forces all objects of a
+  // (subject-class, predicate) pair into one class; condition (ii) the dual.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::unordered_map<std::uint64_t, std::uint32_t, U64Hash> sp_to_o;
+    std::unordered_map<std::uint64_t, std::uint32_t, U64Hash> po_to_s;
+    sp_to_o.reserve(query.size() * 2);
+    po_to_s.reserve(query.size() * 2);
+    for (const rdf::Triple& t : query.patterns()) {
+      const std::uint32_t rs = uf.Find(index_of[t.s]);
+      const std::uint32_t ro = uf.Find(index_of[t.o]);
+      const std::uint64_t sp_key =
+          (static_cast<std::uint64_t>(rs) << 32) | t.p;
+      auto [it1, fresh1] = sp_to_o.emplace(sp_key, ro);
+      if (!fresh1 && uf.Find(it1->second) != uf.Find(ro)) {
+        uf.Union(it1->second, ro);
+        changed = true;
+      }
+      const std::uint64_t po_key =
+          (static_cast<std::uint64_t>(t.p) << 32) | uf.Find(ro);
+      auto [it2, fresh2] = po_to_s.emplace(po_key, rs);
+      if (!fresh2 && uf.Find(it2->second) != uf.Find(rs)) {
+        uf.Union(it2->second, rs);
+        changed = true;
+      }
+    }
+  }
+
+  // Densify class ids in first-appearance order of their representatives.
+  std::unordered_map<std::uint32_t, std::uint32_t> dense;
+  for (std::uint32_t i = 0; i < vertices.size(); ++i) {
+    const std::uint32_t root = uf.Find(i);
+    auto [it, fresh] = dense.emplace(root, out.num_classes);
+    if (fresh) {
+      ++out.num_classes;
+      out.class_members.emplace_back();
+    }
+    out.class_members[it->second].push_back(vertices[i]);
+    out.class_of_term[vertices[i]] = it->second;
+  }
+
+  // Witness triples, deduplicated (equality on the full (s, p, o) identity).
+  struct WTripleHash {
+    std::size_t operator()(const Witness::WTriple& t) const {
+      std::uint64_t h = t.s;
+      h = h * 0x9E3779B97F4A7C15ull + t.p;
+      h = h * 0x9E3779B97F4A7C15ull + t.o;
+      h ^= h >> 29;
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::unordered_set<Witness::WTriple, WTripleHash> seen;
+  for (const rdf::Triple& t : query.patterns()) {
+    Witness::WTriple wt{out.class_of_term[t.s], t.p, out.class_of_term[t.o]};
+    if (seen.insert(wt).second) out.triples.push_back(wt);
+  }
+
+  // Saturating ND-degree.
+  out.nd_degree = 1;
+  for (const auto& members : out.class_members) {
+    const auto size = static_cast<std::uint64_t>(members.size());
+    if (size == 0) continue;
+    if (out.nd_degree > UINT64_MAX / size) {
+      out.nd_degree = UINT64_MAX;
+      break;
+    }
+    out.nd_degree *= size;
+  }
+  return out;
+}
+
+std::uint64_t NdDegree(const BgpQuery& query) {
+  return BuildWitness(query).nd_degree;
+}
+
+std::string Witness::ToString(const rdf::TermDictionary& dict) const {
+  std::string out = "witness(" + std::to_string(num_classes) + " classes, nd=" +
+                    std::to_string(nd_degree) + ")\n";
+  for (std::uint32_t c = 0; c < num_classes; ++c) {
+    out += "  [" + std::to_string(c) + "] = {";
+    for (std::size_t i = 0; i < class_members[c].size(); ++i) {
+      if (i) out += ", ";
+      out += dict.ToString(class_members[c][i]);
+    }
+    out += "}\n";
+  }
+  for (const WTriple& t : triples) {
+    out += "  (" + std::to_string(t.s) + ", " + dict.ToString(t.p) + ", " +
+           std::to_string(t.o) + ")\n";
+  }
+  return out;
+}
+
+}  // namespace query
+}  // namespace rdfc

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+
+namespace rdfc {
+namespace query {
+
+/// The f-graph witness of a BGP query (Section 5.1): vertices of the query
+/// are merged into equivalence classes until the f-graph conditions hold.
+///
+/// The paper defines ∼ by a single scan of violating pattern pairs; as
+/// DESIGN.md explains, merging can create new violations among neighbours,
+/// so this implementation runs the merge to a fix point (congruence
+/// closure).  Every merge it performs is forced: if (s,p,o1),(s,p,o2) are
+/// patterns and σ is any containment mapping W→Q, no *f-graph structured*
+/// matching can distinguish o1 from o2 — which is exactly why
+/// Q ⊑ W ⇒ Q_w ⊑ W (Proposition 5.1) survives the fix point.
+struct Witness {
+  static constexpr std::uint32_t kInvalidClass = 0xFFFFFFFFu;
+
+  /// Triple over witness classes; the predicate keeps its original term id.
+  struct WTriple {
+    std::uint32_t s;
+    rdf::TermId p;
+    std::uint32_t o;
+    bool operator==(const WTriple& other) const {
+      return s == other.s && p == other.p && o == other.o;
+    }
+  };
+
+  std::uint32_t num_classes = 0;
+  /// Class members, indexed by class id; members are original term ids in
+  /// first-appearance order.
+  std::vector<std::vector<rdf::TermId>> class_members;
+  /// Original vertex term -> class id (covers constants and variables).
+  std::unordered_map<rdf::TermId, std::uint32_t> class_of_term;
+  /// Deduplicated witness triples.
+  std::vector<WTriple> triples;
+  /// Π |class| over all classes, saturating at UINT64_MAX (Section 5.1).
+  /// 1 iff the source query was already an f-graph on its vertices.
+  std::uint64_t nd_degree = 1;
+
+  std::uint32_t ClassOf(rdf::TermId term) const {
+    auto it = class_of_term.find(term);
+    return it == class_of_term.end() ? kInvalidClass : it->second;
+  }
+
+  std::string ToString(const rdf::TermDictionary& dict) const;
+};
+
+/// Builds the f-graph witness of `query`.  Works for any BGP query,
+/// including variable predicates (the predicate term participates in the
+/// conditions as a label, exactly as in the definition).
+Witness BuildWitness(const BgpQuery& query);
+
+/// The ND-degree of a query (Section 5.1): the product of the equivalence
+/// class sizes of its witness; 1 for f-graph queries.  Computable in linear
+/// time, unlike query width (see Related Work).
+std::uint64_t NdDegree(const BgpQuery& query);
+
+}  // namespace query
+}  // namespace rdfc

@@ -1,0 +1,60 @@
+#include "rdf/dictionary.h"
+
+namespace rdfc {
+namespace rdf {
+
+TermDictionary::TermDictionary() {
+  // Reserve slot 0 as the invalid/null term.
+  lexicals_.emplace_back();
+  kinds_.push_back(TermKind::kIri);
+}
+
+TermId TermDictionary::Intern(TermKind kind, std::string_view lexical) {
+  Term probe{kind, std::string(lexical)};
+  auto it = ids_.find(probe);
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<TermId>(lexicals_.size());
+  lexicals_.push_back(probe.lexical);
+  kinds_.push_back(kind);
+  ids_.emplace(std::move(probe), id);
+  return id;
+}
+
+TermId TermDictionary::CanonicalVariable(std::uint32_t k) {
+  RDFC_DCHECK(k >= 1);
+  if (k < canonical_vars_.size() && canonical_vars_[k] != kNullTerm) {
+    return canonical_vars_[k];
+  }
+  const TermId id = MakeVariable("x" + std::to_string(k));
+  if (canonical_vars_.size() <= k) canonical_vars_.resize(k + 1, kNullTerm);
+  canonical_vars_[k] = id;
+  return id;
+}
+
+void TermDictionary::EnsureCanonicalVariables(std::uint32_t k) {
+  for (std::uint32_t i = 1; i <= k; ++i) CanonicalVariable(i);
+}
+
+TermId TermDictionary::Lookup(TermKind kind, std::string_view lexical) const {
+  Term probe{kind, std::string(lexical)};
+  auto it = ids_.find(probe);
+  return it == ids_.end() ? kNullTerm : it->second;
+}
+
+std::string TermDictionary::ToString(TermId id) const {
+  if (id == kNullTerm) return "<null>";
+  switch (kind(id)) {
+    case TermKind::kIri:
+      return "<" + lexical(id) + ">";
+    case TermKind::kLiteral:
+      return lexical(id);  // Literals keep their quoting in the lexical form.
+    case TermKind::kBlank:
+      return "_:" + lexical(id);
+    case TermKind::kVariable:
+      return "?" + lexical(id);
+  }
+  return "<?>";
+}
+
+}  // namespace rdf
+}  // namespace rdfc

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+#include "util/macros.h"
+
+namespace rdfc {
+namespace rdf {
+
+/// Interning dictionary mapping RDF terms to dense TermIds and back.
+/// All queries, graphs, serialised tokens, and index structures in this
+/// library share one dictionary so that term comparison is an integer
+/// comparison — the same trick every production RDF store (RDF-3X,
+/// HexaStore, ...) plays.
+///
+/// Not thread-safe; the reproduction is single-threaded like the paper's
+/// evaluation ("a single core was used").
+class TermDictionary {
+ public:
+  TermDictionary();
+  RDFC_DISALLOW_COPY_AND_ASSIGN(TermDictionary);
+
+  /// Interns (kind, lexical), returning an existing id when already present.
+  TermId Intern(TermKind kind, std::string_view lexical);
+
+  TermId MakeIri(std::string_view iri) { return Intern(TermKind::kIri, iri); }
+  TermId MakeLiteral(std::string_view lex) {
+    return Intern(TermKind::kLiteral, lex);
+  }
+  TermId MakeBlank(std::string_view label) {
+    return Intern(TermKind::kBlank, label);
+  }
+  TermId MakeVariable(std::string_view name) {
+    return Intern(TermKind::kVariable, name);
+  }
+
+  /// The k-th canonical variable `?xk` (k >= 1), used by serialisation
+  /// optimisation II (variables renamed in first-appearance order).
+  TermId CanonicalVariable(std::uint32_t k);
+
+  /// Interns canonical variables 1..k eagerly, so read-only consumers (the
+  /// index walk) can use CanonicalVariableIfKnown without mutating the
+  /// dictionary.
+  void EnsureCanonicalVariables(std::uint32_t k);
+
+  /// Like CanonicalVariable but never interns: returns kNullTerm when ?xk
+  /// has not been created yet.  Safe on a const dictionary.
+  TermId CanonicalVariableIfKnown(std::uint32_t k) const {
+    if (k < canonical_vars_.size() && canonical_vars_[k] != kNullTerm) {
+      return canonical_vars_[k];
+    }
+    return kNullTerm;
+  }
+
+  /// Returns kNullTerm when (kind, lexical) has never been interned.
+  TermId Lookup(TermKind kind, std::string_view lexical) const;
+
+  TermKind kind(TermId id) const {
+    RDFC_DCHECK(Valid(id));
+    return kinds_[id];
+  }
+  const std::string& lexical(TermId id) const {
+    RDFC_DCHECK(Valid(id));
+    return lexicals_[id];
+  }
+
+  bool IsVariable(TermId id) const { return kind(id) == TermKind::kVariable; }
+  bool IsIri(TermId id) const { return kind(id) == TermKind::kIri; }
+  bool IsLiteral(TermId id) const { return kind(id) == TermKind::kLiteral; }
+  bool IsBlank(TermId id) const { return kind(id) == TermKind::kBlank; }
+  /// IRIs and literals are "constants" for containment purposes: a
+  /// containment mapping must map them to themselves.
+  bool IsConstant(TermId id) const {
+    const TermKind k = kind(id);
+    return k == TermKind::kIri || k == TermKind::kLiteral;
+  }
+
+  /// Human-readable rendering: `<iri>`, `"literal"`, `?var`, `_:blank`.
+  std::string ToString(TermId id) const;
+
+  /// Number of interned terms (including the reserved null slot).
+  std::size_t size() const { return lexicals_.size(); }
+
+  bool Valid(TermId id) const { return id != kNullTerm && id < lexicals_.size(); }
+
+ private:
+  std::unordered_map<Term, TermId, TermHash> ids_;
+  std::vector<std::string> lexicals_;
+  std::vector<TermKind> kinds_;
+  std::vector<TermId> canonical_vars_;  // cache for CanonicalVariable
+};
+
+}  // namespace rdf
+}  // namespace rdfc

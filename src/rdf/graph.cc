@@ -1,0 +1,72 @@
+#include "rdf/graph.h"
+
+namespace rdfc {
+namespace rdf {
+
+bool Graph::Add(const Triple& t) {
+  if (!set_.insert(t).second) return false;
+  const auto idx = static_cast<std::uint32_t>(triples_.size());
+  triples_.push_back(t);
+  by_s_[t.s].push_back(idx);
+  by_p_[t.p].push_back(idx);
+  by_o_[t.o].push_back(idx);
+  by_sp_[PairKey(t.s, t.p)].push_back(idx);
+  by_po_[PairKey(t.p, t.o)].push_back(idx);
+  return true;
+}
+
+std::size_t Graph::Match(TermId s, TermId p, TermId o,
+                         const std::function<void(const Triple&)>& fn) const {
+  std::size_t count = 0;
+  auto emit = [&](const Triple& t) {
+    if ((s == kNullTerm || t.s == s) && (p == kNullTerm || t.p == p) &&
+        (o == kNullTerm || t.o == o)) {
+      ++count;
+      fn(t);
+    }
+  };
+
+  // Fully bound: hash membership test.
+  if (s != kNullTerm && p != kNullTerm && o != kNullTerm) {
+    Triple t(s, p, o);
+    if (set_.count(t)) {
+      ++count;
+      fn(t);
+    }
+    return count;
+  }
+
+  const std::vector<std::uint32_t>* candidates = nullptr;
+  if (s != kNullTerm && p != kNullTerm) {
+    auto it = by_sp_.find(PairKey(s, p));
+    candidates = it == by_sp_.end() ? nullptr : &it->second;
+  } else if (p != kNullTerm && o != kNullTerm) {
+    auto it = by_po_.find(PairKey(p, o));
+    candidates = it == by_po_.end() ? nullptr : &it->second;
+  } else if (s != kNullTerm) {
+    auto it = by_s_.find(s);
+    candidates = it == by_s_.end() ? nullptr : &it->second;
+  } else if (o != kNullTerm) {
+    auto it = by_o_.find(o);
+    candidates = it == by_o_.end() ? nullptr : &it->second;
+  } else if (p != kNullTerm) {
+    auto it = by_p_.find(p);
+    candidates = it == by_p_.end() ? nullptr : &it->second;
+  } else {
+    for (const Triple& t : triples_) emit(t);
+    return count;
+  }
+
+  if (candidates == nullptr) return 0;
+  for (std::uint32_t idx : *candidates) emit(triples_[idx]);
+  return count;
+}
+
+std::vector<Triple> Graph::MatchAll(TermId s, TermId p, TermId o) const {
+  std::vector<Triple> out;
+  Match(s, p, o, [&](const Triple& t) { out.push_back(t); });
+  return out;
+}
+
+}  // namespace rdf
+}  // namespace rdfc

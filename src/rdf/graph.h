@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+
+namespace rdfc {
+namespace rdf {
+
+/// In-memory RDF graph with hash indexes on each position.  This is the data
+/// substrate the examples and property tests evaluate queries against; the
+/// paper assumes such a store exists (any of Jena/RDF-3X/... would do).
+///
+/// The Match() API uses kNullTerm as a wildcard, giving the eight standard
+/// access patterns (SPO, SP?, S?O, ...) that an evaluator needs.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Inserts a triple; returns false if it was already present (set
+  /// semantics, matching the paper's assumption).
+  bool Add(const Triple& t);
+  bool Add(TermId s, TermId p, TermId o) { return Add(Triple(s, p, o)); }
+
+  bool Contains(const Triple& t) const { return set_.count(t) > 0; }
+
+  std::size_t size() const { return triples_.size(); }
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  /// Invokes `fn` for every triple matching the pattern, where kNullTerm in
+  /// any position is a wildcard.  Returns the number of matches.  Chooses the
+  /// most selective available index for the bound positions.
+  std::size_t Match(TermId s, TermId p, TermId o,
+                    const std::function<void(const Triple&)>& fn) const;
+
+  /// Convenience: collects matches into a vector.
+  std::vector<Triple> MatchAll(TermId s, TermId p, TermId o) const;
+
+  /// Number of distinct subjects/predicates/objects (diagnostics).
+  std::size_t num_subjects() const { return by_s_.size(); }
+  std::size_t num_predicates() const { return by_p_.size(); }
+  std::size_t num_objects() const { return by_o_.size(); }
+
+ private:
+  std::vector<Triple> triples_;
+  std::unordered_set<Triple, TripleHash> set_;
+  // Position indexes: term id -> indices into triples_.
+  std::unordered_map<TermId, std::vector<std::uint32_t>> by_s_;
+  std::unordered_map<TermId, std::vector<std::uint32_t>> by_p_;
+  std::unordered_map<TermId, std::vector<std::uint32_t>> by_o_;
+  // Pair index for the common (s, p) and (p, o) probes of the matcher.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_sp_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_po_;
+
+  static std::uint64_t PairKey(TermId a, TermId b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+};
+
+}  // namespace rdf
+}  // namespace rdfc

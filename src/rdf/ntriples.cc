@@ -1,0 +1,80 @@
+#include "rdf/ntriples.h"
+
+#include "rdf/turtle_parser.h"
+#include "util/string_util.h"
+
+namespace rdfc {
+namespace rdf {
+
+namespace {
+
+std::string RenderTerm(TermId term, const TermDictionary& dict) {
+  switch (dict.kind(term)) {
+    case TermKind::kIri:
+      return "<" + dict.lexical(term) + ">";
+    case TermKind::kBlank:
+      return "_:" + dict.lexical(term);
+    case TermKind::kLiteral: {
+      // Stored form: `"content"` with an optional `@lang` / `^^<iri>` tail;
+      // the content is unescaped, so re-escape it for strict N-Triples.
+      const std::string& lex = dict.lexical(term);
+      std::size_t content_end = lex.size();  // position of the closing quote
+      if (!lex.empty() && lex.back() == '"') {
+        content_end = lex.size() - 1;
+      } else {
+        const std::size_t lang = lex.rfind("\"@");
+        const std::size_t dtype = lex.rfind("\"^^");
+        content_end = std::min(lang == std::string::npos ? lex.size() : lang,
+                               dtype == std::string::npos ? lex.size() : dtype);
+      }
+      std::string out = "\"";
+      for (std::size_t i = 1; i < content_end; ++i) {
+        switch (lex[i]) {
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          default: out += lex[i];
+        }
+      }
+      out += '"';
+      out += lex.substr(std::min(content_end + 1, lex.size()));
+      return out;
+    }
+    case TermKind::kVariable:
+      // Variables are not valid N-Triples; render as a comment-safe form so
+      // debugging dumps stay readable rather than silently invalid.
+      return "?" + dict.lexical(term);
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string WriteNTriples(const Graph& graph, const TermDictionary& dict) {
+  std::string out;
+  for (const Triple& t : graph.triples()) {
+    out += RenderTerm(t.s, dict) + " " + RenderTerm(t.p, dict) + " " +
+           RenderTerm(t.o, dict) + " .\n";
+  }
+  return out;
+}
+
+util::Status ParseNTriples(std::string_view text, TermDictionary* dict,
+                           Graph* graph) {
+  // Reject Turtle-only constructs so callers get strict N-Triples semantics.
+  for (std::string_view line_view : util::Split(text, '\n')) {
+    const std::string_view line = util::Trim(line_view);
+    if (line.empty() || line[0] == '#') continue;
+    if (util::StartsWith(line, "@prefix") || util::StartsWith(line, "PREFIX") ||
+        util::StartsWith(line, "@base") || util::StartsWith(line, "BASE")) {
+      return util::Status::ParseError(
+          "directives are not allowed in N-Triples");
+    }
+  }
+  return ParseTurtle(text, dict, graph);
+}
+
+}  // namespace rdf
+}  // namespace rdfc

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rdfc {
+namespace rdf {
+
+/// Serialises a graph as N-Triples (one `<s> <p> <o> .` line per triple,
+/// canonical escaping).  Blank nodes render as `_:label`.
+std::string WriteNTriples(const Graph& graph, const TermDictionary& dict);
+
+/// Parses an N-Triples document.  N-Triples is a syntactic subset of the
+/// Turtle dialect the library ships, so this delegates to ParseTurtle after
+/// a cheap well-formedness scan (no prefixes or sugar allowed).
+util::Status ParseNTriples(std::string_view text, TermDictionary* dict,
+                           Graph* graph);
+
+}  // namespace rdf
+}  // namespace rdfc

@@ -1,0 +1,21 @@
+#include "rdf/term.h"
+
+namespace rdfc {
+namespace rdf {
+
+const char* TermKindName(TermKind kind) {
+  switch (kind) {
+    case TermKind::kIri:
+      return "IRI";
+    case TermKind::kLiteral:
+      return "Literal";
+    case TermKind::kBlank:
+      return "Blank";
+    case TermKind::kVariable:
+      return "Variable";
+  }
+  return "Unknown";
+}
+
+}  // namespace rdf
+}  // namespace rdfc

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rdfc {
+namespace rdf {
+
+/// Dense handle for an interned RDF term.  Ids are assigned by a
+/// TermDictionary; 0 is reserved as the invalid/null id so that structures
+/// can use `kNullTerm` as a wildcard (e.g. Graph::Match).
+using TermId = std::uint32_t;
+inline constexpr TermId kNullTerm = 0;
+
+/// RDF term taxonomy following the W3C data model plus SPARQL variables:
+/// IRIs identify resources, literals carry values, blank nodes are anonymous
+/// resources, and variables only occur in queries.
+enum class TermKind : std::uint8_t {
+  kIri = 0,
+  kLiteral = 1,
+  kBlank = 2,
+  kVariable = 3,
+};
+
+const char* TermKindName(TermKind kind);
+
+/// A term before interning: kind plus lexical form.  Literal lexical forms
+/// keep their quoting/datatype suffix (e.g. `"42"^^<...#integer>`) so two
+/// literals are equal iff their lexical forms match (RDF term equality).
+struct Term {
+  TermKind kind;
+  std::string lexical;
+
+  bool operator==(const Term& other) const {
+    return kind == other.kind && lexical == other.lexical;
+  }
+};
+
+struct TermHash {
+  std::size_t operator()(const Term& t) const {
+    return std::hash<std::string>()(t.lexical) * 4u +
+           static_cast<std::size_t>(t.kind);
+  }
+};
+
+}  // namespace rdf
+}  // namespace rdfc

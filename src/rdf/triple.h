@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "rdf/term.h"
+
+namespace rdfc {
+namespace rdf {
+
+/// A triple of interned term ids.  Used both for data triples (in a Graph,
+/// where terms are IRIs/literals/blanks) and for triple patterns (in a
+/// BgpQuery, where any position may also hold a variable).
+struct Triple {
+  TermId s = kNullTerm;
+  TermId p = kNullTerm;
+  TermId o = kNullTerm;
+
+  Triple() = default;
+  Triple(TermId s_in, TermId p_in, TermId o_in) : s(s_in), p(p_in), o(o_in) {}
+
+  bool operator==(const Triple& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+  /// Lexicographic (s, p, o) order on term ids; gives queries a canonical
+  /// triple order for hashing/dedup.
+  bool operator<(const Triple& other) const {
+    if (s != other.s) return s < other.s;
+    if (p != other.p) return p < other.p;
+    return o < other.o;
+  }
+};
+
+struct TripleHash {
+  std::size_t operator()(const Triple& t) const {
+    std::uint64_t h = t.s;
+    h = h * 0x9E3779B97F4A7C15ull + t.p;
+    h = h * 0x9E3779B97F4A7C15ull + t.o;
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace rdf
+}  // namespace rdfc

@@ -1,0 +1,262 @@
+#include "rdf/turtle_parser.h"
+
+#include <cctype>
+#include <string>
+#include <unordered_map>
+
+namespace rdfc {
+namespace rdf {
+
+namespace {
+
+constexpr char kRdfType[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// Hand-rolled scanner/parser for the Turtle subset.  Kept self-contained so
+/// the rdf module does not depend on the SPARQL front-end.
+class TurtleParser {
+ public:
+  TurtleParser(std::string_view text, TermDictionary* dict, Graph* graph)
+      : text_(text), dict_(dict), graph_(graph) {}
+
+  util::Status Parse() {
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) return util::Status::OK();
+      if (Peek() == '@' || PeekKeyword("PREFIX") || PeekKeyword("prefix")) {
+        RDFC_RETURN_NOT_OK(ParsePrefixDirective());
+      } else {
+        RDFC_RETURN_NOT_OK(ParseTripleStatement());
+      }
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+  char Advance() { return text_[pos_++]; }
+
+  bool PeekKeyword(std::string_view kw) const {
+    if (text_.size() - pos_ < kw.size()) return false;
+    for (std::size_t i = 0; i < kw.size(); ++i) {
+      if (text_[pos_ + i] != kw[i]) return false;
+    }
+    const std::size_t after = pos_ + kw.size();
+    return after >= text_.size() ||
+           std::isspace(static_cast<unsigned char>(text_[after]));
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (!AtEnd() && Peek() != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  util::Status Error(const std::string& msg) const {
+    return util::Status::ParseError(msg + " at offset " +
+                                    std::to_string(pos_));
+  }
+
+  util::Status ParsePrefixDirective() {
+    if (Peek() == '@') {
+      ++pos_;
+      if (!PeekKeyword("prefix")) return Error("expected @prefix");
+      pos_ += 6;
+    } else {
+      pos_ += 6;  // PREFIX or prefix, validated by caller.
+    }
+    SkipWhitespaceAndComments();
+    std::string prefix;
+    while (!AtEnd() && Peek() != ':') prefix += Advance();
+    if (AtEnd()) return Error("unterminated prefix name");
+    ++pos_;  // ':'
+    SkipWhitespaceAndComments();
+    if (Peek() != '<') return Error("expected <iri> after prefix");
+    RDFC_ASSIGN_OR_RETURN(std::string iri, ScanIriRef());
+    prefixes_[prefix] = iri;
+    SkipWhitespaceAndComments();
+    if (Peek() == '.') ++pos_;  // '@prefix' requires '.', 'PREFIX' omits it.
+    return util::Status::OK();
+  }
+
+  util::Result<std::string> ScanIriRef() {
+    RDFC_DCHECK(Peek() == '<');
+    ++pos_;
+    std::string iri;
+    while (!AtEnd() && Peek() != '>') iri += Advance();
+    if (AtEnd()) return Error("unterminated IRI");
+    ++pos_;  // '>'
+    return iri;
+  }
+
+  util::Result<TermId> ParseTerm(bool predicate_position) {
+    SkipWhitespaceAndComments();
+    if (AtEnd()) return Error("unexpected end of input");
+    const char c = Peek();
+    if (c == '<') {
+      RDFC_ASSIGN_OR_RETURN(std::string iri, ScanIriRef());
+      return dict_->MakeIri(iri);
+    }
+    if (c == '"') return ParseStringLiteral();
+    if (c == '_') {
+      ++pos_;
+      if (Peek() != ':') return Error("expected ':' after '_'");
+      ++pos_;
+      std::string label;
+      while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '_')) {
+        label += Advance();
+      }
+      return dict_->MakeBlank(label);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+') {
+      return ParseNumericLiteral();
+    }
+    // 'a' keyword or prefixed name or boolean.
+    std::string word;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_' || Peek() == '-' || Peek() == '.' ||
+                        Peek() == ':')) {
+      // A '.' that terminates the statement must not be swallowed.
+      if (Peek() == '.' && (pos_ + 1 >= text_.size() ||
+                            std::isspace(static_cast<unsigned char>(
+                                text_[pos_ + 1])))) {
+        break;
+      }
+      word += Advance();
+    }
+    if (word.empty()) return Error("expected term");
+    if (word == "a" && predicate_position) return dict_->MakeIri(kRdfType);
+    if (word == "true" || word == "false") {
+      return dict_->MakeLiteral("\"" + word +
+                                "\"^^<http://www.w3.org/2001/XMLSchema#boolean>");
+    }
+    const std::size_t colon = word.find(':');
+    if (colon == std::string::npos) {
+      return Error("expected prefixed name, got '" + word + "'");
+    }
+    const std::string prefix = word.substr(0, colon);
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) return Error("unknown prefix '" + prefix + "'");
+    return dict_->MakeIri(it->second + word.substr(colon + 1));
+  }
+
+  util::Result<TermId> ParseStringLiteral() {
+    RDFC_DCHECK(Peek() == '"');
+    ++pos_;
+    std::string value;
+    while (!AtEnd() && Peek() != '"') {
+      char c = Advance();
+      if (c == '\\' && !AtEnd()) {
+        const char esc = Advance();
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '\\': c = '\\'; break;
+          case '"': c = '"'; break;
+          default: c = esc; break;
+        }
+      }
+      value += c;
+    }
+    if (AtEnd()) return Error("unterminated string literal");
+    ++pos_;  // closing '"'
+    std::string lexical = "\"" + value + "\"";
+    if (Peek() == '@') {
+      ++pos_;
+      lexical += '@';
+      while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '-')) {
+        lexical += Advance();
+      }
+    } else if (Peek() == '^' && pos_ + 1 < text_.size() &&
+               text_[pos_ + 1] == '^') {
+      pos_ += 2;
+      SkipWhitespaceAndComments();
+      if (Peek() == '<') {
+        RDFC_ASSIGN_OR_RETURN(std::string iri, ScanIriRef());
+        lexical += "^^<" + iri + ">";
+      } else {
+        RDFC_ASSIGN_OR_RETURN(TermId dt, ParseTerm(false));
+        lexical += "^^<" + dict_->lexical(dt) + ">";
+      }
+    }
+    return dict_->MakeLiteral(lexical);
+  }
+
+  util::Result<TermId> ParseNumericLiteral() {
+    std::string digits;
+    bool is_decimal = false;
+    if (Peek() == '-' || Peek() == '+') digits += Advance();
+    while (!AtEnd() && (std::isdigit(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '.')) {
+      // Trailing '.' is a statement terminator, not part of the number.
+      if (Peek() == '.') {
+        if (pos_ + 1 >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+          break;
+        }
+        is_decimal = true;
+      }
+      digits += Advance();
+    }
+    if (digits.empty() || digits == "-" || digits == "+") {
+      return Error("malformed numeric literal");
+    }
+    const char* dt = is_decimal ? "http://www.w3.org/2001/XMLSchema#decimal"
+                                : "http://www.w3.org/2001/XMLSchema#integer";
+    return dict_->MakeLiteral("\"" + digits + "\"^^<" + dt + ">");
+  }
+
+  util::Status ParseTripleStatement() {
+    RDFC_ASSIGN_OR_RETURN(TermId subject, ParseTerm(false));
+    while (true) {  // predicate lists separated by ';'
+      RDFC_ASSIGN_OR_RETURN(TermId predicate, ParseTerm(true));
+      while (true) {  // object lists separated by ','
+        RDFC_ASSIGN_OR_RETURN(TermId object, ParseTerm(false));
+        graph_->Add(subject, predicate, object);
+        SkipWhitespaceAndComments();
+        if (Peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      SkipWhitespaceAndComments();
+      if (Peek() == ';') {
+        ++pos_;
+        SkipWhitespaceAndComments();
+        if (Peek() == '.') break;  // dangling ';' before '.'
+        continue;
+      }
+      break;
+    }
+    SkipWhitespaceAndComments();
+    if (Peek() != '.') return Error("expected '.' after triple");
+    ++pos_;
+    return util::Status::OK();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  TermDictionary* dict_;
+  Graph* graph_;
+  std::unordered_map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+util::Status ParseTurtle(std::string_view text, TermDictionary* dict,
+                         Graph* graph) {
+  TurtleParser parser(text, dict, graph);
+  return parser.Parse();
+}
+
+}  // namespace rdf
+}  // namespace rdfc

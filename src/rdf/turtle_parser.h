@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string_view>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rdfc {
+namespace rdf {
+
+/// Parses a Turtle-subset document into `graph`, interning terms in `dict`.
+///
+/// Supported syntax (enough for the examples and tests to express realistic
+/// data): `@prefix`/`PREFIX` directives, full IRIs `<...>`, prefixed names
+/// `p:local`, the `a` keyword, string literals with optional `@lang` or
+/// `^^datatype`, integer/decimal/boolean shorthand literals, blank nodes
+/// `_:label`, predicate lists with `;`, object lists with `,`, and `#`
+/// comments.
+util::Status ParseTurtle(std::string_view text, TermDictionary* dict,
+                         Graph* graph);
+
+}  // namespace rdf
+}  // namespace rdfc

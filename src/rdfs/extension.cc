@@ -1,0 +1,59 @@
+#include "rdfs/extension.h"
+
+#include <deque>
+
+namespace rdfc {
+namespace rdfs {
+
+query::BgpQuery ExtendQuery(const query::BgpQuery& q, const RdfsSchema& schema,
+                            rdf::TermDictionary* dict) {
+  const rdf::TermId type = dict->MakeIri(kRdfType);
+
+  query::BgpQuery out;
+  out.set_form(q.form());
+  out.set_select_all(q.select_all());
+  for (rdf::TermId var : q.distinguished()) out.AddDistinguished(var);
+
+  // Worklist saturation; AddPattern's set semantics provide the dedup that
+  // guarantees termination (the derivable pattern space is finite).
+  std::deque<rdf::Triple> worklist(q.patterns().begin(), q.patterns().end());
+  while (!worklist.empty()) {
+    const rdf::Triple t = worklist.front();
+    worklist.pop_front();
+    if (!out.AddPattern(t)) continue;  // already derived
+
+    auto derive = [&](const rdf::Triple& derived) {
+      if (!out.ContainsPattern(derived)) worklist.push_back(derived);
+    };
+
+    if (t.p == type) {
+      // Class inclusion: (x, type, A), A ⊑ B => (x, type, B).
+      if (!dict->IsVariable(t.o)) {
+        for (rdf::TermId super : schema.SuperClassesOf(t.o)) {
+          if (super != t.o) derive(rdf::Triple(t.s, type, super));
+        }
+      }
+      continue;
+    }
+    if (dict->IsVariable(t.p)) continue;  // unknown property: no saturation
+
+    // Property inclusion: (x, p, y), p ⊑ q => (x, q, y).
+    for (rdf::TermId super : schema.SuperPropertiesOf(t.p)) {
+      if (super != t.p) derive(rdf::Triple(t.s, super, t.o));
+      // Domain/range restrictions apply to p and all its superproperties
+      // (p ⊑ q, domain(q) = C, (x, p, y) => (x, type, C)).
+      for (rdf::TermId cls : schema.DomainsOf(super)) {
+        derive(rdf::Triple(t.s, type, cls));
+      }
+      for (rdf::TermId cls : schema.RangesOf(super)) {
+        // Literals cannot be subjects; a range restriction on a literal
+        // object yields no usable pattern.
+        if (!dict->IsLiteral(t.o)) derive(rdf::Triple(t.o, type, cls));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rdfs
+}  // namespace rdfc

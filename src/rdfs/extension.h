@@ -1,0 +1,30 @@
+#pragma once
+
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+#include "rdfs/schema.h"
+
+namespace rdfc {
+namespace rdfs {
+
+/// The query-extension operator of Section 6: treats the query's variables
+/// as if they were IRIs, saturates the pattern set under the RDFS rules
+///
+///   (x, type, A), A ⊑ B            =>  (x, type, B)
+///   (x, p, y),    p ⊑ q            =>  (x, q, y)
+///   (x, p, y),    domain(p) = C    =>  (x, type, C)
+///   (x, p, y),    range(p)  = C    =>  (y, type, C)
+///
+/// to a fix point, and returns the extended query.  By Proposition 6.1,
+/// Q ⊑_R W holds iff a containment mapping W -> extend(Q) exists, so the
+/// probe side of the pipeline/mv-index simply swaps Q for extend(Q).
+///
+/// Patterns whose predicate is a variable get no property-inclusion
+/// saturation (the property is unknown), matching the paper's restriction of
+/// the technique to schema-relevant positions.
+query::BgpQuery ExtendQuery(const query::BgpQuery& q,
+                            const RdfsSchema& schema,
+                            rdf::TermDictionary* dict);
+
+}  // namespace rdfs
+}  // namespace rdfc

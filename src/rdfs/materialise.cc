@@ -1,0 +1,48 @@
+#include "rdfs/materialise.h"
+
+#include <deque>
+
+namespace rdfc {
+namespace rdfs {
+
+std::size_t MaterialiseGraph(const RdfsSchema& schema,
+                             rdf::TermDictionary* dict, rdf::Graph* graph) {
+  const rdf::TermId type = dict->MakeIri(kRdfType);
+  std::size_t added = 0;
+
+  // Worklist of triples whose consequences have not been derived yet; the
+  // graph's set semantics provide termination (finite derivable space).
+  std::deque<rdf::Triple> worklist(graph->triples().begin(),
+                                   graph->triples().end());
+  auto derive = [&](const rdf::Triple& t) {
+    if (graph->Add(t)) {
+      ++added;
+      worklist.push_back(t);
+    }
+  };
+
+  while (!worklist.empty()) {
+    const rdf::Triple t = worklist.front();
+    worklist.pop_front();
+
+    if (t.p == type) {
+      for (rdf::TermId super : schema.SuperClassesOf(t.o)) {
+        if (super != t.o) derive(rdf::Triple(t.s, type, super));
+      }
+      continue;
+    }
+    for (rdf::TermId super : schema.SuperPropertiesOf(t.p)) {
+      if (super != t.p) derive(rdf::Triple(t.s, super, t.o));
+      for (rdf::TermId cls : schema.DomainsOf(super)) {
+        derive(rdf::Triple(t.s, type, cls));
+      }
+      for (rdf::TermId cls : schema.RangesOf(super)) {
+        if (!dict->IsLiteral(t.o)) derive(rdf::Triple(t.o, type, cls));
+      }
+    }
+  }
+  return added;
+}
+
+}  // namespace rdfs
+}  // namespace rdfc

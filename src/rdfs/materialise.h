@@ -1,0 +1,26 @@
+#pragma once
+
+#include "rdf/graph.h"
+#include "rdfs/schema.h"
+
+namespace rdfc {
+namespace rdfs {
+
+/// Forward-chaining RDFS materialisation over *data*: saturates `graph`
+/// under the schema's class/property inclusions and domain/range rules
+/// (the data-side counterpart of the query-side ExtendQuery; together they
+/// realise Proposition 6.1, which the property tests exploit:
+/// Q ⊑_R W  iff  Ask(W, Materialise(freeze(Q), R))).
+///
+/// Rules applied to fix point (rdfs2/3/7/9 in the RDFS entailment tables):
+///   (x, type, A), A ⊑ B          =>  (x, type, B)
+///   (x, p, y),    p ⊑ q          =>  (x, q, y)
+///   (x, p, y),    domain(p) = C  =>  (x, type, C)
+///   (x, p, y),    range(p)  = C  =>  (y, type, C)    [skipped for literals]
+///
+/// Returns the number of triples added.
+std::size_t MaterialiseGraph(const RdfsSchema& schema,
+                             rdf::TermDictionary* dict, rdf::Graph* graph);
+
+}  // namespace rdfs
+}  // namespace rdfc

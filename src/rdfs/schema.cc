@@ -1,0 +1,121 @@
+#include "rdfs/schema.h"
+
+#include <deque>
+
+namespace rdfc {
+namespace rdfs {
+
+const char kRdfType[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+const char kRdfsSubClassOf[] = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+const char kRdfsSubPropertyOf[] =
+    "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+const char kRdfsDomain[] = "http://www.w3.org/2000/01/rdf-schema#domain";
+const char kRdfsRange[] = "http://www.w3.org/2000/01/rdf-schema#range";
+
+void RdfsSchema::AddSubClass(rdf::TermId sub, rdf::TermId super) {
+  sub_class_[sub].push_back(super);
+  super_class_inv_[super].push_back(sub);
+  super_class_cache_.clear();
+}
+
+void RdfsSchema::AddSubProperty(rdf::TermId sub, rdf::TermId super) {
+  sub_property_[sub].push_back(super);
+  super_property_inv_[super].push_back(sub);
+  super_property_cache_.clear();
+}
+
+void RdfsSchema::AddDomain(rdf::TermId property, rdf::TermId cls) {
+  domain_[property].push_back(cls);
+}
+
+void RdfsSchema::AddRange(rdf::TermId property, rdf::TermId cls) {
+  range_[property].push_back(cls);
+}
+
+void RdfsSchema::LoadFromGraph(const rdf::Graph& graph,
+                               const rdf::TermDictionary& dict) {
+  const rdf::TermId sub_class =
+      dict.Lookup(rdf::TermKind::kIri, kRdfsSubClassOf);
+  const rdf::TermId sub_property =
+      dict.Lookup(rdf::TermKind::kIri, kRdfsSubPropertyOf);
+  const rdf::TermId domain = dict.Lookup(rdf::TermKind::kIri, kRdfsDomain);
+  const rdf::TermId range = dict.Lookup(rdf::TermKind::kIri, kRdfsRange);
+  for (const rdf::Triple& t : graph.triples()) {
+    if (t.p == sub_class && sub_class != rdf::kNullTerm) {
+      AddSubClass(t.s, t.o);
+    } else if (t.p == sub_property && sub_property != rdf::kNullTerm) {
+      AddSubProperty(t.s, t.o);
+    } else if (t.p == domain && domain != rdf::kNullTerm) {
+      AddDomain(t.s, t.o);
+    } else if (t.p == range && range != rdf::kNullTerm) {
+      AddRange(t.s, t.o);
+    }
+  }
+}
+
+std::vector<rdf::TermId> RdfsSchema::Reachable(
+    const std::unordered_map<rdf::TermId, std::vector<rdf::TermId>>& edges,
+    rdf::TermId start) {
+  std::vector<rdf::TermId> out;
+  std::unordered_set<rdf::TermId> seen;
+  std::deque<rdf::TermId> queue;
+  queue.push_back(start);
+  seen.insert(start);
+  while (!queue.empty()) {
+    const rdf::TermId current = queue.front();
+    queue.pop_front();
+    out.push_back(current);
+    auto it = edges.find(current);
+    if (it == edges.end()) continue;
+    for (rdf::TermId next : it->second) {
+      if (seen.insert(next).second) queue.push_back(next);
+    }
+  }
+  return out;
+}
+
+const std::vector<rdf::TermId>& RdfsSchema::SuperClassesOf(
+    rdf::TermId cls) const {
+  auto it = super_class_cache_.find(cls);
+  if (it == super_class_cache_.end()) {
+    it = super_class_cache_.emplace(cls, Reachable(sub_class_, cls)).first;
+  }
+  return it->second;
+}
+
+const std::vector<rdf::TermId>& RdfsSchema::SuperPropertiesOf(
+    rdf::TermId property) const {
+  auto it = super_property_cache_.find(property);
+  if (it == super_property_cache_.end()) {
+    it = super_property_cache_
+             .emplace(property, Reachable(sub_property_, property))
+             .first;
+  }
+  return it->second;
+}
+
+std::vector<rdf::TermId> RdfsSchema::SubClassesOf(rdf::TermId cls) const {
+  return Reachable(super_class_inv_, cls);
+}
+
+std::vector<rdf::TermId> RdfsSchema::SubPropertiesOf(
+    rdf::TermId property) const {
+  return Reachable(super_property_inv_, property);
+}
+
+const std::vector<rdf::TermId>& RdfsSchema::DomainsOf(
+    rdf::TermId property) const {
+  static const std::vector<rdf::TermId> kEmpty;
+  auto it = domain_.find(property);
+  return it == domain_.end() ? kEmpty : it->second;
+}
+
+const std::vector<rdf::TermId>& RdfsSchema::RangesOf(
+    rdf::TermId property) const {
+  static const std::vector<rdf::TermId> kEmpty;
+  auto it = range_.find(property);
+  return it == range_.end() ? kEmpty : it->second;
+}
+
+}  // namespace rdfs
+}  // namespace rdfc

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+
+namespace rdfc {
+namespace rdfs {
+
+/// Well-known vocabulary IRIs.
+extern const char kRdfType[];
+extern const char kRdfsSubClassOf[];
+extern const char kRdfsSubPropertyOf[];
+extern const char kRdfsDomain[];
+extern const char kRdfsRange[];
+
+/// Terminological knowledge in the RDFS fragment the paper handles
+/// (Section 6): class inclusions, property inclusions, and domain/range
+/// restrictions.  Transitive closures of the two hierarchies are computed
+/// lazily and cached.
+class RdfsSchema {
+ public:
+  RdfsSchema() = default;
+
+  /// sub ⊑ super (classes).
+  void AddSubClass(rdf::TermId sub, rdf::TermId super);
+  /// sub ⊑ super (properties).
+  void AddSubProperty(rdf::TermId sub, rdf::TermId super);
+  /// domain(property) = cls: (x, property, y) implies (x, type, cls).
+  void AddDomain(rdf::TermId property, rdf::TermId cls);
+  /// range(property) = cls: (x, property, y) implies (y, type, cls).
+  void AddRange(rdf::TermId property, rdf::TermId cls);
+
+  /// Loads schema triples (rdfs:subClassOf / subPropertyOf / domain / range)
+  /// out of an RDF graph; other triples are ignored.
+  void LoadFromGraph(const rdf::Graph& graph, const rdf::TermDictionary& dict);
+
+  /// All strict-or-reflexive superclasses of `cls` (includes cls itself).
+  const std::vector<rdf::TermId>& SuperClassesOf(rdf::TermId cls) const;
+  /// All strict-or-reflexive superproperties of `property`.
+  const std::vector<rdf::TermId>& SuperPropertiesOf(rdf::TermId property) const;
+  /// All subclasses, reflexive (used by the RDFS workload generator).
+  std::vector<rdf::TermId> SubClassesOf(rdf::TermId cls) const;
+  std::vector<rdf::TermId> SubPropertiesOf(rdf::TermId property) const;
+
+  const std::vector<rdf::TermId>& DomainsOf(rdf::TermId property) const;
+  const std::vector<rdf::TermId>& RangesOf(rdf::TermId property) const;
+
+  /// Direct (asserted, non-transitive) edges — for generators/diagnostics.
+  const std::unordered_map<rdf::TermId, std::vector<rdf::TermId>>&
+  direct_subclass_edges() const {
+    return sub_class_;
+  }
+  const std::unordered_map<rdf::TermId, std::vector<rdf::TermId>>&
+  direct_subproperty_edges() const {
+    return sub_property_;
+  }
+
+  bool empty() const {
+    return sub_class_.empty() && sub_property_.empty() && domain_.empty() &&
+           range_.empty();
+  }
+
+ private:
+  /// BFS over `edges` from `start`, reflexive.  Cycles (A ⊑ B ⊑ A) are legal
+  /// RDFS and simply make the classes mutually super.
+  static std::vector<rdf::TermId> Reachable(
+      const std::unordered_map<rdf::TermId, std::vector<rdf::TermId>>& edges,
+      rdf::TermId start);
+
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> sub_class_;
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> sub_property_;
+  // Inverted edges, for SubClassesOf/SubPropertiesOf.
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> super_class_inv_;
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> super_property_inv_;
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> domain_;
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> range_;
+
+  mutable std::unordered_map<rdf::TermId, std::vector<rdf::TermId>>
+      super_class_cache_;
+  mutable std::unordered_map<rdf::TermId, std::vector<rdf::TermId>>
+      super_property_cache_;
+};
+
+}  // namespace rdfs
+}  // namespace rdfc

@@ -1,0 +1,177 @@
+#include "rewriting/rewriter.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace rdfc {
+namespace rewriting {
+
+std::vector<rdf::TermId> ResolvedProjection(const query::BgpQuery& q,
+                                            const rdf::TermDictionary& dict) {
+  if (!q.select_all() && !q.distinguished().empty()) return q.distinguished();
+  return q.Variables(dict);
+}
+
+SelectCoverage ComputeSelectCoverage(const query::BgpQuery& q,
+                                     const query::BgpQuery& w,
+                                     const containment::VarMapping& sigma,
+                                     const rdf::TermDictionary& dict) {
+  SelectCoverage coverage;
+  const std::vector<rdf::TermId> view_columns = ResolvedProjection(w, dict);
+
+  // Which query terms do the view's output columns pin down?
+  for (std::size_t col = 0; col < view_columns.size(); ++col) {
+    auto it = sigma.find(view_columns[col]);
+    if (it == sigma.end()) continue;
+    const rdf::TermId image = it->second;
+    if (dict.IsVariable(image)) {
+      coverage.seed_of.emplace(image, col);
+    }
+  }
+  // Which query *output* variables are directly recoverable?
+  for (rdf::TermId q_var : ResolvedProjection(q, dict)) {
+    auto it = coverage.seed_of.find(q_var);
+    if (it != coverage.seed_of.end()) {
+      coverage.column_of.emplace(q_var, it->second);
+    } else {
+      ++coverage.uncovered;
+    }
+  }
+  return coverage;
+}
+
+MaterialisedView Materialise(const query::BgpQuery& definition,
+                             const rdf::Graph& graph,
+                             const rdf::TermDictionary& dict) {
+  MaterialisedView view;
+  view.definition = definition;
+  view.columns = ResolvedProjection(definition, dict);
+  // ProjectedAnswers resolves the projection identically, so columns align.
+  view.rows = eval::ProjectedAnswers(definition, graph, dict);
+  return view;
+}
+
+util::Result<std::uint32_t> ViewExecutor::AddView(
+    const query::BgpQuery& definition) {
+  RDFC_ASSIGN_OR_RETURN(index::MvIndex::InsertOutcome outcome,
+                        index_.Insert(definition, views_.size()));
+  (void)outcome;
+  views_.push_back(Materialise(definition, *graph_, *dict_));
+  return static_cast<std::uint32_t>(views_.size() - 1);
+}
+
+namespace {
+
+void ProjectInto(const eval::Binding& binding,
+                 const std::vector<rdf::TermId>& projection,
+                 std::set<std::vector<rdf::TermId>>* answers) {
+  std::vector<rdf::TermId> row;
+  row.reserve(projection.size());
+  for (rdf::TermId var : projection) {
+    auto it = binding.find(var);
+    row.push_back(it == binding.end() ? rdf::kNullTerm : it->second);
+  }
+  answers->insert(std::move(row));
+}
+
+}  // namespace
+
+ExecutionReport AnswerFromGraph(const query::BgpQuery& q,
+                                const rdf::Graph& graph,
+                                const rdf::TermDictionary& dict) {
+  ExecutionReport report;
+  report.strategy = ExecutionReport::Strategy::kBaseEvaluation;
+  const std::vector<rdf::TermId> projection = ResolvedProjection(q, dict);
+  std::set<std::vector<rdf::TermId>> answers;
+  const eval::EvalResult result = eval::Evaluate(q, graph, dict);
+  report.eval_steps = result.steps;
+  for (const eval::Binding& b : result.solutions) {
+    ProjectInto(b, projection, &answers);
+  }
+  report.answers.assign(answers.begin(), answers.end());
+  return report;
+}
+
+ExecutionReport AnswerWithView(const query::BgpQuery& q,
+                               const MaterialisedView& view,
+                               const containment::VarMapping& sigma,
+                               const rdf::Graph& graph,
+                               const rdf::TermDictionary& dict) {
+  ExecutionReport report;
+  const std::vector<rdf::TermId> projection = ResolvedProjection(q, dict);
+  std::set<std::vector<rdf::TermId>> answers;
+  const SelectCoverage coverage =
+      ComputeSelectCoverage(q, view.definition, sigma, dict);
+
+  // Does the seed bind every variable of Q?  Then each row only needs a
+  // membership re-check of Q's patterns; otherwise the row seeds a residual
+  // evaluation.  Both paths evaluate Q itself, so answers stay exact even
+  // though ans(Q) ⊆ π_σ(ans(W)) is generally strict.
+  const std::vector<rdf::TermId> q_vars = q.Variables(dict);
+  const bool all_seeded =
+      std::all_of(q_vars.begin(), q_vars.end(), [&](rdf::TermId var) {
+        return coverage.seed_of.count(var) > 0;
+      });
+  report.strategy = all_seeded
+                        ? ExecutionReport::Strategy::kFromViewDirect
+                        : ExecutionReport::Strategy::kFromViewResidual;
+
+  for (const std::vector<rdf::TermId>& row : view.rows) {
+    ++report.rows_scanned;
+    eval::EvalOptions options;
+    for (const auto& [q_var, col] : coverage.seed_of) {
+      options.initial_binding.emplace(q_var, row[col]);
+    }
+    const eval::EvalResult result = eval::Evaluate(q, graph, dict, options);
+    report.eval_steps += result.steps;
+    for (const eval::Binding& b : result.solutions) {
+      ProjectInto(b, projection, &answers);
+    }
+  }
+  report.answers.assign(answers.begin(), answers.end());
+  return report;
+}
+
+ExecutionReport ViewExecutor::Answer(const query::BgpQuery& q) const {
+  index::ProbeOptions probe_options;
+  probe_options.max_mappings = 1;
+  const index::ProbeResult probe = index_.FindContaining(q, probe_options);
+
+  // Pick the containing view with the fewest materialised rows (its rows
+  // are a complete superset of Q's bindings under σ), subject to the cost
+  // rule: each row seeds a residual evaluation, so a huge view over a tiny
+  // graph can lose to base evaluation.
+  const MaterialisedView* best = nullptr;
+  const containment::VarMapping* best_sigma = nullptr;
+  std::uint32_t best_view_id = 0;
+  for (const auto& match : probe.contained) {
+    if (match.outcome.mappings.empty()) continue;
+    for (std::uint64_t external_id : index_.external_ids(match.stored_id)) {
+      const MaterialisedView& view = views_[external_id];
+      if (best == nullptr || view.rows.size() < best->rows.size()) {
+        best = &view;
+        best_sigma = &match.outcome.mappings[0];
+        best_view_id = static_cast<std::uint32_t>(external_id);
+      }
+    }
+  }
+  if (best != nullptr) {
+    const double view_cost = static_cast<double>(best->rows.size()) *
+                             static_cast<double>(1 + q.size());
+    const double base_cost =
+        options_.cost_factor * static_cast<double>(graph_->size());
+    if (view_cost > base_cost) best = nullptr;  // base wins the estimate
+  }
+
+  if (best == nullptr) {
+    return AnswerFromGraph(q, *graph_, *dict_);
+  }
+  ExecutionReport report =
+      AnswerWithView(q, *best, *best_sigma, *graph_, *dict_);
+  report.view_id = best_view_id;
+  return report;
+}
+
+}  // namespace rewriting
+}  // namespace rdfc

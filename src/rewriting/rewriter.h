@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "containment/homomorphism.h"
+#include "eval/evaluator.h"
+#include "index/mv_index.h"
+#include "query/bgp_query.h"
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rdfc {
+namespace rewriting {
+
+/// How much of a query's output a containment mapping recovers from a view's
+/// materialised columns (the paper's "extra step that maps the SELECT clause
+/// of W to the SELECT clause of Q").
+struct SelectCoverage {
+  /// q_var -> column index into the view's projection, for every query
+  /// output variable that equals σ(some view output variable).
+  std::unordered_map<rdf::TermId, std::size_t> column_of;
+  /// Query variables bound by σ's view-output image (not only outputs):
+  /// these seed the residual evaluation.
+  std::unordered_map<rdf::TermId, std::size_t> seed_of;
+  bool full() const { return uncovered == 0; }
+  std::size_t uncovered = 0;
+};
+
+/// The resolved projection of a query: its explicit SELECT list, or all of
+/// its variables under SELECT * / ASK.
+std::vector<rdf::TermId> ResolvedProjection(const query::BgpQuery& q,
+                                            const rdf::TermDictionary& dict);
+
+/// Computes the coverage of query `q`'s output variables by view `w` under
+/// containment mapping `sigma` (σ : vars(W) -> terms(Q)).
+SelectCoverage ComputeSelectCoverage(const query::BgpQuery& q,
+                                     const query::BgpQuery& w,
+                                     const containment::VarMapping& sigma,
+                                     const rdf::TermDictionary& dict);
+
+/// A materialised view: definition + projected rows (one row per answer,
+/// columns ordered like the definition's resolved projection).
+struct MaterialisedView {
+  query::BgpQuery definition;
+  std::vector<rdf::TermId> columns;  // the projection variables
+  std::vector<std::vector<rdf::TermId>> rows;
+};
+
+/// Materialises `definition` over `graph`.
+MaterialisedView Materialise(const query::BgpQuery& definition,
+                             const rdf::Graph& graph,
+                             const rdf::TermDictionary& dict);
+
+/// Per-query execution report from the ViewExecutor.
+struct ExecutionReport {
+  enum class Strategy {
+    kFromViewDirect,   // full coverage: answers projected straight off rows
+    kFromViewResidual, // rows seed bindings; residual patterns re-checked
+    kBaseEvaluation,   // no containing view; evaluated against the graph
+  };
+  Strategy strategy = Strategy::kBaseEvaluation;
+  std::uint32_t view_id = 0;          // meaningful for the view strategies
+  std::size_t rows_scanned = 0;       // view rows consumed
+  std::size_t eval_steps = 0;         // matcher steps of residual/base eval
+  std::vector<std::vector<rdf::TermId>> answers;  // deduplicated projection
+};
+
+/// Answers `q` from a materialised view given a containment mapping
+/// σ : vars(W) -> terms(Q): every view row seeds a (possibly residual)
+/// evaluation of Q, so results are always exactly ans(Q) — the containment
+/// guarantees completeness, the evaluation soundness.  Shared by the
+/// ViewExecutor and the semantic cache.
+ExecutionReport AnswerWithView(const query::BgpQuery& q,
+                               const MaterialisedView& view,
+                               const containment::VarMapping& sigma,
+                               const rdf::Graph& graph,
+                               const rdf::TermDictionary& dict);
+
+/// Base-table evaluation with the same report/projection conventions.
+ExecutionReport AnswerFromGraph(const query::BgpQuery& q,
+                                const rdf::Graph& graph,
+                                const rdf::TermDictionary& dict);
+
+/// Answering-queries-using-views executor (Levy et al. via the mv-index):
+/// views are registered once (materialised + indexed); Answer() probes the
+/// index for containing views, picks the cheapest (fewest rows), and either
+/// projects answers directly (full select coverage with an exact pattern
+/// image) or seeds a residual evaluation with each row's bindings.  Falls
+/// back to base evaluation when no view contains the query.
+///
+/// Correctness does not depend on the strategy chosen: seeded evaluation
+/// still evaluates the query itself, so answers always equal base
+/// evaluation (asserted by tests/rewriting/rewriter_test.cc property runs).
+struct ExecutorOptions {
+  /// Cost rule: a containing view is used only when
+  /// `rows * (1 + residual_patterns) <= cost_factor * graph_size`
+  /// — i.e. scanning its rows (each seeding a residual evaluation) is
+  /// estimated cheaper than evaluating against the base graph.  Large
+  /// factors always prefer views; 0 never does.
+  double cost_factor = 4.0;
+};
+
+class ViewExecutor {
+ public:
+  ViewExecutor(const rdf::Graph* graph, rdf::TermDictionary* dict,
+               const ExecutorOptions& options = {})
+      : graph_(graph), dict_(dict), options_(options), index_(dict) {}
+  RDFC_DISALLOW_COPY_AND_ASSIGN(ViewExecutor);
+
+  /// Registers and materialises a view; returns its id.
+  util::Result<std::uint32_t> AddView(const query::BgpQuery& definition);
+
+  const MaterialisedView& view(std::uint32_t id) const { return views_[id]; }
+  std::size_t num_views() const { return views_.size(); }
+
+  /// The underlying mv-index over the view definitions, for callers that
+  /// only need containment probes without any evaluation.
+  const index::MvIndex& index() const { return index_; }
+
+  /// Answers `q` (projection per its SELECT clause).
+  ExecutionReport Answer(const query::BgpQuery& q) const;
+
+ private:
+  const rdf::Graph* graph_;
+  rdf::TermDictionary* dict_;
+  ExecutorOptions options_;
+  index::MvIndex index_;
+  std::vector<MaterialisedView> views_;
+};
+
+}  // namespace rewriting
+}  // namespace rdfc

@@ -1,0 +1,76 @@
+#include "rewriting/view_selection.h"
+
+#include <unordered_map>
+
+#include "index/mv_index.h"
+
+namespace rdfc {
+namespace rewriting {
+
+util::Result<ViewSelectionResult> SelectViews(
+    const std::vector<query::BgpQuery>& workload, rdf::TermDictionary* dict,
+    const ViewSelectionOptions& options) {
+  ViewSelectionResult result;
+  result.workload_size = workload.size();
+  if (workload.empty()) return result;
+
+  // Dedup the workload; the entry's external-id count is its frequency.
+  index::MvIndex index(dict);
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    if (workload[i].empty()) continue;
+    RDFC_ASSIGN_OR_RETURN(index::MvIndex::InsertOutcome outcome,
+                          index.Insert(workload[i], i));
+    (void)outcome;
+  }
+  const auto num_distinct = static_cast<std::uint32_t>(index.num_entries());
+
+  // coverage[v] = distinct-query classes contained in candidate view v.
+  // One probe per distinct class discovers, for *every* candidate at once,
+  // whether it contains that class — this is exactly the index's job.
+  std::vector<std::vector<std::uint32_t>> covers(num_distinct);
+  std::vector<std::size_t> frequency(num_distinct, 0);
+  for (std::uint32_t q_cls = 0; q_cls < num_distinct; ++q_cls) {
+    frequency[q_cls] = index.external_ids(q_cls).size();
+    const index::ProbeResult probe =
+        index.FindContaining(index.entry(q_cls).canonical);
+    for (const auto& match : probe.contained) {
+      covers[match.stored_id].push_back(q_cls);
+    }
+  }
+
+  // Greedy weighted max-coverage.
+  std::vector<bool> query_covered(num_distinct, false);
+  std::vector<bool> picked(num_distinct, false);
+  while (options.max_views == 0 || result.views.size() < options.max_views) {
+    std::uint32_t best = num_distinct;
+    std::size_t best_gain = 0;
+    for (std::uint32_t v = 0; v < num_distinct; ++v) {
+      if (picked[v]) continue;
+      std::size_t gain = 0;
+      for (std::uint32_t q_cls : covers[v]) {
+        if (!query_covered[q_cls]) gain += frequency[q_cls];
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    if (best == num_distinct || best_gain < options.min_marginal_benefit) {
+      break;
+    }
+    picked[best] = true;
+    SelectedView selected;
+    selected.definition = index.entry(best).canonical;
+    selected.marginal_benefit = best_gain;
+    for (std::uint32_t q_cls : covers[best]) {
+      selected.total_coverage += frequency[q_cls];
+      query_covered[q_cls] = true;
+    }
+    result.covered += best_gain;
+    result.views.push_back(std::move(selected));
+  }
+  return result;
+}
+
+}  // namespace rewriting
+}  // namespace rdfc

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+#include "util/status.h"
+
+namespace rdfc {
+namespace rewriting {
+
+struct ViewSelectionOptions {
+  /// Maximum number of views to select (0 = unbounded).
+  std::size_t max_views = 10;
+  /// Stop when the best remaining candidate would serve fewer than this many
+  /// workload queries beyond what is already covered.
+  std::size_t min_marginal_benefit = 1;
+};
+
+struct SelectedView {
+  query::BgpQuery definition;
+  /// Workload queries (by count, frequency-weighted) this view newly covers
+  /// at the time it was picked.
+  std::size_t marginal_benefit = 0;
+  /// Total workload queries contained in this view, regardless of order.
+  std::size_t total_coverage = 0;
+};
+
+struct ViewSelectionResult {
+  std::vector<SelectedView> views;
+  std::size_t workload_size = 0;
+  std::size_t covered = 0;  // frequency-weighted queries served by the set
+  double coverage_rate() const {
+    return workload_size == 0 ? 0.0
+                              : static_cast<double>(covered) /
+                                    static_cast<double>(workload_size);
+  }
+};
+
+/// Greedy view selection driven by the mv-index (the optimiser loop the
+/// paper positions the index inside, and the application its citation [26]
+/// studies): candidates are the workload's distinct queries; the benefit of
+/// a candidate is the frequency-weighted number of workload queries it
+/// *contains* (computable for all candidates with one index probe per
+/// distinct query); selection is greedy weighted max-coverage under a view
+/// budget.  The chosen views feed directly into ViewExecutor/SemanticCache.
+util::Result<ViewSelectionResult> SelectViews(
+    const std::vector<query::BgpQuery>& workload, rdf::TermDictionary* dict,
+    const ViewSelectionOptions& options = {});
+
+}  // namespace rewriting
+}  // namespace rdfc

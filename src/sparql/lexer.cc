@@ -1,0 +1,268 @@
+#include "sparql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace rdfc {
+namespace sparql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "ASK", "WHERE", "PREFIX", "BASE", "DISTINCT", "REDUCED",
+      "FILTER", "LIMIT", "OFFSET", "ORDER", "BY", "UNION", "OPTIONAL",
+      "MINUS", "GRAPH", "SERVICE",
+  };
+  return *kKeywords;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+}  // namespace
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kKeyword: return "keyword";
+    case TokenType::kIriRef: return "IRI";
+    case TokenType::kPrefixedName: return "prefixed name";
+    case TokenType::kVariable: return "variable";
+    case TokenType::kString: return "string";
+    case TokenType::kLangTag: return "language tag";
+    case TokenType::kDoubleCaret: return "^^";
+    case TokenType::kNumber: return "number";
+    case TokenType::kBlankNode: return "blank node";
+    case TokenType::kA: return "'a'";
+    case TokenType::kLBrace: return "'{'";
+    case TokenType::kRBrace: return "'}'";
+    case TokenType::kDot: return "'.'";
+    case TokenType::kSemicolon: return "';'";
+    case TokenType::kComma: return "','";
+    case TokenType::kStar: return "'*'";
+    case TokenType::kLParen: return "'('";
+    case TokenType::kRParen: return "')'";
+    case TokenType::kOperator: return "operator";
+    case TokenType::kEof: return "end of input";
+  }
+  return "unknown";
+}
+
+util::Result<std::vector<SparqlToken>> Tokenize(std::string_view text) {
+  std::vector<SparqlToken> tokens;
+  std::size_t pos = 0;
+  const std::size_t n = text.size();
+
+  auto error = [&](const std::string& msg) {
+    return util::Status::ParseError(msg + " at offset " + std::to_string(pos));
+  };
+  auto push = [&](TokenType type, std::string tok_text, std::size_t offset) {
+    tokens.push_back(SparqlToken{type, std::move(tok_text), offset});
+  };
+
+  while (pos < n) {
+    const char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    if (c == '#') {
+      while (pos < n && text[pos] != '\n') ++pos;
+      continue;
+    }
+    const std::size_t start = pos;
+    switch (c) {
+      case '{': push(TokenType::kLBrace, "{", start); ++pos; continue;
+      case '}': push(TokenType::kRBrace, "}", start); ++pos; continue;
+      case '.': push(TokenType::kDot, ".", start); ++pos; continue;
+      case ';': push(TokenType::kSemicolon, ";", start); ++pos; continue;
+      case ',': push(TokenType::kComma, ",", start); ++pos; continue;
+      case '*': push(TokenType::kStar, "*", start); ++pos; continue;
+      case '(': push(TokenType::kLParen, "(", start); ++pos; continue;
+      case ')': push(TokenType::kRParen, ")", start); ++pos; continue;
+      default: break;
+    }
+    if (c == '<') {
+      // '<' followed by whitespace, '=', a variable sigil, or end is a
+      // comparison operator (in a FILTER); otherwise it opens an IRI
+      // reference (IRIs cannot contain '?' at position 0 in this grammar).
+      if (pos + 1 >= n ||
+          std::isspace(static_cast<unsigned char>(text[pos + 1])) ||
+          text[pos + 1] == '=' || text[pos + 1] == '?' ||
+          text[pos + 1] == '$') {
+        ++pos;
+        push(TokenType::kOperator, "<", start);
+        continue;
+      }
+      ++pos;
+      std::string iri;
+      while (pos < n && text[pos] != '>') iri += text[pos++];
+      if (pos >= n) return error("unterminated IRI");
+      ++pos;
+      push(TokenType::kIriRef, std::move(iri), start);
+      continue;
+    }
+    if (c == '?' || c == '$') {
+      ++pos;
+      std::string name;
+      while (pos < n && (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+                         text[pos] == '_')) {
+        name += text[pos++];
+      }
+      if (name.empty()) return error("empty variable name");
+      push(TokenType::kVariable, std::move(name), start);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++pos;
+      std::string value;
+      while (pos < n && text[pos] != quote) {
+        char ch = text[pos++];
+        if (ch == '\\' && pos < n) {
+          const char esc = text[pos++];
+          switch (esc) {
+            case 'n': ch = '\n'; break;
+            case 't': ch = '\t'; break;
+            case 'r': ch = '\r'; break;
+            case '\\': ch = '\\'; break;
+            case '"': ch = '"'; break;
+            case '\'': ch = '\''; break;
+            default: ch = esc; break;
+          }
+        }
+        value += ch;
+      }
+      if (pos >= n) return error("unterminated string literal");
+      ++pos;
+      push(TokenType::kString, "\"" + value + "\"", start);
+      continue;
+    }
+    if (c == '@') {
+      ++pos;
+      std::string tag;
+      while (pos < n && (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+                         text[pos] == '-')) {
+        tag += text[pos++];
+      }
+      if (tag.empty()) return error("empty language tag");
+      // `@prefix` style directives are not SPARQL; treat as keyword PREFIX.
+      if (ToUpper(tag) == "PREFIX") {
+        push(TokenType::kKeyword, "PREFIX", start);
+      } else {
+        push(TokenType::kLangTag, std::move(tag), start);
+      }
+      continue;
+    }
+    if (c == '^') {
+      if (pos + 1 < n && text[pos + 1] == '^') {
+        pos += 2;
+        push(TokenType::kDoubleCaret, "^^", start);
+        continue;
+      }
+      return error("stray '^'");
+    }
+    if (c == '_' && pos + 1 < n && text[pos + 1] == ':') {
+      pos += 2;
+      std::string label;
+      while (pos < n && (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+                         text[pos] == '_')) {
+        label += text[pos++];
+      }
+      if (label.empty()) return error("empty blank node label");
+      push(TokenType::kBlankNode, std::move(label), start);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        ((c == '-' || c == '+') && pos + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[pos + 1])))) {
+      std::string num;
+      if (c == '-' || c == '+') num += text[pos++];
+      bool saw_dot = false;
+      while (pos < n && (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                         (!saw_dot && text[pos] == '.' && pos + 1 < n &&
+                          std::isdigit(static_cast<unsigned char>(text[pos + 1]))))) {
+        if (text[pos] == '.') saw_dot = true;
+        num += text[pos++];
+      }
+      push(TokenType::kNumber, std::move(num), start);
+      continue;
+    }
+    if (c == '>' || c == '<' || c == '=' || c == '!' || c == '&' ||
+        c == '|' || c == '+' || c == '-' || c == '/') {
+      // Operator characters only occur inside FILTER expressions, which the
+      // parser skips wholesale; '<' starting an IRI and unary +/- before a
+      // digit are handled by earlier branches.
+      ++pos;
+      push(TokenType::kOperator, std::string(1, c), start);
+      continue;
+    }
+    if (c == ':') {
+      // Prefixed name with the empty prefix, e.g. `:localName`.
+      std::string word = ":";
+      ++pos;
+      while (pos < n && IsNameChar(text[pos])) {
+        if (text[pos] == '.' && (pos + 1 >= n || !IsNameChar(text[pos + 1]))) {
+          break;
+        }
+        word += text[pos++];
+      }
+      push(TokenType::kPrefixedName, std::move(word), start);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      std::string word;
+      while (pos < n && IsNameChar(text[pos])) {
+        // A trailing '.' acting as the triple terminator must stay separate.
+        if (text[pos] == '.' &&
+            (pos + 1 >= n || !IsNameChar(text[pos + 1]) || text[pos + 1] == '.')) {
+          break;
+        }
+        word += text[pos++];
+      }
+      if (pos < n && text[pos] == ':') {
+        // Prefixed name: prefix ':' local.
+        word += text[pos++];
+        while (pos < n && IsNameChar(text[pos])) {
+          if (text[pos] == '.' &&
+              (pos + 1 >= n || !IsNameChar(text[pos + 1]))) {
+            break;
+          }
+          word += text[pos++];
+        }
+        push(TokenType::kPrefixedName, std::move(word), start);
+        continue;
+      }
+      if (word == "a") {
+        push(TokenType::kA, "a", start);
+        continue;
+      }
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper)) {
+        push(TokenType::kKeyword, std::move(upper), start);
+        continue;
+      }
+      if (word == "true" || word == "false") {
+        push(TokenType::kString,
+             "\"" + word + "\"^^<http://www.w3.org/2001/XMLSchema#boolean>",
+             start);
+        continue;
+      }
+      return error("unexpected word '" + word + "'");
+    }
+    return error(std::string("unexpected character '") + c + "'");
+  }
+  push(TokenType::kEof, "", pos);
+  return tokens;
+}
+
+}  // namespace sparql
+}  // namespace rdfc

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rdfc {
+namespace sparql {
+
+/// Token taxonomy for the SPARQL subset grammar (SELECT/ASK over a BGP).
+enum class TokenType : std::uint8_t {
+  kKeyword,    // SELECT, ASK, WHERE, PREFIX, DISTINCT, BASE, FILTER (case-insensitive)
+  kIriRef,     // <...> with brackets stripped
+  kPrefixedName,  // prefix:local (text keeps the colon)
+  kVariable,   // ?name or $name, text is the bare name
+  kString,     // "..." with escapes resolved; text keeps surrounding quotes
+  kLangTag,    // @en
+  kDoubleCaret,   // ^^
+  kNumber,     // integer or decimal, text as written
+  kBlankNode,  // _:label, text is the bare label
+  kA,          // the `a` keyword (rdf:type)
+  kLBrace,     // {
+  kRBrace,     // }
+  kDot,        // .
+  kSemicolon,  // ;
+  kComma,      // ,
+  kStar,       // *
+  kLParen,     // (
+  kRParen,     // )
+  kOperator,   // comparison/arithmetic operator inside FILTER expressions
+  kEof,
+};
+
+struct SparqlToken {
+  TokenType type;
+  std::string text;
+  std::size_t offset;  // byte offset into the source, for error messages
+};
+
+const char* TokenTypeName(TokenType type);
+
+/// Tokenises a SPARQL query string.  Comments (`#` to end of line) and
+/// whitespace are skipped.  Keywords are upper-cased in `text`.
+util::Result<std::vector<SparqlToken>> Tokenize(std::string_view text);
+
+}  // namespace sparql
+}  // namespace rdfc

@@ -1,0 +1,342 @@
+#include "sparql/parser.h"
+
+#include <atomic>
+
+#include "sparql/lexer.h"
+
+namespace rdfc {
+namespace sparql {
+
+namespace {
+
+constexpr char kRdfType[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+class Parser {
+ public:
+  Parser(std::vector<SparqlToken> tokens, rdf::TermDictionary* dict,
+         const ParserOptions& options)
+      : tokens_(std::move(tokens)), dict_(dict), options_(options),
+        prefixes_(options.default_prefixes) {}
+
+  util::Result<ParsedUnionQuery> ParseUnion() {
+    RDFC_RETURN_NOT_OK(ParsePrologue());
+    ParsedUnionQuery out;
+    query::BgpQuery header;  // collects form + projection
+    if (PeekKeyword("SELECT")) {
+      ++pos_;
+      header.set_form(query::QueryForm::kSelect);
+      if (PeekKeyword("DISTINCT") || PeekKeyword("REDUCED")) ++pos_;
+      if (Peek().type == TokenType::kStar) {
+        ++pos_;
+        header.set_select_all(true);
+      } else {
+        bool saw_var = false;
+        while (Peek().type == TokenType::kVariable ||
+               Peek().type == TokenType::kLParen) {
+          if (Peek().type == TokenType::kLParen) {
+            // Projection expressions `(expr AS ?v)` are out of scope; skip to
+            // the matching ')' keeping the inner variables distinguished.
+            RDFC_RETURN_NOT_OK(SkipParenGroup(&header));
+            saw_var = true;
+            continue;
+          }
+          header.AddDistinguished(dict_->MakeVariable(Peek().text));
+          saw_var = true;
+          ++pos_;
+        }
+        if (!saw_var) return Error("expected projection variables or '*'");
+      }
+    } else if (PeekKeyword("ASK")) {
+      ++pos_;
+      header.set_form(query::QueryForm::kAsk);
+    } else {
+      return Error("expected SELECT or ASK");
+    }
+    out.form = header.form();
+    out.select_all = header.select_all();
+    out.distinguished = header.distinguished();
+    if (PeekKeyword("WHERE")) ++pos_;
+
+    // `WHERE { { A } UNION { B } ... }` vs a plain `WHERE { A }`.
+    if (Peek().type == TokenType::kLBrace &&
+        Peek(1).type == TokenType::kLBrace) {
+      ++pos_;  // outer '{'
+      while (true) {
+        query::BgpQuery branch;
+        RDFC_RETURN_NOT_OK(ParseGroupGraphPattern(&branch));
+        out.branches.push_back(std::move(branch));
+        if (PeekKeyword("UNION")) {
+          ++pos_;
+          if (Peek().type != TokenType::kLBrace) {
+            return Error("expected '{' after UNION");
+          }
+          continue;
+        }
+        break;
+      }
+      if (Peek().type != TokenType::kRBrace) {
+        return Error("expected '}' closing the UNION group");
+      }
+      ++pos_;
+    } else {
+      query::BgpQuery branch;
+      RDFC_RETURN_NOT_OK(ParseGroupGraphPattern(&branch));
+      out.branches.push_back(std::move(branch));
+    }
+    // Stamp form/projection onto every branch so each is a complete query.
+    for (query::BgpQuery& branch : out.branches) {
+      branch.set_form(out.form);
+      branch.set_select_all(out.select_all);
+      for (rdf::TermId var : out.distinguished) branch.AddDistinguished(var);
+    }
+    RDFC_RETURN_NOT_OK(SkipTrailingModifiers());
+    if (Peek().type != TokenType::kEof) {
+      return Error("trailing content after query");
+    }
+    return out;
+  }
+
+  util::Result<query::BgpQuery> Parse() {
+    RDFC_ASSIGN_OR_RETURN(ParsedUnionQuery parsed, ParseUnion());
+    if (parsed.branches.size() != 1) {
+      return util::Status::Unsupported(
+          "query has a UNION body; use ParseUnionQuery");
+    }
+    return std::move(parsed.branches[0]);
+  }
+
+ private:
+  const SparqlToken& Peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  bool PeekKeyword(std::string_view kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+
+  util::Status Error(const std::string& msg) const {
+    return util::Status::ParseError(
+        msg + " near offset " + std::to_string(Peek().offset) + " (token: " +
+        TokenTypeName(Peek().type) + " '" + Peek().text + "')");
+  }
+
+  util::Status ParsePrologue() {
+    while (PeekKeyword("PREFIX") || PeekKeyword("BASE")) {
+      if (PeekKeyword("BASE")) {
+        ++pos_;
+        if (Peek().type != TokenType::kIriRef) return Error("expected <iri>");
+        base_ = Peek().text;
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // PREFIX
+      if (Peek().type != TokenType::kPrefixedName) {
+        return Error("expected prefix name");
+      }
+      std::string pname = Peek().text;
+      if (pname.empty() || pname.back() != ':') {
+        // Prefix declarations use `name:` with an empty local part; the lexer
+        // may have swallowed a local part if the declaration was malformed.
+        const std::size_t colon = pname.find(':');
+        if (colon == std::string::npos) return Error("malformed prefix");
+        pname = pname.substr(0, colon + 1);
+      }
+      pname.pop_back();  // strip ':'
+      ++pos_;
+      if (Peek().type != TokenType::kIriRef) return Error("expected <iri>");
+      prefixes_[pname] = base_ + Peek().text;
+      ++pos_;
+      if (Peek().type == TokenType::kDot) ++pos_;  // tolerate Turtle-style '.'
+    }
+    return util::Status::OK();
+  }
+
+  util::Status SkipParenGroup(query::BgpQuery* out) {
+    RDFC_DCHECK(Peek().type == TokenType::kLParen);
+    int depth = 0;
+    do {
+      if (Peek().type == TokenType::kEof) return Error("unbalanced '('");
+      if (Peek().type == TokenType::kLParen) ++depth;
+      if (Peek().type == TokenType::kRParen) --depth;
+      if (Peek().type == TokenType::kVariable) {
+        out->AddDistinguished(dict_->MakeVariable(Peek().text));
+      }
+      ++pos_;
+    } while (depth > 0);
+    return util::Status::OK();
+  }
+
+  util::Status SkipTrailingModifiers() {
+    if (!options_.skip_solution_modifiers) return util::Status::OK();
+    while (Peek().type == TokenType::kKeyword &&
+           (Peek().text == "LIMIT" || Peek().text == "OFFSET" ||
+            Peek().text == "ORDER" || Peek().text == "BY")) {
+      ++pos_;
+      if (Peek().type == TokenType::kNumber ||
+          Peek().type == TokenType::kVariable) {
+        ++pos_;
+      }
+    }
+    return util::Status::OK();
+  }
+
+  util::Result<rdf::TermId> ParseTerm(bool predicate_position) {
+    const SparqlToken& tok = Peek();
+    switch (tok.type) {
+      case TokenType::kIriRef: {
+        ++pos_;
+        return dict_->MakeIri(base_ + tok.text);
+      }
+      case TokenType::kPrefixedName: {
+        const std::size_t colon = tok.text.find(':');
+        const std::string prefix = tok.text.substr(0, colon);
+        auto it = prefixes_.find(prefix);
+        if (it == prefixes_.end()) {
+          return Error("undeclared prefix '" + prefix + "'");
+        }
+        ++pos_;
+        return dict_->MakeIri(it->second + tok.text.substr(colon + 1));
+      }
+      case TokenType::kVariable: {
+        ++pos_;
+        return dict_->MakeVariable(tok.text);
+      }
+      case TokenType::kBlankNode: {
+        ++pos_;
+        // Blank nodes in query patterns are existential variables.
+        return dict_->MakeVariable("_bn_" + tok.text);
+      }
+      case TokenType::kA:
+        if (!predicate_position) return Error("'a' outside predicate position");
+        ++pos_;
+        return dict_->MakeIri(kRdfType);
+      case TokenType::kString: {
+        std::string lexical = tok.text;
+        ++pos_;
+        if (Peek().type == TokenType::kLangTag) {
+          lexical += "@" + Peek().text;
+          ++pos_;
+        } else if (Peek().type == TokenType::kDoubleCaret) {
+          ++pos_;
+          RDFC_ASSIGN_OR_RETURN(rdf::TermId dt, ParseTerm(false));
+          if (!dict_->IsIri(dt)) return Error("datatype must be an IRI");
+          lexical += "^^<" + dict_->lexical(dt) + ">";
+        }
+        return dict_->MakeLiteral(lexical);
+      }
+      case TokenType::kNumber: {
+        const bool decimal = tok.text.find('.') != std::string::npos;
+        ++pos_;
+        const char* dt = decimal ? "http://www.w3.org/2001/XMLSchema#decimal"
+                                 : "http://www.w3.org/2001/XMLSchema#integer";
+        return dict_->MakeLiteral("\"" + tok.text + "\"^^<" + dt + ">");
+      }
+      default:
+        return Error("expected RDF term");
+    }
+  }
+
+  util::Status SkipFilter() {
+    // FILTER ( ... ) — balanced-parenthesis skip; FILTER regex(...) etc. all
+    // start with '(' after the function name in our token stream.
+    ++pos_;  // FILTER
+    // Optional function-style head, e.g. FILTER regex(...): the lexer emits
+    // the name as a keyword/prefixed-name/variable-free word which we can
+    // simply skip until the '('.
+    while (Peek().type != TokenType::kLParen) {
+      if (Peek().type == TokenType::kEof) return Error("malformed FILTER");
+      ++pos_;
+    }
+    int depth = 0;
+    do {
+      if (Peek().type == TokenType::kEof) return Error("unbalanced FILTER");
+      if (Peek().type == TokenType::kLParen) ++depth;
+      if (Peek().type == TokenType::kRParen) --depth;
+      ++pos_;
+    } while (depth > 0);
+    return util::Status::OK();
+  }
+
+  util::Status ParseGroupGraphPattern(query::BgpQuery* out) {
+    if (Peek().type != TokenType::kLBrace) return Error("expected '{'");
+    ++pos_;
+    while (Peek().type != TokenType::kRBrace) {
+      if (Peek().type == TokenType::kEof) return Error("unterminated '{'");
+      if (PeekKeyword("FILTER")) {
+        if (!options_.skip_solution_modifiers) {
+          return Error("FILTER unsupported");
+        }
+        RDFC_RETURN_NOT_OK(SkipFilter());
+        if (Peek().type == TokenType::kDot) ++pos_;
+        continue;
+      }
+      if (Peek().type == TokenType::kKeyword &&
+          (Peek().text == "OPTIONAL" || Peek().text == "MINUS" ||
+           Peek().text == "GRAPH" || Peek().text == "SERVICE" ||
+           Peek().text == "UNION")) {
+        return util::Status::Unsupported(
+            Peek().text + " is outside the BGP fragment this library covers");
+      }
+      RDFC_RETURN_NOT_OK(ParseTriplesSameSubject(out));
+      if (Peek().type == TokenType::kDot) ++pos_;
+    }
+    ++pos_;  // '}'
+    return util::Status::OK();
+  }
+
+  util::Status ParseTriplesSameSubject(query::BgpQuery* out) {
+    RDFC_ASSIGN_OR_RETURN(rdf::TermId subject, ParseTerm(false));
+    while (true) {
+      RDFC_ASSIGN_OR_RETURN(rdf::TermId predicate, ParseTerm(true));
+      while (true) {
+        RDFC_ASSIGN_OR_RETURN(rdf::TermId object, ParseTerm(false));
+        out->AddPattern(subject, predicate, object);
+        if (Peek().type == TokenType::kComma) {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      if (Peek().type == TokenType::kSemicolon) {
+        ++pos_;
+        // Tolerate dangling ';' before '.' or '}'.
+        if (Peek().type == TokenType::kDot ||
+            Peek().type == TokenType::kRBrace) {
+          break;
+        }
+        continue;
+      }
+      break;
+    }
+    return util::Status::OK();
+  }
+
+  std::vector<SparqlToken> tokens_;
+  std::size_t pos_ = 0;
+  rdf::TermDictionary* dict_;
+  ParserOptions options_;
+  std::unordered_map<std::string, std::string> prefixes_;
+  std::string base_;
+};
+
+}  // namespace
+
+util::Result<query::BgpQuery> ParseQuery(std::string_view text,
+                                         rdf::TermDictionary* dict,
+                                         const ParserOptions& options) {
+  RDFC_ASSIGN_OR_RETURN(std::vector<SparqlToken> tokens, Tokenize(text));
+  Parser parser(std::move(tokens), dict, options);
+  return parser.Parse();
+}
+
+util::Result<ParsedUnionQuery> ParseUnionQuery(std::string_view text,
+                                               rdf::TermDictionary* dict,
+                                               const ParserOptions& options) {
+  RDFC_ASSIGN_OR_RETURN(std::vector<SparqlToken> tokens, Tokenize(text));
+  Parser parser(std::move(tokens), dict, options);
+  return parser.ParseUnion();
+}
+
+}  // namespace sparql
+}  // namespace rdfc

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+#include "util/status.h"
+
+namespace rdfc {
+namespace sparql {
+
+/// Options controlling leniencies of the parser.
+struct ParserOptions {
+  /// When true, FILTER / LIMIT / ORDER BY clauses are skipped instead of
+  /// rejected — the containment machinery only sees the BGP, mirroring the
+  /// paper's treatment of query logs (everything reduces to the WHERE BGP).
+  bool skip_solution_modifiers = true;
+  /// Extra prefix declarations available without in-query PREFIX lines.
+  std::unordered_map<std::string, std::string> default_prefixes;
+};
+
+/// Parses a SPARQL SELECT/ASK query over a basic graph pattern.
+///
+/// Grammar subset:
+///   Query      := Prologue (SelectQuery | AskQuery)
+///   Prologue   := (PREFIX pname: <iri>)*
+///   SelectQuery:= SELECT (DISTINCT|REDUCED)? (Var+ | '*') WHERE? GroupGraph
+///   AskQuery   := ASK WHERE? GroupGraph
+///   GroupGraph := '{' TriplesBlock '}'
+///   TriplesBlock supports '.' separators, ';' predicate lists, ',' object
+///   lists, the 'a' keyword, typed/lang literals, numbers and blank nodes
+///   (parsed as fresh non-distinguished variables, per SPARQL semantics).
+///
+/// All terms are interned into `dict`.  Blank nodes in queries become fresh
+/// variables named `_bnN`.
+util::Result<query::BgpQuery> ParseQuery(std::string_view text,
+                                         rdf::TermDictionary* dict,
+                                         const ParserOptions& options = {});
+
+/// A parsed query whose WHERE clause may be a UNION of basic graph patterns:
+/// `WHERE { { A } UNION { B } UNION { C } }`.  Plain BGP queries parse to a
+/// single branch.  Each branch carries the query's form and projection, so
+/// branches plug directly into containment::ContainedInUnion.
+struct ParsedUnionQuery {
+  query::QueryForm form = query::QueryForm::kSelect;
+  bool select_all = false;
+  std::vector<rdf::TermId> distinguished;
+  std::vector<query::BgpQuery> branches;
+};
+
+/// Like ParseQuery but accepting UNION bodies.  ParseQuery rejects unions
+/// (callers that can only handle conjunctive queries keep a clear error).
+util::Result<ParsedUnionQuery> ParseUnionQuery(
+    std::string_view text, rdf::TermDictionary* dict,
+    const ParserOptions& options = {});
+
+}  // namespace sparql
+}  // namespace rdfc

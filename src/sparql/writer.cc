@@ -1,0 +1,45 @@
+#include "sparql/writer.h"
+
+namespace rdfc {
+namespace sparql {
+
+std::string WriteTerm(rdf::TermId term, const rdf::TermDictionary& dict) {
+  switch (dict.kind(term)) {
+    case rdf::TermKind::kIri:
+      return "<" + dict.lexical(term) + ">";
+    case rdf::TermKind::kLiteral:
+      return dict.lexical(term);  // Lexical form keeps quotes/datatype.
+    case rdf::TermKind::kBlank:
+      return "_:" + dict.lexical(term);
+    case rdf::TermKind::kVariable:
+      return "?" + dict.lexical(term);
+  }
+  return "?";
+}
+
+std::string WriteQuery(const query::BgpQuery& query,
+                       const rdf::TermDictionary& dict) {
+  std::string out;
+  if (query.form() == query::QueryForm::kAsk) {
+    out = "ASK WHERE {\n";
+  } else {
+    out = "SELECT";
+    if (query.select_all() || query.distinguished().empty()) {
+      out += " *";
+    } else {
+      for (rdf::TermId var : query.distinguished()) {
+        out += " " + WriteTerm(var, dict);
+      }
+    }
+    out += " WHERE {\n";
+  }
+  for (const rdf::Triple& t : query.patterns()) {
+    out += "  " + WriteTerm(t.s, dict) + " " + WriteTerm(t.p, dict) + " " +
+           WriteTerm(t.o, dict) + " .\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace sparql
+}  // namespace rdfc

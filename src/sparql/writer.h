@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+
+namespace rdfc {
+namespace sparql {
+
+/// Renders a BgpQuery back to executable SPARQL text.  Round-tripping
+/// through ParseQuery yields a query with the same pattern set (tested in
+/// tests/sparql/writer_test.cc).
+std::string WriteQuery(const query::BgpQuery& query,
+                       const rdf::TermDictionary& dict);
+
+/// Renders a single term in SPARQL surface syntax.
+std::string WriteTerm(rdf::TermId term, const rdf::TermDictionary& dict);
+
+}  // namespace sparql
+}  // namespace rdfc

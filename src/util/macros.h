@@ -1,0 +1,30 @@
+// Copyright-style note: this project follows the Google C++ style guide with
+// the Arrow relaxations (90-column lines, structs for simple aggregates).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+// Fatal invariant check, enabled in all build types.  Library code uses
+// RDFC_CHECK only for programmer errors (violated preconditions), never for
+// data-dependent failures, which are reported through util::Status instead.
+#define RDFC_CHECK(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "RDFC_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#ifdef NDEBUG
+#define RDFC_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define RDFC_DCHECK(cond) RDFC_CHECK(cond)
+#endif
+
+#define RDFC_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;           \
+  TypeName& operator=(const TypeName&) = delete

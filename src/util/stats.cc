@@ -1,0 +1,73 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace rdfc {
+namespace util {
+
+void StreamingStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+double StreamingStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double StreamingStats::ci95_halfwidth() const {
+  if (count_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void StreamingStats::Merge(const StreamingStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(count_);
+  const auto m = static_cast<double>(other.count_);
+  mean_ += delta * m / (n + m);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  count_ += other.count_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+void BucketedStats::Add(std::int64_t key, double value) {
+  RDFC_DCHECK(width_ > 0);
+  const std::int64_t idx = (key - lo_) / width_;
+  buckets_[idx].Add(value);
+}
+
+std::vector<BucketedStats::Bucket> BucketedStats::NonEmptyBuckets() const {
+  std::vector<Bucket> out;
+  out.reserve(buckets_.size());
+  for (const auto& [idx, stats] : buckets_) {
+    Bucket b;
+    b.lo = lo_ + idx * width_;
+    b.hi = b.lo + width_ - 1;
+    b.stats = stats;
+    out.push_back(b);
+  }
+  return out;
+}
+
+std::string BucketedStats::LabelFor(std::int64_t key) const {
+  const std::int64_t idx = (key - lo_) / width_;
+  const std::int64_t lo = lo_ + idx * width_;
+  return std::to_string(lo) + "-" + std::to_string(lo + width_ - 1);
+}
+
+}  // namespace util
+}  // namespace rdfc

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rdfc {
+namespace util {
+
+/// Streaming univariate statistics (Welford's online algorithm).  The bench
+/// harness uses this to report the mean and a 95 % confidence interval for
+/// each measurement group, matching the error bars of the paper's Figure 4.
+class StreamingStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  /// Half-width of the normal-approximation 95 % confidence interval
+  /// (1.96 * stderr).  0 for fewer than two samples.
+  double ci95_halfwidth() const;
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void Merge(const StreamingStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width bucketing used by the figure harnesses, e.g. query sizes
+/// grouped as 1-5, 6-10, 11-15, ... (Figures 3b and 4) or index sizes grouped
+/// per 5,000 vertices (Figure 3a).
+class BucketedStats {
+ public:
+  /// `width` is the bucket width; bucket i covers [lo + i*width, lo+(i+1)*width).
+  explicit BucketedStats(std::int64_t width, std::int64_t lo = 0)
+      : width_(width), lo_(lo) {}
+
+  void Add(std::int64_t key, double value);
+
+  /// Buckets that received at least one sample, in increasing key order.
+  struct Bucket {
+    std::int64_t lo;  // inclusive
+    std::int64_t hi;  // inclusive (lo + width - 1)
+    StreamingStats stats;
+  };
+  std::vector<Bucket> NonEmptyBuckets() const;
+
+  /// Renders a label such as "6-10" for the bucket containing `key`.
+  std::string LabelFor(std::int64_t key) const;
+
+ private:
+  std::int64_t width_;
+  std::int64_t lo_;
+  std::map<std::int64_t, StreamingStats> buckets_;  // keyed by bucket index
+};
+
+}  // namespace util
+}  // namespace rdfc

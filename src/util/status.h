@@ -1,0 +1,120 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/macros.h"
+
+namespace rdfc {
+namespace util {
+
+/// Error taxonomy for the library.  Kept deliberately small; the message
+/// string carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kOutOfRange,
+  kUnsupported,
+  kInternal,
+};
+
+/// Returned by operations that can fail without a payload.  Mirrors the
+/// RocksDB/Arrow convention: no exceptions cross library boundaries.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "ParseError: unexpected token".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error holder.  `value()` aborts if the result holds an error, so
+/// callers either branch on `ok()` or use RDFC_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : payload_(std::move(status)) {    // NOLINT(runtime/explicit)
+    RDFC_CHECK(!std::get<Status>(payload_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status ok_status = Status::OK();
+    if (ok()) return ok_status;
+    return std::get<Status>(payload_);
+  }
+
+  T& value() & {
+    RDFC_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  const T& value() const& {
+    RDFC_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    RDFC_CHECK(ok());
+    return std::move(std::get<T>(payload_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace util
+}  // namespace rdfc
+
+#define RDFC_RETURN_NOT_OK(expr)              \
+  do {                                        \
+    ::rdfc::util::Status _st = (expr);        \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+#define RDFC_CONCAT_IMPL(x, y) x##y
+#define RDFC_CONCAT(x, y) RDFC_CONCAT_IMPL(x, y)
+
+#define RDFC_ASSIGN_OR_RETURN(lhs, expr)                           \
+  auto RDFC_CONCAT(_result_, __LINE__) = (expr);                   \
+  if (!RDFC_CONCAT(_result_, __LINE__).ok())                       \
+    return RDFC_CONCAT(_result_, __LINE__).status();               \
+  lhs = std::move(RDFC_CONCAT(_result_, __LINE__)).value()

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdfc {
+namespace util {
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True iff `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Renders a double with `precision` digits after the decimal point.
+std::string FormatDouble(double v, int precision = 4);
+
+/// Renders an integer with thousands separators, e.g. 1536378 -> "1,536,378".
+std::string WithThousands(std::uint64_t v);
+
+}  // namespace util
+}  // namespace rdfc

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <chrono>
+
+namespace rdfc {
+namespace util {
+
+/// Monotonic wall-clock stopwatch.  The bench harnesses report milliseconds
+/// to match the units of the paper's figures.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace util
+}  // namespace rdfc

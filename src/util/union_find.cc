@@ -1,0 +1,44 @@
+#include "util/union_find.h"
+
+#include "util/macros.h"
+
+namespace rdfc {
+namespace util {
+
+void UnionFind::Reset(std::size_t n) {
+  parent_.resize(n);
+  size_.assign(n, 1);
+  for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<std::uint32_t>(i);
+  num_sets_ = n;
+}
+
+std::uint32_t UnionFind::Add() {
+  const auto id = static_cast<std::uint32_t>(parent_.size());
+  parent_.push_back(id);
+  size_.push_back(1);
+  ++num_sets_;
+  return id;
+}
+
+std::uint32_t UnionFind::Find(std::uint32_t x) {
+  RDFC_DCHECK(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // Path halving.
+    x = parent_[x];
+  }
+  return x;
+}
+
+std::uint32_t UnionFind::Union(std::uint32_t a, std::uint32_t b) {
+  a = Find(a);
+  b = Find(b);
+  if (a == b) return a;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --num_sets_;
+  return a;
+}
+
+}  // namespace util
+}  // namespace rdfc

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rdfc {
+namespace util {
+
+/// Disjoint-set forest with union-by-size and path halving.  Used by the
+/// f-graph witness construction (congruence-closure merging of query terms)
+/// and by connected-component analysis of BGP queries.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n = 0) { Reset(n); }
+
+  /// Re-initialises the structure to `n` singleton sets.
+  void Reset(std::size_t n);
+
+  /// Adds one more singleton set and returns its id.
+  std::uint32_t Add();
+
+  std::size_t size() const { return parent_.size(); }
+
+  /// Representative of x's set.
+  std::uint32_t Find(std::uint32_t x);
+
+  /// Merges the sets of a and b; returns the new representative.
+  /// No-op (returning the shared root) if already merged.
+  std::uint32_t Union(std::uint32_t a, std::uint32_t b);
+
+  bool Same(std::uint32_t a, std::uint32_t b) { return Find(a) == Find(b); }
+
+  /// Number of elements in x's set.
+  std::uint32_t SetSize(std::uint32_t x) { return size_[Find(x)]; }
+
+  /// Number of disjoint sets currently represented.
+  std::size_t num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t num_sets_ = 0;
+};
+
+}  // namespace util
+}  // namespace rdfc

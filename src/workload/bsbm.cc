@@ -1,0 +1,233 @@
+#include "workload/workload.h"
+
+#include "util/rng.h"
+
+namespace rdfc {
+namespace workload {
+
+namespace {
+
+constexpr char kBsbm[] =
+    "http://www4.wiwiss.fu-berlin.de/bizer/bsbm/v01/vocabulary/";
+constexpr char kBsbmInst[] =
+    "http://www4.wiwiss.fu-berlin.de/bizer/bsbm/v01/instances/";
+
+/// Berlin SPARQL Benchmark vocabulary and parameter pools.  BSBM queries are
+/// "based on a variation of 12 basic query patterns" (paper Section 7):
+/// every generated query instantiates one of the 12 templates below with
+/// parameters drawn from Zipf pools, which is what produces the heavy
+/// serialised-prefix sharing in the mv-index.
+class BsbmVocab {
+ public:
+  explicit BsbmVocab(rdf::TermDictionary* dict) : dict_(dict) {
+    type_ = dict_->MakeIri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+    label_ = dict_->MakeIri("http://www.w3.org/2000/01/rdf-schema#label");
+    comment_ = dict_->MakeIri("http://www.w3.org/2000/01/rdf-schema#comment");
+    product_ = V("Product");
+    product_feature_ = V("productFeature");
+    product_property1_ = V("productPropertyNumeric1");
+    product_property2_ = V("productPropertyNumeric2");
+    product_property_t1_ = V("productPropertyTextual1");
+    producer_ = V("producer");
+    publisher_ = dict_->MakeIri("http://purl.org/dc/elements/1.1/publisher");
+    price_ = V("price");
+    vendor_ = V("vendor");
+    offer_ = V("Offer");
+    offer_product_ = V("product");
+    delivery_days_ = V("deliveryDays");
+    valid_to_ = V("validTo");
+    review_ = V("Review");
+    review_for_ = V("reviewFor");
+    reviewer_ = V("reviewer");
+    review_date_ = V("reviewDate");
+    rating1_ = V("rating1");
+    rating2_ = V("rating2");
+    title_ = V("reviewTitle");
+    text_ = V("text");
+    name_ = dict_->MakeIri("http://xmlns.com/foaf/0.1/name");
+    mbox_ = dict_->MakeIri("http://xmlns.com/foaf/0.1/mbox_sha1sum");
+    country_ = V("country");
+  }
+
+  rdf::TermId V(const std::string& local) {
+    return dict_->MakeIri(kBsbm + local);
+  }
+  rdf::TermId ProductType(util::Rng* rng) {
+    return dict_->MakeIri(std::string(kBsbmInst) + "ProductType" +
+                          std::to_string(rng->Zipf(120, 1.2)));
+  }
+  rdf::TermId Feature(util::Rng* rng) {
+    return dict_->MakeIri(std::string(kBsbmInst) + "ProductFeature" +
+                          std::to_string(rng->Zipf(300, 1.2)));
+  }
+  rdf::TermId ProductInstance(util::Rng* rng) {
+    return dict_->MakeIri(std::string(kBsbmInst) + "Product" +
+                          std::to_string(rng->Zipf(400, 1.2)));
+  }
+  rdf::TermId CountryInstance(util::Rng* rng) {
+    return dict_->MakeIri(
+        "http://downlode.org/rdf/iso-3166/countries#C" +
+        std::to_string(rng->Zipf(30, 1.0)));
+  }
+
+  rdf::TermId type_, label_, comment_, product_, product_feature_,
+      product_property1_, product_property2_, product_property_t1_, producer_,
+      publisher_, price_, vendor_, offer_, offer_product_, delivery_days_,
+      valid_to_, review_, review_for_, reviewer_, review_date_, rating1_,
+      rating2_, title_, text_, name_, mbox_, country_;
+
+ private:
+  rdf::TermDictionary* dict_;
+};
+
+}  // namespace
+
+std::vector<query::BgpQuery> GenerateBsbm(rdf::TermDictionary* dict,
+                                          std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  BsbmVocab v(dict);
+  auto var = [&](const char* name) { return dict->MakeVariable(name); };
+
+  // Pool-then-sample: BSBM instantiates 12 fixed patterns with parameters,
+  // so the distinct fraction is small.
+  const std::size_t pool_size = std::max<std::size_t>(12, (n * 12) / 100);
+  std::vector<query::BgpQuery> pool;
+  pool.reserve(pool_size);
+
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    query::BgpQuery q;
+    const std::size_t tmpl = rng.Uniform(1, 12);
+    const rdf::TermId product = var("product");
+    const rdf::TermId label = var("label");
+    const rdf::TermId offer = var("offer");
+    const rdf::TermId review = var("review");
+    const rdf::TermId reviewer = var("reviewer");
+    const rdf::TermId vendor = var("vendor");
+    switch (tmpl) {
+      case 1:  // Products of a type with two features.
+        q.AddDistinguished(product);
+        q.AddPattern(product, v.type_, v.ProductType(&rng));
+        q.AddPattern(product, v.label_, label);
+        q.AddPattern(product, v.product_feature_, v.Feature(&rng));
+        q.AddPattern(product, v.product_feature_, v.Feature(&rng));
+        q.AddPattern(product, v.product_property1_, var("p1"));
+        break;
+      case 2: {  // Product detail page.
+        const rdf::TermId p = v.ProductInstance(&rng);
+        q.AddDistinguished(label);
+        q.AddPattern(p, v.label_, label);
+        q.AddPattern(p, v.comment_, var("comment"));
+        q.AddPattern(p, v.producer_, var("producer"));
+        q.AddPattern(var("producer"), v.label_, var("producerLabel"));
+        q.AddPattern(p, v.publisher_, var("producer"));
+        q.AddPattern(p, v.product_feature_, var("feature"));
+        q.AddPattern(var("feature"), v.label_, var("featureLabel"));
+        q.AddPattern(p, v.product_property1_, var("p1"));
+        q.AddPattern(p, v.product_property_t1_, var("t1"));
+        break;
+      }
+      case 3:  // Products of a type with a feature and numeric property.
+        q.AddDistinguished(product);
+        q.AddPattern(product, v.type_, v.ProductType(&rng));
+        q.AddPattern(product, v.label_, label);
+        q.AddPattern(product, v.product_feature_, v.Feature(&rng));
+        q.AddPattern(product, v.product_property1_, var("p1"));
+        q.AddPattern(product, v.product_property2_, var("p2"));
+        break;
+      case 4:  // Products with either of two features (one branch).
+        q.AddDistinguished(product);
+        q.AddPattern(product, v.type_, v.ProductType(&rng));
+        q.AddPattern(product, v.label_, label);
+        q.AddPattern(product, v.product_feature_, v.Feature(&rng));
+        q.AddPattern(product, v.product_property1_, var("p1"));
+        break;
+      case 5: {  // Products similar to a given product (shared producer).
+        const rdf::TermId p = v.ProductInstance(&rng);
+        q.AddDistinguished(product);
+        q.AddPattern(p, v.producer_, var("producer"));
+        q.AddPattern(product, v.producer_, var("producer"));
+        q.AddPattern(product, v.label_, label);
+        q.AddPattern(product, v.product_property1_, var("p1"));
+        break;
+      }
+      case 6:  // Label lookup for a product instance.
+        q.AddDistinguished(label);
+        q.AddPattern(v.ProductInstance(&rng), v.label_, label);
+        break;
+      case 7: {  // Product page with offers and reviews.
+        const rdf::TermId p = v.ProductInstance(&rng);
+        q.AddDistinguished(offer);
+        q.AddPattern(p, v.label_, label);
+        q.AddPattern(offer, v.offer_product_, p);
+        q.AddPattern(offer, v.price_, var("price"));
+        q.AddPattern(offer, v.vendor_, vendor);
+        q.AddPattern(vendor, v.label_, var("vendorLabel"));
+        q.AddPattern(review, v.review_for_, p);
+        q.AddPattern(review, v.reviewer_, reviewer);
+        q.AddPattern(reviewer, v.name_, var("revName"));
+        q.AddPattern(review, v.title_, var("revTitle"));
+        break;
+      }
+      case 8: {  // All reviews for a product.
+        const rdf::TermId p = v.ProductInstance(&rng);
+        q.AddDistinguished(review);
+        q.AddPattern(review, v.review_for_, p);
+        q.AddPattern(review, v.reviewer_, reviewer);
+        q.AddPattern(reviewer, v.name_, var("revName"));
+        q.AddPattern(review, v.title_, var("revTitle"));
+        q.AddPattern(review, v.text_, var("revText"));
+        q.AddPattern(review, v.review_date_, var("revDate"));
+        q.AddPattern(review, v.rating1_, var("r1"));
+        break;
+      }
+      case 9:  // Reviewer profile via a review.
+        q.AddDistinguished(reviewer);
+        q.AddPattern(review, v.reviewer_, reviewer);
+        q.AddPattern(reviewer, v.name_, var("revName"));
+        q.AddPattern(reviewer, v.mbox_, var("mbox"));
+        q.AddPattern(reviewer, v.country_, v.CountryInstance(&rng));
+        break;
+      case 10: {  // Offers for a product deliverable in a country.
+        const rdf::TermId p = v.ProductInstance(&rng);
+        q.AddDistinguished(offer);
+        q.AddPattern(offer, v.offer_product_, p);
+        q.AddPattern(offer, v.vendor_, vendor);
+        q.AddPattern(vendor, v.country_, v.CountryInstance(&rng));
+        q.AddPattern(offer, v.delivery_days_, var("days"));
+        q.AddPattern(offer, v.price_, var("price"));
+        q.AddPattern(offer, v.valid_to_, var("date"));
+        break;
+      }
+      case 11:  // All properties of an offer — variable predicate!
+        q.AddDistinguished(var("property"));
+        q.AddPattern(offer, v.offer_product_, v.ProductInstance(&rng));
+        q.AddPattern(offer, var("property"), var("value"));
+        break;
+      case 12: {  // Offer export view.
+        const rdf::TermId p = v.ProductInstance(&rng);
+        q.AddDistinguished(offer);
+        q.AddPattern(offer, v.offer_product_, p);
+        q.AddPattern(p, v.label_, var("productLabel"));
+        q.AddPattern(offer, v.vendor_, vendor);
+        q.AddPattern(vendor, v.label_, var("vendorLabel"));
+        q.AddPattern(vendor, v.offer_, var("vendorHomepage"));
+        q.AddPattern(offer, v.price_, var("price"));
+        q.AddPattern(offer, v.valid_to_, var("date"));
+        break;
+      }
+      default:
+        break;
+    }
+    pool.push_back(std::move(q));
+  }
+
+  std::vector<query::BgpQuery> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(pool[rng.Zipf(pool.size(), 0.4)]);
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace rdfc

@@ -1,0 +1,212 @@
+#include "workload/workload.h"
+
+#include "util/rng.h"
+
+namespace rdfc {
+namespace workload {
+
+namespace {
+
+constexpr char kSnb[] = "http://ldbc.eu/snb/vocabulary/";
+
+/// LDBC SNB vocabulary subset used by the interactive workload shapes.
+class LdbcVocab {
+ public:
+  explicit LdbcVocab(rdf::TermDictionary* dict) : dict_(dict) {
+    type = dict_->MakeIri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+    person = C("Person");
+    post = C("Post");
+    comment = C("Comment");
+    forum = C("Forum");
+    tag = C("Tag");
+    city = C("City");
+    country = C("Country");
+    company = C("Company");
+    university = C("University");
+    knows = P("knows");
+    has_creator = P("hasCreator");
+    reply_of = P("replyOf");
+    container_of = P("containerOf");
+    has_member = P("hasMember");
+    has_moderator = P("hasModerator");
+    has_tag = P("hasTag");
+    has_interest = P("hasInterest");
+    is_located_in = P("isLocatedIn");
+    is_part_of = P("isPartOf");
+    work_at = P("workAt");
+    study_at = P("studyAt");
+    first_name = P("firstName");
+    last_name = P("lastName");
+    birthday = P("birthday");
+    creation_date = P("creationDate");
+    content = P("content");
+    browser_used = P("browserUsed");
+    location_ip = P("locationIP");
+    likes = P("likes");
+  }
+
+  rdf::TermId P(const std::string& local) {
+    return dict_->MakeIri(std::string(kSnb) + local);
+  }
+  rdf::TermId C(const std::string& local) {
+    return dict_->MakeIri(std::string(kSnb) + "class/" + local);
+  }
+  rdf::TermId PersonInstance(util::Rng* rng) {
+    return dict_->MakeIri(std::string(kSnb) + "person/" +
+                          std::to_string(rng->Uniform(0, 200)));
+  }
+  rdf::TermId TagInstance(util::Rng* rng) {
+    return dict_->MakeIri(std::string(kSnb) + "tag/" +
+                          std::to_string(rng->Uniform(0, 80)));
+  }
+  rdf::TermId CountryInstance(util::Rng* rng) {
+    return dict_->MakeIri(std::string(kSnb) + "country/" +
+                          std::to_string(rng->Uniform(0, 30)));
+  }
+
+  rdf::TermId type, person, post, comment, forum, tag, city, country, company,
+      university, knows, has_creator, reply_of, container_of, has_member,
+      has_moderator, has_tag, has_interest, is_located_in, is_part_of,
+      work_at, study_at, first_name, last_name, birthday, creation_date,
+      content, browser_used, location_ip, likes;
+
+ private:
+  rdf::TermDictionary* dict_;
+};
+
+}  // namespace
+
+std::vector<query::BgpQuery> GenerateLdbc(rdf::TermDictionary* dict,
+                                          std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  LdbcVocab v(dict);
+  std::vector<query::BgpQuery> out;
+  out.reserve(n);
+  auto var = [&](const std::string& name) {
+    return dict->MakeVariable(name);
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    query::BgpQuery q;
+    const std::size_t shape = i % 8;  // cycle through the interactive shapes
+    const rdf::TermId p1 = var("person1");
+    const rdf::TermId p2 = var("person2");
+    const rdf::TermId msg = var("message");
+    switch (shape) {
+      case 0: {
+        // IC1-like: friends-of-friends of a person with profile details.
+        const rdf::TermId start = v.PersonInstance(&rng);
+        q.AddDistinguished(p2);
+        q.AddPattern(start, v.knows, p1);
+        q.AddPattern(p1, v.knows, p2);
+        q.AddPattern(p2, v.type, v.person);
+        q.AddPattern(p2, v.first_name, var("fn"));
+        q.AddPattern(p2, v.last_name, var("ln"));
+        q.AddPattern(p2, v.birthday, var("bday"));
+        q.AddPattern(p2, v.is_located_in, var("city"));
+        q.AddPattern(var("city"), v.type, v.city);
+        q.AddPattern(var("city"), v.is_part_of, v.CountryInstance(&rng));
+        break;
+      }
+      case 1: {
+        // IC2-like: recent messages of friends.
+        const rdf::TermId start = v.PersonInstance(&rng);
+        q.AddDistinguished(msg);
+        q.AddPattern(start, v.knows, p1);
+        q.AddPattern(msg, v.has_creator, p1);
+        q.AddPattern(msg, v.creation_date, var("date"));
+        q.AddPattern(msg, v.content, var("content"));
+        q.AddPattern(p1, v.first_name, var("fn"));
+        q.AddPattern(p1, v.last_name, var("ln"));
+        break;
+      }
+      case 2: {
+        // IC3-like: friends in two countries (non-f-graph: isLocatedIn used
+        // twice from different subjects onto the same country variable).
+        const rdf::TermId start = v.PersonInstance(&rng);
+        q.AddDistinguished(p1);
+        q.AddDistinguished(p2);
+        q.AddPattern(start, v.knows, p1);
+        q.AddPattern(start, v.knows, p2);
+        q.AddPattern(p1, v.is_located_in, var("cityA"));
+        q.AddPattern(p2, v.is_located_in, var("cityB"));
+        q.AddPattern(var("cityA"), v.is_part_of, var("country"));
+        q.AddPattern(var("cityB"), v.is_part_of, var("country"));
+        break;
+      }
+      case 3: {
+        // IC5-like: forums joined by friends, with posts by those friends
+        // in those forums (cyclic: forum-post-creator-member square).
+        const rdf::TermId start = v.PersonInstance(&rng);
+        const rdf::TermId forum = var("forum");
+        q.AddDistinguished(forum);
+        q.AddPattern(start, v.knows, p1);
+        q.AddPattern(forum, v.has_member, p1);
+        q.AddPattern(forum, v.container_of, msg);
+        q.AddPattern(msg, v.has_creator, p1);
+        q.AddPattern(forum, v.type, v.forum);
+        q.AddPattern(msg, v.type, v.post);
+        break;
+      }
+      case 4: {
+        // IC6-like: posts of friends with a given tag.
+        const rdf::TermId start = v.PersonInstance(&rng);
+        q.AddDistinguished(msg);
+        q.AddPattern(start, v.knows, p1);
+        q.AddPattern(msg, v.has_creator, p1);
+        q.AddPattern(msg, v.type, v.post);
+        q.AddPattern(msg, v.has_tag, v.TagInstance(&rng));
+        q.AddPattern(msg, v.has_tag, var("otherTag"));
+        q.AddPattern(var("otherTag"), v.type, v.tag);
+        break;
+      }
+      case 5: {
+        // IC11-like: friends working at companies in a country.
+        const rdf::TermId start = v.PersonInstance(&rng);
+        q.AddDistinguished(p1);
+        q.AddPattern(start, v.knows, p1);
+        q.AddPattern(p1, v.work_at, var("company"));
+        q.AddPattern(var("company"), v.type, v.company);
+        q.AddPattern(var("company"), v.is_located_in, v.CountryInstance(&rng));
+        q.AddPattern(p1, v.first_name, var("fn"));
+        break;
+      }
+      case 6: {
+        // IS7/IC8-like: replies to a person's messages (path + star).
+        const rdf::TermId start = v.PersonInstance(&rng);
+        const rdf::TermId reply = var("reply");
+        q.AddDistinguished(reply);
+        q.AddPattern(msg, v.has_creator, start);
+        q.AddPattern(reply, v.reply_of, msg);
+        q.AddPattern(reply, v.type, v.comment);
+        q.AddPattern(reply, v.has_creator, p1);
+        q.AddPattern(reply, v.creation_date, var("date"));
+        q.AddPattern(reply, v.content, var("content"));
+        q.AddPattern(p1, v.first_name, var("fn"));
+        q.AddPattern(p1, v.last_name, var("ln"));
+        break;
+      }
+      default: {
+        // Triangle-closure shape (cyclic): mutual friends who both like a
+        // message created by the third.
+        q.AddDistinguished(p1);
+        const rdf::TermId p3 = var("person3");
+        q.AddPattern(p1, v.knows, p2);
+        q.AddPattern(p2, v.knows, p3);
+        q.AddPattern(p3, v.knows, p1);
+        q.AddPattern(msg, v.has_creator, p3);
+        q.AddPattern(p1, v.likes, msg);
+        q.AddPattern(p2, v.likes, msg);
+        q.AddPattern(p1, v.type, v.person);
+        q.AddPattern(p2, v.type, v.person);
+        q.AddPattern(p3, v.type, v.person);
+        break;
+      }
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace rdfc

@@ -1,0 +1,253 @@
+#include "workload/workload.h"
+
+#include "sparql/parser.h"
+#include "util/rng.h"
+
+namespace rdfc {
+namespace workload {
+
+namespace {
+
+constexpr char kUb[] = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#";
+constexpr char kDept0[] = "http://www.Department0.University0.edu";
+
+const char* kLubmPrologue = R"(
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+)";
+
+/// The 14 LUBM queries, translated to plain BGPs (FILTER-free forms; LUBM
+/// has no FILTERs).  Constants follow the benchmark's Department0/University0
+/// conventions.
+const char* kLubmQueries[] = {
+    // Q1: graduate students taking a specific course.
+    R"(SELECT ?x WHERE {
+        ?x rdf:type ub:GraduateStudent .
+        ?x ub:takesCourse <http://www.Department0.University0.edu/GraduateCourse0> . })",
+    // Q2: graduate students with their university and department (triangle).
+    R"(SELECT ?x ?y ?z WHERE {
+        ?x rdf:type ub:GraduateStudent .
+        ?y rdf:type ub:University .
+        ?z rdf:type ub:Department .
+        ?x ub:memberOf ?z .
+        ?z ub:subOrganizationOf ?y .
+        ?x ub:undergraduateDegreeFrom ?y . })",
+    // Q3: publications of a specific assistant professor.
+    R"(SELECT ?x WHERE {
+        ?x rdf:type ub:Publication .
+        ?x ub:publicationAuthor <http://www.Department0.University0.edu/AssistantProfessor0> . })",
+    // Q4: professors working for a department, with contact details.
+    R"(SELECT ?x ?y1 ?y2 ?y3 WHERE {
+        ?x rdf:type ub:Professor .
+        ?x ub:worksFor <http://www.Department0.University0.edu> .
+        ?x ub:name ?y1 .
+        ?x ub:emailAddress ?y2 .
+        ?x ub:telephone ?y3 . })",
+    // Q5: persons that are members of a department.
+    R"(SELECT ?x WHERE {
+        ?x rdf:type ub:Person .
+        ?x ub:memberOf <http://www.Department0.University0.edu> . })",
+    // Q6: all students.
+    R"(SELECT ?x WHERE { ?x rdf:type ub:Student . })",
+    // Q7: students taking courses taught by a specific professor.
+    R"(SELECT ?x ?y WHERE {
+        ?x rdf:type ub:Student .
+        ?y rdf:type ub:Course .
+        ?x ub:takesCourse ?y .
+        <http://www.Department0.University0.edu/AssociateProfessor0> ub:teacherOf ?y . })",
+    // Q8: students member of departments of a university, with email.
+    R"(SELECT ?x ?y ?z WHERE {
+        ?x rdf:type ub:Student .
+        ?y rdf:type ub:Department .
+        ?x ub:memberOf ?y .
+        ?y ub:subOrganizationOf <http://www.University0.edu> .
+        ?x ub:emailAddress ?z . })",
+    // Q9: student/faculty/course triangle.
+    R"(SELECT ?x ?y ?z WHERE {
+        ?x rdf:type ub:Student .
+        ?y rdf:type ub:Faculty .
+        ?z rdf:type ub:Course .
+        ?x ub:advisor ?y .
+        ?y ub:teacherOf ?z .
+        ?x ub:takesCourse ?z . })",
+    // Q10: students taking a specific graduate course.
+    R"(SELECT ?x WHERE {
+        ?x rdf:type ub:Student .
+        ?x ub:takesCourse <http://www.Department0.University0.edu/GraduateCourse0> . })",
+    // Q11: research groups of a university.
+    R"(SELECT ?x WHERE {
+        ?x rdf:type ub:ResearchGroup .
+        ?x ub:subOrganizationOf <http://www.University0.edu> . })",
+    // Q12: chairs working for departments of a university.
+    R"(SELECT ?x ?y WHERE {
+        ?x rdf:type ub:Chair .
+        ?y rdf:type ub:Department .
+        ?x ub:worksFor ?y .
+        ?y ub:subOrganizationOf <http://www.University0.edu> . })",
+    // Q13: alumni of a university.
+    R"(SELECT ?x WHERE {
+        ?x rdf:type ub:Person .
+        <http://www.University0.edu> ub:hasAlumnus ?x . })",
+    // Q14: all undergraduate students.
+    R"(SELECT ?x WHERE { ?x rdf:type ub:UndergraduateStudent . })",
+};
+
+}  // namespace
+
+util::Result<std::vector<query::BgpQuery>> LubmQueries(
+    rdf::TermDictionary* dict) {
+  std::vector<query::BgpQuery> out;
+  out.reserve(14);
+  for (const char* body : kLubmQueries) {
+    RDFC_ASSIGN_OR_RETURN(
+        query::BgpQuery q,
+        sparql::ParseQuery(std::string(kLubmPrologue) + body, dict));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+rdfs::RdfsSchema LubmSchema(rdf::TermDictionary* dict) {
+  rdfs::RdfsSchema schema;
+  auto ub = [&](const char* local) {
+    return dict->MakeIri(std::string(kUb) + local);
+  };
+  auto sub_class = [&](const char* sub, const char* super) {
+    schema.AddSubClass(ub(sub), ub(super));
+  };
+  auto sub_property = [&](const char* sub, const char* super) {
+    schema.AddSubProperty(ub(sub), ub(super));
+  };
+
+  // univ-bench class hierarchy (RDFS-expressible fragment).
+  sub_class("Employee", "Person");
+  sub_class("Student", "Person");
+  sub_class("GraduateStudent", "Student");
+  sub_class("UndergraduateStudent", "Student");
+  sub_class("ResearchAssistant", "Student");
+  sub_class("TeachingAssistant", "Person");
+  sub_class("Faculty", "Employee");
+  sub_class("AdministrativeStaff", "Employee");
+  sub_class("ClericalStaff", "AdministrativeStaff");
+  sub_class("SystemsStaff", "AdministrativeStaff");
+  sub_class("Professor", "Faculty");
+  sub_class("Lecturer", "Faculty");
+  sub_class("PostDoc", "Faculty");
+  sub_class("FullProfessor", "Professor");
+  sub_class("AssociateProfessor", "Professor");
+  sub_class("AssistantProfessor", "Professor");
+  sub_class("VisitingProfessor", "Professor");
+  sub_class("Chair", "Professor");
+  sub_class("Dean", "Professor");
+  sub_class("Director", "Person");
+  sub_class("University", "Organization");
+  sub_class("Department", "Organization");
+  sub_class("Institute", "Organization");
+  sub_class("College", "Organization");
+  sub_class("Program", "Organization");
+  sub_class("ResearchGroup", "Organization");
+  sub_class("Course", "Work");
+  sub_class("GraduateCourse", "Course");
+  sub_class("Research", "Work");
+  sub_class("Article", "Publication");
+  sub_class("Book", "Publication");
+  sub_class("Manual", "Publication");
+  sub_class("Software", "Publication");
+  sub_class("Specification", "Publication");
+  sub_class("TechnicalReport", "Article");
+  sub_class("JournalArticle", "Article");
+  sub_class("ConferencePaper", "Article");
+  sub_class("UnofficialPublication", "Publication");
+
+  // Property hierarchy.
+  sub_property("headOf", "worksFor");
+  sub_property("worksFor", "memberOf");
+  sub_property("undergraduateDegreeFrom", "degreeFrom");
+  sub_property("mastersDegreeFrom", "degreeFrom");
+  sub_property("doctoralDegreeFrom", "degreeFrom");
+
+  // Domains and ranges (RDFS-expressible fragment of univ-bench).
+  schema.AddDomain(ub("takesCourse"), ub("Student"));
+  schema.AddRange(ub("takesCourse"), ub("Course"));
+  schema.AddDomain(ub("teacherOf"), ub("Faculty"));
+  schema.AddRange(ub("teacherOf"), ub("Course"));
+  schema.AddDomain(ub("advisor"), ub("Person"));
+  schema.AddRange(ub("advisor"), ub("Professor"));
+  schema.AddDomain(ub("memberOf"), ub("Person"));
+  schema.AddRange(ub("memberOf"), ub("Organization"));
+  schema.AddDomain(ub("worksFor"), ub("Employee"));
+  schema.AddRange(ub("degreeFrom"), ub("University"));
+  schema.AddDomain(ub("degreeFrom"), ub("Person"));
+  schema.AddDomain(ub("publicationAuthor"), ub("Publication"));
+  schema.AddRange(ub("publicationAuthor"), ub("Person"));
+  schema.AddRange(ub("subOrganizationOf"), ub("Organization"));
+  schema.AddDomain(ub("subOrganizationOf"), ub("Organization"));
+  schema.AddDomain(ub("hasAlumnus"), ub("University"));
+  schema.AddRange(ub("hasAlumnus"), ub("Person"));
+  schema.AddDomain(ub("researchInterest"), ub("Person"));
+  return schema;
+}
+
+util::Result<std::vector<query::BgpQuery>> GenerateLubmExtended(
+    rdf::TermDictionary* dict, std::size_t n, std::uint64_t seed) {
+  RDFC_ASSIGN_OR_RETURN(std::vector<query::BgpQuery> seeds,
+                        LubmQueries(dict));
+  const rdfs::RdfsSchema schema = LubmSchema(dict);
+  const rdf::TermId type =
+      dict->MakeIri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+  util::Rng rng(seed);
+
+  std::vector<query::BgpQuery> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const query::BgpQuery& seed_query = seeds[i % seeds.size()];
+    query::BgpQuery q;
+    q.set_form(seed_query.form());
+    for (rdf::TermId var : seed_query.distinguished()) {
+      q.AddDistinguished(var);
+    }
+    for (const rdf::Triple& t : seed_query.patterns()) {
+      rdf::Triple replaced = t;
+      if (t.p == type && !dict->IsVariable(t.o)) {
+        // (i) type objects move up or down the class hierarchy.
+        const double r = rng.UniformReal();
+        if (r < 0.35) {
+          const auto supers = schema.SuperClassesOf(t.o);
+          replaced.o = supers[rng.Uniform(0, supers.size() - 1)];
+        } else if (r < 0.6) {
+          const auto subs = schema.SubClassesOf(t.o);
+          replaced.o = subs[rng.Uniform(0, subs.size() - 1)];
+        }
+      } else if (t.p != type) {
+        // (ii) predicates move up or down the property hierarchy.
+        const double r = rng.UniformReal();
+        if (r < 0.25) {
+          const auto supers = schema.SuperPropertiesOf(t.p);
+          replaced.p = supers[rng.Uniform(0, supers.size() - 1)];
+        } else if (r < 0.45) {
+          const auto subs = schema.SubPropertiesOf(t.p);
+          replaced.p = subs[rng.Uniform(0, subs.size() - 1)];
+        }
+      }
+      q.AddPattern(replaced);
+      // (iii) occasionally add a domain/range-derived type triple.
+      if (replaced.p != type && rng.Chance(0.2)) {
+        for (rdf::TermId cls : schema.DomainsOf(replaced.p)) {
+          q.AddPattern(replaced.s, type, cls);
+          break;
+        }
+      }
+      if (replaced.p != type && rng.Chance(0.2)) {
+        for (rdf::TermId cls : schema.RangesOf(replaced.p)) {
+          if (!dict->IsLiteral(replaced.o)) q.AddPattern(replaced.o, type, cls);
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace rdfc

@@ -1,0 +1,212 @@
+#include "workload/lubm_data.h"
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rdfc {
+namespace workload {
+
+namespace {
+
+constexpr char kUb[] = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#";
+
+class Emitter {
+ public:
+  Emitter(rdf::TermDictionary* dict, rdf::Graph* graph, util::Rng* rng)
+      : dict_(dict), graph_(graph), rng_(rng) {
+    type_ = dict_->MakeIri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+  }
+
+  rdf::TermId Ub(const std::string& local) {
+    return dict_->MakeIri(std::string(kUb) + local);
+  }
+  rdf::TermId Iri(const std::string& iri) { return dict_->MakeIri(iri); }
+  rdf::TermId Lit(const std::string& value) {
+    return dict_->MakeLiteral("\"" + value + "\"");
+  }
+
+  void Triple(rdf::TermId s, rdf::TermId p, rdf::TermId o) {
+    graph_->Add(s, p, o);
+  }
+  void TypeOf(rdf::TermId s, const std::string& cls) {
+    Triple(s, type_, Ub(cls));
+  }
+
+  std::size_t Scaled(std::size_t lo, std::size_t hi, double scale) {
+    const std::size_t base = rng_->Uniform(lo, hi);
+    const auto scaled = static_cast<std::size_t>(
+        static_cast<double>(base) * scale);
+    return scaled < 1 ? 1 : scaled;
+  }
+
+  util::Rng& rng() { return *rng_; }
+
+ private:
+  rdf::TermDictionary* dict_;
+  rdf::Graph* graph_;
+  util::Rng* rng_;
+  rdf::TermId type_;
+};
+
+/// Faculty profile: class name and how many per department (UBA ranges).
+struct FacultyProfile {
+  const char* cls;
+  std::size_t lo;
+  std::size_t hi;
+};
+constexpr FacultyProfile kFaculty[] = {
+    {"FullProfessor", 7, 10},
+    {"AssociateProfessor", 10, 14},
+    {"AssistantProfessor", 8, 11},
+    {"Lecturer", 5, 7},
+};
+
+void EmitDepartment(Emitter& e, const std::string& univ_iri,
+                    rdf::TermId university, std::size_t dept_index,
+                    double scale) {
+  const std::string dept_iri =
+      "http://www.Department" + std::to_string(dept_index) + "." +
+      univ_iri.substr(std::string("http://www.").size());
+  const rdf::TermId department = e.Iri(dept_iri);
+  e.TypeOf(department, "Department");
+  e.Triple(department, e.Ub("subOrganizationOf"), university);
+  e.Triple(department, e.Ub("name"),
+           e.Lit("Department" + std::to_string(dept_index)));
+
+  // Research groups.
+  const std::size_t groups = e.Scaled(10, 20, scale);
+  for (std::size_t g = 0; g < groups; ++g) {
+    const rdf::TermId group =
+        e.Iri(dept_iri + "/ResearchGroup" + std::to_string(g));
+    e.TypeOf(group, "ResearchGroup");
+    e.Triple(group, e.Ub("subOrganizationOf"), department);
+    // univ-bench declares subOrganizationOf transitive (OWL); RDFS cannot
+    // derive the closure, so assert the university edge directly (Q11).
+    e.Triple(group, e.Ub("subOrganizationOf"), university);
+  }
+
+  // Faculty, their courses and publications.
+  std::vector<rdf::TermId> all_faculty;
+  std::vector<rdf::TermId> professors;
+  std::vector<rdf::TermId> courses, graduate_courses;
+  for (const FacultyProfile& profile : kFaculty) {
+    const std::size_t count = e.Scaled(profile.lo, profile.hi, scale);
+    for (std::size_t i = 0; i < count; ++i) {
+      const rdf::TermId person =
+          e.Iri(dept_iri + "/" + profile.cls + std::to_string(i));
+      e.TypeOf(person, profile.cls);
+      e.Triple(person, e.Ub("worksFor"), department);
+      e.Triple(person, e.Ub("name"),
+               e.Lit(std::string(profile.cls) + std::to_string(i)));
+      e.Triple(person, e.Ub("emailAddress"),
+               e.Lit(std::string(profile.cls) + std::to_string(i) + "@" +
+                     dept_iri));
+      e.Triple(person, e.Ub("telephone"), e.Lit("xxx-xxx-xxxx"));
+      const rdf::TermId degree_univ = university;  // simplification
+      e.Triple(person, e.Ub("undergraduateDegreeFrom"), degree_univ);
+      e.Triple(degree_univ, e.Ub("hasAlumnus"), person);
+      all_faculty.push_back(person);
+      if (std::string(profile.cls).find("Professor") != std::string::npos) {
+        professors.push_back(person);
+      }
+
+      // Courses: 1-2 undergraduate + 1-2 graduate per faculty member.
+      const std::size_t n_courses = e.rng().Uniform(1, 2);
+      for (std::size_t c = 0; c < n_courses; ++c) {
+        const rdf::TermId course = e.Iri(
+            dept_iri + "/Course" + std::to_string(courses.size()));
+        e.TypeOf(course, "Course");
+        e.Triple(person, e.Ub("teacherOf"), course);
+        courses.push_back(course);
+      }
+      const std::size_t n_grad = e.rng().Uniform(1, 2);
+      for (std::size_t c = 0; c < n_grad; ++c) {
+        const rdf::TermId course =
+            e.Iri(dept_iri + "/GraduateCourse" +
+                  std::to_string(graduate_courses.size()));
+        e.TypeOf(course, "GraduateCourse");
+        e.Triple(person, e.Ub("teacherOf"), course);
+        graduate_courses.push_back(course);
+      }
+      // Publications.
+      const std::size_t pubs = e.rng().Uniform(0, 5);
+      for (std::size_t p = 0; p < pubs; ++p) {
+        const rdf::TermId publication = e.Iri(
+            dept_iri + "/" + profile.cls + std::to_string(i) +
+            "/Publication" + std::to_string(p));
+        e.TypeOf(publication, "Publication");
+        e.Triple(publication, e.Ub("publicationAuthor"), person);
+      }
+    }
+  }
+  // The department head: a chair.
+  if (!professors.empty()) {
+    const rdf::TermId chair = professors.front();
+    e.TypeOf(chair, "Chair");
+    e.Triple(chair, e.Ub("headOf"), department);
+  }
+
+  // Students.
+  const std::size_t undergrads =
+      e.Scaled(all_faculty.size() * 8, all_faculty.size() * 14, 1.0);
+  for (std::size_t s = 0; s < undergrads; ++s) {
+    const rdf::TermId student =
+        e.Iri(dept_iri + "/UndergraduateStudent" + std::to_string(s));
+    e.TypeOf(student, "UndergraduateStudent");
+    e.Triple(student, e.Ub("memberOf"), department);
+    const std::size_t takes = e.rng().Uniform(2, 4);
+    for (std::size_t c = 0; c < takes && !courses.empty(); ++c) {
+      e.Triple(student, e.Ub("takesCourse"),
+               courses[e.rng().Uniform(0, courses.size() - 1)]);
+    }
+  }
+  const std::size_t grads =
+      e.Scaled(all_faculty.size() * 3, all_faculty.size() * 4, 1.0);
+  for (std::size_t s = 0; s < grads; ++s) {
+    const rdf::TermId student =
+        e.Iri(dept_iri + "/GraduateStudent" + std::to_string(s));
+    e.TypeOf(student, "GraduateStudent");
+    e.Triple(student, e.Ub("memberOf"), department);
+    e.Triple(student, e.Ub("undergraduateDegreeFrom"), university);
+    e.Triple(university, e.Ub("hasAlumnus"), student);
+    e.Triple(student, e.Ub("emailAddress"),
+             e.Lit("GraduateStudent" + std::to_string(s) + "@" + dept_iri));
+    if (!professors.empty()) {
+      e.Triple(student, e.Ub("advisor"),
+               professors[e.rng().Uniform(0, professors.size() - 1)]);
+    }
+    const std::size_t takes = e.rng().Uniform(1, 3);
+    for (std::size_t c = 0; c < takes && !graduate_courses.empty(); ++c) {
+      e.Triple(student, e.Ub("takesCourse"),
+               graduate_courses[e.rng().Uniform(
+                   0, graduate_courses.size() - 1)]);
+    }
+  }
+}
+
+}  // namespace
+
+rdf::Graph GenerateLubmData(rdf::TermDictionary* dict,
+                            const LubmDataOptions& options) {
+  rdf::Graph graph;
+  util::Rng rng(options.seed);
+  Emitter e(dict, &graph, &rng);
+  for (std::size_t u = 0; u < options.universities; ++u) {
+    const std::string univ_iri =
+        "http://www.University" + std::to_string(u) + ".edu";
+    const rdf::TermId university = e.Iri(univ_iri);
+    e.TypeOf(university, "University");
+    e.Triple(university, e.Ub("name"),
+             e.Lit("University" + std::to_string(u)));
+    const std::size_t departments = e.Scaled(15, 25, options.scale);
+    for (std::size_t d = 0; d < departments; ++d) {
+      EmitDepartment(e, univ_iri, university, d, options.scale);
+    }
+  }
+  return graph;
+}
+
+}  // namespace workload
+}  // namespace rdfc

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+
+namespace rdfc {
+namespace workload {
+
+/// Options for the univ-bench instance-data generator.  `scale` multiplies
+/// the per-department entity counts (1.0 ≈ the original UBA profile of
+/// roughly 15-25 departments with ~85-130 faculty-plus-staff each; the
+/// default keeps test graphs small).
+struct LubmDataOptions {
+  std::size_t universities = 1;
+  double scale = 0.1;
+  std::uint64_t seed = 42;
+};
+
+/// Generates a univ-bench RDF instance graph with the original generator's
+/// entity naming conventions (`http://www.Department<d>.University<u>.edu`
+/// and `<dept>/FullProfessor<i>` style IRIs), so the 14 LUBM queries of
+/// LubmQueries() — which reference Department0/University0 individuals —
+/// have non-empty answers by construction once the graph is materialised
+/// under LubmSchema().
+///
+/// One deliberate deviation: univ-bench declares `ub:hasAlumnus` as the OWL
+/// inverse of `ub:degreeFrom`, which RDFS cannot derive; the generator
+/// asserts both directions explicitly so Q13 works in the RDFS fragment;
+/// likewise the transitive subOrganizationOf closure edge for Q11.
+rdf::Graph GenerateLubmData(rdf::TermDictionary* dict,
+                            const LubmDataOptions& options = {});
+
+}  // namespace workload
+}  // namespace rdfc

@@ -1,0 +1,173 @@
+#include "workload/workload.h"
+
+#include "util/rng.h"
+
+namespace rdfc {
+namespace workload {
+
+namespace {
+
+/// WatDiv's published schema mixes e-commerce and social vocabulary across
+/// several namespaces; we reproduce its 86-predicate footprint.
+class WatdivVocab {
+ public:
+  explicit WatdivVocab(rdf::TermDictionary* dict) : dict_(dict) {
+    const char* names[] = {
+        "caption", "hasReview", "reviewer", "likes", "friendOf", "follows",
+        "subscribes", "makesPurchase", "purchaseFor", "purchaseDate",
+        "title", "price", "validFrom", "validThrough", "eligibleRegion",
+        "includes", "offers", "hasGenre", "director", "actor", "artist",
+        "composer", "conductor", "editor", "author", "publisher", "language",
+        "contentRating", "contentSize", "keywords", "description", "text",
+        "rating", "totalVotes", "userId", "familyName", "givenName", "email",
+        "telephone", "faxNumber", "jobTitle", "worksFor", "nationality",
+        "birthDate", "age", "gender", "homepage", "nick", "mbox", "based_near",
+        "knows", "interest", "topic", "primaryTopic", "made", "maker",
+        "depicts", "thumbnail", "logo", "img", "location", "country", "city",
+        "street", "postalCode", "openingHours", "paymentAccepted",
+        "priceRange", "legalName", "foundingDate", "numberOfEmployees",
+        "tickerSymbol", "duns", "naics", "award", "contactPoint", "brand",
+        "model", "productionDate", "releaseDate", "serialNumber", "sku",
+        "weight", "width", "height", "depth",
+    };
+    for (const char* name : names) {
+      predicates_.push_back(
+          dict_->MakeIri(std::string("http://db.uwaterloo.ca/~galuc/wsdbm/") +
+                         name));
+    }
+    type_ = dict_->MakeIri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+    const char* classes[] = {"User",    "Product", "Review", "Offer",
+                             "Purchase", "Website", "City",   "Country",
+                             "Genre",   "Language", "Retailer", "Topic"};
+    for (const char* name : classes) {
+      classes_.push_back(
+          dict_->MakeIri(std::string("http://db.uwaterloo.ca/~galuc/wsdbm/") +
+                         name));
+    }
+  }
+
+  rdf::TermId Predicate(util::Rng* rng) {
+    return predicates_[rng->Zipf(predicates_.size(), 1.0)];
+  }
+  std::vector<rdf::TermId> DistinctPredicates(util::Rng* rng,
+                                              std::size_t count) {
+    std::vector<rdf::TermId> out;
+    while (out.size() < count) {
+      const rdf::TermId p = Predicate(rng);
+      bool dup = false;
+      for (rdf::TermId q : out) dup = dup || q == p;
+      if (!dup) out.push_back(p);
+    }
+    return out;
+  }
+  rdf::TermId Class(util::Rng* rng) {
+    return classes_[rng->Zipf(classes_.size(), 0.5)];
+  }
+  rdf::TermId Entity(util::Rng* rng) {
+    return dict_->MakeIri("http://db.uwaterloo.ca/~galuc/wsdbm/Entity" +
+                          std::to_string(rng->Zipf(600, 1.2)));
+  }
+  rdf::TermId type() const { return type_; }
+
+ private:
+  rdf::TermDictionary* dict_;
+  std::vector<rdf::TermId> predicates_;
+  std::vector<rdf::TermId> classes_;
+  rdf::TermId type_;
+};
+
+}  // namespace
+
+std::vector<query::BgpQuery> GenerateWatdiv(rdf::TermDictionary* dict,
+                                            std::size_t n,
+                                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  WatdivVocab vocab(dict);
+  auto var = [&](std::uint32_t k) {
+    return dict->MakeVariable("w" + std::to_string(k));
+  };
+
+  // Pool-then-sample (see GenerateDbpedia): WatDiv stress workloads are
+  // produced from template instantiations and recur accordingly.
+  const std::size_t pool_size = std::max<std::size_t>(20, (n * 40) / 100);
+  std::vector<query::BgpQuery> pool;
+  pool.reserve(pool_size);
+
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    query::BgpQuery q;
+    std::uint32_t next_var = 1;
+    const rdf::TermId x = var(next_var++);
+    q.AddDistinguished(x);
+    // WatDiv stress-test taxonomy: linear (L), star (S), snowflake (F),
+    // complex (C).
+    const double shape = rng.UniformReal();
+
+    if (shape < 0.30) {
+      // Linear: chain of 2-6 hops, anchored on a constant at one end half
+      // the time.
+      const auto hops = static_cast<std::size_t>(rng.Uniform(2, 6));
+      rdf::TermId current = rng.Chance(0.5) ? vocab.Entity(&rng) : x;
+      if (dict->IsConstant(current)) {
+        q.AddPattern(current, vocab.Predicate(&rng), x);
+        current = x;
+      }
+      for (std::size_t h = 0; h < hops; ++h) {
+        const rdf::TermId next = var(next_var++);
+        q.AddPattern(current, vocab.Predicate(&rng), next);
+        current = next;
+      }
+    } else if (shape < 0.62) {
+      // Star: 3-8 arms with distinct predicates plus a type constraint.
+      const auto arms = static_cast<std::size_t>(rng.Uniform(3, 8));
+      q.AddPattern(x, vocab.type(), vocab.Class(&rng));
+      for (rdf::TermId p : vocab.DistinctPredicates(&rng, arms)) {
+        const double kind = rng.UniformReal();
+        rdf::TermId o = kind < 0.35 ? vocab.Entity(&rng) : var(next_var++);
+        q.AddPattern(x, p, o);
+      }
+    } else if (shape < 0.86) {
+      // Snowflake: star whose arm endpoints grow their own 1-3 arm stars.
+      const auto arms = static_cast<std::size_t>(rng.Uniform(2, 4));
+      for (rdf::TermId p : vocab.DistinctPredicates(&rng, arms)) {
+        const rdf::TermId hub = var(next_var++);
+        q.AddPattern(x, p, hub);
+        const auto leaves = static_cast<std::size_t>(rng.Uniform(1, 3));
+        for (rdf::TermId lp : vocab.DistinctPredicates(&rng, leaves)) {
+          const rdf::TermId leaf =
+              rng.Chance(0.3) ? vocab.Entity(&rng) : var(next_var++);
+          q.AddPattern(hub, lp, leaf);
+        }
+      }
+    } else {
+      // Complex: merged stars with shared endpoints — frequently non-f-graph
+      // (a predicate reused across the two hubs onto the same object) and
+      // sometimes cyclic.
+      const rdf::TermId y = var(next_var++);
+      const rdf::TermId shared = var(next_var++);
+      const rdf::TermId p = vocab.Predicate(&rng);
+      q.AddPattern(x, p, shared);
+      q.AddPattern(y, p, shared);  // violates f-graph condition (ii)
+      const auto extra = static_cast<std::size_t>(rng.Uniform(1, 4));
+      for (rdf::TermId ep : vocab.DistinctPredicates(&rng, extra)) {
+        q.AddPattern(rng.Chance(0.5) ? x : y, ep,
+                     rng.Chance(0.3) ? vocab.Entity(&rng) : var(next_var++));
+      }
+      if (rng.Chance(0.35)) {
+        // Close a cycle between the two hubs.
+        q.AddPattern(x, vocab.Predicate(&rng), y);
+      }
+      q.AddDistinguished(y);
+    }
+    pool.push_back(std::move(q));
+  }
+
+  std::vector<query::BgpQuery> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(pool[rng.Zipf(pool.size(), 0.4)]);
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace rdfc

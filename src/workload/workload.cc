@@ -1,0 +1,100 @@
+#include "workload/workload.h"
+
+#include <cstdlib>
+
+#include "util/rng.h"
+
+namespace rdfc {
+namespace workload {
+
+const char* WorkloadName(WorkloadId id) {
+  switch (id) {
+    case WorkloadId::kDbpedia: return "DBPedia";
+    case WorkloadId::kWatdiv: return "WatDiv";
+    case WorkloadId::kBsbm: return "BSBM";
+    case WorkloadId::kLubm: return "LUBM";
+    case WorkloadId::kLdbc: return "LDBC";
+  }
+  return "unknown";
+}
+
+double ScaleFromEnv(double fallback) {
+  const char* env = std::getenv("RDFC_SCALE");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(env, &end);
+  if (end == env || value <= 0.0) return fallback;
+  return value;
+}
+
+WorkloadOptions ScaledWorkloadOptions(double scale, std::uint64_t seed) {
+  WorkloadOptions options;
+  options.seed = seed;
+  auto scaled = [&](double paper_count) {
+    const double v = paper_count * scale;
+    return v < 1.0 ? std::size_t{1} : static_cast<std::size_t>(v);
+  };
+  options.dbpedia = scaled(1'287'711);
+  options.watdiv = scaled(148'800);
+  options.bsbm = scaled(99'800);
+  options.lubm = 14;
+  options.ldbc = 53;
+  return options;
+}
+
+std::vector<WorkloadQuery> GenerateCombined(rdf::TermDictionary* dict,
+                                            const WorkloadOptions& options) {
+  struct Source {
+    WorkloadId id;
+    std::vector<query::BgpQuery> queries;
+    std::size_t next = 0;
+  };
+  std::vector<Source> sources;
+  sources.push_back(
+      {WorkloadId::kDbpedia,
+       GenerateDbpedia(dict, options.dbpedia, options.seed ^ 0x0D0Dull), 0});
+  sources.push_back(
+      {WorkloadId::kWatdiv,
+       GenerateWatdiv(dict, options.watdiv, options.seed ^ 0x0A71ull), 0});
+  sources.push_back(
+      {WorkloadId::kBsbm,
+       GenerateBsbm(dict, options.bsbm, options.seed ^ 0xB5B1ull), 0});
+  {
+    util::Result<std::vector<query::BgpQuery>> lubm = LubmQueries(dict);
+    RDFC_CHECK(lubm.ok());
+    std::vector<query::BgpQuery> queries = std::move(lubm).value();
+    if (queries.size() > options.lubm) queries.resize(options.lubm);
+    sources.push_back({WorkloadId::kLubm, std::move(queries), 0});
+  }
+  sources.push_back(
+      {WorkloadId::kLdbc,
+       GenerateLdbc(dict, options.ldbc, options.seed ^ 0x1DBCull), 0});
+
+  // Deterministic proportional interleave: at each step emit from the source
+  // with the lowest fractional progress, mimicking a merged log.
+  std::vector<WorkloadQuery> out;
+  out.reserve(options.total());
+  std::uint64_t seq = 0;
+  while (true) {
+    Source* best = nullptr;
+    double best_progress = 2.0;
+    for (Source& s : sources) {
+      if (s.next >= s.queries.size()) continue;
+      const double progress =
+          static_cast<double>(s.next) /
+          static_cast<double>(s.queries.size());
+      if (progress < best_progress) {
+        best_progress = progress;
+        best = &s;
+      }
+    }
+    if (best == nullptr) break;
+    out.push_back(WorkloadQuery{std::move(best->queries[best->next]),
+                                best->id, seq++});
+    ++best->next;
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace rdfc

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+#include "rdfs/schema.h"
+#include "util/status.h"
+
+namespace rdfc {
+namespace workload {
+
+/// The five query workloads of the paper's evaluation (Section 7).  The real
+/// logs are substituted with structure-matched generators — see DESIGN.md
+/// "Substitutions" — except LUBM and LDBC whose query sets are small enough
+/// to reproduce faithfully.
+enum class WorkloadId : std::uint8_t {
+  kDbpedia = 0,
+  kWatdiv = 1,
+  kBsbm = 2,
+  kLubm = 3,
+  kLdbc = 4,
+};
+inline constexpr std::size_t kNumWorkloads = 5;
+
+const char* WorkloadName(WorkloadId id);
+
+struct WorkloadQuery {
+  query::BgpQuery query;
+  WorkloadId source = WorkloadId::kDbpedia;
+  std::uint64_t seq = 0;  // position within the combined workload
+};
+
+/// Per-workload query counts.  Defaults are the paper's counts scaled by
+/// 1/10 (the harness rescales via RDFC_SCALE; per-query averages are
+/// scale-independent).
+struct WorkloadOptions {
+  std::uint64_t seed = 42;
+  std::size_t dbpedia = 128'771;  // paper: 1,287,711
+  std::size_t watdiv = 14'880;    // paper: 148,800
+  std::size_t bsbm = 9'980;       // paper: 99,800
+  std::size_t lubm = 14;          // paper: 14 (fixed query set)
+  std::size_t ldbc = 53;          // paper: 53 (fixed query set)
+
+  std::size_t total() const {
+    return dbpedia + watdiv + bsbm + lubm + ldbc;
+  }
+};
+
+/// Reads RDFC_SCALE from the environment (default `fallback`); 1.0 means the
+/// paper's full 1.54 M-query corpus.
+double ScaleFromEnv(double fallback = 0.1);
+
+/// Paper-proportional counts at `scale` (LUBM/LDBC stay at their fixed
+/// sizes; they are query *sets*, not logs).
+WorkloadOptions ScaledWorkloadOptions(double scale, std::uint64_t seed = 42);
+
+// --- Individual generators -------------------------------------------------
+
+/// DBpedia-log-alike: small, heavily recurring star/path queries with a
+/// Zipf-skewed vocabulary, tuned to the paper's measured mix — ≈99.7 %
+/// IRI-only predicates and ≈73 % f-graph queries (Section 3).
+std::vector<query::BgpQuery> GenerateDbpedia(rdf::TermDictionary* dict,
+                                             std::size_t n,
+                                             std::uint64_t seed);
+
+/// WatDiv-alike: linear / star / snowflake / complex templates over an
+/// 86-predicate e-commerce schema; no fixed pattern set.
+std::vector<query::BgpQuery> GenerateWatdiv(rdf::TermDictionary* dict,
+                                            std::size_t n, std::uint64_t seed);
+
+/// BSBM-alike: parameter instantiations of 12 base query patterns over the
+/// Berlin product/offer/review schema.
+std::vector<query::BgpQuery> GenerateBsbm(rdf::TermDictionary* dict,
+                                          std::size_t n, std::uint64_t seed);
+
+/// LDBC SNB-alike: the 53-query interactive workload shape — larger, partly
+/// cyclic social-network BGPs.
+std::vector<query::BgpQuery> GenerateLdbc(rdf::TermDictionary* dict,
+                                          std::size_t n, std::uint64_t seed);
+
+// --- LUBM (faithful) --------------------------------------------------------
+
+/// The 14 LUBM queries (hand-translated BGPs over univ-bench).
+util::Result<std::vector<query::BgpQuery>> LubmQueries(
+    rdf::TermDictionary* dict);
+
+/// The univ-bench class/property hierarchy with domains and ranges, as an
+/// RdfsSchema (the substrate of the Section 6 / Figure 6 experiment).
+rdfs::RdfsSchema LubmSchema(rdf::TermDictionary* dict);
+
+/// The Section 7.2 RDFS workload extension: grows the 14 LUBM queries to `n`
+/// by (i) swapping type objects with super/sub-classes, (ii) swapping
+/// predicates with super/sub-properties, (iii) occasionally adding
+/// domain/range-derived type triples — so correct containment answers
+/// require the RDFS extension step.
+util::Result<std::vector<query::BgpQuery>> GenerateLubmExtended(
+    rdf::TermDictionary* dict, std::size_t n, std::uint64_t seed);
+
+// --- Combined ---------------------------------------------------------------
+
+/// Generates all five workloads, interleaved deterministically (paper
+/// Section 7.1 inserts the combined workload).
+std::vector<WorkloadQuery> GenerateCombined(rdf::TermDictionary* dict,
+                                            const WorkloadOptions& options);
+
+}  // namespace workload
+}  // namespace rdfc

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "baselines/canonical_cache.h"
+#include "baselines/subgraph_iso.h"
+#include "containment/homomorphism.h"
+#include "containment/pipeline.h"
+#include "util/rng.h"
+
+namespace rdfc {
+namespace baselines {
+namespace {
+
+using rdfc::testing::ParseOrDie;
+using rdfc::testing::Var;
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  query::BgpQuery Q(const std::string& text) {
+    return ParseOrDie(text, &dict_);
+  }
+  rdf::TermDictionary dict_;
+};
+
+// --- CanonicalCache ---------------------------------------------------------
+
+TEST_F(BaselinesTest, CanonicalCacheHitsIsomorphicQueries) {
+  CanonicalCache cache(&dict_);
+  auto ins = cache.Insert(Q("ASK { ?x :p ?y . ?y :q :c . }"), 7);
+  ASSERT_TRUE(ins.ok());
+  // Same query up to variable renaming and pattern order: hit.
+  const auto hit = cache.Lookup(Q("ASK { ?b :q :c . ?a :p ?b . }"));
+  EXPECT_TRUE(hit.found);
+  EXPECT_EQ(hit.entry_id, ins->entry_id);
+  // Structurally different: miss.
+  EXPECT_FALSE(cache.Lookup(Q("ASK { ?x :p ?y . }")).found);
+  EXPECT_FALSE(cache.Lookup(Q("ASK { ?x :p ?y . ?y :q :d . }")).found);
+}
+
+TEST_F(BaselinesTest, CanonicalCacheMissesContainment) {
+  // The whole point: a strictly-contained query is NOT an exact-match hit,
+  // although the mv-index serves it.
+  CanonicalCache cache(&dict_);
+  ASSERT_TRUE(cache.Insert(Q("ASK { ?x :p ?y . }")).ok());
+  const query::BgpQuery narrower = Q("ASK { ?a :p ?b . ?a a :T . }");
+  EXPECT_FALSE(cache.Lookup(narrower).found);
+  EXPECT_TRUE(containment::Contains(narrower, Q("ASK { ?x :p ?y . }"),
+                                    &dict_));
+}
+
+TEST_F(BaselinesTest, CanonicalCacheDedupsAndTracksExternals) {
+  CanonicalCache cache(&dict_);
+  auto a = cache.Insert(Q("ASK { ?x :p ?y . }"), 1);
+  auto b = cache.Insert(Q("ASK { ?u :p ?v . }"), 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->was_new);
+  EXPECT_FALSE(b->was_new);
+  EXPECT_EQ(cache.num_entries(), 1u);
+  EXPECT_EQ(cache.external_ids(a->entry_id),
+            (std::vector<std::uint64_t>{1, 2}));
+}
+
+// --- Subgraph isomorphism ----------------------------------------------------
+
+TEST_F(BaselinesTest, PaperSection8IncompletenessExample) {
+  // W = {(?x,r1,?y),(?y,r2,?z)}; Q = {(?x',r1,?y'),(?y',r2,?x')}.
+  // A containment mapping exists (σ(?z)=?x'), but no subgraph isomorphism
+  // (it would need ?x and ?z to share the image ?x').
+  const query::BgpQuery w = Q("ASK { ?x :r1 ?y . ?y :r2 ?z . }");
+  const query::BgpQuery q = Q("ASK { ?xp :r1 ?yp . ?yp :r2 ?xp . }");
+  EXPECT_TRUE(containment::IsContainedIn(q, w, dict_));
+  EXPECT_FALSE(IsSubgraphIsomorphic(w, q, dict_));
+}
+
+TEST_F(BaselinesTest, IsoFindsInjectiveMatch) {
+  const query::BgpQuery w = Q("ASK { ?x :p ?y . }");
+  const query::BgpQuery q = Q("ASK { ?a :p ?b . ?b :q ?c . }");
+  const SubgraphIsoResult result = FindSubgraphIsomorphism(w, q, dict_);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.mapping.at(Var(&dict_, "x")), Var(&dict_, "a"));
+  EXPECT_EQ(result.mapping.at(Var(&dict_, "y")), Var(&dict_, "b"));
+}
+
+TEST_F(BaselinesTest, IsoRequiresConstantsToMatch) {
+  EXPECT_TRUE(IsSubgraphIsomorphic(Q("ASK { ?x :p :c . }"),
+                                   Q("ASK { ?a :p :c . ?a :q ?d . }"),
+                                   dict_));
+  EXPECT_FALSE(IsSubgraphIsomorphic(Q("ASK { ?x :p :c . }"),
+                                    Q("ASK { ?a :p :d . }"), dict_));
+  // Variables never fold onto constants under isomorphism semantics.
+  EXPECT_FALSE(IsSubgraphIsomorphic(Q("ASK { ?x :p ?y . }"),
+                                    Q("ASK { ?a :p :c . }"), dict_));
+  // ... although containment allows it.
+  EXPECT_TRUE(containment::Contains(Q("ASK { ?a :p :c . }"),
+                                    Q("ASK { ?x :p ?y . }"), &dict_));
+}
+
+TEST_F(BaselinesTest, IsoVariablePredicatesAreWildcards) {
+  EXPECT_TRUE(IsSubgraphIsomorphic(Q("ASK { ?x ?v ?y . }"),
+                                   Q("ASK { ?a :p ?b . }"), dict_));
+  // Repeated predicate variable binds consistently.
+  EXPECT_FALSE(IsSubgraphIsomorphic(Q("ASK { ?x ?v ?y . ?y ?v ?z . }"),
+                                    Q("ASK { ?a :p ?b . ?b :q ?c . }"),
+                                    dict_));
+}
+
+TEST_F(BaselinesTest, IsoImpliesContainment) {
+  // Subgraph isomorphism is SOUND for containment (every iso is a
+  // containment mapping) — just incomplete.  Property-check on random pairs.
+  util::Rng rng(314);
+  std::vector<rdf::TermId> preds = {rdfc::testing::Iri(&dict_, "p"),
+                                    rdfc::testing::Iri(&dict_, "q")};
+  auto draw = [&](std::size_t n) {
+    query::BgpQuery out;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.AddPattern(dict_.MakeVariable("v" + std::to_string(rng.Uniform(0, 3))),
+                     preds[rng.Uniform(0, 1)],
+                     dict_.MakeVariable("v" + std::to_string(rng.Uniform(0, 3))));
+    }
+    return out;
+  };
+  std::size_t iso_hits = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const query::BgpQuery w = draw(1 + rng.Uniform(0, 2));
+    const query::BgpQuery q = draw(1 + rng.Uniform(0, 3));
+    if (IsSubgraphIsomorphic(w, q, dict_)) {
+      ++iso_hits;
+      EXPECT_TRUE(containment::IsContainedIn(q, w, dict_))
+          << "W:\n" << w.ToString(dict_) << "Q:\n" << q.ToString(dict_);
+    }
+  }
+  EXPECT_GT(iso_hits, 10u);
+}
+
+TEST_F(BaselinesTest, EmptyPatternGraphMatchesAnything) {
+  query::BgpQuery empty;
+  EXPECT_TRUE(IsSubgraphIsomorphic(empty, Q("ASK { ?x :p ?y . }"), dict_));
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace rdfc

@@ -1,0 +1,193 @@
+#include "cache/semantic_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../test_util.h"
+#include "rdf/turtle_parser.h"
+#include "workload/workload.h"
+
+namespace rdfc {
+namespace cache {
+namespace {
+
+using rdfc::testing::ParseOrDie;
+
+class SemanticCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(rdf::ParseTurtle(R"(
+      @prefix t: <urn:t:> .
+      t:s1 t:name "A" . t:s1 t:fromAlbum t:al1 . t:al1 t:name "AlbumA" .
+      t:s2 t:name "B" . t:s2 t:fromAlbum t:al2 . t:al2 t:name "AlbumB" .
+      t:s3 t:name "C" .
+      t:al1 t:artist t:ar1 . t:ar1 t:type t:MusicalArtist .
+    )", &dict_, &graph_).ok());
+  }
+
+  query::BgpQuery Q(const std::string& text) {
+    return ParseOrDie(text, &dict_);
+  }
+  static std::set<std::vector<rdf::TermId>> AsSet(
+      const std::vector<std::vector<rdf::TermId>>& rows) {
+    return {rows.begin(), rows.end()};
+  }
+
+  rdf::TermDictionary dict_;
+  rdf::Graph graph_;
+};
+
+TEST_F(SemanticCacheTest, MissThenContainmentHit) {
+  SemanticCache cache(&graph_, &dict_);
+  // Broad query admitted on miss.
+  const auto first = cache.Answer(Q("SELECT ?x ?n WHERE { ?x :name ?n . }"));
+  EXPECT_EQ(first.strategy,
+            rewriting::ExecutionReport::Strategy::kBaseEvaluation);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.num_entries(), 1u);
+
+  // Narrower query: containment hit, answered from the cached rows.
+  const query::BgpQuery narrow =
+      Q("SELECT ?n WHERE { ?s :name ?n . ?s :fromAlbum ?a . }");
+  const auto second = cache.Answer(narrow);
+  EXPECT_NE(second.strategy,
+            rewriting::ExecutionReport::Strategy::kBaseEvaluation);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(AsSet(second.answers),
+            AsSet(rewriting::AnswerFromGraph(narrow, graph_, dict_).answers));
+}
+
+TEST_F(SemanticCacheTest, RepeatQueryHits) {
+  SemanticCache cache(&graph_, &dict_);
+  const query::BgpQuery q = Q("SELECT ?n WHERE { ?s :name ?n . }");
+  cache.Answer(q);
+  cache.Answer(q);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.num_entries(), 1u);
+}
+
+TEST_F(SemanticCacheTest, SkipAdmissionOnHitKeepsCacheMaximal) {
+  CacheOptions options;
+  options.skip_admission_on_hit = true;
+  SemanticCache cache(&graph_, &dict_, options);
+  cache.Answer(Q("SELECT ?x ?n WHERE { ?x :name ?n . }"));
+  cache.Answer(Q("SELECT ?n WHERE { ?s :name ?n . ?s :fromAlbum ?a . }"));
+  EXPECT_EQ(cache.num_entries(), 1u);
+
+  CacheOptions admit_all = options;
+  admit_all.skip_admission_on_hit = false;
+  SemanticCache cache2(&graph_, &dict_, admit_all);
+  cache2.Answer(Q("SELECT ?x ?n WHERE { ?x :name ?n . }"));
+  cache2.Answer(Q("SELECT ?n WHERE { ?s :name ?n . ?s :fromAlbum ?a . }"));
+  EXPECT_EQ(cache2.num_entries(), 2u);
+}
+
+TEST_F(SemanticCacheTest, LruEvictionRespectsBudget) {
+  CacheOptions options;
+  options.capacity_rows = 5;
+  options.eviction = EvictionPolicy::kLru;
+  SemanticCache cache(&graph_, &dict_, options);
+  cache.Answer(Q("SELECT ?x ?n WHERE { ?x :name ?n . }"));       // 4 rows
+  cache.Answer(Q("SELECT ?a WHERE { ?s :fromAlbum ?a . }"));      // 2 rows
+  EXPECT_LE(cache.stats().rows_resident, 5u);
+  EXPECT_GE(cache.stats().evictions, 1u);
+  // The newest entry survived.
+  const auto hit = cache.Answer(Q("SELECT ?a WHERE { ?s :fromAlbum ?a . }"));
+  EXPECT_NE(hit.strategy,
+            rewriting::ExecutionReport::Strategy::kBaseEvaluation);
+}
+
+TEST_F(SemanticCacheTest, OversizedResultNotAdmitted) {
+  CacheOptions options;
+  options.capacity_rows = 2;
+  SemanticCache cache(&graph_, &dict_, options);
+  cache.Answer(Q("SELECT ?x ?n WHERE { ?x :name ?n . }"));  // 4 rows > 2
+  EXPECT_EQ(cache.num_entries(), 0u);
+  EXPECT_EQ(cache.stats().rows_resident, 0u);
+}
+
+TEST_F(SemanticCacheTest, InvalidateEmptiesCache) {
+  SemanticCache cache(&graph_, &dict_);
+  cache.Answer(Q("SELECT ?n WHERE { ?s :name ?n . }"));
+  EXPECT_EQ(cache.num_entries(), 1u);
+  cache.Invalidate();
+  EXPECT_EQ(cache.num_entries(), 0u);
+  EXPECT_EQ(cache.stats().rows_resident, 0u);
+  const auto after = cache.Answer(Q("SELECT ?n WHERE { ?s :name ?n . }"));
+  EXPECT_EQ(after.strategy,
+            rewriting::ExecutionReport::Strategy::kBaseEvaluation);
+}
+
+TEST_F(SemanticCacheTest, AnswersAlwaysMatchBaseEvaluationUnderChurn) {
+  CacheOptions options;
+  options.capacity_rows = 40;
+  options.eviction = EvictionPolicy::kLargest;
+  SemanticCache cache(&graph_, &dict_, options);
+  const char* queries[] = {
+      "SELECT ?x ?n WHERE { ?x :name ?n . }",
+      "SELECT ?n WHERE { ?s :name ?n . ?s :fromAlbum ?a . }",
+      "SELECT ?a WHERE { ?s :fromAlbum ?a . ?a :artist ?r . }",
+      "SELECT ?x WHERE { ?x :artist ?r . ?r :type :MusicalArtist . }",
+      "SELECT ?s WHERE { ?s :name \"C\" . }",
+      "SELECT ?x ?n WHERE { ?x :name ?n . }",
+      "SELECT ?n WHERE { ?s :name ?n . ?s :fromAlbum ?a . }",
+  };
+  for (const char* text : queries) {
+    const query::BgpQuery q = Q(text);
+    const auto cached = cache.Answer(q);
+    const auto direct = rewriting::AnswerFromGraph(q, graph_, dict_);
+    EXPECT_EQ(AsSet(cached.answers), AsSet(direct.answers)) << text;
+  }
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+TEST_F(SemanticCacheTest, WorkloadReplayStaysConsistent) {
+  // Larger randomized replay on a synthetic graph-free workload: every
+  // cached answer must equal base evaluation (many will be empty, which
+  // exercises admission of empty results too).
+  rdf::TermDictionary dict;
+  rdf::Graph graph;
+  // Give the graph some DBpedia-vocabulary triples so a few queries match.
+  const auto seed_queries = workload::GenerateDbpedia(&dict, 50, 7);
+  for (const auto& q : seed_queries) {
+    for (const rdf::Triple& t : q.patterns()) {
+      if (!dict.IsVariable(t.p) && !dict.IsVariable(t.s) &&
+          !dict.IsVariable(t.o)) {
+        graph.Add(t);
+      }
+    }
+  }
+  // Freeze a few queries into the graph for guaranteed matches.
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (const rdf::Triple& t : seed_queries[i].patterns()) {
+      auto freeze = [&](rdf::TermId term) {
+        return dict.IsVariable(term)
+                   ? dict.MakeIri("urn:f" + std::to_string(term))
+                   : term;
+      };
+      if (!dict.IsVariable(t.p)) graph.Add(freeze(t.s), t.p, freeze(t.o));
+    }
+  }
+
+  CacheOptions options;
+  options.capacity_rows = 200;
+  SemanticCache cache(&graph, &dict, options);
+  const auto workload = workload::GenerateDbpedia(&dict, 300, 8);
+  std::size_t nonempty = 0;
+  for (const auto& q : workload) {
+    const auto cached = cache.Answer(q);
+    const auto direct = rewriting::AnswerFromGraph(q, graph, dict);
+    ASSERT_EQ(AsSet(cached.answers), AsSet(direct.answers))
+        << q.ToString(dict);
+    nonempty += cached.answers.empty() ? 0 : 1;
+  }
+  EXPECT_GT(nonempty, 0u);
+  EXPECT_GT(cache.stats().hits, 0u);
+  EXPECT_LE(cache.stats().rows_resident, options.capacity_rows);
+}
+
+}  // namespace
+}  // namespace cache
+}  // namespace rdfc

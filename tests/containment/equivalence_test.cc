@@ -1,0 +1,137 @@
+#include "containment/equivalence.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "eval/evaluator.h"
+#include "rdf/graph.h"
+#include "util/rng.h"
+
+namespace rdfc {
+namespace containment {
+namespace {
+
+using rdfc::testing::ParseOrDie;
+
+class EquivalenceTest : public ::testing::Test {
+ protected:
+  query::BgpQuery Q(const std::string& text) {
+    return ParseOrDie(text, &dict_);
+  }
+  rdf::TermDictionary dict_;
+};
+
+TEST_F(EquivalenceTest, RenamedQueriesAreBooleanEquivalent) {
+  EXPECT_TRUE(AreEquivalentBoolean(Q("ASK { ?x :p ?y . ?y :q ?z . }"),
+                                   Q("ASK { ?a :p ?b . ?b :q ?c . }"),
+                                   dict_));
+}
+
+TEST_F(EquivalenceTest, RedundantPatternIsBooleanEquivalent) {
+  // The second pattern folds onto the first.
+  EXPECT_TRUE(AreEquivalentBoolean(Q("ASK { ?x :p ?y . }"),
+                                   Q("ASK { ?x :p ?y . ?x :p ?z . }"),
+                                   dict_));
+}
+
+TEST_F(EquivalenceTest, StrictContainmentIsNotEquivalence) {
+  EXPECT_FALSE(AreEquivalentBoolean(Q("ASK { ?x :p ?y . ?y :q ?z . }"),
+                                    Q("ASK { ?x :p ?y . }"), dict_));
+}
+
+TEST_F(EquivalenceTest, ProjectionChangesEquivalence) {
+  // Boolean-equivalent but the distinguished variable differs, so the
+  // answer sets differ: SELECT ?x vs SELECT ?y over (?x :p ?y).
+  const query::BgpQuery a = Q("SELECT ?x WHERE { ?x :p ?y . }");
+  const query::BgpQuery b = Q("SELECT ?y WHERE { ?x :p ?y . }");
+  EXPECT_TRUE(AreEquivalentBoolean(a, b, dict_));
+  EXPECT_FALSE(AreEquivalent(a, b, dict_));
+  EXPECT_TRUE(AreEquivalent(a, a, dict_));
+}
+
+TEST_F(EquivalenceTest, SameProjectionRedundancy) {
+  const query::BgpQuery a = Q("SELECT ?x WHERE { ?x :p ?y . }");
+  const query::BgpQuery b = Q("SELECT ?x WHERE { ?x :p ?y . ?x :p ?z . }");
+  EXPECT_TRUE(AreEquivalent(a, b, dict_));
+}
+
+TEST_F(EquivalenceTest, FixedVariablesBlockFolding) {
+  // With ?y distinguished, (?x :p ?y)(?x :p ?z) cannot fold ?z onto ?y-only
+  // when ?z is ALSO distinguished.
+  const query::BgpQuery a = Q("SELECT ?y ?z WHERE { ?x :p ?y . ?x :p ?z . }");
+  const query::BgpQuery b = Q("SELECT ?y ?z WHERE { ?x :p ?y . ?x :q ?z . }");
+  EXPECT_FALSE(AreEquivalent(a, b, dict_));
+}
+
+TEST_F(EquivalenceTest, MinimizeDropsFoldablePattern) {
+  const query::BgpQuery q = Q("SELECT ?y WHERE { ?x :p ?y . ?x :p ?z . }");
+  const query::BgpQuery minimized = MinimizeQuery(q, dict_);
+  EXPECT_EQ(minimized.size(), 1u);
+  EXPECT_TRUE(AreEquivalent(q, minimized, dict_));
+}
+
+TEST_F(EquivalenceTest, MinimizeKeepsDistinguishedOccurrences) {
+  // ?z is distinguished: the second pattern cannot be dropped.
+  const query::BgpQuery q = Q("SELECT ?y ?z WHERE { ?x :p ?y . ?x :p ?z . }");
+  EXPECT_EQ(MinimizeQuery(q, dict_).size(), 2u);
+}
+
+TEST_F(EquivalenceTest, MinimizeCoreOfLongPathAskQuery) {
+  // Boolean path of length 3 folds onto a single edge?  No — a 3-path has
+  // no endomorphism onto fewer edges unless edges repeat; with the same
+  // predicate the path DOES fold to one edge only if a loop exists, which it
+  // does not.  Chain with repeated predicate keeps all edges? Folding
+  // ?a->?b->?c->?d onto ?a->?b requires mapping ?b to both ends — check the
+  // classic result: the 3-chain's core is the 1-chain only for *reflexive*
+  // structures; here the core keeps ... the homomorphism x1->x1, x2->x2,
+  // x3->x1, x4->x2 maps the chain onto the first edge pair-wise: edge2
+  // (x2,x3)->(x2,x1)? that edge does not exist.  So the chain is its own
+  // core.
+  const query::BgpQuery q = Q("ASK { ?a :p ?b . ?b :p ?c . ?c :p ?d . }");
+  EXPECT_EQ(MinimizeQuery(q, dict_).size(), 3u);
+}
+
+TEST_F(EquivalenceTest, MinimizeCollapsesParallelStars) {
+  // Two star arms identical up to renaming collapse into one.
+  const query::BgpQuery q = Q(R"(ASK {
+      ?x :p ?y1 . ?y1 :q :c .
+      ?x :p ?y2 . ?y2 :q :c . })");
+  const query::BgpQuery minimized = MinimizeQuery(q, dict_);
+  EXPECT_EQ(minimized.size(), 2u);
+  EXPECT_TRUE(AreEquivalentBoolean(q, minimized, dict_));
+}
+
+TEST_F(EquivalenceTest, MinimizeIsIdempotent) {
+  const query::BgpQuery q = Q(R"(ASK {
+      ?x :p ?y1 . ?y1 :q :c . ?x :p ?y2 . ?y2 :q :c . ?x a :T . })");
+  const query::BgpQuery once = MinimizeQuery(q, dict_);
+  const query::BgpQuery twice = MinimizeQuery(once, dict_);
+  EXPECT_TRUE(once.SamePatterns(twice));
+}
+
+TEST_F(EquivalenceTest, MinimizedQueryHasSameAnswersOnRandomGraphs) {
+  util::Rng rng(99);
+  std::vector<rdf::TermId> nodes, preds;
+  for (int i = 0; i < 5; ++i) {
+    nodes.push_back(dict_.MakeIri("urn:n" + std::to_string(i)));
+  }
+  preds.push_back(rdfc::testing::Iri(&dict_, "p"));
+  preds.push_back(rdfc::testing::Iri(&dict_, "q"));
+  const query::BgpQuery q = Q(R"(SELECT ?x WHERE {
+      ?x :p ?y1 . ?y1 :q ?z1 . ?x :p ?y2 . ?y2 :q ?z2 . })");
+  const query::BgpQuery minimized = MinimizeQuery(q, dict_);
+  EXPECT_LT(minimized.size(), q.size());
+  for (int trial = 0; trial < 30; ++trial) {
+    rdf::Graph g;
+    for (int e = 0; e < 12; ++e) {
+      g.Add(nodes[rng.Uniform(0, 4)], preds[rng.Uniform(0, 1)],
+            nodes[rng.Uniform(0, 4)]);
+    }
+    EXPECT_EQ(eval::ProjectedAnswers(q, g, dict_),
+              eval::ProjectedAnswers(minimized, g, dict_));
+  }
+}
+
+}  // namespace
+}  // namespace containment
+}  // namespace rdfc

@@ -1,0 +1,84 @@
+#include "containment/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "containment/pipeline.h"
+
+namespace rdfc {
+namespace containment {
+namespace {
+
+using rdfc::testing::ParseOrDie;
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  query::BgpQuery Q(const std::string& text) {
+    return ParseOrDie(text, &dict_);
+  }
+  rdf::TermDictionary dict_;
+};
+
+TEST_F(ExplainTest, PTimePositiveMentionsMapping) {
+  const std::string out = ExplainContainment(
+      Q(R"(ASK { ?sng :name ?sN . ?sng :fromAlbum ?alb . ?alb :name ?aN . })"),
+      Q("ASK { ?x :name ?y . }"), &dict_);
+  EXPECT_NE(out.find("f-graph"), std::string::npos);
+  EXPECT_NE(out.find("ND-degree 1"), std::string::npos);
+  EXPECT_NE(out.find("pure PTime"), std::string::npos);
+  EXPECT_NE(out.find("verdict: CONTAINED"), std::string::npos);
+  EXPECT_NE(out.find("containment mapping"), std::string::npos);
+}
+
+TEST_F(ExplainTest, FilterRejectionNamedAsProposition51) {
+  const std::string out = ExplainContainment(
+      Q("ASK { ?x :p ?y . }"), Q("ASK { ?x :q ?y . }"), &dict_);
+  EXPECT_NE(out.find("0 surviving"), std::string::npos);
+  EXPECT_NE(out.find("NOT contained"), std::string::npos);
+  EXPECT_NE(out.find("Proposition 5.1"), std::string::npos);
+}
+
+TEST_F(ExplainTest, NpPathShowsMergedClassesAndVerdict) {
+  // Witness filter passes but verification refutes (the classic false
+  // positive from tests/containment/pipeline_test.cc).
+  const std::string out = ExplainContainment(
+      Q("ASK { ?x :p ?a . ?x :p ?b . ?a :q ?c . ?b :r ?d . }"),
+      Q("ASK { ?x :p ?y . ?y :q ?c . ?y :r ?d . }"), &dict_);
+  EXPECT_NE(out.find("NOT an f-graph"), std::string::npos);
+  EXPECT_NE(out.find("merged class"), std::string::npos);
+  EXPECT_NE(out.find("NP verification"), std::string::npos);
+  EXPECT_NE(out.find("verdict: NOT contained"), std::string::npos);
+}
+
+TEST_F(ExplainTest, VerdictAlwaysAgreesWithCheck) {
+  const char* pairs[][2] = {
+      {"ASK { ?x :p ?y . ?y :q ?z . }", "ASK { ?a :p ?b . }"},
+      {"ASK { ?x :p ?y . }", "ASK { ?a :p ?b . ?b :q ?c . }"},
+      {"ASK { ?x :p ?a . ?x :p ?b . }", "ASK { ?s :p ?o . }"},
+      {"ASK { ?x :p ?y . }", "ASK { ?a ?v ?b . }"},
+  };
+  for (const auto& pair : pairs) {
+    const bool contained = Contains(Q(pair[0]), Q(pair[1]), &dict_);
+    const std::string out =
+        ExplainContainment(Q(pair[0]), Q(pair[1]), &dict_);
+    if (contained) {
+      EXPECT_NE(out.find("verdict: CONTAINED"), std::string::npos)
+          << pair[0] << " vs " << pair[1] << "\n" << out;
+    } else {
+      EXPECT_NE(out.find("verdict: NOT contained"), std::string::npos)
+          << pair[0] << " vs " << pair[1] << "\n" << out;
+    }
+  }
+}
+
+TEST_F(ExplainTest, VarPredOnlyWMentionsVacuousFilter) {
+  const std::string out = ExplainContainment(
+      Q("ASK { ?x :p ?y . }"), Q("ASK { ?a ?v ?b . }"), &dict_);
+  EXPECT_NE(out.find("no indexable skeleton"), std::string::npos);
+  EXPECT_NE(out.find("vacuous"), std::string::npos);
+  EXPECT_NE(out.find("verdict: CONTAINED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace containment
+}  // namespace rdfc

@@ -1,0 +1,166 @@
+#include "containment/fgraph_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "query/analysis.h"
+
+namespace rdfc {
+namespace containment {
+namespace {
+
+using rdfc::testing::Iri;
+using rdfc::testing::ParseOrDie;
+using rdfc::testing::Var;
+
+class FGraphMatcherTest : public ::testing::Test {
+ protected:
+  query::BgpQuery Q(const std::string& text) {
+    return ParseOrDie(text, &dict_);
+  }
+
+  std::vector<query::Token> Tokens(const query::BgpQuery& w) {
+    query::CanonicalMap canonical(&dict_);
+    auto result = query::SerialiseQuery(w, &dict_, &canonical);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value().tokens;
+  }
+
+  rdf::TermDictionary dict_;
+};
+
+TEST_F(FGraphMatcherTest, ViewLookupsFollowWitness) {
+  const query::BgpQuery q = Q("ASK { ?x :p ?y . ?y :q :c . }");
+  FGraphView view(query::BuildWitness(q), dict_);
+  EXPECT_EQ(view.num_vertices(), 3u);
+  const std::uint32_t x = view.ClassOfTerm(Var(&dict_, "x"));
+  const std::uint32_t y = view.ClassOfTerm(Var(&dict_, "y"));
+  const std::uint32_t c = view.ClassOfTerm(Iri(&dict_, "c"));
+  ASSERT_NE(x, FGraphView::kInvalidVertex);
+  EXPECT_EQ(view.Out(x, Iri(&dict_, "p")), y);
+  EXPECT_EQ(view.In(y, Iri(&dict_, "p")), x);
+  EXPECT_EQ(view.Out(y, Iri(&dict_, "q")), c);
+  EXPECT_EQ(view.Out(x, Iri(&dict_, "q")), FGraphView::kInvalidVertex);
+  EXPECT_EQ(view.ClassOfTerm(Iri(&dict_, "p")), FGraphView::kInvalidVertex);
+}
+
+TEST_F(FGraphMatcherTest, Example34StepByStep) {
+  // Example 3.4: matching serialised W against Q starting at ?sng.
+  const query::BgpQuery q = Q(R"(ASK {
+      ?sng :name ?sN . ?sng :fromAlbum ?alb . ?alb :name ?aN .
+      ?alb :artist ?art . ?art a :MusicalArtist . })");
+  const query::BgpQuery w = Q(R"(ASK {
+      ?x :name ?y . ?x :fromAlbum ?z . ?z :name ?w . })");
+  FGraphView view(query::BuildWitness(q), dict_);
+  const std::vector<query::Token> tokens = Tokens(w);
+
+  const std::uint32_t sng = view.ClassOfTerm(Var(&dict_, "sng"));
+  auto from_sng = MatchTokensFrom(view, dict_, tokens, sng);
+  ASSERT_EQ(from_sng.size(), 1u);
+  // σ maps W's canonical variables onto Q's classes.
+  const MatchState& st = from_sng[0];
+  EXPECT_EQ(st.sigma.at(dict_.CanonicalVariable(1)), sng);
+
+  // Anchoring anywhere else fails: only ?sng has both name and fromAlbum.
+  const std::uint32_t alb = view.ClassOfTerm(Var(&dict_, "alb"));
+  EXPECT_TRUE(MatchTokensFrom(view, dict_, tokens, alb).empty());
+  const std::uint32_t art = view.ClassOfTerm(Var(&dict_, "art"));
+  EXPECT_TRUE(MatchTokensFrom(view, dict_, tokens, art).empty());
+
+  // MatchTokens over all classes finds exactly the one mapping.
+  EXPECT_EQ(MatchTokens(view, dict_, tokens).size(), 1u);
+}
+
+TEST_F(FGraphMatcherTest, MissingEdgeFails) {
+  const query::BgpQuery q = Q("ASK { ?a :p ?b . }");
+  FGraphView view(query::BuildWitness(q), dict_);
+  const auto tokens = Tokens(Q("ASK { ?x :p ?y . ?y :q ?z . }"));
+  EXPECT_TRUE(MatchTokens(view, dict_, tokens).empty());
+}
+
+TEST_F(FGraphMatcherTest, ConstantAnchorsAndTargets) {
+  const query::BgpQuery q = Q("ASK { :e :p ?y . ?y :q :f . }");
+  FGraphView view(query::BuildWitness(q), dict_);
+  // W anchored (after serialisation) at its highest-degree vertex; constants
+  // in W must land on the matching constants of Q.
+  EXPECT_EQ(MatchTokens(view, dict_, Tokens(Q("ASK { :e :p ?b . }"))).size(),
+            1u);
+  EXPECT_TRUE(
+      MatchTokens(view, dict_, Tokens(Q("ASK { :wrong :p ?b . }"))).empty());
+  EXPECT_EQ(
+      MatchTokens(view, dict_, Tokens(Q("ASK { ?a :q :f . }"))).size(), 1u);
+  EXPECT_TRUE(
+      MatchTokens(view, dict_, Tokens(Q("ASK { ?a :q :e . }"))).empty());
+}
+
+TEST_F(FGraphMatcherTest, CycleClosingPairChecksConsistency) {
+  // W is a 2-cycle; Q has the same 2-cycle -> match, but a 2-path does not.
+  const auto tokens = Tokens(Q("ASK { ?x :p ?y . ?y :q ?x . }"));
+  {
+    FGraphView view(query::BuildWitness(Q("ASK { ?a :p ?b . ?b :q ?a . }")), dict_);
+    EXPECT_FALSE(MatchTokens(view, dict_, tokens).empty());
+  }
+  {
+    FGraphView view(query::BuildWitness(
+        Q("ASK { ?a :p ?b . ?b :q ?c . ?c :r ?d . }")), dict_);
+    EXPECT_TRUE(MatchTokens(view, dict_, tokens).empty());
+  }
+}
+
+TEST_F(FGraphMatcherTest, SelfLoopMatching) {
+  const auto tokens = Tokens(Q("ASK { ?x :p ?x . }"));
+  {
+    FGraphView view(query::BuildWitness(Q("ASK { ?a :p ?a . }")), dict_);
+    EXPECT_EQ(MatchTokens(view, dict_, tokens).size(), 1u);
+  }
+  {
+    FGraphView view(query::BuildWitness(Q("ASK { ?a :p ?b . }")), dict_);
+    EXPECT_TRUE(MatchTokens(view, dict_, tokens).empty());
+  }
+}
+
+TEST_F(FGraphMatcherTest, MatchingAgainstMergedWitnessClasses) {
+  // Probe is non-f-graph; its witness merges ?alb/?sng (Example 5.3) and the
+  // serialised W matches with σ_w(?x1) = that merged class.
+  const query::BgpQuery probe = Q(R"(ASK {
+      ?alb :artist ?art . ?sng :artist ?art . ?art a :MusicalArtist . })");
+  FGraphView view(query::BuildWitness(probe), dict_);
+  const auto tokens =
+      Tokens(Q("ASK { ?x :artist ?y . ?y a :MusicalArtist . }"));
+  const auto states = MatchTokens(view, dict_, tokens);
+  ASSERT_EQ(states.size(), 1u);
+  const std::uint32_t merged = view.ClassOfTerm(Var(&dict_, "alb"));
+  EXPECT_EQ(merged, view.ClassOfTerm(Var(&dict_, "sng")));
+  EXPECT_EQ(view.witness().class_members[merged].size(), 2u);
+  // One of W's two variables must land on the merged {?alb, ?sng} class and
+  // the other on ?art's class (which variable is ?x1 depends on the anchor).
+  const std::uint32_t art = view.ClassOfTerm(Var(&dict_, "art"));
+  const std::uint32_t m1 = states[0].sigma.at(dict_.CanonicalVariable(1));
+  const std::uint32_t m2 = states[0].sigma.at(dict_.CanonicalVariable(2));
+  EXPECT_TRUE((m1 == merged && m2 == art) || (m1 == art && m2 == merged));
+}
+
+TEST_F(FGraphMatcherTest, SeparatorForksOverAllClasses) {
+  // Two-component W: second component anchors anywhere.
+  const query::BgpQuery probe =
+      Q("ASK { ?a :p ?b . ?c :q ?d . ?e :q ?f . ?a :r ?c . ?a :s ?e . }");
+  FGraphView view(query::BuildWitness(probe), dict_);
+  const auto tokens = Tokens(Q("ASK { ?x :p ?y . ?u :q ?v . }"));
+  // Expect: anchor1 must map to ?a's class; component 2 (?u :q ?v) maps to
+  // either (?c,?d) or (?e,?f) -> 2 surviving states.
+  EXPECT_EQ(MatchTokens(view, dict_, tokens).size(), 2u);
+}
+
+TEST_F(FGraphMatcherTest, StateIsolationOnFork) {
+  // After a fork, sibling states must not share σ mutations.
+  const query::BgpQuery probe = Q("ASK { ?a :p ?b . ?c :p ?d . }");
+  FGraphView view(query::BuildWitness(probe), dict_);
+  const auto tokens = Tokens(Q("ASK { ?x :p ?y . ?u :p ?v . }"));
+  const auto states = MatchTokens(view, dict_, tokens);
+  // Component anchors: {a,c} x {a,c} = 4 combinations.
+  EXPECT_EQ(states.size(), 4u);
+}
+
+}  // namespace
+}  // namespace containment
+}  // namespace rdfc

@@ -1,0 +1,137 @@
+#include "containment/homomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace rdfc {
+namespace containment {
+namespace {
+
+using rdfc::testing::Iri;
+using rdfc::testing::ParseOrDie;
+using rdfc::testing::Var;
+
+class HomomorphismTest : public ::testing::Test {
+ protected:
+  query::BgpQuery Q(const std::string& text) {
+    return ParseOrDie(text, &dict_);
+  }
+  rdf::TermDictionary dict_;
+};
+
+TEST_F(HomomorphismTest, PaperRunningExample) {
+  // Example 2.1: Q ⊑ W via σ(?x)=?sng, σ(?y)=?sN, σ(?z)=?alb, σ(?w)=?aN.
+  const query::BgpQuery q = Q(R"(SELECT ?sN ?aN WHERE {
+      ?sng :name ?sN . ?sng :fromAlbum ?alb . ?alb :name ?aN .
+      ?alb :artist ?art . ?art a :MusicalArtist . })");
+  const query::BgpQuery w = Q(R"(SELECT ?y ?w WHERE {
+      ?x :name ?y . ?x :fromAlbum ?z . ?z :name ?w . })");
+  EXPECT_TRUE(IsContainedIn(q, w, dict_));
+  EXPECT_FALSE(IsContainedIn(w, q, dict_));  // not the other way
+
+  HomomorphismOptions options;
+  options.max_results = 10;
+  const HomomorphismResult result = FindHomomorphisms(w, q, dict_, options);
+  ASSERT_EQ(result.mappings.size(), 1u);
+  const VarMapping& sigma = result.mappings[0];
+  EXPECT_EQ(sigma.at(Var(&dict_, "x")), Var(&dict_, "sng"));
+  EXPECT_EQ(sigma.at(Var(&dict_, "y")), Var(&dict_, "sN"));
+  EXPECT_EQ(sigma.at(Var(&dict_, "z")), Var(&dict_, "alb"));
+  EXPECT_EQ(sigma.at(Var(&dict_, "w")), Var(&dict_, "aN"));
+}
+
+TEST_F(HomomorphismTest, ConstantsMustMatchExactly) {
+  const query::BgpQuery q = Q("ASK { ?x :p :a . }");
+  EXPECT_TRUE(IsContainedIn(q, Q("ASK { ?s :p :a . }"), dict_));
+  EXPECT_FALSE(IsContainedIn(q, Q("ASK { ?s :p :b . }"), dict_));
+  // Variables in W can map to constants in Q.
+  EXPECT_TRUE(IsContainedIn(q, Q("ASK { ?s :p ?o . }"), dict_));
+  // But constants in W cannot map to variables in Q.
+  EXPECT_FALSE(IsContainedIn(Q("ASK { ?x :p ?y . }"),
+                             Q("ASK { ?s :p :a . }"), dict_));
+}
+
+TEST_F(HomomorphismTest, PaperRelatedWorkCycleExample) {
+  // Section 8: indexed W = {(?x,r1,?y),(?y,r2,?z)} contains the cyclic
+  // Q = {(?x',r1,?y'),(?y',r2,?x')} via σ(?z)=?x' — a case subgraph
+  // isomorphism would miss.
+  const query::BgpQuery w = Q("ASK { ?x :r1 ?y . ?y :r2 ?z . }");
+  const query::BgpQuery q = Q("ASK { ?xp :r1 ?yp . ?yp :r2 ?xp . }");
+  HomomorphismOptions options;
+  options.max_results = 4;
+  const HomomorphismResult result = FindHomomorphisms(w, q, dict_, options);
+  ASSERT_EQ(result.mappings.size(), 1u);
+  EXPECT_EQ(result.mappings[0].at(Var(&dict_, "x")), Var(&dict_, "xp"));
+  EXPECT_EQ(result.mappings[0].at(Var(&dict_, "z")), Var(&dict_, "xp"));
+}
+
+TEST_F(HomomorphismTest, MultipleMappingsEnumerated) {
+  // W's single pattern maps onto any of Q's three.
+  const query::BgpQuery q = Q("ASK { ?a :p ?b . ?b :p ?c . ?c :p ?d . }");
+  const query::BgpQuery w = Q("ASK { ?x :p ?y . }");
+  HomomorphismOptions options;
+  options.max_results = 100;
+  EXPECT_EQ(FindHomomorphisms(w, q, dict_, options).mappings.size(), 3u);
+}
+
+TEST_F(HomomorphismTest, VariablePredicates) {
+  const query::BgpQuery q = Q("ASK { ?x :p ?y . ?x a :C . }");
+  EXPECT_TRUE(IsContainedIn(q, Q("ASK { ?s ?v ?o . }"), dict_));
+  // The var predicate can bind to rdf:type too.
+  HomomorphismOptions options;
+  options.max_results = 100;
+  const auto result =
+      FindHomomorphisms(Q("ASK { ?s ?v ?o . }"), q, dict_, options);
+  EXPECT_EQ(result.mappings.size(), 2u);
+  // Repeated predicate variable must bind consistently.
+  EXPECT_FALSE(IsContainedIn(Q("ASK { ?x :p ?y . ?y :q ?z . }"),
+                             Q("ASK { ?a ?v ?b . ?b ?v ?c . }"), dict_));
+  EXPECT_TRUE(IsContainedIn(Q("ASK { ?x :p ?y . ?y :p ?z . }"),
+                            Q("ASK { ?a ?v ?b . ?b ?v ?c . }"), dict_));
+}
+
+TEST_F(HomomorphismTest, RestrictedSearchHonoursAllowedSets) {
+  const query::BgpQuery q = Q("ASK { ?a :p ?b . ?c :p ?d . }");
+  const query::BgpQuery w = Q("ASK { ?x :p ?y . }");
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> allowed;
+  allowed[Var(&dict_, "x")] = {Var(&dict_, "c")};
+  HomomorphismOptions options;
+  options.max_results = 10;
+  const auto result =
+      FindHomomorphismsRestricted(w, q, dict_, allowed, options);
+  ASSERT_EQ(result.mappings.size(), 1u);
+  EXPECT_EQ(result.mappings[0].at(Var(&dict_, "x")), Var(&dict_, "c"));
+  // Empty allowed set kills all mappings.
+  allowed[Var(&dict_, "x")] = {};
+  EXPECT_FALSE(
+      FindHomomorphismsRestricted(w, q, dict_, allowed, options).found());
+}
+
+TEST_F(HomomorphismTest, EmptyWContainsEverything) {
+  query::BgpQuery empty_w;
+  EXPECT_TRUE(FindHomomorphisms(empty_w, Q("ASK { ?x :p ?y }"), dict_).found());
+}
+
+TEST_F(HomomorphismTest, StepCapReportsNonExhaustive) {
+  const query::BgpQuery q = Q(R"(ASK {
+      ?a :p ?b . ?b :p ?c . ?c :p ?d . ?d :p ?e . ?e :p ?f . })");
+  const query::BgpQuery w = Q("ASK { ?x :p ?y . ?z :p ?u . ?v :p ?t . }");
+  HomomorphismOptions options;
+  options.max_results = 1000000;
+  options.max_steps = 3;
+  const auto result = FindHomomorphisms(w, q, dict_, options);
+  EXPECT_FALSE(result.exhausted);
+  EXPECT_LE(result.steps, 3u);
+}
+
+TEST_F(HomomorphismTest, ProjectionNotConsidered) {
+  // Boolean containment: SELECT clauses are ignored.
+  const query::BgpQuery q = Q("SELECT ?x WHERE { ?x :p ?y . }");
+  const query::BgpQuery w = Q("SELECT ?y WHERE { ?x :p ?y . }");
+  EXPECT_TRUE(IsContainedIn(q, w, dict_));
+}
+
+}  // namespace
+}  // namespace containment
+}  // namespace rdfc

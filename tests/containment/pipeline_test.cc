@@ -1,0 +1,182 @@
+#include "containment/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "containment/homomorphism.h"
+
+namespace rdfc {
+namespace containment {
+namespace {
+
+using rdfc::testing::ParseOrDie;
+using rdfc::testing::Var;
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  query::BgpQuery Q(const std::string& text) {
+    return ParseOrDie(text, &dict_);
+  }
+
+  CheckOutcome CheckQW(const std::string& q_text, const std::string& w_text,
+                       CheckOptions options = {}) {
+    auto result = Check(Q(q_text), Q(w_text), &dict_, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? std::move(result).value() : CheckOutcome{};
+  }
+
+  rdf::TermDictionary dict_;
+};
+
+TEST_F(PipelineTest, PaperRunningExamplePTimePath) {
+  // Q is an f-graph; the whole decision stays in the PTime path.
+  CheckOptions options;
+  options.max_mappings = 4;
+  const CheckOutcome outcome = CheckQW(
+      R"(SELECT ?sN ?aN WHERE {
+          ?sng :name ?sN . ?sng :fromAlbum ?alb . ?alb :name ?aN .
+          ?alb :artist ?art . ?art a :MusicalArtist . })",
+      R"(SELECT ?y ?w WHERE {
+          ?x :name ?y . ?x :fromAlbum ?z . ?z :name ?w . })",
+      options);
+  EXPECT_TRUE(outcome.contained);
+  EXPECT_TRUE(outcome.filter_passed);
+  EXPECT_FALSE(outcome.needed_np);
+  ASSERT_EQ(outcome.mappings.size(), 1u);
+  // Mapping is reported in W's original variable space.
+  EXPECT_EQ(outcome.mappings[0].at(Var(&dict_, "x")), Var(&dict_, "sng"));
+  EXPECT_EQ(outcome.mappings[0].at(Var(&dict_, "w")), Var(&dict_, "aN"));
+}
+
+TEST_F(PipelineTest, NonContainmentDecidedInPTime) {
+  const CheckOutcome outcome =
+      CheckQW("ASK { ?x :p ?y . }", "ASK { ?x :q ?y . }");
+  EXPECT_FALSE(outcome.contained);
+  EXPECT_FALSE(outcome.filter_passed);
+  EXPECT_FALSE(outcome.needed_np);
+}
+
+TEST_F(PipelineTest, Example53WitnessThenNp) {
+  // Figure 2 / Example 5.3: probe merges {?alb,?sng}; both instantiations
+  // satisfy W, so containment holds and NP verification runs.
+  CheckOptions options;
+  options.max_mappings = 8;
+  const CheckOutcome outcome = CheckQW(
+      R"(ASK { ?alb :artist ?art . ?sng :artist ?art .
+               ?sng :name ?aN . ?art a :MusicalArtist . })",
+      R"(ASK { ?x1 :artist ?x2 . ?x2 a :MusicalArtist . })", options);
+  EXPECT_TRUE(outcome.contained);
+  EXPECT_TRUE(outcome.needed_np);
+  // Example 5.3: exactly two concrete mappings σ1, σ2.
+  EXPECT_EQ(outcome.mappings.size(), 2u);
+}
+
+TEST_F(PipelineTest, WitnessFilterPassesButNpRefutes) {
+  // Classic false-positive for the witness: Q's witness merges ?a,?b, and W
+  // requires a vertex with both :p-successor values — no concrete σ exists.
+  // Q: x -p-> a, x -p-> b, a -q-> c, b -r-> d.  Witness merges {a,b} (and
+  // then nothing else).  W asks for one vertex with both :q and :r edges.
+  const CheckOutcome outcome = CheckQW(
+      "ASK { ?x :p ?a . ?x :p ?b . ?a :q ?c . ?b :r ?d . }",
+      "ASK { ?x :p ?y . ?y :q ?c . ?y :r ?d . }");
+  EXPECT_TRUE(outcome.filter_passed) << "witness should over-approximate";
+  EXPECT_TRUE(outcome.needed_np);
+  EXPECT_FALSE(outcome.contained);
+  // Ground truth agrees.
+  EXPECT_FALSE(IsContainedIn(
+      Q("ASK { ?x :p ?a . ?x :p ?b . ?a :q ?c . ?b :r ?d . }"),
+      Q("ASK { ?x :p ?y . ?y :q ?c . ?y :r ?d . }"), dict_));
+}
+
+TEST_F(PipelineTest, VerifyFalseReportsFilterOnly) {
+  CheckOptions options;
+  options.verify = false;
+  const CheckOutcome outcome = CheckQW(
+      "ASK { ?x :p ?a . ?x :p ?b . ?a :q ?c . ?b :r ?d . }",
+      "ASK { ?x :p ?y . ?y :q ?c . ?y :r ?d . }", options);
+  EXPECT_TRUE(outcome.filter_passed);
+  EXPECT_FALSE(outcome.contained);
+  EXPECT_FALSE(outcome.needed_np);
+}
+
+TEST_F(PipelineTest, VariablePredicateInW) {
+  // Section 5.2: W has a var-predicate pattern bridging two components.
+  const CheckOutcome a = CheckQW(
+      "ASK { ?s :p ?t . ?t :link ?u . ?u :q ?v . }",
+      "ASK { ?x :p ?y . ?y ?vp ?z . ?z :q ?w . }");
+  EXPECT_TRUE(a.contained);
+  EXPECT_TRUE(a.needed_np);
+  // Removing the bridge in Q breaks containment (no p' edge to bind ?vp).
+  const CheckOutcome b = CheckQW(
+      "ASK { ?s :p ?t . ?u :q ?v . }",
+      "ASK { ?x :p ?y . ?y ?vp ?z . ?z :q ?w . }");
+  EXPECT_FALSE(b.contained);
+}
+
+TEST_F(PipelineTest, WOnlyVarPredicates) {
+  const CheckOutcome outcome =
+      CheckQW("ASK { ?s :p ?t . }", "ASK { ?x ?v ?y . }");
+  EXPECT_TRUE(outcome.contained);
+  const CheckOutcome neg =
+      CheckQW("ASK { ?s :p ?t . }", "ASK { ?x ?v ?x . }");
+  EXPECT_FALSE(neg.contained);
+}
+
+TEST_F(PipelineTest, EmptyWContainsAll) {
+  query::BgpQuery empty_w;
+  auto result = Check(Q("ASK { ?x :p ?y }"), empty_w, &dict_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->contained);
+}
+
+TEST_F(PipelineTest, EmptyProbeContainedOnlyInEmpty) {
+  query::BgpQuery empty_q;
+  auto result = Check(empty_q, Q("ASK { ?x :p ?y }"), &dict_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->contained);
+}
+
+TEST_F(PipelineTest, ProjectionIgnoredForBooleanContainment) {
+  EXPECT_TRUE(Contains(Q("SELECT ?a WHERE { ?a :p ?b }"),
+                       Q("SELECT ?b WHERE { ?a :p ?b }"), &dict_));
+}
+
+TEST_F(PipelineTest, SelfContainment) {
+  const char* texts[] = {
+      "ASK { ?x :p ?y . }",
+      "ASK { ?x :p ?y . ?y :q ?z . ?z :r ?x . }",
+      "ASK { ?x :p ?a . ?x :p ?b . }",
+      "ASK { ?x ?v ?y . }",
+      "ASK { ?a :p ?b . ?c :q ?d . }",
+  };
+  for (const char* text : texts) {
+    EXPECT_TRUE(Contains(Q(text), Q(text), &dict_)) << text;
+  }
+}
+
+TEST_F(PipelineTest, AgreesWithGroundTruthOnTrickyPairs) {
+  struct Case {
+    const char* q;
+    const char* w;
+  };
+  const Case cases[] = {
+      {"ASK { ?x :p ?y . ?y :p ?z . }", "ASK { ?a :p ?b . }"},
+      {"ASK { ?x :p ?y . }", "ASK { ?a :p ?b . ?b :p ?c . }"},
+      {"ASK { ?x :p ?x . }", "ASK { ?a :p ?b . ?b :p ?a . }"},
+      {"ASK { ?x :p ?y . ?y :p ?x . }", "ASK { ?a :p ?a . }"},
+      {"ASK { ?x :p :c . ?y :q :c . }", "ASK { ?a :p ?v . ?b :q ?v . }"},
+      {"ASK { ?x :p :c . ?y :q :d . }", "ASK { ?a :p ?v . ?b :q ?v . }"},
+      {"ASK { ?x a :A . ?x a :B . }", "ASK { ?y a :A . }"},
+      {"ASK { ?x a :A . }", "ASK { ?y a :A . ?y a :B . }"},
+      {"ASK { ?x :p ?y . ?z :p ?y . ?x :q ?w . }", "ASK { ?a :p ?b . ?a :q ?c . }"},
+  };
+  for (const Case& c : cases) {
+    const bool expected = IsContainedIn(Q(c.q), Q(c.w), dict_);
+    EXPECT_EQ(Contains(Q(c.q), Q(c.w), &dict_), expected)
+        << "Q = " << c.q << "\nW = " << c.w;
+  }
+}
+
+}  // namespace
+}  // namespace containment
+}  // namespace rdfc

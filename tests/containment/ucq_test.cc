@@ -1,0 +1,69 @@
+#include "containment/ucq.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace rdfc {
+namespace containment {
+namespace {
+
+using rdfc::testing::ParseOrDie;
+
+class UcqTest : public ::testing::Test {
+ protected:
+  query::BgpQuery Q(const std::string& text) {
+    return ParseOrDie(text, &dict_);
+  }
+  rdf::TermDictionary dict_;
+};
+
+TEST_F(UcqTest, ContainedInSomeDisjunct) {
+  UnionQuery disjuncts;
+  disjuncts.push_back(Q("ASK { ?x :q ?y . }"));
+  disjuncts.push_back(Q("ASK { ?x :p ?y . }"));
+  EXPECT_TRUE(ContainedInUnion(Q("ASK { ?a :p ?b . ?a a :T . }"), disjuncts,
+                               &dict_));
+}
+
+TEST_F(UcqTest, NotContainedInAnyDisjunct) {
+  UnionQuery disjuncts;
+  disjuncts.push_back(Q("ASK { ?x :q ?y . }"));
+  disjuncts.push_back(Q("ASK { ?x :p :c . }"));
+  EXPECT_FALSE(ContainedInUnion(Q("ASK { ?a :p ?b . }"), disjuncts, &dict_));
+}
+
+TEST_F(UcqTest, EmptyUnionContainsNothing) {
+  EXPECT_FALSE(ContainedInUnion(Q("ASK { ?a :p ?b . }"), {}, &dict_));
+}
+
+TEST_F(UcqTest, UnionInUnion) {
+  UnionQuery lhs;
+  lhs.push_back(Q("ASK { ?x :p ?y . ?x a :T . }"));
+  lhs.push_back(Q("ASK { ?x :q :c . }"));
+  UnionQuery rhs;
+  rhs.push_back(Q("ASK { ?x :p ?y . }"));
+  rhs.push_back(Q("ASK { ?x :q ?y . }"));
+  EXPECT_TRUE(UnionContainedInUnion(lhs, rhs, &dict_));
+  // Tighten rhs: the second lhs disjunct no longer fits.
+  rhs[1] = Q("ASK { ?x :q :d . }");
+  EXPECT_FALSE(UnionContainedInUnion(lhs, rhs, &dict_));
+}
+
+TEST_F(UcqTest, EmptyLhsUnionVacuouslyContained) {
+  UnionQuery rhs;
+  rhs.push_back(Q("ASK { ?x :p ?y . }"));
+  EXPECT_TRUE(UnionContainedInUnion({}, rhs, &dict_));
+}
+
+TEST_F(UcqTest, DisjunctsWithVariablePredicates) {
+  UnionQuery disjuncts;
+  disjuncts.push_back(Q("ASK { ?x ?v ?x . }"));  // self-loop via any pred
+  disjuncts.push_back(Q("ASK { ?x :p ?y . }"));
+  EXPECT_TRUE(ContainedInUnion(Q("ASK { ?a :q ?a . }"), disjuncts, &dict_));
+  EXPECT_FALSE(ContainedInUnion(Q("ASK { ?a :q ?b . }"), disjuncts, &dict_));
+}
+
+}  // namespace
+}  // namespace containment
+}  // namespace rdfc

@@ -1,0 +1,135 @@
+#include "containment/var_predicates.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_util.h"
+#include "query/witness.h"
+
+namespace rdfc {
+namespace containment {
+namespace {
+
+using rdfc::testing::Iri;
+using rdfc::testing::ParseOrDie;
+using rdfc::testing::Var;
+
+class VarPredicateBoundsTest : public ::testing::Test {
+ protected:
+  query::BgpQuery Q(const std::string& text) {
+    return ParseOrDie(text, &dict_);
+  }
+  static bool Has(const std::vector<rdf::TermId>& v, rdf::TermId x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+  }
+  rdf::TermDictionary dict_;
+};
+
+TEST_F(VarPredicateBoundsTest, SubjectPinnedBoundsObject) {
+  // Probe: s -p-> t, s -q-> u.  Var-pred pattern (x, ?v, o) with x pinned to
+  // s's class bounds o to {t, u} (Section 5.2 bounding).
+  const query::BgpQuery probe = Q("ASK { ?s :p ?t . ?s :q ?u . }");
+  const query::Witness witness = query::BuildWitness(probe);
+  MatchState sigma;
+  const rdf::TermId x = dict_.MakeVariable("bx");
+  const rdf::TermId o = dict_.MakeVariable("bo");
+  const rdf::TermId v = dict_.MakeVariable("bv");
+  sigma.sigma[x] = witness.ClassOf(Var(&dict_, "s"));
+
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> allowed;
+  AddVarPredicateBounds(probe, dict_, witness, sigma,
+                        {rdf::Triple(x, v, o)}, &allowed);
+  ASSERT_EQ(allowed.count(o), 1u);
+  EXPECT_EQ(allowed[o].size(), 2u);
+  EXPECT_TRUE(Has(allowed[o], Var(&dict_, "t")));
+  EXPECT_TRUE(Has(allowed[o], Var(&dict_, "u")));
+  // The var predicate itself gets no bound from this mechanism.
+  EXPECT_EQ(allowed.count(v), 0u);
+}
+
+TEST_F(VarPredicateBoundsTest, ObjectPinnedBoundsSubject) {
+  const query::BgpQuery probe = Q("ASK { ?a :p ?t . ?b :q ?t . }");
+  const query::Witness witness = query::BuildWitness(probe);
+  MatchState sigma;
+  const rdf::TermId s = dict_.MakeVariable("bs");
+  const rdf::TermId o = dict_.MakeVariable("bo2");
+  const rdf::TermId v = dict_.MakeVariable("bv2");
+  sigma.sigma[o] = witness.ClassOf(Var(&dict_, "t"));
+
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> allowed;
+  AddVarPredicateBounds(probe, dict_, witness, sigma,
+                        {rdf::Triple(s, v, o)}, &allowed);
+  ASSERT_EQ(allowed.count(s), 1u);
+  EXPECT_EQ(allowed[s].size(), 2u);
+  EXPECT_TRUE(Has(allowed[s], Var(&dict_, "a")));
+  EXPECT_TRUE(Has(allowed[s], Var(&dict_, "b")));
+}
+
+TEST_F(VarPredicateBoundsTest, ConstantEndsArePinnedImplicitly) {
+  // Constant subject :e pins the bound without a sigma entry.
+  const query::BgpQuery probe = Q("ASK { :e :p ?t . ?x :q ?y . }");
+  const query::Witness witness = query::BuildWitness(probe);
+  MatchState sigma;
+  const rdf::TermId o = dict_.MakeVariable("bo3");
+  const rdf::TermId v = dict_.MakeVariable("bv3");
+
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> allowed;
+  AddVarPredicateBounds(probe, dict_, witness, sigma,
+                        {rdf::Triple(Iri(&dict_, "e"), v, o)}, &allowed);
+  ASSERT_EQ(allowed.count(o), 1u);
+  ASSERT_EQ(allowed[o].size(), 1u);
+  EXPECT_TRUE(Has(allowed[o], Var(&dict_, "t")));
+}
+
+TEST_F(VarPredicateBoundsTest, IntersectionWithExistingRestriction) {
+  const query::BgpQuery probe = Q("ASK { ?s :p ?t . ?s :q ?u . }");
+  const query::Witness witness = query::BuildWitness(probe);
+  MatchState sigma;
+  const rdf::TermId x = dict_.MakeVariable("ix");
+  const rdf::TermId o = dict_.MakeVariable("io");
+  const rdf::TermId v = dict_.MakeVariable("iv");
+  sigma.sigma[x] = witness.ClassOf(Var(&dict_, "s"));
+
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> allowed;
+  allowed[o] = {Var(&dict_, "t"), Var(&dict_, "s")};  // pre-existing
+  AddVarPredicateBounds(probe, dict_, witness, sigma,
+                        {rdf::Triple(x, v, o)}, &allowed);
+  // Intersection of {t, s} with {t, u} = {t}.
+  ASSERT_EQ(allowed[o].size(), 1u);
+  EXPECT_EQ(allowed[o][0], Var(&dict_, "t"));
+}
+
+TEST_F(VarPredicateBoundsTest, NeitherEndPinnedAddsNoBound) {
+  const query::BgpQuery probe = Q("ASK { ?s :p ?t . }");
+  const query::Witness witness = query::BuildWitness(probe);
+  MatchState sigma;  // empty
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> allowed;
+  AddVarPredicateBounds(
+      probe, dict_, witness, sigma,
+      {rdf::Triple(dict_.MakeVariable("na"), dict_.MakeVariable("nv"),
+                   dict_.MakeVariable("nb"))},
+      &allowed);
+  EXPECT_TRUE(allowed.empty());
+}
+
+TEST_F(VarPredicateBoundsTest, BothEndsPinnedAddsNoBound) {
+  // When both ends are pinned, the NP search verifies the pattern directly;
+  // no candidate restriction is derived.
+  const query::BgpQuery probe = Q("ASK { ?s :p ?t . }");
+  const query::Witness witness = query::BuildWitness(probe);
+  MatchState sigma;
+  const rdf::TermId a = dict_.MakeVariable("pa");
+  const rdf::TermId b = dict_.MakeVariable("pb");
+  sigma.sigma[a] = witness.ClassOf(Var(&dict_, "s"));
+  sigma.sigma[b] = witness.ClassOf(Var(&dict_, "t"));
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> allowed;
+  AddVarPredicateBounds(probe, dict_, witness, sigma,
+                        {rdf::Triple(a, dict_.MakeVariable("pv"), b)},
+                        &allowed);
+  EXPECT_TRUE(allowed.empty());
+}
+
+}  // namespace
+}  // namespace containment
+}  // namespace rdfc

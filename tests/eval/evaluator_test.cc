@@ -1,0 +1,113 @@
+#include "eval/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "rdf/turtle_parser.h"
+
+namespace rdfc {
+namespace eval {
+namespace {
+
+using rdfc::testing::ParseOrDie;
+using rdfc::testing::Var;
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The running-example graph of Example 2.1.
+    ASSERT_TRUE(rdf::ParseTurtle(R"(
+      @prefix t: <urn:t:> .
+      t:s1 t:name "Masquerade" .
+      t:s1 t:fromAlbum t:al1 .
+      t:al1 t:name "The Phantom of the Opera" .
+      t:al1 t:artist t:ar3 .
+      t:ar3 t:name "Andrew L. Webber" .
+      t:ar3 t:type t:MusicalArtist .
+    )", &dict_, &graph_).ok());
+  }
+  query::BgpQuery Q(const std::string& text) {
+    return ParseOrDie(text, &dict_);
+  }
+  rdf::TermDictionary dict_;
+  rdf::Graph graph_;
+};
+
+TEST_F(EvaluatorTest, PaperExampleAnswer) {
+  // Q returns ("Masquerade", "The Phantom of the Opera").
+  const query::BgpQuery q = Q(R"(SELECT ?sN ?aN WHERE {
+      ?sng :name ?sN . ?sng :fromAlbum ?alb . ?alb :name ?aN .
+      ?alb :artist ?art . ?art :type :MusicalArtist . })");
+  const auto answers = ProjectedAnswers(q, graph_, dict_);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0][0], dict_.MakeLiteral("\"Masquerade\""));
+  EXPECT_EQ(answers[0][1],
+            dict_.MakeLiteral("\"The Phantom of the Opera\""));
+}
+
+TEST_F(EvaluatorTest, AskSemantics) {
+  EXPECT_TRUE(Ask(Q("ASK { ?x :type :MusicalArtist . }"), graph_, dict_));
+  EXPECT_FALSE(Ask(Q("ASK { ?x :type :Composer . }"), graph_, dict_));
+}
+
+TEST_F(EvaluatorTest, EmptyQueryHasEmptySolution) {
+  query::BgpQuery q;
+  EXPECT_TRUE(Ask(q, graph_, dict_));
+}
+
+TEST_F(EvaluatorTest, VariablePredicateEnumerates) {
+  const query::BgpQuery q = Q("SELECT ?p WHERE { <urn:t:s1> ?p ?o . }");
+  const auto answers = ProjectedAnswers(q, graph_, dict_);
+  EXPECT_EQ(answers.size(), 2u);  // name, fromAlbum
+}
+
+TEST_F(EvaluatorTest, JoinOverSharedVariable) {
+  const query::BgpQuery q =
+      Q("SELECT ?a WHERE { ?s :fromAlbum ?a . ?a :artist ?r . }");
+  const auto answers = ProjectedAnswers(q, graph_, dict_);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0][0], dict_.MakeIri("urn:t:al1"));
+}
+
+TEST_F(EvaluatorTest, MaxSolutionsStopsEarly) {
+  const query::BgpQuery q = Q("SELECT ?s WHERE { ?s ?p ?o . }");
+  EvalOptions options;
+  options.max_solutions = 2;
+  EXPECT_EQ(Evaluate(q, graph_, dict_, options).solutions.size(), 2u);
+}
+
+TEST_F(EvaluatorTest, ProjectionDeduplicates) {
+  // Two triples share subject s1: projecting onto ?s alone dedups.
+  const query::BgpQuery q = Q("SELECT ?s WHERE { ?s ?p ?o . }");
+  const auto answers = ProjectedAnswers(q, graph_, dict_);
+  EXPECT_EQ(answers.size(), 3u);  // s1, al1, ar3
+}
+
+TEST_F(EvaluatorTest, FreezeYieldsCanonicalInstance) {
+  const query::BgpQuery q = Q("ASK { ?x :p ?y . ?y :q :c . }");
+  std::unordered_map<rdf::TermId, rdf::TermId> image;
+  rdf::TermDictionary dict;
+  const query::BgpQuery q2 = ParseOrDie("ASK { ?x :p ?y . ?y :q :c . }",
+                                        &dict);
+  const rdf::Graph frozen = Freeze(q2, &dict, &image);
+  EXPECT_EQ(frozen.size(), 2u);
+  EXPECT_EQ(image.size(), 2u);
+  // The query matches its own freeze (Chandra-Merlin canonical database).
+  EXPECT_TRUE(Ask(q2, frozen, dict));
+}
+
+TEST_F(EvaluatorTest, ContainmentImpliesAnswerInclusion) {
+  // Q ⊑ W from the paper: on this graph, every Boolean answer of Q implies
+  // one of W.
+  const query::BgpQuery q = Q(R"(ASK {
+      ?sng :name ?sN . ?sng :fromAlbum ?alb . ?alb :name ?aN .
+      ?alb :artist ?art . ?art :type :MusicalArtist . })");
+  const query::BgpQuery w =
+      Q("ASK { ?x :name ?y . ?x :fromAlbum ?z . ?z :name ?w . }");
+  EXPECT_TRUE(Ask(q, graph_, dict_));
+  EXPECT_TRUE(Ask(w, graph_, dict_));
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace rdfc

@@ -1,0 +1,159 @@
+#include "index/cont_queries.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_util.h"
+#include "containment/homomorphism.h"
+
+namespace rdfc {
+namespace index {
+namespace {
+
+using rdfc::testing::ParseOrDie;
+
+class ContQueriesTest : public ::testing::Test {
+ protected:
+  query::BgpQuery Q(const std::string& text) {
+    return ParseOrDie(text, &dict_);
+  }
+  void Insert(MvIndex* index, const std::string& text) {
+    auto result = index->Insert(Q(text));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  static std::vector<std::uint32_t> Ids(const ProbeResult& result) {
+    std::vector<std::uint32_t> ids;
+    for (const auto& m : result.contained) ids.push_back(m.stored_id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+  rdf::TermDictionary dict_;
+};
+
+TEST_F(ContQueriesTest, Figure1StyleIndex) {
+  // The five-query index of Example 4.1 in spirit: shared fromAlbum prefix.
+  MvIndex index(&dict_);
+  Insert(&index,
+         "ASK { ?x1 :artist ?x2 . ?x2 a :Composer . ?x2 a :MusicalArtist . }");
+  Insert(&index, "ASK { ?x1 :fromAlbum ?x2 . ?x2 :name ?x3 . }");
+  Insert(&index, "ASK { ?x1 :fromAlbum ?x2 . ?x2 :artist ?x3 . }");
+  Insert(&index, "ASK { ?x1 :fromAlbum ?x2 . }");
+  Insert(&index, "ASK { ?x1 :name ?x2 . }");
+
+  // The paper's Q (Example 2.1) is contained in the three fromAlbum views
+  // and the name view, but not in the Composer view.
+  const auto result = index.FindContaining(Q(R"(ASK {
+      ?sng :name ?sN . ?sng :fromAlbum ?alb . ?alb :name ?aN .
+      ?alb :artist ?art . ?art a :MusicalArtist . })"));
+  EXPECT_EQ(result.contained.size(), 4u);
+}
+
+TEST_F(ContQueriesTest, WalkAgreesWithScanOnHandCases) {
+  MvIndex index(&dict_);
+  const char* views[] = {
+      "ASK { ?x :p ?y . }",
+      "ASK { ?x :p ?y . ?y :q ?z . }",
+      "ASK { ?x :p ?y . ?y :q ?x . }",
+      "ASK { ?x :p :c . }",
+      "ASK { ?x a :A . }",
+      "ASK { ?x a :A . ?x a :B . }",
+      "ASK { ?x ?v ?y . }",
+      "ASK { ?x :p ?y . ?z ?v ?y . }",
+      "ASK { ?a :p ?b . ?c :q ?d . }",
+  };
+  for (const char* view : views) Insert(&index, view);
+
+  const char* probes[] = {
+      "ASK { ?s :p :c . ?s :r ?t . }",
+      "ASK { ?s :p ?t . ?t :q ?s . }",
+      "ASK { ?s :p ?a . ?s :p ?b . ?a :q ?u . }",
+      "ASK { ?s a :A . ?s a :B . }",
+      "ASK { ?s :q ?t . }",
+      "ASK { ?s :p ?t . ?u :q ?w . }",
+  };
+  for (const char* probe : probes) {
+    const auto walk = index.FindContaining(Q(probe));
+    const auto scan = index.ScanContaining(Q(probe));
+    EXPECT_EQ(Ids(walk), Ids(scan)) << probe;
+  }
+}
+
+TEST_F(ContQueriesTest, ProbeBeatsScanOnWorkCounters) {
+  // Shared prefixes: the walk explores one shared edge for many views.
+  MvIndex index(&dict_);
+  for (int i = 0; i < 40; ++i) {
+    Insert(&index, "ASK { ?x :common ?y . ?y :leaf" + std::to_string(i) +
+                       " ?z . }");
+  }
+  const auto result = index.FindContaining(Q("ASK { ?a :other ?b . }"));
+  EXPECT_TRUE(result.contained.empty());
+  // The probe fails on the single shared :common edge; with per-view checks
+  // it would have paid 40 times.
+  EXPECT_LE(result.states_explored, 8u);
+}
+
+TEST_F(ContQueriesTest, MappingsReturnedThroughProbe) {
+  MvIndex index(&dict_);
+  Insert(&index, "SELECT ?y WHERE { ?x :name ?y . }");
+  ProbeOptions options;
+  options.max_mappings = 4;
+  const auto result = index.FindContaining(
+      Q("ASK { ?song :name ?title . ?song :fromAlbum ?alb . }"), options);
+  ASSERT_EQ(result.contained.size(), 1u);
+  ASSERT_FALSE(result.contained[0].outcome.mappings.empty());
+  const auto& mapping = result.contained[0].outcome.mappings[0];
+  EXPECT_EQ(mapping.at(dict_.MakeVariable("x")), dict_.MakeVariable("song"));
+  EXPECT_EQ(mapping.at(dict_.MakeVariable("y")), dict_.MakeVariable("title"));
+}
+
+TEST_F(ContQueriesTest, SkeletonFreeEntriesChecked) {
+  MvIndex index(&dict_);
+  Insert(&index, "ASK { ?x ?v ?y . }");
+  Insert(&index, "ASK { ?x ?v ?x . }");
+  const auto plain = index.FindContaining(Q("ASK { ?s :p ?t . }"));
+  EXPECT_EQ(plain.contained.size(), 1u);
+  const auto loop = index.FindContaining(Q("ASK { ?s :p ?s . }"));
+  EXPECT_EQ(loop.contained.size(), 2u);
+}
+
+TEST_F(ContQueriesTest, BlankNodeEntriesFoundByWalk) {
+  // Regression: blank nodes in stored patterns must be canonicalised like
+  // variables, or the walk's candidate-token enumeration can never reach
+  // their edges (walk/scan divergence).
+  MvIndex index(&dict_);
+  query::BgpQuery w;
+  w.AddPattern(dict_.MakeVariable("x"),
+               dict_.MakeIri("urn:t:p"),
+               dict_.MakeBlank("b0"));
+  w.AddPattern(dict_.MakeBlank("b0"), dict_.MakeIri("urn:t:q"),
+               dict_.MakeVariable("y"));
+  ASSERT_TRUE(index.Insert(w, 0).ok());
+  const query::BgpQuery probe = Q("ASK { ?s :p ?m . ?m :q ?t . }");
+  const auto walk = index.FindContaining(probe);
+  const auto scan = index.ScanContaining(probe);
+  EXPECT_EQ(walk.contained.size(), 1u);
+  EXPECT_EQ(scan.contained.size(), 1u);
+}
+
+TEST_F(ContQueriesTest, EmptyIndexReturnsNothing) {
+  MvIndex index(&dict_);
+  const auto result = index.FindContaining(Q("ASK { ?x :p ?y . }"));
+  EXPECT_TRUE(result.contained.empty());
+  EXPECT_EQ(result.candidates, 0u);
+}
+
+TEST_F(ContQueriesTest, NpCheckCounterOnlyForNonFGraphProbes) {
+  MvIndex index(&dict_);
+  Insert(&index, "ASK { ?x :p ?y . }");
+  const auto fgraph_probe = index.FindContaining(Q("ASK { ?s :p ?t . }"));
+  EXPECT_EQ(fgraph_probe.np_checks, 0u);
+  const auto merged_probe =
+      index.FindContaining(Q("ASK { ?s :p ?a . ?s :p ?b . }"));
+  EXPECT_EQ(merged_probe.np_checks, 1u);
+  EXPECT_EQ(merged_probe.contained.size(), 1u);
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace rdfc

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_util.h"
+#include "cache/semantic_cache.h"
+#include "index/mv_index.h"
+#include "rdf/turtle_parser.h"
+
+namespace rdfc {
+namespace index {
+namespace {
+
+using rdfc::testing::ParseOrDie;
+
+class ContainedByTest : public ::testing::Test {
+ protected:
+  query::BgpQuery Q(const std::string& text) {
+    return ParseOrDie(text, &dict_);
+  }
+  rdf::TermDictionary dict_;
+};
+
+TEST_F(ContainedByTest, FindsSubsumedEntries) {
+  MvIndex index(&dict_);
+  auto narrow =
+      index.Insert(Q("ASK { ?x :p ?y . ?x a :T . }"), 0);  // ⊑ broad
+  auto other = index.Insert(Q("ASK { ?x :q ?y . }"), 1);
+  auto same = index.Insert(Q("ASK { ?a :p ?b . }"), 2);    // ≡ broad
+  ASSERT_TRUE(narrow.ok() && other.ok() && same.ok());
+
+  const auto subsumed = index.FindContainedBy(Q("ASK { ?s :p ?o . }"));
+  EXPECT_EQ(subsumed.size(), 2u);
+  EXPECT_NE(std::find(subsumed.begin(), subsumed.end(), narrow->stored_id),
+            subsumed.end());
+  EXPECT_NE(std::find(subsumed.begin(), subsumed.end(), same->stored_id),
+            subsumed.end());
+}
+
+TEST_F(ContainedByTest, DualOfFindContaining) {
+  // W ⊑ Q found by FindContainedBy(Q) iff FindContaining(W) reports Q when
+  // roles are swapped.  Check on a small family.
+  const char* texts[] = {
+      "ASK { ?x :p ?y . }",
+      "ASK { ?x :p ?y . ?y :q ?z . }",
+      "ASK { ?x :p :c . }",
+      "ASK { ?x :p ?y . ?x :p ?z . }",
+  };
+  for (const char* probe_text : texts) {
+    MvIndex forward(&dict_);
+    ASSERT_TRUE(forward.Insert(Q(probe_text), 0).ok());
+    for (const char* entry_text : texts) {
+      MvIndex reverse(&dict_);
+      ASSERT_TRUE(reverse.Insert(Q(entry_text), 0).ok());
+      const bool via_contained_by =
+          !reverse.FindContainedBy(Q(probe_text)).empty();
+      const bool via_containing =
+          !forward.FindContaining(Q(entry_text)).contained.empty();
+      EXPECT_EQ(via_contained_by, via_containing)
+          << "probe=" << probe_text << " entry=" << entry_text;
+    }
+  }
+}
+
+TEST_F(ContainedByTest, SkipsDeadEntries) {
+  MvIndex index(&dict_);
+  auto id = index.Insert(Q("ASK { ?x :p ?y . ?x a :T . }"), 0);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(index.Remove(id->stored_id).ok());
+  EXPECT_TRUE(index.FindContainedBy(Q("ASK { ?s :p ?o . }")).empty());
+}
+
+TEST_F(ContainedByTest, CacheSubsumptionEviction) {
+  rdf::TermDictionary dict;
+  rdf::Graph graph;
+  ASSERT_TRUE(rdf::ParseTurtle(R"(
+    @prefix t: <urn:t:> .
+    t:a t:p t:b . t:a t:type t:T .
+    t:c t:p t:d .
+  )", &dict, &graph).ok());
+  cache::CacheOptions options;
+  options.evict_subsumed_on_admit = true;
+  cache::SemanticCache cache(&graph, &dict, options);
+
+  // Narrow query cached first.
+  cache.Answer(ParseOrDie("SELECT ?x WHERE { ?x :p ?y . ?x :type :T . }",
+                          &dict));
+  EXPECT_EQ(cache.num_entries(), 1u);
+  // Incomparable query (constant subject, no :p pattern): coexists.
+  cache.Answer(ParseOrDie("SELECT ?t WHERE { <urn:t:a> :type ?t . }", &dict));
+  EXPECT_EQ(cache.num_entries(), 2u);
+  // Broad query subsumes the first entry: it is evicted on admission.
+  cache.Answer(ParseOrDie("SELECT ?x ?y WHERE { ?x :p ?y . }", &dict));
+  EXPECT_EQ(cache.num_entries(), 2u);
+  EXPECT_GE(cache.stats().evictions, 1u);
+  // The narrow query now hits via the broad entry, still exact.
+  const auto narrow = ParseOrDie(
+      "SELECT ?x WHERE { ?x :p ?y . ?x :type :T . }", &dict);
+  const auto report = cache.Answer(narrow);
+  EXPECT_NE(report.strategy,
+            rewriting::ExecutionReport::Strategy::kBaseEvaluation);
+  const auto direct = rewriting::AnswerFromGraph(narrow, graph, dict);
+  EXPECT_EQ(report.answers, direct.answers);
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace rdfc

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_util.h"
+#include "index/mv_index.h"
+#include "workload/workload.h"
+
+namespace rdfc {
+namespace index {
+namespace {
+
+using rdfc::testing::ParseOrDie;
+
+class DeletionTest : public ::testing::Test {
+ protected:
+  query::BgpQuery Q(const std::string& text) {
+    return ParseOrDie(text, &dict_);
+  }
+  std::uint32_t Insert(MvIndex* index, const std::string& text,
+                       std::uint64_t ext = 0) {
+    auto result = index->Insert(Q(text), ext);
+    EXPECT_TRUE(result.ok());
+    return result->stored_id;
+  }
+  rdf::TermDictionary dict_;
+};
+
+TEST_F(DeletionTest, RemoveMakesEntryUnfindable) {
+  MvIndex index(&dict_);
+  const std::uint32_t id = Insert(&index, "ASK { ?x :p ?y . }");
+  EXPECT_EQ(index.FindContaining(Q("ASK { ?s :p ?t . ?s :q ?u . }"))
+                .contained.size(),
+            1u);
+  ASSERT_TRUE(index.Remove(id).ok());
+  EXPECT_FALSE(index.alive(id));
+  EXPECT_EQ(index.num_live_entries(), 0u);
+  EXPECT_TRUE(index.FindContaining(Q("ASK { ?s :p ?t . ?s :q ?u . }"))
+                  .contained.empty());
+  EXPECT_TRUE(index.ScanContaining(Q("ASK { ?s :p ?t . ?s :q ?u . }"))
+                  .contained.empty());
+}
+
+TEST_F(DeletionTest, RemoveIsIdempotentAndChecked) {
+  MvIndex index(&dict_);
+  const std::uint32_t id = Insert(&index, "ASK { ?x :p ?y . }");
+  ASSERT_TRUE(index.Remove(id).ok());
+  EXPECT_FALSE(index.Remove(id).ok());       // already removed
+  EXPECT_FALSE(index.Remove(12345).ok());    // never existed
+}
+
+TEST_F(DeletionTest, TreePrunedBackToRoot) {
+  MvIndex index(&dict_);
+  const std::uint32_t id = Insert(&index, "ASK { ?x :p ?y . ?y :q ?z . }");
+  EXPECT_GT(index.num_nodes(), 1u);
+  ASSERT_TRUE(index.Remove(id).ok());
+  const RadixStats stats = index.ComputeStats();
+  EXPECT_EQ(stats.num_nodes, 1u);  // back to just the root
+  EXPECT_EQ(stats.num_edges, 0u);
+  EXPECT_EQ(index.num_nodes(), stats.num_nodes);
+}
+
+TEST_F(DeletionTest, SplitVertexReMergedAfterRemoval) {
+  MvIndex index(&dict_);
+  const std::uint32_t longer =
+      Insert(&index, "ASK { ?x :p ?y . ?y :q ?z . }");
+  const std::uint32_t shorter = Insert(&index, "ASK { ?x :p ?y . }");
+  const std::size_t with_both = index.ComputeStats().num_nodes;
+  ASSERT_TRUE(index.Remove(shorter).ok());
+  // The prefix vertex created by the split is merged away again.
+  const RadixStats stats = index.ComputeStats();
+  EXPECT_LT(stats.num_nodes, with_both);
+  EXPECT_EQ(stats.num_edges, stats.num_nodes - 1);
+  EXPECT_EQ(index.num_nodes(), stats.num_nodes);
+  // The longer entry still probes correctly.
+  EXPECT_EQ(index.FindContaining(Q("ASK { ?a :p ?b . ?b :q ?c . }"))
+                .contained.size(),
+            1u);
+  EXPECT_TRUE(index.alive(longer));
+}
+
+TEST_F(DeletionTest, SharedVertexSurvivesSiblingRemoval) {
+  MvIndex index(&dict_);
+  const std::uint32_t a = Insert(&index, "ASK { ?x :p ?y . ?y :q1 ?z . }");
+  const std::uint32_t b = Insert(&index, "ASK { ?x :p ?y . ?y :q2 ?z . }");
+  ASSERT_TRUE(index.Remove(a).ok());
+  EXPECT_TRUE(index.alive(b));
+  EXPECT_EQ(index.FindContaining(Q("ASK { ?s :p ?t . ?t :q2 ?u . }"))
+                .contained.size(),
+            1u);
+  const RadixStats stats = index.ComputeStats();
+  EXPECT_EQ(stats.num_edges, stats.num_nodes - 1);
+}
+
+TEST_F(DeletionTest, SkeletonFreeRemoval) {
+  MvIndex index(&dict_);
+  const std::uint32_t id = Insert(&index, "ASK { ?x ?v ?y . }");
+  EXPECT_EQ(index.skeleton_free_entries().size(), 1u);
+  ASSERT_TRUE(index.Remove(id).ok());
+  EXPECT_TRUE(index.skeleton_free_entries().empty());
+  EXPECT_TRUE(
+      index.FindContaining(Q("ASK { ?s :p ?t . }")).contained.empty());
+}
+
+TEST_F(DeletionTest, ReinsertAfterRemoval) {
+  MvIndex index(&dict_);
+  const std::uint32_t id = Insert(&index, "ASK { ?x :p ?y . }", 1);
+  ASSERT_TRUE(index.Remove(id).ok());
+  const std::uint32_t id2 = Insert(&index, "ASK { ?a :p ?b . }", 2);
+  EXPECT_NE(id, id2);  // ids are never reused
+  EXPECT_EQ(index.num_live_entries(), 1u);
+  EXPECT_EQ(index.FindContaining(Q("ASK { ?s :p :c . }")).contained.size(),
+            1u);
+}
+
+TEST_F(DeletionTest, ChurnKeepsWalkAndScanInAgreement) {
+  rdf::TermDictionary dict;
+  MvIndex index(&dict);
+  const auto views = workload::GenerateDbpedia(&dict, 400, 11);
+  std::vector<std::uint32_t> ids;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    auto r = index.Insert(views[i], i);
+    ASSERT_TRUE(r.ok());
+    ids.push_back(r->stored_id);
+  }
+  // Remove every third live entry.
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    ASSERT_TRUE(index.Remove(ids[i]).ok());
+  }
+  const RadixStats stats = index.ComputeStats();
+  EXPECT_EQ(stats.num_nodes, index.num_nodes());
+  EXPECT_EQ(stats.num_edges, stats.num_nodes - 1);
+
+  const auto probes = workload::GenerateDbpedia(&dict, 60, 12);
+  for (const auto& probe : probes) {
+    const auto walk = index.FindContaining(probe);
+    const auto scan = index.ScanContaining(probe);
+    std::set<std::uint32_t> walk_ids, scan_ids;
+    for (const auto& m : walk.contained) walk_ids.insert(m.stored_id);
+    for (const auto& m : scan.contained) scan_ids.insert(m.stored_id);
+    EXPECT_EQ(walk_ids, scan_ids);
+    for (std::uint32_t id : walk_ids) EXPECT_TRUE(index.alive(id));
+  }
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace rdfc

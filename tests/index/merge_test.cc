@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../test_util.h"
+#include "index/mv_index.h"
+#include "workload/workload.h"
+
+namespace rdfc {
+namespace index {
+namespace {
+
+using rdfc::testing::ParseOrDie;
+
+TEST(MergeTest, DisjointIndexesUnion) {
+  rdf::TermDictionary dict;
+  MvIndex a(&dict), b(&dict);
+  ASSERT_TRUE(a.Insert(ParseOrDie("ASK { ?x :p ?y . }", &dict), 1).ok());
+  ASSERT_TRUE(b.Insert(ParseOrDie("ASK { ?x :q ?y . }", &dict), 2).ok());
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.num_live_entries(), 2u);
+  EXPECT_EQ(a.FindContaining(ParseOrDie("ASK { ?s :q :c . }", &dict))
+                .contained.size(),
+            1u);
+}
+
+TEST(MergeTest, OverlapDedupsAndKeepsExternals) {
+  rdf::TermDictionary dict;
+  MvIndex a(&dict), b(&dict);
+  auto ia = a.Insert(ParseOrDie("ASK { ?x :p ?y . }", &dict), 1);
+  ASSERT_TRUE(ia.ok());
+  ASSERT_TRUE(b.Insert(ParseOrDie("ASK { ?u :p ?v . }", &dict), 9).ok());
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.num_live_entries(), 1u);
+  EXPECT_EQ(a.external_ids(ia->stored_id),
+            (std::vector<std::uint64_t>{1, 9}));
+}
+
+TEST(MergeTest, DeadEntriesNotCarried) {
+  rdf::TermDictionary dict;
+  MvIndex a(&dict), b(&dict);
+  auto ib = b.Insert(ParseOrDie("ASK { ?x :p ?y . }", &dict), 5);
+  ASSERT_TRUE(ib.ok());
+  ASSERT_TRUE(b.Remove(ib->stored_id).ok());
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.num_live_entries(), 0u);
+}
+
+TEST(MergeTest, DifferentDictionariesRejected) {
+  rdf::TermDictionary d1, d2;
+  MvIndex a(&d1), b(&d2);
+  EXPECT_FALSE(a.MergeFrom(b).ok());
+}
+
+TEST(MergeTest, ShardedBuildEqualsMonolithic) {
+  // Sharding a workload across two builders and merging must answer every
+  // probe like the monolithic index.
+  rdf::TermDictionary dict;
+  const auto queries = workload::GenerateDbpedia(&dict, 600, 51);
+  MvIndex mono(&dict), shard1(&dict), shard2(&dict);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(mono.Insert(queries[i], i).ok());
+    MvIndex& shard = (i % 2 == 0) ? shard1 : shard2;
+    ASSERT_TRUE(shard.Insert(queries[i], i).ok());
+  }
+  ASSERT_TRUE(shard1.MergeFrom(shard2).ok());
+  EXPECT_EQ(shard1.num_live_entries(), mono.num_live_entries());
+
+  const auto probes = workload::GenerateDbpedia(&dict, 60, 52);
+  for (const auto& probe : probes) {
+    std::multiset<std::uint64_t> ext_mono, ext_merged;
+    for (const auto& m : mono.FindContaining(probe).contained) {
+      for (auto e : mono.external_ids(m.stored_id)) ext_mono.insert(e);
+    }
+    for (const auto& m : shard1.FindContaining(probe).contained) {
+      for (auto e : shard1.external_ids(m.stored_id)) ext_merged.insert(e);
+    }
+    EXPECT_EQ(ext_mono, ext_merged);
+  }
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace rdfc

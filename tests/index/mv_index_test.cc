@@ -1,0 +1,192 @@
+#include "index/mv_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_util.h"
+#include "workload/workload.h"
+
+namespace rdfc {
+namespace index {
+namespace {
+
+using rdfc::testing::ParseOrDie;
+
+class MvIndexTest : public ::testing::Test {
+ protected:
+  query::BgpQuery Q(const std::string& text) {
+    return ParseOrDie(text, &dict_);
+  }
+  MvIndex::InsertOutcome Insert(MvIndex* index, const std::string& text,
+                                std::uint64_t external_id = 0) {
+    auto result = index->Insert(Q(text), external_id);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? *result : MvIndex::InsertOutcome{};
+  }
+  rdf::TermDictionary dict_;
+};
+
+TEST_F(MvIndexTest, InsertAndCount) {
+  MvIndex index(&dict_);
+  EXPECT_TRUE(Insert(&index, "ASK { ?x :p ?y . }").was_new);
+  EXPECT_TRUE(Insert(&index, "ASK { ?x :q ?y . }").was_new);
+  EXPECT_EQ(index.num_entries(), 2u);
+  EXPECT_EQ(index.num_insertions(), 2u);
+}
+
+TEST_F(MvIndexTest, RecurringQueriesDeduplicate) {
+  MvIndex index(&dict_);
+  const auto first = Insert(&index, "ASK { ?x :p ?y . ?x :q :c . }", 7);
+  const auto second = Insert(&index, "ASK { ?a :p ?b . ?a :q :c . }", 9);
+  EXPECT_TRUE(first.was_new);
+  EXPECT_FALSE(second.was_new);
+  EXPECT_EQ(first.stored_id, second.stored_id);
+  EXPECT_EQ(index.num_entries(), 1u);
+  EXPECT_EQ(index.num_insertions(), 2u);
+  EXPECT_EQ(index.external_ids(first.stored_id),
+            (std::vector<std::uint64_t>{7, 9}));
+}
+
+TEST_F(MvIndexTest, SharedPrefixesShareEdges) {
+  // Figure 1's idea: queries sharing patterns share radix-tree paths.
+  MvIndex index(&dict_);
+  Insert(&index, "ASK { ?x :fromAlbum ?z . ?z :name ?w . }");
+  const RadixStats solo = index.ComputeStats();
+  Insert(&index, "ASK { ?x :fromAlbum ?z . ?z :name ?w . ?z :artist ?a . }");
+  Insert(&index, "ASK { ?x :fromAlbum ?z . }");
+  const RadixStats stats = index.ComputeStats();
+  // Shared prefix means far fewer label tokens than three separate tries.
+  EXPECT_LT(stats.total_label_tokens, 3 * solo.total_label_tokens);
+  EXPECT_EQ(stats.num_query_nodes, 3u);
+  EXPECT_EQ(index.num_entries(), 3u);
+}
+
+TEST_F(MvIndexTest, EdgeSplittingPreservesQueries) {
+  MvIndex index(&dict_);
+  // Insert the longer query first so the shorter one splits its edge.
+  const auto longer =
+      Insert(&index, "ASK { ?x :fromAlbum ?z . ?z :name ?w . }");
+  const auto shorter = Insert(&index, "ASK { ?x :fromAlbum ?z . }");
+  EXPECT_NE(longer.stored_id, shorter.stored_id);
+  // Both remain findable (self-probe finds self among results).
+  auto hits = index.FindContaining(Q("ASK { ?x :fromAlbum ?z . ?z :name ?w . }"));
+  std::vector<std::uint32_t> ids;
+  for (const auto& m : hits.contained) ids.push_back(m.stored_id);
+  EXPECT_NE(std::find(ids.begin(), ids.end(), longer.stored_id), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), shorter.stored_id), ids.end());
+}
+
+TEST_F(MvIndexTest, NodeCountTracksSplits) {
+  MvIndex index(&dict_);
+  Insert(&index, "ASK { ?x :p1 ?a . ?x :p2 ?b . }");
+  Insert(&index, "ASK { ?x :p1 ?a . ?x :p3 ?b . }");
+  const RadixStats stats = index.ComputeStats();
+  EXPECT_EQ(stats.num_nodes, index.num_nodes());
+  EXPECT_GE(stats.num_nodes, 4u);  // root + split point + two leaves
+  EXPECT_EQ(stats.num_edges, stats.num_nodes - 1);  // tree invariant
+}
+
+TEST_F(MvIndexTest, EmptyQueryRejected) {
+  MvIndex index(&dict_);
+  query::BgpQuery empty;
+  EXPECT_FALSE(index.Insert(empty).ok());
+}
+
+TEST_F(MvIndexTest, VarPredOnlyQueriesGoToSideList) {
+  MvIndex index(&dict_);
+  const auto outcome = Insert(&index, "ASK { ?x ?v ?y . }");
+  EXPECT_TRUE(outcome.was_new);
+  EXPECT_EQ(index.skeleton_free_entries().size(), 1u);
+  // Dedup also works on the side list.
+  EXPECT_FALSE(Insert(&index, "ASK { ?a ?w ?b . }").was_new);
+  // A structurally different var-pred query is a new entry.
+  EXPECT_TRUE(Insert(&index, "ASK { ?a ?w ?a . }").was_new);
+}
+
+TEST_F(MvIndexTest, SameSkeletonDifferentVarPredPatterns) {
+  MvIndex index(&dict_);
+  const auto a = Insert(&index, "ASK { ?x :p ?y . ?x ?v ?z . }");
+  const auto b = Insert(&index, "ASK { ?x :p ?y . ?z ?v ?x . }");
+  EXPECT_TRUE(a.was_new);
+  EXPECT_TRUE(b.was_new);
+  EXPECT_NE(a.stored_id, b.stored_id);
+}
+
+TEST_F(MvIndexTest, StatsOnEmptyIndex) {
+  MvIndex index(&dict_);
+  const RadixStats stats = index.ComputeStats();
+  EXPECT_EQ(stats.num_nodes, 1u);  // just the root
+  EXPECT_EQ(stats.num_edges, 0u);
+  EXPECT_EQ(index.num_nodes(), 1u);
+}
+
+TEST_F(MvIndexTest, ExactDedupCollapsesIsomorphs) {
+  // Two isomorphic 2-cycles whose variables were interned in opposite
+  // orders: default dedup may keep them apart (serialisation tie-breaks on
+  // term ids), exact dedup must always collapse them.
+  rdf::TermDictionary dict;
+  const rdf::TermId p = dict.MakeIri("urn:p");
+  query::BgpQuery q1, q2;
+  {
+    const rdf::TermId a = dict.MakeVariable("aa");
+    const rdf::TermId b = dict.MakeVariable("bb");
+    q1.AddPattern(a, p, b);
+    q1.AddPattern(b, p, a);
+  }
+  {
+    const rdf::TermId d = dict.MakeVariable("dd");
+    const rdf::TermId c = dict.MakeVariable("cc");
+    q2.AddPattern(c, p, d);
+    q2.AddPattern(d, p, c);
+  }
+  IndexOptions options;
+  options.exact_dedup = true;
+  MvIndex exact(&dict, options);
+  auto a = exact.Insert(q1, 1);
+  auto b = exact.Insert(q2, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(b->was_new);
+  EXPECT_EQ(a->stored_id, b->stored_id);
+  // Probing still behaves identically.
+  query::BgpQuery probe;
+  const rdf::TermId x = dict.MakeVariable("px");
+  const rdf::TermId y = dict.MakeVariable("py");
+  probe.AddPattern(x, p, y);
+  probe.AddPattern(y, p, x);
+  EXPECT_EQ(exact.FindContaining(probe).contained.size(), 1u);
+}
+
+TEST_F(MvIndexTest, ExactDedupNeverWorseThanDefault) {
+  rdf::TermDictionary d1, d2;
+  const auto w1 = workload::GenerateDbpedia(&d1, 1500, 61);
+  const auto w2 = workload::GenerateDbpedia(&d2, 1500, 61);
+  MvIndex plain(&d1);
+  IndexOptions options;
+  options.exact_dedup = true;
+  MvIndex exact(&d2, options);
+  for (std::size_t i = 0; i < w1.size(); ++i) {
+    ASSERT_TRUE(plain.Insert(w1[i], i).ok());
+    ASSERT_TRUE(exact.Insert(w2[i], i).ok());
+  }
+  EXPECT_LE(exact.num_entries(), plain.num_entries());
+}
+
+TEST_F(MvIndexTest, ManyInsertionsKeepTreeInvariants) {
+  MvIndex index(&dict_);
+  for (int i = 0; i < 50; ++i) {
+    const std::string p = ":p" + std::to_string(i % 7);
+    const std::string c = ":c" + std::to_string(i % 5);
+    Insert(&index,
+           "ASK { ?x " + p + " ?y . ?y " + p + " " + c + " . }");
+  }
+  const RadixStats stats = index.ComputeStats();
+  EXPECT_EQ(stats.num_edges, stats.num_nodes - 1);
+  EXPECT_EQ(stats.num_nodes, index.num_nodes());
+  EXPECT_EQ(index.num_entries(), 35u);  // 7 * 5 distinct combinations
+  EXPECT_EQ(index.num_insertions(), 50u);
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace rdfc

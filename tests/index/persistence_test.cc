@@ -1,0 +1,152 @@
+#include "index/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "../test_util.h"
+#include "workload/workload.h"
+
+namespace rdfc {
+namespace index {
+namespace {
+
+using rdfc::testing::ParseOrDie;
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_ = ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name() +
+                      std::string(".rdfcidx");
+};
+
+TEST_F(PersistenceTest, RoundTripSmallIndex) {
+  rdf::TermDictionary dict;
+  MvIndex index(&dict);
+  const char* views[] = {
+      "ASK { ?x :p ?y . }",
+      "ASK { ?x :p ?y . ?y :q :c . }",
+      "ASK { ?x ?v ?y . }",
+      "ASK { ?a :p ?b . ?c :q ?d . }",
+      R"(ASK { ?x :name "lit"@en . })",
+  };
+  for (std::size_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(index.Insert(ParseOrDie(views[i], &dict), i * 10).ok());
+  }
+  ASSERT_TRUE(SaveIndex(index, path_).ok());
+
+  rdf::TermDictionary dict2;
+  auto loaded = LoadIndex(path_, &dict2);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->num_entries(), index.num_entries());
+  EXPECT_EQ((*loaded)->num_nodes(), index.num_nodes());
+
+  // Probes agree (by count and by external id sets).
+  const query::BgpQuery probe1 =
+      ParseOrDie("ASK { ?s :p ?t . ?t :q :c . ?s :r ?u . }", &dict);
+  const query::BgpQuery probe2 =
+      ParseOrDie("ASK { ?s :p ?t . ?t :q :c . ?s :r ?u . }", &dict2);
+  const auto before = index.FindContaining(probe1);
+  const auto after = (*loaded)->FindContaining(probe2);
+  ASSERT_EQ(before.contained.size(), after.contained.size());
+  std::multiset<std::uint64_t> ext_before, ext_after;
+  for (const auto& m : before.contained) {
+    for (auto e : index.external_ids(m.stored_id)) ext_before.insert(e);
+  }
+  for (const auto& m : after.contained) {
+    for (auto e : (*loaded)->external_ids(m.stored_id)) ext_after.insert(e);
+  }
+  EXPECT_EQ(ext_before, ext_after);
+}
+
+TEST_F(PersistenceTest, RemovedEntriesAreNotPersisted) {
+  rdf::TermDictionary dict;
+  MvIndex index(&dict);
+  auto a = index.Insert(ParseOrDie("ASK { ?x :p ?y . }", &dict), 1);
+  auto b = index.Insert(ParseOrDie("ASK { ?x :q ?y . }", &dict), 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(index.Remove(a->stored_id).ok());
+  ASSERT_TRUE(SaveIndex(index, path_).ok());
+
+  rdf::TermDictionary dict2;
+  auto loaded = LoadIndex(path_, &dict2);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->num_live_entries(), 1u);
+  EXPECT_TRUE((*loaded)
+                  ->FindContaining(ParseOrDie("ASK { ?s :p ?t . }", &dict2))
+                  .contained.empty());
+  EXPECT_EQ((*loaded)
+                ->FindContaining(ParseOrDie("ASK { ?s :q ?t . }", &dict2))
+                .contained.size(),
+            1u);
+}
+
+TEST_F(PersistenceTest, RoundTripWorkloadSlice) {
+  rdf::TermDictionary dict;
+  MvIndex index(&dict);
+  const auto queries = workload::GenerateDbpedia(&dict, 2000, 5);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(index.Insert(queries[i], i).ok());
+  }
+  ASSERT_TRUE(SaveIndex(index, path_).ok());
+
+  rdf::TermDictionary dict2;
+  auto loaded = LoadIndex(path_, &dict2);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->num_live_entries(), index.num_live_entries());
+  // Deterministic rebuild: identical tree shape.
+  const RadixStats before = index.ComputeStats();
+  const RadixStats after = (*loaded)->ComputeStats();
+  EXPECT_EQ(before.num_nodes, after.num_nodes);
+  EXPECT_EQ(before.num_edges, after.num_edges);
+  EXPECT_EQ(before.total_label_tokens, after.total_label_tokens);
+
+  // Same probe verdicts on a workload sample (regenerate against dict2).
+  const auto probes = workload::GenerateDbpedia(&dict2, 50, 6);
+  const auto probes1 = workload::GenerateDbpedia(&dict, 50, 6);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(index.FindContaining(probes1[i]).contained.size(),
+              (*loaded)->FindContaining(probes[i]).contained.size())
+        << i;
+  }
+}
+
+TEST_F(PersistenceTest, LoadRejectsCorruption) {
+  rdf::TermDictionary dict;
+  MvIndex index(&dict);
+  ASSERT_TRUE(index.Insert(ParseOrDie("ASK { ?x :p ?y . }", &dict), 0).ok());
+  ASSERT_TRUE(SaveIndex(index, path_).ok());
+
+  // Flip one payload byte.
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(24);
+    char c = 0;
+    f.read(&c, 1);
+    f.seekp(24);
+    c = static_cast<char>(c ^ 0x5A);
+    f.write(&c, 1);
+  }
+  rdf::TermDictionary dict2;
+  auto loaded = LoadIndex(path_, &dict2);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(PersistenceTest, LoadRejectsBadMagicAndMissingFile) {
+  {
+    std::ofstream f(path_, std::ios::binary);
+    f << "definitely not an index";
+  }
+  rdf::TermDictionary dict;
+  EXPECT_FALSE(LoadIndex(path_, &dict).ok());
+  EXPECT_FALSE(LoadIndex("/nonexistent/dir/idx", &dict).ok());
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace rdfc

@@ -1,0 +1,115 @@
+#include "index/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "../test_util.h"
+#include "index/dot_export.h"
+#include "workload/workload.h"
+
+namespace rdfc {
+namespace index {
+namespace {
+
+using rdfc::testing::ParseOrDie;
+
+TEST(DetailedStatsTest, EmptyIndex) {
+  rdf::TermDictionary dict;
+  MvIndex index(&dict);
+  const DetailedStats stats = ComputeDetailedStats(index);
+  EXPECT_EQ(stats.basic.num_nodes, 1u);
+  ASSERT_EQ(stats.nodes_per_depth.size(), 1u);
+  EXPECT_EQ(stats.nodes_per_depth[0], 1u);
+  EXPECT_EQ(stats.total_serialised_tokens, 0u);
+  EXPECT_DOUBLE_EQ(stats.compression_ratio(), 1.0);
+}
+
+TEST(DetailedStatsTest, SharingGivesCompressionAboveOne) {
+  rdf::TermDictionary dict;
+  MvIndex index(&dict);
+  // Ten queries sharing a long two-hop prefix.
+  for (int i = 0; i < 10; ++i) {
+    const std::string text =
+        "ASK { ?x :common ?y . ?y :alsoCommon ?z . ?z :leaf" +
+        std::to_string(i) + " ?w . }";
+    ASSERT_TRUE(index.Insert(ParseOrDie(text, &dict), i).ok());
+  }
+  const DetailedStats stats = ComputeDetailedStats(index);
+  EXPECT_GT(stats.compression_ratio(), 1.5);
+  // Node-per-depth histogram accounts for every vertex.
+  EXPECT_EQ(std::accumulate(stats.nodes_per_depth.begin(),
+                            stats.nodes_per_depth.end(), std::size_t{0}),
+            stats.basic.num_nodes);
+  // Fan-out histogram too.
+  EXPECT_EQ(std::accumulate(stats.fanout_histogram.begin(),
+                            stats.fanout_histogram.end(), std::size_t{0}),
+            stats.basic.num_nodes);
+  EXPECT_EQ(stats.label_length.count(), stats.basic.num_edges);
+}
+
+TEST(DetailedStatsTest, RemovedEntriesExcludedFromSerialisedTotal) {
+  rdf::TermDictionary dict;
+  MvIndex index(&dict);
+  auto a = index.Insert(ParseOrDie("ASK { ?x :p ?y . }", &dict), 0);
+  auto b = index.Insert(ParseOrDie("ASK { ?x :q ?y . }", &dict), 1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const std::size_t before = ComputeDetailedStats(index).total_serialised_tokens;
+  ASSERT_TRUE(index.Remove(a->stored_id).ok());
+  const std::size_t after = ComputeDetailedStats(index).total_serialised_tokens;
+  EXPECT_LT(after, before);
+}
+
+TEST(DetailedStatsTest, WorkloadCompression) {
+  // The recurring-template corpus must compress well — the mv-index pitch.
+  rdf::TermDictionary dict;
+  MvIndex index(&dict);
+  const auto queries = workload::GenerateBsbm(&dict, 2000, 21);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(index.Insert(queries[i], i).ok());
+  }
+  const DetailedStats stats = ComputeDetailedStats(index);
+  EXPECT_GT(stats.compression_ratio(), 1.2);
+}
+
+TEST(DotExportTest, RendersQueriesAndEdges) {
+  rdf::TermDictionary dict;
+  MvIndex index(&dict);
+  ASSERT_TRUE(
+      index.Insert(ParseOrDie("ASK { ?x :fromAlbum ?y . }", &dict), 0).ok());
+  ASSERT_TRUE(index
+                  .Insert(ParseOrDie(
+                              "ASK { ?x :fromAlbum ?y . ?y :name ?n . }",
+                              &dict),
+                          1)
+                  .ok());
+  const std::string dot = ExportDot(index);
+  EXPECT_NE(dot.find("digraph mvindex"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("fromAlbum"), std::string::npos);
+  EXPECT_NE(dot.find("?x1"), std::string::npos);
+  // Two query vertices -> two doublecircles.
+  std::size_t count = 0, pos = 0;
+  while ((pos = dot.find("doublecircle", pos)) != std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(DotExportTest, LongLabelsTruncated) {
+  rdf::TermDictionary dict;
+  MvIndex index(&dict);
+  ASSERT_TRUE(index
+                  .Insert(ParseOrDie(R"(ASK {
+                      ?a :p1 ?b . ?b :p2 ?c . ?c :p3 ?d . ?d :p4 ?e .
+                      ?e :p5 ?f . ?f :p6 ?g . ?g :p7 ?h . })", &dict),
+                          0)
+                  .ok());
+  const std::string dot = ExportDot(index, /*max_label_tokens=*/3);
+  EXPECT_NE(dot.find("+"), std::string::npos);  // "+N" truncation marker
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace rdfc

@@ -1,0 +1,52 @@
+// FindContaining is const and read-only (the candidate-token walk never
+// interns terms), so concurrent probes against a frozen index must be safe
+// and agree with single-threaded results.  Run under TSan for full value;
+// even without it, this catches crashes and result divergence.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "index/mv_index.h"
+#include "workload/workload.h"
+
+namespace rdfc {
+namespace {
+
+TEST(ConcurrencyTest, ParallelProbesAgreeWithSerial) {
+  rdf::TermDictionary dict;
+  index::MvIndex index(&dict);
+  const auto views = workload::GenerateDbpedia(&dict, 3000, 41);
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    ASSERT_TRUE(index.Insert(views[i], i).ok());
+  }
+  const auto probes = workload::GenerateDbpedia(&dict, 200, 42);
+
+  // Serial reference.
+  std::vector<std::size_t> expected;
+  expected.reserve(probes.size());
+  for (const auto& probe : probes) {
+    expected.push_back(index.FindContaining(probe).contained.size());
+  }
+
+  // Parallel probes over disjoint slices.
+  constexpr int kThreads = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = t; i < probes.size(); i += kThreads) {
+        const auto result = index.FindContaining(probes[i]);
+        if (result.contained.size() != expected[i]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace rdfc

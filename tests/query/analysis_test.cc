@@ -1,0 +1,130 @@
+#include "query/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace rdfc {
+namespace query {
+namespace {
+
+using rdfc::testing::ParseOrDie;
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  BgpQuery Q(const std::string& text) { return ParseOrDie(text, &dict_); }
+  rdf::TermDictionary dict_;
+};
+
+TEST_F(AnalysisTest, PaperQueryQIsFGraph) {
+  // The running-example query Q (Example 2.1) is an f-graph (Example 3.1).
+  const BgpQuery q = Q(R"(SELECT ?sN ?aN WHERE {
+      ?sng :name ?sN . ?sng :fromAlbum ?alb . ?alb :name ?aN .
+      ?alb :artist ?art . ?art :type :MusicalArtist . })");
+  EXPECT_TRUE(IsFGraph(q));
+  EXPECT_TRUE(IsAcyclic(q));
+}
+
+TEST_F(AnalysisTest, ConditionOneViolation) {
+  // (s, p, o1) and (s, p, o2): two objects for the same subject-predicate.
+  EXPECT_FALSE(IsFGraph(Q("ASK { ?x :p ?o1 . ?x :p ?o2 . }")));
+  EXPECT_FALSE(IsFGraph(Q("ASK { ?x a :A . ?x a :B . }")));
+}
+
+TEST_F(AnalysisTest, ConditionTwoViolation) {
+  // (s1, p, o) and (s2, p, o): two subjects for the same predicate-object.
+  EXPECT_FALSE(IsFGraph(Q("ASK { ?s1 :p ?o . ?s2 :p ?o . }")));
+  EXPECT_FALSE(IsFGraph(Q("ASK { ?s1 :p :c . ?s2 :p :c . }")));
+}
+
+TEST_F(AnalysisTest, SharedObjectDifferentPredicatesIsFGraph) {
+  EXPECT_TRUE(IsFGraph(Q("ASK { ?s1 :p ?o . ?s2 :q ?o . }")));
+}
+
+TEST_F(AnalysisTest, Fig2aQueryIsNotFGraph) {
+  // Figure 2a: ?alb and ?sng both have artist ?art — condition (ii).
+  const BgpQuery q = Q(R"(ASK {
+      ?alb :artist ?art . ?sng :artist ?art .
+      ?sng :name ?aN . ?art a :MusicalArtist . })");
+  EXPECT_FALSE(IsFGraph(q));
+}
+
+TEST_F(AnalysisTest, SameTriplePatternTwiceIsStillFGraph) {
+  // Set semantics: the duplicate collapses.
+  const BgpQuery q = Q("ASK { ?x :p ?y . ?x :p ?y . }");
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(IsFGraph(q));
+}
+
+TEST_F(AnalysisTest, VariablePredicatesParticipateInConditions) {
+  EXPECT_FALSE(IsFGraph(Q("ASK { ?x ?p ?o1 . ?x ?p ?o2 . }")));
+  EXPECT_TRUE(IsFGraph(Q("ASK { ?x ?p ?o1 . ?x ?q ?o2 . }")));
+}
+
+TEST_F(AnalysisTest, CyclicityDetection) {
+  EXPECT_TRUE(IsAcyclic(Q("ASK { ?x :p ?y . ?y :q ?z . }")));
+  // Triangle.
+  EXPECT_FALSE(IsAcyclic(Q("ASK { ?x :p ?y . ?y :q ?z . ?z :r ?x . }")));
+  // Parallel edges count as a cycle in the multigraph.
+  EXPECT_FALSE(IsAcyclic(Q("ASK { ?x :p ?y . ?x :q ?y . }")));
+  // Self loop.
+  EXPECT_FALSE(IsAcyclic(Q("ASK { ?x :p ?x . }")));
+}
+
+TEST_F(AnalysisTest, CyclicFGraphExists) {
+  // Same-predicate triangle: cyclic but f-graph (distinct (s,p) and (p,o)).
+  const BgpQuery q = Q("ASK { ?x :p ?y . ?y :p ?z . ?z :p ?x . }");
+  EXPECT_TRUE(IsFGraph(q));
+  EXPECT_FALSE(IsAcyclic(q));
+}
+
+TEST_F(AnalysisTest, ShapeSummary) {
+  const QueryShape shape = AnalyzeShape(
+      Q("ASK { ?x :p ?y . ?z ?v ?y . }"), dict_);
+  EXPECT_FALSE(shape.only_iri_predicates);
+  EXPECT_TRUE(shape.has_var_predicates);
+  EXPECT_EQ(shape.num_triples, 2u);
+  EXPECT_EQ(shape.num_vertices, 3u);
+  EXPECT_EQ(shape.num_components, 1u);
+}
+
+TEST_F(AnalysisTest, LiteralVerticesConnect) {
+  // Two patterns sharing a literal object are connected through it.
+  const QueryShape shape =
+      AnalyzeShape(Q(R"(ASK { ?a :p "5" . ?b :q "5" . })"), dict_);
+  EXPECT_EQ(shape.num_components, 1u);
+}
+
+TEST_F(AnalysisTest, ComponentsSplit) {
+  const BgpQuery q = Q("ASK { ?a :p ?b . ?c :q ?d . ?c :r ?e . }");
+  const ComponentAssignment assignment = ConnectedComponents(q, dict_);
+  EXPECT_EQ(assignment.num_components, 2u);
+  const auto components = SplitComponents(q, dict_);
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0].size() + components[1].size(), 3u);
+}
+
+TEST_F(AnalysisTest, ComponentsExcludingVarPredicates) {
+  // Removing the var-predicate bridge splits the query in two (Section 5.2).
+  const BgpQuery q = Q("ASK { ?a :p ?b . ?b ?v ?c . ?c :q ?d . }");
+  std::vector<rdf::Triple> var_preds;
+  const auto components = SplitComponents(q, dict_, true, &var_preds);
+  EXPECT_EQ(components.size(), 2u);
+  ASSERT_EQ(var_preds.size(), 1u);
+  EXPECT_TRUE(dict_.IsVariable(var_preds[0].p));
+  // Without exclusion it is a single component.
+  EXPECT_EQ(SplitComponents(q, dict_).size(), 1u);
+}
+
+TEST_F(AnalysisTest, EmptyQueryShape) {
+  BgpQuery q;
+  const QueryShape shape = AnalyzeShape(q, dict_);
+  EXPECT_TRUE(shape.is_fgraph);
+  EXPECT_TRUE(shape.is_acyclic);
+  EXPECT_EQ(shape.num_components, 0u);
+  EXPECT_EQ(shape.num_vertices, 0u);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace rdfc

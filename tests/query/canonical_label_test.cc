@@ -1,0 +1,187 @@
+#include "query/canonical_label.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "../test_util.h"
+#include "util/rng.h"
+
+namespace rdfc {
+namespace query {
+namespace {
+
+using rdfc::testing::ParseOrDie;
+
+class CanonicalLabelTest : public ::testing::Test {
+ protected:
+  BgpQuery Q(const std::string& text) { return ParseOrDie(text, &dict_); }
+  rdf::TermDictionary dict_;
+};
+
+TEST_F(CanonicalLabelTest, RenamedQueriesShareForms) {
+  const CanonicalForm a =
+      CanonicalLabel(Q("ASK { ?x :p ?y . ?y :q :c . }"), &dict_);
+  const CanonicalForm b =
+      CanonicalLabel(Q("ASK { ?bob :q :c . ?alice :p ?bob . }"), &dict_);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(AreIsomorphic(Q("ASK { ?x :p ?y . ?y :q :c . }"),
+                            Q("ASK { ?bob :q :c . ?alice :p ?bob . }"),
+                            &dict_));
+}
+
+TEST_F(CanonicalLabelTest, NonIsomorphicDiffer) {
+  EXPECT_FALSE(AreIsomorphic(Q("ASK { ?x :p ?y . }"),
+                             Q("ASK { ?x :q ?y . }"), &dict_));
+  EXPECT_FALSE(AreIsomorphic(Q("ASK { ?x :p ?y . }"),
+                             Q("ASK { ?x :p ?x . }"), &dict_));
+  EXPECT_FALSE(AreIsomorphic(Q("ASK { ?x :p ?y . ?y :p ?z . }"),
+                             Q("ASK { ?x :p ?y . ?z :p ?y . }"), &dict_));
+  EXPECT_FALSE(AreIsomorphic(Q("ASK { ?x :p :c . }"),
+                             Q("ASK { ?x :p :d . }"), &dict_));
+}
+
+TEST_F(CanonicalLabelTest, SymmetricQueriesAreWellDefined) {
+  // Highly automorphic structures must still canonicalise deterministically:
+  // two interchangeable independent edges.
+  const CanonicalForm a =
+      CanonicalLabel(Q("ASK { ?a :p ?b . ?c :p ?d . }"), &dict_);
+  const CanonicalForm b =
+      CanonicalLabel(Q("ASK { ?w :p ?v . ?u :p ?t . }"), &dict_);
+  EXPECT_EQ(a, b);
+  // A 3-cycle (cyclic automorphism group).
+  const CanonicalForm c =
+      CanonicalLabel(Q("ASK { ?a :p ?b . ?b :p ?c . ?c :p ?a . }"), &dict_);
+  const CanonicalForm d =
+      CanonicalLabel(Q("ASK { ?z :p ?x . ?y :p ?z . ?x :p ?y . }"), &dict_);
+  EXPECT_EQ(c, d);
+}
+
+TEST_F(CanonicalLabelTest, DistinguishesSubtleStructures) {
+  // Same degree sequences, different wiring: a 6-cycle vs two 3-cycles.
+  const BgpQuery six = Q(
+      "ASK { ?a :p ?b . ?b :p ?c . ?c :p ?d . ?d :p ?e . ?e :p ?f . ?f :p ?a . }");
+  const BgpQuery two_threes = Q(
+      "ASK { ?a :p ?b . ?b :p ?c . ?c :p ?a . ?d :p ?e . ?e :p ?f . ?f :p ?d . }");
+  EXPECT_FALSE(AreIsomorphic(six, two_threes, &dict_));
+}
+
+TEST_F(CanonicalLabelTest, VariablePredicatesParticipate) {
+  EXPECT_TRUE(AreIsomorphic(Q("ASK { ?x ?v ?y . ?y ?v ?z . }"),
+                            Q("ASK { ?b ?w ?c . ?a ?w ?b . }"), &dict_));
+  EXPECT_FALSE(AreIsomorphic(Q("ASK { ?x ?v ?y . ?y ?v ?z . }"),
+                             Q("ASK { ?x ?v ?y . ?y ?w ?z . }"), &dict_));
+}
+
+TEST_F(CanonicalLabelTest, FormTriplesAreCanonicallyRenamed) {
+  const CanonicalForm form =
+      CanonicalLabel(Q("ASK { ?zzz :p ?aaa . }"), &dict_);
+  ASSERT_EQ(form.triples.size(), 1u);
+  EXPECT_TRUE(dict_.IsVariable(form.triples[0].s));
+  EXPECT_TRUE(dict_.IsVariable(form.triples[0].o));
+  const std::string s_name = dict_.lexical(form.triples[0].s);
+  const std::string o_name = dict_.lexical(form.triples[0].o);
+  EXPECT_TRUE((s_name == "x1" && o_name == "x2") ||
+              (s_name == "x2" && o_name == "x1"));
+}
+
+TEST_F(CanonicalLabelTest, ConstantsOnlyQuery) {
+  const CanonicalForm a = CanonicalLabel(Q("ASK { :a :p :b . :b :p :c . }"),
+                                         &dict_);
+  const CanonicalForm b = CanonicalLabel(Q("ASK { :b :p :c . :a :p :b . }"),
+                                         &dict_);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.triples.size(), 2u);
+}
+
+TEST_F(CanonicalLabelTest, RandomPermutationProperty) {
+  // For random queries, shuffling patterns and bijectively renaming
+  // variables must preserve the canonical form; renaming non-bijectively
+  // (merging two variables) must change it.
+  util::Rng rng(1123);
+  std::mt19937 shuffler(77);
+  std::vector<rdf::TermId> preds;
+  for (int i = 0; i < 3; ++i) {
+    preds.push_back(dict_.MakeIri("urn:cl:p" + std::to_string(i)));
+  }
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t num_vars = 2 + rng.Uniform(0, 3);
+    std::vector<rdf::TermId> vars, renamed;
+    for (std::size_t v = 0; v < num_vars; ++v) {
+      vars.push_back(
+          dict_.MakeVariable("o" + std::to_string(trial) + "_" +
+                             std::to_string(v)));
+      renamed.push_back(
+          dict_.MakeVariable("r" + std::to_string(trial) + "_" +
+                             std::to_string(v)));
+    }
+    // Random bijection.
+    std::vector<std::size_t> perm(num_vars);
+    for (std::size_t i = 0; i < num_vars; ++i) perm[i] = i;
+    std::shuffle(perm.begin(), perm.end(), shuffler);
+
+    BgpQuery original;
+    std::vector<rdf::Triple> mapped_patterns;
+    const std::size_t n = 1 + rng.Uniform(0, 4);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t sv = rng.Uniform(0, num_vars - 1);
+      const std::size_t ov = rng.Uniform(0, num_vars - 1);
+      const rdf::TermId p = preds[rng.Uniform(0, preds.size() - 1)];
+      original.AddPattern(vars[sv], p, vars[ov]);
+      mapped_patterns.push_back(
+          rdf::Triple(renamed[perm[sv]], p, renamed[perm[ov]]));
+    }
+    std::shuffle(mapped_patterns.begin(), mapped_patterns.end(), shuffler);
+    BgpQuery permuted;
+    for (const rdf::Triple& t : mapped_patterns) permuted.AddPattern(t);
+
+    EXPECT_TRUE(AreIsomorphic(original, permuted, &dict_))
+        << original.ToString(dict_) << "\nvs\n" << permuted.ToString(dict_);
+  }
+}
+
+TEST_F(CanonicalLabelTest, LargeSymmetricClassCompletesUnderTheCap) {
+  // A 12-arm same-predicate star has a 12-element symmetric class; without
+  // the branching cap this would explore 12! leaves.  Must complete fast
+  // and still behave deterministically and soundly (equal forms for equal
+  // inputs; non-isomorphic sizes rejected outright).
+  std::string star = "ASK { ";
+  for (int i = 0; i < 12; ++i) {
+    star += "?x :p ?o" + std::to_string(i) + " . ";
+  }
+  star += "}";
+  const CanonicalForm a = CanonicalLabel(Q(star), &dict_);
+  const CanonicalForm b = CanonicalLabel(Q(star), &dict_);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.triples.size(), 12u);
+  EXPECT_FALSE(AreIsomorphic(Q(star), Q("ASK { ?x :p ?y . }"), &dict_));
+}
+
+TEST_F(CanonicalLabelTest, StrongerThanSerialisationDedup) {
+  // Two isomorphic queries whose variables were interned in opposite orders
+  // still share a canonical form regardless of term-id tie-breaks.
+  rdf::TermDictionary dict;
+  const rdf::TermId p = dict.MakeIri("urn:p");
+  // Query 1: vars interned a-then-b.
+  BgpQuery q1;
+  {
+    const rdf::TermId a = dict.MakeVariable("aa");
+    const rdf::TermId b = dict.MakeVariable("bb");
+    q1.AddPattern(a, p, b);
+    q1.AddPattern(b, p, a);
+  }
+  // Query 2: same 2-cycle, vars interned in reverse roles.
+  BgpQuery q2;
+  {
+    const rdf::TermId d = dict.MakeVariable("dd");
+    const rdf::TermId c = dict.MakeVariable("cc");
+    q2.AddPattern(c, p, d);
+    q2.AddPattern(d, p, c);
+  }
+  EXPECT_TRUE(AreIsomorphic(q1, q2, &dict));
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace rdfc

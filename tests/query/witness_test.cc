@@ -1,0 +1,141 @@
+#include "query/witness.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+
+#include "../test_util.h"
+#include "query/analysis.h"
+
+namespace rdfc {
+namespace query {
+namespace {
+
+using rdfc::testing::ParseOrDie;
+using rdfc::testing::Var;
+
+class WitnessTest : public ::testing::Test {
+ protected:
+  BgpQuery Q(const std::string& text) { return ParseOrDie(text, &dict_); }
+
+  /// The witness triples, with at most one (s,p) duplicate — i.e. the
+  /// witness is an f-graph over its classes.
+  static bool WitnessIsFGraph(const Witness& w) {
+    // (s,p) -> o and (p,o) -> s must be single-valued over witness triples.
+    std::map<std::pair<std::uint32_t, rdf::TermId>, std::uint32_t> out, in;
+    for (const Witness::WTriple& t : w.triples) {
+      auto [it1, fresh1] = out.insert({{t.s, t.p}, t.o});
+      if (!fresh1 && it1->second != t.o) return false;
+      auto [it2, fresh2] = in.insert({{t.o, t.p}, t.s});
+      if (!fresh2 && it2->second != t.s) return false;
+    }
+    return true;
+  }
+
+  rdf::TermDictionary dict_;
+};
+
+TEST_F(WitnessTest, FGraphQueryIsItsOwnWitness) {
+  const BgpQuery q = Q(R"(ASK {
+      ?sng :name ?sN . ?sng :fromAlbum ?alb . ?alb :name ?aN . })");
+  ASSERT_TRUE(IsFGraph(q));
+  const Witness w = BuildWitness(q);
+  EXPECT_EQ(w.nd_degree, 1u);
+  EXPECT_EQ(w.num_classes, q.Vertices().size());
+  EXPECT_EQ(w.triples.size(), q.size());
+  for (const auto& members : w.class_members) {
+    EXPECT_EQ(members.size(), 1u);
+  }
+}
+
+TEST_F(WitnessTest, PaperFigure2Example) {
+  // Fig. 2a: (?alb, artist, ?art), (?sng, artist, ?art), (?sng, name, ?aN),
+  // (?art, type, MusicalArtist).  Witness merges {?alb, ?sng}; ND-degree 2
+  // (Example 5.3).
+  const BgpQuery q = Q(R"(ASK {
+      ?alb :artist ?art . ?sng :artist ?art .
+      ?sng :name ?aN . ?art a :MusicalArtist . })");
+  const Witness w = BuildWitness(q);
+  EXPECT_EQ(w.nd_degree, 2u);
+  const std::uint32_t alb = w.ClassOf(Var(&dict_, "alb"));
+  const std::uint32_t sng = w.ClassOf(Var(&dict_, "sng"));
+  EXPECT_EQ(alb, sng);
+  EXPECT_EQ(w.class_members[alb].size(), 2u);
+  // Witness triples dedup: (alb,artist,art) and (sng,artist,art) collapse.
+  EXPECT_EQ(w.triples.size(), 3u);
+  EXPECT_TRUE(WitnessIsFGraph(w));
+}
+
+TEST_F(WitnessTest, ConditionOneMerges) {
+  const BgpQuery q = Q("ASK { ?x :p ?a . ?x :p ?b . }");
+  const Witness w = BuildWitness(q);
+  EXPECT_EQ(w.ClassOf(Var(&dict_, "a")), w.ClassOf(Var(&dict_, "b")));
+  EXPECT_EQ(w.nd_degree, 2u);
+}
+
+TEST_F(WitnessTest, FixPointCascades) {
+  // Merging ?a,?b (condition i) creates a new violation that forces ?c,?d
+  // to merge too; a single-pass implementation would miss it.
+  const BgpQuery q = Q(R"(ASK {
+      ?x :p ?a . ?x :p ?b . ?a :q ?c . ?b :q ?d . })");
+  const Witness w = BuildWitness(q);
+  EXPECT_EQ(w.ClassOf(Var(&dict_, "a")), w.ClassOf(Var(&dict_, "b")));
+  EXPECT_EQ(w.ClassOf(Var(&dict_, "c")), w.ClassOf(Var(&dict_, "d")));
+  EXPECT_EQ(w.nd_degree, 4u);
+  EXPECT_TRUE(WitnessIsFGraph(w));
+}
+
+TEST_F(WitnessTest, ConstantsCanShareAClass) {
+  const BgpQuery q = Q("ASK { ?x :p :a . ?x :p :b . }");
+  const Witness w = BuildWitness(q);
+  EXPECT_EQ(w.ClassOf(rdfc::testing::Iri(&dict_, "a")),
+            w.ClassOf(rdfc::testing::Iri(&dict_, "b")));
+  EXPECT_EQ(w.nd_degree, 2u);
+}
+
+TEST_F(WitnessTest, ConditionTwoMerges) {
+  const BgpQuery q = Q("ASK { ?s1 :p ?o . ?s2 :p ?o . ?s1 :r ?z . }");
+  const Witness w = BuildWitness(q);
+  EXPECT_EQ(w.ClassOf(Var(&dict_, "s1")), w.ClassOf(Var(&dict_, "s2")));
+}
+
+TEST_F(WitnessTest, NdDegreeMultiplies) {
+  // Two independent merge sites: 2 * 2 = 4.
+  const BgpQuery q = Q(R"(ASK {
+      ?x :p ?a . ?x :p ?b . ?y :q ?c . ?y :q ?d . ?x :link ?y . })");
+  EXPECT_EQ(NdDegree(q), 4u);
+}
+
+TEST_F(WitnessTest, VariablePredicatesParticipate) {
+  const BgpQuery q = Q("ASK { ?x ?v ?a . ?x ?v ?b . }");
+  const Witness w = BuildWitness(q);
+  EXPECT_EQ(w.ClassOf(Var(&dict_, "a")), w.ClassOf(Var(&dict_, "b")));
+}
+
+TEST_F(WitnessTest, WitnessIsAlwaysFGraphOnRandomQueries) {
+  // Property sweep over adversarial merge structures.
+  const char* queries[] = {
+      "ASK { ?a :p ?b . ?a :p ?c . ?b :p ?d . ?c :p ?e . ?d :q ?f . ?e :q ?g . }",
+      "ASK { ?a :p ?b . ?c :p ?b . ?a :q ?x . ?c :q ?y . }",
+      "ASK { ?a :p ?a . ?a :p ?b . }",
+      "ASK { ?a :p ?b . ?b :p ?a . ?a :q ?c . ?b :q ?d . }",
+      "ASK { ?x a :A . ?x a :B . ?y a :A . ?y a :B . ?x :k ?y . }",
+  };
+  for (const char* text : queries) {
+    const Witness w = BuildWitness(Q(text));
+    EXPECT_TRUE(WitnessIsFGraph(w)) << text << "\n" << w.ToString(dict_);
+  }
+}
+
+TEST_F(WitnessTest, EmptyQuery) {
+  BgpQuery q;
+  const Witness w = BuildWitness(q);
+  EXPECT_EQ(w.num_classes, 0u);
+  EXPECT_EQ(w.nd_degree, 1u);
+  EXPECT_EQ(w.ClassOf(Var(&dict_, "x")), Witness::kInvalidClass);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace rdfc

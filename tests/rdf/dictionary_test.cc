@@ -1,0 +1,78 @@
+#include "rdf/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfc {
+namespace rdf {
+namespace {
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  TermDictionary dict;
+  const TermId a = dict.MakeIri("urn:a");
+  const TermId b = dict.MakeIri("urn:a");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, kNullTerm);
+}
+
+TEST(DictionaryTest, KindsDisambiguateSameLexical) {
+  TermDictionary dict;
+  const TermId iri = dict.MakeIri("x");
+  const TermId var = dict.MakeVariable("x");
+  const TermId blank = dict.MakeBlank("x");
+  EXPECT_NE(iri, var);
+  EXPECT_NE(var, blank);
+  EXPECT_NE(iri, blank);
+  EXPECT_EQ(dict.kind(iri), TermKind::kIri);
+  EXPECT_EQ(dict.kind(var), TermKind::kVariable);
+  EXPECT_EQ(dict.kind(blank), TermKind::kBlank);
+}
+
+TEST(DictionaryTest, LookupWithoutIntern) {
+  TermDictionary dict;
+  EXPECT_EQ(dict.Lookup(TermKind::kIri, "urn:missing"), kNullTerm);
+  const TermId a = dict.MakeIri("urn:present");
+  EXPECT_EQ(dict.Lookup(TermKind::kIri, "urn:present"), a);
+  EXPECT_EQ(dict.Lookup(TermKind::kVariable, "urn:present"), kNullTerm);
+}
+
+TEST(DictionaryTest, ConstantsAreIrisAndLiterals) {
+  TermDictionary dict;
+  EXPECT_TRUE(dict.IsConstant(dict.MakeIri("urn:a")));
+  EXPECT_TRUE(dict.IsConstant(dict.MakeLiteral("\"x\"")));
+  EXPECT_FALSE(dict.IsConstant(dict.MakeVariable("v")));
+  EXPECT_FALSE(dict.IsConstant(dict.MakeBlank("b")));
+}
+
+TEST(DictionaryTest, CanonicalVariablesAreStable) {
+  TermDictionary dict;
+  const TermId x1 = dict.CanonicalVariable(1);
+  const TermId x2 = dict.CanonicalVariable(2);
+  EXPECT_NE(x1, x2);
+  EXPECT_EQ(dict.CanonicalVariable(1), x1);
+  EXPECT_EQ(dict.lexical(x1), "x1");
+  EXPECT_TRUE(dict.IsVariable(x1));
+  // Interning "?x1" by hand hits the same slot.
+  EXPECT_EQ(dict.MakeVariable("x1"), x1);
+}
+
+TEST(DictionaryTest, ToStringRendering) {
+  TermDictionary dict;
+  EXPECT_EQ(dict.ToString(dict.MakeIri("urn:a")), "<urn:a>");
+  EXPECT_EQ(dict.ToString(dict.MakeLiteral("\"v\"@en")), "\"v\"@en");
+  EXPECT_EQ(dict.ToString(dict.MakeVariable("x")), "?x");
+  EXPECT_EQ(dict.ToString(dict.MakeBlank("b0")), "_:b0");
+  EXPECT_EQ(dict.ToString(kNullTerm), "<null>");
+}
+
+TEST(DictionaryTest, SizeGrowsMonotonically) {
+  TermDictionary dict;
+  const std::size_t base = dict.size();  // reserved null slot
+  dict.MakeIri("urn:1");
+  dict.MakeIri("urn:2");
+  dict.MakeIri("urn:1");  // dup
+  EXPECT_EQ(dict.size(), base + 2);
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace rdfc

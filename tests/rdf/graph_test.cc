@@ -1,0 +1,88 @@
+#include "rdf/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace rdfc {
+namespace rdf {
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  TermDictionary dict_;
+  Graph g_;
+  TermId s1_ = dict_.MakeIri("urn:s1");
+  TermId s2_ = dict_.MakeIri("urn:s2");
+  TermId p1_ = dict_.MakeIri("urn:p1");
+  TermId p2_ = dict_.MakeIri("urn:p2");
+  TermId o1_ = dict_.MakeIri("urn:o1");
+  TermId o2_ = dict_.MakeLiteral("\"two\"");
+};
+
+TEST_F(GraphTest, AddAndContains) {
+  EXPECT_TRUE(g_.Add(s1_, p1_, o1_));
+  EXPECT_FALSE(g_.Add(s1_, p1_, o1_));  // set semantics
+  EXPECT_EQ(g_.size(), 1u);
+  EXPECT_TRUE(g_.Contains(Triple(s1_, p1_, o1_)));
+  EXPECT_FALSE(g_.Contains(Triple(s1_, p1_, o2_)));
+}
+
+TEST_F(GraphTest, MatchAllPatternsOfBoundness) {
+  g_.Add(s1_, p1_, o1_);
+  g_.Add(s1_, p1_, o2_);
+  g_.Add(s1_, p2_, o1_);
+  g_.Add(s2_, p1_, o1_);
+
+  EXPECT_EQ(g_.MatchAll(kNullTerm, kNullTerm, kNullTerm).size(), 4u);
+  EXPECT_EQ(g_.MatchAll(s1_, kNullTerm, kNullTerm).size(), 3u);
+  EXPECT_EQ(g_.MatchAll(kNullTerm, p1_, kNullTerm).size(), 3u);
+  EXPECT_EQ(g_.MatchAll(kNullTerm, kNullTerm, o1_).size(), 3u);
+  EXPECT_EQ(g_.MatchAll(s1_, p1_, kNullTerm).size(), 2u);
+  EXPECT_EQ(g_.MatchAll(kNullTerm, p1_, o1_).size(), 2u);
+  EXPECT_EQ(g_.MatchAll(s1_, kNullTerm, o1_).size(), 2u);
+  EXPECT_EQ(g_.MatchAll(s1_, p1_, o1_).size(), 1u);
+  EXPECT_EQ(g_.MatchAll(s2_, p2_, o2_).size(), 0u);
+}
+
+TEST_F(GraphTest, MatchReturnsCount) {
+  g_.Add(s1_, p1_, o1_);
+  g_.Add(s2_, p1_, o1_);
+  std::size_t seen = 0;
+  const std::size_t count =
+      g_.Match(kNullTerm, p1_, o1_, [&](const Triple&) { ++seen; });
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(seen, 2u);
+}
+
+TEST_F(GraphTest, MatchUnknownTermsYieldNothing) {
+  g_.Add(s1_, p1_, o1_);
+  const TermId ghost = dict_.MakeIri("urn:ghost");
+  EXPECT_TRUE(g_.MatchAll(ghost, kNullTerm, kNullTerm).empty());
+  EXPECT_TRUE(g_.MatchAll(kNullTerm, ghost, kNullTerm).empty());
+  EXPECT_TRUE(g_.MatchAll(kNullTerm, kNullTerm, ghost).empty());
+}
+
+TEST_F(GraphTest, DistinctPositionCounts) {
+  g_.Add(s1_, p1_, o1_);
+  g_.Add(s1_, p2_, o2_);
+  g_.Add(s2_, p1_, o1_);
+  EXPECT_EQ(g_.num_subjects(), 2u);
+  EXPECT_EQ(g_.num_predicates(), 2u);
+  EXPECT_EQ(g_.num_objects(), 2u);
+}
+
+TEST_F(GraphTest, TripleOrderingIsLexicographic) {
+  Triple a(1, 2, 3), b(1, 2, 4), c(1, 3, 0), d(2, 0, 0);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(c, d);
+  std::vector<Triple> v{d, c, b, a};
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v.front(), a);
+  EXPECT_EQ(v.back(), d);
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace rdfc

@@ -1,0 +1,85 @@
+#include "rdf/ntriples.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/turtle_parser.h"
+
+namespace rdfc {
+namespace rdf {
+namespace {
+
+TEST(NTriplesTest, WriteBasicForms) {
+  TermDictionary dict;
+  Graph graph;
+  graph.Add(dict.MakeIri("urn:s"), dict.MakeIri("urn:p"),
+            dict.MakeIri("urn:o"));
+  graph.Add(dict.MakeIri("urn:s"), dict.MakeIri("urn:name"),
+            dict.MakeLiteral("\"hello\""));
+  graph.Add(dict.MakeBlank("b0"), dict.MakeIri("urn:p"),
+            dict.MakeLiteral("\"x\"@en"));
+  const std::string out = WriteNTriples(graph, dict);
+  EXPECT_NE(out.find("<urn:s> <urn:p> <urn:o> .\n"), std::string::npos);
+  EXPECT_NE(out.find("<urn:s> <urn:name> \"hello\" .\n"), std::string::npos);
+  EXPECT_NE(out.find("_:b0 <urn:p> \"x\"@en .\n"), std::string::npos);
+}
+
+TEST(NTriplesTest, EscapesSpecialCharacters) {
+  TermDictionary dict;
+  Graph graph;
+  graph.Add(dict.MakeIri("urn:s"), dict.MakeIri("urn:p"),
+            dict.MakeLiteral("\"line\nbreak \"quoted\" back\\slash\""));
+  const std::string out = WriteNTriples(graph, dict);
+  EXPECT_NE(out.find(R"("line\nbreak \"quoted\" back\\slash")"),
+            std::string::npos);
+}
+
+TEST(NTriplesTest, TypedLiteralKeepsDatatype) {
+  TermDictionary dict;
+  Graph graph;
+  graph.Add(dict.MakeIri("urn:s"), dict.MakeIri("urn:p"),
+            dict.MakeLiteral("\"42\"^^<urn:dt>"));
+  EXPECT_NE(WriteNTriples(graph, dict).find("\"42\"^^<urn:dt>"),
+            std::string::npos);
+}
+
+TEST(NTriplesTest, RoundTrip) {
+  TermDictionary dict;
+  Graph graph;
+  ASSERT_TRUE(ParseTurtle(R"(
+    @prefix ex: <urn:ex:> .
+    ex:a ex:p ex:b .
+    ex:a ex:name "va\nl" .
+    ex:b ex:score 3.5 .
+    _:n ex:p ex:a .
+  )", &dict, &graph).ok());
+  const std::string nt = WriteNTriples(graph, dict);
+
+  TermDictionary dict2;
+  Graph graph2;
+  ASSERT_TRUE(ParseNTriples(nt, &dict2, &graph2).ok()) << nt;
+  EXPECT_EQ(graph2.size(), graph.size());
+  // And a second write is byte-stable.
+  EXPECT_EQ(WriteNTriples(graph2, dict2), nt);
+}
+
+TEST(NTriplesTest, RejectsDirectives) {
+  TermDictionary dict;
+  Graph graph;
+  EXPECT_FALSE(ParseNTriples("@prefix ex: <urn:ex:> .\n", &dict, &graph).ok());
+  EXPECT_FALSE(
+      ParseNTriples("PREFIX ex: <urn:ex:>\n<urn:s> <urn:p> <urn:o> .",
+                    &dict, &graph).ok());
+}
+
+TEST(NTriplesTest, AcceptsCommentsAndBlankLines) {
+  TermDictionary dict;
+  Graph graph;
+  EXPECT_TRUE(ParseNTriples(
+      "# header\n\n<urn:s> <urn:p> <urn:o> .\n# trailing\n", &dict, &graph)
+                  .ok());
+  EXPECT_EQ(graph.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace rdfc

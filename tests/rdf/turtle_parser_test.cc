@@ -1,0 +1,107 @@
+#include "rdf/turtle_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfc {
+namespace rdf {
+namespace {
+
+class TurtleTest : public ::testing::Test {
+ protected:
+  util::Status Parse(std::string_view text) {
+    return ParseTurtle(text, &dict_, &graph_);
+  }
+  TermDictionary dict_;
+  Graph graph_;
+};
+
+TEST_F(TurtleTest, EmptyAndCommentsOnly) {
+  EXPECT_TRUE(Parse("").ok());
+  EXPECT_TRUE(Parse("# just a comment\n  \n# another\n").ok());
+  EXPECT_EQ(graph_.size(), 0u);
+}
+
+TEST_F(TurtleTest, FullIriTriple) {
+  ASSERT_TRUE(Parse("<urn:s> <urn:p> <urn:o> .").ok());
+  ASSERT_EQ(graph_.size(), 1u);
+  const Triple t = graph_.triples()[0];
+  EXPECT_EQ(dict_.lexical(t.s), "urn:s");
+  EXPECT_EQ(dict_.lexical(t.p), "urn:p");
+  EXPECT_EQ(dict_.lexical(t.o), "urn:o");
+}
+
+TEST_F(TurtleTest, PrefixedNamesAndA) {
+  ASSERT_TRUE(Parse(R"(
+    @prefix ex: <http://example.org/> .
+    ex:alice a ex:Person .
+  )").ok());
+  ASSERT_EQ(graph_.size(), 1u);
+  const Triple t = graph_.triples()[0];
+  EXPECT_EQ(dict_.lexical(t.s), "http://example.org/alice");
+  EXPECT_EQ(dict_.lexical(t.p),
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+  EXPECT_EQ(dict_.lexical(t.o), "http://example.org/Person");
+}
+
+TEST_F(TurtleTest, PredicateAndObjectLists) {
+  ASSERT_TRUE(Parse(R"(
+    @prefix ex: <http://example.org/> .
+    ex:s ex:p1 ex:o1 , ex:o2 ;
+         ex:p2 ex:o3 .
+  )").ok());
+  EXPECT_EQ(graph_.size(), 3u);
+}
+
+TEST_F(TurtleTest, Literals) {
+  ASSERT_TRUE(Parse(R"(
+    @prefix ex: <http://example.org/> .
+    ex:s ex:name "Masquerade" .
+    ex:s ex:tagline "hello"@en .
+    ex:s ex:count 42 .
+    ex:s ex:score 3.5 .
+    ex:s ex:flag true .
+    ex:s ex:typed "x"^^<urn:dt> .
+  )").ok());
+  EXPECT_EQ(graph_.size(), 6u);
+  EXPECT_NE(dict_.Lookup(TermKind::kLiteral, "\"Masquerade\""), kNullTerm);
+  EXPECT_NE(dict_.Lookup(TermKind::kLiteral, "\"hello\"@en"), kNullTerm);
+  EXPECT_NE(dict_.Lookup(TermKind::kLiteral,
+                         "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>"),
+            kNullTerm);
+  EXPECT_NE(dict_.Lookup(TermKind::kLiteral,
+                         "\"3.5\"^^<http://www.w3.org/2001/XMLSchema#decimal>"),
+            kNullTerm);
+  EXPECT_NE(dict_.Lookup(TermKind::kLiteral, "\"x\"^^<urn:dt>"), kNullTerm);
+}
+
+TEST_F(TurtleTest, BlankNodes) {
+  ASSERT_TRUE(Parse("_:b1 <urn:p> _:b2 .").ok());
+  const Triple t = graph_.triples()[0];
+  EXPECT_EQ(dict_.kind(t.s), TermKind::kBlank);
+  EXPECT_EQ(dict_.kind(t.o), TermKind::kBlank);
+}
+
+TEST_F(TurtleTest, EscapedStrings) {
+  ASSERT_TRUE(Parse(R"(<urn:s> <urn:p> "a \"quoted\" word\n" .)").ok());
+  EXPECT_NE(dict_.Lookup(TermKind::kLiteral, "\"a \"quoted\" word\n\""),
+            kNullTerm);
+}
+
+TEST_F(TurtleTest, SparqlStylePrefix) {
+  ASSERT_TRUE(Parse(R"(
+    PREFIX ex: <http://example.org/>
+    ex:s ex:p ex:o .
+  )").ok());
+  EXPECT_EQ(graph_.size(), 1u);
+}
+
+TEST_F(TurtleTest, Errors) {
+  EXPECT_FALSE(Parse("<urn:s> <urn:p> <urn:o>").ok());  // missing '.'
+  EXPECT_FALSE(Parse("<urn:s <urn:p> <urn:o> .").ok()); // unterminated IRI
+  EXPECT_FALSE(Parse("ex:s ex:p ex:o .").ok());         // unknown prefix
+  EXPECT_FALSE(Parse("<urn:s> <urn:p> \"open .").ok()); // unterminated string
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace rdfc

@@ -1,0 +1,134 @@
+#include "rdfs/extension.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "containment/pipeline.h"
+#include "query/analysis.h"
+
+namespace rdfc {
+namespace rdfs {
+namespace {
+
+using rdfc::testing::Iri;
+using rdfc::testing::ParseOrDie;
+using rdfc::testing::Var;
+
+class ExtensionTest : public ::testing::Test {
+ protected:
+  query::BgpQuery Q(const std::string& text) {
+    return ParseOrDie(text, &dict_);
+  }
+  rdf::TermId Type() {
+    return dict_.MakeIri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+  }
+  rdf::TermDictionary dict_;
+  RdfsSchema schema_;
+};
+
+TEST_F(ExtensionTest, PaperExampleA1CarVehicle) {
+  // Example A.1: Q asks for red cars, W for red vehicles; with Car ⊑ Vehicle
+  // the extension adds (?x, type, Vehicle) and containment follows.
+  schema_.AddSubClass(Iri(&dict_, "Car"), Iri(&dict_, "Vehicle"));
+  const query::BgpQuery q = Q("SELECT ?x WHERE { ?x a :Car . ?x a :Red . }");
+  const query::BgpQuery w =
+      Q("SELECT ?x WHERE { ?x a :Vehicle . ?x a :Red . }");
+
+  // Without the extension, containment does not hold.
+  EXPECT_FALSE(containment::Contains(q, w, &dict_));
+
+  const query::BgpQuery extended = ExtendQuery(q, schema_, &dict_);
+  EXPECT_TRUE(extended.ContainsPattern(
+      rdf::Triple(Var(&dict_, "x"), Type(), Iri(&dict_, "Vehicle"))));
+  EXPECT_TRUE(containment::Contains(extended, w, &dict_));
+}
+
+TEST_F(ExtensionTest, TransitiveClassClosure) {
+  schema_.AddSubClass(Iri(&dict_, "A"), Iri(&dict_, "B"));
+  schema_.AddSubClass(Iri(&dict_, "B"), Iri(&dict_, "C"));
+  const query::BgpQuery extended =
+      ExtendQuery(Q("ASK { ?x a :A . }"), schema_, &dict_);
+  EXPECT_EQ(extended.size(), 3u);
+}
+
+TEST_F(ExtensionTest, SubPropertySaturation) {
+  schema_.AddSubProperty(Iri(&dict_, "headOf"), Iri(&dict_, "worksFor"));
+  const query::BgpQuery extended =
+      ExtendQuery(Q("ASK { ?x :headOf ?y . }"), schema_, &dict_);
+  EXPECT_TRUE(extended.ContainsPattern(rdf::Triple(
+      Var(&dict_, "x"), Iri(&dict_, "worksFor"), Var(&dict_, "y"))));
+}
+
+TEST_F(ExtensionTest, DomainAndRangeDeriveTypes) {
+  schema_.AddDomain(Iri(&dict_, "drives"), Iri(&dict_, "Person"));
+  schema_.AddRange(Iri(&dict_, "drives"), Iri(&dict_, "Vehicle"));
+  const query::BgpQuery extended =
+      ExtendQuery(Q("ASK { ?x :drives ?y . }"), schema_, &dict_);
+  EXPECT_TRUE(extended.ContainsPattern(
+      rdf::Triple(Var(&dict_, "x"), Type(), Iri(&dict_, "Person"))));
+  EXPECT_TRUE(extended.ContainsPattern(
+      rdf::Triple(Var(&dict_, "y"), Type(), Iri(&dict_, "Vehicle"))));
+}
+
+TEST_F(ExtensionTest, DomainOfSuperPropertyApplies) {
+  schema_.AddSubProperty(Iri(&dict_, "headOf"), Iri(&dict_, "worksFor"));
+  schema_.AddDomain(Iri(&dict_, "worksFor"), Iri(&dict_, "Employee"));
+  const query::BgpQuery extended =
+      ExtendQuery(Q("ASK { ?x :headOf ?y . }"), schema_, &dict_);
+  EXPECT_TRUE(extended.ContainsPattern(
+      rdf::Triple(Var(&dict_, "x"), Type(), Iri(&dict_, "Employee"))));
+}
+
+TEST_F(ExtensionTest, CascadedDerivationReachesFixpoint) {
+  // domain-derived type triple then class-inclusion on that type.
+  schema_.AddDomain(Iri(&dict_, "p"), Iri(&dict_, "A"));
+  schema_.AddSubClass(Iri(&dict_, "A"), Iri(&dict_, "B"));
+  const query::BgpQuery extended =
+      ExtendQuery(Q("ASK { ?x :p ?y . }"), schema_, &dict_);
+  EXPECT_TRUE(extended.ContainsPattern(
+      rdf::Triple(Var(&dict_, "x"), Type(), Iri(&dict_, "B"))));
+}
+
+TEST_F(ExtensionTest, LiteralObjectsGetNoRangeType) {
+  schema_.AddRange(Iri(&dict_, "name"), Iri(&dict_, "Label"));
+  const query::BgpQuery extended =
+      ExtendQuery(Q(R"(ASK { ?x :name "bob" . })"), schema_, &dict_);
+  for (const rdf::Triple& t : extended.patterns()) {
+    EXPECT_FALSE(dict_.IsLiteral(t.s));
+  }
+  EXPECT_EQ(extended.size(), 1u);
+}
+
+TEST_F(ExtensionTest, VariablePredicatesNotSaturated) {
+  schema_.AddSubProperty(Iri(&dict_, "p"), Iri(&dict_, "q"));
+  const query::BgpQuery extended =
+      ExtendQuery(Q("ASK { ?x ?v ?y . }"), schema_, &dict_);
+  EXPECT_EQ(extended.size(), 1u);
+}
+
+TEST_F(ExtensionTest, EmptySchemaIsIdentity) {
+  const query::BgpQuery q = Q("ASK { ?x a :A . ?x :p ?y . }");
+  const query::BgpQuery extended = ExtendQuery(q, schema_, &dict_);
+  EXPECT_TRUE(extended.SamePatterns(q));
+}
+
+TEST_F(ExtensionTest, PreservesFormAndProjection) {
+  const query::BgpQuery q = Q("SELECT ?x WHERE { ?x a :A . }");
+  const query::BgpQuery extended = ExtendQuery(q, schema_, &dict_);
+  EXPECT_EQ(extended.form(), query::QueryForm::kSelect);
+  ASSERT_EQ(extended.distinguished().size(), 1u);
+  EXPECT_EQ(extended.distinguished()[0], Var(&dict_, "x"));
+}
+
+TEST_F(ExtensionTest, ExtensionMayBreakFGraphProperty) {
+  // The paper notes extended queries can lose the f-graph property: two
+  // type triples on the same subject violate condition (i).
+  schema_.AddSubClass(Iri(&dict_, "Car"), Iri(&dict_, "Vehicle"));
+  const query::BgpQuery extended =
+      ExtendQuery(Q("ASK { ?x a :Car . }"), schema_, &dict_);
+  EXPECT_FALSE(query::IsFGraph(extended));
+}
+
+}  // namespace
+}  // namespace rdfs
+}  // namespace rdfc

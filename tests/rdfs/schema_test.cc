@@ -1,0 +1,111 @@
+#include "rdfs/schema.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rdf/turtle_parser.h"
+
+namespace rdfc {
+namespace rdfs {
+namespace {
+
+bool Contains(const std::vector<rdf::TermId>& v, rdf::TermId x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  rdf::TermId T(const std::string& local) {
+    return dict_.MakeIri("urn:t:" + local);
+  }
+  rdf::TermDictionary dict_;
+  RdfsSchema schema_;
+};
+
+TEST_F(SchemaTest, TransitiveSuperClasses) {
+  schema_.AddSubClass(T("Car"), T("Vehicle"));
+  schema_.AddSubClass(T("Vehicle"), T("Thing"));
+  const auto& supers = schema_.SuperClassesOf(T("Car"));
+  EXPECT_EQ(supers.size(), 3u);  // reflexive + 2
+  EXPECT_TRUE(Contains(supers, T("Car")));
+  EXPECT_TRUE(Contains(supers, T("Vehicle")));
+  EXPECT_TRUE(Contains(supers, T("Thing")));
+  EXPECT_EQ(schema_.SuperClassesOf(T("Thing")).size(), 1u);
+}
+
+TEST_F(SchemaTest, SubClassesInverse) {
+  schema_.AddSubClass(T("Car"), T("Vehicle"));
+  schema_.AddSubClass(T("Bike"), T("Vehicle"));
+  const auto subs = schema_.SubClassesOf(T("Vehicle"));
+  EXPECT_EQ(subs.size(), 3u);
+  EXPECT_TRUE(Contains(subs, T("Car")));
+  EXPECT_TRUE(Contains(subs, T("Bike")));
+}
+
+TEST_F(SchemaTest, DiamondHierarchy) {
+  schema_.AddSubClass(T("A"), T("B"));
+  schema_.AddSubClass(T("A"), T("C"));
+  schema_.AddSubClass(T("B"), T("D"));
+  schema_.AddSubClass(T("C"), T("D"));
+  const auto& supers = schema_.SuperClassesOf(T("A"));
+  EXPECT_EQ(supers.size(), 4u);  // A, B, C, D — D once despite two paths
+}
+
+TEST_F(SchemaTest, CyclicHierarchyTerminates) {
+  schema_.AddSubClass(T("X"), T("Y"));
+  schema_.AddSubClass(T("Y"), T("X"));
+  const auto& supers = schema_.SuperClassesOf(T("X"));
+  EXPECT_EQ(supers.size(), 2u);
+}
+
+TEST_F(SchemaTest, PropertiesIndependentOfClasses) {
+  schema_.AddSubClass(T("A"), T("B"));
+  schema_.AddSubProperty(T("p"), T("q"));
+  EXPECT_EQ(schema_.SuperPropertiesOf(T("p")).size(), 2u);
+  EXPECT_EQ(schema_.SuperPropertiesOf(T("A")).size(), 1u);  // reflexive only
+}
+
+TEST_F(SchemaTest, DomainsAndRanges) {
+  schema_.AddDomain(T("drives"), T("Person"));
+  schema_.AddRange(T("drives"), T("Vehicle"));
+  EXPECT_EQ(schema_.DomainsOf(T("drives")).size(), 1u);
+  EXPECT_EQ(schema_.RangesOf(T("drives")).size(), 1u);
+  EXPECT_TRUE(schema_.DomainsOf(T("unknown")).empty());
+}
+
+TEST_F(SchemaTest, CacheInvalidatedOnMutation) {
+  schema_.AddSubClass(T("Car"), T("Vehicle"));
+  EXPECT_EQ(schema_.SuperClassesOf(T("Car")).size(), 2u);
+  schema_.AddSubClass(T("Vehicle"), T("Thing"));
+  EXPECT_EQ(schema_.SuperClassesOf(T("Car")).size(), 3u);
+}
+
+TEST_F(SchemaTest, LoadFromGraph) {
+  rdf::Graph graph;
+  ASSERT_TRUE(rdf::ParseTurtle(R"(
+    @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+    @prefix t: <urn:t:> .
+    t:Car rdfs:subClassOf t:Vehicle .
+    t:drives rdfs:subPropertyOf t:uses .
+    t:drives rdfs:domain t:Person .
+    t:drives rdfs:range t:Vehicle .
+    t:unrelated t:otherPredicate t:ignored .
+  )", &dict_, &graph).ok());
+  RdfsSchema schema;
+  schema.LoadFromGraph(graph, dict_);
+  EXPECT_TRUE(Contains(schema.SuperClassesOf(T("Car")), T("Vehicle")));
+  EXPECT_TRUE(Contains(schema.SuperPropertiesOf(T("drives")), T("uses")));
+  EXPECT_EQ(schema.DomainsOf(T("drives")).size(), 1u);
+  EXPECT_EQ(schema.RangesOf(T("drives")).size(), 1u);
+}
+
+TEST_F(SchemaTest, EmptySchema) {
+  EXPECT_TRUE(schema_.empty());
+  schema_.AddDomain(T("p"), T("C"));
+  EXPECT_FALSE(schema_.empty());
+}
+
+}  // namespace
+}  // namespace rdfs
+}  // namespace rdfc

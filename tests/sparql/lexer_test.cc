@@ -1,0 +1,124 @@
+#include "sparql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfc {
+namespace sparql {
+namespace {
+
+std::vector<SparqlToken> TokenizeOrDie(std::string_view text) {
+  auto result = Tokenize(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : std::vector<SparqlToken>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  const auto tokens = TokenizeOrDie("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEof);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  const auto tokens = TokenizeOrDie("select Select SELECT where ASK");
+  ASSERT_EQ(tokens.size(), 6u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kKeyword);
+    EXPECT_EQ(tokens[i].text, "SELECT");
+  }
+  EXPECT_EQ(tokens[3].text, "WHERE");
+  EXPECT_EQ(tokens[4].text, "ASK");
+}
+
+TEST(LexerTest, Variables) {
+  const auto tokens = TokenizeOrDie("?x $y ?long_name");
+  EXPECT_EQ(tokens[0].type, TokenType::kVariable);
+  EXPECT_EQ(tokens[0].text, "x");
+  EXPECT_EQ(tokens[1].type, TokenType::kVariable);
+  EXPECT_EQ(tokens[1].text, "y");
+  EXPECT_EQ(tokens[2].text, "long_name");
+}
+
+TEST(LexerTest, IriRefs) {
+  const auto tokens = TokenizeOrDie("<http://ex.org/a#b>");
+  EXPECT_EQ(tokens[0].type, TokenType::kIriRef);
+  EXPECT_EQ(tokens[0].text, "http://ex.org/a#b");
+}
+
+TEST(LexerTest, PrefixedNames) {
+  const auto tokens = TokenizeOrDie("foaf:name rdf:type :local");
+  EXPECT_EQ(tokens[0].type, TokenType::kPrefixedName);
+  EXPECT_EQ(tokens[0].text, "foaf:name");
+  EXPECT_EQ(tokens[1].text, "rdf:type");
+  EXPECT_EQ(tokens[2].type, TokenType::kPrefixedName);
+  EXPECT_EQ(tokens[2].text, ":local");
+}
+
+TEST(LexerTest, StringsWithLangAndDatatype) {
+  const auto tokens = TokenizeOrDie(R"("hi"@en "x"^^<urn:dt> 'single')");
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "\"hi\"");
+  EXPECT_EQ(tokens[1].type, TokenType::kLangTag);
+  EXPECT_EQ(tokens[1].text, "en");
+  EXPECT_EQ(tokens[2].type, TokenType::kString);
+  EXPECT_EQ(tokens[3].type, TokenType::kDoubleCaret);
+  EXPECT_EQ(tokens[4].type, TokenType::kIriRef);
+  EXPECT_EQ(tokens[5].type, TokenType::kString);
+  EXPECT_EQ(tokens[5].text, "\"single\"");
+}
+
+TEST(LexerTest, EscapesInStrings) {
+  const auto tokens = TokenizeOrDie(R"("a\"b\nc")");
+  EXPECT_EQ(tokens[0].text, "\"a\"b\nc\"");
+}
+
+TEST(LexerTest, NumbersAndPunctuation) {
+  const auto tokens = TokenizeOrDie("{ ?s ?p 42 ; ?q 3.14 , -7 . } *");
+  EXPECT_EQ(tokens[0].type, TokenType::kLBrace);
+  EXPECT_EQ(tokens[3].type, TokenType::kNumber);
+  EXPECT_EQ(tokens[3].text, "42");
+  EXPECT_EQ(tokens[4].type, TokenType::kSemicolon);
+  EXPECT_EQ(tokens[6].text, "3.14");
+  EXPECT_EQ(tokens[7].type, TokenType::kComma);
+  EXPECT_EQ(tokens[8].text, "-7");
+  EXPECT_EQ(tokens[9].type, TokenType::kDot);
+  EXPECT_EQ(tokens[10].type, TokenType::kRBrace);
+  EXPECT_EQ(tokens[11].type, TokenType::kStar);
+}
+
+TEST(LexerTest, BlankNodesAndA) {
+  const auto tokens = TokenizeOrDie("_:b0 a _:b1");
+  EXPECT_EQ(tokens[0].type, TokenType::kBlankNode);
+  EXPECT_EQ(tokens[0].text, "b0");
+  EXPECT_EQ(tokens[1].type, TokenType::kA);
+  EXPECT_EQ(tokens[2].text, "b1");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  const auto tokens = TokenizeOrDie("?x # comment ?y\n?z");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "z");
+}
+
+TEST(LexerTest, BooleansBecomeTypedLiterals) {
+  const auto tokens = TokenizeOrDie("true false");
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_NE(tokens[0].text.find("XMLSchema#boolean"), std::string::npos);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("<unterminated").ok());
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("?").ok());
+  EXPECT_FALSE(Tokenize("^x").ok());
+  EXPECT_FALSE(Tokenize("\x01").ok());
+}
+
+TEST(LexerTest, OffsetsPointIntoSource) {
+  const auto tokens = TokenizeOrDie("?x  ?y");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 4u);
+}
+
+}  // namespace
+}  // namespace sparql
+}  // namespace rdfc

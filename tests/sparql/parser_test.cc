@@ -1,0 +1,183 @@
+#include "sparql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace rdfc {
+namespace sparql {
+namespace {
+
+using testing::Iri;
+using testing::ParseOrDie;
+using testing::Var;
+
+TEST(ParserTest, PaperRunningExampleQueryQ) {
+  // Example 2.1, query Q (Formula 1).
+  rdf::TermDictionary dict;
+  const query::BgpQuery q = ParseOrDie(R"(
+    SELECT ?sN ?aN WHERE {
+      ?sng :name ?sN .
+      ?sng :fromAlbum ?alb .
+      ?alb :name ?aN .
+      ?alb :artist ?art .
+      ?art :type :MusicalArtist .
+    })", &dict);
+  EXPECT_EQ(q.size(), 5u);
+  EXPECT_EQ(q.form(), query::QueryForm::kSelect);
+  ASSERT_EQ(q.distinguished().size(), 2u);
+  EXPECT_EQ(q.distinguished()[0], Var(&dict, "sN"));
+  EXPECT_EQ(q.distinguished()[1], Var(&dict, "aN"));
+  EXPECT_TRUE(q.ContainsPattern(rdf::Triple(
+      Var(&dict, "art"), Iri(&dict, "type"), Iri(&dict, "MusicalArtist"))));
+}
+
+TEST(ParserTest, AskForm) {
+  rdf::TermDictionary dict;
+  const query::BgpQuery q =
+      ParseOrDie("ASK WHERE { ?x :p ?y . }", &dict);
+  EXPECT_EQ(q.form(), query::QueryForm::kAsk);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(ParserTest, AskWithoutWhereKeyword) {
+  rdf::TermDictionary dict;
+  EXPECT_EQ(ParseOrDie("ASK { ?x :p ?y }", &dict).size(), 1u);
+}
+
+TEST(ParserTest, SelectStar) {
+  rdf::TermDictionary dict;
+  const query::BgpQuery q = ParseOrDie("SELECT * WHERE { ?x :p ?y }", &dict);
+  EXPECT_TRUE(q.select_all());
+}
+
+TEST(ParserTest, SelectDistinct) {
+  rdf::TermDictionary dict;
+  const query::BgpQuery q =
+      ParseOrDie("SELECT DISTINCT ?x WHERE { ?x :p ?y }", &dict);
+  EXPECT_EQ(q.distinguished().size(), 1u);
+}
+
+TEST(ParserTest, PrefixDeclarations) {
+  rdf::TermDictionary dict;
+  const query::BgpQuery q = ParseOrDie(R"(
+    PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+    SELECT ?n WHERE { ?x foaf:name ?n }
+  )", &dict);
+  EXPECT_TRUE(q.ContainsPattern(
+      rdf::Triple(Var(&dict, "x"),
+                  dict.MakeIri("http://xmlns.com/foaf/0.1/name"),
+                  Var(&dict, "n"))));
+}
+
+TEST(ParserTest, SemicolonAndCommaSugar) {
+  rdf::TermDictionary dict;
+  const query::BgpQuery q = ParseOrDie(R"(
+    SELECT ?x WHERE { ?x :p1 :o1 , :o2 ; :p2 ?y . }
+  )", &dict);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_TRUE(q.ContainsPattern(
+      rdf::Triple(Var(&dict, "x"), Iri(&dict, "p1"), Iri(&dict, "o2"))));
+  EXPECT_TRUE(q.ContainsPattern(
+      rdf::Triple(Var(&dict, "x"), Iri(&dict, "p2"), Var(&dict, "y"))));
+}
+
+TEST(ParserTest, AKeywordIsRdfType) {
+  rdf::TermDictionary dict;
+  const query::BgpQuery q = ParseOrDie("SELECT ?x WHERE { ?x a :C }", &dict);
+  EXPECT_TRUE(q.ContainsPattern(rdf::Triple(
+      Var(&dict, "x"),
+      dict.MakeIri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+      Iri(&dict, "C"))));
+}
+
+TEST(ParserTest, TypedAndLangLiterals) {
+  rdf::TermDictionary dict;
+  const query::BgpQuery q = ParseOrDie(R"(
+    SELECT ?x WHERE {
+      ?x :name "Masquerade" .
+      ?x :label "hi"@en .
+      ?x :age 42 .
+      ?x :score 2.5 .
+      ?x :typed "v"^^<urn:dt> .
+    })", &dict);
+  EXPECT_EQ(q.size(), 5u);
+  EXPECT_NE(dict.Lookup(rdf::TermKind::kLiteral, "\"hi\"@en"), rdf::kNullTerm);
+  EXPECT_NE(dict.Lookup(rdf::TermKind::kLiteral,
+                        "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>"),
+            rdf::kNullTerm);
+  EXPECT_NE(dict.Lookup(rdf::TermKind::kLiteral, "\"v\"^^<urn:dt>"),
+            rdf::kNullTerm);
+}
+
+TEST(ParserTest, VariablePredicates) {
+  rdf::TermDictionary dict;
+  const query::BgpQuery q =
+      ParseOrDie("SELECT ?p WHERE { :s ?p ?o }", &dict);
+  const rdf::Triple t = q.patterns()[0];
+  EXPECT_TRUE(dict.IsVariable(t.p));
+}
+
+TEST(ParserTest, BlankNodesBecomeVariables) {
+  rdf::TermDictionary dict;
+  const query::BgpQuery q =
+      ParseOrDie("SELECT ?x WHERE { ?x :p _:b0 }", &dict);
+  const rdf::Triple t = q.patterns()[0];
+  EXPECT_TRUE(dict.IsVariable(t.o));
+}
+
+TEST(ParserTest, DuplicatePatternsDeduplicated) {
+  rdf::TermDictionary dict;
+  const query::BgpQuery q =
+      ParseOrDie("SELECT ?x WHERE { ?x :p ?y . ?x :p ?y . }", &dict);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(ParserTest, FilterSkippedWhenLenient) {
+  rdf::TermDictionary dict;
+  const query::BgpQuery q = ParseOrDie(R"(
+    SELECT ?x WHERE { ?x :p ?y . FILTER (?y > 10) . ?x :q ?z }
+  )", &dict);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(ParserTest, FilterComparisonWithoutSpaces) {
+  // Regression: '<' directly before a variable is a comparison, not an IRI.
+  rdf::TermDictionary dict;
+  const query::BgpQuery q = ParseOrDie(
+      "SELECT ?x WHERE { ?x :p ?y . FILTER (?y <?x) . FILTER (?y >?x) }",
+      &dict);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(ParserTest, SolutionModifiersSkipped) {
+  rdf::TermDictionary dict;
+  const query::BgpQuery q = ParseOrDie(
+      "SELECT ?x WHERE { ?x :p ?y } ORDER BY ?y LIMIT 10 OFFSET 5", &dict);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(ParserTest, Errors) {
+  rdf::TermDictionary dict;
+  EXPECT_FALSE(ParseQuery("WHERE { ?x ?p ?y }", &dict).ok());
+  EXPECT_FALSE(ParseQuery("SELECT WHERE { ?x ?p ?y }", &dict).ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?x { ?x ?p }", &dict).ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x ?p ?y", &dict).ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x unknown:p ?y }", &dict).ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x ?p ?y } garbage <",
+                          &dict).ok());
+}
+
+TEST(ParserTest, BaseResolution) {
+  rdf::TermDictionary dict;
+  const query::BgpQuery q = ParseOrDie(R"(
+    BASE <http://ex.org/>
+    SELECT ?x WHERE { ?x <p> ?y }
+  )", &dict);
+  EXPECT_TRUE(q.ContainsPattern(rdf::Triple(
+      Var(&dict, "x"), dict.MakeIri("http://ex.org/p"), Var(&dict, "y"))));
+}
+
+}  // namespace
+}  // namespace sparql
+}  // namespace rdfc

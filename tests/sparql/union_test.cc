@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "containment/ucq.h"
+#include "sparql/parser.h"
+
+namespace rdfc {
+namespace sparql {
+namespace {
+
+using rdfc::testing::ParseOrDie;
+
+ParsedUnionQuery ParseUnionOrDie(const std::string& text,
+                                 rdf::TermDictionary* dict) {
+  ParserOptions options;
+  options.default_prefixes[""] = "urn:t:";
+  auto result = ParseUnionQuery(text, dict, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : ParsedUnionQuery{};
+}
+
+TEST(UnionParserTest, PlainQueryIsSingleBranch) {
+  rdf::TermDictionary dict;
+  const ParsedUnionQuery parsed =
+      ParseUnionOrDie("SELECT ?x WHERE { ?x :p ?y }", &dict);
+  ASSERT_EQ(parsed.branches.size(), 1u);
+  EXPECT_EQ(parsed.branches[0].size(), 1u);
+  EXPECT_EQ(parsed.form, query::QueryForm::kSelect);
+}
+
+TEST(UnionParserTest, TwoBranches) {
+  rdf::TermDictionary dict;
+  const ParsedUnionQuery parsed = ParseUnionOrDie(R"(
+    SELECT ?x WHERE {
+      { ?x :p ?y . ?y :q ?z }
+      UNION
+      { ?x :r ?y }
+    })", &dict);
+  ASSERT_EQ(parsed.branches.size(), 2u);
+  EXPECT_EQ(parsed.branches[0].size(), 2u);
+  EXPECT_EQ(parsed.branches[1].size(), 1u);
+  // Branches carry the projection.
+  ASSERT_EQ(parsed.branches[0].distinguished().size(), 1u);
+  EXPECT_EQ(parsed.branches[0].distinguished()[0], dict.MakeVariable("x"));
+}
+
+TEST(UnionParserTest, ThreeBranchesAsk) {
+  rdf::TermDictionary dict;
+  const ParsedUnionQuery parsed = ParseUnionOrDie(
+      "ASK { { ?x :a ?y } UNION { ?x :b ?y } UNION { ?x :c ?y } }", &dict);
+  EXPECT_EQ(parsed.branches.size(), 3u);
+  EXPECT_EQ(parsed.form, query::QueryForm::kAsk);
+}
+
+TEST(UnionParserTest, ParseQueryRejectsUnions) {
+  rdf::TermDictionary dict;
+  ParserOptions options;
+  options.default_prefixes[""] = "urn:t:";
+  auto result = ParseQuery(
+      "ASK { { ?x :a ?y } UNION { ?x :b ?y } }", &dict, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kUnsupported);
+}
+
+TEST(UnionParserTest, UnsupportedOperatorsHaveClearErrors) {
+  rdf::TermDictionary dict;
+  ParserOptions options;
+  options.default_prefixes[""] = "urn:t:";
+  auto result = ParseQuery(
+      "SELECT ?x WHERE { ?x :p ?y . OPTIONAL { ?x :q ?z } }", &dict, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kUnsupported);
+}
+
+TEST(UnionParserTest, MalformedUnions) {
+  rdf::TermDictionary dict;
+  EXPECT_FALSE(ParseUnionQuery("ASK { { ?x <urn:p> ?y } UNION }", &dict).ok());
+  EXPECT_FALSE(
+      ParseUnionQuery("ASK { { ?x <urn:p> ?y } UNION { ?x <urn:q> ?y }",
+                      &dict).ok());
+}
+
+TEST(UnionParserTest, FeedsUcqContainment) {
+  rdf::TermDictionary dict;
+  const ParsedUnionQuery w = ParseUnionOrDie(
+      "ASK { { ?x :p ?y } UNION { ?x :q ?y } }", &dict);
+  const query::BgpQuery q1 = ParseOrDie("ASK { ?a :p ?b . ?a a :T }", &dict);
+  const query::BgpQuery q2 = ParseOrDie("ASK { ?a :r ?b }", &dict);
+  EXPECT_TRUE(containment::ContainedInUnion(q1, w.branches, &dict));
+  EXPECT_FALSE(containment::ContainedInUnion(q2, w.branches, &dict));
+}
+
+}  // namespace
+}  // namespace sparql
+}  // namespace rdfc

@@ -1,0 +1,62 @@
+#include "sparql/writer.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "sparql/parser.h"
+
+namespace rdfc {
+namespace sparql {
+namespace {
+
+using testing::ParseOrDie;
+
+TEST(WriterTest, WriteTermForms) {
+  rdf::TermDictionary dict;
+  EXPECT_EQ(WriteTerm(dict.MakeIri("urn:a"), dict), "<urn:a>");
+  EXPECT_EQ(WriteTerm(dict.MakeVariable("x"), dict), "?x");
+  EXPECT_EQ(WriteTerm(dict.MakeLiteral("\"v\"@en"), dict), "\"v\"@en");
+  EXPECT_EQ(WriteTerm(dict.MakeBlank("b"), dict), "_:b");
+}
+
+void ExpectRoundTrip(const std::string& text) {
+  rdf::TermDictionary dict;
+  const query::BgpQuery original = ParseOrDie(text, &dict);
+  const std::string rendered = WriteQuery(original, dict);
+  auto reparsed = ParseQuery(rendered, &dict);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\nrendered:\n"
+                             << rendered;
+  EXPECT_TRUE(original.SamePatterns(*reparsed)) << rendered;
+  EXPECT_EQ(original.form(), reparsed->form());
+}
+
+TEST(WriterTest, RoundTripSelect) {
+  ExpectRoundTrip(R"(SELECT ?sN ?aN WHERE {
+    ?sng :name ?sN . ?sng :fromAlbum ?alb . ?alb :name ?aN . })");
+}
+
+TEST(WriterTest, RoundTripAsk) {
+  ExpectRoundTrip("ASK WHERE { ?x :p :o . ?x a :C . }");
+}
+
+TEST(WriterTest, RoundTripLiteralsAndVarPredicates) {
+  ExpectRoundTrip(R"(SELECT ?x WHERE {
+    ?x :name "Masquerade" . ?x ?p "42"^^<urn:dt> . ?x :tag "hi"@en . })");
+}
+
+TEST(WriterTest, SelectStarRendering) {
+  rdf::TermDictionary dict;
+  query::BgpQuery q = ParseOrDie("SELECT * WHERE { ?x :p ?y }", &dict);
+  EXPECT_NE(WriteQuery(q, dict).find("SELECT *"), std::string::npos);
+}
+
+TEST(WriterTest, DistinguishedVariablesListed) {
+  rdf::TermDictionary dict;
+  query::BgpQuery q = ParseOrDie("SELECT ?b ?a WHERE { ?a :p ?b }", &dict);
+  const std::string rendered = WriteQuery(q, dict);
+  EXPECT_NE(rendered.find("SELECT ?b ?a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sparql
+}  // namespace rdfc

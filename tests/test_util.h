@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+#include "sparql/parser.h"
+
+namespace rdfc {
+namespace testing {
+
+/// Parses a SPARQL query, failing the test on parse errors.  A default
+/// prefix `:` -> `urn:t:` keeps test queries terse.
+inline query::BgpQuery ParseOrDie(std::string_view text,
+                                  rdf::TermDictionary* dict) {
+  sparql::ParserOptions options;
+  options.default_prefixes[""] = "urn:t:";
+  options.default_prefixes["rdf"] =
+      "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+  auto result = sparql::ParseQuery(text, dict, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString() << "\nquery: "
+                           << text;
+  if (!result.ok()) return query::BgpQuery();
+  return std::move(result).value();
+}
+
+/// Shorthand for interning test IRIs in the `urn:t:` namespace.
+inline rdf::TermId Iri(rdf::TermDictionary* dict, std::string_view local) {
+  return dict->MakeIri("urn:t:" + std::string(local));
+}
+
+inline rdf::TermId Var(rdf::TermDictionary* dict, std::string_view name) {
+  return dict->MakeVariable(std::string(name));
+}
+
+inline rdf::TermId Lit(rdf::TermDictionary* dict, std::string_view value) {
+  return dict->MakeLiteral("\"" + std::string(value) + "\"");
+}
+
+}  // namespace testing
+}  // namespace rdfc

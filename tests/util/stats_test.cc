@@ -1,0 +1,126 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace rdfc {
+namespace util {
+namespace {
+
+TEST(StreamingStatsTest, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(StreamingStatsTest, MeanMinMax) {
+  StreamingStats s;
+  for (double x : {3.0, 1.0, 4.0, 1.0, 5.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.8);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(StreamingStatsTest, VarianceMatchesTwoPass) {
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> dist(0.0, 100.0);
+  std::vector<double> xs;
+  StreamingStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = dist(rng);
+    xs.push_back(x);
+    s.Add(x);
+  }
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(StreamingStatsTest, Ci95ShrinksWithSamples) {
+  StreamingStats small, large;
+  std::mt19937 rng(3);
+  std::normal_distribution<double> dist(10.0, 2.0);
+  for (int i = 0; i < 10; ++i) small.Add(dist(rng));
+  for (int i = 0; i < 1000; ++i) large.Add(dist(rng));
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+  // 1.96 * sigma / sqrt(n) with sigma ~= 2, n = 1000 -> ~0.124.
+  EXPECT_NEAR(large.ci95_halfwidth(), 1.96 * large.stddev() / std::sqrt(1000.0),
+              1e-12);
+}
+
+TEST(StreamingStatsTest, MergeEqualsConcatenation) {
+  StreamingStats a, b, all;
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> dist(-5.0, 5.0);
+  for (int i = 0; i < 100; ++i) {
+    const double x = dist(rng);
+    a.Add(x);
+    all.Add(x);
+  }
+  for (int i = 0; i < 37; ++i) {
+    const double x = dist(rng);
+    b.Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStatsTest, MergeWithEmptySides) {
+  StreamingStats a, b;
+  a.Add(1.0);
+  a.Merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);  // empty lhs: copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(BucketedStatsTest, PaperStyleQuerySizeBuckets) {
+  // Figure 3b/4 buckets: 1-5, 6-10, 11-15, ...
+  BucketedStats buckets(5, 1);
+  buckets.Add(1, 10.0);
+  buckets.Add(5, 20.0);
+  buckets.Add(6, 30.0);
+  buckets.Add(23, 40.0);
+  const auto out = buckets.NonEmptyBuckets();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].lo, 1);
+  EXPECT_EQ(out[0].hi, 5);
+  EXPECT_EQ(out[0].stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].stats.mean(), 15.0);
+  EXPECT_EQ(out[1].lo, 6);
+  EXPECT_EQ(out[2].lo, 21);
+  EXPECT_EQ(buckets.LabelFor(7), "6-10");
+  EXPECT_EQ(buckets.LabelFor(21), "21-25");
+}
+
+TEST(BucketedStatsTest, IndexSizeBuckets) {
+  // Figure 3a buckets: per 5,000 vertices starting at 0.
+  BucketedStats buckets(5000);
+  buckets.Add(0, 1.0);
+  buckets.Add(4999, 2.0);
+  buckets.Add(5000, 3.0);
+  const auto out = buckets.NonEmptyBuckets();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].stats.count(), 2u);
+  EXPECT_EQ(out[1].lo, 5000);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace rdfc

@@ -1,0 +1,94 @@
+#include "util/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+namespace rdfc {
+namespace util {
+namespace {
+
+TEST(UnionFindTest, SingletonsInitially) {
+  UnionFind uf(4);
+  EXPECT_EQ(uf.num_sets(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1u);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesAndCounts) {
+  UnionFind uf(5);
+  uf.Union(0, 1);
+  uf.Union(3, 4);
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_TRUE(uf.Same(0, 1));
+  EXPECT_TRUE(uf.Same(3, 4));
+  EXPECT_FALSE(uf.Same(0, 3));
+  EXPECT_EQ(uf.SetSize(1), 2u);
+  uf.Union(1, 4);
+  EXPECT_EQ(uf.num_sets(), 2u);
+  EXPECT_EQ(uf.SetSize(0), 4u);
+  EXPECT_TRUE(uf.Same(0, 3));
+}
+
+TEST(UnionFindTest, UnionIsIdempotent) {
+  UnionFind uf(3);
+  const std::uint32_t root = uf.Union(0, 1);
+  EXPECT_EQ(uf.Union(0, 1), root);
+  EXPECT_EQ(uf.num_sets(), 2u);
+}
+
+TEST(UnionFindTest, AddGrowsStructure) {
+  UnionFind uf(2);
+  const std::uint32_t id = uf.Add();
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(uf.num_sets(), 3u);
+  uf.Union(id, 0);
+  EXPECT_TRUE(uf.Same(2, 0));
+}
+
+TEST(UnionFindTest, ResetRestoresSingletons) {
+  UnionFind uf(3);
+  uf.Union(0, 2);
+  uf.Reset(3);
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_FALSE(uf.Same(0, 2));
+}
+
+// Property: after any union sequence, Same() agrees with a naive
+// reachability closure.
+TEST(UnionFindTest, AgreesWithNaiveClosure) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 20;
+    UnionFind uf(n);
+    std::vector<std::size_t> naive(n);
+    std::iota(naive.begin(), naive.end(), 0);
+    auto naive_find = [&](std::size_t x) {
+      while (naive[x] != x) x = naive[x];
+      return x;
+    };
+    for (int e = 0; e < 15; ++e) {
+      const auto a = static_cast<std::uint32_t>(rng() % n);
+      const auto b = static_cast<std::uint32_t>(rng() % n);
+      uf.Union(a, b);
+      naive[naive_find(a)] = naive_find(b);
+    }
+    std::size_t naive_sets = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (naive_find(i) == i) ++naive_sets;
+    }
+    EXPECT_EQ(uf.num_sets(), naive_sets);
+    for (std::uint32_t a = 0; a < n; ++a) {
+      for (std::uint32_t b = 0; b < n; ++b) {
+        EXPECT_EQ(uf.Same(a, b), naive_find(a) == naive_find(b));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace rdfc

@@ -1,0 +1,179 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "query/analysis.h"
+#include "query/witness.h"
+
+namespace rdfc {
+namespace workload {
+namespace {
+
+TEST(WorkloadTest, DbpediaMatchesPaperMix) {
+  rdf::TermDictionary dict;
+  const auto queries = GenerateDbpedia(&dict, 20000, 1);
+  ASSERT_EQ(queries.size(), 20000u);
+  std::size_t fgraph = 0, iri_only = 0, nonempty = 0;
+  for (const auto& q : queries) {
+    const query::QueryShape shape = query::AnalyzeShape(q, dict);
+    nonempty += q.empty() ? 0 : 1;
+    fgraph += shape.is_fgraph ? 1 : 0;
+    iri_only += shape.only_iri_predicates ? 1 : 0;
+  }
+  EXPECT_EQ(nonempty, queries.size());
+  // Paper Section 3: 99.707 % IRI-only predicates, 73.158 % f-graph.
+  const double iri_rate = static_cast<double>(iri_only) / 20000.0;
+  const double fgraph_rate = static_cast<double>(fgraph) / 20000.0;
+  EXPECT_GT(iri_rate, 0.99);
+  EXPECT_GT(fgraph_rate, 0.66);
+  EXPECT_LT(fgraph_rate, 0.82);
+}
+
+TEST(WorkloadTest, DbpediaIsDeterministicPerSeed) {
+  rdf::TermDictionary dict;
+  const auto a = GenerateDbpedia(&dict, 50, 99);
+  const auto b = GenerateDbpedia(&dict, 50, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].SamePatterns(b[i])) << i;
+  }
+  const auto c = GenerateDbpedia(&dict, 50, 100);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_different = any_different || !a[i].SamePatterns(c[i]);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(WorkloadTest, WatdivShapesAndSizes) {
+  rdf::TermDictionary dict;
+  const auto queries = GenerateWatdiv(&dict, 2000, 2);
+  std::size_t cyclic = 0, max_size = 0;
+  for (const auto& q : queries) {
+    EXPECT_GE(q.size(), 1u);
+    max_size = std::max(max_size, q.size());
+    cyclic += query::IsAcyclic(q) ? 0 : 1;
+  }
+  EXPECT_GE(max_size, 8u);
+  EXPECT_GT(cyclic, 0u);
+}
+
+TEST(WorkloadTest, BsbmTemplateRecurrence) {
+  rdf::TermDictionary dict;
+  const auto queries = GenerateBsbm(&dict, 1000, 3);
+  // 12 templates with Zipf parameters: strong structural recurrence.
+  std::set<std::size_t> sizes;
+  for (const auto& q : queries) sizes.insert(q.size());
+  EXPECT_LE(sizes.size(), 12u);
+  // Template 11 has a variable predicate.
+  bool any_var_pred = false;
+  for (const auto& q : queries) {
+    any_var_pred =
+        any_var_pred || query::AnalyzeShape(q, dict).has_var_predicates;
+  }
+  EXPECT_TRUE(any_var_pred);
+}
+
+TEST(WorkloadTest, LubmFourteenQueries) {
+  rdf::TermDictionary dict;
+  auto result = LubmQueries(&dict);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 14u);
+  // Q2 and Q9 are the triangles; Q6/Q14 are single-pattern class queries.
+  EXPECT_FALSE(query::IsAcyclic((*result)[1]));
+  EXPECT_FALSE(query::IsAcyclic((*result)[8]));
+  EXPECT_EQ((*result)[5].size(), 1u);
+  EXPECT_EQ((*result)[13].size(), 1u);
+}
+
+TEST(WorkloadTest, LubmSchemaHierarchy) {
+  rdf::TermDictionary dict;
+  const rdfs::RdfsSchema schema = LubmSchema(&dict);
+  auto ub = [&](const char* local) {
+    return dict.MakeIri(
+        std::string("http://swat.cse.lehigh.edu/onto/univ-bench.owl#") +
+        local);
+  };
+  const auto& supers = schema.SuperClassesOf(ub("FullProfessor"));
+  // FullProfessor ⊑ Professor ⊑ Faculty ⊑ Employee ⊑ Person (+ reflexive).
+  EXPECT_EQ(supers.size(), 5u);
+  EXPECT_FALSE(schema.DomainsOf(ub("takesCourse")).empty());
+  // headOf ⊑ worksFor ⊑ memberOf.
+  EXPECT_EQ(schema.SuperPropertiesOf(ub("headOf")).size(), 3u);
+}
+
+TEST(WorkloadTest, LubmExtendedGrowsWorkload) {
+  rdf::TermDictionary dict;
+  auto result = GenerateLubmExtended(&dict, 1000, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1000u);
+  // Extension must actually vary the queries: count distinct pattern sets
+  // beyond the 14 seeds.
+  std::size_t distinct = 0;
+  for (std::size_t i = 0; i < result->size(); ++i) {
+    bool dup = false;
+    for (std::size_t j = 0; j < i && !dup; ++j) {
+      dup = (*result)[i].SamePatterns((*result)[j]);
+    }
+    distinct += dup ? 0 : 1;
+    if (i > 200) break;  // bound the quadratic check
+  }
+  EXPECT_GT(distinct, 50u);
+}
+
+TEST(WorkloadTest, LdbcFiftyThree) {
+  rdf::TermDictionary dict;
+  const auto queries = GenerateLdbc(&dict, 53, 5);
+  ASSERT_EQ(queries.size(), 53u);
+  std::size_t cyclic = 0;
+  std::size_t big = 0;
+  for (const auto& q : queries) {
+    cyclic += query::IsAcyclic(q) ? 0 : 1;
+    big += q.size() >= 6 ? 1 : 0;
+  }
+  EXPECT_GT(cyclic, 0u);
+  EXPECT_GT(big, 20u);
+}
+
+TEST(WorkloadTest, CombinedInterleavesAllSources) {
+  rdf::TermDictionary dict;
+  WorkloadOptions options;
+  options.dbpedia = 200;
+  options.watdiv = 100;
+  options.bsbm = 50;
+  const auto combined = GenerateCombined(&dict, options);
+  EXPECT_EQ(combined.size(), 200u + 100u + 50u + 14u + 53u);
+  std::size_t counts[kNumWorkloads] = {0, 0, 0, 0, 0};
+  for (const auto& wq : combined) {
+    ++counts[static_cast<std::size_t>(wq.source)];
+  }
+  EXPECT_EQ(counts[0], 200u);
+  EXPECT_EQ(counts[1], 100u);
+  EXPECT_EQ(counts[2], 50u);
+  EXPECT_EQ(counts[3], 14u);
+  EXPECT_EQ(counts[4], 53u);
+  // seq is a permutation 0..n-1 in order.
+  for (std::size_t i = 0; i < combined.size(); ++i) {
+    EXPECT_EQ(combined[i].seq, i);
+  }
+  // Interleaved, not concatenated: the first 10 contain several sources.
+  std::set<WorkloadId> head;
+  for (std::size_t i = 0; i < 10; ++i) head.insert(combined[i].source);
+  EXPECT_GE(head.size(), 3u);
+}
+
+TEST(WorkloadTest, ScaledOptionsFollowPaperProportions) {
+  const WorkloadOptions options = ScaledWorkloadOptions(0.01);
+  EXPECT_EQ(options.dbpedia, 12877u);
+  EXPECT_EQ(options.watdiv, 1488u);
+  EXPECT_EQ(options.bsbm, 998u);
+  EXPECT_EQ(options.lubm, 14u);
+  EXPECT_EQ(options.ldbc, 53u);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace rdfc

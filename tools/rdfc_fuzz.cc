@@ -1,0 +1,153 @@
+// rdfc_fuzz — volume differential tester for the containment stack.
+//
+//   rdfc_fuzz [--trials=N] [--seed=S] [--max-triples=K] [--verbose]
+//
+// Each trial draws random query pairs / index contents from a tiny
+// vocabulary (to force collisions, merges, and containments) and
+// cross-checks four independent implementations:
+//
+//   1. the witness-filter + NP-verify pipeline   (containment/pipeline)
+//   2. the direct homomorphism search            (containment/homomorphism)
+//   3. the Chandra-Merlin freeze characterisation (eval over freeze(Q))
+//   4. the mv-index walk vs the pairwise scan    (index/cont_queries)
+//
+// Exit code 0 = no divergence.  Any mismatch prints a minimal reproducer
+// (the two queries in SPARQL) and exits 1.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "containment/homomorphism.h"
+#include "containment/pipeline.h"
+#include "eval/evaluator.h"
+#include "index/mv_index.h"
+#include "sparql/writer.h"
+#include "tool_util.h"
+#include "util/rng.h"
+
+using namespace rdfc;  // NOLINT(build/namespaces)
+
+namespace {
+
+class QueryGen {
+ public:
+  QueryGen(rdf::TermDictionary* dict, std::uint64_t seed)
+      : dict_(dict), rng_(seed) {
+    for (int i = 0; i < 3; ++i) {
+      preds_.push_back(dict_->MakeIri("urn:fz:p" + std::to_string(i)));
+    }
+    for (int i = 0; i < 2; ++i) {
+      consts_.push_back(dict_->MakeIri("urn:fz:c" + std::to_string(i)));
+    }
+  }
+
+  query::BgpQuery Draw(std::size_t max_triples, bool var_preds) {
+    query::BgpQuery q;
+    const std::size_t n = 1 + rng_.Uniform(0, max_triples - 1);
+    const std::size_t vars = 1 + rng_.Uniform(0, 3);
+    for (std::size_t i = 0; i < n; ++i) {
+      rdf::TermId p = preds_[rng_.Uniform(0, preds_.size() - 1)];
+      if (var_preds && rng_.Chance(0.12)) p = Var(10 + rng_.Uniform(0, 1));
+      q.AddPattern(Term(vars, 0.85), p, Term(vars, 0.7));
+    }
+    return q;
+  }
+
+ private:
+  rdf::TermId Var(std::size_t k) {
+    return dict_->MakeVariable("fz" + std::to_string(k));
+  }
+  rdf::TermId Term(std::size_t vars, double var_prob) {
+    if (rng_.Chance(var_prob)) return Var(rng_.Uniform(0, vars - 1));
+    return consts_[rng_.Uniform(0, consts_.size() - 1)];
+  }
+
+  rdf::TermDictionary* dict_;
+  util::Rng rng_;
+  std::vector<rdf::TermId> preds_;
+  std::vector<rdf::TermId> consts_;
+};
+
+int Report(const char* what, const query::BgpQuery& q,
+           const query::BgpQuery& w, const rdf::TermDictionary& dict) {
+  std::fprintf(stderr, "DIVERGENCE (%s)\nQ:\n%sW:\n%s", what,
+               sparql::WriteQuery(q, dict).c_str(),
+               sparql::WriteQuery(w, dict).c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tools::Args args = tools::Args::Parse(argc, argv);
+  const auto trials = static_cast<std::size_t>(
+      std::strtoull(args.Get("trials", "2000").c_str(), nullptr, 10));
+  const auto seed = static_cast<std::uint64_t>(
+      std::strtoull(args.Get("seed", "1").c_str(), nullptr, 10));
+  const auto max_triples = std::max<std::size_t>(
+      1, std::strtoull(args.Get("max-triples", "5").c_str(), nullptr, 10));
+  const bool verbose = args.Has("verbose");
+
+  rdf::TermDictionary dict;
+  QueryGen gen(&dict, seed);
+  std::size_t positives = 0;
+
+  // Phase 1: pairwise cross-checks.
+  for (std::size_t t = 0; t < trials; ++t) {
+    const bool var_preds = t % 3 == 0;
+    const query::BgpQuery q = gen.Draw(max_triples, var_preds);
+    const query::BgpQuery w = gen.Draw(max_triples - 1, var_preds);
+
+    const bool truth = containment::IsContainedIn(q, w, dict);
+    positives += truth ? 1 : 0;
+
+    auto outcome = containment::Check(q, w, &dict);
+    if (!outcome.ok() || outcome->contained != truth) {
+      return Report("pipeline vs homomorphism", q, w, dict);
+    }
+    if (truth && !outcome->filter_passed) {
+      return Report("Proposition 5.1 violated", q, w, dict);
+    }
+    if (!var_preds) {
+      rdf::Graph frozen = eval::Freeze(q, &dict);
+      if (eval::Ask(w, frozen, dict) != truth) {
+        return Report("freeze characterisation", q, w, dict);
+      }
+    }
+  }
+
+  // Phase 2: index walk vs pairwise scan over batches.
+  const std::size_t batches = std::max<std::size_t>(1, trials / 200);
+  for (std::size_t b = 0; b < batches; ++b) {
+    index::MvIndex index(&dict);
+    std::vector<query::BgpQuery> views;
+    for (int i = 0; i < 50; ++i) {
+      query::BgpQuery w = gen.Draw(4, /*var_preds=*/i % 4 == 0);
+      if (!index.Insert(w, static_cast<std::uint64_t>(i)).ok()) continue;
+      views.push_back(std::move(w));
+    }
+    for (int i = 0; i < 25; ++i) {
+      const query::BgpQuery q = gen.Draw(5, i % 2 == 0);
+      const auto walk = index.FindContaining(q);
+      const auto scan = index.ScanContaining(q);
+      if (walk.contained.size() != scan.contained.size()) {
+        std::fprintf(stderr, "walk=%zu scan=%zu\n", walk.contained.size(),
+                     scan.contained.size());
+        query::BgpQuery empty;
+        return Report("index walk vs scan", q, empty, dict);
+      }
+    }
+  }
+
+  if (verbose) {
+    std::printf("fuzz: %zu trials, %zu containment positives (%.1f%%), "
+                "%zu index batches — all implementations agree\n",
+                trials, positives,
+                100.0 * static_cast<double>(positives) /
+                    static_cast<double>(trials),
+                batches);
+  } else {
+    std::printf("OK (%zu trials)\n", trials);
+  }
+  return 0;
+}

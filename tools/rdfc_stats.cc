@@ -1,0 +1,141 @@
+// rdfc_stats — the paper's Section 3 workload analysis for ANY query file:
+// per-file shares of f-graph / acyclic / IRI-only-predicate queries, size and
+// ND-degree distributions, and dedup rate under canonical serialisation.
+//
+//   rdfc_stats <queries.rq> [more.rq ...]
+//   rdfc_stats --workload=dbpedia:20000 [--seed=N]
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "baselines/canonical_cache.h"
+#include "query/analysis.h"
+#include "query/canonical_label.h"
+#include "query/witness.h"
+#include "sparql/parser.h"
+#include "tool_util.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "workload/workload.h"
+
+using namespace rdfc;  // NOLINT(build/namespaces)
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "rdfc_stats: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tools::Args args = tools::Args::Parse(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(
+      std::strtoull(args.Get("seed", "42").c_str(), nullptr, 10));
+
+  rdf::TermDictionary dict;
+  std::vector<query::BgpQuery> queries;
+  if (args.Has("workload")) {
+    const std::string spec = args.Get("workload");
+    std::string name = spec;
+    std::size_t count = 10000;
+    if (const std::size_t colon = spec.find(':'); colon != std::string::npos) {
+      name = spec.substr(0, colon);
+      count = static_cast<std::size_t>(
+          std::strtoull(spec.substr(colon + 1).c_str(), nullptr, 10));
+    }
+    if (name == "dbpedia") {
+      queries = workload::GenerateDbpedia(&dict, count, seed);
+    } else if (name == "watdiv") {
+      queries = workload::GenerateWatdiv(&dict, count, seed);
+    } else if (name == "bsbm") {
+      queries = workload::GenerateBsbm(&dict, count, seed);
+    } else if (name == "ldbc") {
+      queries = workload::GenerateLdbc(&dict, count, seed);
+    } else if (name == "lubm") {
+      auto lubm = workload::GenerateLubmExtended(&dict, count, seed);
+      if (!lubm.ok()) return Fail(lubm.status().ToString());
+      queries = std::move(lubm).value();
+    } else {
+      return Fail("unknown workload: " + name);
+    }
+  } else {
+    if (args.positional.empty()) {
+      return Fail("usage: rdfc_stats <queries.rq ...> | --workload=NAME[:N]");
+    }
+    for (const std::string& path : args.positional) {
+      auto texts = tools::ReadQueryFile(path);
+      if (!texts.ok()) return Fail(texts.status().ToString());
+      for (const std::string& text : *texts) {
+        auto parsed = sparql::ParseQuery(text, &dict);
+        if (!parsed.ok()) {
+          std::fprintf(stderr, "skipping unparsable query: %s\n",
+                       parsed.status().ToString().c_str());
+          continue;
+        }
+        queries.push_back(std::move(parsed).value());
+      }
+    }
+  }
+  if (queries.empty()) return Fail("no queries");
+
+  std::size_t fgraph = 0, acyclic = 0, iri_only = 0, var_pred = 0;
+  std::size_t fg_ac = 0, fg_cy = 0, nfg_ac = 0, nfg_cy = 0;
+  util::StreamingStats size_stats, vertex_stats;
+  std::map<std::uint64_t, std::size_t> nd_histogram;
+  baselines::CanonicalCache dedup(&dict);
+  std::set<std::uint64_t> iso_distinct;
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const query::BgpQuery& q = queries[i];
+    const query::QueryShape shape = query::AnalyzeShape(q, dict);
+    fgraph += shape.is_fgraph ? 1 : 0;
+    acyclic += shape.is_acyclic ? 1 : 0;
+    iri_only += shape.only_iri_predicates ? 1 : 0;
+    var_pred += shape.has_var_predicates ? 1 : 0;
+    if (shape.is_fgraph && shape.is_acyclic) ++fg_ac;
+    else if (shape.is_fgraph) ++fg_cy;
+    else if (shape.is_acyclic) ++nfg_ac;
+    else ++nfg_cy;
+    size_stats.Add(static_cast<double>(shape.num_triples));
+    vertex_stats.Add(static_cast<double>(shape.num_vertices));
+    ++nd_histogram[query::NdDegree(q)];
+    (void)dedup.Insert(q, i);
+    iso_distinct.insert(query::CanonicalLabel(q, &dict).hash);
+  }
+
+  const double n = static_cast<double>(queries.size());
+  auto pct = [&](std::size_t part) {
+    return util::FormatDouble(100.0 * static_cast<double>(part) / n, 3) + "%";
+  };
+  std::printf("queries:                 %s\n",
+              util::WithThousands(queries.size()).c_str());
+  std::printf("distinct (canonical):    %s (%s)\n",
+              util::WithThousands(dedup.num_entries()).c_str(),
+              pct(dedup.num_entries()).c_str());
+  std::printf("distinct (isomorphism):  %s (%s)\n",
+              util::WithThousands(iso_distinct.size()).c_str(),
+              pct(iso_distinct.size()).c_str());
+  std::printf("IRI-only predicates:     %s   (paper, DBpedia: 99.707%%)\n",
+              pct(iri_only).c_str());
+  std::printf("variable predicates:     %s\n", pct(var_pred).c_str());
+  std::printf("f-graph:                 %s   (paper, DBpedia: 73.158%%)\n",
+              pct(fgraph).c_str());
+  std::printf("acyclic:                 %s\n", pct(acyclic).c_str());
+  std::printf("f-graph & acyclic:       %s\n", pct(fg_ac).c_str());
+  std::printf("f-graph & cyclic:        %s\n", pct(fg_cy).c_str());
+  std::printf("non-f-graph & acyclic:   %s\n", pct(nfg_ac).c_str());
+  std::printf("non-f-graph & cyclic:    %s\n", pct(nfg_cy).c_str());
+  std::printf("triple patterns/query:   avg %.2f, max %.0f\n",
+              size_stats.mean(), size_stats.max());
+  std::printf("vertices/query:          avg %.2f, max %.0f\n",
+              vertex_stats.mean(), vertex_stats.max());
+  std::printf("ND-degree histogram:\n");
+  for (const auto& [nd, count] : nd_histogram) {
+    std::printf("  %6llu: %s (%s)\n", static_cast<unsigned long long>(nd),
+                util::WithThousands(count).c_str(), pct(count).c_str());
+  }
+  return 0;
+}

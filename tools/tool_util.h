@@ -1,0 +1,87 @@
+#pragma once
+
+// Shared helpers for the command-line tools: reading `---`-separated SPARQL
+// query files and tiny argv handling.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rdfc {
+namespace tools {
+
+/// Reads a query file: SPARQL queries separated by lines consisting solely
+/// of `---`.  Empty segments are skipped.
+inline util::Result<std::vector<std::string>> ReadQueryFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::NotFound("cannot open " + path);
+  std::vector<std::string> queries;
+  std::string current;
+  std::string line;
+  auto flush = [&] {
+    // Keep segments that contain any non-whitespace character.
+    for (char c : current) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        queries.push_back(current);
+        break;
+      }
+    }
+    current.clear();
+  };
+  while (std::getline(in, line)) {
+    if (line == "---") {
+      flush();
+    } else {
+      current += line;
+      current += '\n';
+    }
+  }
+  flush();
+  return queries;
+}
+
+/// `--key=value` / `--flag` argv scanning; positional args returned in order.
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> options;
+
+  static Args Parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const std::size_t eq = arg.find('=');
+        if (eq == std::string::npos) {
+          args.options.emplace_back(arg.substr(2), "");
+        } else {
+          args.options.emplace_back(arg.substr(2, eq - 2), arg.substr(eq + 1));
+        }
+      } else {
+        args.positional.push_back(arg);
+      }
+    }
+    return args;
+  }
+
+  bool Has(const std::string& key) const {
+    for (const auto& [k, v] : options) {
+      (void)v;
+      if (k == key) return true;
+    }
+    return false;
+  }
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    for (const auto& [k, v] : options) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+};
+
+}  // namespace tools
+}  // namespace rdfc
