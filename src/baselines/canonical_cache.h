@@ -30,7 +30,7 @@ class CanonicalCache {
   };
 
   /// Inserts a query keyed by canonical form.
-  util::Result<InsertOutcome> Insert(const query::BgpQuery& q,
+  [[nodiscard]] util::Result<InsertOutcome> Insert(const query::BgpQuery& q,
                                      std::uint64_t external_id = 0);
 
   /// Exact (isomorphism) lookup: the entry whose canonical form equals the

@@ -33,7 +33,7 @@ struct PreparedStored {
   query::QueryShape shape;
 };
 
-util::Result<PreparedStored> PrepareStored(const query::BgpQuery& w,
+[[nodiscard]] util::Result<PreparedStored> PrepareStored(const query::BgpQuery& w,
                                            rdf::TermDictionary* dict);
 
 /// Probe-side preparation (the Q of Q ⊑ W): witness construction plus the
@@ -94,7 +94,7 @@ CheckOutcome CheckPrepared(const PreparedProbe& probe,
 
 /// End-to-end convenience for tests and the pairwise baseline: prepares both
 /// sides and checks.  Q ⊑ W.
-util::Result<CheckOutcome> Check(const query::BgpQuery& q,
+[[nodiscard]] util::Result<CheckOutcome> Check(const query::BgpQuery& q,
                                  const query::BgpQuery& w,
                                  rdf::TermDictionary* dict,
                                  const CheckOptions& options = {});

@@ -4,10 +4,39 @@
 
 #include "query/canonical_label.h"
 
+#ifdef RDFC_PARANOID_CHECKS
+#include "index/validate.h"
+#endif
+
 namespace rdfc {
 namespace index {
 
 namespace {
+
+#ifdef RDFC_PARANOID_CHECKS
+/// Scope guard re-validating the whole index on every exit path of a
+/// mutation.  Compiled in only under -DRDFC_PARANOID_CHECKS=ON; the abort
+/// mirrors RDFC_CHECK semantics (invariant corruption is a programmer error).
+class ParanoidGuard {
+ public:
+  explicit ParanoidGuard(const MvIndex* index) : index_(index) {}
+  ~ParanoidGuard() {
+    const util::Status st = ValidateMvIndex(*index_);
+    if (!st.ok()) {
+      std::fprintf(stderr, "RDFC_PARANOID_CHECKS: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  }
+
+ private:
+  const MvIndex* index_;
+};
+#define RDFC_PARANOID_VALIDATE(index) ParanoidGuard paranoid_guard(index)
+#else
+#define RDFC_PARANOID_VALIDATE(index) \
+  do {                                \
+  } while (0)
+#endif
 
 /// Length of the common prefix of `label` and tokens[from..].
 std::size_t CommonPrefix(const std::vector<query::Token>& label,
@@ -25,6 +54,7 @@ std::size_t CommonPrefix(const std::vector<query::Token>& label,
 
 util::Result<MvIndex::InsertOutcome> MvIndex::Insert(
     const query::BgpQuery& w, std::uint64_t external_id) {
+  RDFC_PARANOID_VALIDATE(this);
   if (w.empty()) {
     return util::Status::InvalidArgument("cannot index an empty query");
   }
@@ -125,6 +155,7 @@ util::Result<MvIndex::InsertOutcome> MvIndex::Insert(
 }
 
 util::Status MvIndex::Remove(std::uint32_t stored_id) {
+  RDFC_PARANOID_VALIDATE(this);
   if (stored_id >= entries_.size() || !entries_[stored_id].alive) {
     return util::Status::NotFound("no live entry with id " +
                                   std::to_string(stored_id));

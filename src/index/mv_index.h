@@ -76,7 +76,7 @@ class MvIndex {
   /// (e.g. the position in a workload) recorded against the entry.
   /// Complexity: serialisation O(|W| log |W|) + radix insertion O(|Ws|)
   /// expected (hash-indexed edges, optimisation III).
-  util::Result<InsertOutcome> Insert(const query::BgpQuery& w,
+  [[nodiscard]] util::Result<InsertOutcome> Insert(const query::BgpQuery& w,
                                      std::uint64_t external_id = 0);
 
   /// Removes a stored entry (a "view dropped" event, the paper's future-work
@@ -87,7 +87,7 @@ class MvIndex {
   /// Returns NotFound for unknown or already-removed ids.  Stored ids are
   /// never reused; `entry(id)` stays valid for removed ids but `alive(id)`
   /// turns false.
-  util::Status Remove(std::uint32_t stored_id);
+  [[nodiscard]] util::Status Remove(std::uint32_t stored_id);
 
   bool alive(std::uint32_t stored_id) const {
     return stored_id < entries_.size() && entries_[stored_id].alive;
@@ -125,7 +125,7 @@ class MvIndex {
   /// stored query sets; external ids carried over, duplicates dedup onto
   /// existing entries).  Both indexes must share the same dictionary —
   /// the common case of sharding one workload across builders.
-  util::Status MergeFrom(const MvIndex& other);
+  [[nodiscard]] util::Status MergeFrom(const MvIndex& other);
 
   std::size_t num_entries() const { return entries_.size(); }
   std::size_t num_insertions() const { return num_insertions_; }

@@ -22,11 +22,11 @@ namespace index {
 ///
 /// Dead (Remove()d) entries are not persisted; stored ids are therefore NOT
 /// stable across a save/load cycle — external ids are the durable handles.
-util::Status SaveIndex(const MvIndex& index, const std::string& path);
+[[nodiscard]] util::Status SaveIndex(const MvIndex& index, const std::string& path);
 
 /// Loads a snapshot.  `dict` must be freshly constructed (terms are
 /// re-interned in file order); the returned index points at it.
-util::Result<std::unique_ptr<MvIndex>> LoadIndex(const std::string& path,
+[[nodiscard]] util::Result<std::unique_ptr<MvIndex>> LoadIndex(const std::string& path,
                                                  rdf::TermDictionary* dict);
 
 }  // namespace index

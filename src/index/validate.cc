@@ -1,0 +1,209 @@
+#include "index/validate.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "query/validate.h"
+
+namespace rdfc {
+namespace index {
+
+namespace {
+
+util::Status TreeError(std::size_t depth, const std::string& rule) {
+  return util::Status::Internal("radix invariant violated at depth " +
+                                std::to_string(depth) + ": " + rule);
+}
+
+struct TreeWalk {
+  std::size_t num_entries;
+  std::unordered_set<std::uint32_t> seen_ids;
+  std::size_t num_nodes = 0;
+
+  util::Status Visit(const RadixNode& node, std::size_t depth, bool is_root) {
+    ++num_nodes;
+    if (!is_root) {
+      // T4: unary non-query chains must have been merged away, empty leaves
+      // pruned.  (A query vertex may have any number of children.)
+      if (!node.is_query() && node.edges.size() < 2) {
+        return TreeError(depth,
+                         node.edges.empty()
+                             ? "non-query leaf (should have been pruned)"
+                             : "non-query unary vertex (should have been "
+                               "merged with its parent edge)");
+      }
+    }
+    for (std::uint32_t id : node.stored_ids) {
+      if (id >= num_entries) {
+        return TreeError(depth, "stored id " + std::to_string(id) +
+                                    " out of range (dangling terminal bit)");
+      }
+      if (!seen_ids.insert(id).second) {
+        return TreeError(depth, "stored id " + std::to_string(id) +
+                                    " appears on more than one vertex");
+      }
+    }
+    for (const auto& [first, edge] : node.edges) {
+      if (edge.label.empty()) {
+        return TreeError(depth, "empty edge label");  // T1
+      }
+      if (!(edge.label.front() == first)) {
+        return TreeError(depth,
+                         "edge keyed by a token that is not its label's "
+                         "first token");  // T2 (and with the map, T3)
+      }
+      if (edge.child == nullptr) {
+        return TreeError(depth, "edge with a null child");
+      }
+      RDFC_RETURN_NOT_OK(Visit(*edge.child, depth + 1, /*is_root=*/false));
+    }
+    return util::Status::OK();
+  }
+};
+
+}  // namespace
+
+util::Status ValidateRadixTree(const RadixNode& root, std::size_t num_entries) {
+  TreeWalk walk;
+  walk.num_entries = num_entries;
+  return walk.Visit(root, 0, /*is_root=*/true);
+}
+
+util::Status ValidateMvIndex(const MvIndex& index) {
+  RDFC_RETURN_NOT_OK(ValidateRadixTree(index.root(), index.num_entries()));
+
+  const rdf::TermDictionary& dict = *index.dict();
+
+  // M4/M1 (side list half): skeleton-free entries are live, unique, and have
+  // no serialised tokens.
+  std::unordered_set<std::uint32_t> on_side_list;
+  for (std::uint32_t id : index.skeleton_free_entries()) {
+    if (id >= index.num_entries() || !index.alive(id)) {
+      return util::Status::Internal("side list holds dead or dangling id " +
+                                    std::to_string(id));
+    }
+    if (!on_side_list.insert(id).second) {
+      return util::Status::Internal("side list holds id " +
+                                    std::to_string(id) + " twice");
+    }
+    if (!index.entry(id).tokens.empty()) {
+      return util::Status::Internal(
+          "entry " + std::to_string(id) +
+          " has a skeleton but sits on the skeleton-free side list");
+    }
+  }
+
+  std::size_t live = 0;
+  for (std::uint32_t id = 0; id < index.num_entries(); ++id) {
+    if (!index.alive(id)) continue;
+    ++live;
+    const containment::PreparedStored& stored = index.entry(id);
+    if (stored.tokens.empty()) {
+      if (on_side_list.count(id) == 0) {
+        return util::Status::Internal("skeleton-free entry " +
+                                      std::to_string(id) +
+                                      " missing from the side list");
+      }
+      continue;
+    }
+
+    // M3: grammar + round-trip identity against the canonical skeleton.
+    RDFC_RETURN_NOT_OK(query::ValidateSerialisation(stored.tokens, dict));
+    RDFC_ASSIGN_OR_RETURN(query::BgpQuery reparsed,
+                          query::ParseSerialisation(stored.tokens, dict));
+    query::BgpQuery skeleton;
+    skeleton.set_form(query::QueryForm::kAsk);
+    std::unordered_set<rdf::Triple, rdf::TripleHash> var_pred(
+        stored.var_pred_patterns.begin(), stored.var_pred_patterns.end());
+    for (const rdf::Triple& t : stored.canonical.patterns()) {
+      if (var_pred.count(t) == 0) skeleton.AddPattern(t);
+    }
+    if (!skeleton.SamePatterns(reparsed)) {
+      return util::Status::Internal(
+          "entry " + std::to_string(id) +
+          ": serialised tokens do not round-trip to the canonical skeleton");
+    }
+
+    // M2: prefix soundness — the token stream must walk edge labels exactly
+    // and terminate at the vertex holding this id.
+    const RadixNode* node = &index.root();
+    std::size_t i = 0;
+    while (i < stored.tokens.size()) {
+      auto it = node->edges.find(stored.tokens[i]);
+      if (it == node->edges.end()) {
+        return util::Status::Internal("entry " + std::to_string(id) +
+                                      ": no edge for token " +
+                                      std::to_string(i));
+      }
+      const std::vector<query::Token>& label = it->second.label;
+      if (i + label.size() > stored.tokens.size()) {
+        return util::Status::Internal(
+            "entry " + std::to_string(id) +
+            ": edge label overruns the entry's serialisation");
+      }
+      for (std::size_t k = 0; k < label.size(); ++k) {
+        if (!(label[k] == stored.tokens[i + k])) {
+          return util::Status::Internal(
+              "entry " + std::to_string(id) + ": edge label diverges at token " +
+              std::to_string(i + k) + " (prefix soundness)");
+        }
+      }
+      i += label.size();
+      node = it->second.child.get();
+    }
+    bool found = false;
+    for (std::uint32_t sid : node->stored_ids) found = found || sid == id;
+    if (!found) {
+      return util::Status::Internal(
+          "entry " + std::to_string(id) +
+          ": serialised path ends at a vertex that does not store it");
+    }
+  }
+
+  // M1 (tree half): every id the tree stores belongs to a live entry.  The
+  // tree walk above already guaranteed uniqueness and range; recount here.
+  std::size_t in_tree = 0;
+  std::vector<const RadixNode*> pending = {&index.root()};
+  while (!pending.empty()) {
+    const RadixNode* node = pending.back();
+    pending.pop_back();
+    for (std::uint32_t id : node->stored_ids) {
+      if (!index.alive(id)) {
+        return util::Status::Internal("tree stores dead entry " +
+                                      std::to_string(id));
+      }
+      ++in_tree;
+    }
+    for (const auto& [first, edge] : node->edges) {
+      (void)first;
+      pending.push_back(edge.child.get());
+    }
+  }
+  if (in_tree + on_side_list.size() != live) {
+    return util::Status::Internal(
+        "live-entry recount mismatch: tree=" + std::to_string(in_tree) +
+        " side=" + std::to_string(on_side_list.size()) +
+        " live=" + std::to_string(live));
+  }
+
+  // M5: incremental counters agree with a full recount.
+  const RadixStats stats = ComputeRadixStats(index.root());
+  if (stats.num_nodes != index.num_nodes()) {
+    return util::Status::Internal(
+        "num_nodes counter drifted: counter=" +
+        std::to_string(index.num_nodes()) +
+        " recount=" + std::to_string(stats.num_nodes));
+  }
+  if (live != index.num_live_entries()) {
+    return util::Status::Internal(
+        "num_live_entries counter drifted: counter=" +
+        std::to_string(index.num_live_entries()) +
+        " recount=" + std::to_string(live));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace index
+}  // namespace rdfc

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+#include "index/mv_index.h"
+#include "index/radix_node.h"
+#include "util/status.h"
+
+namespace rdfc {
+namespace index {
+
+/// Structural invariants of a radix (sub)tree, checked recursively:
+///
+///   T1  every edge label is non-empty (no empty-edge chains);
+///   T2  every edge is keyed in its parent's hash map by the label's first
+///       token (optimisation III — the probe walk relies on this);
+///   T3  sibling edges start with distinct tokens (key disjointness; the
+///       hash map enforces it for the keys, T2 extends it to the labels);
+///   T4  no non-root vertex is a non-query unary pass-through: an interior
+///       vertex either stores a query (L_Q) or branches (>= 2 edges), and a
+///       leaf always stores a query — otherwise insertion/removal failed to
+///       merge or prune it;
+///   T5  stored ids are strictly below `num_entries` and unique across the
+///       whole tree (a dangling or doubled terminal bit corrupts probe
+///       results silently).
+///
+/// `num_entries` defaults to "unknown" (no T5 range check).  Returns OK or an
+/// Internal Status naming the violated invariant and the path depth.
+[[nodiscard]] util::Status ValidateRadixTree(
+    const RadixNode& root,
+    std::size_t num_entries = std::numeric_limits<std::size_t>::max());
+
+/// Whole-index validation: ValidateRadixTree(root, num_entries) plus the
+/// cross-layer invariants tying the tree to the entry table:
+///
+///   M1  every stored id in the tree or on the skeleton-free side list refers
+///       to a live entry, and each live entry appears exactly once;
+///   M2  prefix soundness: walking a live entry's serialised tokens from the
+///       root consumes whole edge labels and ends exactly at the vertex that
+///       stores the entry's id;
+///   M3  each entry's token stream passes query::ValidateSerialisation, and
+///       parsing it back (query::ParseSerialisation) reproduces the entry's
+///       canonical skeleton — the Serialise ∘ Parse identity the paper's
+///       Theorem 4.2 tacitly assumes;
+///   M4  side-list entries are exactly the live entries with no skeleton;
+///   M5  the incremental num_nodes()/num_live_entries() counters agree with
+///       a full recount.
+///
+/// Cost: O(index size); meant for tests, rdfc_fuzz, and RDFC_PARANOID_CHECKS
+/// builds, not for production mutation paths.
+[[nodiscard]] util::Status ValidateMvIndex(const MvIndex& index);
+
+}  // namespace index
+}  // namespace rdfc

@@ -110,7 +110,7 @@ rdf::TermId ChooseAnchor(const BgpQuery& component);
 /// triple pattern is emitted exactly once; pairs whose target vertex was
 /// already visited encode cycle-closing edges.  `component` must be a single
 /// connected component with no variable predicates.  Appends to `out`.
-util::Status SerialiseComponent(const BgpQuery& component,
+[[nodiscard]] util::Status SerialiseComponent(const BgpQuery& component,
                                 rdf::TermDictionary* dict, rdf::TermId anchor,
                                 CanonicalMap* canonical,
                                 std::vector<Token>* out);
@@ -120,7 +120,7 @@ util::Status SerialiseComponent(const BgpQuery& component,
 /// joined with kSeparator tokens in a deterministic order (by first token).
 /// Returns InvalidArgument when the query has variable predicates (callers
 /// strip those first, Section 5.2) or is empty.
-util::Result<SerialisedQuery> SerialiseQuery(const BgpQuery& query,
+[[nodiscard]] util::Result<SerialisedQuery> SerialiseQuery(const BgpQuery& query,
                                              rdf::TermDictionary* dict,
                                              CanonicalMap* canonical);
 

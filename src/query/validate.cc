@@ -1,0 +1,205 @@
+#include "query/validate.h"
+
+#include <string>
+
+namespace rdfc {
+namespace query {
+
+namespace {
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kAnchor: return "anchor";
+    case TokenType::kPair: return "pair";
+    case TokenType::kOpen: return "open";
+    case TokenType::kClose: return "close";
+    case TokenType::kSeparator: return "separator";
+  }
+  return "?";
+}
+
+util::Status TokenError(std::size_t pos, const Token& tok,
+                        const std::string& rule) {
+  return util::Status::InvalidArgument("serialisation token " +
+                                       std::to_string(pos) + " (" +
+                                       TokenTypeName(tok.type) + "): " + rule);
+}
+
+/// Payload rules per token type; delimiters must carry null fields so that
+/// Token equality (and hence radix-edge matching) never depends on stale
+/// payload bits.
+util::Status CheckFields(std::size_t pos, const Token& tok,
+                         const rdf::TermDictionary& dict) {
+  switch (tok.type) {
+    case TokenType::kAnchor:
+      if (tok.term == rdf::kNullTerm) {
+        return TokenError(pos, tok, "anchor has a null term");
+      }
+      if (tok.pred != rdf::kNullTerm || tok.inverse) {
+        return TokenError(pos, tok, "anchor carries pair payload fields");
+      }
+      break;
+    case TokenType::kPair:
+      if (tok.pred == rdf::kNullTerm || tok.term == rdf::kNullTerm) {
+        return TokenError(pos, tok, "pair has a null predicate or target");
+      }
+      if (dict.Valid(tok.pred) && dict.IsVariable(tok.pred)) {
+        return TokenError(pos, tok,
+                          "pair predicate is a variable (Section 5.2 "
+                          "patterns must be stripped before serialisation)");
+      }
+      break;
+    case TokenType::kOpen:
+    case TokenType::kClose:
+    case TokenType::kSeparator:
+      if (tok.pred != rdf::kNullTerm || tok.term != rdf::kNullTerm ||
+          tok.inverse) {
+        return TokenError(pos, tok, "delimiter carries payload fields");
+      }
+      break;
+  }
+  return util::Status::OK();
+}
+
+/// Shared grammar walk.  When `out` is non-null, reconstructs the skeleton
+/// into it (ParseSerialisation); with a null `out` it is a pure validation
+/// pass (ValidateSerialisation).
+util::Status Walk(const std::vector<Token>& tokens,
+                  const rdf::TermDictionary& dict, BgpQuery* out) {
+  if (tokens.empty()) {
+    return util::Status::InvalidArgument(
+        "serialisation is empty (queries without a skeleton are kept on the "
+        "side list, never serialised)");
+  }
+  // `stack` holds the vertex each open parenthesis group is anchored at;
+  // `attach` is the vertex a kOpen seen next would attach to (the component
+  // anchor right after kAnchor, else the previous pair's target).
+  std::vector<rdf::TermId> stack;
+  rdf::TermId attach = rdf::kNullTerm;
+  TokenType prev = TokenType::kSeparator;  // sentinel: stream start
+  bool group_has_pair = false;             // current group emitted >= 1 pair
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    RDFC_RETURN_NOT_OK(CheckFields(i, tok, dict));
+    switch (tok.type) {
+      case TokenType::kAnchor:
+        if (prev != TokenType::kSeparator) {
+          return TokenError(i, tok,
+                            "anchor not at a component start (anchors only "
+                            "follow a separator or open the stream)");
+        }
+        attach = tok.term;
+        break;
+      case TokenType::kOpen:
+        if (prev != TokenType::kAnchor && prev != TokenType::kPair) {
+          return TokenError(i, tok, "open must follow an anchor or a pair");
+        }
+        stack.push_back(attach);
+        group_has_pair = false;
+        break;
+      case TokenType::kPair: {
+        if (prev != TokenType::kOpen && prev != TokenType::kPair &&
+            prev != TokenType::kClose) {
+          return TokenError(i, tok, "pair outside a parenthesis group");
+        }
+        if (stack.empty()) {
+          return TokenError(i, tok, "pair at parenthesis depth 0");
+        }
+        const rdf::TermId vertex = stack.back();
+        if (out != nullptr) {
+          const rdf::Triple triple = tok.inverse
+                                         ? rdf::Triple(tok.term, tok.pred, vertex)
+                                         : rdf::Triple(vertex, tok.pred, tok.term);
+          if (!out->AddPattern(triple)) {
+            return TokenError(i, tok,
+                              "duplicate triple pattern (Algorithm 1 emits "
+                              "every pattern exactly once)");
+          }
+        }
+        attach = tok.term;
+        group_has_pair = true;
+        break;
+      }
+      case TokenType::kClose:
+        if (stack.empty()) {
+          return TokenError(i, tok, "unbalanced close parenthesis");
+        }
+        if (!group_has_pair) {
+          return TokenError(i, tok, "empty parenthesis group");
+        }
+        stack.pop_back();
+        // The enclosing group (if any) necessarily emitted a pair already —
+        // its open can only have been followed by pairs or this subtree.
+        group_has_pair = !stack.empty();
+        break;
+      case TokenType::kSeparator:
+        if (!stack.empty()) {
+          return TokenError(i, tok,
+                            "component separator inside an open parenthesis "
+                            "group");
+        }
+        if (prev != TokenType::kClose) {
+          return TokenError(i, tok, "separator must follow a closed component");
+        }
+        break;
+    }
+    prev = tok.type;
+  }
+  if (!stack.empty()) {
+    return util::Status::InvalidArgument(
+        "serialisation ends with " + std::to_string(stack.size()) +
+        " unbalanced open parenthesis group(s)");
+  }
+  if (prev != TokenType::kClose) {
+    return util::Status::InvalidArgument(
+        "serialisation ends mid-component (trailing " +
+        std::string(TokenTypeName(prev)) + ")");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Status ValidateSerialisation(const std::vector<Token>& tokens,
+                                   const rdf::TermDictionary& dict) {
+  return Walk(tokens, dict, nullptr);
+}
+
+util::Result<BgpQuery> ParseSerialisation(const std::vector<Token>& tokens,
+                                          const rdf::TermDictionary& dict) {
+  BgpQuery out;
+  out.set_form(QueryForm::kAsk);
+  RDFC_RETURN_NOT_OK(Walk(tokens, dict, &out));
+  return out;
+}
+
+util::Status ValidateRoundTrip(const BgpQuery& query,
+                               rdf::TermDictionary* dict) {
+  CanonicalMap canonical(dict);
+  RDFC_ASSIGN_OR_RETURN(SerialisedQuery serialised,
+                        SerialiseQuery(query, dict, &canonical));
+  RDFC_RETURN_NOT_OK(ValidateSerialisation(serialised.tokens, *dict));
+  RDFC_ASSIGN_OR_RETURN(BgpQuery reparsed,
+                        ParseSerialisation(serialised.tokens, *dict));
+
+  // The reconstruction lives in canonical variable space; rename the original
+  // through the same CanonicalMap the serialisation used and compare pattern
+  // sets.  (Predicates are constants here, SerialiseQuery already rejected
+  // variable predicates.)
+  BgpQuery expected;
+  expected.set_form(QueryForm::kAsk);
+  for (const rdf::Triple& t : query.patterns()) {
+    expected.AddPattern(canonical.Canonicalise(t.s), t.p,
+                        canonical.Canonicalise(t.o));
+  }
+  if (!expected.SamePatterns(reparsed)) {
+    return util::Status::Internal(
+        "serialisation round-trip mismatch:\noriginal (canonicalised):\n" +
+        expected.ToString(*dict) + "reparsed:\n" + reparsed.ToString(*dict));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace query
+}  // namespace rdfc

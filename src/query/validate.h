@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "query/bgp_query.h"
+#include "query/serialisation.h"
+#include "rdf/dictionary.h"
+#include "util/status.h"
+
+namespace rdfc {
+namespace query {
+
+/// Self-verification for the Algorithm-1 token-stream grammar.  A serialised
+/// query must match
+///
+///   stream    := component (Separator component)*
+///   component := Anchor subtree
+///   subtree   := Open (Pair subtree?)+ Close
+///
+/// with the well-formedness rules the rest of the stack silently relies on:
+/// balanced parentheses, no empty `()` groups, anchors only at component
+/// starts, `⟨p,o⟩`/`⟨p⁻¹,s⟩` pairs carrying a non-null constant predicate
+/// (variable predicates are stripped before serialisation, Section 5.2), and
+/// delimiter tokens with null payload fields.  Returns OK or an
+/// InvalidArgument Status naming the offending token position and rule.
+[[nodiscard]] util::Status ValidateSerialisation(const std::vector<Token>& tokens,
+                                                 const rdf::TermDictionary& dict);
+
+/// Inverse of Algorithm 1: reconstructs the BGP skeleton a token stream
+/// encodes (in the stream's own — canonical — variable space).  The losslessness
+/// deviation in DESIGN.md is exactly what makes this total on valid streams.
+/// Fails with the ValidateSerialisation diagnosis on malformed streams and on
+/// streams that emit the same triple pattern twice.
+[[nodiscard]] util::Result<BgpQuery> ParseSerialisation(
+    const std::vector<Token>& tokens, const rdf::TermDictionary& dict);
+
+/// Round-trip identity `Parse ∘ Serialise = id` for a query without variable
+/// predicates: serialises `query`, validates the stream, parses it back, and
+/// compares the reconstructed pattern set against the canonicalised original.
+/// Any mismatch means Algorithm 1 dropped or invented a constraint — the
+/// exact failure mode that silently breaks the index's containment answers.
+[[nodiscard]] util::Status ValidateRoundTrip(const BgpQuery& query,
+                                             rdf::TermDictionary* dict);
+
+}  // namespace query
+}  // namespace rdfc

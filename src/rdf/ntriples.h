@@ -16,7 +16,7 @@ std::string WriteNTriples(const Graph& graph, const TermDictionary& dict);
 /// Parses an N-Triples document.  N-Triples is a syntactic subset of the
 /// Turtle dialect the library ships, so this delegates to ParseTurtle after
 /// a cheap well-formedness scan (no prefixes or sugar allowed).
-util::Status ParseNTriples(std::string_view text, TermDictionary* dict,
+[[nodiscard]] util::Status ParseNTriples(std::string_view text, TermDictionary* dict,
                            Graph* graph);
 
 }  // namespace rdf

@@ -16,7 +16,7 @@ namespace rdf {
 /// `^^datatype`, integer/decimal/boolean shorthand literals, blank nodes
 /// `_:label`, predicate lists with `;`, object lists with `,`, and `#`
 /// comments.
-util::Status ParseTurtle(std::string_view text, TermDictionary* dict,
+[[nodiscard]] util::Status ParseTurtle(std::string_view text, TermDictionary* dict,
                          Graph* graph);
 
 }  // namespace rdf

@@ -112,7 +112,7 @@ class ViewExecutor {
   RDFC_DISALLOW_COPY_AND_ASSIGN(ViewExecutor);
 
   /// Registers and materialises a view; returns its id.
-  util::Result<std::uint32_t> AddView(const query::BgpQuery& definition);
+  [[nodiscard]] util::Result<std::uint32_t> AddView(const query::BgpQuery& definition);
 
   const MaterialisedView& view(std::uint32_t id) const { return views_[id]; }
   std::size_t num_views() const { return views_.size(); }

@@ -45,7 +45,7 @@ struct ViewSelectionResult {
 /// *contains* (computable for all candidates with one index probe per
 /// distinct query); selection is greedy weighted max-coverage under a view
 /// budget.  The chosen views feed directly into ViewExecutor/SemanticCache.
-util::Result<ViewSelectionResult> SelectViews(
+[[nodiscard]] util::Result<ViewSelectionResult> SelectViews(
     const std::vector<query::BgpQuery>& workload, rdf::TermDictionary* dict,
     const ViewSelectionOptions& options = {});
 

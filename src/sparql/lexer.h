@@ -43,7 +43,7 @@ const char* TokenTypeName(TokenType type);
 
 /// Tokenises a SPARQL query string.  Comments (`#` to end of line) and
 /// whitespace are skipped.  Keywords are upper-cased in `text`.
-util::Result<std::vector<SparqlToken>> Tokenize(std::string_view text);
+[[nodiscard]] util::Result<std::vector<SparqlToken>> Tokenize(std::string_view text);
 
 }  // namespace sparql
 }  // namespace rdfc

@@ -35,7 +35,7 @@ struct ParserOptions {
 ///
 /// All terms are interned into `dict`.  Blank nodes in queries become fresh
 /// variables named `_bnN`.
-util::Result<query::BgpQuery> ParseQuery(std::string_view text,
+[[nodiscard]] util::Result<query::BgpQuery> ParseQuery(std::string_view text,
                                          rdf::TermDictionary* dict,
                                          const ParserOptions& options = {});
 
@@ -52,7 +52,7 @@ struct ParsedUnionQuery {
 
 /// Like ParseQuery but accepting UNION bodies.  ParseQuery rejects unions
 /// (callers that can only handle conjunctive queries keep a clear error).
-util::Result<ParsedUnionQuery> ParseUnionQuery(
+[[nodiscard]] util::Result<ParsedUnionQuery> ParseUnionQuery(
     std::string_view text, rdf::TermDictionary* dict,
     const ParserOptions& options = {});
 

@@ -23,7 +23,11 @@ enum class StatusCode {
 
 /// Returned by operations that can fail without a payload.  Mirrors the
 /// RocksDB/Arrow convention: no exceptions cross library boundaries.
-class Status {
+///
+/// The class itself is [[nodiscard]]: a caller that drops a Status on the
+/// floor is a compile-time warning everywhere and an error under
+/// RDFC_WERROR (CI).  Use RDFC_RETURN_NOT_OK or branch on ok().
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -62,9 +66,11 @@ class Status {
 };
 
 /// Value-or-error holder.  `value()` aborts if the result holds an error, so
-/// callers either branch on `ok()` or use RDFC_ASSIGN_OR_RETURN.
+/// callers either branch on `ok()` or use RDFC_ASSIGN_OR_RETURN.  Like
+/// Status, the type is [[nodiscard]]: ignoring a Result silently drops both
+/// the payload and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : payload_(std::move(value)) {}          // NOLINT(runtime/explicit)
   Result(Status status) : payload_(std::move(status)) {    // NOLINT(runtime/explicit)
@@ -74,9 +80,12 @@ class Result {
   bool ok() const { return std::holds_alternative<T>(payload_); }
 
   const Status& status() const {
+    // get_if (not ok() + get) so GCC's flow analysis can see that the error
+    // alternative is only read when it is the engaged one; the branchy form
+    // trips -Wmaybe-uninitialized at -O2 when inlined into callers.
     static const Status ok_status = Status::OK();
-    if (ok()) return ok_status;
-    return std::get<Status>(payload_);
+    const Status* error = std::get_if<Status>(&payload_);
+    return error == nullptr ? ok_status : *error;
   }
 
   T& value() & {

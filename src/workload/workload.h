@@ -84,7 +84,7 @@ std::vector<query::BgpQuery> GenerateLdbc(rdf::TermDictionary* dict,
 // --- LUBM (faithful) --------------------------------------------------------
 
 /// The 14 LUBM queries (hand-translated BGPs over univ-bench).
-util::Result<std::vector<query::BgpQuery>> LubmQueries(
+[[nodiscard]] util::Result<std::vector<query::BgpQuery>> LubmQueries(
     rdf::TermDictionary* dict);
 
 /// The univ-bench class/property hierarchy with domains and ranges, as an
@@ -96,7 +96,7 @@ rdfs::RdfsSchema LubmSchema(rdf::TermDictionary* dict);
 /// predicates with super/sub-properties, (iii) occasionally adding
 /// domain/range-derived type triples — so correct containment answers
 /// require the RDFS extension step.
-util::Result<std::vector<query::BgpQuery>> GenerateLubmExtended(
+[[nodiscard]] util::Result<std::vector<query::BgpQuery>> GenerateLubmExtended(
     rdf::TermDictionary* dict, std::size_t n, std::uint64_t seed);
 
 // --- Combined ---------------------------------------------------------------

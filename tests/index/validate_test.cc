@@ -1,0 +1,262 @@
+#include "index/validate.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "index/mv_index.h"
+#include "sparql/parser.h"
+
+namespace rdfc {
+namespace index {
+namespace {
+
+using query::Token;
+
+/// Builders for hand-made (and hand-corrupted) radix trees.  The struct is
+/// POD-open on purpose — these tests construct exactly the corruptions the
+/// validator exists to catch.
+RadixNode::Edge MakeEdge(std::vector<Token> label,
+                         std::unique_ptr<RadixNode> child) {
+  RadixNode::Edge edge;
+  edge.label = std::move(label);
+  edge.child = std::move(child);
+  return edge;
+}
+
+class RadixValidateTest : public ::testing::Test {
+ protected:
+  Token Anchor() { return Token::Anchor(dict_.CanonicalVariable(1)); }
+  Token Pair(const char* pred) {
+    return Token::Pair(dict_.MakeIri(pred), dict_.CanonicalVariable(2), false);
+  }
+
+  rdf::TermDictionary dict_;
+};
+
+TEST_F(RadixValidateTest, AcceptsEmptyAndSimpleTrees) {
+  RadixNode root;
+  EXPECT_TRUE(ValidateRadixTree(root).ok());
+
+  auto leaf = std::make_unique<RadixNode>();
+  leaf->stored_ids.push_back(0);
+  const std::vector<Token> label = {Anchor(), Token::Open(), Pair("urn:p"),
+                                    Token::Close()};
+  root.edges.emplace(label.front(), MakeEdge(label, std::move(leaf)));
+  EXPECT_TRUE(ValidateRadixTree(root, /*num_entries=*/1).ok());
+}
+
+TEST_F(RadixValidateTest, RejectsEmptyEdgeLabel) {
+  RadixNode root;
+  auto leaf = std::make_unique<RadixNode>();
+  leaf->stored_ids.push_back(0);
+  root.edges.emplace(Anchor(), MakeEdge({}, std::move(leaf)));
+  const util::Status st = ValidateRadixTree(root, 1);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("empty edge label"), std::string::npos);
+}
+
+TEST_F(RadixValidateTest, RejectsBadChildKeying) {
+  RadixNode root;
+  auto leaf = std::make_unique<RadixNode>();
+  leaf->stored_ids.push_back(0);
+  // Edge keyed by a token that is not its label's first token.
+  root.edges.emplace(Pair("urn:wrong"),
+                     MakeEdge({Anchor(), Token::Open(), Pair("urn:p"),
+                               Token::Close()},
+                              std::move(leaf)));
+  const util::Status st = ValidateRadixTree(root, 1);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("not its label's first token"),
+            std::string::npos);
+}
+
+TEST_F(RadixValidateTest, RejectsNonQueryUnaryChain) {
+  // root --[anchor]--> mid(non-query, single child) --[pair]--> leaf(query):
+  // mid should have been merged into its parent edge.
+  auto leaf = std::make_unique<RadixNode>();
+  leaf->stored_ids.push_back(0);
+  auto mid = std::make_unique<RadixNode>();
+  mid->edges.emplace(Pair("urn:p"),
+                     MakeEdge({Pair("urn:p"), Token::Close()}, std::move(leaf)));
+  RadixNode root;
+  root.edges.emplace(Anchor(),
+                     MakeEdge({Anchor(), Token::Open()}, std::move(mid)));
+  const util::Status st = ValidateRadixTree(root, 1);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unary vertex"), std::string::npos);
+}
+
+TEST_F(RadixValidateTest, RejectsNonQueryLeaf) {
+  RadixNode root;
+  root.edges.emplace(Anchor(), MakeEdge({Anchor()},
+                                        std::make_unique<RadixNode>()));
+  const util::Status st = ValidateRadixTree(root, 1);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("non-query leaf"), std::string::npos);
+}
+
+TEST_F(RadixValidateTest, RejectsDanglingStoredId) {
+  RadixNode root;
+  auto leaf = std::make_unique<RadixNode>();
+  leaf->stored_ids.push_back(7);  // only entries [0, 1) exist
+  root.edges.emplace(Anchor(), MakeEdge({Anchor()}, std::move(leaf)));
+  const util::Status st = ValidateRadixTree(root, 1);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("dangling terminal bit"), std::string::npos);
+}
+
+TEST_F(RadixValidateTest, RejectsDoubledStoredId) {
+  RadixNode root;
+  root.stored_ids.push_back(0);
+  auto leaf = std::make_unique<RadixNode>();
+  leaf->stored_ids.push_back(0);
+  root.edges.emplace(Anchor(), MakeEdge({Anchor()}, std::move(leaf)));
+  const util::Status st = ValidateRadixTree(root, 1);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("more than one vertex"), std::string::npos);
+}
+
+TEST_F(RadixValidateTest, RejectsNullChild) {
+  RadixNode root;
+  root.edges.emplace(Anchor(), MakeEdge({Anchor()}, nullptr));
+  const util::Status st = ValidateRadixTree(root, 1);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("null child"), std::string::npos);
+}
+
+/// Whole-index validation: build a healthy index through the public API,
+/// then corrupt the tree in place (white-box, via const_cast) and check the
+/// cross-layer rules fire.
+class MvIndexValidateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index_ = std::make_unique<MvIndex>(&dict_);
+    Insert("ASK { ?x <urn:p> ?y }");
+    Insert("ASK { ?x <urn:p> ?y . ?y <urn:q> ?z }");
+    Insert("ASK { ?x <urn:r> ?y }");
+    Insert("ASK { ?x ?vp ?y }");  // skeleton-free (side list)
+    ASSERT_TRUE(ValidateMvIndex(*index_).ok());
+  }
+
+  void Insert(const std::string& text) {
+    auto q = sparql::ParseQuery(text, &dict_);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    auto outcome = index_->Insert(*q);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  }
+
+  RadixNode& MutableRoot() {
+    return const_cast<RadixNode&>(index_->root());
+  }
+
+  rdf::TermDictionary dict_;
+  std::unique_ptr<MvIndex> index_;
+};
+
+TEST_F(MvIndexValidateTest, HealthyIndexStaysValidUnderChurn) {
+  ASSERT_TRUE(index_->Remove(1).ok());
+  EXPECT_TRUE(ValidateMvIndex(*index_).ok());
+  Insert("ASK { ?x <urn:p> ?y . ?y <urn:q> <urn:c> }");
+  EXPECT_TRUE(ValidateMvIndex(*index_).ok());
+}
+
+TEST_F(MvIndexValidateTest, DetectsDetachedEntry) {
+  // Drop a terminal bit: some live entry's path now ends at a vertex that
+  // does not store it.
+  std::function<bool(RadixNode*)> drop_first_terminal =
+      [&](RadixNode* node) -> bool {
+    if (node->is_query()) {
+      node->stored_ids.clear();
+      return true;
+    }
+    for (auto& [first, edge] : node->edges) {
+      (void)first;
+      if (drop_first_terminal(edge.child.get())) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(drop_first_terminal(&MutableRoot()));
+  const util::Status st = ValidateMvIndex(*index_);
+  ASSERT_FALSE(st.ok());
+}
+
+TEST_F(MvIndexValidateTest, DetectsEntryTokenGrammarCorruption) {
+  // Corrupt a stored entry's own token stream (not the tree): the M3
+  // grammar/round-trip rule fires even though the tree is untouched.
+  auto& stored = const_cast<containment::PreparedStored&>(index_->entry(0));
+  ASSERT_FALSE(stored.tokens.empty());
+  for (query::Token& tok : stored.tokens) {
+    if (tok.type == query::TokenType::kOpen) {
+      tok.type = query::TokenType::kClose;
+    }
+  }
+  const util::Status st = ValidateMvIndex(*index_);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("serialisation token"), std::string::npos);
+}
+
+TEST_F(MvIndexValidateTest, DetectsLabelCorruption) {
+  // Append a stray token to an edge label: prefix soundness breaks (and with
+  // it, every probe that walks through this edge).
+  auto& edges = MutableRoot().edges;
+  ASSERT_FALSE(edges.empty());
+  edges.begin()->second.label.push_back(Token::Close());
+  const util::Status st = ValidateMvIndex(*index_);
+  ASSERT_FALSE(st.ok());
+}
+
+TEST_F(MvIndexValidateTest, DetectsGrammarCorruptionInLabels) {
+  // Rewrite an edge label into an ungrammatical stream (close with no open):
+  // the entry's serialisation no longer matches the edge labels along its
+  // path, so prefix soundness (M2) reports the divergence.
+  auto& edges = MutableRoot().edges;
+  ASSERT_FALSE(edges.empty());
+  std::vector<Token>& label = edges.begin()->second.label;
+  for (Token& tok : label) {
+    if (tok.type == query::TokenType::kOpen) tok.type = query::TokenType::kClose;
+  }
+  const util::Status st = ValidateMvIndex(*index_);
+  ASSERT_FALSE(st.ok());
+}
+
+TEST_F(MvIndexValidateTest, DetectsCounterDrift) {
+  // Graft a bogus branch vertex under the root: num_nodes() recount diverges.
+  auto extra_leaf = std::make_unique<RadixNode>();
+  extra_leaf->stored_ids.push_back(0);  // also doubles entry 0 elsewhere
+  MutableRoot().edges.emplace(
+      Token::Pair(dict_.MakeIri("urn:bogus"), dict_.CanonicalVariable(1),
+                  false),
+      RadixNode::Edge{{Token::Pair(dict_.MakeIri("urn:bogus"),
+                                   dict_.CanonicalVariable(1), false)},
+                      std::move(extra_leaf)});
+  const util::Status st = ValidateMvIndex(*index_);
+  ASSERT_FALSE(st.ok());
+}
+
+TEST_F(MvIndexValidateTest, FuzzStyleChurnKeepsInvariants) {
+  // A mixed insert/remove exercise mirroring the rdfc_fuzz wiring, with the
+  // validator run after every mutation.
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    auto q = sparql::ParseQuery(
+        "ASK { ?x <urn:p" + std::to_string(i % 3) + "> ?y . ?y <urn:q" +
+            std::to_string(i % 2) + "> ?z }",
+        &dict_);
+    ASSERT_TRUE(q.ok());
+    auto outcome = index_->Insert(*q, i);
+    ASSERT_TRUE(outcome.ok());
+    ids.push_back(outcome->stored_id);
+    ASSERT_TRUE(ValidateMvIndex(*index_).ok());
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    if (!index_->alive(ids[i])) continue;
+    ASSERT_TRUE(index_->Remove(ids[i]).ok());
+    const util::Status st = ValidateMvIndex(*index_);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace rdfc

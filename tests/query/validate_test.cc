@@ -1,0 +1,207 @@
+#include "query/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "query/serialisation.h"
+#include "sparql/parser.h"
+
+namespace rdfc {
+namespace query {
+namespace {
+
+/// Seeded-corruption suite: each test damages a token stream in one specific
+/// way and asserts the validator names that rule.  Keeping the assertions on
+/// message substrings pins the diagnostics to stay useful, not just non-OK.
+class SerialisationValidateTest : public ::testing::Test {
+ protected:
+  /// Serialised tokens of a query given in SPARQL.
+  std::vector<Token> Tokens(const std::string& text) {
+    auto q = sparql::ParseQuery(text, &dict_);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    CanonicalMap canonical(&dict_);
+    auto serialised = SerialiseQuery(*q, &dict_, &canonical);
+    EXPECT_TRUE(serialised.ok()) << serialised.status().ToString();
+    return serialised->tokens;
+  }
+
+  util::Status Validate(const std::vector<Token>& tokens) {
+    return ValidateSerialisation(tokens, dict_);
+  }
+
+  rdf::TermDictionary dict_;
+};
+
+TEST_F(SerialisationValidateTest, AcceptsWellFormedStreams) {
+  EXPECT_TRUE(Validate(Tokens("ASK { ?x <urn:p> ?y }")).ok());
+  EXPECT_TRUE(
+      Validate(Tokens("ASK { ?x <urn:p> ?y . ?y <urn:q> ?z }")).ok());
+  // Star, cycle, and self-loop shapes.
+  EXPECT_TRUE(Validate(Tokens("ASK { ?x <urn:p> ?a . ?x <urn:q> ?b }")).ok());
+  EXPECT_TRUE(Validate(
+                  Tokens("ASK { ?x <urn:p> ?y . ?y <urn:q> ?x }"))
+                  .ok());
+  EXPECT_TRUE(Validate(Tokens("ASK { ?x <urn:p> ?x }")).ok());
+  // Disconnected query: two components joined by a separator.
+  EXPECT_TRUE(Validate(
+                  Tokens("ASK { ?a <urn:p> ?b . ?c <urn:q> ?d }"))
+                  .ok());
+}
+
+TEST_F(SerialisationValidateTest, RejectsEmptyStream) {
+  const util::Status st = Validate({});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("empty"), std::string::npos);
+}
+
+TEST_F(SerialisationValidateTest, RejectsDroppedClose) {
+  std::vector<Token> tokens = Tokens("ASK { ?x <urn:p> ?y }");
+  tokens.pop_back();  // drop the final kClose
+  const util::Status st = Validate(tokens);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unbalanced open"), std::string::npos);
+}
+
+TEST_F(SerialisationValidateTest, RejectsExtraClose) {
+  std::vector<Token> tokens = Tokens("ASK { ?x <urn:p> ?y }");
+  tokens.push_back(Token::Close());
+  const util::Status st = Validate(tokens);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unbalanced close"), std::string::npos);
+}
+
+TEST_F(SerialisationValidateTest, RejectsAnchorMidComponent) {
+  std::vector<Token> tokens = Tokens("ASK { ?x <urn:p> ?y }");
+  tokens.insert(tokens.begin() + 2, Token::Anchor(dict_.CanonicalVariable(1)));
+  const util::Status st = Validate(tokens);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("component start"), std::string::npos);
+}
+
+TEST_F(SerialisationValidateTest, RejectsPairBeforeAnchor) {
+  std::vector<Token> tokens = Tokens("ASK { ?x <urn:p> ?y }");
+  tokens.erase(tokens.begin());  // strip the anchor; stream now opens on `(`
+  const util::Status st = Validate(tokens);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("open must follow an anchor"), std::string::npos);
+}
+
+TEST_F(SerialisationValidateTest, RejectsEmptyGroup) {
+  const rdf::TermId v = dict_.CanonicalVariable(1);
+  const util::Status st =
+      Validate({Token::Anchor(v), Token::Open(), Token::Close()});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("empty parenthesis group"), std::string::npos);
+}
+
+TEST_F(SerialisationValidateTest, RejectsNullPairPayload) {
+  std::vector<Token> tokens = Tokens("ASK { ?x <urn:p> ?y }");
+  for (Token& tok : tokens) {
+    if (tok.type == TokenType::kPair) tok.pred = rdf::kNullTerm;
+  }
+  const util::Status st = Validate(tokens);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("null predicate"), std::string::npos);
+}
+
+TEST_F(SerialisationValidateTest, RejectsVariablePredicate) {
+  std::vector<Token> tokens = Tokens("ASK { ?x <urn:p> ?y }");
+  for (Token& tok : tokens) {
+    if (tok.type == TokenType::kPair) tok.pred = dict_.MakeVariable("vp");
+  }
+  const util::Status st = Validate(tokens);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("variable"), std::string::npos);
+}
+
+TEST_F(SerialisationValidateTest, RejectsPayloadOnDelimiters) {
+  std::vector<Token> tokens = Tokens("ASK { ?x <urn:p> ?y }");
+  for (Token& tok : tokens) {
+    if (tok.type == TokenType::kOpen) tok.term = dict_.CanonicalVariable(1);
+  }
+  const util::Status st = Validate(tokens);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("delimiter carries payload"), std::string::npos);
+}
+
+TEST_F(SerialisationValidateTest, RejectsAnchorWithPairPayload) {
+  std::vector<Token> tokens = Tokens("ASK { ?x <urn:p> ?y }");
+  tokens.front().inverse = true;
+  const util::Status st = Validate(tokens);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("anchor carries pair payload"),
+            std::string::npos);
+}
+
+TEST_F(SerialisationValidateTest, RejectsTruncatedComponent) {
+  const rdf::TermId v = dict_.CanonicalVariable(1);
+  const util::Status st = Validate({Token::Anchor(v)});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("mid-component"), std::string::npos);
+}
+
+TEST_F(SerialisationValidateTest, RejectsSeparatorInsideGroup) {
+  std::vector<Token> tokens = Tokens("ASK { ?x <urn:p> ?y }");
+  tokens.insert(tokens.end() - 1, Token::Separator());
+  const util::Status st = Validate(tokens);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("inside an open parenthesis"), std::string::npos);
+}
+
+TEST_F(SerialisationValidateTest, ParseRejectsDuplicatePattern) {
+  const rdf::TermId v1 = dict_.CanonicalVariable(1);
+  const rdf::TermId v2 = dict_.CanonicalVariable(2);
+  const rdf::TermId p = dict_.MakeIri("urn:p");
+  const auto parsed = ParseSerialisation(
+      {Token::Anchor(v1), Token::Open(), Token::Pair(p, v2, false),
+       Token::Pair(p, v2, false), Token::Close()},
+      dict_);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("duplicate triple pattern"),
+            std::string::npos);
+}
+
+TEST_F(SerialisationValidateTest, ParseReconstructsSkeleton) {
+  const std::vector<Token> tokens =
+      Tokens("ASK { ?x <urn:p> ?y . ?y <urn:q> <urn:c> . ?z <urn:r> ?y }");
+  const auto parsed = ParseSerialisation(tokens, dict_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->size(), 3u);
+}
+
+class RoundTripTest : public ::testing::Test {
+ protected:
+  util::Status RoundTrip(const std::string& text) {
+    auto q = sparql::ParseQuery(text, &dict_);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return ValidateRoundTrip(*q, &dict_);
+  }
+
+  rdf::TermDictionary dict_;
+};
+
+TEST_F(RoundTripTest, HoldsAcrossShapes) {
+  EXPECT_TRUE(RoundTrip("ASK { ?x <urn:p> ?y }").ok());
+  // Chain, star, cycle, self-loop, constants, inverse orientation.
+  EXPECT_TRUE(
+      RoundTrip("ASK { ?x <urn:p> ?y . ?y <urn:q> ?z . ?z <urn:r> ?w }").ok());
+  EXPECT_TRUE(
+      RoundTrip("ASK { ?x <urn:p> ?a . ?x <urn:q> ?b . ?x <urn:r> ?c }").ok());
+  EXPECT_TRUE(
+      RoundTrip("ASK { ?x <urn:p> ?y . ?y <urn:q> ?z . ?z <urn:r> ?x }").ok());
+  EXPECT_TRUE(RoundTrip("ASK { ?x <urn:p> ?x . ?x <urn:q> <urn:c> }").ok());
+  EXPECT_TRUE(RoundTrip("ASK { <urn:a> <urn:p> ?x . ?y <urn:q> ?x }").ok());
+  // Disconnected (multi-component) queries.
+  EXPECT_TRUE(RoundTrip("ASK { ?a <urn:p> ?b . ?c <urn:q> ?d }").ok());
+  // Blank nodes canonicalise like variables.
+  EXPECT_TRUE(RoundTrip("ASK { _:b <urn:p> ?x }").ok());
+}
+
+TEST_F(RoundTripTest, PropagatesVarPredicateRejection) {
+  const util::Status st = RoundTrip("ASK { ?x ?p ?y }");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("variable predicates"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace rdfc

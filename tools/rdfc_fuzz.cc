@@ -21,6 +21,8 @@
 #include "containment/pipeline.h"
 #include "eval/evaluator.h"
 #include "index/mv_index.h"
+#include "index/validate.h"
+#include "query/validate.h"
 #include "sparql/writer.h"
 #include "tool_util.h"
 #include "util/rng.h"
@@ -98,6 +100,15 @@ int main(int argc, char** argv) {
     const query::BgpQuery q = gen.Draw(max_triples, var_preds);
     const query::BgpQuery w = gen.Draw(max_triples - 1, var_preds);
 
+    // Self-verification: Algorithm 1 must produce a grammatical stream that
+    // parses back to the query it encodes (query/validate.h).
+    if (!var_preds) {
+      if (auto st = query::ValidateRoundTrip(q, &dict); !st.ok()) {
+        std::fprintf(stderr, "round-trip: %s\n", st.ToString().c_str());
+        return Report("serialisation round-trip", q, w, dict);
+      }
+    }
+
     const bool truth = containment::IsContainedIn(q, w, dict);
     positives += truth ? 1 : 0;
 
@@ -116,15 +127,44 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Phase 2: index walk vs pairwise scan over batches.
+  // Phase 2: index walk vs pairwise scan over batches, with the full
+  // invariant suite (index/validate.h) re-checked after every mutation and a
+  // churn step removing a third of the entries mid-batch.
+  util::Rng churn_rng(seed ^ 0x9E3779B97F4A7C15ull);
   const std::size_t batches = std::max<std::size_t>(1, trials / 200);
   for (std::size_t b = 0; b < batches; ++b) {
     index::MvIndex index(&dict);
     std::vector<query::BgpQuery> views;
+    std::vector<std::uint32_t> inserted_ids;
     for (int i = 0; i < 50; ++i) {
       query::BgpQuery w = gen.Draw(4, /*var_preds=*/i % 4 == 0);
-      if (!index.Insert(w, static_cast<std::uint64_t>(i)).ok()) continue;
+      auto outcome = index.Insert(w, static_cast<std::uint64_t>(i));
+      if (!outcome.ok()) continue;
+      inserted_ids.push_back(outcome->stored_id);
       views.push_back(std::move(w));
+      if (auto st = index::ValidateMvIndex(index); !st.ok()) {
+        std::fprintf(stderr, "after insertion %d: %s\n", i,
+                     st.ToString().c_str());
+        query::BgpQuery empty;
+        return Report("mv-index invariants (insert)", views.back(), empty,
+                      dict);
+      }
+    }
+    for (std::size_t i = 0; i < inserted_ids.size(); ++i) {
+      if (!churn_rng.Chance(0.33)) continue;
+      const std::uint32_t id = inserted_ids[i];
+      if (!index.alive(id)) continue;  // deduped onto an entry removed below
+      if (auto st = index.Remove(id); !st.ok()) {
+        std::fprintf(stderr, "remove(%u): %s\n", id, st.ToString().c_str());
+        query::BgpQuery empty;
+        return Report("mv-index removal", views[i], empty, dict);
+      }
+      if (auto st = index::ValidateMvIndex(index); !st.ok()) {
+        std::fprintf(stderr, "after removal of %u: %s\n", id,
+                     st.ToString().c_str());
+        query::BgpQuery empty;
+        return Report("mv-index invariants (remove)", views[i], empty, dict);
+      }
     }
     for (int i = 0; i < 25; ++i) {
       const query::BgpQuery q = gen.Draw(5, i % 2 == 0);

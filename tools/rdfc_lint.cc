@@ -1,0 +1,462 @@
+// rdfc_lint — project-specific static checks for the rdfc tree.
+//
+//   rdfc_lint [--verbose] <repo-root>
+//
+// Walks src/, tools/, bench/, tests/, and examples/ and enforces the repo
+// rules that neither the compiler nor clang-tidy covers precisely
+// (CONTRIBUTING.md "Correctness tooling"):
+//
+//   unchecked-status   a Status/Result-returning call used as a bare
+//                      statement (neither consumed, wrapped in
+//                      RDFC_RETURN_NOT_OK / RDFC_ASSIGN_OR_RETURN, nor
+//                      explicitly discarded)
+//   missing-nodiscard  a header declares a Status/Result-returning function
+//                      without [[nodiscard]]
+//   banned-function    rand / strtok / sprintf (use util::Rng, util::Split,
+//                      std::snprintf)
+//   raw-new            raw new/delete outside src/util/ (use RAII /
+//                      std::make_unique)
+//   stdout-in-library  std::cout / printf in library code under src/
+//                      (libraries report through util::Status or take an
+//                      std::ostream)
+//   pragma-once        a header missing #pragma once at the top
+//   duplicate-include  the same #include appearing twice in one file
+//
+// A line containing `NOLINT` is exempt from all rules (same escape hatch
+// clang-tidy uses).  Exit code 0 = clean, 1 = violations, 2 = usage error.
+// Registered as a CTest, so `ctest` fails on violations.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tool_util.h"
+#include "util/string_util.h"
+
+namespace fs = std::filesystem;
+using rdfc::util::EndsWith;
+using rdfc::util::StartsWith;
+using rdfc::util::Trim;
+
+namespace {
+
+/// Status/Result-returning *free* functions of the library; a bare-statement
+/// call to any of these (qualified or not) is an unchecked-status violation.
+const char* const kStatusFreeFunctions[] = {
+    "SerialiseComponent", "SerialiseQuery",     "SaveIndex",
+    "LoadIndex",          "PrepareStored",      "ParseTurtle",
+    "ParseNTriples",      "ParseQuery",         "ParseUnionQuery",
+    "Tokenize",           "SelectViews",        "LubmQueries",
+    "GenerateLubmExtended", "ReadQueryFile",    "ValidateSerialisation",
+    "ParseSerialisation", "ValidateRoundTrip",  "ValidateRadixTree",
+    "ValidateMvIndex",
+};
+
+/// Status/Result-returning *member* functions; only the `obj.Name(` /
+/// `obj->Name(` forms are checked, so unrelated free helpers named Insert in
+/// tests do not trip the rule.
+const char* const kStatusMemberFunctions[] = {
+    "Insert", "Remove", "MergeFrom", "AddView",
+};
+
+struct Violation {
+  std::string file;
+  std::size_t line;
+  std::string rule;
+  std::string message;
+};
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Reads `path` and produces one "code view" string per line: comments and
+/// the contents of string/char literals blanked with spaces so that textual
+/// rules never fire inside them.  Handles //, /* */, "...", '...', and raw
+/// string literals R"delim(...)delim" (the test corpus embeds Turtle/SPARQL
+/// in raw strings).
+bool LoadCodeView(const fs::path& path, std::vector<std::string>* raw,
+                  std::vector<std::string>* code) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_terminator;  // for kRawString: )delim"
+  while (std::getline(in, line)) {
+    std::string out(line.size(), ' ');
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            i = line.size();  // rest of line is a comment
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            ++i;
+          } else if (c == 'R' && next == '"' &&
+                     (i == 0 || !IsIdentChar(line[i - 1]))) {
+            const std::size_t open = line.find('(', i + 2);
+            if (open == std::string::npos) {
+              i = line.size();  // malformed; treat rest as literal
+            } else {
+              raw_terminator =
+                  ")" + line.substr(i + 2, open - i - 2) + "\"";
+              state = State::kRawString;
+              i = open;
+            }
+          } else if (c == '"') {
+            out[i] = '"';
+            state = State::kString;
+          } else if (c == '\'') {
+            out[i] = '\'';
+            state = State::kChar;
+          } else {
+            out[i] = c;
+          }
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            out[i] = '"';
+            state = State::kCode;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            out[i] = '\'';
+            state = State::kCode;
+          }
+          break;
+        case State::kRawString: {
+          const std::size_t end = line.find(raw_terminator, i);
+          if (end == std::string::npos) {
+            i = line.size();
+          } else {
+            i = end + raw_terminator.size() - 1;
+            state = State::kCode;
+          }
+          break;
+        }
+      }
+    }
+    raw->push_back(line);
+    code->push_back(out);
+  }
+  return true;
+}
+
+/// True when code[pos..] matches `word` at a word boundary on both sides.
+bool MatchesWordAt(const std::string& code, std::size_t pos,
+                   std::string_view word) {
+  if (code.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && IsIdentChar(code[pos - 1])) return false;
+  const std::size_t after = pos + word.size();
+  return after >= code.size() || !IsIdentChar(code[after]);
+}
+
+/// True when the word is immediately followed (modulo spaces) by `(`.
+bool ContainsCall(const std::string& code, std::string_view name) {
+  for (std::size_t pos = code.find(name.front()); pos != std::string::npos;
+       pos = code.find(name.front(), pos + 1)) {
+    if (!MatchesWordAt(code, pos, name)) continue;
+    std::size_t after = pos + name.size();
+    while (after < code.size() && code[after] == ' ') ++after;
+    if (after < code.size() && code[after] == '(') return true;
+  }
+  return false;
+}
+
+class Linter {
+ public:
+  explicit Linter(bool verbose) : verbose_(verbose) {}
+
+  void LintFile(const fs::path& path, const fs::path& root) {
+    const std::string rel = fs::relative(path, root).string();
+    const bool is_header = EndsWith(rel, ".h");
+    const bool in_src = StartsWith(rel, "src/");
+    const bool in_util = StartsWith(rel, "src/util/");
+
+    std::vector<std::string> raw, code;
+    if (!LoadCodeView(path, &raw, &code)) {
+      Add(rel, 0, "io", "cannot read file");
+      return;
+    }
+    ++files_;
+    if (verbose_) std::printf("lint: %s (%zu lines)\n", rel.c_str(), raw.size());
+
+    if (is_header) CheckPragmaOnce(rel, code);
+    CheckDuplicateIncludes(rel, raw, code);
+
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (raw[i].find("NOLINT") != std::string::npos) continue;
+      const std::string& line = code[i];
+
+      // banned-function: rand / strtok / sprintf.  (snprintf and util::Rng
+      // don't match at word boundaries.)
+      for (const char* banned : {"rand", "strtok", "sprintf"}) {
+        if (ContainsCall(line, banned)) {
+          Add(rel, i + 1, "banned-function",
+              std::string(banned) +
+                  "() is banned (util::Rng / util::Split / std::snprintf)");
+        }
+      }
+
+      // raw-new / raw-delete outside src/util/.  `= delete` (deleted
+      // members) and `delete` in comments/strings never reach here.
+      if (!in_util) {
+        CheckRawNewDelete(rel, i, line);
+      }
+
+      // stdout-in-library: library code reports through util::Status or
+      // writes to a caller-supplied stream; stderr diagnostics are fine.
+      if (in_src && (line.find("std::cout") != std::string::npos ||
+                     ContainsCall(line, "printf"))) {
+        Add(rel, i + 1, "stdout-in-library",
+            "no stdout writes in src/ (return util::Status or take an "
+            "std::ostream&)");
+      }
+
+      if (is_header) CheckNodiscard(rel, i, code);
+      CheckUncheckedStatus(rel, i, code);
+    }
+  }
+
+  int Finish() const {
+    for (const Violation& v : violations_) {
+      std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+                   v.rule.c_str(), v.message.c_str());
+    }
+    std::printf("rdfc_lint: %zu file(s), %zu violation(s)\n", files_,
+                violations_.size());
+    return violations_.empty() ? 0 : 1;
+  }
+
+ private:
+  void Add(const std::string& file, std::size_t line, const std::string& rule,
+           const std::string& message) {
+    violations_.push_back(Violation{file, line, rule, message});
+  }
+
+  void CheckPragmaOnce(const std::string& rel,
+                       const std::vector<std::string>& code) {
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      const std::string_view t = Trim(code[i]);
+      if (t.empty()) continue;
+      if (t == "#pragma once") return;
+      // Classic include guards are also accepted.
+      if (StartsWith(t, "#ifndef ")) return;
+      Add(rel, i + 1, "pragma-once",
+          "header must open with #pragma once (or an include guard)");
+      return;
+    }
+    Add(rel, 1, "pragma-once", "header has no #pragma once");
+  }
+
+  void CheckDuplicateIncludes(const std::string& rel,
+                              const std::vector<std::string>& raw,
+                              const std::vector<std::string>& code) {
+    std::vector<std::string> seen;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      const std::string_view t = Trim(code[i]);
+      if (!StartsWith(t, "#include")) continue;
+      // The include target sits in the *raw* line (string contents are
+      // blanked in the code view).
+      const std::string target(Trim(raw[i]));
+      for (const std::string& s : seen) {
+        if (s == target) {
+          Add(rel, i + 1, "duplicate-include", "already included above");
+          break;
+        }
+      }
+      seen.push_back(target);
+    }
+  }
+
+  void CheckRawNewDelete(const std::string& rel, std::size_t i,
+                         const std::string& line) {
+    for (std::size_t pos = line.find("new "); pos != std::string::npos;
+         pos = line.find("new ", pos + 1)) {
+      if (!MatchesWordAt(line, pos, "new")) continue;
+      std::size_t after = pos + 4;
+      while (after < line.size() && line[after] == ' ') ++after;
+      if (after < line.size() && (IsIdentChar(line[after]) ||
+                                  line[after] == '(')) {
+        Add(rel, i + 1, "raw-new",
+            "raw new outside src/util/ (std::make_unique, or NOLINT for "
+            "intentionally leaked singletons)");
+      }
+    }
+    for (std::size_t pos = line.find("delete"); pos != std::string::npos;
+         pos = line.find("delete", pos + 1)) {
+      if (!MatchesWordAt(line, pos, "delete")) continue;
+      // `= delete` / `=delete` declares a deleted member, not a deallocation.
+      std::size_t before = pos;
+      while (before > 0 && line[before - 1] == ' ') --before;
+      if (before > 0 && line[before - 1] == '=') continue;
+      Add(rel, i + 1, "raw-delete",
+          "raw delete outside src/util/ (use RAII ownership)");
+    }
+  }
+
+  /// Header declarations returning util::Status / util::Result<...> must be
+  /// [[nodiscard]] (the annotation, plus the class-level [[nodiscard]] on the
+  /// types, is what turns a dropped error into a compiler diagnostic).
+  void CheckNodiscard(const std::string& rel, std::size_t i,
+                      const std::vector<std::string>& code) {
+    std::string t(Trim(code[i]));
+    const bool annotated_here = t.find("[[nodiscard]]") != std::string::npos;
+    const bool annotated_above =
+        i > 0 && code[i - 1].find("[[nodiscard]]") != std::string::npos;
+    // Strip attributes and leading specifiers before the return type.
+    for (const char* prefix : {"[[nodiscard]]", "static", "inline", "virtual",
+                               "explicit", "friend", "constexpr"}) {
+      while (StartsWith(t, prefix)) t = std::string(Trim(t.substr(std::string(prefix).size())));
+    }
+    const bool returns_status = StartsWith(t, "util::Status ");
+    const bool returns_result = StartsWith(t, "util::Result<");
+    if (!returns_status && !returns_result) return;
+    // Function declaration = an identifier followed by `(` after the type.
+    std::size_t pos = returns_status ? 13 : t.find('>');
+    if (pos == std::string::npos) return;  // multi-line Result<...>; skip
+    if (returns_result) {
+      // Skip past the (possibly nested) template argument list.
+      int depth = 0;
+      for (pos = 12; pos < t.size(); ++pos) {
+        if (t[pos] == '<') ++depth;
+        if (t[pos] == '>' && --depth == 0) { ++pos; break; }
+      }
+    }
+    while (pos < t.size() && t[pos] == ' ') ++pos;
+    std::size_t name_end = pos;
+    while (name_end < t.size() && IsIdentChar(t[name_end])) ++name_end;
+    if (name_end == pos || name_end >= t.size() || t[name_end] != '(') {
+      return;  // a member variable or local, not a function declaration
+    }
+    if (!annotated_here && !annotated_above) {
+      Add(rel, i + 1, "missing-nodiscard",
+          "Status/Result-returning declaration lacks [[nodiscard]]");
+    }
+  }
+
+  /// A statement that is nothing but a call to a Status/Result-returning
+  /// function drops the error on the floor.  Statement starts are detected
+  /// conservatively: the previous code line must end in `{`, `}`, or `;`.
+  void CheckUncheckedStatus(const std::string& rel, std::size_t i,
+                            const std::vector<std::string>& code) {
+    const std::string t(Trim(code[i]));
+    if (t.empty()) return;
+    if (i > 0) {
+      std::string prev;
+      for (std::size_t k = i; k-- > 0;) {
+        prev = std::string(Trim(code[k]));
+        if (!prev.empty()) break;
+      }
+      if (!prev.empty() && !EndsWith(prev, "{") && !EndsWith(prev, "}") &&
+          !EndsWith(prev, ";") && !EndsWith(prev, ":")) {
+        return;  // continuation of a larger expression
+      }
+    }
+    if (!EndsWith(t, ";")) return;
+
+    auto flag = [&](const std::string& name) {
+      Add(rel, i + 1, "unchecked-status",
+          name + "() returns Status/Result — consume it, wrap it in "
+                 "RDFC_RETURN_NOT_OK/RDFC_ASSIGN_OR_RETURN, or (void)-cast "
+                 "with a NOLINT comment saying why");
+    };
+    // Free functions: the statement may start with the (optionally
+    // namespace-qualified) call itself.
+    for (const char* name : kStatusFreeFunctions) {
+      const std::size_t pos = t.find(name);
+      if (pos == std::string::npos || !MatchesWordAt(t, pos, name)) continue;
+      std::string head(Trim(t.substr(0, pos)));
+      while (EndsWith(head, "::")) {
+        head = head.substr(0, head.size() - 2);
+        std::size_t id_end = head.size();
+        while (id_end > 0 && IsIdentChar(head[id_end - 1])) --id_end;
+        head = std::string(Trim(head.substr(0, id_end)));
+      }
+      if (head.empty() && ContainsCall(t, name)) flag(name);
+    }
+    // Members: only the obj.Name( / obj->Name( forms, where the statement
+    // starts at obj.
+    for (const char* name : kStatusMemberFunctions) {
+      for (std::size_t pos = t.find(name); pos != std::string::npos;
+           pos = t.find(name, pos + 1)) {
+        if (!MatchesWordAt(t, pos, name)) continue;
+        if (pos < 1) continue;
+        std::size_t obj_end = pos;
+        if (t[pos - 1] == '.') {
+          obj_end = pos - 1;
+        } else if (pos >= 2 && t[pos - 2] == '-' && t[pos - 1] == '>') {
+          obj_end = pos - 2;
+        } else {
+          continue;
+        }
+        std::size_t obj_begin = obj_end;
+        while (obj_begin > 0 && (IsIdentChar(t[obj_begin - 1]) ||
+                                 t[obj_begin - 1] == '_')) {
+          --obj_begin;
+        }
+        std::size_t after = pos + std::string(name).size();
+        if (obj_begin == 0 && obj_end > 0 && after < t.size() &&
+            t[after] == '(') {
+          flag(name);
+        }
+      }
+    }
+  }
+
+  bool verbose_;
+  std::size_t files_ = 0;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rdfc::tools::Args args = rdfc::tools::Args::Parse(argc, argv);
+  if (args.positional.size() != 1) {
+    std::fprintf(stderr, "usage: rdfc_lint [--verbose] <repo-root>\n");
+    return 2;
+  }
+  const fs::path root(args.positional[0]);
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "rdfc_lint: not a directory: %s\n",
+                 root.string().c_str());
+    return 2;
+  }
+
+  Linter linter(args.Has("verbose"));
+  for (const char* dir : {"src", "tools", "bench", "tests", "examples"}) {
+    const fs::path sub = root / dir;
+    if (!fs::is_directory(sub)) continue;
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::recursive_directory_iterator(sub)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& file : files) linter.LintFile(file, root);
+  }
+  return linter.Finish();
+}

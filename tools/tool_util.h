@@ -16,7 +16,7 @@ namespace tools {
 
 /// Reads a query file: SPARQL queries separated by lines consisting solely
 /// of `---`.  Empty segments are skipped.
-inline util::Result<std::vector<std::string>> ReadQueryFile(
+[[nodiscard]] inline util::Result<std::vector<std::string>> ReadQueryFile(
     const std::string& path) {
   std::ifstream in(path);
   if (!in) return util::Status::NotFound("cannot open " + path);
