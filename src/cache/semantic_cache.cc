@@ -10,6 +10,18 @@ SemanticCache::SemanticCache(const rdf::Graph* graph,
                              const CacheOptions& options)
     : graph_(graph), dict_(dict), options_(options), index_(dict) {}
 
+bool SemanticCache::WouldHit(const query::BgpQuery& q) const {
+  index::ProbeOptions probe_options;
+  probe_options.max_mappings = 1;
+  const index::ProbeResult probe = index_.FindContaining(q, probe_options);
+  for (const auto& match : probe.contained) {
+    if (!match.outcome.mappings.empty() && live_.count(match.stored_id) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 rewriting::ExecutionReport SemanticCache::Answer(const query::BgpQuery& q) {
   ++stats_.lookups;
   ++clock_;

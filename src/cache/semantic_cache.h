@@ -60,6 +60,12 @@ struct CacheStats {
 ///
 /// The graph is assumed immutable while cached entries live (the classic
 /// read-mostly caching regime); Invalidate() clears everything for writes.
+///
+/// Threading: Answer/Invalidate mutate the cache and must be serialized by
+/// the caller.  WouldHit and the stats accessors are genuinely read-only
+/// (const all the way down to the radix walk) and may run concurrently with
+/// each other, but not with the mutators — the cache keeps no internal
+/// snapshot versioning; use service::IndexManager when that is needed.
 class SemanticCache {
  public:
   SemanticCache(const rdf::Graph* graph, rdf::TermDictionary* dict,
@@ -68,6 +74,11 @@ class SemanticCache {
 
   /// Answers `q`, consulting and maintaining the cache.
   rewriting::ExecutionReport Answer(const query::BgpQuery& q);
+
+  /// Pure peek: would `q` be answerable from a cached entry right now?
+  /// Touches no stats, no LRU clocks, no dictionary state — safe to call
+  /// from monitoring/planning threads while the owner is between Answers.
+  bool WouldHit(const query::BgpQuery& q) const;
 
   /// Drops every cached entry (e.g. after a graph update).
   void Invalidate();

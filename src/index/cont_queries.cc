@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/timer.h"
+
 namespace rdfc {
 namespace index {
 
@@ -42,10 +44,11 @@ class Walker {
   Walker(const MvIndex& index, const containment::PreparedProbe& probe,
          const ProbeOptions& options)
       : index_(index), probe_(probe), options_(options),
-        dict_(index.dict()) {}
+        dict_(&index.dict()) {}
 
   ProbeResult Run() {
     // Theorem 4.2: start the walk once per witness class of the probe.
+    util::Timer timer;
     std::vector<MatchState> initial;
     initial.reserve(probe_.view.num_vertices());
     for (std::uint32_t cls = 0; cls < probe_.view.num_vertices(); ++cls) {
@@ -54,7 +57,10 @@ class Walker {
     if (!initial.empty()) {
       Walk(index_.root(), std::move(initial));
     }
+    result_.filter_micros = timer.ElapsedMicros();
+    timer.Restart();
     Decide();
+    result_.verify_micros = timer.ElapsedMicros();
     return std::move(result_);
   }
 
@@ -224,7 +230,7 @@ class Walker {
   const MvIndex& index_;
   const containment::PreparedProbe& probe_;
   const ProbeOptions& options_;
-  rdf::TermDictionary* dict_;
+  const rdf::TermDictionary* dict_;
   std::unordered_map<std::uint32_t, std::vector<MatchState>>
       candidate_sigmas_;
   ProbeResult result_;

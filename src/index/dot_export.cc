@@ -57,7 +57,7 @@ std::string TokenLabel(const query::Token& tok,
 }  // namespace
 
 std::string ExportDot(const MvIndex& index, std::size_t max_label_tokens) {
-  const rdf::TermDictionary& dict = *index.dict();
+  const rdf::TermDictionary& dict = index.dict();
   std::string out = "digraph mvindex {\n  rankdir=LR;\n  node [shape=circle,"
                     " label=\"\", width=0.18];\n";
   std::size_t next_id = 0;

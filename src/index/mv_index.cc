@@ -266,7 +266,7 @@ ProbeResult MvIndex::ScanContaining(const query::BgpQuery& q,
 }
 
 std::vector<std::uint32_t> MvIndex::FindContainedBy(
-    const query::BgpQuery& q) const {
+    const query::BgpQuery& q) {
   std::vector<std::uint32_t> out;
   auto stored_q = containment::PrepareStored(q, dict_);
   if (!stored_q.ok()) return out;

@@ -37,6 +37,8 @@ struct ProbeResult {
   std::size_t candidates = 0;      // stored queries whose filter passed
   std::size_t np_checks = 0;       // candidates that required NP verification
   std::size_t states_explored = 0; // matcher states advanced during the walk
+  double filter_micros = 0.0;      // time in the radix walk (PTime filter)
+  double verify_micros = 0.0;      // time deciding candidates (incl. NP)
 };
 
 /// The paper's core contribution: the materialised-view index (Section 4).
@@ -118,8 +120,9 @@ class MvIndex {
   /// built for the forward direction, so this is a guarded scan (each entry
   /// is the probe, q the stored side); it exists for maintenance flows —
   /// e.g. a cache admitting a broad query can evict the entries it subsumes.
-  /// Cost: O(live entries × pipeline check).
-  std::vector<std::uint32_t> FindContainedBy(const query::BgpQuery& q) const;
+  /// Cost: O(live entries × pipeline check).  Non-const: preparing q as the
+  /// stored side interns into the dictionary (writer-side).
+  std::vector<std::uint32_t> FindContainedBy(const query::BgpQuery& q);
 
   /// Merges every live entry of `other` into this index (set union of the
   /// stored query sets; external ids carried over, duplicates dedup onto
@@ -143,7 +146,12 @@ class MvIndex {
   std::size_t num_nodes() const { return num_nodes_; }
 
   const RadixNode& root() const { return root_; }
-  rdf::TermDictionary* dict() const { return dict_; }
+  /// Read-only dictionary view — all the probe path needs.  Keeping the
+  /// const accessor const-typed is what lets the service hand read threads
+  /// a `const MvIndex&` and know they cannot intern.
+  const rdf::TermDictionary& dict() const { return *dict_; }
+  /// Writer-side handle (insert/remove paths intern terms).
+  rdf::TermDictionary* mutable_dict() { return dict_; }
 
   /// Entries that have no indexable skeleton (every pattern has a variable
   /// predicate); the probe checks these directly.

@@ -102,7 +102,7 @@ util::Status SaveIndex(const MvIndex& index, const std::string& path) {
   if (file == nullptr) {
     return util::Status::InvalidArgument("cannot open for writing: " + path);
   }
-  const rdf::TermDictionary& dict = *index.dict();
+  const rdf::TermDictionary& dict = index.dict();
   Writer w(file.get());
   w.Raw(kMagic, sizeof(kMagic));
 

@@ -74,7 +74,7 @@ util::Status ValidateRadixTree(const RadixNode& root, std::size_t num_entries) {
 util::Status ValidateMvIndex(const MvIndex& index) {
   RDFC_RETURN_NOT_OK(ValidateRadixTree(index.root(), index.num_entries()));
 
-  const rdf::TermDictionary& dict = *index.dict();
+  const rdf::TermDictionary& dict = index.dict();
 
   // M4/M1 (side list half): skeleton-free entries are live, unique, and have
   // no serialised tokens.

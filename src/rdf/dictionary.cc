@@ -5,8 +5,8 @@ namespace rdf {
 
 TermDictionary::TermDictionary() {
   // Reserve slot 0 as the invalid/null term.
-  lexicals_.emplace_back();
-  kinds_.push_back(TermKind::kIri);
+  kinds_.PushBack(TermKind::kIri);
+  lexicals_.PushBack(std::string());
 }
 
 TermId TermDictionary::Intern(TermKind kind, std::string_view lexical) {
@@ -14,20 +14,24 @@ TermId TermDictionary::Intern(TermKind kind, std::string_view lexical) {
   auto it = ids_.find(probe);
   if (it != ids_.end()) return it->second;
   const auto id = static_cast<TermId>(lexicals_.size());
-  lexicals_.push_back(probe.lexical);
-  kinds_.push_back(kind);
+  // kinds_ first: size() is lexicals_.size(), so once a reader can see `id`
+  // both the kind and the lexical entry are published.
+  kinds_.PushBack(kind);
+  lexicals_.PushBack(probe.lexical);
   ids_.emplace(std::move(probe), id);
   return id;
 }
 
 TermId TermDictionary::CanonicalVariable(std::uint32_t k) {
   RDFC_DCHECK(k >= 1);
-  if (k < canonical_vars_.size() && canonical_vars_[k] != kNullTerm) {
-    return canonical_vars_[k];
+  if (k < canonical_vars_.size()) {
+    const TermId known =
+        canonical_vars_.At(k).load(std::memory_order_relaxed);
+    if (known != kNullTerm) return known;
   }
   const TermId id = MakeVariable("x" + std::to_string(k));
-  if (canonical_vars_.size() <= k) canonical_vars_.resize(k + 1, kNullTerm);
-  canonical_vars_[k] = id;
+  canonical_vars_.EnsureSize(k + 1);  // fresh slots start at kNullTerm (0)
+  canonical_vars_.MutableAt(k).store(id, std::memory_order_release);
   return id;
 }
 

@@ -1,12 +1,13 @@
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "rdf/term.h"
 #include "util/macros.h"
+#include "util/snapshot_vector.h"
 
 namespace rdfc {
 namespace rdf {
@@ -17,14 +18,28 @@ namespace rdf {
 /// comparison — the same trick every production RDF store (RDF-3X,
 /// HexaStore, ...) plays.
 ///
-/// Not thread-safe; the reproduction is single-threaded like the paper's
-/// evaluation ("a single core was used").
+/// Threading contract (single writer / many readers — the regime of the
+/// service layer, DESIGN.md "Service layer"):
+///
+///   - The id -> term read path — size(), Valid(), kind(), lexical(),
+///     Is*(), IsConstant(), ToString(), CanonicalVariableIfKnown() — is safe
+///     to call from any number of threads concurrently with ONE thread
+///     running the mutators.  Storage is chunked (util::SnapshotVector), so
+///     growth never moves published entries, and a TermId observed through
+///     any happens-before edge downstream of its interning (a published
+///     index snapshot, a queue handoff) dereferences safely forever.
+///   - The term -> id path and all mutators — Intern(), Make*(), Lookup(),
+///     CanonicalVariable(), EnsureCanonicalVariables() — share one hash map
+///     and MUST be mutually serialized (Lookup reads the map, so it counts
+///     as a writer-side call).  The containment service guards them with its
+///     admission mutex; single-threaded users need no locking at all.
 class TermDictionary {
  public:
   TermDictionary();
   RDFC_DISALLOW_COPY_AND_ASSIGN(TermDictionary);
 
   /// Interns (kind, lexical), returning an existing id when already present.
+  /// Writer-side.
   TermId Intern(TermKind kind, std::string_view lexical);
 
   TermId MakeIri(std::string_view iri) { return Intern(TermKind::kIri, iri); }
@@ -40,32 +55,34 @@ class TermDictionary {
 
   /// The k-th canonical variable `?xk` (k >= 1), used by serialisation
   /// optimisation II (variables renamed in first-appearance order).
+  /// Writer-side (interns on first use).
   TermId CanonicalVariable(std::uint32_t k);
 
   /// Interns canonical variables 1..k eagerly, so read-only consumers (the
   /// index walk) can use CanonicalVariableIfKnown without mutating the
-  /// dictionary.
+  /// dictionary.  Writer-side.
   void EnsureCanonicalVariables(std::uint32_t k);
 
   /// Like CanonicalVariable but never interns: returns kNullTerm when ?xk
-  /// has not been created yet.  Safe on a const dictionary.
+  /// has not been created yet.  Reader-side (the probe hot path).
   TermId CanonicalVariableIfKnown(std::uint32_t k) const {
-    if (k < canonical_vars_.size() && canonical_vars_[k] != kNullTerm) {
-      return canonical_vars_[k];
+    if (k < canonical_vars_.size()) {
+      return canonical_vars_.At(k).load(std::memory_order_acquire);
     }
     return kNullTerm;
   }
 
   /// Returns kNullTerm when (kind, lexical) has never been interned.
+  /// Writer-side (shares the hash map with Intern).
   TermId Lookup(TermKind kind, std::string_view lexical) const;
 
   TermKind kind(TermId id) const {
     RDFC_DCHECK(Valid(id));
-    return kinds_[id];
+    return kinds_.At(id);
   }
   const std::string& lexical(TermId id) const {
     RDFC_DCHECK(Valid(id));
-    return lexicals_[id];
+    return lexicals_.At(id);
   }
 
   bool IsVariable(TermId id) const { return kind(id) == TermKind::kVariable; }
@@ -88,10 +105,14 @@ class TermDictionary {
   bool Valid(TermId id) const { return id != kNullTerm && id < lexicals_.size(); }
 
  private:
-  std::unordered_map<Term, TermId, TermHash> ids_;
-  std::vector<std::string> lexicals_;
-  std::vector<TermKind> kinds_;
-  std::vector<TermId> canonical_vars_;  // cache for CanonicalVariable
+  std::unordered_map<Term, TermId, TermHash> ids_;  // writer-side only
+  // kinds_ is published before lexicals_ for each id, and size() reads
+  // lexicals_, so any id below size() has both entries visible.
+  util::SnapshotVector<std::string> lexicals_;
+  util::SnapshotVector<TermKind> kinds_;
+  // Slot k holds the id of ?xk, kNullTerm until interned; written in place
+  // after publication, hence the atomic element type.
+  util::SnapshotVector<std::atomic<TermId>> canonical_vars_;
 };
 
 }  // namespace rdf

@@ -1,0 +1,185 @@
+#include "service/containment_service.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "containment/pipeline.h"
+#include "util/timer.h"
+
+namespace rdfc {
+namespace service {
+
+/// One admitted probe: the request, the promise its future watches, and the
+/// stopwatch started at admission (queue wait + total latency both hang off
+/// it).  Held by shared_ptr because std::function requires copyable
+/// callables and std::promise is move-only.
+struct ContainmentService::Job {
+  ProbeRequest request;
+  std::promise<ProbeResponse> promise;
+  util::Timer admitted;
+};
+
+ContainmentService::ContainmentService(const ServiceOptions& options)
+    : options_(options),
+      manager_(&dict_, options.index),
+      metrics_(options.num_threads == 0 ? 1 : options.num_threads) {
+  util::ThreadPool::Options pool_options;
+  pool_options.num_threads = options_.num_threads;
+  pool_options.queue_capacity = options_.queue_capacity;
+  pool_ = std::make_unique<util::ThreadPool>(pool_options);
+  // Reader slot i belongs to worker i: registration happens before any
+  // Submit can reach a worker, so slots are ready when RunJob first runs.
+  for (std::size_t i = 0; i < pool_->num_threads(); ++i) {
+    (void)manager_.RegisterReader();
+  }
+}
+
+ContainmentService::~ContainmentService() { Shutdown(); }
+
+void ContainmentService::Shutdown() { pool_->Shutdown(); }
+
+util::Result<std::uint64_t> ContainmentService::AddView(
+    std::string_view sparql) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  RDFC_ASSIGN_OR_RETURN(query::BgpQuery view,
+                        sparql::ParseQuery(sparql, &dict_, options_.parser));
+  return manager_.StageAdd(std::move(view));
+}
+
+util::Status ContainmentService::RemoveView(std::uint64_t view_id) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  return manager_.StageRemove(view_id);
+}
+
+util::Result<std::uint64_t> ContainmentService::Publish() {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  auto version = manager_.Publish();
+  if (version.ok()) metrics_.RecordPublish();
+  return version;
+}
+
+util::Result<std::vector<std::uint64_t>> ContainmentService::PublishViews(
+    const std::vector<std::string>& sparql) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  // Parse everything first so a bad query aborts before any staging.
+  std::vector<query::BgpQuery> parsed;
+  parsed.reserve(sparql.size());
+  for (const std::string& text : sparql) {
+    RDFC_ASSIGN_OR_RETURN(query::BgpQuery view,
+                          sparql::ParseQuery(text, &dict_, options_.parser));
+    parsed.push_back(std::move(view));
+  }
+  std::vector<std::uint64_t> ids;
+  ids.reserve(parsed.size());
+  for (query::BgpQuery& view : parsed) {
+    RDFC_ASSIGN_OR_RETURN(std::uint64_t id, manager_.StageAdd(std::move(view)));
+    ids.push_back(id);
+  }
+  RDFC_ASSIGN_OR_RETURN(std::uint64_t version, manager_.Publish());
+  (void)version;
+  metrics_.RecordPublish();
+  return ids;
+}
+
+util::Result<query::BgpQuery> ContainmentService::Parse(
+    std::string_view sparql) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  return sparql::ParseQuery(sparql, &dict_, options_.parser);
+}
+
+util::Result<std::future<ProbeResponse>> ContainmentService::Submit(
+    ProbeRequest request) {
+  auto job = std::make_shared<Job>();
+  job->request = std::move(request);
+  std::future<ProbeResponse> future = job->promise.get_future();
+  util::Status admitted = pool_->TrySubmit(
+      [this, job](std::size_t worker_index) { RunJob(worker_index, job.get()); });
+  if (!admitted.ok()) {
+    metrics_.RecordRejected();
+    return admitted;
+  }
+  metrics_.RecordSubmitted();
+  return future;
+}
+
+std::vector<util::Result<ProbeResponse>> ContainmentService::SubmitBatch(
+    std::vector<ProbeRequest> batch) {
+  // Admit everything up front (so the batch fills the pipeline), then wait.
+  std::vector<util::Result<std::future<ProbeResponse>>> admitted;
+  admitted.reserve(batch.size());
+  for (ProbeRequest& request : batch) {
+    admitted.push_back(Submit(std::move(request)));
+  }
+  std::vector<util::Result<ProbeResponse>> out;
+  out.reserve(admitted.size());
+  for (auto& entry : admitted) {
+    if (!entry.ok()) {
+      out.push_back(entry.status());
+    } else {
+      out.push_back(entry.value().get());
+    }
+  }
+  return out;
+}
+
+util::Result<ProbeResponse> ContainmentService::Probe(std::string_view sparql) {
+  RDFC_ASSIGN_OR_RETURN(query::BgpQuery query, Parse(sparql));
+  ProbeRequest request;
+  request.query = std::move(query);
+  RDFC_ASSIGN_OR_RETURN(std::future<ProbeResponse> future,
+                        Submit(std::move(request)));
+  return future.get();
+}
+
+void ContainmentService::RunJob(std::size_t worker_index, Job* job) {
+  ProbeResponse response;
+  response.queue_micros = job->admitted.ElapsedMicros();
+
+  // Deadline admission check: expired requests are answered, not run.
+  if (std::chrono::steady_clock::now() >= job->request.deadline) {
+    metrics_.RecordDeadlineExpired(worker_index, response.queue_micros);
+    response.status = util::Status::DeadlineExceeded(
+        "deadline passed before the probe was picked up");
+    response.total_micros = job->admitted.ElapsedMicros();
+    job->promise.set_value(std::move(response));
+    return;
+  }
+
+  // Pin the current index version; everything below is lock-free reads.
+  IndexManager::ReadGuard guard = manager_.Acquire(worker_index);
+  response.snapshot_version = guard->version;
+  const containment::PreparedProbe prepared =
+      containment::PrepareProbe(job->request.query, guard->index.dict());
+  const index::ProbeResult result =
+      guard->index.FindContaining(prepared, options_.probe);
+
+  response.candidates = result.candidates;
+  response.np_checks = result.np_checks;
+  response.filter_micros = result.filter_micros;
+  response.verify_micros = result.verify_micros;
+  for (const index::ProbeMatch& match : result.contained) {
+    const auto& ids = guard->index.external_ids(match.stored_id);
+    response.containing_views.insert(response.containing_views.end(),
+                                     ids.begin(), ids.end());
+  }
+  std::sort(response.containing_views.begin(),
+            response.containing_views.end());
+  response.containing_views.erase(std::unique(response.containing_views.begin(),
+                                              response.containing_views.end()),
+                                  response.containing_views.end());
+
+  if (job->request.simulated_io_micros > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
+        job->request.simulated_io_micros));
+  }
+
+  response.total_micros = job->admitted.ElapsedMicros();
+  metrics_.RecordCompleted(worker_index, response.queue_micros,
+                           response.filter_micros, response.verify_micros,
+                           response.total_micros);
+  job->promise.set_value(std::move(response));
+}
+
+}  // namespace service
+}  // namespace rdfc

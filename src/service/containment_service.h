@@ -1,0 +1,156 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/mv_index.h"
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+#include "service/index_manager.h"
+#include "service/metrics.h"
+#include "sparql/parser.h"
+#include "util/macros.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace rdfc {
+namespace service {
+
+struct ServiceOptions {
+  /// Probe workers (also the metrics shard and reader-slot count).
+  std::size_t num_threads = 4;
+  /// Bounded admission queue; a full queue sheds with ResourceExhausted.
+  std::size_t queue_capacity = 1024;
+  index::ProbeOptions probe;
+  index::IndexOptions index;
+  sparql::ParserOptions parser;
+};
+
+struct ProbeRequest {
+  query::BgpQuery query;
+  /// Absolute deadline, checked when a worker dequeues the request: expired
+  /// requests get DeadlineExceeded without running the probe.  Default: none.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// Simulated downstream work per probe (result materialisation / client
+  /// I/O), slept after the containment check.  Models the latency-bound
+  /// serving regime in bench_concurrent and gives tests a deterministic way
+  /// to hold workers busy; 0 for pure CPU-bound probing.
+  double simulated_io_micros = 0.0;
+};
+
+struct ProbeResponse {
+  util::Status status;               // OK or DeadlineExceeded
+  std::uint64_t snapshot_version = 0;
+  /// External ids (AddView handles) of every published view containing the
+  /// probe, deduplicated, ascending.
+  std::vector<std::uint64_t> containing_views;
+  std::size_t candidates = 0;
+  std::size_t np_checks = 0;
+  double queue_micros = 0.0;
+  double filter_micros = 0.0;
+  double verify_micros = 0.0;
+  double total_micros = 0.0;  // admission to response
+};
+
+/// The concurrent containment-probing front end (DESIGN.md "Service layer").
+///
+/// Serving pattern: view-set changes are staged and published as immutable
+/// index versions (IndexManager); probes are admitted into a bounded queue
+/// and executed by a worker pool, each worker pinning the current version
+/// lock-free for the duration of one probe.  Under overload the service
+/// sheds load at admission — Submit returns ResourceExhausted, it never
+/// blocks and never drops silently.
+///
+/// Threading: every public method is safe to call from any thread.  View
+/// mutations, Parse, and Publish serialize on an internal mutation mutex
+/// (they intern into the shared dictionary — the single-writer side of the
+/// rdf::TermDictionary contract); Submit and the probe path never touch that
+/// mutex.
+class ContainmentService {
+ public:
+  explicit ContainmentService(const ServiceOptions& options = {});
+  ~ContainmentService();  // Shutdown()
+  RDFC_DISALLOW_COPY_AND_ASSIGN(ContainmentService);
+
+  // ------------------------------------------------------------------
+  // View management (writer side)
+  // ------------------------------------------------------------------
+
+  /// Parses and stages a view; returns its id.  Not probe-visible until
+  /// Publish.
+  [[nodiscard]] util::Result<std::uint64_t> AddView(std::string_view sparql);
+
+  /// Stages removal of a view (effective at the next Publish).
+  [[nodiscard]] util::Status RemoveView(std::uint64_t view_id);
+
+  /// Atomically publishes every staged change as a new index version and
+  /// returns its number.  Probes in flight finish against the version they
+  /// pinned; later probes see the new one.
+  [[nodiscard]] util::Result<std::uint64_t> Publish();
+
+  /// AddView for each query, then one Publish; returns the view ids.  Any
+  /// parse failure aborts before anything is staged.
+  [[nodiscard]] util::Result<std::vector<std::uint64_t>> PublishViews(
+      const std::vector<std::string>& sparql);
+
+  // ------------------------------------------------------------------
+  // Probing (reader side)
+  // ------------------------------------------------------------------
+
+  /// Parses probe text against the service dictionary (interns, so it takes
+  /// the mutation mutex — microseconds; the probe itself never does).
+  [[nodiscard]] util::Result<query::BgpQuery> Parse(std::string_view sparql);
+
+  /// Admits one probe.  Returns the response future, or ResourceExhausted
+  /// when the queue is full / InvalidArgument after Shutdown.
+  [[nodiscard]] util::Result<std::future<ProbeResponse>> Submit(
+      ProbeRequest request);
+
+  /// Admits a batch and waits for all admitted requests.  Per-request
+  /// results: rejected requests carry the admission error, admitted ones the
+  /// worker's response (itself possibly DeadlineExceeded).
+  std::vector<util::Result<ProbeResponse>> SubmitBatch(
+      std::vector<ProbeRequest> batch);
+
+  /// Parse + Submit + wait: the one-call convenience used by rdfc_serve.
+  [[nodiscard]] util::Result<ProbeResponse> Probe(std::string_view sparql);
+
+  // ------------------------------------------------------------------
+  // Introspection
+  // ------------------------------------------------------------------
+
+  MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
+  std::uint64_t current_version() const { return manager_.current_version(); }
+  std::size_t num_live_views() const { return manager_.num_live_views(); }
+  IndexManager& manager() { return manager_; }
+
+  /// The shared dictionary, for single-threaded setup (workload generation)
+  /// before serving starts.  While probes may be in flight, intern only via
+  /// Parse/AddView — they hold the mutation mutex this accessor bypasses.
+  rdf::TermDictionary* mutable_dict() { return &dict_; }
+
+  /// Stops intake (further Submits fail), drains accepted probes, joins the
+  /// workers.  Idempotent.
+  void Shutdown();
+
+ private:
+  struct Job;
+  void RunJob(std::size_t worker_index, Job* job);
+
+  ServiceOptions options_;
+  rdf::TermDictionary dict_;
+  IndexManager manager_;
+  ServiceMetrics metrics_;
+  std::mutex mutation_mu_;  // serializes dictionary writers (parse/stage)
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace service
+}  // namespace rdfc

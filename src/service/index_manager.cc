@@ -1,0 +1,140 @@
+#include "service/index_manager.h"
+
+#include <unordered_set>
+#include <utility>
+
+namespace rdfc {
+namespace service {
+
+IndexManager::IndexManager(rdf::TermDictionary* dict,
+                           const index::IndexOptions& options)
+    : dict_(dict), options_(options) {
+  // Publish an empty version 0 so Acquire always has a snapshot to pin —
+  // readers never need a "not started yet" branch.
+  auto initial = std::make_unique<IndexSnapshot>(dict_, options_);
+  initial->version = next_version_++;
+  current_.store(initial.get(), std::memory_order_seq_cst);
+  versions_.push_back(std::move(initial));
+}
+
+IndexManager::~IndexManager() = default;
+
+util::Result<std::uint64_t> IndexManager::StageAdd(query::BgpQuery view) {
+  if (view.empty()) {
+    return util::Status::InvalidArgument("cannot index an empty view");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ViewRecord record;
+  record.id = next_view_id_++;
+  record.query = std::move(view);
+  views_.push_back(std::move(record));
+  ++num_live_views_;
+  ++num_staged_;
+  return views_.back().id;
+}
+
+util::Status IndexManager::StageRemove(std::uint64_t view_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ViewRecord& record : views_) {
+    if (record.id == view_id) {
+      if (!record.alive) break;
+      record.alive = false;
+      --num_live_views_;
+      ++num_staged_;
+      return util::Status::OK();
+    }
+  }
+  return util::Status::NotFound("unknown or already-removed view id " +
+                                std::to_string(view_id));
+}
+
+util::Result<std::uint64_t> IndexManager::Publish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto next = std::make_unique<IndexSnapshot>(dict_, options_);
+  next->version = next_version_;
+  for (const ViewRecord& record : views_) {
+    if (!record.alive) continue;
+    auto outcome = next->index.Insert(record.query, record.id);
+    if (!outcome.ok()) {
+      // Abort the transaction: the current version stays published and the
+      // staged state is untouched, so the caller can StageRemove the
+      // offending view and Publish again.
+      return util::Status(outcome.status().code(),
+                          "publish aborted by view " +
+                              std::to_string(record.id) + ": " +
+                              outcome.status().message());
+    }
+    ++next->num_views;
+  }
+  ++next_version_;
+  num_staged_ = 0;
+  const IndexSnapshot* published = next.get();
+  versions_.push_back(std::move(next));
+  current_.store(published, std::memory_order_seq_cst);
+  ReclaimLocked();
+  return published->version;
+}
+
+std::size_t IndexManager::RegisterReader() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t slot = slots_.size();
+  slots_.EnsureSize(slot + 1);
+  return slot;
+}
+
+std::size_t IndexManager::num_live_views() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_live_views_;
+}
+
+std::size_t IndexManager::num_staged_changes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_staged_;
+}
+
+std::size_t IndexManager::num_retained_versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_.size();
+}
+
+void IndexManager::ReclaimLocked() {
+  const IndexSnapshot* live = current_.load(std::memory_order_seq_cst);
+  std::unordered_set<const IndexSnapshot*> pinned;
+  pinned.insert(live);
+  const std::size_t num_slots = slots_.size();
+  for (std::size_t i = 0; i < num_slots; ++i) {
+    const IndexSnapshot* hazard =
+        slots_.At(i).hazard.load(std::memory_order_seq_cst);
+    if (hazard != nullptr) pinned.insert(hazard);
+  }
+  std::erase_if(versions_,
+                [&pinned](const std::unique_ptr<const IndexSnapshot>& v) {
+                  return pinned.count(v.get()) == 0;
+                });
+}
+
+IndexManager::ReadGuard IndexManager::Acquire(std::size_t reader_slot) {
+  const ReadGuard::Slot& slot = slots_.At(reader_slot);
+  const IndexSnapshot* snapshot = current_.load(std::memory_order_seq_cst);
+  for (;;) {
+    // Announce, then revalidate: the writer publishes before sweeping, so
+    // either it sees this announcement or we see its new pointer (class
+    // comment has the full argument).
+    slot.hazard.store(snapshot, std::memory_order_seq_cst);
+    const IndexSnapshot* check = current_.load(std::memory_order_seq_cst);
+    if (check == snapshot) break;
+    snapshot = check;
+  }
+  return ReadGuard(&slot, snapshot);
+}
+
+void IndexManager::ReadGuard::Release() {
+  if (slot_ != nullptr) {
+    slot_->hazard.store(nullptr, std::memory_order_release);
+    slot_ = nullptr;
+    snapshot_ = nullptr;
+  }
+}
+
+}  // namespace service
+}  // namespace rdfc

@@ -1,0 +1,178 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "index/mv_index.h"
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+#include "util/macros.h"
+#include "util/snapshot_vector.h"
+#include "util/status.h"
+
+namespace rdfc {
+namespace service {
+
+/// One immutable published version of the mv-index.  Once a snapshot is
+/// reachable through IndexManager::Acquire nothing ever mutates it; probes
+/// run against `index` (const) with no synchronisation at all.
+struct IndexSnapshot {
+  explicit IndexSnapshot(rdf::TermDictionary* dict,
+                         const index::IndexOptions& options)
+      : index(dict, options) {}
+  RDFC_DISALLOW_COPY_AND_ASSIGN(IndexSnapshot);
+
+  std::uint64_t version = 0;
+  std::size_t num_views = 0;  // live views baked into this version
+  index::MvIndex index;
+};
+
+/// Versioned, snapshot-isolated publication of the mv-index (DESIGN.md
+/// "Service layer").
+///
+/// The regime is the one the paper's applications live in: probes vastly
+/// outnumber view-set changes, and a probe must never block behind an
+/// insert.  Writers batch Insert/Remove intents (StageAdd/StageRemove)
+/// against an authoritative view list and publish a complete new MvIndex
+/// version in one atomic pointer swing; readers pin a version through a
+/// hazard-slot handshake and probe it lock-free.
+///
+/// Threading contract:
+///   - Writer side — StageAdd, StageRemove, Publish, RegisterReader,
+///     num_retained_versions — is internally serialized by a mutex, but the
+///     caller must ALSO be the sole dictionary writer while calling it
+///     (StageAdd/Publish intern terms; see rdf::TermDictionary).  The
+///     containment service guarantees both with its mutation mutex.
+///   - Reader side — Acquire on a registered slot — never takes a lock:
+///     one seq_cst store plus the revalidation loop's loads.  Each slot
+///     supports one outstanding ReadGuard at a time and is thread-affine by
+///     convention (the service maps worker index -> slot index).
+///
+/// Memory reclamation (the argument, in full, in DESIGN.md): a reader
+/// announces its candidate snapshot in its hazard slot and re-checks the
+/// current pointer; the writer publishes the new version first and only then
+/// sweeps the slots.  In the seq_cst total order either the reader's
+/// announcement precedes the writer's sweep load (the writer sees it and
+/// retains the version), or the writer's publication precedes the reader's
+/// re-check (the reader observes the new pointer, abandons the stale
+/// candidate and retries).  Either way no guard can hold a freed snapshot,
+/// and at most `reader slots + 1` versions are ever retained.
+class IndexManager {
+ public:
+  explicit IndexManager(rdf::TermDictionary* dict,
+                        const index::IndexOptions& options = {});
+  ~IndexManager();
+  RDFC_DISALLOW_COPY_AND_ASSIGN(IndexManager);
+
+  // ------------------------------------------------------------------
+  // Writer side
+  // ------------------------------------------------------------------
+
+  /// Stages a view for the next Publish and returns its stable external id.
+  /// The view is NOT visible to probes until Publish.
+  [[nodiscard]] util::Result<std::uint64_t> StageAdd(query::BgpQuery view);
+
+  /// Stages removal of a previously added view (NotFound for unknown or
+  /// already-removed ids).  Takes effect at the next Publish.
+  [[nodiscard]] util::Status StageRemove(std::uint64_t view_id);
+
+  /// Builds a fresh MvIndex from the authoritative live-view list and
+  /// publishes it as the new current version; probes in flight keep the
+  /// version they pinned.  Transactional: if any staged view fails to index,
+  /// the error is returned, the current version stays, and the staged state
+  /// is untouched (StageRemove the offender and retry).  Returns the new
+  /// version number.  O(live views) — the cost is amortised by batching
+  /// stages; see DESIGN.md for the structural-sharing alternative.
+  [[nodiscard]] util::Result<std::uint64_t> Publish();
+
+  /// Registers a hazard slot and returns its index.  Writer-side (serialized
+  /// with Publish); call once per reader thread during setup.
+  std::size_t RegisterReader();
+
+  std::size_t num_live_views() const;
+  /// Staged-but-unpublished intent count (adds + removes); 0 right after
+  /// Publish.
+  std::size_t num_staged_changes() const;
+  /// Versions currently held alive (current + any pinned by readers).
+  /// Bounded by RegisterReader count + 1.
+  std::size_t num_retained_versions() const;
+
+  // ------------------------------------------------------------------
+  // Reader side
+  // ------------------------------------------------------------------
+
+  /// Pins the current snapshot for the guard's lifetime.  Lock-free; see the
+  /// class comment.  One outstanding guard per slot.
+  class ReadGuard {
+   public:
+    ReadGuard(ReadGuard&& other) noexcept
+        : slot_(other.slot_), snapshot_(other.snapshot_) {
+      other.slot_ = nullptr;
+      other.snapshot_ = nullptr;
+    }
+    ReadGuard& operator=(ReadGuard&&) = delete;
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ~ReadGuard() { Release(); }
+
+    const IndexSnapshot& operator*() const { return *snapshot_; }
+    const IndexSnapshot* operator->() const { return snapshot_; }
+
+   private:
+    friend class IndexManager;
+    struct Slot;
+    ReadGuard(const Slot* slot, const IndexSnapshot* snapshot)
+        : slot_(slot), snapshot_(snapshot) {}
+    void Release();
+
+    const Slot* slot_;
+    const IndexSnapshot* snapshot_;
+  };
+
+  ReadGuard Acquire(std::size_t reader_slot);
+
+  /// Version a probe submitted right now would see.  Reader-side.
+  std::uint64_t current_version() const {
+    return current_.load(std::memory_order_acquire)->version;
+  }
+
+ private:
+  struct ViewRecord {
+    std::uint64_t id = 0;
+    query::BgpQuery query;
+    bool alive = true;
+  };
+
+  /// Sweeps the hazard slots and frees every retired version no reader has
+  /// pinned.  Caller holds mu_.
+  void ReclaimLocked();
+
+  rdf::TermDictionary* dict_;
+  index::IndexOptions options_;
+
+  mutable std::mutex mu_;           // writer-side state below
+  std::vector<ViewRecord> views_;   // authoritative; rebuilt into snapshots
+  std::size_t num_live_views_ = 0;
+  std::size_t num_staged_ = 0;      // intents since last Publish
+  std::uint64_t next_view_id_ = 1;
+  std::uint64_t next_version_ = 0;
+  std::vector<std::unique_ptr<const IndexSnapshot>> versions_;  // retained
+
+  // Reader slots: appended under mu_ (RegisterReader), accessed lock-free by
+  // their owning reader thread and swept by the writer.
+  util::SnapshotVector<ReadGuard::Slot> slots_;
+
+  std::atomic<const IndexSnapshot*> current_{nullptr};
+};
+
+/// One hazard slot, cache-line padded so readers on different slots never
+/// share a line.  nullptr = the reader holds no snapshot.
+struct alignas(64) IndexManager::ReadGuard::Slot {
+  mutable std::atomic<const IndexSnapshot*> hazard{nullptr};
+};
+
+}  // namespace service
+}  // namespace rdfc

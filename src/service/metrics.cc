@@ -1,0 +1,102 @@
+#include "service/metrics.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace rdfc {
+namespace service {
+
+namespace {
+
+void AppendStageJson(std::ostringstream* os, const char* name,
+                     const util::LatencyHistogram& h) {
+  *os << '"' << name << "\":{\"count\":" << h.count()
+      << ",\"mean_us\":" << h.mean() << ",\"p50_us\":" << h.Percentile(50)
+      << ",\"p95_us\":" << h.Percentile(95)
+      << ",\"p99_us\":" << h.Percentile(99) << '}';
+}
+
+void PrintStageRow(std::ostream& os, const char* name,
+                   const util::LatencyHistogram& h) {
+  os << "  " << std::left << std::setw(8) << name << std::right
+     << std::setw(10) << h.count() << std::setw(12) << std::fixed
+     << std::setprecision(1) << h.mean() << std::setw(12) << h.Percentile(50)
+     << std::setw(12) << h.Percentile(95) << std::setw(12) << h.Percentile(99)
+     << '\n';
+}
+
+}  // namespace
+
+void MetricsSnapshot::Print(std::ostream& os) const {
+  os << "service counters\n"
+     << "  submitted         " << submitted << '\n'
+     << "  completed         " << completed << '\n'
+     << "  rejected          " << rejected << '\n'
+     << "  deadline_expired  " << deadline_expired << '\n'
+     << "  publishes         " << publishes << '\n'
+     << "latency (us)   count        mean         p50         p95         p99\n";
+  PrintStageRow(os, "queue", queue_micros);
+  PrintStageRow(os, "filter", filter_micros);
+  PrintStageRow(os, "verify", verify_micros);
+  PrintStageRow(os, "total", total_micros);
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"submitted\":" << submitted << ",\"completed\":" << completed
+     << ",\"rejected\":" << rejected
+     << ",\"deadline_expired\":" << deadline_expired
+     << ",\"publishes\":" << publishes << ',';
+  AppendStageJson(&os, "queue", queue_micros);
+  os << ',';
+  AppendStageJson(&os, "filter", filter_micros);
+  os << ',';
+  AppendStageJson(&os, "verify", verify_micros);
+  os << ',';
+  AppendStageJson(&os, "total", total_micros);
+  os << '}';
+  return os.str();
+}
+
+ServiceMetrics::ServiceMetrics(std::size_t num_worker_shards)
+    : num_shards_(num_worker_shards == 0 ? 1 : num_worker_shards),
+      shards_(std::make_unique<Shard[]>(num_shards_)) {}
+
+void ServiceMetrics::RecordCompleted(std::size_t shard, double queue_micros,
+                                     double filter_micros,
+                                     double verify_micros,
+                                     double total_micros) {
+  Shard& s = shards_[shard % num_shards_];
+  s.completed.fetch_add(1, std::memory_order_relaxed);
+  s.queue.Record(queue_micros);
+  s.filter.Record(filter_micros);
+  s.verify.Record(verify_micros);
+  s.total.Record(total_micros);
+}
+
+void ServiceMetrics::RecordDeadlineExpired(std::size_t shard,
+                                           double queue_micros) {
+  Shard& s = shards_[shard % num_shards_];
+  s.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+  s.queue.Record(queue_micros);
+}
+
+MetricsSnapshot ServiceMetrics::Snapshot() const {
+  MetricsSnapshot out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.publishes = publishes_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    const Shard& s = shards_[i];
+    out.completed += s.completed.load(std::memory_order_relaxed);
+    out.deadline_expired += s.deadline_expired.load(std::memory_order_relaxed);
+    s.queue.MergeInto(&out.queue_micros);
+    s.filter.MergeInto(&out.filter_micros);
+    s.verify.MergeInto(&out.verify_micros);
+    s.total.MergeInto(&out.total_micros);
+  }
+  return out;
+}
+
+}  // namespace service
+}  // namespace rdfc

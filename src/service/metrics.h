@@ -1,0 +1,108 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "util/macros.h"
+#include "util/stats.h"
+
+namespace rdfc {
+namespace service {
+
+/// Lock-free histogram sharable across threads: the fixed power-of-two
+/// bucket layout of util::LatencyHistogram with atomic counters.  Record is
+/// one relaxed fetch_add; the (rare) snapshot path folds the counters into a
+/// plain LatencyHistogram for percentile extraction.
+class AtomicHistogram {
+ public:
+  AtomicHistogram() = default;
+  RDFC_DISALLOW_COPY_AND_ASSIGN(AtomicHistogram);
+
+  void Record(double micros) {
+    buckets_[util::LatencyHistogram::BucketIndex(micros)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  /// Folds this histogram's counts into `out` (bucket-midpoint sum
+  /// accounting; see LatencyHistogram::AddBucketCount).
+  void MergeInto(util::LatencyHistogram* out) const {
+    for (std::size_t i = 0; i < util::LatencyHistogram::kNumBuckets; ++i) {
+      out->AddBucketCount(i, buckets_[i].load(std::memory_order_relaxed));
+    }
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, util::LatencyHistogram::kNumBuckets>
+      buckets_{};
+};
+
+/// Point-in-time fold of ServiceMetrics, safe to read at leisure.
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;         // admitted into the queue
+  std::uint64_t rejected = 0;          // shed with ResourceExhausted
+  std::uint64_t completed = 0;         // probes that ran to completion
+  std::uint64_t deadline_expired = 0;  // expired before their probe ran
+  std::uint64_t publishes = 0;         // index versions published
+
+  util::LatencyHistogram queue_micros;   // admission -> worker pickup
+  util::LatencyHistogram filter_micros;  // radix walk (PTime filter)
+  util::LatencyHistogram verify_micros;  // candidate decisions (incl. NP)
+  util::LatencyHistogram total_micros;   // admission -> response ready
+
+  /// Multi-line human-readable table (rdfc_stats --service, rdfc_serve).
+  void Print(std::ostream& os) const;
+  /// Single JSON object with counters plus count/mean/p50/p95/p99 per stage.
+  std::string ToJson() const;
+};
+
+/// Per-stage counters and latency histograms for the containment service.
+///
+/// The record path takes no locks anywhere: counters are relaxed atomics and
+/// each worker writes a cache-line-padded shard indexed by its worker id, so
+/// two workers never contend on a line.  Snapshot() merges the shards into a
+/// MetricsSnapshot — approximate under concurrency (relaxed reads), exact
+/// once the pool is quiescent, which is all a stats endpoint needs.
+class ServiceMetrics {
+ public:
+  explicit ServiceMetrics(std::size_t num_worker_shards);
+  RDFC_DISALLOW_COPY_AND_ASSIGN(ServiceMetrics);
+
+  // Producer side (any thread).
+  void RecordSubmitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordPublish() { publishes_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Worker side; `shard` is the worker index.
+  void RecordCompleted(std::size_t shard, double queue_micros,
+                       double filter_micros, double verify_micros,
+                       double total_micros);
+  void RecordDeadlineExpired(std::size_t shard, double queue_micros);
+
+  MetricsSnapshot Snapshot() const;
+
+  std::size_t num_shards() const { return num_shards_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> deadline_expired{0};
+    AtomicHistogram queue;
+    AtomicHistogram filter;
+    AtomicHistogram verify;
+    AtomicHistogram total;
+  };
+
+  const std::size_t num_shards_;
+  std::unique_ptr<Shard[]> shards_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> publishes_{0};
+};
+
+}  // namespace service
+}  // namespace rdfc

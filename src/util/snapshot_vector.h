@@ -1,0 +1,140 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace rdfc {
+namespace util {
+
+/// Append-only vector safe for one writer and many concurrent readers.
+///
+/// The service layer shares one TermDictionary between probe workers (pure
+/// readers) and the view-mutation path (a single serialized writer); a plain
+/// std::vector cannot back that sharing because push_back reallocates the
+/// buffer out from under concurrent readers.  SnapshotVector stores elements
+/// in fixed-size chunks that are never moved once allocated, so a reader
+/// holding an index obtained before the writer's latest size publication can
+/// dereference it forever without synchronisation beyond the publication
+/// itself.
+///
+/// Threading contract (DESIGN.md "Service layer"):
+///   - exactly one thread calls PushBack / EnsureSize / MutableAt at a time
+///     (the writer; external serialisation required);
+///   - any number of threads may concurrently call size() and At(i) for
+///     i < n, provided n was observed via size() (acquire) or via any
+///     happens-before edge downstream of the writer publishing size >= n
+///     (e.g. an IndexManager snapshot acquisition);
+///   - elements are written before the size covering them is released, so
+///     At(i) never observes a half-constructed element.
+///
+/// Chunk-pointer tables are grown by copy-and-publish; superseded tables are
+/// retired and reclaimed only in the destructor (O(log n) tables of pointer
+/// arrays — bytes, not elements), which is what makes the reader side
+/// lock-free and ABA-free.
+template <typename T>
+class SnapshotVector {
+ public:
+  static constexpr std::size_t kChunkShift = 12;  // 4096 elements per chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kChunkMask = kChunkSize - 1;
+
+  SnapshotVector() {
+    table_.store(NewTable(kInitialChunkSlots), std::memory_order_relaxed);
+  }
+
+  ~SnapshotVector() {
+    Table* table = table_.load(std::memory_order_relaxed);
+    for (T* chunk : table->chunks) delete[] chunk;
+    delete table;
+    for (Table* retired : retired_tables_) delete retired;
+  }
+
+  RDFC_DISALLOW_COPY_AND_ASSIGN(SnapshotVector);
+
+  /// Number of published elements.  Acquire: every element below the
+  /// returned size is fully written and safe to read.
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Reader access.  `i` must be below a size() value the calling thread has
+  /// observed (directly or through a downstream happens-before edge).
+  const T& At(std::size_t i) const {
+    const Table* table = table_.load(std::memory_order_acquire);
+    return table->chunks[i >> kChunkShift][i & kChunkMask];
+  }
+
+  /// Writer: appends one element and publishes the new size.
+  void PushBack(T value) {
+    const std::size_t n = size_.load(std::memory_order_relaxed);
+    *WriterSlot(n) = std::move(value);
+    size_.store(n + 1, std::memory_order_release);
+  }
+
+  /// Writer: grows to at least `n` elements, default-constructed.  Used with
+  /// MutableAt for element types that are written in place after publication
+  /// (e.g. std::atomic slots that start at a sentinel).
+  void EnsureSize(std::size_t n) {
+    const std::size_t current = size_.load(std::memory_order_relaxed);
+    if (n <= current) return;
+    for (std::size_t i = current; i < n; i += kChunkSize) {
+      (void)WriterSlot(i);  // allocates the chunk covering i
+    }
+    (void)WriterSlot(n - 1);
+    size_.store(n, std::memory_order_release);
+  }
+
+  /// Writer: in-place access to an already-published slot.  Only meaningful
+  /// for element types whose concurrent mutation is itself synchronised
+  /// (std::atomic<...>); for plain types, published slots are immutable.
+  T& MutableAt(std::size_t i) {
+    Table* table = table_.load(std::memory_order_relaxed);
+    return table->chunks[i >> kChunkShift][i & kChunkMask];
+  }
+
+ private:
+  static constexpr std::size_t kInitialChunkSlots = 64;
+
+  struct Table {
+    std::vector<T*> chunks;  // fixed length per table; slots set at most once
+  };
+
+  static Table* NewTable(std::size_t slots) {
+    auto* table = new Table();  // NOLINT: owned via table_/retired_tables_
+    table->chunks.assign(slots, nullptr);
+    return table;
+  }
+
+  /// Returns the writable slot for element `n`, allocating its chunk (and
+  /// growing the chunk table) as needed.  Writer-only.
+  T* WriterSlot(std::size_t n) {
+    const std::size_t chunk = n >> kChunkShift;
+    Table* table = table_.load(std::memory_order_relaxed);
+    if (chunk >= table->chunks.size()) {
+      std::size_t slots = table->chunks.size() * 2;
+      while (slots <= chunk) slots *= 2;
+      Table* grown = NewTable(slots);
+      for (std::size_t i = 0; i < table->chunks.size(); ++i) {
+        grown->chunks[i] = table->chunks[i];
+      }
+      retired_tables_.push_back(table);
+      // Release so a reader that later observes the published size also
+      // observes the fully-copied table contents.
+      table_.store(grown, std::memory_order_release);
+      table = grown;
+    }
+    if (table->chunks[chunk] == nullptr) {
+      table->chunks[chunk] = new T[kChunkSize]();  // NOLINT: freed in dtor
+    }
+    return &table->chunks[chunk][n & kChunkMask];
+  }
+
+  std::atomic<std::size_t> size_{0};
+  std::atomic<Table*> table_{nullptr};
+  std::vector<Table*> retired_tables_;  // writer-only; freed in dtor
+};
+
+}  // namespace util
+}  // namespace rdfc

@@ -69,5 +69,71 @@ std::string BucketedStats::LabelFor(std::int64_t key) const {
   return std::to_string(lo) + "-" + std::to_string(lo + width_ - 1);
 }
 
+std::size_t LatencyHistogram::BucketIndex(double micros) {
+  if (!(micros >= 1.0)) return 0;  // negatives and NaN clamp to bucket 0
+  int exp = 0;
+  // frexp: micros = m * 2^exp with m in [0.5, 1), so 2^(exp-1) <= micros
+  // < 2^exp — exactly bucket `exp` in our layout.
+  (void)std::frexp(micros, &exp);
+  const auto bucket = static_cast<std::size_t>(exp);
+  return bucket < kNumBuckets ? bucket : kNumBuckets - 1;
+}
+
+double LatencyHistogram::BucketLowerBound(std::size_t bucket) {
+  RDFC_DCHECK(bucket < kNumBuckets);
+  return bucket == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(bucket) - 1);
+}
+
+double LatencyHistogram::BucketUpperBound(std::size_t bucket) {
+  RDFC_DCHECK(bucket < kNumBuckets);
+  return std::ldexp(1.0, static_cast<int>(bucket));
+}
+
+void LatencyHistogram::Add(double micros) {
+  ++buckets_[BucketIndex(micros)];
+  ++count_;
+  sum_micros_ += micros > 0.0 ? micros : 0.0;
+}
+
+void LatencyHistogram::AddBucketCount(std::size_t bucket, std::uint64_t count) {
+  RDFC_DCHECK(bucket < kNumBuckets);
+  if (count == 0) return;
+  buckets_[bucket] += count;
+  count_ += count;
+  const double midpoint =
+      (BucketLowerBound(bucket) + BucketUpperBound(bucket)) / 2.0;
+  sum_micros_ += midpoint * static_cast<double>(count);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_micros_ += other.sum_micros_;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the requested sample, 1-based (p50 of 100 samples -> rank 50).
+  const double exact_rank = p / 100.0 * static_cast<double>(count_);
+  const auto rank =
+      static_cast<std::uint64_t>(exact_rank < 1.0 ? 1.0 : exact_rank + 0.5);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (cumulative + buckets_[i] >= rank) {
+      // Linear interpolation inside the bucket.
+      const double within =
+          static_cast<double>(rank - cumulative) /
+          static_cast<double>(buckets_[i]);
+      const double lo = BucketLowerBound(i);
+      return lo + within * (BucketUpperBound(i) - lo);
+    }
+    cumulative += buckets_[i];
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
 }  // namespace util
 }  // namespace rdfc

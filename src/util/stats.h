@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -67,6 +68,57 @@ class BucketedStats {
   std::int64_t width_;
   std::int64_t lo_;
   std::map<std::int64_t, StreamingStats> buckets_;  // keyed by bucket index
+};
+
+/// Fixed-bucket latency histogram over non-negative microsecond values, used
+/// by service::ServiceMetrics to report p50/p95/p99 per pipeline stage
+/// (index filter vs. NP verification) without storing raw samples.
+///
+/// Power-of-two boundaries: bucket 0 covers [0, 1) µs and bucket i >= 1
+/// covers [2^(i-1), 2^i) µs; the last bucket additionally absorbs overflow.
+/// 40 buckets span [0, ~2^39 µs ≈ 6 days) — comfortably past any probe.
+/// The fixed layout is what makes histograms mergeable across worker shards
+/// and process snapshots with no rebinning.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 40;
+
+  /// Bucket receiving `micros` (negatives clamp to bucket 0).
+  static std::size_t BucketIndex(double micros);
+  /// Inclusive lower bound of `bucket` in µs.
+  static double BucketLowerBound(std::size_t bucket);
+  /// Exclusive upper bound of `bucket` in µs (the last bucket reports twice
+  /// its lower bound, though it absorbs all overflow).
+  static double BucketUpperBound(std::size_t bucket);
+
+  void Add(double micros);
+
+  /// Bulk-adds `count` samples into `bucket`, accounting their sum as the
+  /// bucket midpoint (used when merging atomic per-worker shards, which keep
+  /// only counts).  Mean becomes approximate; percentiles are unaffected.
+  void AddBucketCount(std::size_t bucket, std::uint64_t count);
+
+  void Merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  double sum_micros() const { return sum_micros_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_micros_ / static_cast<double>(count_);
+  }
+
+  /// Value at percentile `p` in [0, 100], linearly interpolated inside the
+  /// bucket containing the rank (exact to within one bucket width).  0 when
+  /// empty.
+  double Percentile(double p) const;
+
+  const std::array<std::uint64_t, kNumBuckets>& bucket_counts() const {
+    return buckets_;
+  }
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_micros_ = 0.0;
 };
 
 }  // namespace util

@@ -19,6 +19,11 @@ enum class StatusCode {
   kOutOfRange,
   kUnsupported,
   kInternal,
+  /// Admission control: a bounded queue/pool is at capacity and the request
+  /// was shed rather than blocking (service-layer overload semantics).
+  kResourceExhausted,
+  /// The request's deadline passed before the work could start or finish.
+  kDeadlineExceeded,
 };
 
 /// Returned by operations that can fail without a payload.  Mirrors the
@@ -51,6 +56,12 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,70 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rdfc {
+namespace util {
+
+ThreadPool::ThreadPool(const Options& options)
+    : options_{std::max<std::size_t>(options.num_threads, 1),
+               options.queue_capacity} {
+  threads_.reserve(options_.num_threads);
+  for (std::size_t i = 0; i < options_.num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+Status ThreadPool::TrySubmit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::InvalidArgument("thread pool is shut down");
+    }
+    if (options_.queue_capacity != 0 &&
+        queue_.size() >= options_.queue_capacity) {
+      return Status::ResourceExhausted(
+          "task queue at capacity (" +
+          std::to_string(options_.queue_capacity) + ")");
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+  return Status::OK();
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::WorkerLoop(std::size_t worker_index) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task(worker_index);
+  }
+}
+
+}  // namespace util
+}  // namespace rdfc

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace rdfc {
+namespace util {
+
+/// Bounded-queue worker pool — the only place in the library (besides the
+/// service layer built on top of it) that spawns threads.  Producers submit
+/// through TrySubmit, which never blocks: when the admission queue is full it
+/// returns Status::ResourceExhausted and the caller decides what to shed
+/// (the containment service turns that into an overload response).
+///
+/// Tasks receive the index of the worker running them (0-based, stable for
+/// the pool's lifetime), which callers use for per-worker state: metrics
+/// shards, snapshot reader slots — anything that must be contention-free on
+/// the hot path.
+class ThreadPool {
+ public:
+  /// Task signature; `worker_index` is in [0, num_threads()).
+  using Task = std::function<void(std::size_t worker_index)>;
+
+  struct Options {
+    std::size_t num_threads = 4;     // clamped to >= 1
+    std::size_t queue_capacity = 1024;  // pending tasks; 0 = unbounded
+  };
+
+  explicit ThreadPool(const Options& options);
+  ~ThreadPool();  // Shutdown()
+  RDFC_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  /// Enqueues `task` without ever blocking the caller.  Returns
+  /// ResourceExhausted when the bounded queue is at capacity and
+  /// InvalidArgument after Shutdown; the task runs iff OK is returned.
+  [[nodiscard]] Status TrySubmit(Task task);
+
+  /// Stops intake, drains every already-accepted task, and joins the
+  /// workers.  Idempotent; also called by the destructor.
+  void Shutdown();
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  /// Tasks accepted but not yet started (point-in-time; advisory only).
+  std::size_t queue_depth() const;
+
+ private:
+  void WorkerLoop(std::size_t worker_index);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<Task> queue_;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+};
+
+}  // namespace util
+}  // namespace rdfc

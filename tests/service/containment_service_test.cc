@@ -1,0 +1,189 @@
+#include "service/containment_service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace rdfc {
+namespace service {
+namespace {
+
+ServiceOptions TestOptions(std::size_t threads = 2,
+                           std::size_t queue_capacity = 64) {
+  ServiceOptions options;
+  options.num_threads = threads;
+  options.queue_capacity = queue_capacity;
+  options.parser.default_prefixes[""] = "urn:t:";
+  return options;
+}
+
+TEST(ContainmentServiceTest, ProbeSeesPublishedViewsOnly) {
+  ContainmentService svc(TestOptions());
+  auto p = svc.AddView("ASK { ?x :p ?y . }");
+  auto q = svc.AddView("ASK { ?x :q ?y . }");
+  ASSERT_TRUE(p.ok() && q.ok());
+
+  // Staged but unpublished: nothing matches.
+  auto before = svc.Probe("ASK { ?a :p ?b . ?a :q ?c . }");
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->status.ok());
+  EXPECT_TRUE(before->containing_views.empty());
+  EXPECT_EQ(before->snapshot_version, 0u);
+
+  ASSERT_TRUE(svc.Publish().ok());
+  auto after = svc.Probe("ASK { ?a :p ?b . ?a :q ?c . }");
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after->status.ok());
+  EXPECT_EQ(after->snapshot_version, 1u);
+  // Both views contain the probe; ids come back deduplicated and ascending.
+  EXPECT_EQ(after->containing_views, (std::vector<std::uint64_t>{*p, *q}));
+  EXPECT_GE(after->total_micros, after->filter_micros);
+}
+
+TEST(ContainmentServiceTest, RemoveViewTakesEffectAtPublish) {
+  ContainmentService svc(TestOptions());
+  auto views = svc.PublishViews({"ASK { ?x :p ?y . }", "ASK { ?x :q ?y . }"});
+  ASSERT_TRUE(views.ok());
+  ASSERT_EQ(views->size(), 2u);
+
+  ASSERT_TRUE(svc.RemoveView((*views)[1]).ok());
+  ASSERT_TRUE(svc.Publish().ok());
+  auto response = svc.Probe("ASK { ?a :q ?b . }");
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->containing_views.empty());
+  auto still = svc.Probe("ASK { ?a :p ?b . }");
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ(still->containing_views,
+            (std::vector<std::uint64_t>{(*views)[0]}));
+}
+
+TEST(ContainmentServiceTest, ExpiredDeadlineReturnsDeadlineExceeded) {
+  ContainmentService svc(TestOptions(/*threads=*/1));
+  ASSERT_TRUE(svc.PublishViews({"ASK { ?x :p ?y . }"}).ok());
+
+  auto query = svc.Parse("ASK { ?a :p ?b . }");
+  ASSERT_TRUE(query.ok());
+  ProbeRequest request;
+  request.query = *query;
+  request.deadline = std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1);  // already expired
+  auto future = svc.Submit(std::move(request));
+  ASSERT_TRUE(future.ok());  // admission succeeds; expiry is checked at dequeue
+  const ProbeResponse response = future->get();
+  EXPECT_EQ(response.status.code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(response.containing_views.empty());
+
+  const MetricsSnapshot metrics = svc.Metrics();
+  EXPECT_EQ(metrics.deadline_expired, 1u);
+  EXPECT_EQ(metrics.completed, 0u);
+}
+
+TEST(ContainmentServiceTest, FullQueueShedsWithResourceExhausted) {
+  // One worker, two queue slots; every probe sleeps long enough that nothing
+  // drains while we overfill.  Admission must shed immediately — never block,
+  // never drop silently.
+  ContainmentService svc(TestOptions(/*threads=*/1, /*queue_capacity=*/2));
+  ASSERT_TRUE(svc.PublishViews({"ASK { ?x :p ?y . }"}).ok());
+  auto query = svc.Parse("ASK { ?a :p ?b . }");
+  ASSERT_TRUE(query.ok());
+
+  std::vector<std::future<ProbeResponse>> admitted;
+  std::size_t rejected = 0;
+  const auto start = std::chrono::steady_clock::now();
+  // Worker can hold 1 in flight + 2 queued: 6 submissions guarantee shedding.
+  for (int i = 0; i < 6; ++i) {
+    ProbeRequest request;
+    request.query = *query;
+    request.simulated_io_micros = 200000;  // 200ms: park the worker
+    auto future = svc.Submit(std::move(request));
+    if (future.ok()) {
+      admitted.push_back(std::move(future).value());
+    } else {
+      EXPECT_EQ(future.status().code(), util::StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(rejected, 3u);  // at most 3 admitted (1 running + 2 queued)
+  EXPECT_LE(admitted.size(), 3u);
+  // Rejections were immediate, not blocking: far less than one probe's 200ms.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(150));
+
+  // Every admitted probe still completes successfully — nothing was dropped.
+  for (auto& future : admitted) {
+    const ProbeResponse response = future.get();
+    EXPECT_TRUE(response.status.ok());
+    EXPECT_EQ(response.containing_views.size(), 1u);
+  }
+  const MetricsSnapshot metrics = svc.Metrics();
+  EXPECT_EQ(metrics.rejected, rejected);
+  EXPECT_EQ(metrics.submitted, admitted.size());
+  EXPECT_EQ(metrics.completed, admitted.size());
+}
+
+TEST(ContainmentServiceTest, SubmitBatchReportsPerRequestOutcomes) {
+  ContainmentService svc(TestOptions());
+  ASSERT_TRUE(svc.PublishViews({"ASK { ?x :p ?y . }"}).ok());
+  auto query = svc.Parse("ASK { ?a :p ?b . }");
+  ASSERT_TRUE(query.ok());
+
+  std::vector<ProbeRequest> batch(5);
+  for (auto& request : batch) request.query = *query;
+  batch[2].deadline = std::chrono::steady_clock::now() -
+                      std::chrono::milliseconds(1);
+  const auto results = svc.SubmitBatch(std::move(batch));
+  ASSERT_EQ(results.size(), 5u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << i;  // all admitted
+    if (i == 2) {
+      EXPECT_EQ(results[i]->status.code(),
+                util::StatusCode::kDeadlineExceeded);
+    } else {
+      EXPECT_TRUE(results[i]->status.ok()) << i;
+      EXPECT_EQ(results[i]->containing_views.size(), 1u);
+    }
+  }
+}
+
+TEST(ContainmentServiceTest, ProbesInFlightKeepTheirSnapshotVersion) {
+  ContainmentService svc(TestOptions());
+  ASSERT_TRUE(svc.PublishViews({"ASK { ?x :p ?y . }"}).ok());
+  auto v1 = svc.Probe("ASK { ?a :p ?b . }");
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->snapshot_version, 1u);
+
+  ASSERT_TRUE(svc.AddView("ASK { ?x :q ?y . }").ok());
+  ASSERT_TRUE(svc.Publish().ok());
+  auto v2 = svc.Probe("ASK { ?a :p ?b . }");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->snapshot_version, 2u);
+  EXPECT_EQ(svc.current_version(), 2u);
+}
+
+TEST(ContainmentServiceTest, SubmitAfterShutdownFails) {
+  ContainmentService svc(TestOptions());
+  ASSERT_TRUE(svc.PublishViews({"ASK { ?x :p ?y . }"}).ok());
+  auto query = svc.Parse("ASK { ?a :p ?b . }");
+  ASSERT_TRUE(query.ok());
+  svc.Shutdown();
+  svc.Shutdown();  // idempotent
+  ProbeRequest request;
+  request.query = *query;
+  auto future = svc.Submit(std::move(request));
+  EXPECT_FALSE(future.ok());
+}
+
+TEST(ContainmentServiceTest, ParseErrorsSurfaceWithoutStagingAnything) {
+  ContainmentService svc(TestOptions());
+  EXPECT_FALSE(svc.AddView("not sparql at all").ok());
+  auto batch = svc.PublishViews({"ASK { ?x :p ?y . }", "also not sparql"});
+  EXPECT_FALSE(batch.ok());
+  EXPECT_EQ(svc.num_live_views(), 0u);
+  EXPECT_EQ(svc.current_version(), 0u);  // nothing was published
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace rdfc

@@ -1,0 +1,162 @@
+#include "service/index_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "index/validate.h"
+
+namespace rdfc {
+namespace service {
+namespace {
+
+using rdfc::testing::ParseOrDie;
+
+class IndexManagerTest : public ::testing::Test {
+ protected:
+  query::BgpQuery Q(const std::string& text) { return ParseOrDie(text, &dict_); }
+
+  /// Probes the snapshot pinned by `guard` and returns the matched view ids.
+  std::vector<std::uint64_t> Probe(const IndexManager::ReadGuard& guard,
+                                   const std::string& text) {
+    const query::BgpQuery q = ParseOrDie(text, &dict_);
+    std::vector<std::uint64_t> out;
+    const index::ProbeResult result = guard->index.FindContaining(q);
+    for (const index::ProbeMatch& match : result.contained) {
+      for (std::uint64_t id : guard->index.external_ids(match.stored_id)) {
+        out.push_back(id);
+      }
+    }
+    return out;
+  }
+
+  rdf::TermDictionary dict_;
+};
+
+TEST_F(IndexManagerTest, StartsWithEmptyVersionZero) {
+  IndexManager manager(&dict_);
+  EXPECT_EQ(manager.current_version(), 0u);
+  EXPECT_EQ(manager.num_live_views(), 0u);
+  const std::size_t slot = manager.RegisterReader();
+  auto guard = manager.Acquire(slot);
+  EXPECT_EQ(guard->version, 0u);
+  EXPECT_EQ(guard->index.num_entries(), 0u);
+}
+
+TEST_F(IndexManagerTest, StagedViewsInvisibleUntilPublish) {
+  IndexManager manager(&dict_);
+  const std::size_t slot = manager.RegisterReader();
+  auto id = manager.StageAdd(Q("ASK { ?x :p ?y . }"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(manager.num_staged_changes(), 1u);
+  {
+    auto guard = manager.Acquire(slot);
+    EXPECT_TRUE(Probe(guard, "ASK { ?a :p ?b . ?a :q ?c . }").empty());
+  }
+  auto version = manager.Publish();
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 1u);
+  EXPECT_EQ(manager.num_staged_changes(), 0u);
+  {
+    auto guard = manager.Acquire(slot);
+    const auto hits = Probe(guard, "ASK { ?a :p ?b . ?a :q ?c . }");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0], *id);
+  }
+}
+
+TEST_F(IndexManagerTest, StageRemoveTakesEffectAtPublish) {
+  IndexManager manager(&dict_);
+  const std::size_t slot = manager.RegisterReader();
+  auto keep = manager.StageAdd(Q("ASK { ?x :p ?y . }"));
+  auto drop = manager.StageAdd(Q("ASK { ?x :q ?y . }"));
+  ASSERT_TRUE(keep.ok() && drop.ok());
+  ASSERT_TRUE(manager.Publish().ok());
+
+  ASSERT_TRUE(manager.StageRemove(*drop).ok());
+  EXPECT_EQ(manager.num_live_views(), 1u);
+  // Not yet published: the removed view still matches.
+  {
+    auto guard = manager.Acquire(slot);
+    EXPECT_EQ(Probe(guard, "ASK { ?a :q ?b . }").size(), 1u);
+  }
+  ASSERT_TRUE(manager.Publish().ok());
+  {
+    auto guard = manager.Acquire(slot);
+    EXPECT_TRUE(Probe(guard, "ASK { ?a :q ?b . }").empty());
+    EXPECT_EQ(Probe(guard, "ASK { ?a :p ?b . }").size(), 1u);
+  }
+
+  EXPECT_EQ(manager.StageRemove(*drop).code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(manager.StageRemove(999).code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(IndexManagerTest, RejectsEmptyView) {
+  IndexManager manager(&dict_);
+  auto result = manager.StageAdd(query::BgpQuery());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(IndexManagerTest, GuardPinsItsVersionAcrossPublish) {
+  IndexManager manager(&dict_);
+  const std::size_t slot = manager.RegisterReader();
+  ASSERT_TRUE(manager.StageAdd(Q("ASK { ?x :p ?y . }")).ok());
+  ASSERT_TRUE(manager.Publish().ok());
+
+  auto pinned = manager.Acquire(slot);
+  EXPECT_EQ(pinned->version, 1u);
+
+  ASSERT_TRUE(manager.StageAdd(Q("ASK { ?x :q ?y . }")).ok());
+  ASSERT_TRUE(manager.Publish().ok());
+  EXPECT_EQ(manager.current_version(), 2u);
+
+  // The held guard still reads version 1 — snapshot isolation — and the
+  // retained-version count reflects the pin.
+  EXPECT_EQ(pinned->version, 1u);
+  EXPECT_EQ(pinned->index.num_entries(), 1u);
+  EXPECT_EQ(manager.num_retained_versions(), 2u);  // v1 (pinned) + v2
+}
+
+TEST_F(IndexManagerTest, ReclaimsUnpinnedVersionsAtPublish) {
+  IndexManager manager(&dict_);
+  const std::size_t slot = manager.RegisterReader();
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(
+        manager.StageAdd(Q("ASK { ?x :p" + std::to_string(round) + " ?y . }"))
+            .ok());
+    ASSERT_TRUE(manager.Publish().ok());
+  }
+  // No guard outstanding: every superseded version was swept at its
+  // successor's publish.
+  EXPECT_EQ(manager.num_retained_versions(), 1u);
+
+  // A released guard's version is reclaimed by the next publish.
+  { auto guard = manager.Acquire(slot); }
+  ASSERT_TRUE(manager.StageAdd(Q("ASK { ?x :z ?y . }")).ok());
+  ASSERT_TRUE(manager.Publish().ok());
+  EXPECT_EQ(manager.num_retained_versions(), 1u);
+}
+
+TEST_F(IndexManagerTest, PublishedVersionsSatisfyIndexInvariants) {
+  IndexManager manager(&dict_);
+  const std::size_t slot = manager.RegisterReader();
+  ASSERT_TRUE(manager.StageAdd(Q("ASK { ?x :p ?y . ?y :q ?z . }")).ok());
+  ASSERT_TRUE(manager.StageAdd(Q("ASK { ?x :p ?y . }")).ok());
+  ASSERT_TRUE(manager.StageAdd(Q("ASK { ?x a :T . ?x :p ?y . }")).ok());
+  ASSERT_TRUE(manager.Publish().ok());
+  auto guard = manager.Acquire(slot);
+  EXPECT_TRUE(index::ValidateMvIndex(guard->index).ok());
+}
+
+TEST_F(IndexManagerTest, MoveTransfersGuardOwnership) {
+  IndexManager manager(&dict_);
+  const std::size_t slot = manager.RegisterReader();
+  auto a = manager.Acquire(slot);
+  IndexManager::ReadGuard b = std::move(a);
+  EXPECT_EQ(b->version, 0u);
+  // Destroying both releases the slot exactly once; the next publish then
+  // reclaims freely (no stale hazard).
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace rdfc

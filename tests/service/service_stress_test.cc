@@ -1,0 +1,173 @@
+// Multi-threaded stress for the service layer: probe submitters race view
+// publication, every published version is validated against the mv-index
+// invariants, and the hazard-slot bound on retained versions is checked
+// throughout.  This is the test the TSan CI job exists for.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "index/validate.h"
+#include "service/containment_service.h"
+
+namespace rdfc {
+namespace service {
+namespace {
+
+TEST(ServiceStressTest, ProbesRaceSnapshotPublication) {
+  constexpr std::size_t kRounds = 8;
+  constexpr std::size_t kViewsPerRound = 8;
+  constexpr std::size_t kSubmitters = 2;
+
+  ServiceOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 4096;
+  options.parser.default_prefixes[""] = "urn:t:";
+  ContainmentService svc(options);
+  // One extra hazard slot for the main thread's per-version validation.
+  const std::size_t validator_slot = svc.manager().RegisterReader();
+
+  // Pre-parse every probe before serving starts (interning is writer-side).
+  // Probe r*kViewsPerRound+v is contained exactly by round-r view v once
+  // that round has been published.
+  std::vector<query::BgpQuery> probes;
+  std::vector<std::string> view_texts;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    for (std::size_t v = 0; v < kViewsPerRound; ++v) {
+      const std::string pred = ":p" + std::to_string(r * kViewsPerRound + v);
+      view_texts.push_back("ASK { ?x " + pred + " ?y . }");
+      auto probe =
+          svc.Parse("ASK { ?a " + pred + " ?b . ?a :extra ?c . }");
+      ASSERT_TRUE(probe.ok());
+      probes.push_back(std::move(probe).value());
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> bad_responses{0};
+  std::vector<std::thread> submitters;
+  for (std::size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      std::vector<std::future<ProbeResponse>> pending;
+      std::size_t next = s;  // interleave the two submitters' probe streams
+      while (!stop.load(std::memory_order_acquire)) {
+        ProbeRequest request;
+        request.query = probes[next % probes.size()];
+        next += kSubmitters;
+        auto future = svc.Submit(std::move(request));
+        if (!future.ok()) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::yield();
+          continue;
+        }
+        pending.push_back(std::move(future).value());
+      }
+      for (auto& future : pending) {
+        const ProbeResponse response = future.get();
+        // A probe either sees its view (its round was published when the
+        // worker pinned a snapshot) or nothing — never garbage.
+        if (!response.status.ok() || response.containing_views.size() > 1 ||
+            response.snapshot_version > kRounds) {
+          bad_responses.fetch_add(1, std::memory_order_relaxed);
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Publish rounds while probes are in flight; validate each version.
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    for (std::size_t v = 0; v < kViewsPerRound; ++v) {
+      ASSERT_TRUE(svc.AddView(view_texts[r * kViewsPerRound + v]).ok());
+    }
+    auto version = svc.Publish();
+    ASSERT_TRUE(version.ok());
+    EXPECT_EQ(*version, r + 1);
+    {
+      IndexManager::ReadGuard guard = svc.manager().Acquire(validator_slot);
+      EXPECT_TRUE(index::ValidateMvIndex(guard->index).ok())
+          << "version " << guard->version;
+      EXPECT_EQ(guard->index.num_live_entries(), (r + 1) * kViewsPerRound);
+    }
+    // Hazard-slot bound: 4 workers + 1 validator slot -> at most 6 versions.
+    EXPECT_LE(svc.manager().num_retained_versions(),
+              options.num_threads + 2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : submitters) t.join();
+  svc.Shutdown();
+
+  EXPECT_EQ(bad_responses.load(), 0u);
+  EXPECT_GT(completed.load(), 0u);
+  const MetricsSnapshot metrics = svc.Metrics();
+  EXPECT_EQ(metrics.completed, completed.load());
+  EXPECT_EQ(metrics.rejected, shed.load());
+  EXPECT_EQ(metrics.publishes, kRounds);
+
+  // Quiesced: every probe now sees exactly its view.
+  auto final_probe = svc.Probe("ASK { ?a :p0 ?b . ?a :extra ?c . }");
+  ASSERT_FALSE(final_probe.ok());  // pool is shut down: admission fails
+  EXPECT_EQ(svc.current_version(), kRounds);
+  IndexManager::ReadGuard guard = svc.manager().Acquire(validator_slot);
+  EXPECT_EQ(guard->index.num_live_entries(), kRounds * kViewsPerRound);
+}
+
+TEST(ServiceStressTest, PublicationIsTransactionalUnderConcurrentProbing) {
+  // Removing and re-adding views across publishes while probing: live-view
+  // accounting and match results stay consistent at every version.
+  ServiceOptions options;
+  options.num_threads = 2;
+  options.queue_capacity = 1024;
+  options.parser.default_prefixes[""] = "urn:t:";
+  ContainmentService svc(options);
+
+  auto ids = svc.PublishViews({"ASK { ?x :p ?y . }", "ASK { ?x :q ?y . }",
+                               "ASK { ?x :r ?y . }"});
+  ASSERT_TRUE(ids.ok());
+  auto probe_q = svc.Parse("ASK { ?a :q ?b . }");
+  ASSERT_TRUE(probe_q.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> inconsistent{0};
+  std::thread prober([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      ProbeRequest request;
+      request.query = *probe_q;
+      auto future = svc.Submit(std::move(request));
+      if (!future.ok()) continue;
+      const ProbeResponse response = future->get();
+      // :q is removed at version 2 and re-added at version 3: whichever
+      // snapshot the worker pinned, the answer must match its version.
+      const bool hit = !response.containing_views.empty();
+      const bool expected_hit = response.snapshot_version != 2;
+      if (response.status.ok() && hit != expected_hit) {
+        inconsistent.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  ASSERT_TRUE(svc.RemoveView((*ids)[1]).ok());
+  ASSERT_TRUE(svc.Publish().ok());  // version 2: :q gone
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(svc.AddView("ASK { ?x :q ?y . }").ok());
+  ASSERT_TRUE(svc.Publish().ok());  // version 3: :q back
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  stop.store(true, std::memory_order_release);
+  prober.join();
+  svc.Shutdown();
+  EXPECT_EQ(inconsistent.load(), 0u);
+  EXPECT_EQ(svc.num_live_views(), 3u);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace rdfc

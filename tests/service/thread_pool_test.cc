@@ -1,0 +1,122 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <thread>
+
+namespace rdfc {
+namespace util {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool::Options options;
+  options.num_threads = 2;
+  ThreadPool pool(options);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(pool.TrySubmit([&ran](std::size_t) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+    }).ok());
+  }
+  pool.Shutdown();  // drains accepted work before joining
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, WorkerIndexIsInRange) {
+  ThreadPool::Options options;
+  options.num_threads = 3;
+  ThreadPool pool(options);
+  std::mutex mu;
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.TrySubmit([&mu, &seen](std::size_t worker) {
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(worker);
+    }).ok());
+  }
+  pool.Shutdown();
+  ASSERT_FALSE(seen.empty());
+  EXPECT_LT(*seen.rbegin(), 3u);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool::Options options;
+  options.num_threads = 0;
+  ThreadPool pool(options);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, FullQueueReturnsResourceExhaustedWithoutBlocking) {
+  ThreadPool::Options options;
+  options.num_threads = 1;
+  options.queue_capacity = 2;
+  ThreadPool pool(options);
+
+  // Park the single worker so queued tasks cannot drain.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool parked = false;
+  ASSERT_TRUE(pool.TrySubmit([&](std::size_t) {
+    std::unique_lock<std::mutex> lock(mu);
+    parked = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  }).ok());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return parked; });
+  }
+
+  // Capacity 2: two more accepted, the third is shed immediately.
+  ASSERT_TRUE(pool.TrySubmit([](std::size_t) {}).ok());
+  ASSERT_TRUE(pool.TrySubmit([](std::size_t) {}).ok());
+  const auto start = std::chrono::steady_clock::now();
+  const Status overloaded = pool.TrySubmit([](std::size_t) {});
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(overloaded.code(), StatusCode::kResourceExhausted);
+  EXPECT_LT(elapsed, std::chrono::milliseconds(100));  // shed, not blocked
+  EXPECT_EQ(pool.queue_depth(), 2u);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Shutdown();
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool(ThreadPool::Options{});
+  pool.Shutdown();
+  pool.Shutdown();  // idempotent
+  const Status status = pool.TrySubmit([](std::size_t) {});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsPendingTasks) {
+  ThreadPool::Options options;
+  options.num_threads = 1;
+  ThreadPool pool(options);
+  std::atomic<int> ran{0};
+  // The first task sleeps long enough for the rest to be queued when
+  // Shutdown is called; drain semantics still runs them all.
+  ASSERT_TRUE(pool.TrySubmit([&ran](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ran.fetch_add(1);
+  }).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pool.TrySubmit([&ran](std::size_t) { ran.fetch_add(1); }).ok());
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 11);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace rdfc

@@ -121,6 +121,99 @@ TEST(BucketedStatsTest, IndexSizeBuckets) {
   EXPECT_EQ(out[1].lo, 5000);
 }
 
+TEST(LatencyHistogramTest, BucketBoundaries) {
+  // Bucket 0 covers [0, 1); bucket i >= 1 covers [2^(i-1), 2^i).
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0.99), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(-5.0), 0u);  // clamps
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1.0), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1.99), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(2.0), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(3.99), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(4.0), 3u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1024.0), 11u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1023.9), 10u);
+  // Overflow lands in the last bucket instead of indexing out of range.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1e300),
+            LatencyHistogram::kNumBuckets - 1);
+
+  for (std::size_t b = 1; b < LatencyHistogram::kNumBuckets - 1; ++b) {
+    const double lo = LatencyHistogram::BucketLowerBound(b);
+    const double hi = LatencyHistogram::BucketUpperBound(b);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(lo), b) << "bucket " << b;
+    EXPECT_EQ(LatencyHistogram::BucketIndex(std::nextafter(hi, 0.0)), b);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(hi), b + 1);
+  }
+}
+
+TEST(LatencyHistogramTest, CountMeanAndExactSum) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  h.Add(10.0);
+  h.Add(20.0);
+  h.Add(30.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum_micros(), 60.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(LatencyHistogramTest, PercentileWithinOneBucket) {
+  // Percentiles are interpolated inside the rank's bucket, so any reported
+  // value must lie within that bucket's bounds.
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.Add(10.0);    // bucket [8, 16)
+  for (int i = 0; i < 10; ++i) h.Add(1000.0);  // bucket [512, 1024)
+  EXPECT_GE(h.Percentile(50), 8.0);
+  EXPECT_LT(h.Percentile(50), 16.0);
+  EXPECT_GE(h.Percentile(99), 512.0);
+  EXPECT_LT(h.Percentile(99), 1024.0);
+  // p90 sits exactly at the boundary rank: interpolation tops out at the low
+  // bucket's upper bound; one rank later jumps to the high bucket.
+  EXPECT_LE(h.Percentile(90), 16.0);
+  EXPECT_GE(h.Percentile(91), 512.0);
+}
+
+TEST(LatencyHistogramTest, PercentileClampsAndMonotone) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
+  double prev = 0.0;
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    prev = v;
+  }
+  EXPECT_LE(h.Percentile(100), 1024.0);  // max value 1000 lives in [512,1024)
+  EXPECT_EQ(h.Percentile(-3), h.Percentile(0));
+  EXPECT_EQ(h.Percentile(200), h.Percentile(100));
+}
+
+TEST(LatencyHistogramTest, MergePreservesCountsAndSum) {
+  LatencyHistogram a, b;
+  a.Add(5.0);
+  a.Add(100.0);
+  b.Add(7.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum_micros(), 112.0);
+  EXPECT_EQ(a.bucket_counts()[LatencyHistogram::BucketIndex(5.0)], 2u);
+}
+
+TEST(LatencyHistogramTest, AddBucketCountUsesMidpointSum) {
+  // Shard merges carry only bucket counts; the sum is accounted at bucket
+  // midpoints, so the mean is approximate but percentiles stay exact.
+  LatencyHistogram h;
+  const std::size_t bucket = LatencyHistogram::BucketIndex(12.0);  // [8, 16)
+  h.AddBucketCount(bucket, 4);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 12.0);  // midpoint of [8, 16)
+  EXPECT_GE(h.Percentile(50), 8.0);
+  EXPECT_LT(h.Percentile(50), 16.0);
+  h.AddBucketCount(bucket, 0);  // no-op
+  EXPECT_EQ(h.count(), 4u);
+}
+
 }  // namespace
 }  // namespace util
 }  // namespace rdfc

@@ -16,6 +16,11 @@
 //                      std::snprintf)
 //   raw-new            raw new/delete outside src/util/ (use RAII /
 //                      std::make_unique)
+//   raw-concurrency    std::thread / std::mutex & friends outside src/util/
+//                      and src/service/ (build on util::ThreadPool /
+//                      service::IndexManager so lock discipline stays in two
+//                      audited places; tests/ may exercise primitives
+//                      directly)
 //   stdout-in-library  std::cout / printf in library code under src/
 //                      (libraries report through util::Status or take an
 //                      std::ostream)
@@ -61,6 +66,17 @@ const char* const kStatusFreeFunctions[] = {
 /// tests do not trip the rule.
 const char* const kStatusMemberFunctions[] = {
     "Insert", "Remove", "MergeFrom", "AddView",
+    "StageAdd", "StageRemove", "Publish", "PublishViews", "RemoveView",
+    "TrySubmit",
+};
+
+/// Raw concurrency primitives; allowed only in src/util/ and src/service/
+/// (the two audited concurrency layers) and in tests/, which exercise the
+/// primitives deliberately.
+const char* const kConcurrencyPrimitives[] = {
+    "std::thread",       "std::jthread",           "std::mutex",
+    "std::shared_mutex", "std::recursive_mutex",   "std::condition_variable",
+    "std::lock_guard",   "std::unique_lock",       "std::scoped_lock",
 };
 
 struct Violation {
@@ -191,6 +207,8 @@ class Linter {
     const bool is_header = EndsWith(rel, ".h");
     const bool in_src = StartsWith(rel, "src/");
     const bool in_util = StartsWith(rel, "src/util/");
+    const bool concurrency_ok = in_util || StartsWith(rel, "src/service/") ||
+                                StartsWith(rel, "tests/");
 
     std::vector<std::string> raw, code;
     if (!LoadCodeView(path, &raw, &code)) {
@@ -221,6 +239,21 @@ class Linter {
       // members) and `delete` in comments/strings never reach here.
       if (!in_util) {
         CheckRawNewDelete(rel, i, line);
+      }
+
+      // raw-concurrency: threads and locks live in the two audited layers.
+      if (!concurrency_ok) {
+        for (const char* primitive : kConcurrencyPrimitives) {
+          const std::size_t pos = line.find(primitive);
+          if (pos != std::string::npos &&
+              MatchesWordAt(line, pos, primitive)) {
+            Add(rel, i + 1, "raw-concurrency",
+                std::string(primitive) +
+                    " outside src/util/ and src/service/ (use "
+                    "util::ThreadPool / the service layer, or NOLINT with "
+                    "a justification)");
+          }
+        }
       }
 
       // stdout-in-library: library code reports through util::Status or

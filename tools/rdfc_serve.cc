@@ -1,0 +1,169 @@
+// rdfc_serve — drives the concurrent containment service end to end: loads a
+// view set, publishes it as an immutable index version, then pushes a probe
+// stream through the worker pool and reports the per-stage latency metrics
+// (DESIGN.md "Service layer").
+//
+//   rdfc_serve --views=views.rq --probes=probes.rq [--threads=N]
+//   rdfc_serve --view-workload=lubm:200 --probe-workload=lubm:2000
+//   rdfc_serve ... --deadline-ms=5 --io-us=100 --json
+//
+// Query files use the repo's `---`-separated SPARQL format.  The workload
+// specs accept dbpedia|watdiv|bsbm|ldbc|lubm with an optional :count.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "query/bgp_query.h"
+#include "service/containment_service.h"
+#include "tool_util.h"
+#include "util/timer.h"
+#include "workload/workload.h"
+
+using namespace rdfc;  // NOLINT(build/namespaces)
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "rdfc_serve: %s\n", message.c_str());
+  return 1;
+}
+
+/// Generates `spec` = name[:count] against `dict` (single-threaded setup).
+util::Result<std::vector<query::BgpQuery>> GenerateSpec(
+    const std::string& spec, rdf::TermDictionary* dict, std::uint64_t seed) {
+  std::string name = spec;
+  std::size_t count = 1000;
+  if (const std::size_t colon = spec.find(':'); colon != std::string::npos) {
+    name = spec.substr(0, colon);
+    count = static_cast<std::size_t>(
+        std::strtoull(spec.substr(colon + 1).c_str(), nullptr, 10));
+  }
+  if (name == "dbpedia") return workload::GenerateDbpedia(dict, count, seed);
+  if (name == "watdiv") return workload::GenerateWatdiv(dict, count, seed);
+  if (name == "bsbm") return workload::GenerateBsbm(dict, count, seed);
+  if (name == "ldbc") return workload::GenerateLdbc(dict, count, seed);
+  if (name == "lubm") return workload::GenerateLubmExtended(dict, count, seed);
+  return util::Status::InvalidArgument("unknown workload: " + name);
+}
+
+util::Result<std::vector<query::BgpQuery>> ParseFile(
+    const std::string& path, service::ContainmentService* svc) {
+  RDFC_ASSIGN_OR_RETURN(std::vector<std::string> texts,
+                        tools::ReadQueryFile(path));
+  std::vector<query::BgpQuery> out;
+  out.reserve(texts.size());
+  for (const std::string& text : texts) {
+    RDFC_ASSIGN_OR_RETURN(query::BgpQuery q, svc->Parse(text));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tools::Args args = tools::Args::Parse(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(
+      std::strtoull(args.Get("seed", "42").c_str(), nullptr, 10));
+
+  service::ServiceOptions options;
+  options.num_threads = static_cast<std::size_t>(
+      std::strtoull(args.Get("threads", "4").c_str(), nullptr, 10));
+  options.queue_capacity = static_cast<std::size_t>(
+      std::strtoull(args.Get("queue", "4096").c_str(), nullptr, 10));
+  service::ContainmentService svc(options);
+
+  // --- Views ---------------------------------------------------------------
+  std::vector<query::BgpQuery> views;
+  if (args.Has("views")) {
+    auto parsed = ParseFile(args.Get("views"), &svc);
+    if (!parsed.ok()) return Fail(parsed.status().ToString());
+    views = std::move(parsed).value();
+  } else {
+    auto generated = GenerateSpec(args.Get("view-workload", "lubm:200"),
+                                  svc.mutable_dict(), seed);
+    if (!generated.ok()) return Fail(generated.status().ToString());
+    views = std::move(generated).value();
+  }
+  std::size_t staged = 0;
+  for (query::BgpQuery& view : views) {
+    auto id = svc.manager().StageAdd(std::move(view));
+    if (id.ok()) ++staged;  // empty/degenerate views are skipped
+  }
+  auto version = svc.Publish();
+  if (!version.ok()) return Fail(version.status().ToString());
+  std::fprintf(stderr, "published version %llu with %zu views\n",
+               static_cast<unsigned long long>(*version), staged);
+
+  // --- Probes --------------------------------------------------------------
+  std::vector<query::BgpQuery> probes;
+  if (args.Has("probes")) {
+    auto parsed = ParseFile(args.Get("probes"), &svc);
+    if (!parsed.ok()) return Fail(parsed.status().ToString());
+    probes = std::move(parsed).value();
+  } else {
+    auto generated = GenerateSpec(args.Get("probe-workload", "lubm:2000"),
+                                  svc.mutable_dict(), seed + 1);
+    if (!generated.ok()) return Fail(generated.status().ToString());
+    probes = std::move(generated).value();
+  }
+  if (probes.empty()) return Fail("no probes");
+
+  const double deadline_ms =
+      std::strtod(args.Get("deadline-ms", "0").c_str(), nullptr);
+  const double io_us = std::strtod(args.Get("io-us", "0").c_str(), nullptr);
+
+  std::vector<service::ProbeRequest> batch;
+  batch.reserve(probes.size());
+  for (query::BgpQuery& q : probes) {
+    service::ProbeRequest request;
+    request.query = std::move(q);
+    if (deadline_ms > 0) {
+      request.deadline = std::chrono::steady_clock::now() +
+                         std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 deadline_ms));
+    }
+    request.simulated_io_micros = io_us;
+    batch.push_back(std::move(request));
+  }
+
+  util::Timer wall;
+  const std::vector<util::Result<service::ProbeResponse>> responses =
+      svc.SubmitBatch(std::move(batch));
+  const double wall_ms = wall.ElapsedMillis();
+
+  std::size_t ok = 0, contained = 0, rejected = 0, expired = 0;
+  for (const auto& response : responses) {
+    if (!response.ok()) {
+      ++rejected;
+      continue;
+    }
+    if (!response->status.ok()) {
+      ++expired;
+      continue;
+    }
+    ++ok;
+    if (!response->containing_views.empty()) ++contained;
+  }
+
+  const service::MetricsSnapshot metrics = svc.Metrics();
+  if (args.Has("json")) {
+    std::printf("%s\n", metrics.ToJson().c_str());
+  } else {
+    std::printf("probes:           %zu\n", responses.size());
+    std::printf("completed:        %zu (%zu contained in >=1 view)\n", ok,
+                contained);
+    std::printf("rejected:         %zu\n", rejected);
+    std::printf("deadline expired: %zu\n", expired);
+    std::printf("wall time:        %.1f ms (%.0f probes/s, %zu threads)\n",
+                wall_ms, 1000.0 * static_cast<double>(responses.size()) / wall_ms,
+                options.num_threads);
+    std::ostringstream table;
+    metrics.Print(table);
+    std::printf("%s", table.str().c_str());
+  }
+  return 0;
+}
