@@ -1,0 +1,297 @@
+// Frozen-index probe latency: the pointer Radix tree vs its frozen (flat,
+// cache-friendly) compilation, on LUBM-derived and WatDiv view sets.
+//
+//   bench_frozen [out.json] [--smoke]
+//
+// For each workload the harness builds one MvIndex from the view set,
+// freezes it, prepares every probe once (preparation is the shared per-probe
+// fixed cost), then times FindContaining per probe on both layouts over
+// RDFC_REPS interleaved passes.  Before any timing it asserts the frozen
+// equivalence invariant — identical contained stored-id sets per probe —
+// and exits 1 on the first divergence, so `--smoke` doubles as the CI
+// correctness gate (perf numbers are informational there).
+//
+// Output: a JSON document (stdout, or the file given as argv[1]) with
+// p50/p95/mean per layout, the p50 speedup, and the structure footprint
+// (frozen bytes are exact; pointer-tree bytes are an allocation-model
+// estimate documented inline) — committed as BENCH_frozen.json.
+//
+// Env knobs: RDFC_VIEWS (default 3000), RDFC_PROBES (default 1500),
+// RDFC_REPS (default 5); --smoke shrinks the defaults to a seconds-long run.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "containment/pipeline.h"
+#include "index/frozen_index.h"
+#include "index/mv_index.h"
+#include "util/macros.h"
+#include "util/timer.h"
+#include "workload/workload.h"
+
+using namespace rdfc;  // NOLINT(build/namespaces)
+
+namespace {
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const auto v = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(rank, v.size() - 1)];
+}
+
+double Mean(const std::vector<double>& v) {
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return v.empty() ? 0.0 : sum / static_cast<double>(v.size());
+}
+
+std::vector<std::uint32_t> ContainedIds(const index::ProbeResult& result) {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(result.contained.size());
+  for (const index::ProbeMatch& m : result.contained) ids.push_back(m.stored_id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// Allocation-model estimate of the pointer tree's probe-relevant footprint,
+/// the counterpart of FrozenMvIndex::StructureBytes (entry table excluded on
+/// both sides — the layouts share it).  Per node: the struct itself plus the
+/// stored-id vector; per edge: the unordered_map slot (key token + Edge value
+/// + ~2 words of hash-node/bucket overhead, libstdc++'s layout) and the
+/// heap-allocated label vector.
+std::size_t PointerStructureBytes(const index::RadixNode& root) {
+  std::size_t bytes = 0;
+  std::vector<const index::RadixNode*> stack = {&root};
+  while (!stack.empty()) {
+    const index::RadixNode* node = stack.back();
+    stack.pop_back();
+    bytes += sizeof(index::RadixNode);
+    bytes += node->stored_ids.size() * sizeof(std::uint32_t);
+    for (const auto& [first, edge] : node->edges) {
+      (void)first;
+      bytes += sizeof(query::Token) + sizeof(index::RadixNode::Edge);
+      bytes += 2 * sizeof(void*);  // hash node links + bucket share
+      bytes += edge.label.size() * sizeof(query::Token);
+      stack.push_back(edge.child.get());
+    }
+  }
+  return bytes;
+}
+
+struct LayoutTiming {
+  std::vector<double> micros;  // one sample per (probe, rep)
+  double filter_micros = 0.0;  // Σ time in the radix walk (PTime filter)
+  double verify_micros = 0.0;  // Σ time deciding candidates (incl. NP)
+};
+
+struct WorkloadReport {
+  std::string name;
+  std::size_t views = 0;
+  std::size_t live_entries = 0;
+  std::size_t probes = 0;
+  std::size_t contained_pairs = 0;  // Σ per-probe |contained|, sanity anchor
+  LayoutTiming pointer, frozen;
+  std::size_t frozen_bytes = 0;
+  std::size_t pointer_bytes = 0;
+};
+
+/// Builds the index, checks per-probe equivalence (exits on divergence),
+/// then times both layouts with interleaved passes so neither gets a cache
+/// or frequency-scaling advantage.
+WorkloadReport RunWorkload(const std::string& name,
+                           const std::vector<query::BgpQuery>& views,
+                           const std::vector<query::BgpQuery>& probe_queries,
+                           const rdf::TermDictionary& dict,
+                           index::MvIndex* index, std::size_t reps) {
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    (void)index->Insert(views[i], i);  // degenerate generated views skipped
+  }
+  const index::FrozenMvIndex frozen(*index);
+
+  std::vector<containment::PreparedProbe> probes;
+  probes.reserve(probe_queries.size());
+  for (const query::BgpQuery& q : probe_queries) {
+    probes.push_back(containment::PrepareProbe(q, dict));
+  }
+
+  WorkloadReport report;
+  report.name = name;
+  report.views = views.size();
+  report.live_entries = index->num_live_entries();
+  report.probes = probes.size();
+  report.frozen_bytes = frozen.StructureBytes();
+  report.pointer_bytes = PointerStructureBytes(index->root());
+
+  // Equivalence gate (doubles as warmup for both layouts).
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const auto tree_ids = ContainedIds(index->FindContaining(probes[i]));
+    const auto flat_ids = ContainedIds(frozen.FindContaining(probes[i]));
+    report.contained_pairs += tree_ids.size();
+    if (tree_ids != flat_ids) {
+      std::fprintf(stderr,
+                   "EQUIVALENCE MISMATCH (%s, probe %zu): pointer=%zu ids, "
+                   "frozen=%zu ids\n",
+                   name.c_str(), i, tree_ids.size(), flat_ids.size());
+      std::exit(1);
+    }
+  }
+
+  util::Timer timer;
+  std::size_t sink = 0;  // keeps the results observable
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (const containment::PreparedProbe& probe : probes) {
+      timer.Restart();
+      const index::ProbeResult r = index->FindContaining(probe);
+      report.pointer.micros.push_back(timer.ElapsedMicros());
+      sink += r.contained.size();
+      report.pointer.filter_micros += r.filter_micros;
+      report.pointer.verify_micros += r.verify_micros;
+    }
+    for (const containment::PreparedProbe& probe : probes) {
+      timer.Restart();
+      const index::ProbeResult r = frozen.FindContaining(probe);
+      report.frozen.micros.push_back(timer.ElapsedMicros());
+      sink += r.contained.size();
+      report.frozen.filter_micros += r.filter_micros;
+      report.frozen.verify_micros += r.verify_micros;
+    }
+  }
+  if (sink != 2 * reps * report.contained_pairs) {
+    std::fprintf(stderr, "non-deterministic contained counts on %s\n",
+                 name.c_str());
+    std::exit(1);
+  }
+  return report;
+}
+
+void AppendLayout(std::string* json, const char* key, const LayoutTiming& t) {
+  const double n = std::max<double>(1.0, static_cast<double>(t.micros.size()));
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "      \"%s\": {\"p50_us\": %.3f, \"p95_us\": %.3f, "
+                "\"mean_us\": %.3f, \"mean_filter_us\": %.3f, "
+                "\"mean_verify_us\": %.3f}",
+                key, Percentile(t.micros, 50), Percentile(t.micros, 95),
+                Mean(t.micros), t.filter_micros / n, t.verify_micros / n);
+  *json += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  const std::size_t num_views = EnvSize("RDFC_VIEWS", smoke ? 400 : 3000);
+  const std::size_t num_probes = EnvSize("RDFC_PROBES", smoke ? 200 : 1500);
+  const std::size_t reps = EnvSize("RDFC_REPS", smoke ? 2 : 5);
+  std::fprintf(stderr, "[bench_frozen] views=%zu probes=%zu reps=%zu%s\n",
+               num_views, num_probes, reps, smoke ? " (smoke)" : "");
+
+  std::vector<WorkloadReport> reports;
+  {
+    rdf::TermDictionary dict;
+    auto views = workload::GenerateLubmExtended(&dict, num_views, 42);
+    auto probes = workload::GenerateLubmExtended(&dict, num_probes, 1042);
+    RDFC_CHECK(views.ok() && probes.ok());
+    index::MvIndex index(&dict);
+    reports.push_back(
+        RunWorkload("lubm_extended", *views, *probes, dict, &index, reps));
+  }
+  {
+    rdf::TermDictionary dict;
+    const auto views = workload::GenerateWatdiv(&dict, num_views, 42);
+    const auto probes = workload::GenerateWatdiv(&dict, num_probes, 1042);
+    index::MvIndex index(&dict);
+    reports.push_back(
+        RunWorkload("watdiv", views, probes, dict, &index, reps));
+  }
+
+  std::string json = "{\n  \"bench\": \"frozen_vs_pointer_probe\",\n";
+  json += "  \"views\": " + std::to_string(num_views) + ",\n";
+  json += "  \"probes\": " + std::to_string(num_probes) + ",\n";
+  json += "  \"reps\": " + std::to_string(reps) + ",\n";
+  json +=
+      "  \"note\": \"probe preparation excluded (shared fixed cost); "
+      "frozen bytes are exact, pointer bytes an allocation-model estimate; "
+      "equivalence of contained id sets is asserted before timing\",\n";
+  json += "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const WorkloadReport& r = reports[i];
+    const double p50_speedup = Percentile(r.frozen.micros, 50) > 0.0
+                                   ? Percentile(r.pointer.micros, 50) /
+                                         Percentile(r.frozen.micros, 50)
+                                   : 0.0;
+    std::fprintf(stderr,
+                 "[%s] pointer p50=%.2fus p95=%.2fus | frozen p50=%.2fus "
+                 "p95=%.2fus | p50 speedup %.2fx | %zu B vs %zu B\n",
+                 r.name.c_str(), Percentile(r.pointer.micros, 50),
+                 Percentile(r.pointer.micros, 95),
+                 Percentile(r.frozen.micros, 50),
+                 Percentile(r.frozen.micros, 95), p50_speedup, r.pointer_bytes,
+                 r.frozen_bytes);
+    char buf[256];
+    json += "    {\n";
+    std::snprintf(buf, sizeof(buf),
+                  "      \"workload\": \"%s\",\n      \"views\": %zu,\n"
+                  "      \"live_entries\": %zu,\n      \"probes\": %zu,\n"
+                  "      \"contained_pairs\": %zu,\n",
+                  r.name.c_str(), r.views, r.live_entries, r.probes,
+                  r.contained_pairs);
+    json += buf;
+    AppendLayout(&json, "pointer", r.pointer);
+    json += ",\n";
+    AppendLayout(&json, "frozen", r.frozen);
+    json += ",\n";
+    std::snprintf(
+        buf, sizeof(buf),
+        "      \"p50_speedup\": %.2f,\n"
+        "      \"pointer_structure_bytes\": %zu,\n"
+        "      \"frozen_structure_bytes\": %zu,\n"
+        "      \"pointer_bytes_per_stored_query\": %.1f,\n"
+        "      \"frozen_bytes_per_stored_query\": %.1f\n",
+        p50_speedup, r.pointer_bytes, r.frozen_bytes,
+        static_cast<double>(r.pointer_bytes) /
+            static_cast<double>(std::max<std::size_t>(1, r.live_entries)),
+        static_cast<double>(r.frozen_bytes) /
+            static_cast<double>(std::max<std::size_t>(1, r.live_entries)));
+    json += buf;
+    json += i + 1 < reports.size() ? "    },\n" : "    }\n";
+  }
+  json += "  ]\n}\n";
+
+  if (!out_path.empty()) {
+    std::FILE* out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+  if (smoke) std::fprintf(stderr, "[bench_frozen] smoke OK\n");
+  return 0;
+}

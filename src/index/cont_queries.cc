@@ -1,9 +1,8 @@
 #include "index/cont_queries.h"
 
 #include <map>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "index/probe_walk.h"
 #include "util/timer.h"
 
 namespace rdfc {
@@ -11,34 +10,14 @@ namespace index {
 
 namespace {
 
-using containment::BindAnchor;
-using containment::FGraphView;
 using containment::MatchState;
-using containment::Step;
-using containment::StepResult;
 
-/// Algorithm 3 with the paper's optimisations I and III made concrete.
-///
-/// Naively, every state at a tree vertex would be tested against every
-/// outgoing edge.  Instead, the current witness vertex of a state determines
-/// *exactly* which first tokens an edge could start with and still match:
-///
-///   - Open / Close / Separator structural tokens;
-///   - at the root: the anchor ?x1, or a constant belonging to the state's
-///     start class (constants anchor many real views);
-///   - after a separator: a re-anchor on any already-bound variable, the
-///     next fresh canonical variable, or any probe constant;
-///   - pairs: for each witness edge (pred, dir, target) incident to the
-///     current vertex — the predicate-ordered serialisation guarantees there
-///     are no other candidates — with the token's term being either the next
-///     fresh canonical variable, an already-bound variable mapped to
-///     `target`, or a constant member of `target`.
-///
-/// Each candidate is a single hash lookup in the vertex's edge map, so a
-/// probe's cost tracks its own size and the matched region of the tree,
-/// never the index's total fan-out.  Canonical-variable renaming
-/// (optimisation II) is what makes the fresh-variable token predictable:
-/// after binding m variables the next new variable is always ?x(m+1).
+/// Algorithm 3 over the pointer Radix tree, with the paper's optimisations I
+/// and III made concrete: each candidate token (internal::
+/// CollectCandidateTokens) is a single hash probe into the vertex's edge
+/// map, so a probe's cost tracks its own size and the matched region of the
+/// tree, never the index's total fan-out.  The frozen layout
+/// (frozen_index.cc) runs the same walk over sorted flat arrays.
 class Walker {
  public:
   Walker(const MvIndex& index, const containment::PreparedProbe& probe,
@@ -59,71 +38,17 @@ class Walker {
     }
     result_.filter_micros = timer.ElapsedMicros();
     timer.Restart();
-    Decide();
+    internal::DecideCandidates(index_, probe_, *dict_, options_,
+                               &candidate_sigmas_, &result_);
     result_.verify_micros = timer.ElapsedMicros();
     return std::move(result_);
   }
 
  private:
-  /// Appends every first token the state could legally consume next.
-  void CollectCandidates(const MatchState& st,
-                         std::vector<query::Token>* out) {
-    out->push_back(query::Token::Separator());
-    if (st.v == MatchState::kNoVertex) {
-      // Awaiting a component anchor (right after a separator).
-      const auto m = static_cast<std::uint32_t>(st.sigma.size());
-      // CanonicalVariableIfKnown keeps the walk strictly read-only: if ?x(m+1)
-      // was never interned, no stored query has that many variables and no
-      // edge can carry it.
-      const rdf::TermId fresh_anchor = dict_->CanonicalVariableIfKnown(m + 1);
-      if (fresh_anchor != rdf::kNullTerm) {
-        out->push_back(query::Token::Anchor(fresh_anchor));
-      }
-      for (const auto& [var, cls] : st.sigma) {
-        (void)cls;
-        out->push_back(query::Token::Anchor(var));
-      }
-      for (std::uint32_t cls = 0; cls < probe_.view.num_vertices(); ++cls) {
-        for (rdf::TermId c : probe_.view.ConstantsIn(cls)) {
-          out->push_back(query::Token::Anchor(c));
-        }
-      }
-      return;
-    }
-    out->push_back(query::Token::Open());
-    if (!st.path_stack.empty()) out->push_back(query::Token::Close());
-    // Root anchor (only the root can start with a stream-initial anchor;
-    // one extra hash miss elsewhere is harmless).
-    const auto m = static_cast<std::uint32_t>(st.sigma.size());
-    const rdf::TermId fresh = dict_->CanonicalVariableIfKnown(m + 1);
-    if (st.sigma.empty()) {
-      if (fresh != rdf::kNullTerm) {
-        out->push_back(query::Token::Anchor(fresh));
-      }
-      for (rdf::TermId c : probe_.view.ConstantsIn(st.v)) {
-        out->push_back(query::Token::Anchor(c));
-      }
-    }
-    for (const FGraphView::AdjEdge& edge : probe_.view.Adjacency(st.v)) {
-      if (fresh != rdf::kNullTerm) {
-        out->push_back(query::Token::Pair(edge.pred, fresh, edge.inverse));
-      }
-      for (const auto& [var, cls] : st.sigma) {
-        if (cls == edge.target) {
-          out->push_back(query::Token::Pair(edge.pred, var, edge.inverse));
-        }
-      }
-      for (rdf::TermId c : probe_.view.ConstantsIn(edge.target)) {
-        out->push_back(query::Token::Pair(edge.pred, c, edge.inverse));
-      }
-    }
-  }
-
   void Walk(const RadixNode& node, std::vector<MatchState> states) {
     if (node.is_query()) {
       for (std::uint32_t id : node.stored_ids) {
-        auto& sigmas = candidate_sigmas_[id];
-        sigmas.insert(sigmas.end(), states.begin(), states.end());
+        candidate_sigmas_.emplace_back(id, states);
       }
     }
     if (node.edges.empty()) return;
@@ -134,13 +59,15 @@ class Walker {
     std::vector<query::Token> candidates;
     for (const MatchState& st : states) {
       candidates.clear();
-      CollectCandidates(st, &candidates);
+      internal::CollectCandidateTokens(probe_.view, *dict_, st, &candidates);
       for (const query::Token& token : candidates) {
         auto it = node.edges.find(token);
         if (it == node.edges.end()) continue;
         const RadixNode::Edge& edge = it->second;
         MatchState copy = st;  // the paper's CopyOf
-        AdvanceLabel(edge.label, 0, std::move(copy), &by_edge[&edge]);
+        internal::AdvanceLabel(probe_.view, *dict_, edge.label.data(),
+                               edge.label.size(), 0, std::move(copy),
+                               &by_edge[&edge], &result_.states_explored);
       }
     }
     for (auto& [edge, survivors] : by_edge) {
@@ -148,91 +75,11 @@ class Walker {
     }
   }
 
-  /// Drives one state through label[from..], forking on separator anchors
-  /// (Section 5.2 multi-component entries).  Survivors are appended to out.
-  void AdvanceLabel(const std::vector<query::Token>& label, std::size_t from,
-                    MatchState state, std::vector<MatchState>* out) {
-    for (std::size_t i = from; i < label.size(); ++i) {
-      ++result_.states_explored;
-      const StepResult r = Step(probe_.view, *dict_, label[i], &state);
-      if (r == StepResult::kFail) return;
-      if (r == StepResult::kNeedsFork) {
-        for (std::uint32_t cls = 0; cls < probe_.view.num_vertices(); ++cls) {
-          MatchState forked = state;
-          if (BindAnchor(probe_.view, *dict_, label[i], cls, &forked)) {
-            AdvanceLabel(label, i + 1, std::move(forked), out);
-          }
-        }
-        return;
-      }
-    }
-    out->push_back(std::move(state));
-  }
-
-  void Decide() {
-    containment::CheckOptions check_options;
-    check_options.verify = options_.verify;
-    check_options.max_mappings = options_.max_mappings;
-    check_options.max_np_steps = options_.max_np_steps;
-
-    for (auto& [stored_id, sigmas] : candidate_sigmas_) {
-      ++result_.candidates;
-      containment::CheckOutcome outcome = containment::DecideFromSigmas(
-          probe_, index_.entry(stored_id), sigmas, *dict_, check_options);
-      if (outcome.needed_np) ++result_.np_checks;
-      const bool hit =
-          options_.verify ? outcome.contained : outcome.filter_passed;
-      if (hit) {
-        result_.contained.push_back(ProbeMatch{stored_id, std::move(outcome)});
-      }
-    }
-
-    // Entries with no indexable skeleton (all patterns var-predicate) are
-    // checked directly; their filter is vacuous (single empty σ_w).  A sound
-    // constant-occurrence pre-filter skips the NP check for the common case
-    // of entries like (?x, ?p, <const>) whose constant the probe never
-    // mentions: a containment mapping fixes constants, so a constant subject
-    // (object) of W must literally occur as a subject (object) in the probe.
-    std::unordered_set<rdf::TermId> probe_subjects, probe_objects;
-    if (!index_.skeleton_free_entries().empty()) {
-      for (const rdf::Triple& t : probe_.patterns.patterns()) {
-        probe_subjects.insert(t.s);
-        probe_objects.insert(t.o);
-      }
-    }
-    for (std::uint32_t id : index_.skeleton_free_entries()) {
-      const containment::PreparedStored& stored = index_.entry(id);
-      bool possible = !probe_.patterns.empty();
-      for (const rdf::Triple& t : stored.var_pred_patterns) {
-        if (dict_->IsConstant(t.s) && !probe_subjects.count(t.s)) {
-          possible = false;
-          break;
-        }
-        if (dict_->IsConstant(t.o) && !probe_objects.count(t.o)) {
-          possible = false;
-          break;
-        }
-      }
-      if (!possible) continue;
-      ++result_.candidates;
-      std::vector<MatchState> empty_sigma(1);
-      containment::CheckOutcome outcome = containment::DecideFromSigmas(
-          probe_, stored, empty_sigma, *dict_, check_options);
-      if (outcome.needed_np) ++result_.np_checks;
-      const bool hit =
-          options_.verify ? outcome.contained : outcome.filter_passed;
-      if (hit) {
-        result_.contained.push_back(ProbeMatch{id, std::move(outcome)});
-      }
-    }
-  }
-
   const MvIndex& index_;
   const containment::PreparedProbe& probe_;
   const ProbeOptions& options_;
   const rdf::TermDictionary* dict_;
-  std::unordered_map<std::uint32_t, std::vector<MatchState>>
-      candidate_sigmas_;
+  internal::CandidateSigmas candidate_sigmas_;
   ProbeResult result_;
 };
 

@@ -1,6 +1,7 @@
 #include "index/dot_export.h"
 
-#include <functional>
+#include <string>
+#include <vector>
 
 #include "util/string_util.h"
 
@@ -60,38 +61,61 @@ std::string ExportDot(const MvIndex& index, std::size_t max_label_tokens) {
   const rdf::TermDictionary& dict = index.dict();
   std::string out = "digraph mvindex {\n  rankdir=LR;\n  node [shape=circle,"
                     " label=\"\", width=0.18];\n";
+  // Explicit frame stack (deep chain workloads must not recurse), emitting
+  // in the same order recursion would: a node's declaration on entry, each
+  // parent->child edge line right after the child's whole subtree.
+  struct Frame {
+    std::size_t id = 0;
+    std::vector<const RadixNode::Edge*> edges;  // snapshot, map order
+    std::size_t next = 0;
+    // Emitted when this frame pops (subtree complete); empty for the root.
+    std::string edge_line;
+  };
   std::size_t next_id = 0;
-  std::function<std::size_t(const RadixNode&)> emit =
-      [&](const RadixNode& node) -> std::size_t {
-    const std::size_t my_id = next_id++;
+  auto enter = [&](const RadixNode& node) {
+    Frame frame;
+    frame.id = next_id++;
     if (node.is_query()) {
       std::string ids;
       for (std::uint32_t sid : node.stored_ids) {
         if (!ids.empty()) ids += ",";
         ids += std::to_string(sid);
       }
-      out += "  n" + std::to_string(my_id) +
+      out += "  n" + std::to_string(frame.id) +
              " [shape=doublecircle, width=0.25, label=\"" + ids + "\"];\n";
     }
+    frame.edges.reserve(node.edges.size());
     for (const auto& [first, edge] : node.edges) {
       (void)first;
-      std::vector<std::string> parts;
-      for (std::size_t i = 0;
-           i < edge.label.size() && i < max_label_tokens; ++i) {
-        parts.push_back(TokenLabel(edge.label[i], dict));
-      }
-      if (edge.label.size() > max_label_tokens) {
-        parts.push_back("+" +
-                        std::to_string(edge.label.size() - max_label_tokens));
-      }
-      const std::size_t child_id = emit(*edge.child);
-      out += "  n" + std::to_string(my_id) + " -> n" +
-             std::to_string(child_id) + " [label=\"" +
-             EscapeDot(util::Join(parts, " ")) + "\"];\n";
+      frame.edges.push_back(&edge);
     }
-    return my_id;
+    return frame;
   };
-  emit(index.root());
+  std::vector<Frame> stack;
+  stack.push_back(enter(index.root()));
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next == frame.edges.size()) {
+      out += frame.edge_line;
+      stack.pop_back();
+      continue;
+    }
+    const RadixNode::Edge& edge = *frame.edges[frame.next++];
+    std::vector<std::string> parts;
+    for (std::size_t i = 0; i < edge.label.size() && i < max_label_tokens;
+         ++i) {
+      parts.push_back(TokenLabel(edge.label[i], dict));
+    }
+    if (edge.label.size() > max_label_tokens) {
+      parts.push_back("+" +
+                      std::to_string(edge.label.size() - max_label_tokens));
+    }
+    Frame child = enter(*edge.child);
+    child.edge_line = "  n" + std::to_string(frame.id) + " -> n" +
+                      std::to_string(child.id) + " [label=\"" +
+                      EscapeDot(util::Join(parts, " ")) + "\"];\n";
+    stack.push_back(std::move(child));
+  }
   out += "}\n";
   return out;
 }

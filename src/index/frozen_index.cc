@@ -1,0 +1,342 @@
+#include "index/frozen_index.h"
+
+#include <algorithm>
+
+#include "index/probe_walk.h"
+#include "util/timer.h"
+
+namespace rdfc {
+namespace index {
+
+namespace {
+
+using containment::MatchState;
+
+/// [lo, hi) of the edges in `span[0..n)` whose dispatch token has class
+/// `key` (FrozenTokenClassKey: pred, type, inverse).  The span is sorted by
+/// FrozenTokenLess, so the class forms one contiguous run; linear scan for
+/// small fan-out, binary lower bound above that (mirrors FindEdge's hybrid).
+std::pair<std::uint32_t, std::uint32_t> ClassRange(const query::Token* span,
+                                                   std::uint32_t n,
+                                                   std::uint64_t key) {
+  std::uint32_t lo = 0;
+  if (n <= 8) {
+    while (lo < n && FrozenTokenClassKey(span[lo]) < key) ++lo;
+  } else {
+    std::uint32_t hi_b = n;
+    while (lo < hi_b) {
+      const std::uint32_t mid = lo + (hi_b - lo) / 2;
+      if (FrozenTokenClassKey(span[mid]) < key) {
+        lo = mid + 1;
+      } else {
+        hi_b = mid;
+      }
+    }
+  }
+  std::uint32_t hi = lo;
+  while (hi < n && FrozenTokenClassKey(span[hi]) == key) ++hi;
+  return {lo, hi};
+}
+
+/// Ordinal of the edge in [lo, hi) whose dispatch term is `term`, or -1.
+/// The range shares one (pred, type, inverse) class and is term-sorted, so
+/// the scan early-exits past `term`.
+std::int64_t TermInRange(const query::Token* span, std::uint32_t lo,
+                         std::uint32_t hi, rdf::TermId term) {
+  for (std::uint32_t j = lo; j < hi; ++j) {
+    if (span[j].term == term) return j;
+    if (span[j].term > term) break;
+  }
+  return -1;
+}
+
+}  // namespace
+
+FrozenMvIndex::FrozenMvIndex(const MvIndex& source) : dict_(&source.dict()) {
+  // One BFS pass over the pointer tree.  `order[i]` is the source node that
+  // became nodes_[i]; processing i appends i's children contiguously, which
+  // is exactly the children-of-a-node-adjacent property first_child relies
+  // on.  Indices (not iterators) throughout — the vectors grow as we go.
+  std::vector<const RadixNode*> order;
+  order.reserve(source.num_nodes() + 1);
+  nodes_.reserve(source.num_nodes() + 1);
+  order.push_back(&source.root());
+  std::vector<const RadixNode::Edge*> sorted;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const RadixNode& src = *order[i];
+    Node n;
+    n.first_edge = static_cast<std::uint32_t>(edge_first_.size());
+    n.num_edges = static_cast<std::uint32_t>(src.edges.size());
+    n.first_child = static_cast<std::uint32_t>(order.size());
+    n.stored_begin = static_cast<std::uint32_t>(stored_ids_.size());
+    n.stored_count = static_cast<std::uint32_t>(src.stored_ids.size());
+    stored_ids_.insert(stored_ids_.end(), src.stored_ids.begin(),
+                       src.stored_ids.end());
+    sorted.clear();
+    sorted.reserve(src.edges.size());
+    for (const auto& [first, edge] : src.edges) {
+      (void)first;  // invariant T3: the map key is label.front()
+      sorted.push_back(&edge);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const RadixNode::Edge* a, const RadixNode::Edge* b) {
+                return FrozenTokenLess(a->label.front(), b->label.front());
+              });
+    for (const RadixNode::Edge* e : sorted) {
+      edge_first_.push_back(e->label.front());
+      edge_label_offset_.push_back(static_cast<std::uint32_t>(labels_.size()));
+      edge_label_len_.push_back(static_cast<std::uint32_t>(e->label.size()));
+      labels_.insert(labels_.end(), e->label.begin(), e->label.end());
+      order.push_back(e->child.get());
+    }
+    nodes_.push_back(n);
+  }
+
+  // Entry table, carried over by stored id so frozen probes report the same
+  // ids the pointer walk would.  Dead ids keep an empty (alive=false) slot;
+  // the tree no longer references them, so the walk never reads one.
+  entries_.resize(source.num_entries());
+  for (std::uint32_t id = 0; id < entries_.size(); ++id) {
+    if (!source.alive(id)) continue;
+    entries_[id].prepared = source.entry(id);
+    entries_[id].external_ids = source.external_ids(id);
+    entries_[id].alive = true;
+    ++num_live_;
+  }
+  skeleton_free_ = source.skeleton_free_entries();
+}
+
+std::int64_t FrozenMvIndex::FindEdge(const Node& node,
+                                     const query::Token& token) const {
+  const query::Token* first = edge_first_.data() + node.first_edge;
+  if (node.num_edges <= 8) {
+    for (std::uint32_t j = 0; j < node.num_edges; ++j) {
+      if (first[j] == token) return j;
+    }
+    return -1;
+  }
+  std::uint32_t lo = 0;
+  std::uint32_t hi = node.num_edges;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (FrozenTokenLess(first[mid], token)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < node.num_edges && first[lo] == token) return lo;
+  return -1;
+}
+
+ProbeResult FrozenMvIndex::FindContaining(const query::BgpQuery& q,
+                                          const ProbeOptions& options) const {
+  return FindContaining(containment::PrepareProbe(q, *dict_), options);
+}
+
+ProbeResult FrozenMvIndex::FindContaining(
+    const containment::PreparedProbe& probe,
+    const ProbeOptions& options) const {
+  util::Timer timer;
+  ProbeResult result;
+  internal::CandidateSigmas candidate_sigmas;
+
+  // Algorithm 3 over the flat arrays.  Same walk as cont_queries.cc —
+  // identical candidate tokens, advancement, and σ_w accumulation — but the
+  // per-vertex edge dispatch is a probe into the sorted first-token span
+  // instead of a hash lookup, and recursion is an explicit frame stack.
+  //
+  // All scratch is thread_local and state-vector buffers are recycled
+  // through `spare`, so a steady-state probe allocates only for the σ_w
+  // copies it actually reports — the probe path is hot enough that malloc
+  // churn was a measurable share of the walk.
+  struct Frame {
+    std::uint32_t node = 0;
+    std::vector<MatchState> states;
+  };
+  if (probe.view.num_vertices() > 0 && !nodes_.empty()) {
+    thread_local std::vector<Frame> stack;
+    // Survivors grouped by edge ordinal; a flat (ordinal, states) list —
+    // fan-out actually advanced per vertex is small, so linear slot lookup
+    // beats a map and the buffers move straight onto the frame stack.
+    thread_local std::vector<std::pair<std::uint32_t, std::vector<MatchState>>>
+        pending;
+    thread_local std::vector<std::vector<MatchState>> spare;
+    stack.clear();
+    pending.clear();
+    auto acquire = [] {
+      if (spare.empty()) return std::vector<MatchState>();
+      std::vector<MatchState> v = std::move(spare.back());
+      spare.pop_back();
+      v.clear();
+      return v;
+    };
+
+    Frame root;
+    root.states = acquire();
+    root.states.reserve(probe.view.num_vertices());
+    for (std::uint32_t cls = 0; cls < probe.view.num_vertices(); ++cls) {
+      root.states.push_back(MatchState::AtAnchor(cls));
+    }
+    stack.push_back(std::move(root));
+
+    while (!stack.empty()) {
+      Frame frame = std::move(stack.back());
+      stack.pop_back();
+      const Node& node = nodes_[frame.node];
+      for (std::uint32_t j = 0; j < node.stored_count; ++j) {
+        candidate_sigmas.emplace_back(stored_ids_[node.stored_begin + j],
+                                      frame.states);
+      }
+      if (node.num_edges != 0) {
+        pending.clear();
+        const query::Token* span = edge_first_.data() + node.first_edge;
+        auto advance = [&](std::uint32_t ordinal, const MatchState& st) {
+          std::vector<MatchState>* slot = nullptr;
+          for (auto& [ord, states] : pending) {
+            if (ord == ordinal) {
+              slot = &states;
+              break;
+            }
+          }
+          if (slot == nullptr) {
+            pending.emplace_back(ordinal, acquire());
+            slot = &pending.back().second;
+          }
+          MatchState copy = st;  // the paper's CopyOf
+          const std::uint32_t edge_idx = node.first_edge + ordinal;
+          internal::AdvanceLabel(probe.view, *dict_,
+                                 labels_.data() + edge_label_offset_[edge_idx],
+                                 edge_label_len_[edge_idx], 0, std::move(copy),
+                                 slot, &result.states_explored);
+        };
+        auto probe_term = [&](std::uint32_t lo, std::uint32_t hi,
+                              rdf::TermId term, const MatchState& st) {
+          const std::int64_t e = TermInRange(span, lo, hi, term);
+          if (e >= 0) advance(static_cast<std::uint32_t>(e), st);
+        };
+        // Structural-token ordinals and the anchor class range depend only
+        // on the node — resolved once, reused by every state at this vertex.
+        // All of them live in the pred-0 prefix of the span (anchors and
+        // structural tokens sort before any pair, whose key is >= pred<<16),
+        // so one short scan replaces three binary searches.
+        std::int64_t sep_ord = -1;
+        std::int64_t open_ord = -1;
+        std::int64_t close_ord = -1;
+        std::uint32_t alo = 0;  // anchors have class key 0: the span front
+        std::uint32_t ahi = 0;
+        for (std::uint32_t front = 0;
+             front < node.num_edges &&
+             FrozenTokenClassKey(span[front]) < (std::uint64_t{1} << 16);
+             ++front) {
+          switch (span[front].type) {
+            case query::TokenType::kAnchor:
+              ahi = front + 1;
+              break;
+            case query::TokenType::kOpen:
+              open_ord = front;
+              break;
+            case query::TokenType::kClose:
+              close_ord = front;
+              break;
+            case query::TokenType::kSeparator:
+              sep_ord = front;
+              break;
+            case query::TokenType::kPair:  // unreachable: pairs have pred != 0
+              break;
+          }
+        }
+        // internal::CollectCandidateTokens fused with dispatch: the same
+        // candidates are tried in the same order (the equivalence the tests
+        // and rdfc_fuzz pin down), but pair candidates of an adjacency edge
+        // resolve against the narrow (pred, direction) class range of the
+        // sorted span — an adjacency edge whose predicate is absent at this
+        // vertex costs one range probe instead of one token per possible
+        // target, and no candidate vector is ever materialised.
+        for (const MatchState& st : frame.states) {
+          if (sep_ord >= 0) {
+            advance(static_cast<std::uint32_t>(sep_ord), st);
+          }
+          const auto m = static_cast<std::uint32_t>(st.sigma.size());
+          const rdf::TermId fresh = dict_->CanonicalVariableIfKnown(m + 1);
+          if (st.v == MatchState::kNoVertex) {
+            // Awaiting a component anchor (right after a separator).
+            if (alo != ahi) {
+              if (fresh != rdf::kNullTerm) probe_term(alo, ahi, fresh, st);
+              for (const auto& [var, cls] : st.sigma) {
+                (void)cls;
+                probe_term(alo, ahi, var, st);
+              }
+              for (std::uint32_t cls = 0; cls < probe.view.num_vertices();
+                   ++cls) {
+                for (rdf::TermId c : probe.view.ConstantsIn(cls)) {
+                  probe_term(alo, ahi, c, st);
+                }
+              }
+            }
+            continue;
+          }
+          if (open_ord >= 0) {
+            advance(static_cast<std::uint32_t>(open_ord), st);
+          }
+          if (close_ord >= 0 && !st.path_stack.empty()) {
+            advance(static_cast<std::uint32_t>(close_ord), st);
+          }
+          if (st.sigma.empty()) {
+            // Root anchor (only the root can start with a stream-initial
+            // anchor; one extra miss elsewhere is harmless).
+            if (alo != ahi) {
+              if (fresh != rdf::kNullTerm) probe_term(alo, ahi, fresh, st);
+              for (rdf::TermId c : probe.view.ConstantsIn(st.v)) {
+                probe_term(alo, ahi, c, st);
+              }
+            }
+          }
+          for (const containment::FGraphView::AdjEdge& adj :
+               probe.view.Adjacency(st.v)) {
+            const std::uint64_t key = FrozenTokenClassKey(
+                query::Token::Pair(adj.pred, rdf::kNullTerm, adj.inverse));
+            const auto [lo, hi] = ClassRange(span, node.num_edges, key);
+            if (lo == hi) continue;
+            if (fresh != rdf::kNullTerm) probe_term(lo, hi, fresh, st);
+            for (const auto& [var, cls] : st.sigma) {
+              if (cls == adj.target) probe_term(lo, hi, var, st);
+            }
+            for (rdf::TermId c : probe.view.ConstantsIn(adj.target)) {
+              probe_term(lo, hi, c, st);
+            }
+          }
+        }
+        for (auto& [ordinal, survivors] : pending) {
+          if (survivors.empty()) {
+            spare.push_back(std::move(survivors));
+            continue;
+          }
+          Frame next;
+          next.node = node.first_child + ordinal;
+          next.states = std::move(survivors);
+          stack.push_back(std::move(next));
+        }
+      }
+      spare.push_back(std::move(frame.states));
+    }
+  }
+  result.filter_micros = timer.ElapsedMicros();
+  timer.Restart();
+  internal::DecideCandidates(*this, probe, *dict_, options, &candidate_sigmas,
+                             &result);
+  result.verify_micros = timer.ElapsedMicros();
+  return result;
+}
+
+std::size_t FrozenMvIndex::StructureBytes() const {
+  return nodes_.size() * sizeof(Node) +
+         edge_first_.size() * sizeof(query::Token) +
+         edge_label_offset_.size() * sizeof(std::uint32_t) +
+         edge_label_len_.size() * sizeof(std::uint32_t) +
+         labels_.size() * sizeof(query::Token) +
+         stored_ids_.size() * sizeof(std::uint32_t);
+}
+
+}  // namespace index
+}  // namespace rdfc

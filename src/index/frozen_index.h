@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "containment/pipeline.h"
+#include "index/mv_index.h"
+#include "query/serialisation.h"
+#include "rdf/dictionary.h"
+#include "util/status.h"
+
+namespace rdfc {
+namespace index {
+
+/// Total order on tokens used by the frozen edge-dispatch arrays.  Any total
+/// order works as long as freeze and probe agree; this one packs
+/// (pred, type, inverse) into one integer compare so the common case (two
+/// kPair tokens with different predicates) is decided in a single branch.
+inline std::uint64_t FrozenTokenClassKey(const query::Token& t) {
+  return (static_cast<std::uint64_t>(t.pred) << 16) |
+         (static_cast<std::uint64_t>(t.type) << 8) |
+         static_cast<std::uint64_t>(t.inverse ? 1 : 0);
+}
+inline bool FrozenTokenLess(const query::Token& a, const query::Token& b) {
+  const std::uint64_t ka = FrozenTokenClassKey(a);
+  const std::uint64_t kb = FrozenTokenClassKey(b);
+  if (ka != kb) return ka < kb;
+  return a.term < b.term;
+}
+
+/// A read-only compilation of an MvIndex into a flat, cache-friendly probe
+/// representation (DESIGN.md "Frozen index").
+///
+/// The pointer Radix tree is the right structure for mutation (insert with
+/// node splitting, removal with re-merging) but a poor one to probe: every
+/// edge hop costs an unordered_map lookup plus a unique_ptr dereference plus
+/// a heap-allocated label vector — two to three dependent cache misses per
+/// hop.  Freezing compiles the tree in one pass into four contiguous
+/// arrays:
+///
+///   nodes_    all vertices in BFS order, children of a vertex adjacent, so
+///             an edge's child is `first_child + edge_ordinal` — no child
+///             pointers at all;
+///   edges_*   per-vertex spans of parallel arrays: the dispatch array of
+///             first tokens (sorted by FrozenTokenLess, probed with a
+///             binary/linear hybrid), and each label's (offset, len) into
+///   labels_   one shared token pool holding every edge label back to back;
+///   stored_   the per-vertex stored-id lists, concatenated.
+///
+/// The entry table (PreparedStored + external ids) and the skeleton-free
+/// side list are carried over from the source index *by stored id*, so a
+/// frozen probe returns exactly the stored ids the pointer walk would — the
+/// equivalence the tests and rdfc_fuzz assert.  A FrozenMvIndex never
+/// mutates; the service freezes each published snapshot while staging keeps
+/// mutating the pointer tree (service/index_manager.h).
+class FrozenMvIndex {
+ public:
+  /// One vertex.  All five fields are array indexes, so the struct is
+  /// trivially relocatable — persistence writes the node array as raw bytes.
+  struct Node {
+    std::uint32_t first_edge = 0;    // span start in the edge arrays
+    std::uint32_t num_edges = 0;
+    std::uint32_t first_child = 0;   // node index of edge 0's child
+    std::uint32_t stored_begin = 0;  // span start in stored_ids()
+    std::uint32_t stored_count = 0;
+  };
+  static_assert(sizeof(Node) == 20, "Node must stay padding-free (persisted)");
+
+  /// Compiles `source` in one pass (BFS over the pointer tree plus one copy
+  /// of the live entry table).  The frozen index keeps the source's
+  /// dictionary pointer; it does not keep the source itself.
+  explicit FrozenMvIndex(const MvIndex& source);
+  RDFC_DISALLOW_COPY_AND_ASSIGN(FrozenMvIndex);
+
+  /// Algorithm 3 over the flat layout — same ProbeResult (contained set,
+  /// counters, timings) as MvIndex::FindContaining on the source index.
+  ProbeResult FindContaining(const query::BgpQuery& q,
+                             const ProbeOptions& options = {}) const;
+  ProbeResult FindContaining(const containment::PreparedProbe& probe,
+                             const ProbeOptions& options = {}) const;
+
+  // ------------------------------------------------------------------
+  // Entry table (indexed by the source index's stored ids)
+  // ------------------------------------------------------------------
+
+  std::size_t num_entries() const { return entries_.size(); }
+  std::size_t num_live_entries() const { return num_live_; }
+  bool alive(std::uint32_t stored_id) const {
+    return stored_id < entries_.size() && entries_[stored_id].alive;
+  }
+  const containment::PreparedStored& entry(std::uint32_t stored_id) const {
+    return entries_[stored_id].prepared;
+  }
+  const std::vector<std::uint64_t>& external_ids(
+      std::uint32_t stored_id) const {
+    return entries_[stored_id].external_ids;
+  }
+  const std::vector<std::uint32_t>& skeleton_free_entries() const {
+    return skeleton_free_;
+  }
+
+  // ------------------------------------------------------------------
+  // Flat structure (read by the walk, validation, stats, persistence)
+  // ------------------------------------------------------------------
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  /// Dispatch array: first token of every edge, grouped per node, sorted
+  /// within each node's span by FrozenTokenLess.
+  const std::vector<query::Token>& edge_first_tokens() const {
+    return edge_first_;
+  }
+  const std::vector<std::uint32_t>& edge_label_offsets() const {
+    return edge_label_offset_;
+  }
+  const std::vector<std::uint32_t>& edge_label_lens() const {
+    return edge_label_len_;
+  }
+  const std::vector<query::Token>& label_pool() const { return labels_; }
+  const std::vector<std::uint32_t>& stored_ids() const { return stored_ids_; }
+
+  const rdf::TermDictionary& dict() const { return *dict_; }
+
+  /// Bytes held by the flat probe structure (nodes + edges + label pool +
+  /// stored-id pool; the entry table is excluded — both layouts share it).
+  std::size_t StructureBytes() const;
+
+ private:
+  struct Entry {
+    containment::PreparedStored prepared;
+    std::vector<std::uint64_t> external_ids;
+    bool alive = false;
+  };
+
+  /// Uninitialised shell for LoadFrozenIndex (persistence.cc), which fills
+  /// the arrays straight from the on-disk blob.
+  explicit FrozenMvIndex(const rdf::TermDictionary* dict) : dict_(dict) {}
+  friend util::Result<std::unique_ptr<FrozenMvIndex>>
+  LoadFrozenIndex(const std::string& path, rdf::TermDictionary* dict);
+
+  /// Index into the edge arrays of `node`'s edge starting with `token`, or
+  /// -1.  Hybrid dispatch: linear scan for small fan-out (the common case —
+  /// equality is one 12-byte compare), binary search above that.
+  std::int64_t FindEdge(const Node& node, const query::Token& token) const;
+
+  const rdf::TermDictionary* dict_ = nullptr;
+  std::vector<Node> nodes_;  // BFS order; nodes_[0] is the root
+  std::vector<query::Token> edge_first_;
+  std::vector<std::uint32_t> edge_label_offset_;
+  std::vector<std::uint32_t> edge_label_len_;
+  std::vector<query::Token> labels_;
+  std::vector<std::uint32_t> stored_ids_;
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> skeleton_free_;
+  std::size_t num_live_ = 0;
+};
+
+}  // namespace index
+}  // namespace rdfc

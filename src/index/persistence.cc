@@ -4,12 +4,15 @@
 #include <cstring>
 #include <vector>
 
+#include "index/validate.h"
+
 namespace rdfc {
 namespace index {
 
 namespace {
 
 constexpr char kMagic[8] = {'R', 'D', 'F', 'C', 'I', 'X', '0', '1'};
+constexpr char kFrozenMagic[8] = {'R', 'D', 'F', 'C', 'F', 'Z', '0', '1'};
 
 /// FNV-1a over the payload, to catch truncation/corruption on load.
 class Checksum {
@@ -199,6 +202,259 @@ util::Result<std::unique_ptr<MvIndex>> LoadIndex(const std::string& path,
     return util::Status::ParseError("checksum mismatch in " + path);
   }
   return index;
+}
+
+namespace {
+
+/// On-disk token: 12 bytes with the two padding bytes of query::Token pinned
+/// to zero, so file contents never depend on what the compiler left in the
+/// in-memory padding (the checksum would otherwise be non-deterministic).
+constexpr std::size_t kPackedTokenBytes = 12;
+
+void AppendU32(std::vector<unsigned char>* blob, std::uint32_t v) {
+  const auto* b = reinterpret_cast<const unsigned char*>(&v);
+  blob->insert(blob->end(), b, b + sizeof(v));
+}
+
+void AppendToken(std::vector<unsigned char>* blob, const query::Token& t) {
+  unsigned char b[kPackedTokenBytes] = {0};
+  b[0] = static_cast<unsigned char>(t.type);
+  b[1] = t.inverse ? 1 : 0;
+  std::memcpy(b + 4, &t.pred, sizeof(t.pred));
+  std::memcpy(b + 8, &t.term, sizeof(t.term));
+  blob->insert(blob->end(), b, b + kPackedTokenBytes);
+}
+
+}  // namespace
+
+util::Status SaveFrozenIndex(const FrozenMvIndex& frozen,
+                             const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return util::Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  const rdf::TermDictionary& dict = frozen.dict();
+  Writer w(file.get());
+  w.Raw(kFrozenMagic, sizeof(kFrozenMagic));
+
+  // Dictionary in id order, exactly as SaveIndex writes it.
+  w.U32(static_cast<std::uint32_t>(dict.size()));
+  for (rdf::TermId id = 1; id < dict.size(); ++id) {
+    w.U8(static_cast<std::uint8_t>(dict.kind(id)));
+    w.Str(dict.lexical(id));
+  }
+
+  // The tree structure as one relocatable blob: count header + the five flat
+  // arrays back to back, every cross-reference an array index.
+  const auto& nodes = frozen.nodes();
+  const auto& first = frozen.edge_first_tokens();
+  const auto& offsets = frozen.edge_label_offsets();
+  const auto& lens = frozen.edge_label_lens();
+  const auto& pool = frozen.label_pool();
+  const auto& stored = frozen.stored_ids();
+  std::vector<unsigned char> blob;
+  blob.reserve(16 + nodes.size() * sizeof(FrozenMvIndex::Node) +
+               (first.size() + pool.size()) * kPackedTokenBytes +
+               (offsets.size() + lens.size() + stored.size()) *
+                   sizeof(std::uint32_t));
+  AppendU32(&blob, static_cast<std::uint32_t>(nodes.size()));
+  AppendU32(&blob, static_cast<std::uint32_t>(first.size()));
+  AppendU32(&blob, static_cast<std::uint32_t>(pool.size()));
+  AppendU32(&blob, static_cast<std::uint32_t>(stored.size()));
+  const auto* node_bytes = reinterpret_cast<const unsigned char*>(nodes.data());
+  blob.insert(blob.end(), node_bytes,
+              node_bytes + nodes.size() * sizeof(FrozenMvIndex::Node));
+  for (const query::Token& t : first) AppendToken(&blob, t);
+  const auto* off_bytes =
+      reinterpret_cast<const unsigned char*>(offsets.data());
+  blob.insert(blob.end(), off_bytes,
+              off_bytes + offsets.size() * sizeof(std::uint32_t));
+  const auto* len_bytes = reinterpret_cast<const unsigned char*>(lens.data());
+  blob.insert(blob.end(), len_bytes,
+              len_bytes + lens.size() * sizeof(std::uint32_t));
+  for (const query::Token& t : pool) AppendToken(&blob, t);
+  const auto* sid_bytes =
+      reinterpret_cast<const unsigned char*>(stored.data());
+  blob.insert(blob.end(), sid_bytes,
+              sid_bytes + stored.size() * sizeof(std::uint32_t));
+  w.U64(blob.size());
+  w.Raw(blob.data(), blob.size());
+
+  // Entry table with its slot positions (dead slots persist as empty), so
+  // the stored ids baked into the blob stay valid.
+  w.U32(static_cast<std::uint32_t>(frozen.num_entries()));
+  for (std::uint32_t id = 0; id < frozen.num_entries(); ++id) {
+    if (!frozen.alive(id)) {
+      w.U8(0);
+      continue;
+    }
+    w.U8(1);
+    const containment::PreparedStored& entry = frozen.entry(id);
+    w.U32(static_cast<std::uint32_t>(entry.canonical.size()));
+    for (const rdf::Triple& t : entry.canonical.patterns()) {
+      w.U32(t.s);
+      w.U32(t.p);
+      w.U32(t.o);
+    }
+    const auto& externals = frozen.external_ids(id);
+    w.U32(static_cast<std::uint32_t>(externals.size()));
+    for (std::uint64_t ext : externals) w.U64(ext);
+  }
+  w.Finish();
+  if (!w.ok()) return util::Status::Internal("write failed: " + path);
+  return util::Status::OK();
+}
+
+util::Result<std::unique_ptr<FrozenMvIndex>> LoadFrozenIndex(
+    const std::string& path, rdf::TermDictionary* dict) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return util::Status::NotFound("cannot open for reading: " + path);
+  }
+  Reader r(file.get());
+  char magic[8];
+  if (!r.Raw(magic, sizeof(magic)) ||
+      std::memcmp(magic, kFrozenMagic, sizeof(kFrozenMagic)) != 0) {
+    return util::Status::ParseError("bad magic in " + path);
+  }
+
+  std::uint32_t dict_size = 0;
+  if (!r.U32(&dict_size)) return util::Status::ParseError("truncated header");
+  std::vector<rdf::TermId> remap(dict_size, rdf::kNullTerm);
+  for (std::uint32_t id = 1; id < dict_size; ++id) {
+    std::uint8_t kind = 0;
+    std::string lexical;
+    if (!r.U8(&kind) || !r.Str(&lexical) || kind > 3) {
+      return util::Status::ParseError("truncated dictionary entry");
+    }
+    remap[id] = dict->Intern(static_cast<rdf::TermKind>(kind), lexical);
+  }
+
+  // The structure blob: one read, then slice — no per-node rebuild.
+  std::uint64_t blob_size = 0;
+  if (!r.U64(&blob_size) || blob_size > (1ull << 36)) {
+    return util::Status::ParseError("truncated or implausible blob header");
+  }
+  std::vector<unsigned char> blob(blob_size);
+  if (blob_size > 0 && !r.Raw(blob.data(), blob_size)) {
+    return util::Status::ParseError("truncated blob");
+  }
+  std::uint32_t counts[4] = {0, 0, 0, 0};  // nodes, edges, labels, stored ids
+  if (blob_size < sizeof(counts)) {
+    return util::Status::ParseError("blob too small for its header");
+  }
+  std::memcpy(counts, blob.data(), sizeof(counts));
+  const std::uint64_t num_nodes = counts[0];
+  const std::uint64_t num_edges = counts[1];
+  const std::uint64_t num_labels = counts[2];
+  const std::uint64_t num_stored = counts[3];
+  const std::uint64_t expected =
+      sizeof(counts) + num_nodes * sizeof(FrozenMvIndex::Node) +
+      (num_edges + num_labels) * kPackedTokenBytes +
+      (2 * num_edges + num_stored) * sizeof(std::uint32_t);
+  if (expected != blob_size) {
+    return util::Status::ParseError("blob size does not match its counts");
+  }
+
+  std::unique_ptr<FrozenMvIndex> out(
+      new FrozenMvIndex(dict));  // NOLINT: private shell ctor, friend-only
+  const unsigned char* cur = blob.data() + sizeof(counts);
+  out->nodes_.resize(num_nodes);
+  std::memcpy(out->nodes_.data(), cur, num_nodes * sizeof(FrozenMvIndex::Node));
+  cur += num_nodes * sizeof(FrozenMvIndex::Node);
+  auto read_tokens = [&cur, dict_size, &remap](
+                         std::uint64_t n,
+                         std::vector<query::Token>* tokens) -> bool {
+    tokens->resize(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      query::Token& t = (*tokens)[i];
+      if (cur[0] > static_cast<unsigned char>(query::TokenType::kSeparator) ||
+          cur[1] > 1) {
+        return false;
+      }
+      t.type = static_cast<query::TokenType>(cur[0]);
+      t.inverse = cur[1] != 0;
+      std::memcpy(&t.pred, cur + 4, sizeof(t.pred));
+      std::memcpy(&t.term, cur + 8, sizeof(t.term));
+      if (t.pred >= dict_size || t.term >= dict_size) return false;
+      t.pred = remap[t.pred];
+      t.term = remap[t.term];
+      cur += kPackedTokenBytes;
+    }
+    return true;
+  };
+  if (!read_tokens(num_edges, &out->edge_first_)) {
+    return util::Status::ParseError("malformed dispatch token");
+  }
+  out->edge_label_offset_.resize(num_edges);
+  std::memcpy(out->edge_label_offset_.data(), cur,
+              num_edges * sizeof(std::uint32_t));
+  cur += num_edges * sizeof(std::uint32_t);
+  out->edge_label_len_.resize(num_edges);
+  std::memcpy(out->edge_label_len_.data(), cur,
+              num_edges * sizeof(std::uint32_t));
+  cur += num_edges * sizeof(std::uint32_t);
+  if (!read_tokens(num_labels, &out->labels_)) {
+    return util::Status::ParseError("malformed label token");
+  }
+  out->stored_ids_.resize(num_stored);
+  std::memcpy(out->stored_ids_.data(), cur,
+              num_stored * sizeof(std::uint32_t));
+
+  // Entry table: dead slots stay empty so the blob's stored ids keep
+  // pointing at the right rows.  Re-preparation is deterministic and also
+  // re-registers the canonical variables CollectCandidateTokens looks up.
+  std::uint32_t num_entries = 0;
+  if (!r.U32(&num_entries) || num_entries > (1u << 28)) {
+    return util::Status::ParseError("truncated or implausible entry count");
+  }
+  out->entries_.resize(num_entries);
+  for (std::uint32_t id = 0; id < num_entries; ++id) {
+    std::uint8_t alive = 0;
+    if (!r.U8(&alive) || alive > 1) {
+      return util::Status::ParseError("truncated entry flag");
+    }
+    if (alive == 0) continue;
+    std::uint32_t num_triples = 0;
+    if (!r.U32(&num_triples)) {
+      return util::Status::ParseError("truncated entry");
+    }
+    query::BgpQuery q;
+    q.set_form(query::QueryForm::kAsk);
+    for (std::uint32_t i = 0; i < num_triples; ++i) {
+      std::uint32_t s = 0, p = 0, o = 0;
+      if (!r.U32(&s) || !r.U32(&p) || !r.U32(&o)) {
+        return util::Status::ParseError("truncated triple");
+      }
+      if (s >= dict_size || p >= dict_size || o >= dict_size) {
+        return util::Status::ParseError("term id out of range");
+      }
+      q.AddPattern(remap[s], remap[p], remap[o]);
+    }
+    RDFC_ASSIGN_OR_RETURN(containment::PreparedStored prepared,
+                          containment::PrepareStored(q, dict));
+    if (prepared.tokens.empty()) out->skeleton_free_.push_back(id);
+    out->entries_[id].prepared = std::move(prepared);
+    out->entries_[id].alive = true;
+    ++out->num_live_;
+    std::uint32_t num_externals = 0;
+    if (!r.U32(&num_externals)) {
+      return util::Status::ParseError("truncated externals");
+    }
+    out->entries_[id].external_ids.resize(num_externals);
+    for (std::uint32_t i = 0; i < num_externals; ++i) {
+      if (!r.U64(&out->entries_[id].external_ids[i])) {
+        return util::Status::ParseError("truncated external");
+      }
+    }
+  }
+  if (!r.VerifyChecksum()) {
+    return util::Status::ParseError("checksum mismatch in " + path);
+  }
+  // A malformed blob that survived the size/range checks (e.g. broken span
+  // tiling) must not reach the walk; the validator covers exactly that.
+  RDFC_RETURN_NOT_OK(ValidateFrozen(*out));
+  return out;
 }
 
 }  // namespace index

@@ -3,6 +3,7 @@
 #include <memory>
 #include <string>
 
+#include "index/frozen_index.h"
 #include "index/mv_index.h"
 #include "rdf/dictionary.h"
 #include "util/status.h"
@@ -28,6 +29,32 @@ namespace index {
 /// re-interned in file order); the returned index points at it.
 [[nodiscard]] util::Result<std::unique_ptr<MvIndex>> LoadIndex(const std::string& path,
                                                  rdf::TermDictionary* dict);
+
+/// Binary image of a frozen index (magic "RDFCFZ01", same header/checksum
+/// discipline as SaveIndex).
+///
+/// Unlike SaveIndex — which persists entries and *re-inserts* on load — the
+/// frozen tree structure is written as a single relocatable blob: a count
+/// header plus the five flat arrays, every cross-reference an array index.
+/// LoadFrozenIndex reads the blob with one fread and slices it into the
+/// in-memory arrays — no per-node rebuild, so load cost is I/O plus the
+/// entry-table preparation (deterministic PrepareStored per live entry,
+/// which also re-registers the canonical variables the probe walk looks up).
+/// Tokens are stored in an explicit packed form so on-disk bytes never
+/// depend on struct padding; term ids are mapped through the dictionary
+/// remap while slicing, so loads into a pre-populated dictionary stay
+/// correct.
+///
+/// The entry table keeps its slot positions (dead slots persist as empty),
+/// so stored ids — and therefore probe results — are stable across a
+/// save/load cycle, unlike SaveIndex.
+[[nodiscard]] util::Status SaveFrozenIndex(const FrozenMvIndex& frozen,
+                                           const std::string& path);
+
+/// Loads a frozen image.  The returned index points at `dict`; the image is
+/// validated (ValidateFrozen) before it is returned.
+[[nodiscard]] util::Result<std::unique_ptr<FrozenMvIndex>> LoadFrozenIndex(
+    const std::string& path, rdf::TermDictionary* dict);
 
 }  // namespace index
 }  // namespace rdfc

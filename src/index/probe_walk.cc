@@ -1,0 +1,92 @@
+#include "index/probe_walk.h"
+
+namespace rdfc {
+namespace index {
+namespace internal {
+
+using containment::BindAnchor;
+using containment::FGraphView;
+using containment::MatchState;
+using containment::Step;
+using containment::StepResult;
+
+void CollectCandidateTokens(const FGraphView& view,
+                            const rdf::TermDictionary& dict,
+                            const MatchState& st,
+                            std::vector<query::Token>* out) {
+  out->push_back(query::Token::Separator());
+  if (st.v == MatchState::kNoVertex) {
+    // Awaiting a component anchor (right after a separator).
+    const auto m = static_cast<std::uint32_t>(st.sigma.size());
+    // CanonicalVariableIfKnown keeps the walk strictly read-only: if ?x(m+1)
+    // was never interned, no stored query has that many variables and no
+    // edge can carry it.
+    const rdf::TermId fresh_anchor = dict.CanonicalVariableIfKnown(m + 1);
+    if (fresh_anchor != rdf::kNullTerm) {
+      out->push_back(query::Token::Anchor(fresh_anchor));
+    }
+    for (const auto& [var, cls] : st.sigma) {
+      (void)cls;
+      out->push_back(query::Token::Anchor(var));
+    }
+    for (std::uint32_t cls = 0; cls < view.num_vertices(); ++cls) {
+      for (rdf::TermId c : view.ConstantsIn(cls)) {
+        out->push_back(query::Token::Anchor(c));
+      }
+    }
+    return;
+  }
+  out->push_back(query::Token::Open());
+  if (!st.path_stack.empty()) out->push_back(query::Token::Close());
+  // Root anchor (only the root can start with a stream-initial anchor;
+  // one extra miss elsewhere is harmless).
+  const auto m = static_cast<std::uint32_t>(st.sigma.size());
+  const rdf::TermId fresh = dict.CanonicalVariableIfKnown(m + 1);
+  if (st.sigma.empty()) {
+    if (fresh != rdf::kNullTerm) {
+      out->push_back(query::Token::Anchor(fresh));
+    }
+    for (rdf::TermId c : view.ConstantsIn(st.v)) {
+      out->push_back(query::Token::Anchor(c));
+    }
+  }
+  for (const FGraphView::AdjEdge& edge : view.Adjacency(st.v)) {
+    if (fresh != rdf::kNullTerm) {
+      out->push_back(query::Token::Pair(edge.pred, fresh, edge.inverse));
+    }
+    for (const auto& [var, cls] : st.sigma) {
+      if (cls == edge.target) {
+        out->push_back(query::Token::Pair(edge.pred, var, edge.inverse));
+      }
+    }
+    for (rdf::TermId c : view.ConstantsIn(edge.target)) {
+      out->push_back(query::Token::Pair(edge.pred, c, edge.inverse));
+    }
+  }
+}
+
+void AdvanceLabel(const FGraphView& view, const rdf::TermDictionary& dict,
+                  const query::Token* label, std::size_t len, std::size_t from,
+                  MatchState state, std::vector<MatchState>* out,
+                  std::size_t* states_explored) {
+  for (std::size_t i = from; i < len; ++i) {
+    ++*states_explored;
+    const StepResult r = Step(view, dict, label[i], &state);
+    if (r == StepResult::kFail) return;
+    if (r == StepResult::kNeedsFork) {
+      for (std::uint32_t cls = 0; cls < view.num_vertices(); ++cls) {
+        MatchState forked = state;
+        if (BindAnchor(view, dict, label[i], cls, &forked)) {
+          AdvanceLabel(view, dict, label, len, i + 1, std::move(forked), out,
+                       states_explored);
+        }
+      }
+      return;
+    }
+  }
+  out->push_back(std::move(state));
+}
+
+}  // namespace internal
+}  // namespace index
+}  // namespace rdfc

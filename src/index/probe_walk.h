@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "containment/fgraph_matcher.h"
+#include "containment/pipeline.h"
+#include "index/mv_index.h"
+#include "rdf/dictionary.h"
+
+namespace rdfc {
+namespace index {
+namespace internal {
+
+/// Shared pieces of the Algorithm-3 probe walk, used by both tree layouts:
+/// the pointer Radix tree (cont_queries.cc) and the frozen flat form
+/// (frozen_index.cc).  Keeping candidate enumeration, label advancement, and
+/// the Phase-2 decision in one place is what makes the two walks provably
+/// compute the same ProbeResult — only the edge-dispatch structure differs.
+
+/// σ_w sets accumulated per candidate stored id during a walk.  Every tree
+/// vertex is reached at most once per probe (states are merged per edge
+/// before descending) and stored ids are unique across vertices (invariant
+/// T5), so ids never repeat — a flat append-only vector beats a hash map on
+/// both walk and decide cost.
+using CandidateSigmas =
+    std::vector<std::pair<std::uint32_t, std::vector<containment::MatchState>>>;
+
+/// Appends every first token the state could legally consume next.
+///
+/// Naively, every state at a tree vertex would be tested against every
+/// outgoing edge.  Instead, the current witness vertex of a state determines
+/// *exactly* which first tokens an edge could start with and still match:
+///
+///   - Open / Close / Separator structural tokens;
+///   - at the root: the anchor ?x1, or a constant belonging to the state's
+///     start class (constants anchor many real views);
+///   - after a separator: a re-anchor on any already-bound variable, the
+///     next fresh canonical variable, or any probe constant;
+///   - pairs: for each witness edge (pred, dir, target) incident to the
+///     current vertex — the predicate-ordered serialisation guarantees there
+///     are no other candidates — with the token's term being either the next
+///     fresh canonical variable, an already-bound variable mapped to
+///     `target`, or a constant member of `target`.
+///
+/// Canonical-variable renaming (optimisation II) is what makes the
+/// fresh-variable token predictable: after binding m variables the next new
+/// variable is always ?x(m+1).
+void CollectCandidateTokens(const containment::FGraphView& view,
+                            const rdf::TermDictionary& dict,
+                            const containment::MatchState& st,
+                            std::vector<query::Token>* out);
+
+/// Drives one state through label[from..len), forking on separator anchors
+/// (Section 5.2 multi-component entries).  Survivors are appended to `out`;
+/// `states_explored` counts matcher steps (the ProbeResult counter).
+void AdvanceLabel(const containment::FGraphView& view,
+                  const rdf::TermDictionary& dict, const query::Token* label,
+                  std::size_t len, std::size_t from,
+                  containment::MatchState state,
+                  std::vector<containment::MatchState>* out,
+                  std::size_t* states_explored);
+
+/// Phase 2 of a probe, shared verbatim by both layouts: decides every
+/// candidate via the witness-filter σ_w sets the walk produced, then checks
+/// the skeleton-free side list directly.  `Index` provides `entry(id)` and
+/// `skeleton_free_entries()` (MvIndex and FrozenMvIndex both do).
+template <typename Index>
+void DecideCandidates(const Index& index,
+                      const containment::PreparedProbe& probe,
+                      const rdf::TermDictionary& dict,
+                      const ProbeOptions& options,
+                      CandidateSigmas* candidate_sigmas, ProbeResult* result) {
+  containment::CheckOptions check_options;
+  check_options.verify = options.verify;
+  check_options.max_mappings = options.max_mappings;
+  check_options.max_np_steps = options.max_np_steps;
+
+  for (auto& [stored_id, sigmas] : *candidate_sigmas) {
+    ++result->candidates;
+    containment::CheckOutcome outcome = containment::DecideFromSigmas(
+        probe, index.entry(stored_id), sigmas, dict, check_options);
+    if (outcome.needed_np) ++result->np_checks;
+    const bool hit =
+        options.verify ? outcome.contained : outcome.filter_passed;
+    if (hit) {
+      result->contained.push_back(ProbeMatch{stored_id, std::move(outcome)});
+    }
+  }
+
+  // Entries with no indexable skeleton (all patterns var-predicate) are
+  // checked directly; their filter is vacuous (single empty σ_w).  A sound
+  // constant-occurrence pre-filter skips the NP check for the common case
+  // of entries like (?x, ?p, <const>) whose constant the probe never
+  // mentions: a containment mapping fixes constants, so a constant subject
+  // (object) of W must literally occur as a subject (object) in the probe.
+  std::unordered_set<rdf::TermId> probe_subjects, probe_objects;
+  if (!index.skeleton_free_entries().empty()) {
+    for (const rdf::Triple& t : probe.patterns.patterns()) {
+      probe_subjects.insert(t.s);
+      probe_objects.insert(t.o);
+    }
+  }
+  for (std::uint32_t id : index.skeleton_free_entries()) {
+    const containment::PreparedStored& stored = index.entry(id);
+    bool possible = !probe.patterns.empty();
+    for (const rdf::Triple& t : stored.var_pred_patterns) {
+      if (dict.IsConstant(t.s) && !probe_subjects.count(t.s)) {
+        possible = false;
+        break;
+      }
+      if (dict.IsConstant(t.o) && !probe_objects.count(t.o)) {
+        possible = false;
+        break;
+      }
+    }
+    if (!possible) continue;
+    ++result->candidates;
+    std::vector<containment::MatchState> empty_sigma(1);
+    containment::CheckOutcome outcome = containment::DecideFromSigmas(
+        probe, stored, empty_sigma, dict, check_options);
+    if (outcome.needed_np) ++result->np_checks;
+    const bool hit =
+        options.verify ? outcome.contained : outcome.filter_passed;
+    if (hit) {
+      result->contained.push_back(ProbeMatch{id, std::move(outcome)});
+    }
+  }
+}
+
+}  // namespace internal
+}  // namespace index
+}  // namespace rdfc

@@ -3,25 +3,29 @@
 namespace rdfc {
 namespace index {
 
-namespace {
-
-void Accumulate(const RadixNode& node, std::size_t depth, RadixStats* stats) {
-  ++stats->num_nodes;
-  if (node.is_query()) ++stats->num_query_nodes;
-  if (depth > stats->max_depth) stats->max_depth = depth;
-  for (const auto& [first, edge] : node.edges) {
-    (void)first;
-    ++stats->num_edges;
-    stats->total_label_tokens += edge.label.size();
-    Accumulate(*edge.child, depth + 1, stats);
-  }
-}
-
-}  // namespace
-
 RadixStats ComputeRadixStats(const RadixNode& root) {
+  // Explicit stack, not recursion: a degenerate workload (no shared
+  // prefixes, one long chain) makes tree depth proportional to the longest
+  // serialisation, which must not be bounded by the C stack.
   RadixStats stats;
-  Accumulate(root, 0, &stats);
+  struct Item {
+    const RadixNode* node;
+    std::size_t depth;
+  };
+  std::vector<Item> pending = {{&root, 0}};
+  while (!pending.empty()) {
+    const Item item = pending.back();
+    pending.pop_back();
+    ++stats.num_nodes;
+    if (item.node->is_query()) ++stats.num_query_nodes;
+    if (item.depth > stats.max_depth) stats.max_depth = item.depth;
+    for (const auto& [first, edge] : item.node->edges) {
+      (void)first;
+      ++stats.num_edges;
+      stats.total_label_tokens += edge.label.size();
+      pending.push_back({edge.child.get(), item.depth + 1});
+    }
+  }
   return stats;
 }
 

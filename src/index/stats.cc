@@ -1,6 +1,6 @@
 #include "index/stats.h"
 
-#include <functional>
+#include <algorithm>
 
 namespace rdfc {
 namespace index {
@@ -14,21 +14,28 @@ DetailedStats ComputeDetailedStats(const MvIndex& index) {
   stats.basic = index.ComputeStats();
   stats.fanout_histogram.assign(kFanoutCap + 1, 0);
 
-  std::function<void(const RadixNode&, std::size_t)> walk =
-      [&](const RadixNode& node, std::size_t depth) {
-        if (stats.nodes_per_depth.size() <= depth) {
-          stats.nodes_per_depth.resize(depth + 1, 0);
-        }
-        ++stats.nodes_per_depth[depth];
-        const std::size_t fanout = std::min(node.edges.size(), kFanoutCap);
-        ++stats.fanout_histogram[fanout];
-        for (const auto& [first, edge] : node.edges) {
-          (void)first;
-          stats.label_length.Add(static_cast<double>(edge.label.size()));
-          walk(*edge.child, depth + 1);
-        }
-      };
-  walk(index.root(), 0);
+  // Explicit stack: depth here is exactly what a chain-shaped workload
+  // maximises, so the traversal must not recurse.
+  struct Item {
+    const RadixNode* node;
+    std::size_t depth;
+  };
+  std::vector<Item> pending = {{&index.root(), 0}};
+  while (!pending.empty()) {
+    const Item item = pending.back();
+    pending.pop_back();
+    if (stats.nodes_per_depth.size() <= item.depth) {
+      stats.nodes_per_depth.resize(item.depth + 1, 0);
+    }
+    ++stats.nodes_per_depth[item.depth];
+    const std::size_t fanout = std::min(item.node->edges.size(), kFanoutCap);
+    ++stats.fanout_histogram[fanout];
+    for (const auto& [first, edge] : item.node->edges) {
+      (void)first;
+      stats.label_length.Add(static_cast<double>(edge.label.size()));
+      pending.push_back({edge.child.get(), item.depth + 1});
+    }
+  }
 
   for (std::uint32_t id = 0; id < index.num_entries(); ++id) {
     if (!index.alive(id)) continue;

@@ -205,5 +205,162 @@ util::Status ValidateMvIndex(const MvIndex& index) {
   return util::Status::OK();
 }
 
+util::Status ValidateFrozen(const FrozenMvIndex& frozen) {
+  const auto& nodes = frozen.nodes();
+  const auto& first = frozen.edge_first_tokens();
+  const auto& offsets = frozen.edge_label_offsets();
+  const auto& lens = frozen.edge_label_lens();
+  const auto& pool = frozen.label_pool();
+  const auto& stored = frozen.stored_ids();
+  auto err = [](const std::string& rule) {
+    return util::Status::Internal("frozen invariant violated: " + rule);
+  };
+
+  if (nodes.empty()) return err("no root node");
+  if (first.size() != offsets.size() || first.size() != lens.size()) {
+    return err("edge array sizes diverge");
+  }
+
+  // F1: spans tile the pools, in order.
+  std::size_t edge_total = 0;
+  std::size_t child_total = 1;  // the root is node 0
+  std::size_t stored_total = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const FrozenMvIndex::Node& n = nodes[i];
+    if (n.first_edge != edge_total || n.first_child != child_total ||
+        n.stored_begin != stored_total) {
+      return err("node " + std::to_string(i) + " spans break BFS tiling");
+    }
+    edge_total += n.num_edges;
+    child_total += n.num_edges;
+    stored_total += n.stored_count;
+  }
+  if (edge_total != first.size() || child_total != nodes.size() ||
+      stored_total != stored.size()) {
+    return err("span totals do not cover the pools");
+  }
+  std::size_t label_total = 0;
+  for (std::size_t e = 0; e < first.size(); ++e) {
+    if (offsets[e] != label_total) {
+      return err("label offsets break tiling at edge " + std::to_string(e));
+    }
+    if (lens[e] == 0) return err("empty edge label");  // F2 (T1 half)
+    label_total += lens[e];
+  }
+  if (label_total != pool.size()) return err("label pool size mismatch");
+
+  // F2: dispatch token == the label's first token.
+  for (std::size_t e = 0; e < first.size(); ++e) {
+    if (!(first[e] == pool[offsets[e]])) {
+      return err("dispatch token diverges from label at edge " +
+                 std::to_string(e));
+    }
+  }
+
+  // F3/F4: sorted dispatch spans; no non-query unary pass-throughs.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const FrozenMvIndex::Node& n = nodes[i];
+    for (std::uint32_t j = 1; j < n.num_edges; ++j) {
+      if (!FrozenTokenLess(first[n.first_edge + j - 1],
+                           first[n.first_edge + j])) {
+        return err("dispatch span of node " + std::to_string(i) +
+                   " not strictly sorted");
+      }
+    }
+    if (i != 0 && n.stored_count == 0 && n.num_edges < 2) {
+      return err("node " + std::to_string(i) +
+                 (n.num_edges == 0 ? " is a non-query leaf"
+                                   : " is a non-query unary vertex"));
+    }
+  }
+
+  // F5 (id half): range, liveness, uniqueness; the side list; counters.
+  std::unordered_set<std::uint32_t> seen;
+  for (std::uint32_t id : stored) {
+    if (id >= frozen.num_entries() || !frozen.alive(id)) {
+      return err("stored id " + std::to_string(id) + " dead or out of range");
+    }
+    if (!seen.insert(id).second) {
+      return err("stored id " + std::to_string(id) + " appears twice");
+    }
+  }
+  std::unordered_set<std::uint32_t> on_side_list;
+  for (std::uint32_t id : frozen.skeleton_free_entries()) {
+    if (id >= frozen.num_entries() || !frozen.alive(id)) {
+      return err("side list holds dead or dangling id " + std::to_string(id));
+    }
+    if (!on_side_list.insert(id).second) {
+      return err("side list holds id " + std::to_string(id) + " twice");
+    }
+    if (!frozen.entry(id).tokens.empty()) {
+      return err("entry " + std::to_string(id) +
+                 " has a skeleton but sits on the side list");
+    }
+  }
+  std::size_t live = 0;
+  for (std::uint32_t id = 0; id < frozen.num_entries(); ++id) {
+    if (!frozen.alive(id)) continue;
+    ++live;
+    const containment::PreparedStored& entry = frozen.entry(id);
+    if (entry.tokens.empty()) {
+      if (on_side_list.count(id) == 0) {
+        return err("skeleton-free entry " + std::to_string(id) +
+                   " missing from the side list");
+      }
+      continue;
+    }
+
+    // F5 (prefix half): the entry's tokens walk whole labels through the
+    // flat arrays and end at a node that stores the id (the M2 mirror).
+    std::uint32_t node_idx = 0;
+    std::size_t i = 0;
+    while (i < entry.tokens.size()) {
+      const FrozenMvIndex::Node& n = nodes[node_idx];
+      std::int64_t ordinal = -1;
+      for (std::uint32_t j = 0; j < n.num_edges; ++j) {
+        if (first[n.first_edge + j] == entry.tokens[i]) {
+          ordinal = j;
+          break;
+        }
+      }
+      if (ordinal < 0) {
+        return err("entry " + std::to_string(id) + ": no edge for token " +
+                   std::to_string(i));
+      }
+      const std::uint32_t e = n.first_edge + static_cast<std::uint32_t>(ordinal);
+      if (i + lens[e] > entry.tokens.size()) {
+        return err("entry " + std::to_string(id) +
+                   ": edge label overruns the serialisation");
+      }
+      for (std::uint32_t k = 0; k < lens[e]; ++k) {
+        if (!(pool[offsets[e] + k] == entry.tokens[i + k])) {
+          return err("entry " + std::to_string(id) +
+                     ": edge label diverges at token " + std::to_string(i + k));
+        }
+      }
+      i += lens[e];
+      node_idx = n.first_child + static_cast<std::uint32_t>(ordinal);
+    }
+    const FrozenMvIndex::Node& end = nodes[node_idx];
+    bool found = false;
+    for (std::uint32_t j = 0; j < end.stored_count; ++j) {
+      found = found || stored[end.stored_begin + j] == id;
+    }
+    if (!found) {
+      return err("entry " + std::to_string(id) +
+                 ": serialised path ends at a node that does not store it");
+    }
+  }
+  if (seen.size() + on_side_list.size() != live ||
+      live != frozen.num_live_entries()) {
+    return err("live-entry recount mismatch: tree=" +
+               std::to_string(seen.size()) +
+               " side=" + std::to_string(on_side_list.size()) +
+               " live=" + std::to_string(live) + " counter=" +
+               std::to_string(frozen.num_live_entries()));
+  }
+  return util::Status::OK();
+}
+
 }  // namespace index
 }  // namespace rdfc

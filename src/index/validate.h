@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <limits>
 
+#include "index/frozen_index.h"
 #include "index/mv_index.h"
 #include "index/radix_node.h"
 #include "util/status.h"
@@ -50,6 +51,28 @@ namespace index {
 /// Cost: O(index size); meant for tests, rdfc_fuzz, and RDFC_PARANOID_CHECKS
 /// builds, not for production mutation paths.
 [[nodiscard]] util::Status ValidateMvIndex(const MvIndex& index);
+
+/// Structural invariants of a frozen index, mirroring T1–T5 on the flat
+/// layout (plus the M1/M2/M4-style cross-layer ties to the entry table):
+///
+///   F1  the node spans tile the pools exactly in BFS order: first_edge,
+///       first_child, stored_begin, and the label offsets are each the
+///       running sum of the spans before them, and the totals equal the
+///       pool sizes (children-of-a-node adjacency is a special case);
+///   F2  every label is non-empty and every dispatch token equals its
+///       label's first token in the pool (T1 + T2);
+///   F3  each node's dispatch span is strictly ascending under
+///       FrozenTokenLess — distinct first tokens, binary-searchable (T3);
+///   F4  every non-root node stores a query or branches (>= 2 edges), and
+///       leaves store queries (T4);
+///   F5  stored ids are in range, alive, and unique across the structure;
+///       the skeleton-free side list holds exactly the live entries with no
+///       skeleton; live counts agree; and every live skeleton entry's token
+///       stream walks the flat arrays to a node that stores its id (T5 +
+///       the M1/M2/M4 mirrors).
+///
+/// Cost: O(index size); for tests, rdfc_fuzz, and LoadFrozenIndex.
+[[nodiscard]] util::Status ValidateFrozen(const FrozenMvIndex& frozen);
 
 }  // namespace index
 }  // namespace rdfc

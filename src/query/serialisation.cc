@@ -38,6 +38,11 @@ class ComponentSerialiser {
   void Run(rdf::TermId anchor, std::vector<Token>* out) {
     BuildAdjacency();
     out_ = out;
+    // Emission bound, known up front: one anchor, one pair per pattern, and
+    // at most one Open/Close bracket pair per visited vertex (<= patterns+1).
+    // This path is hot — every insert and every probe preparation runs it —
+    // so reserve once instead of growing through the DFS below.
+    out_->reserve(out_->size() + 3 * component_.size() + 3);
     emitted_.assign(component_.size(), false);
     visited_.clear();
     visited_.insert(anchor);
@@ -181,6 +186,7 @@ util::Status SerialiseComponent(const BgpQuery& component,
   std::vector<Token> raw;
   ComponentSerialiser serialiser(component, dict);
   serialiser.Run(anchor, &raw);
+  out->reserve(out->size() + raw.size());
   for (Token& tok : raw) {
     if ((tok.type == TokenType::kAnchor || tok.type == TokenType::kPair) &&
         canonical != nullptr) {
@@ -226,6 +232,11 @@ util::Result<SerialisedQuery> SerialiseQuery(const BgpQuery& query,
 
   SerialisedQuery out;
   out.num_components = static_cast<std::uint32_t>(streams.size());
+  std::size_t total_tokens = streams.size();  // separators upper bound
+  for (const std::vector<Token>& stream : streams) {
+    total_tokens += stream.size();
+  }
+  out.tokens.reserve(total_tokens);
   for (std::size_t i = 0; i < streams.size(); ++i) {
     if (i > 0) out.tokens.push_back(Token::Separator());
     for (Token& tok : streams[i]) {

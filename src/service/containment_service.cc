@@ -22,7 +22,7 @@ struct ContainmentService::Job {
 
 ContainmentService::ContainmentService(const ServiceOptions& options)
     : options_(options),
-      manager_(&dict_, options.index),
+      manager_(&dict_, options.index, options.freeze_published),
       metrics_(options.num_threads == 0 ? 1 : options.num_threads) {
   util::ThreadPool::Options pool_options;
   pool_options.num_threads = options_.num_threads;
@@ -151,8 +151,7 @@ void ContainmentService::RunJob(std::size_t worker_index, Job* job) {
   response.snapshot_version = guard->version;
   const containment::PreparedProbe prepared =
       containment::PrepareProbe(job->request.query, guard->index.dict());
-  const index::ProbeResult result =
-      guard->index.FindContaining(prepared, options_.probe);
+  const index::ProbeResult result = guard->Find(prepared, options_.probe);
 
   response.candidates = result.candidates;
   response.np_checks = result.np_checks;

@@ -30,6 +30,10 @@ struct ServiceOptions {
   index::ProbeOptions probe;
   index::IndexOptions index;
   sparql::ParserOptions parser;
+  /// Compile each published version into a FrozenMvIndex and serve probes
+  /// from the flat form (DESIGN.md "Frozen index").  Off restores the
+  /// pointer-tree probe path, for A/B comparison.
+  bool freeze_published = true;
 };
 
 struct ProbeRequest {

@@ -7,12 +7,17 @@ namespace rdfc {
 namespace service {
 
 IndexManager::IndexManager(rdf::TermDictionary* dict,
-                           const index::IndexOptions& options)
-    : dict_(dict), options_(options) {
+                           const index::IndexOptions& options,
+                           bool freeze_published)
+    : dict_(dict), options_(options), freeze_published_(freeze_published) {
   // Publish an empty version 0 so Acquire always has a snapshot to pin —
-  // readers never need a "not started yet" branch.
+  // readers never need a "not started yet" branch.  Frozen like any other
+  // version so Find never mixes layouts across versions.
   auto initial = std::make_unique<IndexSnapshot>(dict_, options_);
   initial->version = next_version_++;
+  if (freeze_published_) {
+    initial->frozen = std::make_unique<index::FrozenMvIndex>(initial->index);
+  }
   current_.store(initial.get(), std::memory_order_seq_cst);
   versions_.push_back(std::move(initial));
 }
@@ -65,6 +70,11 @@ util::Result<std::uint64_t> IndexManager::Publish() {
                               outcome.status().message());
     }
     ++next->num_views;
+  }
+  if (freeze_published_) {
+    // Freeze before the snapshot becomes reachable: once `current_` points
+    // at it, readers may call Find concurrently and nothing may mutate it.
+    next->frozen = std::make_unique<index::FrozenMvIndex>(next->index);
   }
   ++next_version_;
   num_staged_ = 0;

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "index/frozen_index.h"
 #include "index/mv_index.h"
 #include "query/bgp_query.h"
 #include "rdf/dictionary.h"
@@ -28,6 +29,19 @@ struct IndexSnapshot {
   std::uint64_t version = 0;
   std::size_t num_views = 0;  // live views baked into this version
   index::MvIndex index;
+  /// Flat compilation of `index` (index/frozen_index.h), built at Publish
+  /// unless the manager was configured not to freeze.  Probes prefer it; the
+  /// pointer tree stays authoritative for introspection and the next rebuild.
+  std::unique_ptr<const index::FrozenMvIndex> frozen;
+
+  /// Probes this version — the frozen form when present, else the pointer
+  /// tree.  Both walks return identical contained sets (the frozen-index
+  /// equivalence invariant), so callers never branch on which one ran.
+  index::ProbeResult Find(const containment::PreparedProbe& probe,
+                          const index::ProbeOptions& options = {}) const {
+    return frozen != nullptr ? frozen->FindContaining(probe, options)
+                             : index.FindContaining(probe, options);
+  }
 };
 
 /// Versioned, snapshot-isolated publication of the mv-index (DESIGN.md
@@ -62,8 +76,12 @@ struct IndexSnapshot {
 /// and at most `reader slots + 1` versions are ever retained.
 class IndexManager {
  public:
+  /// `freeze_published`: compile every published version (including the
+  /// initial empty version 0) into its FrozenMvIndex at Publish time.  Off
+  /// is for A/B benching the pointer-tree probe path.
   explicit IndexManager(rdf::TermDictionary* dict,
-                        const index::IndexOptions& options = {});
+                        const index::IndexOptions& options = {},
+                        bool freeze_published = true);
   ~IndexManager();
   RDFC_DISALLOW_COPY_AND_ASSIGN(IndexManager);
 
@@ -152,6 +170,7 @@ class IndexManager {
 
   rdf::TermDictionary* dict_;
   index::IndexOptions options_;
+  bool freeze_published_;
 
   mutable std::mutex mu_;           // writer-side state below
   std::vector<ViewRecord> views_;   // authoritative; rebuilt into snapshots

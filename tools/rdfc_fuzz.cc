@@ -14,12 +14,14 @@
 // Exit code 0 = no divergence.  Any mismatch prints a minimal reproducer
 // (the two queries in SPARQL) and exits 1.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
 #include "containment/homomorphism.h"
 #include "containment/pipeline.h"
 #include "eval/evaluator.h"
+#include "index/frozen_index.h"
 #include "index/mv_index.h"
 #include "index/validate.h"
 #include "query/validate.h"
@@ -76,6 +78,14 @@ int Report(const char* what, const query::BgpQuery& q,
                sparql::WriteQuery(q, dict).c_str(),
                sparql::WriteQuery(w, dict).c_str());
   return 1;
+}
+
+std::vector<std::uint32_t> ContainedIds(const index::ProbeResult& result) {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(result.contained.size());
+  for (const index::ProbeMatch& m : result.contained) ids.push_back(m.stored_id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 }  // namespace
@@ -149,6 +159,13 @@ int main(int argc, char** argv) {
         return Report("mv-index invariants (insert)", views.back(), empty,
                       dict);
       }
+      if (auto st = index::ValidateFrozen(index::FrozenMvIndex(index));
+          !st.ok()) {
+        std::fprintf(stderr, "frozen after insertion %d: %s\n", i,
+                     st.ToString().c_str());
+        query::BgpQuery empty;
+        return Report("frozen invariants (insert)", views.back(), empty, dict);
+      }
     }
     for (std::size_t i = 0; i < inserted_ids.size(); ++i) {
       if (!churn_rng.Chance(0.33)) continue;
@@ -165,7 +182,15 @@ int main(int argc, char** argv) {
         query::BgpQuery empty;
         return Report("mv-index invariants (remove)", views[i], empty, dict);
       }
+      if (auto st = index::ValidateFrozen(index::FrozenMvIndex(index));
+          !st.ok()) {
+        std::fprintf(stderr, "frozen after removal of %u: %s\n", id,
+                     st.ToString().c_str());
+        query::BgpQuery empty;
+        return Report("frozen invariants (remove)", views[i], empty, dict);
+      }
     }
+    const index::FrozenMvIndex frozen(index);
     for (int i = 0; i < 25; ++i) {
       const query::BgpQuery q = gen.Draw(5, i % 2 == 0);
       const auto walk = index.FindContaining(q);
@@ -175,6 +200,12 @@ int main(int argc, char** argv) {
                      scan.contained.size());
         query::BgpQuery empty;
         return Report("index walk vs scan", q, empty, dict);
+      }
+      // The frozen walk must agree with the pointer walk id-for-id, not just
+      // in count — stored ids are carried over verbatim at freeze.
+      if (ContainedIds(frozen.FindContaining(q)) != ContainedIds(walk)) {
+        query::BgpQuery empty;
+        return Report("frozen walk vs pointer walk", q, empty, dict);
       }
     }
   }

@@ -58,7 +58,8 @@ const char* const kStatusFreeFunctions[] = {
     "Tokenize",           "SelectViews",        "LubmQueries",
     "GenerateLubmExtended", "ReadQueryFile",    "ValidateSerialisation",
     "ParseSerialisation", "ValidateRoundTrip",  "ValidateRadixTree",
-    "ValidateMvIndex",
+    "ValidateMvIndex",    "SaveFrozenIndex",    "LoadFrozenIndex",
+    "ValidateFrozen",
 };
 
 /// Status/Result-returning *member* functions; only the `obj.Name(` /

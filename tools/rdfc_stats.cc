@@ -9,13 +9,20 @@
 // containment service (half as published views, half as probes) and prints
 // the per-stage ServiceMetrics snapshot — counters plus p50/p95/p99 for the
 // index filter vs. NP verification (--json for machine-readable output).
+//
+// With --frozen, instead inserts the queries into an mv-index, freezes it
+// (index/frozen_index.h) and prints the footprint of the flat probe layout
+// next to an allocation-model estimate of the pointer tree.
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <set>
 #include <sstream>
 
 #include "baselines/canonical_cache.h"
+#include "index/frozen_index.h"
+#include "index/mv_index.h"
 #include "query/analysis.h"
 #include "query/canonical_label.h"
 #include "query/witness.h"
@@ -34,6 +41,29 @@ namespace {
 int Fail(const std::string& message) {
   std::fprintf(stderr, "rdfc_stats: %s\n", message.c_str());
   return 1;
+}
+
+/// Allocation-model estimate of the pointer tree's probe footprint: per node
+/// the struct plus its stored-id vector, per edge the hash-table entry (key,
+/// Edge, node links + bucket share) plus the label vector's tokens.  Kept in
+/// sync with bench/bench_frozen.cc so tool and bench report the same number.
+std::size_t PointerStructureBytes(const index::RadixNode& root) {
+  std::size_t bytes = 0;
+  std::vector<const index::RadixNode*> stack = {&root};
+  while (!stack.empty()) {
+    const index::RadixNode* node = stack.back();
+    stack.pop_back();
+    bytes += sizeof(index::RadixNode);
+    bytes += node->stored_ids.size() * sizeof(std::uint32_t);
+    for (const auto& [first, edge] : node->edges) {
+      (void)first;
+      bytes += sizeof(query::Token) + sizeof(index::RadixNode::Edge);
+      bytes += 2 * sizeof(void*);  // hash node links + bucket share
+      bytes += edge.label.size() * sizeof(query::Token);
+      stack.push_back(edge.child.get());
+    }
+  }
+  return bytes;
 }
 
 }  // namespace
@@ -123,6 +153,43 @@ int main(int argc, char** argv) {
       metrics.Print(table);
       std::printf("%s", table.str().c_str());
     }
+    return 0;
+  }
+
+  if (args.Has("frozen")) {
+    index::MvIndex mv(&dict);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      auto inserted = mv.Insert(queries[i], static_cast<std::uint64_t>(i));
+      if (!inserted.ok()) {
+        std::fprintf(stderr, "skipping uninsertable query: %s\n",
+                     inserted.status().ToString().c_str());
+      }
+    }
+    const index::FrozenMvIndex frozen(mv);
+    const std::size_t pointer_bytes = PointerStructureBytes(mv.root());
+    const std::size_t frozen_bytes = frozen.StructureBytes();
+    const double live = static_cast<double>(
+        std::max<std::size_t>(frozen.num_live_entries(), 1));
+    std::printf("queries inserted:        %s\n",
+                util::WithThousands(queries.size()).c_str());
+    std::printf("live entries:            %s\n",
+                util::WithThousands(frozen.num_live_entries()).c_str());
+    std::printf("vertices:                %s\n",
+                util::WithThousands(frozen.nodes().size()).c_str());
+    std::printf("edges:                   %s\n",
+                util::WithThousands(frozen.edge_first_tokens().size()).c_str());
+    std::printf("label pool tokens:       %s\n",
+                util::WithThousands(frozen.label_pool().size()).c_str());
+    std::printf("pointer tree (est.):     %s B  (%.1f B/query)\n",
+                util::WithThousands(pointer_bytes).c_str(),
+                static_cast<double>(pointer_bytes) / live);
+    std::printf("frozen layout:           %s B  (%.1f B/query)\n",
+                util::WithThousands(frozen_bytes).c_str(),
+                static_cast<double>(frozen_bytes) / live);
+    std::printf("frozen/pointer ratio:    %.3f\n",
+                static_cast<double>(frozen_bytes) /
+                    static_cast<double>(std::max<std::size_t>(pointer_bytes,
+                                                              1)));
     return 0;
   }
 
