@@ -8,6 +8,12 @@
 //     (ProbeRequest::simulated_io_micros — result materialisation / client
 //     I/O).  Latency-bound serving is where the pool's overlap shows even on
 //     few cores, because workers sleep, not spin.
+//   - mixed mode: 1% of probes are adversarially pathological (high-nd-degree
+//     star whose verification explores ~k^(m+1) matcher states) and every
+//     probe runs under a per-probe budget (ServiceOptions::
+//     probe_timeout_micros).  The point of the resilience work: tail latency
+//     stays bounded by the budget instead of by the worst probe, with the
+//     truncated probes reported as a degraded rate rather than as hangs.
 //
 // Output: a JSON document (stdout, or the file given as argv[1]) recording
 // hardware_concurrency honestly next to every scaling number — committed as
@@ -25,6 +31,7 @@
 #include "index/mv_index.h"
 #include "service/containment_service.h"
 #include "sparql/writer.h"
+#include "util/stats.h"
 #include "util/timer.h"
 #include "workload/workload.h"
 
@@ -47,17 +54,29 @@ struct RunResult {
   double probes_per_sec = 0.0;
   std::size_t completed = 0;
   std::size_t contained = 0;
+  std::size_t degraded = 0;
   double p50_us = 0.0;
   double p99_us = 0.0;
+  // Per-probe containment work (filter + verify), excluding queue wait —
+  // the quantity the per-probe budget bounds.
+  double work_p99_us = 0.0;
+  double degraded_work_p99_us = 0.0;
 };
 
 /// One service run: fresh service, publish the views, push all probes.
+/// `timeout_us` > 0 arms the per-probe budget (the mixed-mode regime).
 RunResult RunService(const std::vector<std::string>& view_texts,
                      const std::vector<std::string>& probe_texts,
-                     std::size_t threads, double io_us) {
+                     std::size_t threads, double io_us,
+                     double timeout_us = 0.0) {
   service::ServiceOptions options;
   options.num_threads = threads;
   options.queue_capacity = probe_texts.size() + 1;
+  options.probe_timeout_micros = timeout_us;
+  // Measure raw budget-bounded latency: with the breaker on, repeat
+  // offenders would short-circuit and the degraded percentile would mix
+  // ~free short-circuits with real truncations.
+  options.quarantine_threshold = 0;
   service::ContainmentService svc(options);
   for (const std::string& text : view_texts) {
     (void)svc.AddView(text);  // degenerate generated views are skipped
@@ -81,9 +100,16 @@ RunResult RunService(const std::vector<std::string>& view_texts,
   RunResult out;
   out.threads = threads;
   out.wall_ms = wall.ElapsedMillis();
+  util::LatencyHistogram work, degraded_work;
   for (const auto& response : responses) {
     if (!response.ok() || !response->status.ok()) continue;
     ++out.completed;
+    const double work_us = response->filter_micros + response->verify_micros;
+    work.Add(work_us);
+    if (response->degraded) {
+      ++out.degraded;
+      degraded_work.Add(work_us);
+    }
     if (!response->containing_views.empty()) ++out.contained;
   }
   out.probes_per_sec =
@@ -91,6 +117,8 @@ RunResult RunService(const std::vector<std::string>& view_texts,
   const service::MetricsSnapshot metrics = svc.Metrics();
   out.p50_us = metrics.total_micros.Percentile(50);
   out.p99_us = metrics.total_micros.Percentile(99);
+  out.work_p99_us = work.Percentile(99);
+  out.degraded_work_p99_us = degraded_work.Percentile(99);
   return out;
 }
 
@@ -130,6 +158,24 @@ void AppendRun(std::string* json, const RunResult& r, bool first) {
                 "\"contained\":%zu,\"p50_us\":%.1f,\"p99_us\":%.1f}",
                 first ? "" : ",", r.threads, r.wall_ms, r.probes_per_sec,
                 r.completed, r.contained, r.p50_us, r.p99_us);
+  *json += buf;
+}
+
+void AppendMixedRun(std::string* json, const RunResult& r, bool first) {
+  char buf[320];
+  const double rate = r.completed == 0
+                          ? 0.0
+                          : static_cast<double>(r.degraded) /
+                                static_cast<double>(r.completed);
+  std::snprintf(buf, sizeof(buf),
+                "%s\n      {\"threads\":%zu,\"wall_ms\":%.2f,"
+                "\"probes_per_sec\":%.0f,\"completed\":%zu,"
+                "\"degraded\":%zu,\"degraded_rate\":%.4f,"
+                "\"work_p99_us\":%.1f,"
+                "\"degraded_work_p99_us\":%.1f}",
+                first ? "" : ",", r.threads, r.wall_ms, r.probes_per_sec,
+                r.completed, r.degraded, rate, r.work_p99_us,
+                r.degraded_work_p99_us);
   *json += buf;
 }
 
@@ -200,8 +246,56 @@ int main(int argc, char** argv) {
       first = false;
     }
     json += "\n    ],\n    \"speedup_vs_1_thread\": [" + speedups + "]\n  }";
-    json += io ? "\n" : ",\n";
+    json += ",\n";
   }
+
+  // Mixed-degraded regime: the resilience acceptance run.  1% of probes are
+  // the adversarial star (absolute IRIs — this service parses without
+  // default prefixes); every probe runs under the per-probe budget.
+  const double timeout_us =
+      static_cast<double>(EnvSize("RDFC_TIMEOUT_US", 5000));
+  std::string trap_view = "ASK { ?x <urn:adv:p> ?y . ";
+  for (int j = 0; j < 5; ++j) {
+    trap_view += "?x <urn:adv:p> ?z" + std::to_string(j) + " . ";
+  }
+  trap_view += "?y <urn:adv:r> ?w0 . ?y <urn:adv:rp> ?w1 . }";
+  std::string trap_probe = "ASK { ";
+  for (int i = 0; i < 12; ++i) {
+    trap_probe += "?a <urn:adv:p> ?b" + std::to_string(i) + " . ";
+  }
+  trap_probe += "?b0 <urn:adv:r> ?e0 . ?b1 <urn:adv:rp> ?e1 . }";
+  std::vector<std::string> mixed_views = view_texts;
+  mixed_views.push_back(trap_view);
+  std::vector<std::string> mixed_probes = probe_texts;
+  for (std::size_t i = 0; i < mixed_probes.size(); i += 100) {
+    mixed_probes[i] = trap_probe;
+  }
+
+  std::snprintf(buf, sizeof(buf),
+                "  \"mixed_degraded_mode\": {\n"
+                "    \"timeout_us\": %.0f,\n"
+                "    \"pathological_fraction\": 0.01,\n"
+                "    \"runs\": [",
+                timeout_us);
+  json += buf;
+  bool first = true;
+  for (std::size_t threads : thread_counts) {
+    const RunResult r =
+        RunService(mixed_views, mixed_probes, threads, 0.0, timeout_us);
+    std::fprintf(stderr,
+                 "[mixed] threads=%zu wall=%.1fms degraded=%zu/%zu "
+                 "work_p99=%.0fus degraded_work_p99=%.0fus\n",
+                 threads, r.wall_ms, r.degraded, r.completed, r.work_p99_us,
+                 r.degraded_work_p99_us);
+    AppendMixedRun(&json, r, first);
+    first = false;
+  }
+  json +=
+      "\n    ],\n"
+      "    \"note\": \"work_p99_us is per-probe containment work (filter + "
+      "verify, excluding queue wait) — the quantity the budget bounds; "
+      "pathological probes are cut at the timeout and reported degraded "
+      "instead of running their full multi-hundred-ms refutation\"\n  }\n";
   json += "}\n";
 
   if (argc > 1) {

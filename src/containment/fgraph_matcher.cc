@@ -128,12 +128,17 @@ std::vector<MatchState> Drive(const FGraphView& probe,
                               const rdf::TermDictionary& dict,
                               const std::vector<query::Token>& tokens,
                               std::size_t from,
-                              std::vector<MatchState> states) {
+                              std::vector<MatchState> states,
+                              util::ProbeBudget* budget) {
   for (std::size_t i = from; i < tokens.size() && !states.empty(); ++i) {
     const query::Token& token = tokens[i];
     std::vector<MatchState> next;
     next.reserve(states.size());
     for (MatchState& st : states) {
+      // On expiry every in-flight state is dropped: a state that has not
+      // consumed the whole stream is not a filter survivor, and letting a
+      // half-advanced σ escape could over-report (unsound under Phase 2a).
+      if (budget != nullptr && budget->Exhausted()) return {};
       const StepResult r = Step(probe, dict, token, &st);
       if (r == StepResult::kOk) {
         next.push_back(std::move(st));
@@ -156,19 +161,22 @@ std::vector<MatchState> Drive(const FGraphView& probe,
 std::vector<MatchState> MatchTokensFrom(const FGraphView& probe,
                                         const rdf::TermDictionary& dict,
                                         const std::vector<query::Token>& tokens,
-                                        std::uint32_t start_class) {
+                                        std::uint32_t start_class,
+                                        util::ProbeBudget* budget) {
   std::vector<MatchState> states;
   states.push_back(MatchState::AtAnchor(start_class));
-  return Drive(probe, dict, tokens, 0, std::move(states));
+  return Drive(probe, dict, tokens, 0, std::move(states), budget);
 }
 
 std::vector<MatchState> MatchTokens(const FGraphView& probe,
                                     const rdf::TermDictionary& dict,
-                                    const std::vector<query::Token>& tokens) {
+                                    const std::vector<query::Token>& tokens,
+                                    util::ProbeBudget* budget) {
   std::vector<MatchState> all;
   for (std::uint32_t cls = 0; cls < probe.num_vertices(); ++cls) {
+    if (budget != nullptr && budget->exhausted()) break;
     std::vector<MatchState> from_cls =
-        MatchTokensFrom(probe, dict, tokens, cls);
+        MatchTokensFrom(probe, dict, tokens, cls, budget);
     for (MatchState& st : from_cls) all.push_back(std::move(st));
   }
   return all;

@@ -7,6 +7,7 @@
 #include "query/serialisation.h"
 #include "query/witness.h"
 #include "rdf/dictionary.h"
+#include "util/budget.h"
 
 namespace rdfc {
 namespace containment {
@@ -176,15 +177,23 @@ bool BindAnchor(const FGraphView& probe, const rdf::TermDictionary& dict,
 /// class (Theorem 4.2 requires trying every vertex), returning every
 /// surviving σ.  This is the pairwise (non-indexed) form of the matcher and
 /// the reference implementation the mv-index walk is tested against.
+///
+/// `budget` (optional) is polled once per token per state; when it trips,
+/// in-flight states are discarded (a partially-advanced σ is not a filter
+/// survivor) and the result is empty — callers must consult
+/// ProbeBudget::exhausted() and treat that emptiness as *inconclusive*, not
+/// as proven non-containment.
 std::vector<MatchState> MatchTokens(const FGraphView& probe,
                                     const rdf::TermDictionary& dict,
-                                    const std::vector<query::Token>& tokens);
+                                    const std::vector<query::Token>& tokens,
+                                    util::ProbeBudget* budget = nullptr);
 
 /// Like MatchTokens but anchored: the first anchor must bind `start_class`.
 std::vector<MatchState> MatchTokensFrom(const FGraphView& probe,
                                         const rdf::TermDictionary& dict,
                                         const std::vector<query::Token>& tokens,
-                                        std::uint32_t start_class);
+                                        std::uint32_t start_class,
+                                        util::ProbeBudget* budget = nullptr);
 
 }  // namespace containment
 }  // namespace rdfc

@@ -129,6 +129,10 @@ class Search {
         result_.exhausted = false;
         return true;
       }
+      if (options_.budget != nullptr && options_.budget->Exhausted()) {
+        result_.exhausted = false;
+        return true;
+      }
       ++steps_;
       std::vector<rdf::TermId> trail;
       if (Unify(pattern.s, candidate.s, &trail) &&

@@ -6,6 +6,7 @@
 
 #include "query/bgp_query.h"
 #include "rdf/dictionary.h"
+#include "util/budget.h"
 
 namespace rdfc {
 namespace containment {
@@ -26,6 +27,10 @@ struct HomomorphismOptions {
   /// Non-Boolean equivalence and query minimisation fix the distinguished
   /// variables this way (Chandra-Merlin for queries with output columns).
   std::vector<rdf::TermId> fixed_vars;
+  /// Cooperative cancellation: the search polls this at every candidate
+  /// extension and aborts (exhausted = false, like max_steps) when it trips.
+  /// Not owned; may be null.
+  util::ProbeBudget* budget = nullptr;
 };
 
 struct HomomorphismResult {

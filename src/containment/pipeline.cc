@@ -129,8 +129,14 @@ CheckOutcome DecideFromSigmas(const PreparedProbe& probe,
 
   // --- Phase 2b: NP verification (Proposition 5.2 + Section 5.2 bounds). ---
   outcome.needed_np = true;
+  bool conclusive = true;  // every unsuccessful search ran to exhaustion
   std::vector<std::vector<std::uint64_t>> seen_keys;
   for (const MatchState& st : sigmas) {
+    if (options.budget != nullptr && options.budget->Exhausted()) {
+      // Remaining σ_w undecided: under-report (sound) and say so.
+      outcome.complete = false;
+      return outcome;
+    }
     std::vector<std::uint64_t> key = SigmaKey(st);
     if (std::find(seen_keys.begin(), seen_keys.end(), key) !=
         seen_keys.end()) {
@@ -148,8 +154,10 @@ CheckOutcome DecideFromSigmas(const PreparedProbe& probe,
     HomomorphismOptions ho;
     ho.max_results = std::max<std::size_t>(1, options.max_mappings);
     ho.max_steps = options.max_np_steps;
+    ho.budget = options.budget;
     HomomorphismResult result = FindHomomorphismsRestricted(
         stored.canonical, probe.patterns, dict, allowed, ho);
+    if (!result.exhausted && !result.found()) conclusive = false;
     if (result.found()) {
       outcome.contained = true;
       for (const VarMapping& m : result.mappings) {
@@ -161,6 +169,9 @@ CheckOutcome DecideFromSigmas(const PreparedProbe& probe,
       if (options.max_mappings == 0) break;  // decision only
     }
   }
+  // A truncated search that never found a mapping proves nothing; a found
+  // mapping is a certificate regardless of truncation.
+  if (!outcome.contained && !conclusive) outcome.complete = false;
   return outcome;
 }
 
@@ -175,9 +186,16 @@ CheckOutcome CheckPrepared(const PreparedProbe& probe,
     // skeleton imposes no constraint and the single empty σ_w survives.
     sigmas.emplace_back();
   } else {
-    sigmas = MatchTokens(probe.view, dict, stored.tokens);
+    sigmas = MatchTokens(probe.view, dict, stored.tokens, options.budget);
   }
-  return DecideFromSigmas(probe, stored, sigmas, dict, options);
+  CheckOutcome outcome = DecideFromSigmas(probe, stored, sigmas, dict, options);
+  // A budget expiry during the filter discards in-flight states, so an
+  // empty σ_w set is inconclusive rather than a non-containment proof.
+  if (options.budget != nullptr && options.budget->exhausted() &&
+      !outcome.contained) {
+    outcome.complete = false;
+  }
+  return outcome;
 }
 
 util::Result<CheckOutcome> Check(const query::BgpQuery& q,

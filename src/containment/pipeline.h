@@ -61,12 +61,22 @@ struct CheckOptions {
   std::size_t max_mappings = 0;
   /// Step cap for the NP search (0 = unbounded).
   std::size_t max_np_steps = 0;
+  /// Cooperative cancellation, polled at the σ_w loop and inside the NP
+  /// search; on expiry the decision stops with `complete = false` (see
+  /// CheckOutcome).  Not owned; may be null.
+  util::ProbeBudget* budget = nullptr;
 };
 
 struct CheckOutcome {
   bool contained = false;       // final verdict (when verify was requested)
   bool filter_passed = false;   // PTime witness filter found >= 1 σ_w
   bool needed_np = false;       // verification had to run an NP search
+  /// False when the budget (or the max_np_steps cap) tripped before the
+  /// verdict was certain.  The degradation contract (DESIGN.md
+  /// "Resilience"): `contained == true` is always a verified certificate —
+  /// an incomplete outcome can only *under*-report containment, never
+  /// invent one.
+  bool complete = true;
   std::size_t num_filter_sigmas = 0;
   std::vector<VarMapping> mappings;  // in W's *original* variable space
 };

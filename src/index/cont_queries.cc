@@ -46,6 +46,13 @@ class Walker {
 
  private:
   void Walk(const RadixNode& node, std::vector<MatchState> states) {
+    // Budget poll per tree vertex: stopping between vertices keeps every
+    // recorded candidate a genuine filter survivor (states only reach a
+    // vertex after fully consuming the labels leading to it).
+    if (options_.budget != nullptr && options_.budget->Exhausted()) {
+      result_.filter_complete = false;
+      return;
+    }
     if (node.is_query()) {
       for (std::uint32_t id : node.stored_ids) {
         candidate_sigmas_.emplace_back(id, states);

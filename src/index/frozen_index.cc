@@ -181,6 +181,14 @@ ProbeResult FrozenMvIndex::FindContaining(
     stack.push_back(std::move(root));
 
     while (!stack.empty()) {
+      // Budget poll per tree vertex (same placement as the pointer walk):
+      // candidates recorded so far stay genuine filter survivors.
+      if (options.budget != nullptr && options.budget->Exhausted()) {
+        result.filter_complete = false;
+        for (Frame& f : stack) spare.push_back(std::move(f.states));
+        stack.clear();
+        break;
+      }
       Frame frame = std::move(stack.back());
       stack.pop_back();
       const Node& node = nodes_[frame.node];

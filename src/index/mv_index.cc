@@ -247,10 +247,18 @@ ProbeResult MvIndex::ScanContaining(const query::BgpQuery& q,
   check_options.verify = options.verify;
   check_options.max_mappings = options.max_mappings;
   check_options.max_np_steps = options.max_np_steps;
+  check_options.budget = options.budget;
 
   ProbeResult result;
   for (std::uint32_t id = 0; id < entries_.size(); ++id) {
     if (!entries_[id].alive) continue;
+    // Mirrors the degradation contract of the tree walks: once the budget
+    // is spent, entries not yet checked were never filtered, so the scan is
+    // reported as filter-incomplete rather than pretending they missed.
+    if (options.budget != nullptr && options.budget->exhausted()) {
+      result.filter_complete = false;
+      break;
+    }
     containment::CheckOutcome outcome = containment::CheckPrepared(
         probe, entries_[id].prepared, *dict_, check_options);
     if (outcome.filter_passed) {
@@ -260,6 +268,8 @@ ProbeResult MvIndex::ScanContaining(const query::BgpQuery& q,
     const bool hit = options.verify ? outcome.contained : outcome.filter_passed;
     if (hit) {
       result.contained.push_back(ProbeMatch{id, std::move(outcome)});
+    } else if (options.verify && !outcome.complete) {
+      result.unverified.push_back(id);
     }
   }
   return result;

@@ -22,6 +22,13 @@ struct ProbeOptions {
   std::size_t max_mappings = 0;
   /// Step cap for each NP verification (0 = unbounded).
   std::size_t max_np_steps = 0;
+  /// Cooperative cancellation (DESIGN.md "Resilience"): the walk polls it
+  /// per tree vertex and the verification per σ_w / per NP step.  On expiry
+  /// the probe returns a *degraded* ProbeResult — reported candidates are
+  /// still genuine filter survivors and reported matches still carry
+  /// verified certificates, but the enumeration/verification may be cut
+  /// short (see ProbeResult::degraded()).  Not owned; may be null.
+  util::ProbeBudget* budget = nullptr;
 };
 
 /// One indexed query found to contain the probe.
@@ -39,6 +46,20 @@ struct ProbeResult {
   std::size_t states_explored = 0; // matcher states advanced during the walk
   double filter_micros = 0.0;      // time in the radix walk (PTime filter)
   double verify_micros = 0.0;      // time deciding candidates (incl. NP)
+
+  /// False when the budget expired before the walk visited every reachable
+  /// tree vertex: candidates reported are genuine but possibly not all of
+  /// them.
+  bool filter_complete = true;
+  /// Stored ids whose filter passed but whose verification did not reach a
+  /// verdict (budget expiry or step cap).  Disjoint from `contained`; the
+  /// degradation contract is that real answers can hide here but everything
+  /// in `contained` is certified.
+  std::vector<std::uint32_t> unverified;
+
+  /// True when any part of the probe was cut short — the service reports
+  /// these as the distinct Degraded outcome.
+  bool degraded() const { return !filter_complete || !unverified.empty(); }
 };
 
 /// The paper's core contribution: the materialised-view index (Section 4).

@@ -2,9 +2,16 @@
 
 #include <cstdio>
 #include <cstring>
+#include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "index/validate.h"
+#include "util/failpoint.h"
 
 namespace rdfc {
 namespace index {
@@ -60,7 +67,16 @@ class Writer {
 
 class Reader {
  public:
-  explicit Reader(std::FILE* file) : file_(file) {}
+  explicit Reader(std::FILE* file) : file_(file) {
+    // Learn the file size up front: length-prefixed fields from a torn or
+    // corrupt blob are bounded by `remaining()` before any allocation, so a
+    // truncated file can never drive a multi-gigabyte resize.
+    if (std::fseek(file_, 0, SEEK_END) == 0) {
+      const long size = std::ftell(file_);
+      remaining_ = size > 0 ? static_cast<std::uint64_t>(size) : 0;
+    }
+    std::rewind(file_);
+  }
 
   bool U8(std::uint8_t* v) { return Raw(v, 1); }
   bool U32(std::uint32_t* v) { return Raw(v, sizeof(*v)); }
@@ -68,12 +84,14 @@ class Reader {
   bool Str(std::string* s) {
     std::uint32_t n = 0;
     if (!U32(&n)) return false;
-    if (n > (1u << 28)) return false;  // sanity cap: 256 MiB per string
+    if (n > remaining_) return false;
     s->resize(n);
     return n == 0 || Raw(s->data(), n);
   }
   bool Raw(void* data, std::size_t n) {
+    if (n > remaining_) return false;
     if (std::fread(data, 1, n, file_) != n) return false;
+    remaining_ -= n;
     checksum_.Update(data, n);
     return true;
   }
@@ -86,9 +104,14 @@ class Reader {
     return stored == expected;
   }
 
+  /// Bytes left in the file — the hard ceiling for any count or length a
+  /// well-formed remainder could still encode.
+  std::uint64_t remaining() const { return remaining_; }
+
  private:
   std::FILE* file_;
   Checksum checksum_;
+  std::uint64_t remaining_ = 0;
 };
 
 struct FileCloser {
@@ -98,15 +121,93 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+/// Crash-safe writer: streams into `path + ".tmp"`, and Commit() makes the
+/// switch durable — flush, fsync, then an atomic rename over the target.  A
+/// failure (or a real crash) at any point leaves whatever was previously at
+/// `path` byte-for-byte intact; an uncommitted temp file is removed by the
+/// destructor.  Failpoint sites cover each I/O stage so rdfc_fuzz can
+/// exercise every abort path deterministically.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path)
+      : path_(std::move(path)), tmp_path_(path_ + ".tmp") {}
+  ~AtomicFileWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+    if (opened_ && !committed_) std::remove(tmp_path_.c_str());
+  }
+
+  [[nodiscard]] util::Status Open() {
+    if (RDFC_FAILPOINT("persistence.open")) {
+      return util::Status::Internal("failpoint persistence.open");
+    }
+    file_ = std::fopen(tmp_path_.c_str(), "wb");
+    if (file_ == nullptr) {
+      return util::Status::InvalidArgument("cannot open for writing: " +
+                                           tmp_path_);
+    }
+    opened_ = true;
+    return util::Status::OK();
+  }
+
+  std::FILE* file() { return file_; }
+
+  [[nodiscard]] util::Status Commit() {
+    if (RDFC_FAILPOINT("persistence.write")) {
+      return util::Status::Internal("failpoint persistence.write");
+    }
+    if (std::fflush(file_) != 0) {
+      return util::Status::Internal("flush failed: " + tmp_path_);
+    }
+#if defined(__unix__) || defined(__APPLE__)
+    if (RDFC_FAILPOINT("persistence.fsync") || fsync(fileno(file_)) != 0) {
+      return util::Status::Internal("fsync failed: " + tmp_path_);
+    }
+#endif
+    if (std::fclose(file_) != 0) {
+      file_ = nullptr;
+      return util::Status::Internal("close failed: " + tmp_path_);
+    }
+    file_ = nullptr;
+    if (RDFC_FAILPOINT("persistence.crash")) {
+      // Simulated crash between durability and the rename: the temp file is
+      // left behind exactly as a killed process would leave it, and the
+      // previous snapshot at `path` must remain loadable and checksum-clean.
+      opened_ = false;
+      return util::Status::Internal("failpoint persistence.crash");
+    }
+    if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+      return util::Status::Internal("rename failed: " + path_);
+    }
+    committed_ = true;
+#if defined(__unix__) || defined(__APPLE__)
+    // Best-effort directory fsync so the rename itself survives power loss.
+    const std::size_t slash = path_.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path_.substr(0, slash);
+    const int dir_fd = open(dir.c_str(), O_RDONLY);
+    if (dir_fd >= 0) {
+      (void)fsync(dir_fd);
+      (void)close(dir_fd);
+    }
+#endif
+    return util::Status::OK();
+  }
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::FILE* file_ = nullptr;
+  bool opened_ = false;
+  bool committed_ = false;
+};
+
 }  // namespace
 
 util::Status SaveIndex(const MvIndex& index, const std::string& path) {
-  FilePtr file(std::fopen(path.c_str(), "wb"));
-  if (file == nullptr) {
-    return util::Status::InvalidArgument("cannot open for writing: " + path);
-  }
+  AtomicFileWriter out(path);
+  RDFC_RETURN_NOT_OK(out.Open());
   const rdf::TermDictionary& dict = index.dict();
-  Writer w(file.get());
+  Writer w(out.file());
   w.Raw(kMagic, sizeof(kMagic));
 
   // Dictionary in id order (slot 0 is the reserved null term; skipped).
@@ -138,7 +239,7 @@ util::Status SaveIndex(const MvIndex& index, const std::string& path) {
   }
   w.Finish();
   if (!w.ok()) return util::Status::Internal("write failed: " + path);
-  return util::Status::OK();
+  return out.Commit();
 }
 
 util::Result<std::unique_ptr<MvIndex>> LoadIndex(const std::string& path,
@@ -156,6 +257,13 @@ util::Result<std::unique_ptr<MvIndex>> LoadIndex(const std::string& path,
 
   std::uint32_t dict_size = 0;
   if (!r.U32(&dict_size)) return util::Status::ParseError("truncated header");
+  // Every dictionary entry takes at least 5 bytes (kind + length prefix), so
+  // a count the remaining file could not hold is corruption — reject before
+  // sizing the remap table by it.
+  if (dict_size > 1 &&
+      (static_cast<std::uint64_t>(dict_size) - 1) * 5 > r.remaining()) {
+    return util::Status::ParseError("implausible dictionary size");
+  }
   // Old id -> new id.  With a fresh dictionary the mapping is the identity,
   // but re-interning keeps loads into pre-populated dictionaries correct.
   std::vector<rdf::TermId> remap(dict_size, rdf::kNullTerm);
@@ -229,12 +337,10 @@ void AppendToken(std::vector<unsigned char>* blob, const query::Token& t) {
 
 util::Status SaveFrozenIndex(const FrozenMvIndex& frozen,
                              const std::string& path) {
-  FilePtr file(std::fopen(path.c_str(), "wb"));
-  if (file == nullptr) {
-    return util::Status::InvalidArgument("cannot open for writing: " + path);
-  }
+  AtomicFileWriter out(path);
+  RDFC_RETURN_NOT_OK(out.Open());
   const rdf::TermDictionary& dict = frozen.dict();
-  Writer w(file.get());
+  Writer w(out.file());
   w.Raw(kFrozenMagic, sizeof(kFrozenMagic));
 
   // Dictionary in id order, exactly as SaveIndex writes it.
@@ -302,7 +408,7 @@ util::Status SaveFrozenIndex(const FrozenMvIndex& frozen,
   }
   w.Finish();
   if (!w.ok()) return util::Status::Internal("write failed: " + path);
-  return util::Status::OK();
+  return out.Commit();
 }
 
 util::Result<std::unique_ptr<FrozenMvIndex>> LoadFrozenIndex(
@@ -320,6 +426,10 @@ util::Result<std::unique_ptr<FrozenMvIndex>> LoadFrozenIndex(
 
   std::uint32_t dict_size = 0;
   if (!r.U32(&dict_size)) return util::Status::ParseError("truncated header");
+  if (dict_size > 1 &&
+      (static_cast<std::uint64_t>(dict_size) - 1) * 5 > r.remaining()) {
+    return util::Status::ParseError("implausible dictionary size");
+  }
   std::vector<rdf::TermId> remap(dict_size, rdf::kNullTerm);
   for (std::uint32_t id = 1; id < dict_size; ++id) {
     std::uint8_t kind = 0;
@@ -332,7 +442,7 @@ util::Result<std::unique_ptr<FrozenMvIndex>> LoadFrozenIndex(
 
   // The structure blob: one read, then slice — no per-node rebuild.
   std::uint64_t blob_size = 0;
-  if (!r.U64(&blob_size) || blob_size > (1ull << 36)) {
+  if (!r.U64(&blob_size) || blob_size > r.remaining()) {
     return util::Status::ParseError("truncated or implausible blob header");
   }
   std::vector<unsigned char> blob(blob_size);
@@ -405,7 +515,9 @@ util::Result<std::unique_ptr<FrozenMvIndex>> LoadFrozenIndex(
   // pointing at the right rows.  Re-preparation is deterministic and also
   // re-registers the canonical variables CollectCandidateTokens looks up.
   std::uint32_t num_entries = 0;
-  if (!r.U32(&num_entries) || num_entries > (1u << 28)) {
+  // Each entry slot needs at least its one-byte alive flag, so the
+  // remaining file length bounds any honest count.
+  if (!r.U32(&num_entries) || num_entries > r.remaining()) {
     return util::Status::ParseError("truncated or implausible entry count");
   }
   out->entries_.resize(num_entries);

@@ -77,9 +77,17 @@ void DecideCandidates(const Index& index,
   check_options.verify = options.verify;
   check_options.max_mappings = options.max_mappings;
   check_options.max_np_steps = options.max_np_steps;
+  check_options.budget = options.budget;
 
   for (auto& [stored_id, sigmas] : *candidate_sigmas) {
     ++result->candidates;
+    // Once the budget is spent, remaining filter survivors go straight to
+    // the unverified list — their σ_w sets are genuine (the walk only
+    // records fully-matched states) but no verdict was reached.
+    if (options.budget != nullptr && options.budget->exhausted()) {
+      result->unverified.push_back(stored_id);
+      continue;
+    }
     containment::CheckOutcome outcome = containment::DecideFromSigmas(
         probe, index.entry(stored_id), sigmas, dict, check_options);
     if (outcome.needed_np) ++result->np_checks;
@@ -87,6 +95,8 @@ void DecideCandidates(const Index& index,
         options.verify ? outcome.contained : outcome.filter_passed;
     if (hit) {
       result->contained.push_back(ProbeMatch{stored_id, std::move(outcome)});
+    } else if (options.verify && !outcome.complete) {
+      result->unverified.push_back(stored_id);
     }
   }
 
@@ -118,6 +128,10 @@ void DecideCandidates(const Index& index,
     }
     if (!possible) continue;
     ++result->candidates;
+    if (options.budget != nullptr && options.budget->exhausted()) {
+      result->unverified.push_back(id);
+      continue;
+    }
     std::vector<containment::MatchState> empty_sigma(1);
     containment::CheckOutcome outcome = containment::DecideFromSigmas(
         probe, stored, empty_sigma, dict, check_options);
@@ -126,6 +140,8 @@ void DecideCandidates(const Index& index,
         options.verify ? outcome.contained : outcome.filter_passed;
     if (hit) {
       result->contained.push_back(ProbeMatch{id, std::move(outcome)});
+    } else if (options.verify && !outcome.complete) {
+      result->unverified.push_back(id);
     }
   }
 }

@@ -5,10 +5,34 @@
 #include <utility>
 
 #include "containment/pipeline.h"
+#include "util/budget.h"
 #include "util/timer.h"
 
 namespace rdfc {
 namespace service {
+
+namespace {
+
+/// FNV-1a over the probe's pattern triples: the quarantine key.  Term ids
+/// are stable for the lifetime of the service dictionary, so resubmissions
+/// of the same probe text hash identically.
+std::uint64_t ProbeKey(const query::BgpQuery& q) {
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const rdf::Triple& t : q.patterns()) {
+    mix(t.s);
+    mix(t.p);
+    mix(t.o);
+  }
+  return h;
+}
+
+}  // namespace
 
 /// One admitted probe: the request, the promise its future watches, and the
 /// stopwatch started at admission (queue wait + total latency both hang off
@@ -132,11 +156,49 @@ util::Result<ProbeResponse> ContainmentService::Probe(std::string_view sparql) {
   return future.get();
 }
 
+bool ContainmentService::CheckQuarantined(std::uint64_t probe_key) {
+  if (options_.quarantine_threshold == 0) return false;
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  auto it = offenders_.find(probe_key);
+  if (it == offenders_.end()) return false;
+  if (it->second.consecutive_degraded < options_.quarantine_threshold) {
+    return false;
+  }
+  if (std::chrono::steady_clock::now() >= it->second.cooldown_until) {
+    // Cooldown over: give the probe another chance (its counter stays at
+    // the threshold, so one more degraded outcome re-arms the breaker
+    // immediately, while a healthy run clears it).
+    return false;
+  }
+  return true;
+}
+
+void ContainmentService::NoteDegraded(std::uint64_t probe_key) {
+  if (options_.quarantine_threshold == 0) return;
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  Offender& offender = offenders_[probe_key];
+  ++offender.consecutive_degraded;
+  if (offender.consecutive_degraded >= options_.quarantine_threshold) {
+    offender.cooldown_until =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(static_cast<std::int64_t>(
+            options_.quarantine_cooldown_micros));
+  }
+}
+
+void ContainmentService::NoteHealthy(std::uint64_t probe_key) {
+  if (options_.quarantine_threshold == 0) return;
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  offenders_.erase(probe_key);
+}
+
 void ContainmentService::RunJob(std::size_t worker_index, Job* job) {
   ProbeResponse response;
   response.queue_micros = job->admitted.ElapsedMicros();
 
   // Deadline admission check: expired requests are answered, not run.
+  // Distinct from mid-probe budget expiry — here no work has started, so
+  // the honest answer is DeadlineExceeded, not a degraded result.
   if (std::chrono::steady_clock::now() >= job->request.deadline) {
     metrics_.RecordDeadlineExpired(worker_index, response.queue_micros);
     response.status = util::Status::DeadlineExceeded(
@@ -146,17 +208,45 @@ void ContainmentService::RunJob(std::size_t worker_index, Job* job) {
     return;
   }
 
+  // Circuit breaker: a probe that repeatedly degrades is short-circuited to
+  // an (empty, maximally degraded) response for the cooldown window instead
+  // of burning a worker on work known to blow its budget.
+  const std::uint64_t probe_key = ProbeKey(job->request.query);
+  if (CheckQuarantined(probe_key)) {
+    response.degraded = true;
+    response.quarantined = true;
+    response.total_micros = job->admitted.ElapsedMicros();
+    metrics_.RecordQuarantined(worker_index, response.queue_micros,
+                               response.total_micros);
+    job->promise.set_value(std::move(response));
+    return;
+  }
+
+  // The probe budget: the request deadline, tightened by the service-wide
+  // per-probe timeout when one is configured.
+  util::ProbeBudget budget = util::ProbeBudget::AtDeadline(job->request.deadline);
+  if (options_.probe_timeout_micros > 0.0) {
+    const util::ProbeBudget capped =
+        util::ProbeBudget::AfterMicros(options_.probe_timeout_micros);
+    if (!budget.has_deadline() || capped.deadline() < budget.deadline()) {
+      budget = capped;
+    }
+  }
+  index::ProbeOptions probe_options = options_.probe;
+  probe_options.budget = &budget;
+
   // Pin the current index version; everything below is lock-free reads.
   IndexManager::ReadGuard guard = manager_.Acquire(worker_index);
   response.snapshot_version = guard->version;
   const containment::PreparedProbe prepared =
       containment::PrepareProbe(job->request.query, guard->index.dict());
-  const index::ProbeResult result = guard->Find(prepared, options_.probe);
+  const index::ProbeResult result = guard->Find(prepared, probe_options);
 
   response.candidates = result.candidates;
   response.np_checks = result.np_checks;
   response.filter_micros = result.filter_micros;
   response.verify_micros = result.verify_micros;
+  response.degraded = result.degraded();
   for (const index::ProbeMatch& match : result.contained) {
     const auto& ids = guard->index.external_ids(match.stored_id);
     response.containing_views.insert(response.containing_views.end(),
@@ -167,6 +257,16 @@ void ContainmentService::RunJob(std::size_t worker_index, Job* job) {
   response.containing_views.erase(std::unique(response.containing_views.begin(),
                                               response.containing_views.end()),
                                   response.containing_views.end());
+  for (std::uint32_t stored_id : result.unverified) {
+    const auto& ids = guard->index.external_ids(stored_id);
+    response.unverified_views.insert(response.unverified_views.end(),
+                                     ids.begin(), ids.end());
+  }
+  std::sort(response.unverified_views.begin(), response.unverified_views.end());
+  response.unverified_views.erase(
+      std::unique(response.unverified_views.begin(),
+                  response.unverified_views.end()),
+      response.unverified_views.end());
 
   if (job->request.simulated_io_micros > 0.0) {
     std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
@@ -174,9 +274,17 @@ void ContainmentService::RunJob(std::size_t worker_index, Job* job) {
   }
 
   response.total_micros = job->admitted.ElapsedMicros();
-  metrics_.RecordCompleted(worker_index, response.queue_micros,
-                           response.filter_micros, response.verify_micros,
-                           response.total_micros);
+  if (response.degraded) {
+    NoteDegraded(probe_key);
+    metrics_.RecordDegraded(worker_index, response.queue_micros,
+                            response.filter_micros, response.verify_micros,
+                            response.total_micros);
+  } else {
+    NoteHealthy(probe_key);
+    metrics_.RecordCompleted(worker_index, response.queue_micros,
+                             response.filter_micros, response.verify_micros,
+                             response.total_micros);
+  }
   job->promise.set_value(std::move(response));
 }
 

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "index/mv_index.h"
@@ -34,6 +35,17 @@ struct ServiceOptions {
   /// from the flat form (DESIGN.md "Frozen index").  Off restores the
   /// pointer-tree probe path, for A/B comparison.
   bool freeze_published = true;
+  /// Per-probe compute budget applied even to requests without a deadline
+  /// (0 = none).  With a deadline, the earlier of the two wins.  Expiry
+  /// mid-probe yields the Degraded outcome, never a hang (DESIGN.md
+  /// "Resilience").
+  double probe_timeout_micros = 0.0;
+  /// Circuit breaker for repeat offenders: after this many consecutive
+  /// degraded outcomes for the same probe (keyed by its serialisation
+  /// hash), further submissions short-circuit straight to a degraded
+  /// response for `quarantine_cooldown_micros`.  0 disables the breaker.
+  std::size_t quarantine_threshold = 2;
+  double quarantine_cooldown_micros = 250000.0;  // 250 ms
 };
 
 struct ProbeRequest {
@@ -53,8 +65,19 @@ struct ProbeResponse {
   util::Status status;               // OK or DeadlineExceeded
   std::uint64_t snapshot_version = 0;
   /// External ids (AddView handles) of every published view containing the
-  /// probe, deduplicated, ascending.
+  /// probe, deduplicated, ascending.  Every entry is backed by a verified
+  /// containment certificate — even on degraded responses.
   std::vector<std::uint64_t> containing_views;
+  /// Degraded responses only: external ids of views whose PTime filter
+  /// passed but whose NP verification the budget cut short.  A sound
+  /// over-approximation of what may be missing from containing_views.
+  std::vector<std::uint64_t> unverified_views;
+  /// The budget expired mid-probe: containing_views is sound but possibly
+  /// incomplete (status stays OK; the metrics count it separately).
+  bool degraded = false;
+  /// The quarantine circuit breaker short-circuited this probe without
+  /// running it (always reported degraded).
+  bool quarantined = false;
   std::size_t candidates = 0;
   std::size_t np_checks = 0;
   double queue_micros = 0.0;
@@ -148,11 +171,27 @@ class ContainmentService {
   struct Job;
   void RunJob(std::size_t worker_index, Job* job);
 
+  /// Quarantine circuit breaker (DESIGN.md "Resilience").  Keyed by the
+  /// FNV hash of the probe's pattern serialisation; an entry trips after
+  /// `quarantine_threshold` consecutive degraded outcomes and short-circuits
+  /// submissions for the cooldown window.  A completed (undegraded) probe
+  /// clears its key.
+  bool CheckQuarantined(std::uint64_t probe_key);
+  void NoteDegraded(std::uint64_t probe_key);
+  void NoteHealthy(std::uint64_t probe_key);
+
+  struct Offender {
+    std::size_t consecutive_degraded = 0;
+    std::chrono::steady_clock::time_point cooldown_until{};
+  };
+
   ServiceOptions options_;
   rdf::TermDictionary dict_;
   IndexManager manager_;
   ServiceMetrics metrics_;
   std::mutex mutation_mu_;  // serializes dictionary writers (parse/stage)
+  std::mutex quarantine_mu_;
+  std::unordered_map<std::uint64_t, Offender> offenders_;
   std::unique_ptr<util::ThreadPool> pool_;
 };
 

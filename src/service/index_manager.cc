@@ -3,6 +3,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "util/failpoint.h"
+
 namespace rdfc {
 namespace service {
 
@@ -75,6 +77,12 @@ util::Result<std::uint64_t> IndexManager::Publish() {
     // Freeze before the snapshot becomes reachable: once `current_` points
     // at it, readers may call Find concurrently and nothing may mutate it.
     next->frozen = std::make_unique<index::FrozenMvIndex>(next->index);
+  }
+  if (RDFC_FAILPOINT("publish.swing")) {
+    // Fires after the new snapshot is fully built but before it becomes
+    // reachable: the transactional contract (current version unchanged,
+    // staged state intact) must hold on this path like any other abort.
+    return util::Status::Internal("failpoint publish.swing");
   }
   ++next_version_;
   num_staged_ = 0;

@@ -31,6 +31,8 @@ void MetricsSnapshot::Print(std::ostream& os) const {
   os << "service counters\n"
      << "  submitted         " << submitted << '\n'
      << "  completed         " << completed << '\n'
+     << "  degraded          " << degraded << '\n'
+     << "  quarantined       " << quarantined << '\n'
      << "  rejected          " << rejected << '\n'
      << "  deadline_expired  " << deadline_expired << '\n'
      << "  publishes         " << publishes << '\n'
@@ -39,11 +41,13 @@ void MetricsSnapshot::Print(std::ostream& os) const {
   PrintStageRow(os, "filter", filter_micros);
   PrintStageRow(os, "verify", verify_micros);
   PrintStageRow(os, "total", total_micros);
+  PrintStageRow(os, "degraded", degraded_micros);
 }
 
 std::string MetricsSnapshot::ToJson() const {
   std::ostringstream os;
   os << "{\"submitted\":" << submitted << ",\"completed\":" << completed
+     << ",\"degraded\":" << degraded << ",\"quarantined\":" << quarantined
      << ",\"rejected\":" << rejected
      << ",\"deadline_expired\":" << deadline_expired
      << ",\"publishes\":" << publishes << ',';
@@ -54,6 +58,8 @@ std::string MetricsSnapshot::ToJson() const {
   AppendStageJson(&os, "verify", verify_micros);
   os << ',';
   AppendStageJson(&os, "total", total_micros);
+  os << ',';
+  AppendStageJson(&os, "degraded", degraded_micros);
   os << '}';
   return os.str();
 }
@@ -74,6 +80,25 @@ void ServiceMetrics::RecordCompleted(std::size_t shard, double queue_micros,
   s.total.Record(total_micros);
 }
 
+void ServiceMetrics::RecordDegraded(std::size_t shard, double queue_micros,
+                                    double filter_micros, double verify_micros,
+                                    double total_micros) {
+  Shard& s = shards_[shard % num_shards_];
+  s.degraded.fetch_add(1, std::memory_order_relaxed);
+  s.queue.Record(queue_micros);
+  s.filter.Record(filter_micros);
+  s.verify.Record(verify_micros);
+  s.degraded_total.Record(total_micros);
+}
+
+void ServiceMetrics::RecordQuarantined(std::size_t shard, double queue_micros,
+                                       double total_micros) {
+  Shard& s = shards_[shard % num_shards_];
+  s.quarantined.fetch_add(1, std::memory_order_relaxed);
+  s.queue.Record(queue_micros);
+  s.degraded_total.Record(total_micros);
+}
+
 void ServiceMetrics::RecordDeadlineExpired(std::size_t shard,
                                            double queue_micros) {
   Shard& s = shards_[shard % num_shards_];
@@ -89,11 +114,14 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   for (std::size_t i = 0; i < num_shards_; ++i) {
     const Shard& s = shards_[i];
     out.completed += s.completed.load(std::memory_order_relaxed);
+    out.degraded += s.degraded.load(std::memory_order_relaxed);
+    out.quarantined += s.quarantined.load(std::memory_order_relaxed);
     out.deadline_expired += s.deadline_expired.load(std::memory_order_relaxed);
     s.queue.MergeInto(&out.queue_micros);
     s.filter.MergeInto(&out.filter_micros);
     s.verify.MergeInto(&out.verify_micros);
     s.total.MergeInto(&out.total_micros);
+    s.degraded_total.MergeInto(&out.degraded_micros);
   }
   return out;
 }

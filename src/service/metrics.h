@@ -45,6 +45,9 @@ struct MetricsSnapshot {
   std::uint64_t submitted = 0;         // admitted into the queue
   std::uint64_t rejected = 0;          // shed with ResourceExhausted
   std::uint64_t completed = 0;         // probes that ran to completion
+  std::uint64_t degraded = 0;          // budget expired mid-probe (sound,
+                                       // possibly incomplete answer)
+  std::uint64_t quarantined = 0;       // short-circuited by the breaker
   std::uint64_t deadline_expired = 0;  // expired before their probe ran
   std::uint64_t publishes = 0;         // index versions published
 
@@ -52,6 +55,11 @@ struct MetricsSnapshot {
   util::LatencyHistogram filter_micros;  // radix walk (PTime filter)
   util::LatencyHistogram verify_micros;  // candidate decisions (incl. NP)
   util::LatencyHistogram total_micros;   // admission -> response ready
+  /// Admission -> response for degraded probes only.  Kept out of
+  /// total_micros so healthy latency percentiles are not polluted by
+  /// deliberately-truncated work (and vice versa: this histogram shows how
+  /// tightly degradation bounds pathological probes).
+  util::LatencyHistogram degraded_micros;
 
   /// Multi-line human-readable table (rdfc_stats --service, rdfc_serve).
   void Print(std::ostream& os) const;
@@ -80,6 +88,14 @@ class ServiceMetrics {
   void RecordCompleted(std::size_t shard, double queue_micros,
                        double filter_micros, double verify_micros,
                        double total_micros);
+  /// A probe whose budget expired mid-run: answered (sound but possibly
+  /// incomplete), counted apart from completed so degraded rate is visible.
+  void RecordDegraded(std::size_t shard, double queue_micros,
+                      double filter_micros, double verify_micros,
+                      double total_micros);
+  /// A probe the quarantine breaker short-circuited without running.
+  void RecordQuarantined(std::size_t shard, double queue_micros,
+                         double total_micros);
   void RecordDeadlineExpired(std::size_t shard, double queue_micros);
 
   MetricsSnapshot Snapshot() const;
@@ -89,11 +105,14 @@ class ServiceMetrics {
  private:
   struct alignas(64) Shard {
     std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> degraded{0};
+    std::atomic<std::uint64_t> quarantined{0};
     std::atomic<std::uint64_t> deadline_expired{0};
     AtomicHistogram queue;
     AtomicHistogram filter;
     AtomicHistogram verify;
     AtomicHistogram total;
+    AtomicHistogram degraded_total;
   };
 
   const std::size_t num_shards_;

@@ -1,0 +1,27 @@
+#include "util/budget.h"
+
+#include "util/failpoint.h"
+
+namespace rdfc {
+namespace util {
+
+ProbeBudget ProbeBudget::AfterMicros(double micros) {
+  return AtDeadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::micro>(micros)));
+}
+
+bool ProbeBudget::PollSlow() {
+  if (RDFC_FAILPOINT("budget.expire")) {
+    exhausted_ = true;
+    return true;
+  }
+  if (has_deadline_ && Clock::now() >= deadline_) {
+    exhausted_ = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace util
+}  // namespace rdfc

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace rdfc {
+namespace util {
+
+/// Cooperative cancellation token for probe-side work (DESIGN.md
+/// "Resilience").  A budget couples a monotonic deadline with a step
+/// counter; the hot loops of the containment pipeline — the radix walks,
+/// the f-graph matcher, the NP homomorphism search — poll Exhausted() at
+/// their loop heads and unwind when it trips, reporting a *degraded* result
+/// instead of running past the caller's patience.
+///
+/// The poll is designed to be cheap enough for per-state use: every call is
+/// one increment plus two compares, and the clock is consulted only every
+/// kPollInterval steps (steady_clock::now is tens of nanoseconds — fine per
+/// call at candidate granularity, not per matcher step).  Exhaustion is
+/// sticky: once tripped the budget stays exhausted, so late pollers see a
+/// consistent verdict.
+///
+/// A ProbeBudget is owned by exactly one probe (stack-local in the service
+/// worker); it is not thread-safe and never shared across requests.
+class ProbeBudget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Default construction = unlimited: Exhausted() only counts steps.
+  ProbeBudget() = default;
+
+  /// Budget that trips once the monotonic clock reaches `deadline`.
+  /// time_point::max() means no deadline (same as default construction).
+  static ProbeBudget AtDeadline(Clock::time_point deadline) {
+    ProbeBudget b;
+    if (deadline != Clock::time_point::max()) {
+      b.deadline_ = deadline;
+      b.has_deadline_ = true;
+    }
+    return b;
+  }
+
+  /// Budget that trips `micros` microseconds from now.
+  static ProbeBudget AfterMicros(double micros);
+
+  /// Optional hard cap on polled steps (0 = uncapped); composes with the
+  /// deadline — whichever trips first wins.
+  void set_max_steps(std::uint64_t max_steps) { max_steps_ = max_steps; }
+
+  /// Counts one unit of work and reports whether the budget is spent.
+  /// Amortised: the clock is read every kPollInterval calls.
+  bool Exhausted() {
+    if (exhausted_) return true;
+    ++steps_;
+    if (max_steps_ != 0 && steps_ > max_steps_) {
+      exhausted_ = true;
+      return true;
+    }
+    if ((steps_ & (kPollInterval - 1)) != 0) return false;
+    return PollSlow();
+  }
+
+  /// Sticky verdict without consuming a step — for outer loops that only
+  /// need to know whether an inner phase already tripped the budget.
+  bool exhausted() const { return exhausted_; }
+
+  /// Forces exhaustion (quarantine short-circuits and tests).
+  void Expire() { exhausted_ = true; }
+
+  std::uint64_t steps() const { return steps_; }
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+ private:
+  static constexpr std::uint64_t kPollInterval = 256;  // power of two
+
+  bool PollSlow();  // clock read + failpoint; out of line to keep Exhausted hot
+
+  Clock::time_point deadline_ = Clock::time_point::max();
+  std::uint64_t max_steps_ = 0;
+  std::uint64_t steps_ = 0;
+  bool has_deadline_ = false;
+  bool exhausted_ = false;
+};
+
+}  // namespace util
+}  // namespace rdfc

@@ -1,0 +1,84 @@
+#pragma once
+
+// Deterministic fault injection (DESIGN.md "Resilience").
+//
+// A failpoint is a named site in production code where a fault can be
+// injected under test: `if (RDFC_FAILPOINT("persistence.crash")) return
+// util::Status::Internal(...)`.  Sites are compiled out entirely unless the
+// build defines RDFC_FAILPOINTS (CMake option of the same name) — the macro
+// folds to the literal `false` and the optimiser removes the branch, so
+// release binaries carry zero overhead and zero attack surface.
+//
+// When compiled in, each site draws from its own PRNG stream seeded with
+// `configure_seed ^ fnv(site_name)`: whether the k-th evaluation of a given
+// site fires depends only on the configured seed and k, never on thread
+// interleaving with other sites.  `rdfc_fuzz --failpoints` drives schedules
+// through Configure().
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+#ifdef RDFC_FAILPOINTS
+
+#include <mutex>
+#include <random>
+#include <unordered_map>
+
+#include "util/macros.h"
+
+namespace rdfc {
+namespace util {
+
+/// Process-wide registry of failpoint sites.  Thread-safe; the lock is
+/// acceptable because failpoint builds are test builds.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Instance();
+  RDFC_DISALLOW_COPY_AND_ASSIGN(FailpointRegistry);
+
+  /// Installs a schedule: a comma-separated list of `site=probability`
+  /// entries (probability in [0,1]; 1 fires every evaluation).  Replaces
+  /// any previous schedule and resets all counters.  An empty spec disables
+  /// every site.
+  [[nodiscard]] Status Configure(const std::string& spec, std::uint64_t seed);
+
+  /// Disables every site and clears counters.
+  void Reset();
+
+  /// Evaluates the site: true when the schedule says this evaluation fails.
+  /// Unconfigured sites never fire but still count evaluations.
+  bool ShouldFail(const char* site);
+
+  /// Times ShouldFail returned true / was called for `site` since the last
+  /// Configure/Reset.  For assertions in the failpoint stress suite.
+  std::uint64_t FiredCount(const std::string& site) const;
+  std::uint64_t EvaluatedCount(const std::string& site) const;
+
+ private:
+  FailpointRegistry() = default;
+
+  struct Site {
+    double probability = 0.0;
+    std::mt19937_64 engine;
+    std::uint64_t evaluated = 0;
+    std::uint64_t fired = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::uint64_t seed_ = 0;
+  std::unordered_map<std::string, Site> sites_;
+};
+
+}  // namespace util
+}  // namespace rdfc
+
+#define RDFC_FAILPOINT(site) \
+  (::rdfc::util::FailpointRegistry::Instance().ShouldFail(site))
+
+#else  // !RDFC_FAILPOINTS
+
+#define RDFC_FAILPOINT(site) false
+
+#endif  // RDFC_FAILPOINTS

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/failpoint.h"
+
 namespace rdfc {
 namespace util {
 
@@ -28,6 +30,9 @@ Status ThreadPool::TrySubmit(Task task) {
       return Status::ResourceExhausted(
           "task queue at capacity (" +
           std::to_string(options_.queue_capacity) + ")");
+    }
+    if (RDFC_FAILPOINT("threadpool.admit")) {
+      return Status::ResourceExhausted("failpoint threadpool.admit");
     }
     queue_.push_back(std::move(task));
   }

@@ -1,0 +1,50 @@
+#include "workload/workload.h"
+
+namespace rdfc {
+namespace workload {
+
+AdversarialCase MakeAdversarialCase(rdf::TermDictionary* dict, std::size_t k,
+                                    std::size_t m) {
+  const std::string ns = "http://rdfc.example/adversarial#";
+  const rdf::TermId p = dict->MakeIri(ns + "p");
+  const rdf::TermId r = dict->MakeIri(ns + "r");
+  const rdf::TermId rp = dict->MakeIri(ns + "rp");
+
+  AdversarialCase out;
+
+  // Probe: a star ?a p ?b1 .. ?a p ?bk merges every ?bi into one witness
+  // class B (nd_degree = k), and two of the spokes grow distinguishing
+  // tails, so B carries both an `r` and an `rp` out-edge.
+  out.probe.set_form(query::QueryForm::kAsk);
+  const rdf::TermId a = dict->MakeVariable("a");
+  std::vector<rdf::TermId> b;
+  for (std::size_t i = 0; i < k; ++i) {
+    b.push_back(dict->MakeVariable("b" + std::to_string(i)));
+    out.probe.AddPattern(a, p, b.back());
+  }
+  if (k >= 2) {
+    out.probe.AddPattern(b[0], r, dict->MakeVariable("e0"));
+    out.probe.AddPattern(b[1], rp, dict->MakeVariable("e1"));
+  }
+
+  // View: a star around ?x with m + 1 spokes whose hub neighbour ?y needs
+  // BOTH tails.  The witness filter passes — class B has r and rp
+  // out-edges — but no single ?bi of the probe has both, so there is no
+  // homomorphism.  The verifier must discover that by exhausting the
+  // product of candidate assignments for ?y, ?z1..?zm (each ranging over
+  // the k-way ambiguous B members): ~k^(m+1) states before concluding
+  // "not contained".  Exactly the shape the probe budget exists for.
+  out.view.set_form(query::QueryForm::kAsk);
+  const rdf::TermId x = dict->MakeVariable("x");
+  const rdf::TermId y = dict->MakeVariable("y");
+  out.view.AddPattern(x, p, y);
+  for (std::size_t j = 0; j < m; ++j) {
+    out.view.AddPattern(x, p, dict->MakeVariable("z" + std::to_string(j)));
+  }
+  out.view.AddPattern(y, r, dict->MakeVariable("w0"));
+  out.view.AddPattern(y, rp, dict->MakeVariable("w1"));
+  return out;
+}
+
+}  // namespace workload
+}  // namespace rdfc

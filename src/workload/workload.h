@@ -99,6 +99,25 @@ rdfs::RdfsSchema LubmSchema(rdf::TermDictionary* dict);
 [[nodiscard]] util::Result<std::vector<query::BgpQuery>> GenerateLubmExtended(
     rdf::TermDictionary* dict, std::size_t n, std::uint64_t seed);
 
+// --- Adversarial (resilience testing) ---------------------------------------
+
+/// A view/probe pair engineered to maximise verification cost relative to
+/// its size (DESIGN.md "Resilience").  The probe is a k-spoke star whose
+/// objects collapse into one witness class of nd_degree k, with `r`/`rp`
+/// tails on two different spokes; the view demands both tails on the *same*
+/// p-neighbour.  The PTime filter therefore passes, but no homomorphism
+/// exists, and discovering that exhausts ~k^(m+1) candidate assignments —
+/// the shape the probe budget and quarantine breaker exist for.
+struct AdversarialCase {
+  query::BgpQuery view;   // index this one
+  query::BgpQuery probe;  // then probe with this one
+};
+
+/// Requires k >= 2 for the filter to pass while verification fails; cost
+/// grows as ~k^(m+1) NP search states.
+AdversarialCase MakeAdversarialCase(rdf::TermDictionary* dict, std::size_t k,
+                                    std::size_t m);
+
 // --- Combined ---------------------------------------------------------------
 
 /// Generates all five workloads, interleaved deterministically (paper

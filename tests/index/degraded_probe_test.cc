@@ -1,0 +1,172 @@
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "index/frozen_index.h"
+#include "index/mv_index.h"
+#include "util/budget.h"
+#include "workload/workload.h"
+
+// Degradation soundness (DESIGN.md "Resilience"): when a ProbeBudget expires
+// mid-probe the result may under-report containment, but never over-report.
+// Every entry in `contained` carries a verified certificate; cut-short work
+// surfaces as filter_complete=false or as ids parked in `unverified`.
+
+namespace rdfc {
+namespace index {
+namespace {
+
+using rdfc::testing::ParseOrDie;
+
+std::vector<std::uint32_t> ContainedIds(const ProbeResult& r) {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(r.contained.size());
+  for (const auto& m : r.contained) ids.push_back(m.stored_id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+bool IsSubset(const std::vector<std::uint32_t>& sub,
+              const std::vector<std::uint32_t>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+class DegradedProbeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The adversarial pair: filter passes (the merged witness class carries
+    // both tail predicates) but no homomorphism exists, and verification has
+    // to explore ~k^(m+1) matcher states to prove it.
+    adversarial_ = workload::MakeAdversarialCase(&dict_, /*k=*/6, /*m=*/3);
+    ASSERT_TRUE(index_.Insert(adversarial_.view, 1000).ok());
+    // Honest residents so degraded probes have real answers to under-report.
+    const char* views[] = {
+        "ASK { ?x :p ?y . }",
+        "ASK { ?x :p ?y . ?y :q ?z . }",
+        "ASK { ?x ?v ?y . }",
+        "ASK { ?a :r ?b . }",
+    };
+    for (std::size_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(index_.Insert(ParseOrDie(views[i], &dict_), i).ok());
+    }
+    probe_ = ParseOrDie("ASK { ?s :p ?t . ?t :q ?u . ?s :r ?w . }", &dict_);
+  }
+
+  rdf::TermDictionary dict_;
+  MvIndex index_{&dict_};
+  workload::AdversarialCase adversarial_;
+  query::BgpQuery probe_;
+};
+
+TEST_F(DegradedProbeTest, TightBudgetUnderReportsButNeverInvents) {
+  // Ground truth: no budget, full verification.
+  const ProbeResult truth = index_.FindContaining(probe_);
+  ASSERT_FALSE(truth.degraded());
+  const std::vector<std::uint32_t> truth_ids = ContainedIds(truth);
+  // Filter survivors (verify off) over-approximate the truth; any degraded
+  // answer must stay inside BOTH sets.
+  ProbeOptions filter_only;
+  filter_only.verify = false;
+  std::vector<std::uint32_t> filter_ids =
+      ContainedIds(index_.FindContaining(probe_, filter_only));
+
+  // Sweep step caps from absurdly tight to generous; soundness must hold at
+  // every point on the curve.
+  for (std::size_t cap : {1u, 4u, 16u, 64u, 256u, 4096u, 1u << 20}) {
+    util::ProbeBudget budget;
+    budget.set_max_steps(cap);
+    ProbeOptions options;
+    options.budget = &budget;
+    const ProbeResult got = index_.FindContaining(probe_, options);
+    const std::vector<std::uint32_t> got_ids = ContainedIds(got);
+    EXPECT_TRUE(IsSubset(got_ids, truth_ids)) << "cap=" << cap;
+    EXPECT_TRUE(IsSubset(got_ids, filter_ids)) << "cap=" << cap;
+    // `unverified` never overlaps `contained`.
+    for (std::uint32_t id : got.unverified) {
+      EXPECT_FALSE(std::binary_search(got_ids.begin(), got_ids.end(), id))
+          << "cap=" << cap;
+    }
+    if (!got.degraded()) {
+      // A budget that never tripped must reproduce the exact truth.
+      EXPECT_EQ(got_ids, truth_ids) << "cap=" << cap;
+    }
+  }
+}
+
+TEST_F(DegradedProbeTest, AdversarialProbeDegradesInsteadOfHanging) {
+  // The probe side of the adversarial pair against its designed-for view:
+  // the filter passes but verification blows up combinatorially.  A small
+  // step budget must cut it short and park the view in `unverified` (or drop
+  // it entirely) — never report it contained, never run unbounded.
+  const ProbeResult truth = index_.FindContaining(adversarial_.probe);
+  ASSERT_FALSE(truth.degraded());
+  const std::vector<std::uint32_t> truth_ids = ContainedIds(truth);
+
+  util::ProbeBudget budget;
+  budget.set_max_steps(64);
+  ProbeOptions options;
+  options.budget = &budget;
+  const ProbeResult got = index_.FindContaining(adversarial_.probe, options);
+  EXPECT_TRUE(got.degraded());
+  EXPECT_TRUE(IsSubset(ContainedIds(got), truth_ids));
+}
+
+TEST_F(DegradedProbeTest, PreExpiredBudgetYieldsEmptySoundResult) {
+  util::ProbeBudget budget;
+  budget.Expire();
+  ProbeOptions options;
+  options.budget = &budget;
+  const ProbeResult got = index_.FindContaining(probe_, options);
+  EXPECT_TRUE(got.degraded());
+  EXPECT_FALSE(got.filter_complete);
+  // Whatever survived (if anything) is still certified.
+  const std::vector<std::uint32_t> truth_ids =
+      ContainedIds(index_.FindContaining(probe_));
+  EXPECT_TRUE(IsSubset(ContainedIds(got), truth_ids));
+}
+
+TEST_F(DegradedProbeTest, FrozenWalkDegradesAsSoundly) {
+  const FrozenMvIndex frozen(index_);
+  const std::vector<std::uint32_t> truth_ids =
+      ContainedIds(frozen.FindContaining(probe_));
+
+  for (std::size_t cap : {1u, 16u, 256u, 1u << 20}) {
+    util::ProbeBudget budget;
+    budget.set_max_steps(cap);
+    ProbeOptions options;
+    options.budget = &budget;
+    const ProbeResult got = frozen.FindContaining(probe_, options);
+    const std::vector<std::uint32_t> got_ids = ContainedIds(got);
+    EXPECT_TRUE(IsSubset(got_ids, truth_ids)) << "cap=" << cap;
+    if (!got.degraded()) {
+      EXPECT_EQ(got_ids, truth_ids) << "cap=" << cap;
+    }
+  }
+
+  // Pre-expired budget on the frozen walk, same contract.
+  util::ProbeBudget expired;
+  expired.Expire();
+  ProbeOptions options;
+  options.budget = &expired;
+  const ProbeResult got = frozen.FindContaining(probe_, options);
+  EXPECT_TRUE(got.degraded());
+  EXPECT_TRUE(IsSubset(ContainedIds(got), truth_ids));
+}
+
+TEST_F(DegradedProbeTest, GenerousBudgetMatchesNoBudget) {
+  util::ProbeBudget budget = util::ProbeBudget::AfterMicros(60'000'000.0);
+  ProbeOptions options;
+  options.budget = &budget;
+  const ProbeResult got = index_.FindContaining(probe_, options);
+  EXPECT_FALSE(got.degraded());
+  EXPECT_TRUE(got.filter_complete);
+  EXPECT_TRUE(got.unverified.empty());
+  EXPECT_EQ(ContainedIds(got), ContainedIds(index_.FindContaining(probe_)));
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace rdfc

@@ -1,0 +1,228 @@
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/containment_service.h"
+
+// The three deadline semantics (DESIGN.md "Resilience"):
+//   1. deadline already past at dequeue  -> DeadlineExceeded, probe never runs;
+//   2. budget expires mid-probe          -> OK + degraded=true, sound partial
+//      answer, latency accounted in the separate degraded histogram;
+//   3. deadline comfortably met          -> OK, counted as completed.
+// Plus the quarantine breaker that short-circuits repeat offenders.
+
+namespace rdfc {
+namespace service {
+namespace {
+
+ServiceOptions TestOptions(std::size_t threads = 1) {
+  ServiceOptions options;
+  options.num_threads = threads;
+  options.queue_capacity = 64;
+  options.parser.default_prefixes[""] = "urn:t:";
+  return options;
+}
+
+// Text twins of workload::MakeAdversarialCase (the service owns its own
+// dictionary, so the pair is expressed as SPARQL): the probe's k star objects
+// merge into one witness class carrying both :r and :rp tails, so the filter
+// passes against the view, but no single ?b_i has both tails, so verification
+// must refute ~k^(m+1) candidate mappings before giving up.
+std::string AdversarialView(std::size_t m) {
+  std::string s = "ASK { ?x :p ?y . ";
+  for (std::size_t j = 0; j < m; ++j) {
+    s += "?x :p ?z" + std::to_string(j) + " . ";
+  }
+  return s + "?y :r ?w0 . ?y :rp ?w1 . }";
+}
+
+std::string AdversarialProbe(std::size_t k) {
+  std::string s = "ASK { ";
+  for (std::size_t i = 0; i < k; ++i) {
+    s += "?a :p ?b" + std::to_string(i) + " . ";
+  }
+  return s + "?b0 :r ?e0 . ?b1 :rp ?e1 . }";
+}
+
+TEST(DeadlineSemanticsTest, ExpiredAtDequeueIsDeadlineExceeded) {
+  ContainmentService svc(TestOptions());
+  ASSERT_TRUE(svc.PublishViews({"ASK { ?x :p ?y . }"}).ok());
+  auto query = svc.Parse("ASK { ?a :p ?b . }");
+  ASSERT_TRUE(query.ok());
+
+  ProbeRequest request;
+  request.query = *query;
+  request.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  auto future = svc.Submit(std::move(request));
+  ASSERT_TRUE(future.ok());
+  const ProbeResponse response = future->get();
+  EXPECT_EQ(response.status.code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(response.degraded);
+
+  const MetricsSnapshot metrics = svc.Metrics();
+  EXPECT_EQ(metrics.deadline_expired, 1u);
+  EXPECT_EQ(metrics.completed, 0u);
+  EXPECT_EQ(metrics.degraded, 0u);
+  EXPECT_EQ(metrics.degraded_micros.count(), 0u);
+}
+
+TEST(DeadlineSemanticsTest, MidProbeExpiryDegradesInsteadOfHanging) {
+  // 10ms of budget against a probe whose full verification explores ~12^6
+  // matcher states.  The acceptance bar: comes back Degraded promptly — not a
+  // hang, not a crash, not a false positive.
+  ServiceOptions options = TestOptions();
+  options.probe_timeout_micros = 10'000;  // 10ms
+  ContainmentService svc(options);
+  auto honest = svc.AddView("ASK { ?x :p ?y . }");
+  auto trap = svc.AddView(AdversarialView(5));
+  ASSERT_TRUE(honest.ok() && trap.ok());
+  ASSERT_TRUE(svc.Publish().ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  auto response = svc.Probe(AdversarialProbe(12));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->status.ok());  // degraded is OK-with-caveat, not error
+  EXPECT_TRUE(response->degraded);
+  EXPECT_FALSE(response->quarantined);
+  // Prompt: an order of magnitude of slack over the 10ms budget, far from
+  // the seconds a full refutation would take.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(2000));
+
+  // Sound: the honest view may be reported (it genuinely contains the
+  // probe); the trap view must not be — it can only appear as unverified.
+  for (std::uint64_t id : response->containing_views) {
+    EXPECT_NE(id, *trap);
+  }
+
+  const MetricsSnapshot metrics = svc.Metrics();
+  EXPECT_EQ(metrics.degraded, 1u);
+  EXPECT_EQ(metrics.completed, 0u);
+  EXPECT_EQ(metrics.deadline_expired, 0u);
+  // Truncated latency lands in its own histogram, not the healthy one.
+  EXPECT_EQ(metrics.degraded_micros.count(), 1u);
+  EXPECT_EQ(metrics.total_micros.count(), 0u);
+}
+
+TEST(DeadlineSemanticsTest, GenerousDeadlineCompletesCleanly) {
+  ContainmentService svc(TestOptions());
+  ASSERT_TRUE(svc.PublishViews({"ASK { ?x :p ?y . }"}).ok());
+  auto query = svc.Parse("ASK { ?a :p ?b . }");
+  ASSERT_TRUE(query.ok());
+
+  ProbeRequest request;
+  request.query = *query;
+  request.deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  auto future = svc.Submit(std::move(request));
+  ASSERT_TRUE(future.ok());
+  const ProbeResponse response = future->get();
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_FALSE(response.degraded);
+  EXPECT_EQ(response.containing_views.size(), 1u);
+  EXPECT_TRUE(response.unverified_views.empty());
+
+  const MetricsSnapshot metrics = svc.Metrics();
+  EXPECT_EQ(metrics.completed, 1u);
+  EXPECT_EQ(metrics.degraded, 0u);
+  EXPECT_EQ(metrics.total_micros.count(), 1u);
+  EXPECT_EQ(metrics.degraded_micros.count(), 0u);
+}
+
+TEST(DeadlineSemanticsTest, QuarantineShortCircuitsRepeatOffenders) {
+  ServiceOptions options = TestOptions();
+  options.probe_timeout_micros = 2'000;  // 2ms: the trap probe always degrades
+  options.quarantine_threshold = 2;
+  options.quarantine_cooldown_micros = 100'000;  // 100ms
+  ContainmentService svc(options);
+  ASSERT_TRUE(svc.AddView(AdversarialView(5)).ok());
+  ASSERT_TRUE(svc.AddView("ASK { ?x :p ?y . }").ok());
+  ASSERT_TRUE(svc.Publish().ok());
+  const std::string trap_probe = AdversarialProbe(12);
+
+  // Two degraded runs arm the breaker...
+  for (int i = 0; i < 2; ++i) {
+    auto response = svc.Probe(trap_probe);
+    ASSERT_TRUE(response.ok() && response->status.ok());
+    EXPECT_TRUE(response->degraded) << i;
+    EXPECT_FALSE(response->quarantined) << i;
+  }
+  // ...the third is short-circuited without running the probe.
+  auto tripped = svc.Probe(trap_probe);
+  ASSERT_TRUE(tripped.ok() && tripped->status.ok());
+  EXPECT_TRUE(tripped->quarantined);
+  EXPECT_TRUE(tripped->degraded);
+  EXPECT_TRUE(tripped->containing_views.empty());
+
+  // Other probes are unaffected by someone else's quarantine.
+  auto healthy = svc.Probe("ASK { ?a :p ?b . }");
+  ASSERT_TRUE(healthy.ok() && healthy->status.ok());
+  EXPECT_FALSE(healthy->degraded);
+  EXPECT_FALSE(healthy->quarantined);
+  EXPECT_EQ(healthy->containing_views.size(), 1u);
+
+  // After the cooldown one retry is allowed; it degrades again, which
+  // re-arms the breaker immediately.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  auto retried = svc.Probe(trap_probe);
+  ASSERT_TRUE(retried.ok() && retried->status.ok());
+  EXPECT_FALSE(retried->quarantined);
+  EXPECT_TRUE(retried->degraded);
+  auto retripped = svc.Probe(trap_probe);
+  ASSERT_TRUE(retripped.ok() && retripped->status.ok());
+  EXPECT_TRUE(retripped->quarantined);
+
+  const MetricsSnapshot metrics = svc.Metrics();
+  EXPECT_EQ(metrics.quarantined, 2u);
+  EXPECT_EQ(metrics.degraded, 3u);  // runs 1, 2, and the post-cooldown retry
+  EXPECT_EQ(metrics.completed, 1u);  // the healthy probe
+}
+
+TEST(DeadlineSemanticsTest, HealthyRunClearsQuarantineCounter) {
+  ServiceOptions options = TestOptions();
+  options.quarantine_threshold = 2;
+  ContainmentService svc(options);
+  ASSERT_TRUE(svc.AddView(AdversarialView(5)).ok());
+  ASSERT_TRUE(svc.Publish().ok());
+  auto query = svc.Parse(AdversarialProbe(12));
+  ASSERT_TRUE(query.ok());
+
+  auto run = [&svc, &query](std::chrono::steady_clock::time_point deadline) {
+    ProbeRequest request;
+    request.query = *query;
+    request.deadline = deadline;
+    auto future = svc.Submit(std::move(request));
+    EXPECT_TRUE(future.ok());
+    return future->get();
+  };
+  // Far beyond submit-to-dequeue latency (so the dequeue check passes) yet
+  // far below the full refutation cost (so the probe degrades mid-flight).
+  const auto tight = [] {
+    return std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+  };
+  const auto none = std::chrono::steady_clock::time_point::max();
+
+  // One degraded run, then a full (undegraded) refutation of the same probe:
+  // the consecutive-degraded counter resets, so two MORE degraded runs are
+  // needed before anything trips.
+  EXPECT_TRUE(run(tight()).degraded);
+  const ProbeResponse full = run(none);
+  ASSERT_TRUE(full.status.ok());
+  EXPECT_FALSE(full.degraded);
+  EXPECT_TRUE(full.containing_views.empty());  // the trap never contains it
+
+  EXPECT_TRUE(run(tight()).degraded);
+  auto after_reset = run(tight());
+  EXPECT_TRUE(after_reset.degraded);
+  EXPECT_FALSE(after_reset.quarantined);  // degraded twice since the reset
+  // The next one trips — proving the pre-reset run no longer counts.
+  EXPECT_TRUE(run(tight()).quarantined);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace rdfc

@@ -168,6 +168,102 @@ TEST(ServiceStressTest, PublicationIsTransactionalUnderConcurrentProbing) {
   EXPECT_EQ(svc.num_live_views(), 3u);
 }
 
+TEST(ServiceStressTest, BudgetExpiryRacesPublication) {
+  // Degraded probes (per-probe budget expiring mid-walk) racing snapshot
+  // publication: the truncated walk must release its pinned snapshot like any
+  // other, answers stay sound at every version, and the degraded/completed
+  // accounting stays exact under concurrency.
+  ServiceOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 4096;
+  options.parser.default_prefixes[""] = "urn:t:";
+  // 2ms: far above an easy probe even under TSan, far below the trap's
+  // refutation cost, so which probes degrade is deterministic.
+  options.probe_timeout_micros = 2'000;
+  options.quarantine_threshold = 0;  // off: every trap probe must really run
+  ContainmentService svc(options);
+
+  // The adversarial star pair (see deadline_test.cc): the trap view passes
+  // the filter against the trap probe but refutation explores ~k^(m+1)
+  // states, so the budget reliably expires inside verification.
+  std::string trap_view = "ASK { ?x :p ?y . ";
+  for (int j = 0; j < 5; ++j) {
+    trap_view += "?x :p ?z" + std::to_string(j) + " . ";
+  }
+  trap_view += "?y :r ?w0 . ?y :rp ?w1 . }";
+  std::string trap_probe_text = "ASK { ";
+  for (int i = 0; i < 12; ++i) {
+    trap_probe_text += "?a :p ?b" + std::to_string(i) + " . ";
+  }
+  trap_probe_text += "?b0 :r ?e0 . ?b1 :rp ?e1 . }";
+  auto trap_id = svc.AddView(trap_view);
+  ASSERT_TRUE(trap_id.ok());
+  ASSERT_TRUE(svc.Publish().ok());
+  auto trap_probe = svc.Parse(trap_probe_text);
+  auto easy_probe = svc.Parse("ASK { ?a :p ?b . }");
+  ASSERT_TRUE(trap_probe.ok() && easy_probe.ok());
+
+  constexpr std::size_t kRounds = 6;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> degraded{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> bad_responses{0};
+  std::vector<std::thread> submitters;
+  for (std::size_t s = 0; s < 2; ++s) {
+    submitters.emplace_back([&, s] {
+      std::vector<std::future<ProbeResponse>> pending;
+      std::size_t n = s;
+      while (!stop.load(std::memory_order_acquire)) {
+        ProbeRequest request;
+        request.query = (n++ % 2 == 0) ? *trap_probe : *easy_probe;
+        auto future = svc.Submit(std::move(request));
+        if (!future.ok()) {
+          std::this_thread::yield();
+          continue;
+        }
+        pending.push_back(std::move(future).value());
+      }
+      for (auto& future : pending) {
+        const ProbeResponse response = future.get();
+        if (!response.status.ok() ||
+            response.snapshot_version > kRounds + 1) {
+          bad_responses.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Degradation only ever under-reports: the trap view must never be
+        // claimed as containing anything, truncated walk or not.
+        for (std::uint64_t id : response.containing_views) {
+          if (id == *trap_id) {
+            bad_responses.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        (response.degraded ? degraded : completed)
+            .fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Publish while degraded probes are in flight.
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    ASSERT_TRUE(
+        svc.AddView("ASK { ?x :extra" + std::to_string(r) + " ?y . }").ok());
+    ASSERT_TRUE(svc.Publish().ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : submitters) t.join();
+  svc.Shutdown();
+
+  EXPECT_EQ(bad_responses.load(), 0u);
+  EXPECT_GT(degraded.load(), 0u);   // the trap really tripped budgets
+  EXPECT_GT(completed.load(), 0u);  // easy probes still finished healthy
+  const MetricsSnapshot metrics = svc.Metrics();
+  EXPECT_EQ(metrics.degraded, degraded.load());
+  EXPECT_EQ(metrics.quarantined, 0u);
+  EXPECT_EQ(metrics.completed, completed.load());
+  EXPECT_EQ(metrics.degraded_micros.count(), degraded.load());
+}
+
 }  // namespace
 }  // namespace service
 }  // namespace rdfc

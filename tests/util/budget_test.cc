@@ -1,0 +1,82 @@
+#include "util/budget.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace rdfc {
+namespace util {
+namespace {
+
+TEST(ProbeBudgetTest, DefaultNeverExpires) {
+  ProbeBudget budget;
+  for (int i = 0; i < 100'000; ++i) {
+    ASSERT_FALSE(budget.Exhausted());
+  }
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_FALSE(budget.has_deadline());
+  EXPECT_EQ(budget.steps(), 100'000u);
+}
+
+TEST(ProbeBudgetTest, MaxTimePointMeansNoDeadline) {
+  ProbeBudget budget = ProbeBudget::AtDeadline(
+      ProbeBudget::Clock::time_point::max());
+  EXPECT_FALSE(budget.has_deadline());
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_FALSE(budget.Exhausted());
+  }
+}
+
+TEST(ProbeBudgetTest, PastDeadlineExpiresAtFirstPoll) {
+  ProbeBudget budget =
+      ProbeBudget::AtDeadline(ProbeBudget::Clock::now() -
+                              std::chrono::milliseconds(1));
+  EXPECT_TRUE(budget.has_deadline());
+  // The clock is only polled every kPollInterval steps; expiry must land
+  // within the first poll window.
+  bool expired = false;
+  for (int i = 0; i < 1000 && !expired; ++i) {
+    expired = budget.Exhausted();
+  }
+  EXPECT_TRUE(expired);
+  EXPECT_TRUE(budget.exhausted());
+}
+
+TEST(ProbeBudgetTest, ExhaustionIsSticky) {
+  ProbeBudget budget;
+  budget.Expire();
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_TRUE(budget.Exhausted());
+  EXPECT_TRUE(budget.Exhausted());
+}
+
+TEST(ProbeBudgetTest, StepCapTripsExactly) {
+  ProbeBudget budget;
+  budget.set_max_steps(10);
+  int allowed = 0;
+  while (!budget.Exhausted()) ++allowed;
+  EXPECT_EQ(allowed, 10);
+  EXPECT_TRUE(budget.exhausted());
+}
+
+TEST(ProbeBudgetTest, AfterMicrosExpiresEventually) {
+  ProbeBudget budget = ProbeBudget::AfterMicros(50.0);
+  EXPECT_TRUE(budget.has_deadline());
+  // Spin: must flip within a bounded number of steps once the 50 us pass.
+  bool expired = false;
+  for (std::uint64_t i = 0; i < 500'000'000 && !expired; ++i) {
+    expired = budget.Exhausted();
+  }
+  EXPECT_TRUE(expired);
+}
+
+TEST(ProbeBudgetTest, FarDeadlineDoesNotExpire) {
+  ProbeBudget budget = ProbeBudget::AfterMicros(60'000'000.0);  // one minute
+  for (int i = 0; i < 100'000; ++i) {
+    ASSERT_FALSE(budget.Exhausted());
+  }
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace rdfc

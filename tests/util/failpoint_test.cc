@@ -1,0 +1,93 @@
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+// The registry exists only in -DRDFC_FAILPOINTS=ON builds (the CI asan job);
+// elsewhere this suite compiles to the macro check alone.
+
+namespace rdfc {
+namespace util {
+namespace {
+
+TEST(FailpointMacroTest, CompiledOutMacroIsFalse) {
+#ifndef RDFC_FAILPOINTS
+  // The macro must fold to a constant false so sites vanish from release
+  // builds entirely.
+  EXPECT_FALSE(RDFC_FAILPOINT("no.such.site"));
+#endif
+}
+
+#ifdef RDFC_FAILPOINTS
+
+TEST(FailpointRegistryTest, UnconfiguredSiteNeverFires) {
+  auto& registry = FailpointRegistry::Instance();
+  registry.Reset();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(registry.ShouldFail("quiet.site"));
+  }
+  EXPECT_EQ(registry.FiredCount("quiet.site"), 0u);
+  EXPECT_EQ(registry.EvaluatedCount("quiet.site"), 1000u);
+  registry.Reset();
+}
+
+TEST(FailpointRegistryTest, ProbabilityOneFiresAlways) {
+  auto& registry = FailpointRegistry::Instance();
+  ASSERT_TRUE(registry.Configure("always.site=1", 7).ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(registry.ShouldFail("always.site"));
+  }
+  EXPECT_EQ(registry.FiredCount("always.site"), 100u);
+  registry.Reset();
+}
+
+TEST(FailpointRegistryTest, SameSeedSameSchedule) {
+  auto& registry = FailpointRegistry::Instance();
+  auto draw = [&registry]() {
+    std::vector<bool> fired;
+    EXPECT_TRUE(registry.Configure("det.site=0.37", 123).ok());
+    fired.reserve(200);
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(registry.ShouldFail("det.site"));
+    }
+    return fired;
+  };
+  const std::vector<bool> first = draw();
+  const std::vector<bool> second = draw();
+  EXPECT_EQ(first, second);
+  EXPECT_GT(registry.FiredCount("det.site"), 0u);
+  EXPECT_LT(registry.FiredCount("det.site"), 200u);
+  registry.Reset();
+}
+
+TEST(FailpointRegistryTest, SitesDrawIndependentStreams) {
+  auto& registry = FailpointRegistry::Instance();
+  // Interleaving evaluations of a second site must not perturb the first
+  // site's schedule — each has its own engine.
+  ASSERT_TRUE(registry.Configure("a.site=0.5,b.site=0.5", 99).ok());
+  std::vector<bool> a_alone;
+  for (int i = 0; i < 100; ++i) a_alone.push_back(registry.ShouldFail("a.site"));
+  ASSERT_TRUE(registry.Configure("a.site=0.5,b.site=0.5", 99).ok());
+  std::vector<bool> a_mixed;
+  for (int i = 0; i < 100; ++i) {
+    (void)registry.ShouldFail("b.site");
+    a_mixed.push_back(registry.ShouldFail("a.site"));
+  }
+  EXPECT_EQ(a_alone, a_mixed);
+  registry.Reset();
+}
+
+TEST(FailpointRegistryTest, ConfigureRejectsMalformedSpecs) {
+  auto& registry = FailpointRegistry::Instance();
+  EXPECT_FALSE(registry.Configure("no-equals", 1).ok());
+  EXPECT_FALSE(registry.Configure("site=1.5", 1).ok());
+  EXPECT_FALSE(registry.Configure("site=-0.1", 1).ok());
+  EXPECT_FALSE(registry.Configure("site=abc", 1).ok());
+  EXPECT_TRUE(registry.Configure("", 1).ok());
+  registry.Reset();
+}
+
+#endif  // RDFC_FAILPOINTS
+
+}  // namespace
+}  // namespace util
+}  // namespace rdfc

@@ -1,6 +1,7 @@
 // rdfc_fuzz — volume differential tester for the containment stack.
 //
 //   rdfc_fuzz [--trials=N] [--seed=S] [--max-triples=K] [--verbose]
+//   rdfc_fuzz --failpoints [--smoke] [--seed=S]
 //
 // Each trial draws random query pairs / index contents from a tiny
 // vocabulary (to force collisions, merges, and containments) and
@@ -11,6 +12,14 @@
 //   3. the Chandra-Merlin freeze characterisation (eval over freeze(Q))
 //   4. the mv-index walk vs the pairwise scan    (index/cont_queries)
 //
+// --failpoints switches to the fault-injection campaign (requires a build
+// with -DRDFC_FAILPOINTS=ON; otherwise it reports that and exits 0): random
+// faults in persistence I/O, index publication, admission, and budget expiry,
+// with the resilience invariants checked after every injected failure —
+// previous snapshots stay loadable, aborted publishes leave the current
+// version untouched, degraded probes stay sound.  --smoke shrinks the round
+// counts for CI.
+//
 // Exit code 0 = no divergence.  Any mismatch prints a minimal reproducer
 // (the two queries in SPARQL) and exits 1.
 
@@ -18,16 +27,25 @@
 #include <cstdio>
 #include <cstdlib>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <stdlib.h>  // NOLINT: mkdtemp is POSIX, not in <cstdlib>
+#endif
+
 #include "containment/homomorphism.h"
 #include "containment/pipeline.h"
 #include "eval/evaluator.h"
 #include "index/frozen_index.h"
 #include "index/mv_index.h"
+#include "index/persistence.h"
 #include "index/validate.h"
 #include "query/validate.h"
+#include "service/containment_service.h"
 #include "sparql/writer.h"
 #include "tool_util.h"
+#include "util/budget.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
+#include "workload/workload.h"
 
 using namespace rdfc;  // NOLINT(build/namespaces)
 
@@ -88,6 +106,231 @@ std::vector<std::uint32_t> ContainedIds(const index::ProbeResult& result) {
   return ids;
 }
 
+#ifdef RDFC_FAILPOINTS
+
+int FailpointFail(const char* what, const util::Status& st) {
+  std::fprintf(stderr, "FAILPOINT INVARIANT BROKEN (%s): %s\n", what,
+               st.ToString().c_str());
+  return 1;
+}
+
+/// The fault-injection campaign.  Each part configures a schedule, hammers
+/// one subsystem, and checks its resilience contract after every injected
+/// fault.  Deterministic given `seed`.
+int RunFailpointCampaign(std::uint64_t seed, bool smoke, bool verbose) {
+  auto& registry = util::FailpointRegistry::Instance();
+  const std::size_t rounds = smoke ? 40 : 400;
+
+#if defined(__unix__) || defined(__APPLE__)
+  char tmpl[] = "/tmp/rdfc_fuzz_XXXXXX";
+  const char* tmp = mkdtemp(tmpl);
+  const std::string dir = tmp != nullptr ? tmp : ".";
+#else
+  const std::string dir = ".";
+#endif
+
+  // --- Part 1: persistence.  A failed (or "crashed") save must leave the
+  // previous snapshot byte-for-byte loadable; a successful one must load to
+  // the new content.
+  rdf::TermDictionary dict;
+  QueryGen gen(&dict, seed);
+  index::MvIndex index(&dict);
+  for (int i = 0; i < 20; ++i) {
+    (void)index.Insert(gen.Draw(4, i % 4 == 0), static_cast<std::uint64_t>(i));
+  }
+  const std::string path = dir + "/snapshot.idx";
+  const std::string frozen_path = dir + "/snapshot.fidx";
+  if (auto st = index::SaveIndex(index, path); !st.ok()) {
+    return FailpointFail("baseline save", st);
+  }
+  if (auto st = index::SaveFrozenIndex(index::FrozenMvIndex(index),
+                                       frozen_path);
+      !st.ok()) {
+    return FailpointFail("baseline frozen save", st);
+  }
+  std::size_t expected_live = index.num_live_entries();
+  std::size_t save_failures = 0;
+  if (auto st = registry.Configure(
+          "persistence.open=0.2,persistence.write=0.2,"
+          "persistence.fsync=0.2,persistence.crash=0.2",
+          seed);
+      !st.ok()) {
+    return FailpointFail("configure", st);
+  }
+  for (std::size_t r = 0; r < rounds; ++r) {
+    (void)index.Insert(gen.Draw(4, r % 5 == 0),
+                       static_cast<std::uint64_t>(100 + r));
+    const util::Status st = index::SaveIndex(index, path);
+    const util::Status fst =
+        index::SaveFrozenIndex(index::FrozenMvIndex(index), frozen_path);
+    save_failures += st.ok() ? 0 : 1;
+    save_failures += fst.ok() ? 0 : 1;
+    // A committed save becomes the new expectation; a failed one must leave
+    // the file holding exactly what the last committed save wrote.
+    if (st.ok()) expected_live = index.num_live_entries();
+    if (st.ok() && fst.ok()) continue;
+    rdf::TermDictionary reload_dict;
+    auto loaded = index::LoadIndex(path, &reload_dict);
+    if (!loaded.ok()) {
+      return FailpointFail("previous snapshot unloadable after failed save",
+                           loaded.status());
+    }
+    if ((*loaded)->num_live_entries() != expected_live) {
+      return FailpointFail(
+          "failed save mutated the previous snapshot",
+          util::Status::Internal("live-entry count changed under a failure"));
+    }
+    rdf::TermDictionary frozen_dict;
+    if (auto fl = index::LoadFrozenIndex(frozen_path, &frozen_dict); !fl.ok()) {
+      return FailpointFail("previous frozen image unloadable", fl.status());
+    }
+  }
+  if (save_failures == 0) {
+    return FailpointFail("persistence schedule never fired",
+                         util::Status::Internal("0 injected save failures"));
+  }
+
+  // --- Part 2: publication.  An aborted Publish must leave the current
+  // version untouched and probes running; a later retry must succeed.
+  registry.Reset();
+  if (auto st = registry.Configure("publish.swing=0.5", seed + 1); !st.ok()) {
+    return FailpointFail("configure publish", st);
+  }
+  {
+    service::ServiceOptions options;
+    options.num_threads = 2;
+    service::ContainmentService svc(options);
+    std::size_t publish_failures = 0;
+    for (std::size_t r = 0; r < (smoke ? 20 : 100); ++r) {
+      auto id = svc.AddView("ASK { ?s <urn:fp:p" + std::to_string(r) +
+                            "> ?o }");
+      if (!id.ok()) return FailpointFail("AddView", id.status());
+      const std::uint64_t before = svc.current_version();
+      auto version = svc.Publish();
+      if (!version.ok()) {
+        ++publish_failures;
+        if (svc.current_version() != before) {
+          return FailpointFail(
+              "aborted publish advanced the version",
+              util::Status::Internal("version moved on failure"));
+        }
+      }
+      // Probing must keep working against whatever version is current.
+      auto probe = svc.Probe("ASK { ?s <urn:fp:p0> ?o }");
+      if (!probe.ok() &&
+          probe.status().code() != util::StatusCode::kResourceExhausted) {
+        return FailpointFail("probe after publish fault", probe.status());
+      }
+    }
+    if (publish_failures == 0) {
+      return FailpointFail("publish schedule never fired",
+                           util::Status::Internal("0 injected aborts"));
+    }
+    // With the schedule cleared, the staged backlog must publish cleanly.
+    registry.Reset();
+    if (auto version = svc.Publish(); !version.ok()) {
+      return FailpointFail("final publish", version.status());
+    }
+  }
+
+  // --- Part 3: admission.  Injected ResourceExhausted must shed cleanly —
+  // typed error out, service alive, later submissions succeeding.
+  if (auto st = registry.Configure("threadpool.admit=0.4", seed + 2);
+      !st.ok()) {
+    return FailpointFail("configure admit", st);
+  }
+  {
+    service::ServiceOptions options;
+    options.num_threads = 2;
+    service::ContainmentService svc(options);
+    if (auto id = svc.AddView("ASK { ?s <urn:fp:q> ?o }"); !id.ok()) {
+      return FailpointFail("AddView", id.status());
+    }
+    if (auto version = svc.Publish(); !version.ok()) {
+      return FailpointFail("publish", version.status());
+    }
+    std::size_t shed = 0, served = 0;
+    for (std::size_t r = 0; r < (smoke ? 50 : 300); ++r) {
+      auto probe = svc.Probe("ASK { ?a <urn:fp:q> ?b }");
+      if (probe.ok()) {
+        ++served;
+        if (probe->containing_views.size() != 1) {
+          return FailpointFail(
+              "wrong answer under admission faults",
+              util::Status::Internal("expected exactly one containing view"));
+        }
+      } else if (probe.status().code() ==
+                 util::StatusCode::kResourceExhausted) {
+        ++shed;
+      } else {
+        return FailpointFail("unexpected admission error", probe.status());
+      }
+    }
+    if (shed == 0 || served == 0) {
+      return FailpointFail(
+          "admission schedule degenerate",
+          util::Status::Internal("expected both sheds and successes"));
+    }
+  }
+
+  // --- Part 4: budget expiry.  With budget.expire firing on every poll,
+  // probes must come back degraded-but-sound, never crash or hang: every
+  // reported match must also be in the un-faulted truth.
+  if (auto st = registry.Configure("budget.expire=1", seed + 3); !st.ok()) {
+    return FailpointFail("configure budget", st);
+  }
+  {
+    index::MvIndex adv_index(&dict);
+    const workload::AdversarialCase hard =
+        workload::MakeAdversarialCase(&dict, 4, 3);
+    if (auto outcome = adv_index.Insert(hard.view, 0); !outcome.ok()) {
+      return FailpointFail("adversarial insert", outcome.status());
+    }
+    for (int i = 0; i < 10; ++i) {
+      (void)adv_index.Insert(gen.Draw(4, false),
+                             static_cast<std::uint64_t>(1 + i));
+    }
+    for (std::size_t r = 0; r < (smoke ? 10 : 50); ++r) {
+      const query::BgpQuery q = r == 0 ? hard.probe : gen.Draw(5, false);
+      util::ProbeBudget budget;
+      index::ProbeOptions options;
+      options.budget = &budget;
+      const index::ProbeResult degraded = adv_index.FindContaining(q, options);
+      const index::ProbeResult truth = adv_index.ScanContaining(q);
+      const std::vector<std::uint32_t> got = ContainedIds(degraded);
+      const std::vector<std::uint32_t> want = ContainedIds(truth);
+      if (!std::includes(want.begin(), want.end(), got.begin(), got.end())) {
+        return FailpointFail(
+            "degraded result over-reports",
+            util::Status::Internal("contained ⊄ undegraded truth"));
+      }
+    }
+    if (registry.FiredCount("budget.expire") == 0) {
+      return FailpointFail("budget schedule never fired",
+                           util::Status::Internal("0 expirations"));
+    }
+  }
+  registry.Reset();
+
+  if (verbose) {
+    std::printf("failpoints: %zu save faults injected, all resilience "
+                "invariants held\n", save_failures);
+  } else {
+    std::printf("OK (failpoints)\n");
+  }
+  return 0;
+}
+
+#else  // !RDFC_FAILPOINTS
+
+int RunFailpointCampaign(std::uint64_t, bool, bool) {
+  std::printf("failpoints not compiled in (rebuild with -DRDFC_FAILPOINTS=ON);"
+              " nothing to do\n");
+  return 0;
+}
+
+#endif  // RDFC_FAILPOINTS
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,6 +342,10 @@ int main(int argc, char** argv) {
   const auto max_triples = std::max<std::size_t>(
       1, std::strtoull(args.Get("max-triples", "5").c_str(), nullptr, 10));
   const bool verbose = args.Has("verbose");
+
+  if (args.Has("failpoints")) {
+    return RunFailpointCampaign(seed, args.Has("smoke"), verbose);
+  }
 
   rdf::TermDictionary dict;
   QueryGen gen(&dict, seed);

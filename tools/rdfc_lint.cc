@@ -24,6 +24,11 @@
 //   stdout-in-library  std::cout / printf in library code under src/
 //                      (libraries report through util::Status or take an
 //                      std::ostream)
+//   raw-clock          std::chrono::*_clock::now() in src/containment/ or
+//                      src/index/ (the probe path must consume time through
+//                      util::ProbeBudget / util::Timer so deadline polling
+//                      stays amortised and mockable — see DESIGN.md
+//                      "Resilience")
 //   pragma-once        a header missing #pragma once at the top
 //   duplicate-include  the same #include appearing twice in one file
 //
@@ -68,7 +73,16 @@ const char* const kStatusFreeFunctions[] = {
 const char* const kStatusMemberFunctions[] = {
     "Insert", "Remove", "MergeFrom", "AddView",
     "StageAdd", "StageRemove", "Publish", "PublishViews", "RemoveView",
-    "TrySubmit",
+    "TrySubmit", "Commit", "Configure",
+};
+
+/// Direct clock reads banned from the probe path (src/containment/ and
+/// src/index/): scattering now() calls there defeats the amortised polling
+/// contract of util::ProbeBudget and makes deadline behaviour untestable.
+const char* const kClockNowCalls[] = {
+    "steady_clock::now",
+    "system_clock::now",
+    "high_resolution_clock::now",
 };
 
 /// Raw concurrency primitives; allowed only in src/util/ and src/service/
@@ -210,6 +224,8 @@ class Linter {
     const bool in_util = StartsWith(rel, "src/util/");
     const bool concurrency_ok = in_util || StartsWith(rel, "src/service/") ||
                                 StartsWith(rel, "tests/");
+    const bool clock_banned = StartsWith(rel, "src/containment/") ||
+                              StartsWith(rel, "src/index/");
 
     std::vector<std::string> raw, code;
     if (!LoadCodeView(path, &raw, &code)) {
@@ -253,6 +269,19 @@ class Linter {
                     " outside src/util/ and src/service/ (use "
                     "util::ThreadPool / the service layer, or NOLINT with "
                     "a justification)");
+          }
+        }
+      }
+
+      // raw-clock: the probe path polls time only via util::ProbeBudget
+      // (amortised) or util::Timer (stage boundaries).
+      if (clock_banned) {
+        for (const char* call : kClockNowCalls) {
+          if (line.find(call) != std::string::npos) {
+            Add(rel, i + 1, "raw-clock",
+                std::string(call) +
+                    "() in the probe path (use util::ProbeBudget / "
+                    "util::Timer so deadline polling stays amortised)");
           }
         }
       }

@@ -6,17 +6,26 @@
 //   rdfc_serve --views=views.rq --probes=probes.rq [--threads=N]
 //   rdfc_serve --view-workload=lubm:200 --probe-workload=lubm:2000
 //   rdfc_serve ... --deadline-ms=5 --io-us=100 --json
+//   rdfc_serve ... --timeout-us=2000 --retries=3 --backoff-us=200
 //
 // Query files use the repo's `---`-separated SPARQL format.  The workload
 // specs accept dbpedia|watdiv|bsbm|ldbc|lubm with an optional :count.
+//
+// Overload handling (DESIGN.md "Resilience"): ResourceExhausted admissions
+// are retried up to --retries times with jittered exponential backoff
+// (deterministic given --seed); --timeout-us arms the per-probe budget so
+// pathological probes come back Degraded instead of holding a worker.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "query/bgp_query.h"
 #include "service/containment_service.h"
 #include "tool_util.h"
+#include "util/rng.h"
 #include "util/timer.h"
 #include "workload/workload.h"
 
@@ -72,6 +81,8 @@ int main(int argc, char** argv) {
       std::strtoull(args.Get("threads", "4").c_str(), nullptr, 10));
   options.queue_capacity = static_cast<std::size_t>(
       std::strtoull(args.Get("queue", "4096").c_str(), nullptr, 10));
+  options.probe_timeout_micros =
+      std::strtod(args.Get("timeout-us", "0").c_str(), nullptr);
   service::ContainmentService svc(options);
 
   // --- Views ---------------------------------------------------------------
@@ -114,28 +125,60 @@ int main(int argc, char** argv) {
       std::strtod(args.Get("deadline-ms", "0").c_str(), nullptr);
   const double io_us = std::strtod(args.Get("io-us", "0").c_str(), nullptr);
 
-  std::vector<service::ProbeRequest> batch;
-  batch.reserve(probes.size());
-  for (query::BgpQuery& q : probes) {
-    service::ProbeRequest request;
-    request.query = std::move(q);
-    if (deadline_ms > 0) {
-      request.deadline = std::chrono::steady_clock::now() +
-                         std::chrono::duration_cast<
-                             std::chrono::steady_clock::duration>(
-                             std::chrono::duration<double, std::milli>(
-                                 deadline_ms));
-    }
-    request.simulated_io_micros = io_us;
-    batch.push_back(std::move(request));
-  }
+  const auto max_retries = static_cast<std::size_t>(
+      std::strtoull(args.Get("retries", "0").c_str(), nullptr, 10));
+  const double backoff_us =
+      std::strtod(args.Get("backoff-us", "200").c_str(), nullptr);
+  util::Rng retry_rng(seed ^ 0xB0FFB0FFB0FFB0FFull);
 
+  // Admit everything up front (fills the pipeline like SubmitBatch), but
+  // with the retry policy: a ResourceExhausted admission backs off
+  // backoff_us * 2^attempt, jittered to [0.5x, 1.5x) so a burst of rejected
+  // clients does not re-arrive in lockstep.  Jitter draws come from the
+  // seeded PRNG, so a run is reproducible given --seed.
   util::Timer wall;
-  const std::vector<util::Result<service::ProbeResponse>> responses =
-      svc.SubmitBatch(std::move(batch));
+  std::vector<util::Result<std::future<service::ProbeResponse>>> admitted;
+  admitted.reserve(probes.size());
+  std::size_t total_retries = 0;
+  for (query::BgpQuery& q : probes) {
+    for (std::size_t attempt = 0;; ++attempt) {
+      service::ProbeRequest request;
+      request.query = attempt < max_retries ? q : std::move(q);
+      if (deadline_ms > 0) {
+        request.deadline = std::chrono::steady_clock::now() +
+                           std::chrono::duration_cast<
+                               std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   deadline_ms));
+      }
+      request.simulated_io_micros = io_us;
+      auto future = svc.Submit(std::move(request));
+      if (future.ok() || attempt >= max_retries ||
+          future.status().code() != util::StatusCode::kResourceExhausted) {
+        admitted.push_back(std::move(future));
+        break;
+      }
+      ++total_retries;
+      const double sleep_us = backoff_us *
+                              static_cast<double>(std::size_t{1} << attempt) *
+                              (0.5 + retry_rng.UniformReal());
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::micro>(sleep_us));
+    }
+  }
+  std::vector<util::Result<service::ProbeResponse>> responses;
+  responses.reserve(admitted.size());
+  for (auto& entry : admitted) {
+    if (!entry.ok()) {
+      responses.push_back(entry.status());
+    } else {
+      responses.push_back(entry.value().get());
+    }
+  }
   const double wall_ms = wall.ElapsedMillis();
 
   std::size_t ok = 0, contained = 0, rejected = 0, expired = 0;
+  std::size_t degraded = 0, quarantined = 0;
   for (const auto& response : responses) {
     if (!response.ok()) {
       ++rejected;
@@ -145,18 +188,27 @@ int main(int argc, char** argv) {
       ++expired;
       continue;
     }
+    if (response->degraded) {
+      ++degraded;
+      quarantined += response->quarantined ? 1 : 0;
+      continue;
+    }
     ++ok;
     if (!response->containing_views.empty()) ++contained;
   }
 
   const service::MetricsSnapshot metrics = svc.Metrics();
   if (args.Has("json")) {
-    std::printf("%s\n", metrics.ToJson().c_str());
+    std::printf("{\"retries\":%zu,\"wall_ms\":%.3f,\"metrics\":%s}\n",
+                total_retries, wall_ms, metrics.ToJson().c_str());
   } else {
     std::printf("probes:           %zu\n", responses.size());
     std::printf("completed:        %zu (%zu contained in >=1 view)\n", ok,
                 contained);
-    std::printf("rejected:         %zu\n", rejected);
+    std::printf("degraded:         %zu (%zu quarantined)\n", degraded,
+                quarantined);
+    std::printf("rejected:         %zu (after %zu retries)\n", rejected,
+                total_retries);
     std::printf("deadline expired: %zu\n", expired);
     std::printf("wall time:        %.1f ms (%.0f probes/s, %zu threads)\n",
                 wall_ms, 1000.0 * static_cast<double>(responses.size()) / wall_ms,
