@@ -185,7 +185,7 @@ int main(int argc, char** argv) {
   const std::size_t num_views = EnvSize("RDFC_VIEWS", 2000);
   const std::size_t num_probes = EnvSize("RDFC_PROBES", 2000);
   const double io_us = static_cast<double>(EnvSize("RDFC_IO_US", 200));
-  const unsigned hw = std::thread::hardware_concurrency();  // NOLINT: introspection, no thread spawned
+  const unsigned hw = std::thread::hardware_concurrency();  // NOLINT(raw-concurrency): introspection, no thread spawned
 
   // Generate both query sets once as SPARQL text, so every run (each with
   // its own service + dictionary) sees the identical workload.

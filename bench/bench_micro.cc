@@ -29,7 +29,7 @@ struct Corpus {
 };
 
 Corpus& SharedCorpus() {
-  static auto* corpus = new Corpus(50000);  // NOLINT: leaked singleton
+  static auto* corpus = new Corpus(50000);  // NOLINT(raw-new): leaked singleton
   return *corpus;
 }
 

@@ -56,6 +56,9 @@ query::BgpQuery MinimizeQuery(const query::BgpQuery& q,
 
   std::vector<rdf::Triple> patterns = q.patterns();
   bool changed = true;
+  // Insert-side minimisation: each round either removes a pattern or
+  // terminates, so at most |patterns| rounds.
+  // NOLINTNEXTLINE(budget-poll-coverage)
   while (changed) {
     changed = false;
     for (std::size_t i = 0; i < patterns.size(); ++i) {
@@ -69,6 +72,8 @@ query::BgpQuery MinimizeQuery(const query::BgpQuery& q,
       bool outputs_survive = true;
       for (rdf::TermId var : output) {
         bool occurs = false;
+        // Bounded by the candidate subquery's pattern count; insert-side.
+        // NOLINTNEXTLINE(budget-poll-coverage)
         for (const rdf::Triple& t : candidate.patterns()) {
           occurs = occurs || t.s == var || t.p == var || t.o == var;
         }

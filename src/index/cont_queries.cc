@@ -67,6 +67,9 @@ class Walker {
     for (const MatchState& st : states) {
       candidates.clear();
       internal::CollectCandidateTokens(probe_.view, *dict_, st, &candidates);
+      // Covered by the per-vertex budget poll above; candidate tokens per
+      // state are a small constant (optimisation III).
+      // NOLINTNEXTLINE(budget-poll-coverage)
       for (const query::Token& token : candidates) {
         auto it = node.edges.find(token);
         if (it == node.edges.end()) continue;

@@ -21,9 +21,11 @@ std::pair<std::uint32_t, std::uint32_t> ClassRange(const query::Token* span,
                                                    std::uint64_t key) {
   std::uint32_t lo = 0;
   if (n <= 8) {
+    // NOLINTNEXTLINE(budget-poll-coverage): linear scan capped at 8 edges.
     while (lo < n && FrozenTokenClassKey(span[lo]) < key) ++lo;
   } else {
     std::uint32_t hi_b = n;
+    // NOLINTNEXTLINE(budget-poll-coverage): binary search, O(log n) probes.
     while (lo < hi_b) {
       const std::uint32_t mid = lo + (hi_b - lo) / 2;
       if (FrozenTokenClassKey(span[mid]) < key) {
@@ -34,6 +36,9 @@ std::pair<std::uint32_t, std::uint32_t> ClassRange(const query::Token* span,
     }
   }
   std::uint32_t hi = lo;
+  // Equal-range scan over one (pred, type, inverse) class; bounded by the
+  // node's edge count.
+  // NOLINTNEXTLINE(budget-poll-coverage)
   while (hi < n && FrozenTokenClassKey(span[hi]) == key) ++hi;
   return {lo, hi};
 }
@@ -117,6 +122,7 @@ std::int64_t FrozenMvIndex::FindEdge(const Node& node,
   }
   std::uint32_t lo = 0;
   std::uint32_t hi = node.num_edges;
+  // NOLINTNEXTLINE(budget-poll-coverage): binary search, O(log n) probes.
   while (lo < hi) {
     const std::uint32_t mid = lo + (hi - lo) / 2;
     if (FrozenTokenLess(first[mid], token)) {

@@ -43,6 +43,7 @@ std::size_t CommonPrefix(const std::vector<query::Token>& label,
                          const std::vector<query::Token>& tokens,
                          std::size_t from) {
   std::size_t k = 0;
+  // NOLINTNEXTLINE(budget-poll-coverage): bounded by the edge label length.
   while (k < label.size() && from + k < tokens.size() &&
          label[k] == tokens[from + k]) {
     ++k;
@@ -111,6 +112,9 @@ util::Result<MvIndex::InsertOutcome> MvIndex::Insert(
   const std::vector<query::Token>& tokens = prepared.tokens;
   RadixNode* node = &root_;
   std::size_t i = 0;
+  // Insert-side radix descent: every round consumes at least one token, so
+  // at most |tokens| rounds.
+  // NOLINTNEXTLINE(budget-poll-coverage)
   while (true) {
     if (i == tokens.size()) return finish_at(node);
 
@@ -190,6 +194,9 @@ util::Status MvIndex::Remove(std::uint32_t stored_id) {
   std::vector<Hop> spine;
   RadixNode* node = &root_;
   std::size_t i = 0;
+  // Remove-side spine descent: every hop consumes at least one token, so at
+  // most |tokens| hops.
+  // NOLINTNEXTLINE(budget-poll-coverage)
   while (i < tokens.size()) {
     auto it = node->edges.find(tokens[i]);
     if (it == node->edges.end()) {

@@ -467,7 +467,7 @@ util::Result<std::unique_ptr<FrozenMvIndex>> LoadFrozenIndex(
   }
 
   std::unique_ptr<FrozenMvIndex> out(
-      new FrozenMvIndex(dict));  // NOLINT: private shell ctor, friend-only
+      new FrozenMvIndex(dict));  // NOLINT(raw-new): private shell ctor, friend-only
   const unsigned char* cur = blob.data() + sizeof(counts);
   out->nodes_.resize(num_nodes);
   std::memcpy(out->nodes_.data(), cur, num_nodes * sizeof(FrozenMvIndex::Node));

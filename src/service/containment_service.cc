@@ -65,19 +65,19 @@ void ContainmentService::Shutdown() { pool_->Shutdown(); }
 
 util::Result<std::uint64_t> ContainmentService::AddView(
     std::string_view sparql) {
-  std::lock_guard<std::mutex> lock(mutation_mu_);
+  util::MutexLock lock(&mutation_mu_);
   RDFC_ASSIGN_OR_RETURN(query::BgpQuery view,
                         sparql::ParseQuery(sparql, &dict_, options_.parser));
   return manager_.StageAdd(std::move(view));
 }
 
 util::Status ContainmentService::RemoveView(std::uint64_t view_id) {
-  std::lock_guard<std::mutex> lock(mutation_mu_);
+  util::MutexLock lock(&mutation_mu_);
   return manager_.StageRemove(view_id);
 }
 
 util::Result<std::uint64_t> ContainmentService::Publish() {
-  std::lock_guard<std::mutex> lock(mutation_mu_);
+  util::MutexLock lock(&mutation_mu_);
   auto version = manager_.Publish();
   if (version.ok()) metrics_.RecordPublish();
   return version;
@@ -85,7 +85,7 @@ util::Result<std::uint64_t> ContainmentService::Publish() {
 
 util::Result<std::vector<std::uint64_t>> ContainmentService::PublishViews(
     const std::vector<std::string>& sparql) {
-  std::lock_guard<std::mutex> lock(mutation_mu_);
+  util::MutexLock lock(&mutation_mu_);
   // Parse everything first so a bad query aborts before any staging.
   std::vector<query::BgpQuery> parsed;
   parsed.reserve(sparql.size());
@@ -108,7 +108,7 @@ util::Result<std::vector<std::uint64_t>> ContainmentService::PublishViews(
 
 util::Result<query::BgpQuery> ContainmentService::Parse(
     std::string_view sparql) {
-  std::lock_guard<std::mutex> lock(mutation_mu_);
+  util::MutexLock lock(&mutation_mu_);
   return sparql::ParseQuery(sparql, &dict_, options_.parser);
 }
 
@@ -158,7 +158,7 @@ util::Result<ProbeResponse> ContainmentService::Probe(std::string_view sparql) {
 
 bool ContainmentService::CheckQuarantined(std::uint64_t probe_key) {
   if (options_.quarantine_threshold == 0) return false;
-  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  util::MutexLock lock(&quarantine_mu_);
   auto it = offenders_.find(probe_key);
   if (it == offenders_.end()) return false;
   if (it->second.consecutive_degraded < options_.quarantine_threshold) {
@@ -175,7 +175,7 @@ bool ContainmentService::CheckQuarantined(std::uint64_t probe_key) {
 
 void ContainmentService::NoteDegraded(std::uint64_t probe_key) {
   if (options_.quarantine_threshold == 0) return;
-  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  util::MutexLock lock(&quarantine_mu_);
   Offender& offender = offenders_[probe_key];
   ++offender.consecutive_degraded;
   if (offender.consecutive_degraded >= options_.quarantine_threshold) {
@@ -188,7 +188,7 @@ void ContainmentService::NoteDegraded(std::uint64_t probe_key) {
 
 void ContainmentService::NoteHealthy(std::uint64_t probe_key) {
   if (options_.quarantine_threshold == 0) return;
-  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  util::MutexLock lock(&quarantine_mu_);
   offenders_.erase(probe_key);
 }
 

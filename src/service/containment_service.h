@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -17,7 +16,9 @@
 #include "service/metrics.h"
 #include "sparql/parser.h"
 #include "util/macros.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace rdfc {
@@ -112,20 +113,23 @@ class ContainmentService {
 
   /// Parses and stages a view; returns its id.  Not probe-visible until
   /// Publish.
-  [[nodiscard]] util::Result<std::uint64_t> AddView(std::string_view sparql);
+  [[nodiscard]] util::Result<std::uint64_t> AddView(std::string_view sparql)
+      RDFC_EXCLUDES(mutation_mu_);
 
   /// Stages removal of a view (effective at the next Publish).
-  [[nodiscard]] util::Status RemoveView(std::uint64_t view_id);
+  [[nodiscard]] util::Status RemoveView(std::uint64_t view_id)
+      RDFC_EXCLUDES(mutation_mu_);
 
   /// Atomically publishes every staged change as a new index version and
   /// returns its number.  Probes in flight finish against the version they
   /// pinned; later probes see the new one.
-  [[nodiscard]] util::Result<std::uint64_t> Publish();
+  [[nodiscard]] util::Result<std::uint64_t> Publish()
+      RDFC_EXCLUDES(mutation_mu_);
 
   /// AddView for each query, then one Publish; returns the view ids.  Any
   /// parse failure aborts before anything is staged.
   [[nodiscard]] util::Result<std::vector<std::uint64_t>> PublishViews(
-      const std::vector<std::string>& sparql);
+      const std::vector<std::string>& sparql) RDFC_EXCLUDES(mutation_mu_);
 
   // ------------------------------------------------------------------
   // Probing (reader side)
@@ -133,7 +137,8 @@ class ContainmentService {
 
   /// Parses probe text against the service dictionary (interns, so it takes
   /// the mutation mutex — microseconds; the probe itself never does).
-  [[nodiscard]] util::Result<query::BgpQuery> Parse(std::string_view sparql);
+  [[nodiscard]] util::Result<query::BgpQuery> Parse(std::string_view sparql)
+      RDFC_EXCLUDES(mutation_mu_);
 
   /// Admits one probe.  Returns the response future, or ResourceExhausted
   /// when the queue is full / InvalidArgument after Shutdown.
@@ -176,9 +181,10 @@ class ContainmentService {
   /// `quarantine_threshold` consecutive degraded outcomes and short-circuits
   /// submissions for the cooldown window.  A completed (undegraded) probe
   /// clears its key.
-  bool CheckQuarantined(std::uint64_t probe_key);
-  void NoteDegraded(std::uint64_t probe_key);
-  void NoteHealthy(std::uint64_t probe_key);
+  bool CheckQuarantined(std::uint64_t probe_key)
+      RDFC_EXCLUDES(quarantine_mu_);
+  void NoteDegraded(std::uint64_t probe_key) RDFC_EXCLUDES(quarantine_mu_);
+  void NoteHealthy(std::uint64_t probe_key) RDFC_EXCLUDES(quarantine_mu_);
 
   struct Offender {
     std::size_t consecutive_degraded = 0;
@@ -186,12 +192,18 @@ class ContainmentService {
   };
 
   ServiceOptions options_;
+  /// Probes read the dictionary lock-free through their pinned snapshot;
+  /// every write (interning) happens under mutation_mu_ — the single-writer
+  /// side of the rdf::TermDictionary contract.  The object itself cannot be
+  /// RDFC_GUARDED_BY without locking the readers, so the read side is
+  /// covered by the TSan CI job instead.
   rdf::TermDictionary dict_;
   IndexManager manager_;
   ServiceMetrics metrics_;
-  std::mutex mutation_mu_;  // serializes dictionary writers (parse/stage)
-  std::mutex quarantine_mu_;
-  std::unordered_map<std::uint64_t, Offender> offenders_;
+  util::Mutex mutation_mu_;  // serializes dictionary writers (parse/stage)
+  util::Mutex quarantine_mu_;
+  std::unordered_map<std::uint64_t, Offender> offenders_
+      RDFC_GUARDED_BY(quarantine_mu_);
   std::unique_ptr<util::ThreadPool> pool_;
 };
 

@@ -30,7 +30,7 @@ util::Result<std::uint64_t> IndexManager::StageAdd(query::BgpQuery view) {
   if (view.empty()) {
     return util::Status::InvalidArgument("cannot index an empty view");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   ViewRecord record;
   record.id = next_view_id_++;
   record.query = std::move(view);
@@ -41,7 +41,7 @@ util::Result<std::uint64_t> IndexManager::StageAdd(query::BgpQuery view) {
 }
 
 util::Status IndexManager::StageRemove(std::uint64_t view_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   for (ViewRecord& record : views_) {
     if (record.id == view_id) {
       if (!record.alive) break;
@@ -56,7 +56,7 @@ util::Status IndexManager::StageRemove(std::uint64_t view_id) {
 }
 
 util::Result<std::uint64_t> IndexManager::Publish() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto next = std::make_unique<IndexSnapshot>(dict_, options_);
   next->version = next_version_;
   for (const ViewRecord& record : views_) {
@@ -94,24 +94,24 @@ util::Result<std::uint64_t> IndexManager::Publish() {
 }
 
 std::size_t IndexManager::RegisterReader() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   const std::size_t slot = slots_.size();
   slots_.EnsureSize(slot + 1);
   return slot;
 }
 
 std::size_t IndexManager::num_live_views() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return num_live_views_;
 }
 
 std::size_t IndexManager::num_staged_changes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return num_staged_;
 }
 
 std::size_t IndexManager::num_retained_versions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return versions_.size();
 }
 
@@ -131,7 +131,9 @@ void IndexManager::ReclaimLocked() {
                 });
 }
 
-IndexManager::ReadGuard IndexManager::Acquire(std::size_t reader_slot) {
+IndexManager::ReadGuard IndexManager::Acquire(std::size_t reader_slot)
+    RDFC_READPATH {
+  RDFC_DCHECK(reader_slot < slots_.size());  // RegisterReader before Acquire
   const ReadGuard::Slot& slot = slots_.At(reader_slot);
   const IndexSnapshot* snapshot = current_.load(std::memory_order_seq_cst);
   for (;;) {
@@ -146,7 +148,7 @@ IndexManager::ReadGuard IndexManager::Acquire(std::size_t reader_slot) {
   return ReadGuard(&slot, snapshot);
 }
 
-void IndexManager::ReadGuard::Release() {
+void IndexManager::ReadGuard::Release() RDFC_READPATH {
   if (slot_ != nullptr) {
     slot_->hazard.store(nullptr, std::memory_order_release);
     slot_ = nullptr;

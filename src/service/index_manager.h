@@ -3,7 +3,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "index/frozen_index.h"
@@ -11,8 +10,10 @@
 #include "query/bgp_query.h"
 #include "rdf/dictionary.h"
 #include "util/macros.h"
+#include "util/mutex.h"
 #include "util/snapshot_vector.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace rdfc {
 namespace service {
@@ -91,11 +92,13 @@ class IndexManager {
 
   /// Stages a view for the next Publish and returns its stable external id.
   /// The view is NOT visible to probes until Publish.
-  [[nodiscard]] util::Result<std::uint64_t> StageAdd(query::BgpQuery view);
+  [[nodiscard]] util::Result<std::uint64_t> StageAdd(query::BgpQuery view)
+      RDFC_EXCLUDES(mu_);
 
   /// Stages removal of a previously added view (NotFound for unknown or
   /// already-removed ids).  Takes effect at the next Publish.
-  [[nodiscard]] util::Status StageRemove(std::uint64_t view_id);
+  [[nodiscard]] util::Status StageRemove(std::uint64_t view_id)
+      RDFC_EXCLUDES(mu_);
 
   /// Builds a fresh MvIndex from the authoritative live-view list and
   /// publishes it as the new current version; probes in flight keep the
@@ -104,19 +107,19 @@ class IndexManager {
   /// is untouched (StageRemove the offender and retry).  Returns the new
   /// version number.  O(live views) — the cost is amortised by batching
   /// stages; see DESIGN.md for the structural-sharing alternative.
-  [[nodiscard]] util::Result<std::uint64_t> Publish();
+  [[nodiscard]] util::Result<std::uint64_t> Publish() RDFC_EXCLUDES(mu_);
 
   /// Registers a hazard slot and returns its index.  Writer-side (serialized
   /// with Publish); call once per reader thread during setup.
-  std::size_t RegisterReader();
+  std::size_t RegisterReader() RDFC_EXCLUDES(mu_);
 
-  std::size_t num_live_views() const;
+  std::size_t num_live_views() const RDFC_EXCLUDES(mu_);
   /// Staged-but-unpublished intent count (adds + removes); 0 right after
   /// Publish.
-  std::size_t num_staged_changes() const;
+  std::size_t num_staged_changes() const RDFC_EXCLUDES(mu_);
   /// Versions currently held alive (current + any pinned by readers).
   /// Bounded by RegisterReader count + 1.
-  std::size_t num_retained_versions() const;
+  std::size_t num_retained_versions() const RDFC_EXCLUDES(mu_);
 
   // ------------------------------------------------------------------
   // Reader side
@@ -165,20 +168,26 @@ class IndexManager {
   };
 
   /// Sweeps the hazard slots and frees every retired version no reader has
-  /// pinned.  Caller holds mu_.
-  void ReclaimLocked();
+  /// pinned.
+  void ReclaimLocked() RDFC_REQUIRES(mu_);
 
-  rdf::TermDictionary* dict_;
+  /// Interned into by StageAdd/Publish; the dereference (not the pointer)
+  /// rides the writer mutex — the dictionary's single-writer side.
+  rdf::TermDictionary* dict_ RDFC_PT_GUARDED_BY(mu_);
   index::IndexOptions options_;
   bool freeze_published_;
 
-  mutable std::mutex mu_;           // writer-side state below
-  std::vector<ViewRecord> views_;   // authoritative; rebuilt into snapshots
-  std::size_t num_live_views_ = 0;
-  std::size_t num_staged_ = 0;      // intents since last Publish
-  std::uint64_t next_view_id_ = 1;
-  std::uint64_t next_version_ = 0;
-  std::vector<std::unique_ptr<const IndexSnapshot>> versions_;  // retained
+  mutable util::Mutex mu_;  // writer-side state below
+  /// Authoritative view list; rebuilt into snapshots.
+  std::vector<ViewRecord> views_ RDFC_GUARDED_BY(mu_);
+  std::size_t num_live_views_ RDFC_GUARDED_BY(mu_) = 0;
+  /// Intents since last Publish.
+  std::size_t num_staged_ RDFC_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_view_id_ RDFC_GUARDED_BY(mu_) = 1;
+  std::uint64_t next_version_ RDFC_GUARDED_BY(mu_) = 0;
+  /// Retained versions (current + reader-pinned).
+  std::vector<std::unique_ptr<const IndexSnapshot>> versions_
+      RDFC_GUARDED_BY(mu_);
 
   // Reader slots: appended under mu_ (RegisterReader), accessed lock-free by
   // their owning reader thread and swept by the writer.

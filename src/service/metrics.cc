@@ -68,11 +68,16 @@ ServiceMetrics::ServiceMetrics(std::size_t num_worker_shards)
     : num_shards_(num_worker_shards == 0 ? 1 : num_worker_shards),
       shards_(std::make_unique<Shard[]>(num_shards_)) {}
 
+/// Out-of-range shard indices used to alias silently into `shard %
+/// num_shards_`, folding one worker's latencies into another's histogram;
+/// the recorders now require a valid index (callers pass the pool's
+/// worker_index, which the service sizes the shard array to).
 void ServiceMetrics::RecordCompleted(std::size_t shard, double queue_micros,
                                      double filter_micros,
                                      double verify_micros,
-                                     double total_micros) {
-  Shard& s = shards_[shard % num_shards_];
+                                     double total_micros) RDFC_READPATH {
+  RDFC_CHECK(shard < num_shards_);
+  Shard& s = shards_[shard];
   s.completed.fetch_add(1, std::memory_order_relaxed);
   s.queue.Record(queue_micros);
   s.filter.Record(filter_micros);
@@ -82,8 +87,9 @@ void ServiceMetrics::RecordCompleted(std::size_t shard, double queue_micros,
 
 void ServiceMetrics::RecordDegraded(std::size_t shard, double queue_micros,
                                     double filter_micros, double verify_micros,
-                                    double total_micros) {
-  Shard& s = shards_[shard % num_shards_];
+                                    double total_micros) RDFC_READPATH {
+  RDFC_CHECK(shard < num_shards_);
+  Shard& s = shards_[shard];
   s.degraded.fetch_add(1, std::memory_order_relaxed);
   s.queue.Record(queue_micros);
   s.filter.Record(filter_micros);
@@ -92,16 +98,18 @@ void ServiceMetrics::RecordDegraded(std::size_t shard, double queue_micros,
 }
 
 void ServiceMetrics::RecordQuarantined(std::size_t shard, double queue_micros,
-                                       double total_micros) {
-  Shard& s = shards_[shard % num_shards_];
+                                       double total_micros) RDFC_READPATH {
+  RDFC_CHECK(shard < num_shards_);
+  Shard& s = shards_[shard];
   s.quarantined.fetch_add(1, std::memory_order_relaxed);
   s.queue.Record(queue_micros);
   s.degraded_total.Record(total_micros);
 }
 
 void ServiceMetrics::RecordDeadlineExpired(std::size_t shard,
-                                           double queue_micros) {
-  Shard& s = shards_[shard % num_shards_];
+                                           double queue_micros) RDFC_READPATH {
+  RDFC_CHECK(shard < num_shards_);
+  Shard& s = shards_[shard];
   s.deadline_expired.fetch_add(1, std::memory_order_relaxed);
   s.queue.Record(queue_micros);
 }

@@ -9,6 +9,7 @@
 
 #include "util/macros.h"
 #include "util/stats.h"
+#include "util/thread_annotations.h"
 
 namespace rdfc {
 namespace service {
@@ -22,7 +23,7 @@ class AtomicHistogram {
   AtomicHistogram() = default;
   RDFC_DISALLOW_COPY_AND_ASSIGN(AtomicHistogram);
 
-  void Record(double micros) {
+  void Record(double micros) RDFC_READPATH {
     buckets_[util::LatencyHistogram::BucketIndex(micros)].fetch_add(
         1, std::memory_order_relaxed);
   }
@@ -80,11 +81,19 @@ class ServiceMetrics {
   RDFC_DISALLOW_COPY_AND_ASSIGN(ServiceMetrics);
 
   // Producer side (any thread).
-  void RecordSubmitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
-  void RecordRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
-  void RecordPublish() { publishes_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordSubmitted() RDFC_READPATH {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordRejected() RDFC_READPATH {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordPublish() RDFC_READPATH {
+    publishes_.fetch_add(1, std::memory_order_relaxed);
+  }
 
-  // Worker side; `shard` is the worker index.
+  // Worker side; `shard` is the worker index and must be < num_shards() —
+  // the service sizes the shard array to the pool width and passes the
+  // pool's worker_index straight through.
   void RecordCompleted(std::size_t shard, double queue_micros,
                        double filter_micros, double verify_micros,
                        double total_micros);

@@ -9,7 +9,7 @@ namespace sparql {
 namespace {
 
 const std::unordered_set<std::string>& Keywords() {
-  static const auto* kKeywords = new std::unordered_set<std::string>{  // NOLINT: leaked singleton
+  static const auto* kKeywords = new std::unordered_set<std::string>{  // NOLINT(raw-new): leaked singleton
       "SELECT", "ASK", "WHERE", "PREFIX", "BASE", "DISTINCT", "REDUCED",
       "FILTER", "LIMIT", "OFFSET", "ORDER", "BY", "UNION", "OPTIONAL",
       "MINUS", "GRAPH", "SERVICE",

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstdint>
 
+#include "util/thread_annotations.h"
+
 namespace rdfc {
 namespace util {
 
@@ -49,7 +51,7 @@ class ProbeBudget {
 
   /// Counts one unit of work and reports whether the budget is spent.
   /// Amortised: the clock is read every kPollInterval calls.
-  bool Exhausted() {
+  bool Exhausted() RDFC_READPATH {
     if (exhausted_) return true;
     ++steps_;
     if (max_steps_ != 0 && steps_ > max_steps_) {
@@ -62,7 +64,7 @@ class ProbeBudget {
 
   /// Sticky verdict without consuming a step — for outer loops that only
   /// need to know whether an inner phase already tripped the budget.
-  bool exhausted() const { return exhausted_; }
+  bool exhausted() const RDFC_READPATH { return exhausted_; }
 
   /// Forces exhaustion (quarantine short-circuits and tests).
   void Expire() { exhausted_ = true; }

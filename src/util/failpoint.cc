@@ -29,7 +29,7 @@ FailpointRegistry& FailpointRegistry::Instance() {
 
 Status FailpointRegistry::Configure(const std::string& spec,
                                     std::uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   sites_.clear();
   seed_ = seed;
   std::size_t pos = 0;
@@ -61,12 +61,12 @@ Status FailpointRegistry::Configure(const std::string& spec,
 }
 
 void FailpointRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   sites_.clear();
 }
 
 bool FailpointRegistry::ShouldFail(const char* site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = sites_.find(site);
   if (it == sites_.end()) {
     // Track evaluations of unconfigured sites too, so schedules can assert
@@ -86,14 +86,14 @@ bool FailpointRegistry::ShouldFail(const char* site) {
 }
 
 std::uint64_t FailpointRegistry::FiredCount(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.fired;
 }
 
 std::uint64_t FailpointRegistry::EvaluatedCount(
     const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.evaluated;
 }

@@ -22,11 +22,12 @@
 
 #ifdef RDFC_FAILPOINTS
 
-#include <mutex>
 #include <random>
 #include <unordered_map>
 
 #include "util/macros.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rdfc {
 namespace util {
@@ -42,19 +43,21 @@ class FailpointRegistry {
   /// entries (probability in [0,1]; 1 fires every evaluation).  Replaces
   /// any previous schedule and resets all counters.  An empty spec disables
   /// every site.
-  [[nodiscard]] Status Configure(const std::string& spec, std::uint64_t seed);
+  [[nodiscard]] Status Configure(const std::string& spec, std::uint64_t seed)
+      RDFC_EXCLUDES(mu_);
 
   /// Disables every site and clears counters.
-  void Reset();
+  void Reset() RDFC_EXCLUDES(mu_);
 
   /// Evaluates the site: true when the schedule says this evaluation fails.
   /// Unconfigured sites never fire but still count evaluations.
-  bool ShouldFail(const char* site);
+  bool ShouldFail(const char* site) RDFC_EXCLUDES(mu_);
 
   /// Times ShouldFail returned true / was called for `site` since the last
   /// Configure/Reset.  For assertions in the failpoint stress suite.
-  std::uint64_t FiredCount(const std::string& site) const;
-  std::uint64_t EvaluatedCount(const std::string& site) const;
+  std::uint64_t FiredCount(const std::string& site) const RDFC_EXCLUDES(mu_);
+  std::uint64_t EvaluatedCount(const std::string& site) const
+      RDFC_EXCLUDES(mu_);
 
  private:
   FailpointRegistry() = default;
@@ -66,9 +69,9 @@ class FailpointRegistry {
     std::uint64_t fired = 0;
   };
 
-  mutable std::mutex mu_;
-  std::uint64_t seed_ = 0;
-  std::unordered_map<std::string, Site> sites_;
+  mutable Mutex mu_;
+  std::uint64_t seed_ RDFC_GUARDED_BY(mu_) = 0;
+  std::unordered_map<std::string, Site> sites_ RDFC_GUARDED_BY(mu_);
 };
 
 }  // namespace util

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/macros.h"
+#include "util/thread_annotations.h"
+
+namespace rdfc {
+namespace util {
+
+/// Annotated mutex: std::mutex wrapped as a Clang Thread Safety Analysis
+/// capability (DESIGN.md "Static analysis").  All lock-based code outside
+/// src/util/ must use Mutex/MutexLock instead of the raw std primitives
+/// (rdfc_lint's raw-concurrency rule enforces it), so every guarded member
+/// can carry RDFC_GUARDED_BY and the CI clang build proves the lock
+/// discipline instead of trusting the comments.
+class RDFC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  RDFC_DISALLOW_COPY_AND_ASSIGN(Mutex);
+
+  void Lock() RDFC_ACQUIRE() { mu_.lock(); }
+  void Unlock() RDFC_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for util::Mutex — the only way library code takes a Mutex, so
+/// every critical section is scoped and the analysis can see its extent.
+class RDFC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) RDFC_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RDFC_RELEASE() { mu_->Unlock(); }
+  RDFC_DISALLOW_COPY_AND_ASSIGN(MutexLock);
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable paired with util::Mutex.  Wait atomically releases and
+/// reacquires the mutex, so annotation-wise the caller's critical section is
+/// unbroken: Wait requires the mutex held and returns with it held.
+class CondVar {
+ public:
+  CondVar() = default;
+  RDFC_DISALLOW_COPY_AND_ASSIGN(CondVar);
+
+  /// Blocks until notified (spurious wakeups possible — always wait in a
+  /// `while (!predicate)` loop).  The caller must hold *mu.
+  void Wait(Mutex* mu) RDFC_REQUIRES(mu) {
+    // Adopt the already-held std::mutex for the duration of the wait, then
+    // release the unique_lock's claim without unlocking: ownership returns
+    // to the caller's MutexLock exactly as the analysis assumes.
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace util
+}  // namespace rdfc

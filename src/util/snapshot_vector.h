@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/macros.h"
+#include "util/thread_annotations.h"
 
 namespace rdfc {
 namespace util {
@@ -57,11 +58,13 @@ class SnapshotVector {
 
   /// Number of published elements.  Acquire: every element below the
   /// returned size is fully written and safe to read.
-  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+  std::size_t size() const RDFC_READPATH {
+    return size_.load(std::memory_order_acquire);
+  }
 
   /// Reader access.  `i` must be below a size() value the calling thread has
   /// observed (directly or through a downstream happens-before edge).
-  const T& At(std::size_t i) const {
+  const T& At(std::size_t i) const RDFC_READPATH {
     const Table* table = table_.load(std::memory_order_acquire);
     return table->chunks[i >> kChunkShift][i & kChunkMask];
   }
@@ -102,7 +105,7 @@ class SnapshotVector {
   };
 
   static Table* NewTable(std::size_t slots) {
-    auto* table = new Table();  // NOLINT: owned via table_/retired_tables_
+    auto* table = new Table();  // owned via table_/retired_tables_
     table->chunks.assign(slots, nullptr);
     return table;
   }
@@ -126,7 +129,7 @@ class SnapshotVector {
       table = grown;
     }
     if (table->chunks[chunk] == nullptr) {
-      table->chunks[chunk] = new T[kChunkSize]();  // NOLINT: freed in dtor
+      table->chunks[chunk] = new T[kChunkSize]();  // freed in the destructor
     }
     return &table->chunks[chunk][n & kChunkMask];
   }

@@ -1,0 +1,68 @@
+#pragma once
+
+// Clang Thread Safety Analysis attributes (DESIGN.md "Static analysis").
+//
+// These macros wrap the `-Wthread-safety` attribute family so the lock
+// discipline of the concurrent probe path — which mutex guards which member,
+// which functions require or must not hold a lock — is stated in the
+// declarations and *proved at compile time* by the CI clang build
+// (`-Wthread-safety -Wthread-safety-beta -Werror`).  On non-Clang compilers
+// every macro expands to nothing, so GCC builds are unaffected.
+//
+// Conventions:
+//   - every member written under a util::Mutex carries RDFC_GUARDED_BY(mu_)
+//     (rdfc_lint's annotation-parity rule cross-checks this against the .cc);
+//   - private helpers that assume the caller holds a lock are annotated
+//     RDFC_REQUIRES(mu_) instead of re-locking;
+//   - public entry points that take a lock internally are annotated
+//     RDFC_EXCLUDES(mu_) so re-entrant self-deadlocks are compile errors;
+//   - atomics published lock-free (hazard slots, snapshot pointers, metric
+//     shards) are deliberately NOT guarded — their contract is documented at
+//     the declaration and checked dynamically by the TSan CI job.
+
+#if defined(__clang__)
+#define RDFC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define RDFC_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define RDFC_CAPABILITY(x) RDFC_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor (util::MutexLock).
+#define RDFC_SCOPED_CAPABILITY RDFC_THREAD_ANNOTATION(scoped_lockable)
+
+/// The annotated member may only be read or written while holding `x`.
+#define RDFC_GUARDED_BY(x) RDFC_THREAD_ANNOTATION(guarded_by(x))
+
+/// The annotated pointer may be dereferenced only while holding `x` (the
+/// pointer itself is unguarded).
+#define RDFC_PT_GUARDED_BY(x) RDFC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The annotated function acquires / releases the listed capabilities.
+#define RDFC_ACQUIRE(...) RDFC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RDFC_RELEASE(...) RDFC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The caller must hold the listed capabilities when calling the annotated
+/// function (locked-scope helpers, e.g. IndexManager::ReclaimLocked).
+#define RDFC_REQUIRES(...) RDFC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (the function acquires
+/// them itself); turns re-entrant self-deadlock into a compile error.
+#define RDFC_EXCLUDES(...) RDFC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The annotated function returns a reference to the named capability.
+#define RDFC_RETURN_CAPABILITY(x) RDFC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for functions whose locking is deliberately outside the
+/// analysis (e.g. lock adapters).  Use sparingly, with a comment saying why.
+#define RDFC_NO_THREAD_SAFETY_ANALYSIS \
+  RDFC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Marks a function as part of the lock-free read path: it may take no lock
+/// and perform no allocation (rdfc_lint's alloc-in-readpath rule checks the
+/// body of every function carrying this marker).  Expands to nothing on all
+/// compilers — it is a machine-checked comment, placed like a trailing
+/// attribute: `std::size_t size() const RDFC_READPATH { ... }`.
+#define RDFC_READPATH

@@ -21,7 +21,7 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 Status ThreadPool::TrySubmit(Task task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutdown_) {
       return Status::InvalidArgument("thread pool is shut down");
     }
@@ -36,24 +36,29 @@ Status ThreadPool::TrySubmit(Task task) {
     }
     queue_.push_back(std::move(task));
   }
-  work_ready_.notify_one();
+  work_ready_.NotifyOne();
   return Status::OK();
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) return;
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
+  // Every caller serializes on join_mu_ and leaves only once the workers are
+  // gone: the first arrival joins, later (or concurrent) arrivals block on
+  // the lock until the join is complete, then see joined_ and return.
+  MutexLock join_lock(&join_mu_);
+  if (joined_) return;
   for (std::thread& thread : threads_) {
     if (thread.joinable()) thread.join();
   }
+  joined_ = true;
 }
 
 std::size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
@@ -61,8 +66,8 @@ void ThreadPool::WorkerLoop(std::size_t worker_index) {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) work_ready_.Wait(&mu_);
       if (queue_.empty()) return;  // shutdown_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

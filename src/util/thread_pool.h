@@ -1,15 +1,15 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/macros.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace rdfc {
 namespace util {
@@ -41,26 +41,35 @@ class ThreadPool {
   /// Enqueues `task` without ever blocking the caller.  Returns
   /// ResourceExhausted when the bounded queue is at capacity and
   /// InvalidArgument after Shutdown; the task runs iff OK is returned.
-  [[nodiscard]] Status TrySubmit(Task task);
+  [[nodiscard]] Status TrySubmit(Task task) RDFC_EXCLUDES(mu_);
 
   /// Stops intake, drains every already-accepted task, and joins the
-  /// workers.  Idempotent; also called by the destructor.
-  void Shutdown();
+  /// workers.  Idempotent and safe to call from several threads at once:
+  /// every caller blocks until the workers have actually exited (a second
+  /// concurrent caller used to return while the first was still joining,
+  /// which let a racing destructor free the pool under live workers).
+  void Shutdown() RDFC_EXCLUDES(mu_, join_mu_);
 
-  std::size_t num_threads() const { return threads_.size(); }
+  std::size_t num_threads() const { return options_.num_threads; }
 
   /// Tasks accepted but not yet started (point-in-time; advisory only).
-  std::size_t queue_depth() const;
+  std::size_t queue_depth() const RDFC_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop(std::size_t worker_index);
+  void WorkerLoop(std::size_t worker_index) RDFC_EXCLUDES(mu_);
 
-  const Options options_;
-  mutable std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::deque<Task> queue_;
-  std::vector<std::thread> threads_;
-  bool shutdown_ = false;
+  const Options options_;  // num_threads clamped in the constructor
+  mutable Mutex mu_;
+  CondVar work_ready_;
+  std::deque<Task> queue_ RDFC_GUARDED_BY(mu_);
+  bool shutdown_ RDFC_GUARDED_BY(mu_) = false;
+
+  /// Serializes the join phase of Shutdown.  Acquired after (never inside)
+  /// mu_; WorkerLoop takes only mu_, so joining under join_mu_ cannot
+  /// deadlock against the workers it waits for.
+  Mutex join_mu_;
+  std::vector<std::thread> threads_ RDFC_GUARDED_BY(join_mu_);
+  bool joined_ RDFC_GUARDED_BY(join_mu_) = false;
 };
 
 }  // namespace util

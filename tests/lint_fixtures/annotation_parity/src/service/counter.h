@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace rdfc {
+namespace service {
+
+class Counter {
+ public:
+  void Inc();
+  void Drain();
+
+ private:
+  util::Mutex mu_;
+  int hits_ RDFC_GUARDED_BY(mu_) = 0;
+  int misses_ = 0;
+  std::vector<int> backlog_;
+  std::vector<int> scratch_;
+};
+
+}  // namespace service
+}  // namespace rdfc

@@ -1,0 +1,24 @@
+#include <unordered_set>
+
+namespace rdfc {
+
+int* ArenaSlot() {
+  static int* slot = new int(0);  // NOLINT(raw-new): leaked singleton
+  return slot;
+}
+
+int* BlanketSlot() {
+  static int* slot = new int(0);  // NOLINT
+  return slot;
+}
+
+int* NextLineSlot() {
+  // NOLINTNEXTLINE(raw-new)
+  static int* slot = new int(0);
+  return slot;
+}
+
+// A comment that merely mentions NOLINT mid-sentence is not a directive.
+int* Plain() { return nullptr; }
+
+}  // namespace rdfc

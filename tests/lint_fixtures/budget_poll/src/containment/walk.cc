@@ -1,0 +1,44 @@
+#include <cstddef>
+#include <vector>
+
+namespace rdfc {
+namespace containment {
+
+void Walk(std::vector<int>& stack, util::ProbeBudget* budget) {
+  while (!stack.empty()) {
+    stack.pop_back();
+  }
+
+  while (!stack.empty()) {
+    if (budget->Exhausted()) break;
+    stack.pop_back();
+  }
+
+  for (std::size_t i = 0; i < stack.size(); ++i) {
+    // Counted loops are structurally bounded; no poll required.
+  }
+
+  for (;;) {
+    if (stack.empty()) break;
+    stack.pop_back();
+  }
+
+  std::vector<int> candidates = stack;
+  for (int candidate : candidates) {
+    (void)candidate;
+  }
+
+  for (int candidate : candidates) {
+    if (budget->Exhausted()) break;
+    (void)candidate;
+  }
+
+  // Fixpoint bounded by the stack height; insert-side.
+  // NOLINTNEXTLINE(budget-poll-coverage)
+  while (!stack.empty()) {
+    stack.pop_back();
+  }
+}
+
+}  // namespace containment
+}  // namespace rdfc

@@ -1,0 +1,15 @@
+#include <vector>
+
+namespace rdfc {
+namespace index {
+
+// This file is not part of the probe-walk set (src/containment/ plus the
+// named walk files), so its loops are out of scope for the rule.
+void Drain(std::vector<int>& stack) {
+  while (!stack.empty()) {
+    stack.pop_back();
+  }
+}
+
+}  // namespace index
+}  // namespace rdfc

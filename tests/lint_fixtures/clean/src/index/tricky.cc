@@ -1,0 +1,29 @@
+#include <string>
+#include <vector>
+
+namespace rdfc {
+
+// The engine must not read code out of comments or literals: this comment
+// mentions std::mutex, new Foo(), and rand() without any of them existing.
+const char* Snippets() {
+  static const std::string kSparql = R"sparql(
+    SELECT ?x WHERE { ?x <p> "new int(42)" . }
+    # while (true) { std::thread t; rand(); }
+  )sparql";
+  const char* fake = "std::mutex in a string literal; // NOLINT";
+  (void)fake;
+  /* block comment: delete ptr; sprintf(buf, "%d", 1); */
+  return kSparql.c_str();
+}
+
+std::size_t BalancedBraces(const std::vector<int>& xs) {
+  std::size_t n = 0;
+  for (int x : xs) {  // counted range-for outside the walk set
+    if (x > 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace rdfc

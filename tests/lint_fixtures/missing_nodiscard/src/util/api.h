@@ -1,0 +1,33 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace rdfc {
+namespace util {
+
+util::Status Unannotated(const std::string& arg);
+[[nodiscard]] util::Status Annotated(const std::string& arg);
+[[nodiscard]] util::Result<int> AnnotatedResult();
+
+/// The class-level [[nodiscard]] makes per-factory annotations redundant:
+/// discarding any returned Status already warns.
+class [[nodiscard]] Status {
+ public:
+  static Status OK() { return Status(); }
+  static Status Internal(std::string msg);
+};
+
+class Loader {
+ public:
+  Result<int> MemberUnannotated();
+  [[nodiscard]] Result<int> MemberAnnotated();
+
+ private:
+  /// Friend re-declarations carry no attributes; the primary declaration is
+  /// the annotated one.
+  friend util::Result<std::unique_ptr<Loader>> Load(const std::string& path);
+};
+
+}  // namespace util
+}  // namespace rdfc

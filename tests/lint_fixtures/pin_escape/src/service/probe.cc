@@ -1,0 +1,49 @@
+#include "service/index_manager.h"
+
+namespace rdfc {
+namespace service {
+
+void OuterScopeEscape(IndexManager& manager) {
+  const IndexSnapshot* leaked = nullptr;
+  {
+    auto guard = manager.Acquire(0);
+    leaked = &*guard;
+    Use(leaked);
+  }
+  Use(leaked);  // dangles: the pin was released at the brace above
+}
+
+const IndexSnapshot* ReturnEscape(IndexManager& manager) {
+  auto guard = manager.Acquire(1);
+  return &*guard;
+}
+
+void MemberEscape(Prober& prober, IndexManager& manager) {
+  auto guard = manager.Acquire(2);
+  prober.last_ = nullptr;
+  last_ = &*guard;
+}
+
+std::uint64_t FineByValue(IndexManager& manager) {
+  auto guard = manager.Acquire(3);
+  return guard->version();
+}
+
+void FineSameScope(IndexManager& manager) {
+  auto guard = manager.Acquire(4);
+  const IndexSnapshot* pinned = &*guard;
+  Use(pinned);
+}
+
+void Justified(IndexManager& manager) {
+  const IndexSnapshot* raw = nullptr;
+  {
+    auto guard = manager.Acquire(5);
+    // NOLINTNEXTLINE(pin-escape): consumed before the guard releases
+    raw = &*guard;
+    Use(raw);
+  }
+}
+
+}  // namespace service
+}  // namespace rdfc

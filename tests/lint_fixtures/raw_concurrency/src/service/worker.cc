@@ -1,0 +1,28 @@
+#include <chrono>
+#include <thread>
+
+#include "util/mutex.h"
+
+namespace rdfc {
+namespace service {
+
+class Worker {
+ public:
+  void Run() {
+    util::MutexLock lock(&mu_);
+    ++ticks_;
+  }
+
+  void Nap() {
+    // std::this_thread is not std::thread: the word boundary must hold.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+ private:
+  util::Mutex mu_;
+  std::mutex raw_mu_;
+  int ticks_ RDFC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace service
+}  // namespace rdfc

@@ -1,0 +1,14 @@
+#include <mutex>
+#include <thread>
+
+namespace rdfc {
+namespace util {
+
+// src/util/ is the audited concurrency layer: raw primitives are allowed
+// here, where the annotated wrappers are implemented.
+std::mutex g_registry_mu;
+
+void Spin() { std::thread worker([] {}); worker.join(); }
+
+}  // namespace util
+}  // namespace rdfc

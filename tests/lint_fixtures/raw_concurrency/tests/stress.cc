@@ -1,0 +1,13 @@
+#include <thread>
+#include <vector>
+
+namespace rdfc {
+
+// Tests exercise primitives deliberately (hammer threads, barriers).
+void Hammer() {
+  std::vector<std::thread> threads;
+  threads.emplace_back([] {});
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace rdfc

@@ -1,0 +1,19 @@
+#include "util/api.h"
+
+namespace rdfc {
+
+void Drops(util::Sink& sink) {
+  DoThing("x");
+  sink.Commit();
+  util::DoThing("qualified");
+}
+
+void Consumes(util::Sink& sink) {
+  util::Status st = DoThing("x");
+  if (!st.ok()) return;
+  RDFC_RETURN_NOT_OK(sink.Commit());
+  st = DoThing("reassigned is a use");
+  DoThing("justified fire-and-forget");  // NOLINT(unchecked-status): probed elsewhere
+}
+
+}  // namespace rdfc

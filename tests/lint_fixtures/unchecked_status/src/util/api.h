@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+namespace rdfc {
+namespace util {
+
+class Sink {
+ public:
+  [[nodiscard]] util::Status Commit();
+  void Reset();
+};
+
+[[nodiscard]] util::Status DoThing(const std::string& arg);
+[[nodiscard]] util::Result<int> CountThings();
+
+}  // namespace util
+}  // namespace rdfc

@@ -28,7 +28,7 @@
 #include <cstdlib>
 
 #if defined(__unix__) || defined(__APPLE__)
-#include <stdlib.h>  // NOLINT: mkdtemp is POSIX, not in <cstdlib>
+#include <stdlib.h>  // mkdtemp is POSIX, not in <cstdlib>
 #endif
 
 #include "containment/homomorphism.h"
