@@ -19,9 +19,19 @@
 // hardware_concurrency honestly next to every scaling number — committed as
 // BENCH_concurrent.json.
 //
+//   - write_churn mode: the tiered-write-path acceptance run.  Bake N views
+//     into the frozen base (Publish + Refreeze), then interleave fixed-size
+//     stage/publish batches with a concurrent probe load and record publish
+//     latency percentiles.  Publish builds only the delta tier, so its p50
+//     should be a function of the batch size, not of N — the committed JSON
+//     pairs a small and a large baked count to show that.
+//
 // Env knobs: RDFC_VIEWS (default 2000), RDFC_PROBES (default 2000),
-// RDFC_IO_US (default 200).
+// RDFC_IO_US (default 200), RDFC_CHURN_BAKED_SMALL (default 1000),
+// RDFC_CHURN_BAKED_LARGE (default 50000), RDFC_CHURN_BATCHES (default 32),
+// RDFC_CHURN_BATCH (default 16).
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -179,6 +189,144 @@ void AppendMixedRun(std::string* json, const RunResult& r, bool first) {
   *json += buf;
 }
 
+struct ChurnResult {
+  std::size_t baked = 0;
+  std::size_t batches = 0;
+  std::size_t batch_size = 0;
+  double bake_ms = 0.0;
+  double publish_p50_us = 0.0;
+  double publish_p99_us = 0.0;
+  double probe_p50_us = 0.0;
+  double probe_p99_us = 0.0;
+  std::size_t probes_completed = 0;
+  std::size_t compactions = 0;
+  std::size_t final_base_views = 0;
+  std::size_t final_delta_views = 0;
+};
+
+/// Write-churn regime: bake `baked` views into the frozen base, then run
+/// `batches` publishes of `batch_size` staged adds (plus a few removals)
+/// while a background thread keeps probe traffic flowing.  The measured
+/// quantity is publish latency — with the tiered write path it tracks the
+/// delta batch, not the baked corpus.
+ChurnResult RunWriteChurn(std::size_t baked, std::size_t batches,
+                          std::size_t batch_size,
+                          const std::vector<std::string>& probe_texts) {
+  service::ServiceOptions options;
+  options.num_threads = 2;
+  options.queue_capacity = 4096;
+  service::ContainmentService svc(options);
+
+  ChurnResult out;
+  out.baked = baked;
+  out.batches = batches;
+  out.batch_size = batch_size;
+
+  // Bake phase: one big publish, then refreeze so the corpus lives in the
+  // frozen base before churn starts.
+  {
+    rdf::TermDictionary gen_dict;
+    auto views = workload::GenerateLubmExtended(&gen_dict, baked, 42);
+    RDFC_CHECK(views.ok());
+    util::Timer bake;
+    for (const auto& q : *views) {
+      (void)svc.AddView(sparql::WriteQuery(q, gen_dict));
+    }
+    RDFC_CHECK(svc.Publish().ok());
+    RDFC_CHECK(svc.Refreeze().ok());
+    out.bake_ms = bake.ElapsedMillis();
+  }
+
+  // Churn corpus: fresh views disjoint from the baked ones.
+  std::vector<std::string> churn_texts;
+  {
+    rdf::TermDictionary gen_dict;
+    auto views =
+        workload::GenerateLubmExtended(&gen_dict, batches * batch_size, 9042);
+    RDFC_CHECK(views.ok());
+    for (const auto& q : *views) {
+      churn_texts.push_back(sparql::WriteQuery(q, gen_dict));
+    }
+  }
+
+  // Probe load: parse once, then keep small batches in flight until the
+  // writer finishes.
+  std::vector<query::BgpQuery> probes;
+  for (const std::string& text : probe_texts) {
+    auto parsed = svc.Parse(text);
+    if (parsed.ok()) probes.push_back(std::move(parsed).value());
+  }
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> probes_completed{0};
+  std::thread prober([&] {  // NOLINT(raw-concurrency): bench load generator, joined below
+    std::size_t next = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      std::vector<service::ProbeRequest> batch;
+      batch.reserve(16);
+      for (std::size_t i = 0; i < 16 && !probes.empty(); ++i) {
+        service::ProbeRequest request;
+        request.query = probes[next++ % probes.size()];
+        batch.push_back(std::move(request));
+      }
+      for (const auto& response : svc.SubmitBatch(std::move(batch))) {
+        if (response.ok() && response->status.ok()) {
+          probes_completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+
+  // Writer: fixed-size stage/publish batches; every other batch also
+  // removes a handful of recently churned views to exercise tombstones.
+  util::LatencyHistogram publish_hist;
+  std::vector<std::uint64_t> churned_ids;
+  std::size_t next_text = 0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      auto id = svc.AddView(churn_texts[next_text++]);
+      if (id.ok()) churned_ids.push_back(*id);
+    }
+    if (b % 2 == 1 && churned_ids.size() > 4) {
+      for (std::size_t i = 0; i < 2; ++i) {
+        (void)svc.RemoveView(churned_ids[churned_ids.size() - 3 - i]);
+      }
+      churned_ids.resize(churned_ids.size() - 4);
+    }
+    util::Timer publish;
+    RDFC_CHECK(svc.Publish().ok());
+    publish_hist.Add(publish.ElapsedMicros());
+  }
+  done.store(true, std::memory_order_relaxed);
+  prober.join();
+
+  out.publish_p50_us = publish_hist.Percentile(50);
+  out.publish_p99_us = publish_hist.Percentile(99);
+  const service::MetricsSnapshot metrics = svc.Metrics();
+  out.probe_p50_us = metrics.total_micros.Percentile(50);
+  out.probe_p99_us = metrics.total_micros.Percentile(99);
+  out.probes_completed = probes_completed.load();
+  out.compactions = metrics.compactions;
+  out.final_base_views = metrics.base_views;
+  out.final_delta_views = metrics.delta_views;
+  return out;
+}
+
+void AppendChurnRun(std::string* json, const ChurnResult& r, bool first) {
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "%s\n      {\"baked_views\":%zu,\"bake_ms\":%.1f,"
+                "\"batches\":%zu,\"batch_size\":%zu,"
+                "\"publish_p50_us\":%.1f,\"publish_p99_us\":%.1f,"
+                "\"probe_p50_us\":%.1f,\"probe_p99_us\":%.1f,"
+                "\"probes_completed\":%zu,\"compactions\":%zu,"
+                "\"final_base_views\":%zu,\"final_delta_views\":%zu}",
+                first ? "" : ",", r.baked, r.bake_ms, r.batches, r.batch_size,
+                r.publish_p50_us, r.publish_p99_us, r.probe_p50_us,
+                r.probe_p99_us, r.probes_completed, r.compactions,
+                r.final_base_views, r.final_delta_views);
+  *json += buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -295,7 +443,44 @@ int main(int argc, char** argv) {
       "    \"note\": \"work_p99_us is per-probe containment work (filter + "
       "verify, excluding queue wait) — the quantity the budget bounds; "
       "pathological probes are cut at the timeout and reported degraded "
-      "instead of running their full multi-hundred-ms refutation\"\n  }\n";
+      "instead of running their full multi-hundred-ms refutation\"\n  },\n";
+
+  // Write-churn regime: publish latency as a function of the baked corpus.
+  const std::size_t baked_counts[] = {
+      EnvSize("RDFC_CHURN_BAKED_SMALL", 1000),
+      EnvSize("RDFC_CHURN_BAKED_LARGE", 50000)};
+  const std::size_t churn_batches = EnvSize("RDFC_CHURN_BATCHES", 32);
+  const std::size_t churn_batch = EnvSize("RDFC_CHURN_BATCH", 16);
+  json += "  \"write_churn_mode\": {\n    \"runs\": [";
+  std::vector<ChurnResult> churn_results;
+  first = true;
+  for (std::size_t baked : baked_counts) {
+    const ChurnResult r =
+        RunWriteChurn(baked, churn_batches, churn_batch, probe_texts);
+    std::fprintf(stderr,
+                 "[churn] baked=%zu bake=%.0fms publish_p50=%.0fus "
+                 "publish_p99=%.0fus probe_p99=%.0fus probes=%zu "
+                 "compactions=%zu\n",
+                 r.baked, r.bake_ms, r.publish_p50_us, r.publish_p99_us,
+                 r.probe_p99_us, r.probes_completed, r.compactions);
+    AppendChurnRun(&json, r, first);
+    churn_results.push_back(r);
+    first = false;
+  }
+  const double ratio =
+      churn_results.front().publish_p50_us > 0.0
+          ? churn_results.back().publish_p50_us /
+                churn_results.front().publish_p50_us
+          : 0.0;
+  std::snprintf(buf, sizeof(buf),
+                "\n    ],\n    \"publish_p50_ratio_large_vs_small\": %.2f,\n",
+                ratio);
+  json += buf;
+  json +=
+      "    \"note\": \"publish builds only the delta tier, so its p50 "
+      "tracks the stage batch size, not the baked corpus; background "
+      "compaction folds the delta into the frozen base off the write "
+      "path\"\n  }\n";
   json += "}\n";
 
   if (argc > 1) {

@@ -20,6 +20,11 @@ namespace {
 
 constexpr char kMagic[8] = {'R', 'D', 'F', 'C', 'I', 'X', '0', '1'};
 constexpr char kFrozenMagic[8] = {'R', 'D', 'F', 'C', 'F', 'Z', '0', '1'};
+constexpr char kTieredMagic[8] = {'R', 'D', 'F', 'C', 'T', 'I', '0', '1'};
+
+std::string TieredBasePath(const std::string& path, std::uint64_t generation) {
+  return path + ".base." + std::to_string(generation);
+}
 
 /// FNV-1a over the payload, to catch truncation/corruption on load.
 class Checksum {
@@ -201,21 +206,86 @@ class AtomicFileWriter {
   bool committed_ = false;
 };
 
+/// Dictionary section, shared by every format: term count, then each term in
+/// id order (slot 0 is the reserved null term; skipped).
+void WriteDictionary(Writer* w, const rdf::TermDictionary& dict) {
+  w->U32(static_cast<std::uint32_t>(dict.size()));
+  for (rdf::TermId id = 1; id < dict.size(); ++id) {
+    w->U8(static_cast<std::uint8_t>(dict.kind(id)));
+    w->Str(dict.lexical(id));
+  }
+}
+
+/// Reads a dictionary section, re-interning into `dict`.  On success `remap`
+/// maps old id -> new id and its size() is the on-disk dictionary size (the
+/// range bound for every term id that follows).  With a fresh dictionary the
+/// mapping is the identity, but re-interning keeps loads into pre-populated
+/// dictionaries correct.
+util::Status ReadDictionary(Reader* r, rdf::TermDictionary* dict,
+                            std::vector<rdf::TermId>* remap) {
+  std::uint32_t dict_size = 0;
+  if (!r->U32(&dict_size)) return util::Status::ParseError("truncated header");
+  // Every dictionary entry takes at least 5 bytes (kind + length prefix), so
+  // a count the remaining file could not hold is corruption — reject before
+  // sizing the remap table by it.
+  if (dict_size > 1 &&
+      (static_cast<std::uint64_t>(dict_size) - 1) * 5 > r->remaining()) {
+    return util::Status::ParseError("implausible dictionary size");
+  }
+  remap->assign(dict_size, rdf::kNullTerm);
+  for (std::uint32_t id = 1; id < dict_size; ++id) {
+    std::uint8_t kind = 0;
+    std::string lexical;
+    if (!r->U8(&kind) || !r->Str(&lexical) || kind > 3) {
+      return util::Status::ParseError("truncated dictionary entry");
+    }
+    (*remap)[id] = dict->Intern(static_cast<rdf::TermKind>(kind), lexical);
+  }
+  return util::Status::OK();
+}
+
+/// One entry body: the canonical patterns followed by the external ids (the
+/// SaveIndex / tiered-manifest journal encoding).
+void WriteEntryBody(Writer* w, const containment::PreparedStored& stored,
+                    const std::vector<std::uint64_t>& externals) {
+  w->U32(static_cast<std::uint32_t>(stored.canonical.size()));
+  for (const rdf::Triple& t : stored.canonical.patterns()) {
+    w->U32(t.s);
+    w->U32(t.p);
+    w->U32(t.o);
+  }
+  w->U32(static_cast<std::uint32_t>(externals.size()));
+  for (std::uint64_t ext : externals) w->U64(ext);
+}
+
+/// Reads one entry's canonical patterns (remapped) into `q`.
+util::Status ReadEntryQuery(Reader* r, const std::vector<rdf::TermId>& remap,
+                            query::BgpQuery* q) {
+  std::uint32_t num_triples = 0;
+  if (!r->U32(&num_triples)) return util::Status::ParseError("truncated entry");
+  q->set_form(query::QueryForm::kAsk);
+  const std::uint32_t dict_size = static_cast<std::uint32_t>(remap.size());
+  for (std::uint32_t i = 0; i < num_triples; ++i) {
+    std::uint32_t s = 0, p = 0, o = 0;
+    if (!r->U32(&s) || !r->U32(&p) || !r->U32(&o)) {
+      return util::Status::ParseError("truncated triple");
+    }
+    if (s >= dict_size || p >= dict_size || o >= dict_size) {
+      return util::Status::ParseError("term id out of range");
+    }
+    q->AddPattern(remap[s], remap[p], remap[o]);
+  }
+  return util::Status::OK();
+}
+
 }  // namespace
 
 util::Status SaveIndex(const MvIndex& index, const std::string& path) {
   AtomicFileWriter out(path);
   RDFC_RETURN_NOT_OK(out.Open());
-  const rdf::TermDictionary& dict = index.dict();
   Writer w(out.file());
   w.Raw(kMagic, sizeof(kMagic));
-
-  // Dictionary in id order (slot 0 is the reserved null term; skipped).
-  w.U32(static_cast<std::uint32_t>(dict.size()));
-  for (rdf::TermId id = 1; id < dict.size(); ++id) {
-    w.U8(static_cast<std::uint8_t>(dict.kind(id)));
-    w.Str(dict.lexical(id));
-  }
+  WriteDictionary(&w, index.dict());
 
   // Live entries: canonical patterns + external ids.  The canonical form is
   // stable across reloads because re-preparation is deterministic.
@@ -226,16 +296,7 @@ util::Status SaveIndex(const MvIndex& index, const std::string& path) {
   w.U32(live);
   for (std::uint32_t id = 0; id < index.num_entries(); ++id) {
     if (!index.alive(id)) continue;
-    const containment::PreparedStored& stored = index.entry(id);
-    w.U32(static_cast<std::uint32_t>(stored.canonical.size()));
-    for (const rdf::Triple& t : stored.canonical.patterns()) {
-      w.U32(t.s);
-      w.U32(t.p);
-      w.U32(t.o);
-    }
-    const auto& externals = index.external_ids(id);
-    w.U32(static_cast<std::uint32_t>(externals.size()));
-    for (std::uint64_t ext : externals) w.U64(ext);
+    WriteEntryBody(&w, index.entry(id), index.external_ids(id));
   }
   w.Finish();
   if (!w.ok()) return util::Status::Internal("write failed: " + path);
@@ -255,45 +316,15 @@ util::Result<std::unique_ptr<MvIndex>> LoadIndex(const std::string& path,
     return util::Status::ParseError("bad magic in " + path);
   }
 
-  std::uint32_t dict_size = 0;
-  if (!r.U32(&dict_size)) return util::Status::ParseError("truncated header");
-  // Every dictionary entry takes at least 5 bytes (kind + length prefix), so
-  // a count the remaining file could not hold is corruption — reject before
-  // sizing the remap table by it.
-  if (dict_size > 1 &&
-      (static_cast<std::uint64_t>(dict_size) - 1) * 5 > r.remaining()) {
-    return util::Status::ParseError("implausible dictionary size");
-  }
-  // Old id -> new id.  With a fresh dictionary the mapping is the identity,
-  // but re-interning keeps loads into pre-populated dictionaries correct.
-  std::vector<rdf::TermId> remap(dict_size, rdf::kNullTerm);
-  for (std::uint32_t id = 1; id < dict_size; ++id) {
-    std::uint8_t kind = 0;
-    std::string lexical;
-    if (!r.U8(&kind) || !r.Str(&lexical) || kind > 3) {
-      return util::Status::ParseError("truncated dictionary entry");
-    }
-    remap[id] = dict->Intern(static_cast<rdf::TermKind>(kind), lexical);
-  }
+  std::vector<rdf::TermId> remap;
+  RDFC_RETURN_NOT_OK(ReadDictionary(&r, dict, &remap));
 
   auto index = std::make_unique<MvIndex>(dict);
   std::uint32_t num_entries = 0;
   if (!r.U32(&num_entries)) return util::Status::ParseError("truncated body");
   for (std::uint32_t e = 0; e < num_entries; ++e) {
-    std::uint32_t num_triples = 0;
-    if (!r.U32(&num_triples)) return util::Status::ParseError("truncated entry");
     query::BgpQuery q;
-    q.set_form(query::QueryForm::kAsk);
-    for (std::uint32_t i = 0; i < num_triples; ++i) {
-      std::uint32_t s = 0, p = 0, o = 0;
-      if (!r.U32(&s) || !r.U32(&p) || !r.U32(&o)) {
-        return util::Status::ParseError("truncated triple");
-      }
-      if (s >= dict_size || p >= dict_size || o >= dict_size) {
-        return util::Status::ParseError("term id out of range");
-      }
-      q.AddPattern(remap[s], remap[p], remap[o]);
-    }
+    RDFC_RETURN_NOT_OK(ReadEntryQuery(&r, remap, &q));
     std::uint32_t num_externals = 0;
     if (!r.U32(&num_externals)) {
       return util::Status::ParseError("truncated externals");
@@ -339,16 +370,9 @@ util::Status SaveFrozenIndex(const FrozenMvIndex& frozen,
                              const std::string& path) {
   AtomicFileWriter out(path);
   RDFC_RETURN_NOT_OK(out.Open());
-  const rdf::TermDictionary& dict = frozen.dict();
   Writer w(out.file());
   w.Raw(kFrozenMagic, sizeof(kFrozenMagic));
-
-  // Dictionary in id order, exactly as SaveIndex writes it.
-  w.U32(static_cast<std::uint32_t>(dict.size()));
-  for (rdf::TermId id = 1; id < dict.size(); ++id) {
-    w.U8(static_cast<std::uint8_t>(dict.kind(id)));
-    w.Str(dict.lexical(id));
-  }
+  WriteDictionary(&w, frozen.dict());
 
   // The tree structure as one relocatable blob: count header + the five flat
   // arrays back to back, every cross-reference an array index.
@@ -395,16 +419,7 @@ util::Status SaveFrozenIndex(const FrozenMvIndex& frozen,
       continue;
     }
     w.U8(1);
-    const containment::PreparedStored& entry = frozen.entry(id);
-    w.U32(static_cast<std::uint32_t>(entry.canonical.size()));
-    for (const rdf::Triple& t : entry.canonical.patterns()) {
-      w.U32(t.s);
-      w.U32(t.p);
-      w.U32(t.o);
-    }
-    const auto& externals = frozen.external_ids(id);
-    w.U32(static_cast<std::uint32_t>(externals.size()));
-    for (std::uint64_t ext : externals) w.U64(ext);
+    WriteEntryBody(&w, frozen.entry(id), frozen.external_ids(id));
   }
   w.Finish();
   if (!w.ok()) return util::Status::Internal("write failed: " + path);
@@ -424,21 +439,9 @@ util::Result<std::unique_ptr<FrozenMvIndex>> LoadFrozenIndex(
     return util::Status::ParseError("bad magic in " + path);
   }
 
-  std::uint32_t dict_size = 0;
-  if (!r.U32(&dict_size)) return util::Status::ParseError("truncated header");
-  if (dict_size > 1 &&
-      (static_cast<std::uint64_t>(dict_size) - 1) * 5 > r.remaining()) {
-    return util::Status::ParseError("implausible dictionary size");
-  }
-  std::vector<rdf::TermId> remap(dict_size, rdf::kNullTerm);
-  for (std::uint32_t id = 1; id < dict_size; ++id) {
-    std::uint8_t kind = 0;
-    std::string lexical;
-    if (!r.U8(&kind) || !r.Str(&lexical) || kind > 3) {
-      return util::Status::ParseError("truncated dictionary entry");
-    }
-    remap[id] = dict->Intern(static_cast<rdf::TermKind>(kind), lexical);
-  }
+  std::vector<rdf::TermId> remap;
+  RDFC_RETURN_NOT_OK(ReadDictionary(&r, dict, &remap));
+  const std::uint32_t dict_size = static_cast<std::uint32_t>(remap.size());
 
   // The structure blob: one read, then slice — no per-node rebuild.
   std::uint64_t blob_size = 0;
@@ -527,22 +530,8 @@ util::Result<std::unique_ptr<FrozenMvIndex>> LoadFrozenIndex(
       return util::Status::ParseError("truncated entry flag");
     }
     if (alive == 0) continue;
-    std::uint32_t num_triples = 0;
-    if (!r.U32(&num_triples)) {
-      return util::Status::ParseError("truncated entry");
-    }
     query::BgpQuery q;
-    q.set_form(query::QueryForm::kAsk);
-    for (std::uint32_t i = 0; i < num_triples; ++i) {
-      std::uint32_t s = 0, p = 0, o = 0;
-      if (!r.U32(&s) || !r.U32(&p) || !r.U32(&o)) {
-        return util::Status::ParseError("truncated triple");
-      }
-      if (s >= dict_size || p >= dict_size || o >= dict_size) {
-        return util::Status::ParseError("term id out of range");
-      }
-      q.AddPattern(remap[s], remap[p], remap[o]);
-    }
+    RDFC_RETURN_NOT_OK(ReadEntryQuery(&r, remap, &q));
     RDFC_ASSIGN_OR_RETURN(containment::PreparedStored prepared,
                           containment::PrepareStored(q, dict));
     if (prepared.tokens.empty()) out->skeleton_free_.push_back(id);
@@ -567,6 +556,136 @@ util::Result<std::unique_ptr<FrozenMvIndex>> LoadFrozenIndex(
   // tiling) must not reach the walk; the validator covers exactly that.
   RDFC_RETURN_NOT_OK(ValidateFrozen(*out));
   return out;
+}
+
+util::Status SaveTieredIndex(const FrozenMvIndex* base, const MvIndex* delta,
+                             const std::vector<std::uint64_t>& tombstones,
+                             std::uint64_t generation,
+                             const std::string& path) {
+  // Base blob first: until the manifest below commits, the previous manifest
+  // keeps pointing at the previous generation's blob, so a crash anywhere in
+  // between recovers to the older — but consistent — version.
+  if (base != nullptr) {
+    RDFC_RETURN_NOT_OK(SaveFrozenIndex(*base, TieredBasePath(path, generation)));
+  }
+  if (RDFC_FAILPOINT("compact.crash")) {
+    // Simulated crash in exactly that window: new base committed, manifest
+    // not.  rdfc_fuzz and the persistence tests assert the old manifest
+    // still loads.
+    return util::Status::Internal("failpoint compact.crash");
+  }
+
+  AtomicFileWriter out(path);
+  RDFC_RETURN_NOT_OK(out.Open());
+  Writer w(out.file());
+  w.Raw(kTieredMagic, sizeof(kTieredMagic));
+  w.U64(generation);
+  w.U8(base != nullptr ? 1 : 0);
+  // Both tiers share the service dictionary; an all-empty version writes the
+  // one-slot (null term only) dictionary.
+  if (base != nullptr) {
+    WriteDictionary(&w, base->dict());
+  } else if (delta != nullptr) {
+    WriteDictionary(&w, delta->dict());
+  } else {
+    w.U32(1);
+  }
+  w.U32(static_cast<std::uint32_t>(tombstones.size()));
+  for (std::uint64_t ext : tombstones) w.U64(ext);
+  // The delta journal, in the SaveIndex live-entry encoding.
+  std::uint32_t live = 0;
+  if (delta != nullptr) {
+    for (std::uint32_t id = 0; id < delta->num_entries(); ++id) {
+      live += delta->alive(id) ? 1 : 0;
+    }
+  }
+  w.U32(live);
+  if (delta != nullptr) {
+    for (std::uint32_t id = 0; id < delta->num_entries(); ++id) {
+      if (!delta->alive(id)) continue;
+      WriteEntryBody(&w, delta->entry(id), delta->external_ids(id));
+    }
+  }
+  w.Finish();
+  if (!w.ok()) return util::Status::Internal("write failed: " + path);
+  RDFC_RETURN_NOT_OK(out.Commit());
+  // The previous generation's base blob is unreachable now; best effort —
+  // a leftover blob is wasted space, never incorrectness.
+  if (generation > 0) {
+    (void)std::remove(TieredBasePath(path, generation - 1).c_str());
+  }
+  return util::Status::OK();
+}
+
+util::Result<TieredImage> LoadTieredIndex(const std::string& path,
+                                          rdf::TermDictionary* dict) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return util::Status::NotFound("cannot open for reading: " + path);
+  }
+  Reader r(file.get());
+  char magic[8];
+  if (!r.Raw(magic, sizeof(magic)) ||
+      std::memcmp(magic, kTieredMagic, sizeof(kTieredMagic)) != 0) {
+    return util::Status::ParseError("bad magic in " + path);
+  }
+  TieredImage image;
+  std::uint8_t has_base = 0;
+  if (!r.U64(&image.generation) || !r.U8(&has_base) || has_base > 1) {
+    return util::Status::ParseError("truncated tiered header");
+  }
+  std::vector<rdf::TermId> remap;
+  RDFC_RETURN_NOT_OK(ReadDictionary(&r, dict, &remap));
+
+  std::uint32_t num_tombstones = 0;
+  if (!r.U32(&num_tombstones) ||
+      static_cast<std::uint64_t>(num_tombstones) * 8 > r.remaining()) {
+    return util::Status::ParseError("truncated or implausible tombstones");
+  }
+  image.tombstones.resize(num_tombstones);
+  for (std::uint32_t i = 0; i < num_tombstones; ++i) {
+    if (!r.U64(&image.tombstones[i])) {
+      return util::Status::ParseError("truncated tombstone");
+    }
+    if (i > 0 && image.tombstones[i] <= image.tombstones[i - 1]) {
+      return util::Status::ParseError("tombstones not strictly ascending");
+    }
+  }
+
+  std::uint32_t num_entries = 0;
+  if (!r.U32(&num_entries)) {
+    return util::Status::ParseError("truncated delta journal");
+  }
+  std::unique_ptr<MvIndex> delta;
+  if (num_entries > 0) delta = std::make_unique<MvIndex>(dict);
+  for (std::uint32_t e = 0; e < num_entries; ++e) {
+    query::BgpQuery q;
+    RDFC_RETURN_NOT_OK(ReadEntryQuery(&r, remap, &q));
+    std::uint32_t num_externals = 0;
+    if (!r.U32(&num_externals)) {
+      return util::Status::ParseError("truncated externals");
+    }
+    for (std::uint32_t i = 0; i < num_externals; ++i) {
+      std::uint64_t ext = 0;
+      if (!r.U64(&ext)) return util::Status::ParseError("truncated external");
+      RDFC_ASSIGN_OR_RETURN(MvIndex::InsertOutcome outcome,
+                            delta->Insert(q, ext));
+      (void)outcome;
+    }
+  }
+  if (!r.VerifyChecksum()) {
+    return util::Status::ParseError("checksum mismatch in " + path);
+  }
+  image.delta = std::move(delta);
+
+  // Only a checksum-clean manifest names a base generation, so this load
+  // never touches a half-written blob from a crashed compaction save.
+  if (has_base != 0) {
+    RDFC_ASSIGN_OR_RETURN(image.base,
+                          LoadFrozenIndex(TieredBasePath(path, image.generation),
+                                          dict));
+  }
+  return image;
 }
 
 }  // namespace index

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "index/frozen_index.h"
 #include "index/mv_index.h"
@@ -54,6 +56,39 @@ namespace index {
 /// Loads a frozen image.  The returned index points at `dict`; the image is
 /// validated (ValidateFrozen) before it is returned.
 [[nodiscard]] util::Result<std::unique_ptr<FrozenMvIndex>> LoadFrozenIndex(
+    const std::string& path, rdf::TermDictionary* dict);
+
+/// A loaded tiered image (service/index_manager.h "Tiered write path"):
+/// the frozen base, the delta journal rebuilt into a pointer tree, and the
+/// tombstoned external ids masking the base.  Either tier may be null.
+struct TieredImage {
+  std::unique_ptr<FrozenMvIndex> base;
+  std::unique_ptr<MvIndex> delta;
+  std::vector<std::uint64_t> tombstones;  // sorted external ids
+  std::uint64_t generation = 0;           // base generation (compaction count)
+};
+
+/// Saves one published tiered version as two files:
+///
+///   <path>.base.<generation>   the frozen base via SaveFrozenIndex
+///                              (skipped when `base` is null);
+///   <path>                     the manifest (magic "RDFCTI01"): generation,
+///                              dictionary, sorted tombstones, and the delta
+///                              journal in the SaveIndex entry encoding.
+///
+/// The base blob is committed before the manifest, and the manifest names
+/// the generation it expects, so a crash between the two commits (failpoint
+/// `compact.crash`) leaves the previous manifest pointing at the previous
+/// base — always a consistent, loadable version.  After a successful commit
+/// the previous generation's base blob is removed best-effort.
+[[nodiscard]] util::Status SaveTieredIndex(
+    const FrozenMvIndex* base, const MvIndex* delta,
+    const std::vector<std::uint64_t>& tombstones, std::uint64_t generation,
+    const std::string& path);
+
+/// Loads a tiered image.  `dict` must be freshly constructed; the manifest's
+/// dictionary is interned first and the base blob's terms remap onto it.
+[[nodiscard]] util::Result<TieredImage> LoadTieredIndex(
     const std::string& path, rdf::TermDictionary* dict);
 
 }  // namespace index

@@ -46,8 +46,12 @@ struct ContainmentService::Job {
 
 ContainmentService::ContainmentService(const ServiceOptions& options)
     : options_(options),
-      manager_(&dict_, options.index, options.freeze_published),
+      manager_(&dict_, options.index, options.tier),
       metrics_(options.num_threads == 0 ? 1 : options.num_threads) {
+  // Compaction durations flow into the metrics from the compaction thread;
+  // Shutdown() stops that thread before metrics_ can be torn down.
+  manager_.set_compaction_listener(
+      [this](double micros) { metrics_.RecordCompaction(micros); });
   util::ThreadPool::Options pool_options;
   pool_options.num_threads = options_.num_threads;
   pool_options.queue_capacity = options_.queue_capacity;
@@ -61,7 +65,13 @@ ContainmentService::ContainmentService(const ServiceOptions& options)
 
 ContainmentService::~ContainmentService() { Shutdown(); }
 
-void ContainmentService::Shutdown() { pool_->Shutdown(); }
+void ContainmentService::Shutdown() {
+  pool_->Shutdown();
+  // After the probe pool: a draining compaction may still publish, which
+  // probes tolerate, but the compaction listener touches metrics_, so the
+  // compaction thread must be joined while everything it reaches is alive.
+  manager_.StopCompaction();
+}
 
 util::Result<std::uint64_t> ContainmentService::AddView(
     std::string_view sparql) {
@@ -239,7 +249,7 @@ void ContainmentService::RunJob(std::size_t worker_index, Job* job) {
   IndexManager::ReadGuard guard = manager_.Acquire(worker_index);
   response.snapshot_version = guard->version;
   const containment::PreparedProbe prepared =
-      containment::PrepareProbe(job->request.query, guard->index.dict());
+      containment::PrepareProbe(job->request.query, guard->dict());
   const index::ProbeResult result = guard->Find(prepared, probe_options);
 
   response.candidates = result.candidates;
@@ -247,10 +257,10 @@ void ContainmentService::RunJob(std::size_t worker_index, Job* job) {
   response.filter_micros = result.filter_micros;
   response.verify_micros = result.verify_micros;
   response.degraded = result.degraded();
+  // Stored ids in a merged result are tier-tagged; AppendViewIds resolves
+  // them against the right tier and masks tombstoned base ids.
   for (const index::ProbeMatch& match : result.contained) {
-    const auto& ids = guard->index.external_ids(match.stored_id);
-    response.containing_views.insert(response.containing_views.end(),
-                                     ids.begin(), ids.end());
+    guard->AppendViewIds(match.stored_id, &response.containing_views);
   }
   std::sort(response.containing_views.begin(),
             response.containing_views.end());
@@ -258,9 +268,7 @@ void ContainmentService::RunJob(std::size_t worker_index, Job* job) {
                                               response.containing_views.end()),
                                   response.containing_views.end());
   for (std::uint32_t stored_id : result.unverified) {
-    const auto& ids = guard->index.external_ids(stored_id);
-    response.unverified_views.insert(response.unverified_views.end(),
-                                     ids.begin(), ids.end());
+    guard->AppendViewIds(stored_id, &response.unverified_views);
   }
   std::sort(response.unverified_views.begin(), response.unverified_views.end());
   response.unverified_views.erase(

@@ -32,10 +32,12 @@ struct ServiceOptions {
   index::ProbeOptions probe;
   index::IndexOptions index;
   sparql::ParserOptions parser;
-  /// Compile each published version into a FrozenMvIndex and serve probes
-  /// from the flat form (DESIGN.md "Frozen index").  Off restores the
-  /// pointer-tree probe path, for A/B comparison.
-  bool freeze_published = true;
+  /// Tiered write path (DESIGN.md "Tiered write path"): Publish builds only
+  /// the delta tier; compaction merges it into the frozen base in the
+  /// background.  `tier.background_compaction = false` disables automatic
+  /// refreezes — with no Refreeze() call that is the pure pointer-tree
+  /// configuration, for A/B comparison.
+  TierOptions tier;
   /// Per-probe compute budget applied even to requests without a deadline
   /// (0 = none).  With a deadline, the earlier of the two wins.  Expiry
   /// mid-probe yields the Degraded outcome, never a hang (DESIGN.md
@@ -131,6 +133,15 @@ class ContainmentService {
   [[nodiscard]] util::Result<std::vector<std::uint64_t>> PublishViews(
       const std::vector<std::string>& sparql) RDFC_EXCLUDES(mutation_mu_);
 
+  /// Synchronously compacts the delta tier into a new frozen base and
+  /// publishes the result as a new version (IndexManager::Refreeze).  The
+  /// merge re-inserts only previously-prepared views, so it does not intern
+  /// and deliberately does NOT hold the mutation mutex — staging and
+  /// publishing may proceed while the merge builds.
+  [[nodiscard]] util::Result<std::uint64_t> Refreeze() {
+    return manager_.Refreeze();
+  }
+
   // ------------------------------------------------------------------
   // Probing (reader side)
   // ------------------------------------------------------------------
@@ -158,7 +169,17 @@ class ContainmentService {
   // Introspection
   // ------------------------------------------------------------------
 
-  MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
+  /// Counter/latency fold plus the tier gauges sampled from the manager
+  /// (base/delta/tombstone breakdown and lifetime compaction count).
+  MetricsSnapshot Metrics() const {
+    MetricsSnapshot snapshot = metrics_.Snapshot();
+    const IndexManager::TierStats tiers = manager_.tier_stats();
+    snapshot.base_views = tiers.base_views;
+    snapshot.delta_views = tiers.delta_views;
+    snapshot.tombstones = tiers.tombstones;
+    snapshot.compactions = tiers.compactions;
+    return snapshot;
+  }
   std::uint64_t current_version() const { return manager_.current_version(); }
   std::size_t num_live_views() const { return manager_.num_live_views(); }
   IndexManager& manager() { return manager_; }

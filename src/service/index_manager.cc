@@ -1,30 +1,133 @@
 #include "service/index_manager.h"
 
+#include <algorithm>
 #include <unordered_set>
 #include <utility>
 
+#include "index/persistence.h"
 #include "util/failpoint.h"
+#include "util/timer.h"
 
 namespace rdfc {
 namespace service {
 
-IndexManager::IndexManager(rdf::TermDictionary* dict,
-                           const index::IndexOptions& options,
-                           bool freeze_published)
-    : dict_(dict), options_(options), freeze_published_(freeze_published) {
-  // Publish an empty version 0 so Acquire always has a snapshot to pin —
-  // readers never need a "not started yet" branch.  Frozen like any other
-  // version so Find never mixes layouts across versions.
-  auto initial = std::make_unique<IndexSnapshot>(dict_, options_);
-  initial->version = next_version_++;
-  if (freeze_published_) {
-    initial->frozen = std::make_unique<index::FrozenMvIndex>(initial->index);
-  }
-  current_.store(initial.get(), std::memory_order_seq_cst);
-  versions_.push_back(std::move(initial));
+namespace {
+
+/// True when `value` is in the sorted vector (tombstone/base-id membership).
+bool SortedContains(const std::vector<std::uint64_t>& sorted,
+                    std::uint64_t value) {
+  return std::binary_search(sorted.begin(), sorted.end(), value);
 }
 
-IndexManager::~IndexManager() = default;
+void MergeProbeCounters(const index::ProbeResult& from,
+                        index::ProbeResult* into) {
+  into->candidates += from.candidates;
+  into->np_checks += from.np_checks;
+  into->states_explored += from.states_explored;
+  into->filter_micros += from.filter_micros;
+  into->verify_micros += from.verify_micros;
+  into->filter_complete = into->filter_complete && from.filter_complete;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------
+// IndexSnapshot: the merged two-tier probe
+// ----------------------------------------------------------------------
+
+index::ProbeResult IndexSnapshot::Find(
+    const containment::PreparedProbe& probe,
+    const index::ProbeOptions& options) const {
+  index::ProbeResult merged;
+  if (base != nullptr) {
+    merged = base->FindContaining(probe, options);
+    if (!tombstones.empty()) {
+      // Drop base answers whose every external id is tombstoned: the entry
+      // has been removed wholesale and must not surface even as unverified.
+      // Partially-tombstoned entries stay; AppendViewIds masks per id.
+      auto fully_dead = [this](std::uint32_t stored_id) {
+        for (std::uint64_t ext : base->external_ids(stored_id)) {
+          if (!SortedContains(tombstones, ext)) return false;
+        }
+        return true;
+      };
+      std::erase_if(merged.contained, [&](const index::ProbeMatch& m) {
+        return fully_dead(m.stored_id);
+      });
+      std::erase_if(merged.unverified, fully_dead);
+    }
+  }
+  if (delta != nullptr) {
+    // Same options object, so the two walks share one budget: if the base
+    // walk exhausted it, the delta walk degrades immediately (per-vertex
+    // poll) and the ANDed filter_complete reports the truncation — the
+    // merged answer under-reports, never over-reports.
+    index::ProbeResult d = delta->FindContaining(probe, options);
+    for (index::ProbeMatch& m : d.contained) {
+      RDFC_DCHECK((m.stored_id & kDeltaTierTag) == 0);
+      m.stored_id |= kDeltaTierTag;
+      merged.contained.push_back(std::move(m));
+    }
+    for (std::uint32_t id : d.unverified) {
+      merged.unverified.push_back(id | kDeltaTierTag);
+    }
+    MergeProbeCounters(d, &merged);
+  }
+  return merged;
+}
+
+index::ProbeResult IndexSnapshot::Find(const query::BgpQuery& q,
+                                       const index::ProbeOptions& options) const {
+  return Find(containment::PrepareProbe(q, *dict_ptr), options);
+}
+
+void IndexSnapshot::AppendViewIds(std::uint32_t tagged_id,
+                                  std::vector<std::uint64_t>* out) const {
+  if ((tagged_id & kDeltaTierTag) != 0) {
+    const auto& ids = delta->external_ids(tagged_id & ~kDeltaTierTag);
+    out->insert(out->end(), ids.begin(), ids.end());
+    return;
+  }
+  for (std::uint64_t ext : base->external_ids(tagged_id)) {
+    if (!SortedContains(tombstones, ext)) out->push_back(ext);
+  }
+}
+
+bool IndexSnapshot::IsTombstoned(std::uint64_t external_id) const {
+  return SortedContains(tombstones, external_id);
+}
+
+// ----------------------------------------------------------------------
+// IndexManager: writer side
+// ----------------------------------------------------------------------
+
+IndexManager::IndexManager(rdf::TermDictionary* dict,
+                           const index::IndexOptions& options,
+                           const TierOptions& tier)
+    : dict_(dict), options_(options), tier_(tier) {
+  // Publish an empty version 0 so Acquire always has a snapshot to pin —
+  // readers never need a "not started yet" branch.  Both tiers empty: the
+  // base materialises at the first compaction.
+  auto initial = std::make_unique<IndexSnapshot>();
+  initial->version = next_version_++;
+  initial->dict_ptr = dict_;
+  current_.store(initial.get(), std::memory_order_seq_cst);
+  versions_.push_back(std::move(initial));
+  if (tier_.background_compaction) {
+    util::ThreadPool::Options pool_options;
+    pool_options.num_threads = 1;
+    // Room for one queued run behind the running one; the in-flight flag
+    // keeps the scheduler from piling more on.
+    pool_options.queue_capacity = 2;
+    compaction_pool_ = std::make_unique<util::ThreadPool>(pool_options);
+  }
+}
+
+IndexManager::~IndexManager() { StopCompaction(); }
+
+void IndexManager::StopCompaction() {
+  if (compaction_pool_ != nullptr) compaction_pool_->Shutdown();
+}
 
 util::Result<std::uint64_t> IndexManager::StageAdd(query::BgpQuery view) {
   if (view.empty()) {
@@ -34,7 +137,10 @@ util::Result<std::uint64_t> IndexManager::StageAdd(query::BgpQuery view) {
   ViewRecord record;
   record.id = next_view_id_++;
   record.query = std::move(view);
+  view_pos_.emplace(record.id, views_.size());
   views_.push_back(std::move(record));
+  // Ids ascend, so appending keeps the pending delta sorted.
+  pending_delta_ids_.push_back(views_.back().id);
   ++num_live_views_;
   ++num_staged_;
   return views_.back().id;
@@ -42,50 +148,74 @@ util::Result<std::uint64_t> IndexManager::StageAdd(query::BgpQuery view) {
 
 util::Status IndexManager::StageRemove(std::uint64_t view_id) {
   util::MutexLock lock(&mu_);
-  for (ViewRecord& record : views_) {
-    if (record.id == view_id) {
-      if (!record.alive) break;
-      record.alive = false;
-      --num_live_views_;
-      ++num_staged_;
-      return util::Status::OK();
-    }
+  auto it = view_pos_.find(view_id);
+  if (it == view_pos_.end() || !views_[it->second].alive) {
+    return util::Status::NotFound("unknown or already-removed view id " +
+                                  std::to_string(view_id));
   }
-  return util::Status::NotFound("unknown or already-removed view id " +
-                                std::to_string(view_id));
+  ViewRecord& record = views_[it->second];
+  record.alive = false;
+  --num_live_views_;
+  ++num_staged_;
+  if (record.in_base) {
+    // A base-tier removal becomes a tombstone at the next Publish.
+    pending_tombstones_.insert(
+        std::upper_bound(pending_tombstones_.begin(),
+                         pending_tombstones_.end(), view_id),
+        view_id);
+  } else {
+    // A delta-tier (or still-staged) removal just drops out of the next
+    // delta build.
+    auto pos = std::lower_bound(pending_delta_ids_.begin(),
+                                pending_delta_ids_.end(), view_id);
+    RDFC_DCHECK(pos != pending_delta_ids_.end() && *pos == view_id);
+    pending_delta_ids_.erase(pos);
+  }
+  return util::Status::OK();
 }
 
 util::Result<std::uint64_t> IndexManager::Publish() {
   util::MutexLock lock(&mu_);
-  auto next = std::make_unique<IndexSnapshot>(dict_, options_);
+  auto next = std::make_unique<IndexSnapshot>();
   next->version = next_version_;
-  for (const ViewRecord& record : views_) {
-    if (!record.alive) continue;
-    auto outcome = next->index.Insert(record.query, record.id);
-    if (!outcome.ok()) {
-      // Abort the transaction: the current version stays published and the
-      // staged state is untouched, so the caller can StageRemove the
-      // offending view and Publish again.
-      return util::Status(outcome.status().code(),
-                          "publish aborted by view " +
-                              std::to_string(record.id) + ": " +
-                              outcome.status().message());
+  next->dict_ptr = dict_;
+  next->base = base_;
+  next->base_view_ids = base_ids_;
+  next->tombstones = pending_tombstones_;
+  if (!pending_delta_ids_.empty()) {
+    auto delta = std::make_unique<index::MvIndex>(dict_, options_);
+    for (std::uint64_t id : pending_delta_ids_) {
+      const ViewRecord& record = views_[view_pos_.at(id)];
+      auto outcome = delta->Insert(record.query, record.id);
+      if (!outcome.ok()) {
+        // Abort the transaction: the current version stays published and the
+        // staged state is untouched, so the caller can StageRemove the
+        // offending view and Publish again.
+        return util::Status(outcome.status().code(),
+                            "publish aborted by view " +
+                                std::to_string(record.id) + ": " +
+                                outcome.status().message());
+      }
     }
-    ++next->num_views;
+    next->delta = std::move(delta);
+    next->delta_view_ids = pending_delta_ids_;
   }
-  if (freeze_published_) {
-    // Freeze before the snapshot becomes reachable: once `current_` points
-    // at it, readers may call Find concurrently and nothing may mutate it.
-    next->frozen = std::make_unique<index::FrozenMvIndex>(next->index);
-  }
+  next->num_views = num_live_views_;
   if (RDFC_FAILPOINT("publish.swing")) {
     // Fires after the new snapshot is fully built but before it becomes
     // reachable: the transactional contract (current version unchanged,
     // staged state intact) must hold on this path like any other abort.
     return util::Status::Internal("failpoint publish.swing");
   }
-  ++next_version_;
   num_staged_ = 0;
+  const std::uint64_t version = SwingLocked(std::move(next));
+  MaybeScheduleCompactionLocked();
+  return version;
+}
+
+std::uint64_t IndexManager::SwingLocked(
+    std::unique_ptr<const IndexSnapshot> next) {
+  ++next_version_;
   const IndexSnapshot* published = next.get();
   versions_.push_back(std::move(next));
   current_.store(published, std::memory_order_seq_cst);
@@ -115,10 +245,22 @@ std::size_t IndexManager::num_retained_versions() const {
   return versions_.size();
 }
 
+IndexManager::TierStats IndexManager::tier_stats() const {
+  util::MutexLock lock(&mu_);
+  const IndexSnapshot* cur = current_.load(std::memory_order_seq_cst);
+  TierStats stats;
+  stats.base_views = cur->num_base_views();
+  stats.delta_views = cur->num_delta_views();
+  stats.tombstones = cur->num_tombstones();
+  stats.compactions = compactions_run_;
+  return stats;
+}
+
 void IndexManager::ReclaimLocked() {
   const IndexSnapshot* live = current_.load(std::memory_order_seq_cst);
   std::unordered_set<const IndexSnapshot*> pinned;
   pinned.insert(live);
+  if (compaction_pin_ != nullptr) pinned.insert(compaction_pin_);
   const std::size_t num_slots = slots_.size();
   for (std::size_t i = 0; i < num_slots; ++i) {
     const IndexSnapshot* hazard =
@@ -130,6 +272,267 @@ void IndexManager::ReclaimLocked() {
                   return pinned.count(v.get()) == 0;
                 });
 }
+
+// ----------------------------------------------------------------------
+// Compaction
+// ----------------------------------------------------------------------
+
+void IndexManager::MaybeScheduleCompactionLocked() {
+  if (compaction_pool_ == nullptr) return;
+  if (compaction_in_flight_.load(std::memory_order_acquire)) return;
+  const IndexSnapshot* cur = current_.load(std::memory_order_seq_cst);
+  const std::size_t pending = cur->num_delta_views() + cur->num_tombstones();
+  bool trigger = tier_.compact_min_delta_views > 0 &&
+                 pending >= tier_.compact_min_delta_views;
+  if (!trigger && tier_.compact_min_delta_fraction > 0) {
+    const std::size_t base_live = cur->num_base_views();
+    trigger = base_live > 0 &&
+              static_cast<double>(pending) >=
+                  tier_.compact_min_delta_fraction *
+                      static_cast<double>(base_live);
+  }
+  if (!trigger) return;
+  compaction_in_flight_.store(true, std::memory_order_release);
+  const util::Status submitted = compaction_pool_->TrySubmit(
+      [this](std::size_t /*worker_index*/) {
+        {
+          util::MutexLock serial(&compaction_mu_);
+          // A failed run (e.g. an injected compact.swing abort) is dropped
+          // on the floor by design: the policy re-triggers at the next
+          // Publish and the published state is untouched either way.
+          (void)RunCompaction();
+        }
+        compaction_in_flight_.store(false, std::memory_order_release);
+      });
+  if (!submitted.ok()) {
+    compaction_in_flight_.store(false, std::memory_order_release);
+  }
+}
+
+util::Result<std::uint64_t> IndexManager::Refreeze() {
+  util::MutexLock serial(&compaction_mu_);
+  return RunCompaction();
+}
+
+util::Result<std::uint64_t> IndexManager::RunCompaction() {
+  util::Timer timer;
+  // --- Capture: pin the current snapshot so publishes during the merge
+  // cannot reclaim it out from under the build.
+  const IndexSnapshot* captured = nullptr;
+  {
+    util::MutexLock lock(&mu_);
+    captured = current_.load(std::memory_order_seq_cst);
+    if (captured->base != nullptr && captured->delta == nullptr &&
+        captured->tombstones.empty()) {
+      return captured->version;  // nothing to fold in
+    }
+    compaction_pin_ = captured;
+  }
+
+  // --- Build, off every lock: merge the capture's visible views into one
+  // fresh pointer tree, then freeze it.  This re-inserts only entries that
+  // were prepared against this dictionary when they were first published, so
+  // every canonical variable the serialisation asks for already exists and
+  // the build never writes the dictionary — it may safely overlap staging
+  // (see the class threading contract).
+  auto clear_pin = [this] {
+    util::MutexLock lock(&mu_);
+    compaction_pin_ = nullptr;
+  };
+  auto merged = std::make_unique<index::MvIndex>(dict_, options_);
+  std::vector<std::uint64_t> merged_ids;
+  util::Status build_error = util::Status::OK();
+  auto insert_tier = [&](const auto& tier_index, bool mask_tombstones) {
+    for (std::uint32_t id = 0;
+         build_error.ok() && id < tier_index.num_entries(); ++id) {
+      if (!tier_index.alive(id)) continue;
+      for (std::uint64_t ext : tier_index.external_ids(id)) {
+        if (mask_tombstones && SortedContains(captured->tombstones, ext)) {
+          continue;
+        }
+        auto outcome = merged->Insert(tier_index.entry(id).canonical, ext);
+        if (!outcome.ok()) {
+          build_error = outcome.status();
+          break;
+        }
+        merged_ids.push_back(ext);
+      }
+    }
+  };
+  if (captured->base != nullptr) insert_tier(*captured->base, true);
+  if (captured->delta != nullptr) insert_tier(*captured->delta, false);
+  if (!build_error.ok()) {
+    clear_pin();
+    return util::Status(build_error.code(),
+                        "compaction merge failed: " + build_error.message());
+  }
+  std::sort(merged_ids.begin(), merged_ids.end());
+  auto frozen = std::make_shared<const index::FrozenMvIndex>(  // NOLINT(frozen-construction): the sanctioned freeze site
+      *merged);
+  auto frozen_ids =
+      std::make_shared<const std::vector<std::uint64_t>>(std::move(merged_ids));
+
+  if (compaction_hook_) compaction_hook_();
+
+  // --- Swing: reconcile against whatever is current *now* (publishes may
+  // have run during the build) and publish the compacted version through
+  // the same atomic pointer swing as Publish.
+  {
+    util::MutexLock lock(&mu_);
+    compaction_pin_ = nullptr;
+    if (RDFC_FAILPOINT("compact.swing")) {
+      // Same transactional contract as publish.swing: an aborted compaction
+      // leaves the published chain and all staged state untouched — the
+      // merged build is simply dropped.
+      return util::Status::Internal("failpoint compact.swing");
+    }
+    const IndexSnapshot* cur = current_.load(std::memory_order_seq_cst);
+    auto next = std::make_unique<IndexSnapshot>();
+    next->version = next_version_;
+    next->dict_ptr = dict_;
+    next->base = frozen;
+    next->base_view_ids = frozen_ids;
+    next->num_views = cur->num_views;
+    // New delta: the views published since the capture — exactly cur's delta
+    // ids not yet baked into the new base.  Small (the publishes of one
+    // compaction window), so rebuilding it under mu_ is cheap; the inserts
+    // are re-inserts of prepared views (dictionary fast path, as above).
+    std::vector<std::uint64_t> keep;
+    std::set_difference(cur->delta_view_ids.begin(),
+                        cur->delta_view_ids.end(), frozen_ids->begin(),
+                        frozen_ids->end(), std::back_inserter(keep));
+    if (!keep.empty()) {
+      auto delta = std::make_unique<index::MvIndex>(dict_, options_);
+      for (std::uint64_t id : keep) {
+        auto outcome = delta->Insert(views_[view_pos_.at(id)].query, id);
+        RDFC_CHECK(outcome.ok());  // re-insert of a published view
+      }
+      next->delta = std::move(delta);
+      next->delta_view_ids = std::move(keep);
+    }
+    // New tombstones: ids baked into the new base but no longer visible in
+    // cur — removals published during the build.
+    std::vector<std::uint64_t> visible;
+    if (cur->base_view_ids != nullptr) {
+      std::set_difference(cur->base_view_ids->begin(),
+                          cur->base_view_ids->end(), cur->tombstones.begin(),
+                          cur->tombstones.end(), std::back_inserter(visible));
+    }
+    std::vector<std::uint64_t> visible_all;
+    std::set_union(visible.begin(), visible.end(),
+                   cur->delta_view_ids.begin(), cur->delta_view_ids.end(),
+                   std::back_inserter(visible_all));
+    std::set_difference(frozen_ids->begin(), frozen_ids->end(),
+                        visible_all.begin(), visible_all.end(),
+                        std::back_inserter(next->tombstones));
+    const std::uint64_t version = SwingLocked(std::move(next));
+    base_ = frozen;
+    base_ids_ = frozen_ids;
+    ++base_generation_;
+    RebuildPendingLocked(*frozen_ids);
+    ++compactions_run_;
+    if (compaction_listener_) compaction_listener_(timer.ElapsedMicros());
+    return version;
+  }
+}
+
+void IndexManager::RebuildPendingLocked(
+    const std::vector<std::uint64_t>& new_base_ids) {
+  pending_delta_ids_.clear();
+  pending_tombstones_.clear();
+  // One sweep over the records re-derives both pending sets against the new
+  // base generation: a live view not in the base still needs a delta slot; a
+  // dead view in the base needs a tombstone (whether its removal is already
+  // published or still staged, `alive` is false either way).  O(records),
+  // once per compaction — the compaction itself is O(visible index).
+  for (ViewRecord& record : views_) {
+    record.in_base = SortedContains(new_base_ids, record.id);
+    if (record.alive && !record.in_base) {
+      pending_delta_ids_.push_back(record.id);
+    } else if (!record.alive && record.in_base) {
+      pending_tombstones_.push_back(record.id);
+    }
+  }
+  // views_ is id-ascending in normal operation but not after RestoreTiered;
+  // sort unconditionally (cheap, and the invariant stays local).
+  std::sort(pending_delta_ids_.begin(), pending_delta_ids_.end());
+  std::sort(pending_tombstones_.begin(), pending_tombstones_.end());
+}
+
+// ----------------------------------------------------------------------
+// Persistence
+// ----------------------------------------------------------------------
+
+util::Status IndexManager::SaveTiered(const std::string& path) const {
+  util::MutexLock lock(&mu_);
+  const IndexSnapshot* cur = current_.load(std::memory_order_seq_cst);
+  return index::SaveTieredIndex(cur->base.get(), cur->delta.get(),
+                                cur->tombstones, base_generation_, path);
+}
+
+util::Status IndexManager::RestoreTiered(const std::string& path) {
+  util::MutexLock lock(&mu_);
+  if (next_version_ != 1 || !views_.empty() || num_staged_ != 0) {
+    return util::Status::InvalidArgument(
+        "RestoreTiered requires a fresh manager");
+  }
+  RDFC_ASSIGN_OR_RETURN(index::TieredImage image,
+                        index::LoadTieredIndex(path, dict_));
+
+  auto next = std::make_unique<IndexSnapshot>();
+  next->version = next_version_;
+  next->dict_ptr = dict_;
+  next->tombstones = std::move(image.tombstones);
+
+  // Rebuild the authoritative view records from the two tiers: tombstoned
+  // base ids come back as dead records (they still need their tombstone
+  // until the next compaction drops them).
+  auto restore_records = [this](const auto& tier_index, bool in_base,
+                                const std::vector<std::uint64_t>& dead) {
+    std::vector<std::uint64_t> ids;
+    for (std::uint32_t id = 0; id < tier_index.num_entries(); ++id) {
+      if (!tier_index.alive(id)) continue;
+      for (std::uint64_t ext : tier_index.external_ids(id)) {
+        ViewRecord record;
+        record.id = ext;
+        record.query = tier_index.entry(id).canonical;
+        record.alive = !SortedContains(dead, ext);
+        record.in_base = in_base;
+        view_pos_.emplace(ext, views_.size());
+        views_.push_back(std::move(record));
+        if (views_.back().alive) ++num_live_views_;
+        next_view_id_ = std::max(next_view_id_, ext + 1);
+        ids.push_back(ext);
+      }
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  if (image.base != nullptr) {
+    std::vector<std::uint64_t> base_ids =
+        restore_records(*image.base, /*in_base=*/true, next->tombstones);
+    base_ids_ =
+        std::make_shared<const std::vector<std::uint64_t>>(std::move(base_ids));
+    base_ = std::shared_ptr<const index::FrozenMvIndex>(std::move(image.base));
+    next->base = base_;
+    next->base_view_ids = base_ids_;
+  }
+  if (image.delta != nullptr) {
+    next->delta_view_ids =
+        restore_records(*image.delta, /*in_base=*/false, {});
+    pending_delta_ids_ = next->delta_view_ids;
+    next->delta = std::unique_ptr<const index::MvIndex>(std::move(image.delta));
+  }
+  pending_tombstones_ = next->tombstones;
+  base_generation_ = image.generation;
+  next->num_views = num_live_views_;
+  (void)SwingLocked(std::move(next));
+  return util::Status::OK();
+}
+
+// ----------------------------------------------------------------------
+// Reader side
+// ----------------------------------------------------------------------
 
 IndexManager::ReadGuard IndexManager::Acquire(std::size_t reader_slot)
     RDFC_READPATH {

@@ -2,9 +2,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "containment/pipeline.h"
 #include "index/frozen_index.h"
 #include "index/mv_index.h"
 #include "query/bgp_query.h"
@@ -14,35 +19,93 @@
 #include "util/snapshot_vector.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
+#include "util/thread_pool.h"
 
 namespace rdfc {
 namespace service {
 
+/// Tiered write-path knobs (DESIGN.md "Tiered write path").
+///
+/// Publish builds only the *delta* tier — the views staged since the last
+/// refreeze — so its cost is O(delta), independent of how many views the
+/// frozen base holds.  Compaction (background or explicit Refreeze) merges
+/// the delta into a new frozen base off the write path.
+struct TierOptions {
+  /// Schedule a background compaction after a Publish that leaves the delta
+  /// tier over either trigger below.  Off = compaction only via Refreeze(),
+  /// which also serves as the pure pointer-tree A/B configuration: with no
+  /// compaction the base never materialises and every probe walks the delta.
+  bool background_compaction = true;
+  /// Compact when delta views + tombstones reach this count (0 disables).
+  std::size_t compact_min_delta_views = 1024;
+  /// Compact when delta views + tombstones exceed this fraction of the base
+  /// (0 disables; inactive until a base exists).
+  double compact_min_delta_fraction = 0.25;
+};
+
 /// One immutable published version of the mv-index.  Once a snapshot is
 /// reachable through IndexManager::Acquire nothing ever mutates it; probes
-/// run against `index` (const) with no synchronisation at all.
+/// run against the two tiers (both const) with no synchronisation at all.
+///
+/// Tier layout:
+///   base        large FrozenMvIndex shared (shared_ptr) across versions;
+///               null until the first compaction.
+///   tombstones  sorted external ids removed since the base was frozen —
+///               they mask base answers (a base entry all of whose external
+///               ids are tombstoned is dropped from the merged result).
+///   delta       small pointer-tree MvIndex holding exactly the views staged
+///               since the last refreeze; null when that set is empty.
+///
+/// The two tiers partition the visible views: an external id lives in the
+/// base xor the delta, never both, so merging probe results is a union plus
+/// the tombstone mask.
 struct IndexSnapshot {
-  explicit IndexSnapshot(rdf::TermDictionary* dict,
-                         const index::IndexOptions& options)
-      : index(dict, options) {}
+  /// High bit tagging a delta-tier stored id in a merged ProbeResult (base
+  /// and delta number their entries independently from 0).  Resolve ids
+  /// through AppendViewIds / untagged accessors, never directly.
+  static constexpr std::uint32_t kDeltaTierTag = 0x80000000u;
+
+  IndexSnapshot() = default;
   RDFC_DISALLOW_COPY_AND_ASSIGN(IndexSnapshot);
 
   std::uint64_t version = 0;
-  std::size_t num_views = 0;  // live views baked into this version
-  index::MvIndex index;
-  /// Flat compilation of `index` (index/frozen_index.h), built at Publish
-  /// unless the manager was configured not to freeze.  Probes prefer it; the
-  /// pointer tree stays authoritative for introspection and the next rebuild.
-  std::unique_ptr<const index::FrozenMvIndex> frozen;
+  std::size_t num_views = 0;  // live views visible in this version
 
-  /// Probes this version — the frozen form when present, else the pointer
-  /// tree.  Both walks return identical contained sets (the frozen-index
-  /// equivalence invariant), so callers never branch on which one ran.
+  std::shared_ptr<const index::FrozenMvIndex> base;
+  /// Sorted external ids baked into `base` (including currently tombstoned
+  /// ones); shared with every version on the same base generation.
+  std::shared_ptr<const std::vector<std::uint64_t>> base_view_ids;
+  std::vector<std::uint64_t> tombstones;       // sorted; masks base only
+  std::unique_ptr<const index::MvIndex> delta;
+  std::vector<std::uint64_t> delta_view_ids;   // sorted
+
+  const rdf::TermDictionary& dict() const { return *dict_ptr; }
+  const rdf::TermDictionary* dict_ptr = nullptr;
+
+  /// Probes both tiers and merges the results: union of contained sets with
+  /// fully-tombstoned base matches dropped, counters and timings summed, and
+  /// one shared budget across both walks — `filter_complete` only if *both*
+  /// walks completed, so degraded merged answers still only under-report.
+  /// Delta-tier stored ids come back tagged with kDeltaTierTag.
   index::ProbeResult Find(const containment::PreparedProbe& probe,
-                          const index::ProbeOptions& options = {}) const {
-    return frozen != nullptr ? frozen->FindContaining(probe, options)
-                             : index.FindContaining(probe, options);
+                          const index::ProbeOptions& options = {}) const;
+  /// Convenience overload preparing the probe against this snapshot's dict.
+  index::ProbeResult Find(const query::BgpQuery& q,
+                          const index::ProbeOptions& options = {}) const;
+
+  /// Appends the external ids behind a (possibly tagged) stored id from a
+  /// merged ProbeResult, masking tombstoned base ids.  Unsorted output; the
+  /// caller dedups once at the end.
+  void AppendViewIds(std::uint32_t tagged_id,
+                     std::vector<std::uint64_t>* out) const;
+
+  bool IsTombstoned(std::uint64_t external_id) const;
+
+  std::size_t num_base_views() const {
+    return base_view_ids == nullptr ? 0 : base_view_ids->size();
   }
+  std::size_t num_delta_views() const { return delta_view_ids.size(); }
+  std::size_t num_tombstones() const { return tombstones.size(); }
 };
 
 /// Versioned, snapshot-isolated publication of the mv-index (DESIGN.md
@@ -51,9 +114,15 @@ struct IndexSnapshot {
 /// The regime is the one the paper's applications live in: probes vastly
 /// outnumber view-set changes, and a probe must never block behind an
 /// insert.  Writers batch Insert/Remove intents (StageAdd/StageRemove)
-/// against an authoritative view list and publish a complete new MvIndex
-/// version in one atomic pointer swing; readers pin a version through a
-/// hazard-slot handshake and probe it lock-free.
+/// against an authoritative view list and publish a new version in one
+/// atomic pointer swing; readers pin a version through a hazard-slot
+/// handshake and probe it lock-free.
+///
+/// Write path (tiered): Publish rebuilds only the delta tier from the
+/// pending delta id set — O(views staged since the last refreeze) — and
+/// shares the frozen base by pointer.  A compaction (background task or
+/// explicit Refreeze) merges base + delta into a new frozen base off the
+/// write path and publishes the compacted snapshot through the same swing.
 ///
 /// Threading contract:
 ///   - Writer side — StageAdd, StageRemove, Publish, RegisterReader,
@@ -65,6 +134,11 @@ struct IndexSnapshot {
 ///     one seq_cst store plus the revalidation loop's loads.  Each slot
 ///     supports one outstanding ReadGuard at a time and is thread-affine by
 ///     convention (the service maps worker index -> slot index).
+///   - Compaction — runs on its own thread and is NOT a dictionary writer:
+///     the merge re-inserts only previously-prepared entries, whose
+///     canonical variables already exist, so the build touches the
+///     dictionary exclusively through lock-free reads (the
+///     CanonicalVariable populated-slot fast path) and may overlap staging.
 ///
 /// Memory reclamation (the argument, in full, in DESIGN.md): a reader
 /// announces its candidate snapshot in its hazard slot and re-checks the
@@ -74,16 +148,14 @@ struct IndexSnapshot {
 /// retains the version), or the writer's publication precedes the reader's
 /// re-check (the reader observes the new pointer, abandons the stale
 /// candidate and retries).  Either way no guard can hold a freed snapshot,
-/// and at most `reader slots + 1` versions are ever retained.
+/// and at most `reader slots + 1` versions are ever retained (+1 while a
+/// compaction pins its capture).
 class IndexManager {
  public:
-  /// `freeze_published`: compile every published version (including the
-  /// initial empty version 0) into its FrozenMvIndex at Publish time.  Off
-  /// is for A/B benching the pointer-tree probe path.
   explicit IndexManager(rdf::TermDictionary* dict,
                         const index::IndexOptions& options = {},
-                        bool freeze_published = true);
-  ~IndexManager();
+                        const TierOptions& tier = {});
+  ~IndexManager();  // StopCompaction()
   RDFC_DISALLOW_COPY_AND_ASSIGN(IndexManager);
 
   // ------------------------------------------------------------------
@@ -100,14 +172,26 @@ class IndexManager {
   [[nodiscard]] util::Status StageRemove(std::uint64_t view_id)
       RDFC_EXCLUDES(mu_);
 
-  /// Builds a fresh MvIndex from the authoritative live-view list and
-  /// publishes it as the new current version; probes in flight keep the
-  /// version they pinned.  Transactional: if any staged view fails to index,
-  /// the error is returned, the current version stays, and the staged state
-  /// is untouched (StageRemove the offender and retry).  Returns the new
-  /// version number.  O(live views) — the cost is amortised by batching
-  /// stages; see DESIGN.md for the structural-sharing alternative.
+  /// Builds a fresh delta tier from the pending delta id set and publishes
+  /// it (sharing the current base) as the new current version; probes in
+  /// flight keep the version they pinned.  Transactional: if any staged view
+  /// fails to index, the error is returned, the current version stays, and
+  /// the staged state is untouched (StageRemove the offender and retry).
+  /// Returns the new version number.  O(delta) — independent of base size.
   [[nodiscard]] util::Result<std::uint64_t> Publish() RDFC_EXCLUDES(mu_);
+
+  /// Synchronous compaction: merges base + delta into a new frozen base and
+  /// publishes the compacted snapshot as a new version (returned).  Waits
+  /// for any background compaction first.  No-op (returns the current
+  /// version) when there is a base and nothing to fold into it.  Safe to
+  /// call concurrently with staging/publishing — the build runs off the
+  /// writer mutex.
+  [[nodiscard]] util::Result<std::uint64_t> Refreeze()
+      RDFC_EXCLUDES(mu_, compaction_mu_);
+
+  /// Drains and joins the background compaction thread.  Idempotent; called
+  /// by the destructor.  After this, only Refreeze() compacts.
+  void StopCompaction() RDFC_EXCLUDES(mu_, compaction_mu_);
 
   /// Registers a hazard slot and returns its index.  Writer-side (serialized
   /// with Publish); call once per reader thread during setup.
@@ -118,8 +202,50 @@ class IndexManager {
   /// Publish.
   std::size_t num_staged_changes() const RDFC_EXCLUDES(mu_);
   /// Versions currently held alive (current + any pinned by readers).
-  /// Bounded by RegisterReader count + 1.
+  /// Bounded by RegisterReader count + 1 (+1 during a compaction).
   std::size_t num_retained_versions() const RDFC_EXCLUDES(mu_);
+
+  /// Tier breakdown of the current published version plus the lifetime
+  /// compaction count (rdfc_stats --service / rdfc_serve tier reporting).
+  struct TierStats {
+    std::size_t base_views = 0;   // external ids baked into the frozen base
+    std::size_t delta_views = 0;  // views in the pointer-tree delta
+    std::size_t tombstones = 0;   // base ids masked as removed
+    std::uint64_t compactions = 0;
+  };
+  TierStats tier_stats() const RDFC_EXCLUDES(mu_);
+  bool compaction_in_flight() const {
+    return compaction_in_flight_.load(std::memory_order_acquire);
+  }
+
+  /// Test hook, invoked off-lock between a compaction's merge build and its
+  /// publication swing — the window the deterministic interleaving tests
+  /// stage and publish into.  Set during single-threaded setup only.
+  void set_compaction_hook(std::function<void()> hook) {
+    compaction_hook_ = std::move(hook);
+  }
+  /// Invoked with the wall-clock micros of every completed compaction (the
+  /// service routes it into ServiceMetrics).  Set during setup only.
+  void set_compaction_listener(std::function<void(double)> listener) {
+    compaction_listener_ = std::move(listener);
+  }
+
+  // ------------------------------------------------------------------
+  // Persistence (writer side; see index/persistence.h for the format)
+  // ------------------------------------------------------------------
+
+  /// Saves the current published version as a tiered image: the frozen base
+  /// as a sibling `<path>.base.<generation>` blob plus a manifest at `path`
+  /// holding the delta journal and tombstones.  Holds the writer mutex for
+  /// the I/O (an admin-path operation; probes are unaffected).
+  [[nodiscard]] util::Status SaveTiered(const std::string& path) const
+      RDFC_EXCLUDES(mu_);
+
+  /// Restores a tiered image into this manager and publishes it as the next
+  /// version.  The manager must be fresh (version 0, nothing staged) and its
+  /// dictionary freshly constructed.
+  [[nodiscard]] util::Status RestoreTiered(const std::string& path)
+      RDFC_EXCLUDES(mu_);
 
   // ------------------------------------------------------------------
   // Reader side
@@ -130,10 +256,8 @@ class IndexManager {
   class ReadGuard {
    public:
     ReadGuard(ReadGuard&& other) noexcept
-        : slot_(other.slot_), snapshot_(other.snapshot_) {
-      other.slot_ = nullptr;
-      other.snapshot_ = nullptr;
-    }
+        : slot_(std::exchange(other.slot_, nullptr)),
+          snapshot_(std::exchange(other.snapshot_, nullptr)) {}
     ReadGuard& operator=(ReadGuard&&) = delete;
     ReadGuard(const ReadGuard&) = delete;
     ReadGuard& operator=(const ReadGuard&) = delete;
@@ -142,12 +266,15 @@ class IndexManager {
     const IndexSnapshot& operator*() const { return *snapshot_; }
     const IndexSnapshot* operator->() const { return snapshot_; }
 
+    /// Unpins early.  Idempotent (and a no-op on a moved-from guard); the
+    /// destructor calls it too.
+    void Release();
+
    private:
     friend class IndexManager;
     struct Slot;
     ReadGuard(const Slot* slot, const IndexSnapshot* snapshot)
         : slot_(slot), snapshot_(snapshot) {}
-    void Release();
 
     const Slot* slot_;
     const IndexSnapshot* snapshot_;
@@ -165,21 +292,40 @@ class IndexManager {
     std::uint64_t id = 0;
     query::BgpQuery query;
     bool alive = true;
+    bool in_base = false;  // baked into the current frozen base
   };
 
-  /// Sweeps the hazard slots and frees every retired version no reader has
-  /// pinned.
+  /// Sweeps the hazard slots and frees every retired version no reader (and
+  /// no in-flight compaction) has pinned.
   void ReclaimLocked() RDFC_REQUIRES(mu_);
+
+  /// Publishes `next` as the new current version (swing + reclaim).
+  std::uint64_t SwingLocked(std::unique_ptr<const IndexSnapshot> next)
+      RDFC_REQUIRES(mu_);
+
+  /// Schedules a background compaction when the policy triggers fire.
+  void MaybeScheduleCompactionLocked() RDFC_REQUIRES(mu_);
+
+  /// One full compaction: capture, off-lock merge + freeze, swing.
+  [[nodiscard]] util::Result<std::uint64_t> RunCompaction() RDFC_EXCLUDES(mu_)
+      RDFC_REQUIRES(compaction_mu_);
+
+  /// Recomputes pending_delta_ids_ / pending_tombstones_ / in_base flags
+  /// after the base generation changed to `new_base_ids`.
+  void RebuildPendingLocked(const std::vector<std::uint64_t>& new_base_ids)
+      RDFC_REQUIRES(mu_);
 
   /// Interned into by StageAdd/Publish; the dereference (not the pointer)
   /// rides the writer mutex — the dictionary's single-writer side.
   rdf::TermDictionary* dict_ RDFC_PT_GUARDED_BY(mu_);
   index::IndexOptions options_;
-  bool freeze_published_;
+  TierOptions tier_;
 
   mutable util::Mutex mu_;  // writer-side state below
-  /// Authoritative view list; rebuilt into snapshots.
+  /// Authoritative view list, ids ascending (StageAdd order).
   std::vector<ViewRecord> views_ RDFC_GUARDED_BY(mu_);
+  /// external id -> position in views_ (O(1) StageRemove and delta builds).
+  std::unordered_map<std::uint64_t, std::size_t> view_pos_ RDFC_GUARDED_BY(mu_);
   std::size_t num_live_views_ RDFC_GUARDED_BY(mu_) = 0;
   /// Intents since last Publish.
   std::size_t num_staged_ RDFC_GUARDED_BY(mu_) = 0;
@@ -188,6 +334,29 @@ class IndexManager {
   /// Retained versions (current + reader-pinned).
   std::vector<std::unique_ptr<const IndexSnapshot>> versions_
       RDFC_GUARDED_BY(mu_);
+
+  // Mirror of the tier state the *next* Publish will bake: the shared base,
+  // its id set, and the pending delta/tombstone id sets (sorted).  Staging
+  // updates the pending sets incrementally; a compaction swing rebuilds them
+  // from the view records.
+  std::shared_ptr<const index::FrozenMvIndex> base_ RDFC_GUARDED_BY(mu_);
+  std::shared_ptr<const std::vector<std::uint64_t>> base_ids_
+      RDFC_GUARDED_BY(mu_);
+  std::vector<std::uint64_t> pending_delta_ids_ RDFC_GUARDED_BY(mu_);
+  std::vector<std::uint64_t> pending_tombstones_ RDFC_GUARDED_BY(mu_);
+
+  // Compaction machinery.  Lock order: compaction_mu_ before mu_, and mu_ is
+  // never held while acquiring compaction_mu_.
+  util::Mutex compaction_mu_;  // serializes compaction runs (bg + Refreeze)
+  std::unique_ptr<util::ThreadPool> compaction_pool_;  // 1 thread; may be null
+  std::atomic<bool> compaction_in_flight_{false};
+  /// The capture a running compaction merges from; ReclaimLocked treats it
+  /// as pinned so publishes during the build cannot free it.
+  const IndexSnapshot* compaction_pin_ RDFC_GUARDED_BY(mu_) = nullptr;
+  std::uint64_t compactions_run_ RDFC_GUARDED_BY(mu_) = 0;
+  std::uint64_t base_generation_ RDFC_GUARDED_BY(mu_) = 0;
+  std::function<void()> compaction_hook_;
+  std::function<void(double)> compaction_listener_;
 
   // Reader slots: appended under mu_ (RegisterReader), accessed lock-free by
   // their owning reader thread and swept by the writer.

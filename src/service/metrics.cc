@@ -36,12 +36,18 @@ void MetricsSnapshot::Print(std::ostream& os) const {
      << "  rejected          " << rejected << '\n'
      << "  deadline_expired  " << deadline_expired << '\n'
      << "  publishes         " << publishes << '\n'
+     << "  compactions       " << compactions << '\n'
+     << "index tiers\n"
+     << "  base_views        " << base_views << '\n'
+     << "  delta_views       " << delta_views << '\n'
+     << "  tombstones        " << tombstones << '\n'
      << "latency (us)   count        mean         p50         p95         p99\n";
   PrintStageRow(os, "queue", queue_micros);
   PrintStageRow(os, "filter", filter_micros);
   PrintStageRow(os, "verify", verify_micros);
   PrintStageRow(os, "total", total_micros);
   PrintStageRow(os, "degraded", degraded_micros);
+  PrintStageRow(os, "compact", compaction_micros);
 }
 
 std::string MetricsSnapshot::ToJson() const {
@@ -50,7 +56,10 @@ std::string MetricsSnapshot::ToJson() const {
      << ",\"degraded\":" << degraded << ",\"quarantined\":" << quarantined
      << ",\"rejected\":" << rejected
      << ",\"deadline_expired\":" << deadline_expired
-     << ",\"publishes\":" << publishes << ',';
+     << ",\"publishes\":" << publishes
+     << ",\"compactions\":" << compactions << ",\"tiers\":{\"base_views\":"
+     << base_views << ",\"delta_views\":" << delta_views
+     << ",\"tombstones\":" << tombstones << "},";
   AppendStageJson(&os, "queue", queue_micros);
   os << ',';
   AppendStageJson(&os, "filter", filter_micros);
@@ -60,6 +69,8 @@ std::string MetricsSnapshot::ToJson() const {
   AppendStageJson(&os, "total", total_micros);
   os << ',';
   AppendStageJson(&os, "degraded", degraded_micros);
+  os << ',';
+  AppendStageJson(&os, "compact", compaction_micros);
   os << '}';
   return os.str();
 }
@@ -119,6 +130,8 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   out.submitted = submitted_.load(std::memory_order_relaxed);
   out.rejected = rejected_.load(std::memory_order_relaxed);
   out.publishes = publishes_.load(std::memory_order_relaxed);
+  out.compactions = compactions_.load(std::memory_order_relaxed);
+  compaction_.MergeInto(&out.compaction_micros);
   for (std::size_t i = 0; i < num_shards_; ++i) {
     const Shard& s = shards_[i];
     out.completed += s.completed.load(std::memory_order_relaxed);

@@ -51,6 +51,14 @@ struct MetricsSnapshot {
   std::uint64_t quarantined = 0;       // short-circuited by the breaker
   std::uint64_t deadline_expired = 0;  // expired before their probe ran
   std::uint64_t publishes = 0;         // index versions published
+  std::uint64_t compactions = 0;       // delta-into-base refreezes completed
+
+  // Tier breakdown of the current published version (DESIGN.md "Tiered
+  // write path").  Gauges, not counters: the service samples them from
+  // IndexManager::tier_stats() at snapshot time.
+  std::uint64_t base_views = 0;   // external ids baked into the frozen base
+  std::uint64_t delta_views = 0;  // views in the pointer-tree delta
+  std::uint64_t tombstones = 0;   // base ids masked as removed
 
   util::LatencyHistogram queue_micros;   // admission -> worker pickup
   util::LatencyHistogram filter_micros;  // radix walk (PTime filter)
@@ -61,6 +69,8 @@ struct MetricsSnapshot {
   /// deliberately-truncated work (and vice versa: this histogram shows how
   /// tightly degradation bounds pathological probes).
   util::LatencyHistogram degraded_micros;
+  /// Wall-clock of completed compactions (merge build + swing).
+  util::LatencyHistogram compaction_micros;
 
   /// Multi-line human-readable table (rdfc_stats --service, rdfc_serve).
   void Print(std::ostream& os) const;
@@ -89,6 +99,12 @@ class ServiceMetrics {
   }
   void RecordPublish() RDFC_READPATH {
     publishes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// One completed compaction (called from the compaction thread via the
+  /// manager's listener; low-rate, so a single unsharded histogram is fine).
+  void RecordCompaction(double micros) {
+    compactions_.fetch_add(1, std::memory_order_relaxed);
+    compaction_.Record(micros);
   }
 
   // Worker side; `shard` is the worker index and must be < num_shards() —
@@ -130,6 +146,8 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> publishes_{0};
+  std::atomic<std::uint64_t> compactions_{0};
+  AtomicHistogram compaction_;
 };
 
 }  // namespace service

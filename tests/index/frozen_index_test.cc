@@ -290,37 +290,46 @@ TEST_F(FrozenPersistenceTest, CorruptionIsDetected) {
   EXPECT_FALSE(loaded.ok());
 }
 
-TEST(FrozenServiceTest, PublishedSnapshotsServeFromFrozenForm) {
+TEST(FrozenServiceTest, RefreezeBakesDeltaIntoFrozenBase) {
   rdf::TermDictionary dict;
-  service::IndexManager manager(&dict);
+  service::TierOptions tier;
+  tier.background_compaction = false;  // compact only when told to
+  service::IndexManager manager(&dict, {}, tier);
   const std::size_t slot = manager.RegisterReader();
-  {
-    service::IndexManager::ReadGuard guard = manager.Acquire(slot);
-    EXPECT_NE(guard->frozen, nullptr);  // version 0 is frozen too
-  }
-  auto v1 = manager.StageAdd(ParseOrDie("ASK { ?x :p ?y . }", &dict));
-  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(manager.StageAdd(ParseOrDie("ASK { ?x :p ?y . }", &dict)).ok());
   ASSERT_TRUE(manager.Publish().ok());
+  {
+    // Freshly published views live in the pointer-tree delta tier.
+    service::IndexManager::ReadGuard guard = manager.Acquire(slot);
+    EXPECT_EQ(guard->base, nullptr);
+    EXPECT_EQ(guard->num_delta_views(), 1u);
+  }
+  ASSERT_TRUE(manager.Refreeze().ok());
   service::IndexManager::ReadGuard guard = manager.Acquire(slot);
-  ASSERT_NE(guard->frozen, nullptr);
-  ASSERT_TRUE(ValidateFrozen(*guard->frozen).ok());
+  ASSERT_NE(guard->base, nullptr);
+  ASSERT_TRUE(ValidateFrozen(*guard->base).ok());
+  EXPECT_EQ(guard->num_base_views(), 1u);
+  EXPECT_EQ(guard->num_delta_views(), 0u);
+  // The merged walk over the compacted snapshot and a direct frozen walk
+  // agree (there is no delta left, so the merge is exactly the base walk).
   const containment::PreparedProbe probe = containment::PrepareProbe(
       ParseOrDie("ASK { ?a :p ?b . ?b :q ?c . }", &dict), dict);
   EXPECT_EQ(ContainedIds(guard->Find(probe)),
-            ContainedIds(guard->index.FindContaining(probe)));
+            ContainedIds(guard->base->FindContaining(probe)));
 }
 
-TEST(FrozenServiceTest, FreezeCanBeDisabled) {
+TEST(FrozenServiceTest, DeltaOnlyConfigurationServesFromPointerTree) {
   rdf::TermDictionary dict;
-  service::IndexManager manager(&dict, {}, /*freeze_published=*/false);
+  service::TierOptions tier;
+  tier.background_compaction = false;
+  service::IndexManager manager(&dict, {}, tier);
   const std::size_t slot = manager.RegisterReader();
   ASSERT_TRUE(manager.StageAdd(ParseOrDie("ASK { ?x :p ?y . }", &dict)).ok());
   ASSERT_TRUE(manager.Publish().ok());
   service::IndexManager::ReadGuard guard = manager.Acquire(slot);
-  EXPECT_EQ(guard->frozen, nullptr);
+  EXPECT_EQ(guard->base, nullptr);  // never compacted: pure pointer-tree mode
   const containment::PreparedProbe probe =
       containment::PrepareProbe(ParseOrDie("ASK { ?a :p ?b . }", &dict), dict);
-  // Find falls back to the pointer tree.
   EXPECT_EQ(ContainedIds(guard->Find(probe)).size(), 1u);
 }
 

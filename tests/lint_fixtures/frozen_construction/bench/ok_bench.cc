@@ -1,0 +1,12 @@
+#include "index/frozen_index.h"
+#include "index/mv_index.h"
+
+namespace rdfc {
+
+// Outside src/ the rule is silent: benches and tests freeze ad hoc.
+std::size_t BenchFreeze(const index::MvIndex& mv) {
+  index::FrozenMvIndex frozen(mv);
+  return frozen.StructureBytes();
+}
+
+}  // namespace rdfc

@@ -1,0 +1,15 @@
+#include <memory>
+
+#include "index/frozen_index.h"
+#include "index/mv_index.h"
+
+namespace rdfc {
+namespace index {
+
+// The freeze site itself: construction here is the rule's whole point.
+std::unique_ptr<FrozenMvIndex> Freeze(const MvIndex& mv) {
+  return std::make_unique<FrozenMvIndex>(mv);
+}
+
+}  // namespace index
+}  // namespace rdfc

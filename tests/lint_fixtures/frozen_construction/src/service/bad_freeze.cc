@@ -1,0 +1,40 @@
+#include <memory>
+
+#include "index/frozen_index.h"
+#include "index/mv_index.h"
+
+namespace rdfc {
+namespace service {
+
+// Type mentions are fine: parameters, members, nested names.
+std::size_t NodeBytes() { return sizeof(index::FrozenMvIndex::Node); }
+std::size_t Count(const index::FrozenMvIndex* base) { return base == nullptr; }
+
+std::shared_ptr<const index::FrozenMvIndex> BadShared(const index::MvIndex& mv) {
+  return std::make_shared<const index::FrozenMvIndex>(mv);
+}
+
+std::unique_ptr<index::FrozenMvIndex> BadUnique(const index::MvIndex& mv) {
+  return std::make_unique<index::FrozenMvIndex>(mv);
+}
+
+std::size_t BadStack(const index::MvIndex& mv) {
+  index::FrozenMvIndex frozen(mv);
+  return frozen.StructureBytes();
+}
+
+std::shared_ptr<const index::FrozenMvIndex> SanctionedCompactionBuild(
+    const index::MvIndex& merged) {
+  // The one blessed service-side site mirrors index_manager.cc's marker.
+  return std::make_shared<const index::FrozenMvIndex>(  // NOLINT(frozen-construction)
+      merged);
+}
+
+std::shared_ptr<const index::FrozenMvIndex> WrapLoaded(
+    std::unique_ptr<index::FrozenMvIndex> loaded) {
+  // Wrapping an already-constructed base is not a construction.
+  return std::shared_ptr<const index::FrozenMvIndex>(std::move(loaded));
+}
+
+}  // namespace service
+}  // namespace rdfc

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+
 #include "../test_util.h"
 #include "index/validate.h"
 
@@ -15,17 +18,17 @@ class IndexManagerTest : public ::testing::Test {
  protected:
   query::BgpQuery Q(const std::string& text) { return ParseOrDie(text, &dict_); }
 
-  /// Probes the snapshot pinned by `guard` and returns the matched view ids.
+  /// Probes the snapshot pinned by `guard` (merged two-tier walk) and
+  /// returns the matched external view ids, ascending.
   std::vector<std::uint64_t> Probe(const IndexManager::ReadGuard& guard,
                                    const std::string& text) {
     const query::BgpQuery q = ParseOrDie(text, &dict_);
     std::vector<std::uint64_t> out;
-    const index::ProbeResult result = guard->index.FindContaining(q);
+    const index::ProbeResult result = guard->Find(q);
     for (const index::ProbeMatch& match : result.contained) {
-      for (std::uint64_t id : guard->index.external_ids(match.stored_id)) {
-        out.push_back(id);
-      }
+      guard->AppendViewIds(match.stored_id, &out);
     }
+    std::sort(out.begin(), out.end());
     return out;
   }
 
@@ -39,7 +42,9 @@ TEST_F(IndexManagerTest, StartsWithEmptyVersionZero) {
   const std::size_t slot = manager.RegisterReader();
   auto guard = manager.Acquire(slot);
   EXPECT_EQ(guard->version, 0u);
-  EXPECT_EQ(guard->index.num_entries(), 0u);
+  EXPECT_EQ(guard->num_views, 0u);
+  EXPECT_EQ(guard->base, nullptr);
+  EXPECT_EQ(guard->delta, nullptr);
 }
 
 TEST_F(IndexManagerTest, StagedViewsInvisibleUntilPublish) {
@@ -112,7 +117,7 @@ TEST_F(IndexManagerTest, GuardPinsItsVersionAcrossPublish) {
   // The held guard still reads version 1 — snapshot isolation — and the
   // retained-version count reflects the pin.
   EXPECT_EQ(pinned->version, 1u);
-  EXPECT_EQ(pinned->index.num_entries(), 1u);
+  EXPECT_EQ(pinned->num_views, 1u);
   EXPECT_EQ(manager.num_retained_versions(), 2u);  // v1 (pinned) + v2
 }
 
@@ -144,7 +149,8 @@ TEST_F(IndexManagerTest, PublishedVersionsSatisfyIndexInvariants) {
   ASSERT_TRUE(manager.StageAdd(Q("ASK { ?x a :T . ?x :p ?y . }")).ok());
   ASSERT_TRUE(manager.Publish().ok());
   auto guard = manager.Acquire(slot);
-  EXPECT_TRUE(index::ValidateMvIndex(guard->index).ok());
+  ASSERT_NE(guard->delta, nullptr);  // freshly published views sit in delta
+  EXPECT_TRUE(index::ValidateMvIndex(*guard->delta).ok());
 }
 
 TEST_F(IndexManagerTest, MoveTransfersGuardOwnership) {
@@ -153,8 +159,25 @@ TEST_F(IndexManagerTest, MoveTransfersGuardOwnership) {
   auto a = manager.Acquire(slot);
   IndexManager::ReadGuard b = std::move(a);
   EXPECT_EQ(b->version, 0u);
-  // Destroying both releases the slot exactly once; the next publish then
-  // reclaims freely (no stale hazard).
+  // The moved-from guard no longer owns the slot: a publish with only `b`
+  // outstanding must retain exactly the pinned version plus the new one.
+  a.Release();  // no-op on moved-from (would double-free the slot otherwise)
+  ASSERT_TRUE(manager.StageAdd(Q("ASK { ?x :p ?y . }")).ok());
+  ASSERT_TRUE(manager.Publish().ok());
+  EXPECT_EQ(b->version, 0u);  // still pinned through the move
+  EXPECT_EQ(manager.num_retained_versions(), 2u);
+
+  // Release is idempotent: the second call must not clear a hazard slot the
+  // guard no longer owns.
+  b.Release();
+  b.Release();
+  ASSERT_TRUE(manager.StageAdd(Q("ASK { ?x :q ?y . }")).ok());
+  ASSERT_TRUE(manager.Publish().ok());
+  EXPECT_EQ(manager.num_retained_versions(), 1u);
+
+  // The slot is free again for a fresh guard after the moved chain died.
+  auto c = manager.Acquire(slot);
+  EXPECT_EQ(c->version, 2u);
 }
 
 }  // namespace

@@ -91,9 +91,11 @@ TEST(ServiceStressTest, ProbesRaceSnapshotPublication) {
     EXPECT_EQ(*version, r + 1);
     {
       IndexManager::ReadGuard guard = svc.manager().Acquire(validator_slot);
-      EXPECT_TRUE(index::ValidateMvIndex(guard->index).ok())
-          << "version " << guard->version;
-      EXPECT_EQ(guard->index.num_live_entries(), (r + 1) * kViewsPerRound);
+      if (guard->delta != nullptr) {
+        EXPECT_TRUE(index::ValidateMvIndex(*guard->delta).ok())
+            << "version " << guard->version;
+      }
+      EXPECT_EQ(guard->num_views, (r + 1) * kViewsPerRound);
     }
     // Hazard-slot bound: 4 workers + 1 validator slot -> at most 6 versions.
     EXPECT_LE(svc.manager().num_retained_versions(),
@@ -117,7 +119,94 @@ TEST(ServiceStressTest, ProbesRaceSnapshotPublication) {
   ASSERT_FALSE(final_probe.ok());  // pool is shut down: admission fails
   EXPECT_EQ(svc.current_version(), kRounds);
   IndexManager::ReadGuard guard = svc.manager().Acquire(validator_slot);
-  EXPECT_EQ(guard->index.num_live_entries(), kRounds * kViewsPerRound);
+  EXPECT_EQ(guard->num_views, kRounds * kViewsPerRound);
+}
+
+TEST(ServiceStressTest, CompactionRacesPublicationAndProbes) {
+  // Background refreezes triggered every few published views while probes
+  // are in flight: every response must still match its pinned snapshot's
+  // version, base+delta+tombstone accounting must always sum to the live
+  // view count, and TSan gets to watch the compaction thread overlap both
+  // the staging writer and the probe readers.
+  ServiceOptions options;
+  options.num_threads = 2;
+  options.queue_capacity = 4096;
+  options.parser.default_prefixes[""] = "urn:t:";
+  options.tier.background_compaction = true;
+  options.tier.compact_min_delta_views = 4;  // refreeze every ~4 staged views
+  options.tier.compact_min_delta_fraction = 0.0;
+  ContainmentService svc(options);
+  const std::size_t validator_slot = svc.manager().RegisterReader();
+
+  constexpr std::size_t kViews = 48;
+  std::vector<query::BgpQuery> probes;
+  for (std::size_t v = 0; v < kViews; ++v) {
+    auto probe = svc.Parse("ASK { ?a :p" + std::to_string(v) +
+                           " ?b . ?a :extra ?c . }");
+    ASSERT_TRUE(probe.ok());
+    probes.push_back(std::move(probe).value());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> bad_responses{0};
+  std::thread prober([&] {
+    std::vector<std::future<ProbeResponse>> pending;
+    std::size_t n = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      ProbeRequest request;
+      request.query = probes[n++ % probes.size()];
+      auto future = svc.Submit(std::move(request));
+      if (!future.ok()) {
+        std::this_thread::yield();
+        continue;
+      }
+      pending.push_back(std::move(future).value());
+    }
+    for (auto& future : pending) {
+      const ProbeResponse response = future.get();
+      // Probe v is contained exactly by view v; at most one hit ever.
+      if (!response.status.ok() || response.containing_views.size() > 1) {
+        bad_responses.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  std::uint64_t removed = 0;
+  for (std::size_t v = 0; v < kViews; ++v) {
+    auto id = svc.AddView("ASK { ?x :p" + std::to_string(v) + " ?y . }");
+    ASSERT_TRUE(id.ok());
+    // Sprinkle removals so compactions see tombstones too.
+    if (v % 7 == 3) {
+      ASSERT_TRUE(svc.RemoveView(*id).ok());
+      ++removed;
+    }
+    ASSERT_TRUE(svc.Publish().ok());
+    {
+      IndexManager::ReadGuard guard = svc.manager().Acquire(validator_slot);
+      // Tier accounting: visible views = base - tombstones + delta.
+      EXPECT_EQ(guard->num_base_views() - guard->num_tombstones() +
+                    guard->num_delta_views(),
+                guard->num_views);
+      if (guard->delta != nullptr) {
+        EXPECT_TRUE(index::ValidateMvIndex(*guard->delta).ok());
+      }
+    }
+  }
+  // Force one final synchronous compaction racing the probe stream, then
+  // quiesce.
+  ASSERT_TRUE(svc.Refreeze().ok());
+  stop.store(true, std::memory_order_release);
+  prober.join();
+  svc.Shutdown();
+
+  EXPECT_EQ(bad_responses.load(), 0u);
+  EXPECT_EQ(svc.num_live_views(), kViews - removed);
+  const MetricsSnapshot metrics = svc.Metrics();
+  EXPECT_GT(metrics.compactions, 0u);
+  // Fully compacted: everything lives in the base, nothing is pending.
+  EXPECT_EQ(metrics.delta_views, 0u);
+  EXPECT_EQ(metrics.base_views - metrics.tombstones, kViews - removed);
+  EXPECT_EQ(metrics.compaction_micros.count(), metrics.compactions);
 }
 
 TEST(ServiceStressTest, PublicationIsTransactionalUnderConcurrentProbing) {

@@ -312,6 +312,154 @@ int RunFailpointCampaign(std::uint64_t seed, bool smoke, bool verbose) {
   }
   registry.Reset();
 
+  // --- Part 5: compaction swing.  An injected compact.swing abort must
+  // leave the published state untouched — same version, same answers, tier
+  // identity intact — and a later un-faulted Refreeze must drain the delta.
+  if (auto st = registry.Configure("compact.swing=0.5", seed + 4); !st.ok()) {
+    return FailpointFail("configure compact", st);
+  }
+  {
+    service::ServiceOptions options;
+    options.num_threads = 2;
+    options.tier.background_compaction = false;  // explicit Refreeze only
+    service::ContainmentService svc(options);
+    std::size_t live = 0, aborted = 0, refrozen = 0;
+    for (std::size_t r = 0; r < (smoke ? 15 : 60); ++r) {
+      const std::string tag = std::to_string(r);
+      if (auto id = svc.AddView("ASK { ?s <urn:fp:c" + tag + "> ?o }");
+          !id.ok()) {
+        return FailpointFail("AddView", id.status());
+      }
+      if (auto version = svc.Publish(); !version.ok()) {
+        return FailpointFail("publish before refreeze", version.status());
+      }
+      ++live;
+      const std::uint64_t before = svc.manager().current_version();
+      if (auto version = svc.Refreeze(); version.ok()) {
+        ++refrozen;
+      } else {
+        ++aborted;
+        if (svc.manager().current_version() != before) {
+          return FailpointFail(
+              "aborted refreeze moved the version",
+              util::Status::Internal("published state changed on failure"));
+        }
+      }
+      // Faulted or not, every published view keeps answering, and the
+      // base/delta/tombstone split still accounts for every live view.
+      auto probe = svc.Probe("ASK { ?a <urn:fp:c" + tag + "> ?b }");
+      if (!probe.ok() || !probe->status.ok()) {
+        return FailpointFail("probe after refreeze fault",
+                             probe.ok() ? probe->status : probe.status());
+      }
+      if (probe->containing_views.size() != 1) {
+        return FailpointFail(
+            "wrong answer after refreeze fault",
+            util::Status::Internal("expected exactly one containing view"));
+      }
+      const auto tiers = svc.manager().tier_stats();
+      if (tiers.base_views - tiers.tombstones + tiers.delta_views != live) {
+        return FailpointFail(
+            "tier identity broken after refreeze fault",
+            util::Status::Internal("base - tombstones + delta != live"));
+      }
+    }
+    if (aborted == 0 || refrozen == 0) {
+      return FailpointFail(
+          "compaction schedule degenerate",
+          util::Status::Internal("expected both aborts and successes"));
+    }
+    registry.Reset();
+    if (auto version = svc.Refreeze(); !version.ok()) {
+      return FailpointFail("final un-faulted refreeze", version.status());
+    }
+    const auto tiers = svc.manager().tier_stats();
+    if (tiers.delta_views != 0 || tiers.tombstones != 0) {
+      return FailpointFail(
+          "refreeze left residue",
+          util::Status::Internal("delta or tombstones nonzero after drain"));
+    }
+  }
+
+  // --- Part 6: tiered persistence.  A crash injected between the base blob
+  // and the manifest swing must leave the previous tiered image loadable,
+  // bit-identical in its tier accounting.
+  {
+    const std::string tiered_path = dir + "/tiered.idx";
+    rdf::TermDictionary tiered_dict;
+    QueryGen tiered_gen(&tiered_dict, seed + 5);
+    service::TierOptions tier;
+    tier.background_compaction = false;
+    service::IndexManager manager(&tiered_dict, {}, tier);
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 8; ++i) {
+      if (auto id = manager.StageAdd(tiered_gen.Draw(3, false)); id.ok()) {
+        ids.push_back(*id);
+      }
+    }
+    if (auto version = manager.Publish(); !version.ok()) {
+      return FailpointFail("tiered baseline publish", version.status());
+    }
+    if (auto version = manager.Refreeze(); !version.ok()) {
+      return FailpointFail("tiered baseline refreeze", version.status());
+    }
+    if (auto st = manager.SaveTiered(tiered_path); !st.ok()) {
+      return FailpointFail("tiered baseline save", st);
+    }
+    auto expected = manager.tier_stats();
+    if (auto st = registry.Configure("compact.crash=0.5", seed + 5);
+        !st.ok()) {
+      return FailpointFail("configure tiered crash", st);
+    }
+    std::size_t crashed = 0, tiered_saved = 0;
+    for (std::size_t r = 0; r < (smoke ? 15 : 60); ++r) {
+      if (auto id = manager.StageAdd(tiered_gen.Draw(3, r % 5 == 0));
+          id.ok()) {
+        ids.push_back(*id);
+      }
+      if (r % 4 == 3 && ids.size() > 2) {
+        (void)manager.StageRemove(ids.front());
+        ids.erase(ids.begin());
+      }
+      if (auto version = manager.Publish(); !version.ok()) {
+        return FailpointFail("tiered churn publish", version.status());
+      }
+      if (r % 3 == 2) {
+        if (auto version = manager.Refreeze(); !version.ok()) {
+          return FailpointFail("tiered churn refreeze", version.status());
+        }
+      }
+      if (auto st = manager.SaveTiered(tiered_path); st.ok()) {
+        ++tiered_saved;
+        expected = manager.tier_stats();
+      } else {
+        ++crashed;
+      }
+      // Either way the manifest on disk must load to the image of the last
+      // successful save.
+      rdf::TermDictionary load_dict;
+      service::IndexManager loaded(&load_dict, {}, tier);
+      if (auto st = loaded.RestoreTiered(tiered_path); !st.ok()) {
+        return FailpointFail("tiered image unloadable after crash", st);
+      }
+      const auto got = loaded.tier_stats();
+      if (got.base_views != expected.base_views ||
+          got.delta_views != expected.delta_views ||
+          got.tombstones != expected.tombstones) {
+        return FailpointFail(
+            "restored tiered image mismatch",
+            util::Status::Internal("tier accounting differs from last good "
+                                   "save"));
+      }
+    }
+    if (crashed == 0 || tiered_saved == 0) {
+      return FailpointFail(
+          "tiered crash schedule degenerate",
+          util::Status::Internal("expected both crashes and successes"));
+    }
+    registry.Reset();
+  }
+
   if (verbose) {
     std::printf("failpoints: %zu save faults injected, all resilience "
                 "invariants held\n", save_failures);
