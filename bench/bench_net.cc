@@ -1,0 +1,252 @@
+// Network front-end serving benchmark (DESIGN.md "Network front end"): an
+// in-process ContainmentService + NetServer on an ephemeral loopback port,
+// driven by the two canonical load-generation disciplines from src/net/:
+//
+//   - closed loop: a concurrency sweep of blocking round-trip clients.
+//     Arrivals self-throttle to the service rate, so the sweep's peak is the
+//     server's CAPACITY; the committed numbers are requests/second.
+//   - open loop: requests injected at a FIXED rate over pipelined
+//     nonblocking connections — arrivals never slow down when the server
+//     does.  Run at 0.5x capacity (healthy) and 2x capacity (overload), the
+//     committed numbers are the tail (p99/p999) and the shed rate: under
+//     overload the bounded queue sheds with RESOURCE_EXHAUSTED instead of
+//     letting the tail grow without bound.
+//   - batching A/B: anchor-sharing bursts (burst=8 identical probes) against
+//     a server with the batching window armed vs disabled.  Grouped
+//     admission pins ONE snapshot per group and answers duplicate probes
+//     from the intra-group dedup cache, so the armed run shows fewer
+//     executed probes (batch_dedup_hits) and higher throughput.
+//
+// Probes carry simulated downstream io (RDFC_NET_IO_US, default 1000us) so
+// capacity is latency-bound and stable across host core counts — the same
+// regime bench_concurrent's io mode measures.
+//
+// Output: JSON to stdout or argv[1]; committed as BENCH_net.json.
+// Env knobs: RDFC_NET_VIEWS (300), RDFC_NET_REQUESTS (1200),
+// RDFC_NET_DURATION_MS (1500), RDFC_NET_IO_US (1000), RDFC_NET_THREADS (2).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/loadgen.h"
+#include "net/server.h"
+#include "service/containment_service.h"
+#include "sparql/writer.h"
+#include "workload/workload.h"
+
+using namespace rdfc;  // NOLINT(build/namespaces)
+
+namespace {
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const auto v = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+struct Fixture {
+  std::vector<std::string> views;
+  std::vector<std::string> probes;
+};
+
+/// LUBM-extended texts: the first `num_views` generated queries are
+/// published as views, the rest probe them (same family, so containment
+/// hits are non-trivial).
+Fixture MakeFixture(std::size_t num_views, std::size_t num_probes) {
+  rdf::TermDictionary dict;
+  auto generated =
+      workload::GenerateLubmExtended(&dict, num_views + num_probes, 42);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "workload generation failed: %s\n",
+                 generated.status().ToString().c_str());
+    std::exit(1);
+  }
+  Fixture fixture;
+  for (std::size_t i = 0; i < generated.value().size(); ++i) {
+    const query::BgpQuery& q = generated.value()[i];
+    if (q.empty()) continue;
+    std::string text = sparql::WriteQuery(q, dict);
+    if (fixture.views.size() < num_views) {
+      fixture.views.push_back(std::move(text));
+    } else {
+      fixture.probes.push_back(std::move(text));
+    }
+  }
+  return fixture;
+}
+
+struct Server {
+  explicit Server(const Fixture& fixture, std::size_t threads,
+                  double batch_window_micros) {
+    service::ServiceOptions service_options;
+    service_options.num_threads = threads;
+    service_options.queue_capacity = 64;
+    svc = std::make_unique<service::ContainmentService>(service_options);
+    auto published = svc->PublishViews(fixture.views);
+    if (!published.ok()) {
+      std::fprintf(stderr, "publish failed: %s\n",
+                   published.status().ToString().c_str());
+      std::exit(1);
+    }
+    net::ServerOptions server_options;
+    server_options.batch_window_micros = batch_window_micros;
+    server_options.max_batch = 64;
+    server = std::make_unique<net::NetServer>(svc.get(), server_options);
+    const util::Status started = server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   started.ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  std::unique_ptr<service::ContainmentService> svc;
+  std::unique_ptr<net::NetServer> server;
+};
+
+net::LoadReport MustRun(util::Result<net::LoadReport> report,
+                        const char* what) {
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(report).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t num_views = EnvSize("RDFC_NET_VIEWS", 300);
+  const std::size_t requests = EnvSize("RDFC_NET_REQUESTS", 1200);
+  const std::size_t duration_ms = EnvSize("RDFC_NET_DURATION_MS", 1500);
+  const std::size_t io_us = EnvSize("RDFC_NET_IO_US", 1000);
+  const std::size_t threads = EnvSize("RDFC_NET_THREADS", 2);
+
+  const Fixture fixture = MakeFixture(num_views, 200);
+
+  std::string out = "{\n";
+  out += "  \"bench\": \"net_front_end\",\n";
+  out += "  \"workload\": \"lubm_extended\",\n";
+  out += "  \"views\": " + std::to_string(num_views) + ",\n";
+  out += "  \"service_threads\": " + std::to_string(threads) + ",\n";
+  out += "  \"queue_capacity\": 64,\n";
+  out += "  \"simulated_io_us\": " + std::to_string(io_us) + ",\n";
+  const unsigned hw = std::thread::hardware_concurrency();  // NOLINT(raw-concurrency): introspection, no thread spawned
+  out += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
+
+  // ---- closed loop: concurrency sweep -> capacity --------------------
+  double capacity_rps = 0.0;
+  {
+    Server server(fixture, threads, /*batch_window_micros=*/200.0);
+    out += "  \"closed_loop\": {\n    \"note\": \"blocking round trips; "
+           "arrivals self-throttle, peak achieved_rps is capacity\",\n"
+           "    \"runs\": [\n";
+    const std::size_t sweep[] = {1, 2, 4, 8, 16};
+    bool first = true;
+    for (std::size_t concurrency : sweep) {
+      net::LoadOptions load;
+      load.port = server.server->port();
+      load.queries = fixture.probes;
+      load.concurrency = concurrency;
+      load.total_requests = requests;
+      load.simulated_io_micros = static_cast<std::uint32_t>(io_us);
+      const net::LoadReport report =
+          MustRun(net::RunClosedLoop(load), "closed loop");
+      capacity_rps = std::max(capacity_rps, report.achieved_rps);
+      if (!first) out += ",\n";
+      first = false;
+      out += "      {\"concurrency\": " + std::to_string(concurrency) +
+             ", \"report\": " + report.ToJson() + "}";
+    }
+    out += "\n    ],\n";
+    out += "    \"capacity_rps\": " + std::to_string(capacity_rps) + "\n  },\n";
+  }
+
+  // ---- open loop: fixed arrival rate at 0.5x and 2x capacity ---------
+  {
+    out += "  \"open_loop\": {\n    \"note\": \"fixed-rate arrivals over "
+           "pipelined connections; arrivals do not slow under backpressure, "
+           "so 2x capacity is genuine overload — the tail is bounded by "
+           "shedding (RESOURCE_EXHAUSTED), not by waiting\",\n"
+           "    \"runs\": [\n";
+    const double rates[] = {0.5 * capacity_rps, 2.0 * capacity_rps};
+    const char* labels[] = {"0.5x_capacity", "2x_capacity"};
+    bool first = true;
+    for (int i = 0; i < 2; ++i) {
+      Server server(fixture, threads, /*batch_window_micros=*/200.0);
+      net::LoadOptions load;
+      load.port = server.server->port();
+      load.queries = fixture.probes;
+      load.rate_per_sec = rates[i];
+      load.duration_ms = static_cast<double>(duration_ms);
+      load.connections = 4;
+      load.simulated_io_micros = static_cast<std::uint32_t>(io_us);
+      const net::LoadReport report =
+          MustRun(net::RunOpenLoop(load), "open loop");
+      if (!first) out += ",\n";
+      first = false;
+      out += "      {\"label\": \"" + std::string(labels[i]) +
+             "\", \"report\": " + report.ToJson() + "}";
+    }
+    out += "\n    ]\n  },\n";
+  }
+
+  // ---- batching A/B: anchor-sharing bursts, window armed vs off ------
+  {
+    out += "  \"batch_admission_ab\": {\n    \"note\": \"burst=8 identical "
+           "probes per window; armed batching groups them into one queue "
+           "slot + one pinned snapshot and answers duplicates from the "
+           "intra-group dedup cache\",\n    \"runs\": [\n";
+    const double windows[] = {0.0, 500.0};
+    const char* labels[] = {"batching_off", "batching_500us"};
+    bool first = true;
+    for (int i = 0; i < 2; ++i) {
+      Server server(fixture, threads, windows[i]);
+      net::LoadOptions load;
+      load.port = server.server->port();
+      load.queries = fixture.probes;
+      load.burst = 8;
+      load.concurrency = 8;
+      load.total_requests = requests;
+      load.simulated_io_micros = static_cast<std::uint32_t>(io_us);
+      const net::LoadReport report =
+          MustRun(net::RunClosedLoop(load), "batch A/B");
+      const service::MetricsSnapshot metrics = server.svc->Metrics();
+      const std::uint64_t executed =
+          metrics.batch_requests > metrics.batch_dedup_hits
+              ? metrics.batch_requests - metrics.batch_dedup_hits
+              : 0;
+      if (!first) out += ",\n";
+      first = false;
+      out += "      {\"label\": \"" + std::string(labels[i]) +
+             "\", \"window_us\": " + std::to_string(windows[i]) +
+             ", \"batches\": " + std::to_string(metrics.batches) +
+             ", \"batched_requests\": " + std::to_string(metrics.batch_requests) +
+             ", \"dedup_hits\": " + std::to_string(metrics.batch_dedup_hits) +
+             ", \"probes_executed\": " + std::to_string(executed) +
+             ", \"report\": " + report.ToJson() + "}";
+    }
+    out += "\n    ]\n  }\n}\n";
+  }
+
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::fputs(out.c_str(), f);
+    std::fclose(f);
+  } else {
+    std::fputs(out.c_str(), stdout);
+  }
+  return 0;
+}

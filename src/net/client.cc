@@ -1,0 +1,220 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace rdfc {
+namespace net {
+
+namespace {
+
+/// Client-side sanity bound on response frames; the server's stats JSON is
+/// the largest legitimate payload and stays far under this.
+constexpr std::uint32_t kMaxResponseFrameBytes = 64u << 20;
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+util::Status Client::Connect(const std::string& host, std::uint16_t port,
+                             double recv_timeout_micros) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return util::Status::Internal("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return util::Status::InvalidArgument("unparseable host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Close();
+    return util::Status::Internal("connect failed: " +
+                                  std::string(std::strerror(errno)));
+  }
+  if (recv_timeout_micros > 0.0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(recv_timeout_micros / 1e6);
+    tv.tv_usec = static_cast<suseconds_t>(
+        static_cast<std::int64_t>(recv_timeout_micros) % 1000000);
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  return util::Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  in_.clear();
+  out_.clear();
+}
+
+util::Status Client::SendAll(std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::Internal("send failed: " +
+                                    std::string(std::strerror(errno)));
+    }
+    bytes_sent_ += static_cast<std::uint64_t>(n);
+    bytes.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return util::Status::OK();
+}
+
+util::Status Client::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return util::Status::InvalidArgument("not connected");
+  return SendAll(bytes);
+}
+
+bool Client::TryExtractFrame(WireResponse* out, util::Status* error) {
+  if (in_.size() < kFramePrefixBytes) return false;
+  const std::uint32_t len = PeekFrameLength(in_);
+  if (len > kMaxResponseFrameBytes) {
+    *error = util::Status::ParseError("response frame exceeds sanity bound");
+    return false;
+  }
+  if (in_.size() < kFramePrefixBytes + len) return false;
+  const util::Status decoded =
+      DecodeResponse(std::string_view(in_.data() + kFramePrefixBytes, len), out);
+  if (!decoded.ok()) {
+    *error = decoded;
+    return false;
+  }
+  in_.erase(0, kFramePrefixBytes + len);
+  return true;
+}
+
+util::Result<WireResponse> Client::Receive() {
+  if (fd_ < 0) return util::Status::InvalidArgument("not connected");
+  while (true) {
+    WireResponse response;
+    util::Status error = util::Status::OK();
+    if (TryExtractFrame(&response, &error)) return response;
+    if (!error.ok()) return error;
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return util::Status::Internal("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return util::Status::DeadlineExceeded("receive timed out");
+      }
+      return util::Status::Internal("recv failed: " +
+                                    std::string(std::strerror(errno)));
+    }
+    in_.append(buf, static_cast<std::size_t>(n));
+    bytes_received_ += static_cast<std::uint64_t>(n);
+  }
+}
+
+util::Result<WireResponse> Client::Call(const WireRequest& request) {
+  if (fd_ < 0) return util::Status::InvalidArgument("not connected");
+  std::string frame;
+  EncodeRequest(request, &frame);
+  RDFC_RETURN_NOT_OK(SendAll(frame));
+  return Receive();
+}
+
+util::Result<WireResponse> Client::Probe(std::string_view query,
+                                         std::uint32_t deadline_ms,
+                                         std::uint32_t simulated_io_micros) {
+  WireRequest request;
+  request.opcode = Opcode::kProbe;
+  request.id = next_id_++;
+  request.deadline_ms = deadline_ms;
+  request.simulated_io_micros = simulated_io_micros;
+  request.query = std::string(query);
+  return Call(request);
+}
+
+util::Result<WireResponse> Client::Stats() {
+  WireRequest request;
+  request.opcode = Opcode::kStats;
+  request.id = next_id_++;
+  return Call(request);
+}
+
+util::Result<WireResponse> Client::Ping() {
+  WireRequest request;
+  request.opcode = Opcode::kPing;
+  request.id = next_id_++;
+  return Call(request);
+}
+
+util::Result<WireResponse> Client::RequestShutdown() {
+  WireRequest request;
+  request.opcode = Opcode::kShutdown;
+  request.id = next_id_++;
+  return Call(request);
+}
+
+util::Status Client::SetNonBlocking() {
+  if (fd_ < 0) return util::Status::InvalidArgument("not connected");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return util::Status::Internal("fcntl(O_NONBLOCK) failed");
+  }
+  return util::Status::OK();
+}
+
+void Client::QueueRequest(const WireRequest& request) {
+  EncodeRequest(request, &out_);
+}
+
+util::Status Client::FlushQueued() {
+  while (!out_.empty()) {
+    const ssize_t n = ::send(fd_, out_.data(), out_.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      bytes_sent_ += static_cast<std::uint64_t>(n);
+      out_.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return util::Status::OK();
+    return util::Status::Internal("send failed: " +
+                                  std::string(std::strerror(errno)));
+  }
+  return util::Status::OK();
+}
+
+util::Status Client::ReadAvailable(std::vector<WireResponse>* out) {
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      in_.append(buf, static_cast<std::size_t>(n));
+      bytes_received_ += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (n == 0) return util::Status::Internal("connection closed by server");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return util::Status::Internal("recv failed: " +
+                                  std::string(std::strerror(errno)));
+  }
+  while (true) {
+    WireResponse response;
+    util::Status error = util::Status::OK();
+    if (!TryExtractFrame(&response, &error)) {
+      return error;  // OK when we simply need more bytes
+    }
+    out->push_back(std::move(response));
+  }
+}
+
+}  // namespace net
+}  // namespace rdfc

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace rdfc {
+namespace net {
+
+/// Minimal framed-TCP client for NetServer: one connection, blocking
+/// request/response by default, with an optional nonblocking pipelined mode
+/// for the open-loop load generator (queue frames, flush what the socket
+/// takes, collect whatever responses have arrived).
+///
+/// Not thread-safe; one Client per thread/connection.
+class Client {
+ public:
+  Client() = default;
+  ~Client();  // Close()
+  RDFC_DISALLOW_COPY_AND_ASSIGN(Client);
+
+  /// Connects (blocking) to host:port.  `recv_timeout_micros` bounds every
+  /// blocking Receive so a wedged server fails the call instead of hanging
+  /// the client forever (0 = no timeout).
+  [[nodiscard]] util::Status Connect(const std::string& host,
+                                     std::uint16_t port,
+                                     double recv_timeout_micros = 10e6);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // ------------------------------------------------------------------
+  // Blocking round trips
+  // ------------------------------------------------------------------
+
+  /// Sends one request frame and blocks for its response.
+  [[nodiscard]] util::Result<WireResponse> Call(const WireRequest& request);
+
+  /// Containment probe round trip (deadline_ms = 0 means none).
+  [[nodiscard]] util::Result<WireResponse> Probe(
+      std::string_view query, std::uint32_t deadline_ms = 0,
+      std::uint32_t simulated_io_micros = 0);
+  /// Metrics snapshot; the JSON lands in WireResponse::payload.
+  [[nodiscard]] util::Result<WireResponse> Stats();
+  [[nodiscard]] util::Result<WireResponse> Ping();
+  /// Asks the server to drain and exit (needs ServerOptions::
+  /// allow_remote_shutdown).
+  [[nodiscard]] util::Result<WireResponse> RequestShutdown();
+
+  /// Writes raw bytes with NO framing discipline — the abuse hook the
+  /// protocol-error tests and the CI smoke use to send oversized or garbled
+  /// frames.
+  [[nodiscard]] util::Status SendRaw(std::string_view bytes);
+
+  /// Blocks for the next response frame (use after SendRaw or to collect
+  /// pipelined responses one at a time).
+  [[nodiscard]] util::Result<WireResponse> Receive();
+
+  // ------------------------------------------------------------------
+  // Nonblocking pipelined mode (open-loop load generation)
+  // ------------------------------------------------------------------
+
+  [[nodiscard]] util::Status SetNonBlocking();
+
+  /// Queues a request frame in the userspace send buffer (no syscall).
+  void QueueRequest(const WireRequest& request);
+  /// Writes as much queued data as the socket accepts right now.
+  [[nodiscard]] util::Status FlushQueued();
+  bool has_queued() const { return !out_.empty(); }
+
+  /// Reads whatever is available without blocking and appends every
+  /// complete response frame to `out`.  Returns an error only on connection
+  /// failure or a garbled frame.
+  [[nodiscard]] util::Status ReadAvailable(std::vector<WireResponse>* out);
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  [[nodiscard]] util::Status SendAll(std::string_view bytes);
+  /// Extracts one complete frame from in_ if present.
+  bool TryExtractFrame(WireResponse* out, util::Status* error);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::string in_;   // bytes received, not yet consumed
+  std::string out_;  // queued frames (nonblocking mode)
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace net
+}  // namespace rdfc

@@ -1,0 +1,283 @@
+#include "net/loadgen.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "net/client.h"
+#include "util/mutex.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace rdfc {
+namespace net {
+
+namespace {
+
+const std::string& QueryFor(const LoadOptions& options, std::uint64_t i) {
+  const std::size_t burst = std::max<std::size_t>(1, options.burst);
+  return options.queries[(i / burst) % options.queries.size()];
+}
+
+}  // namespace
+
+void LoadReport::Count(const WireResponse& response) {
+  switch (response.status) {
+    case WireStatus::kOk:
+      if (response.degraded) {
+        ++degraded;
+      } else {
+        ++ok;
+      }
+      return;
+    case WireStatus::kDeadlineExceeded:
+      ++deadline_exceeded;
+      return;
+    case WireStatus::kResourceExhausted:
+      ++shed;
+      return;
+    case WireStatus::kQuarantined:
+      ++quarantined;
+      return;
+    case WireStatus::kInvalidArgument:
+      ++invalid;
+      return;
+    case WireStatus::kShuttingDown:
+      ++shutting_down;
+      return;
+    case WireStatus::kInternal:
+      ++other_errors;
+      return;
+  }
+  ++other_errors;
+}
+
+std::string LoadReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\"sent\":" << sent << ",\"ok\":" << ok << ",\"degraded\":" << degraded
+     << ",\"deadline_exceeded\":" << deadline_exceeded << ",\"shed\":" << shed
+     << ",\"quarantined\":" << quarantined << ",\"invalid\":" << invalid
+     << ",\"shutting_down\":" << shutting_down
+     << ",\"other_errors\":" << other_errors << ",\"lost\":" << lost
+     << ",\"wall_ms\":" << wall_ms << ",\"offered_rps\":" << offered_rps
+     << ",\"achieved_rps\":" << achieved_rps
+     << ",\"bytes_sent\":" << bytes_sent
+     << ",\"bytes_received\":" << bytes_received
+     << ",\"latency_us\":{\"count\":" << latency_micros.count()
+     << ",\"mean\":" << latency_micros.mean()
+     << ",\"p50\":" << latency_micros.Percentile(50)
+     << ",\"p95\":" << latency_micros.Percentile(95)
+     << ",\"p99\":" << latency_micros.Percentile(99)
+     << ",\"p999\":" << latency_micros.Percentile(99.9) << "}}";
+  return os.str();
+}
+
+void LoadReport::Print(std::ostream& os) const {
+  os << "sent " << sent << "  ok " << ok << "  degraded " << degraded
+     << "  deadline " << deadline_exceeded << "  shed " << shed
+     << "  quarantined " << quarantined << "  invalid " << invalid
+     << "  lost " << lost << "\n"
+     << "wall " << wall_ms << " ms  achieved " << achieved_rps
+     << " rps (offered " << offered_rps << ")\n"
+     << "latency us: p50 " << latency_micros.Percentile(50) << "  p95 "
+     << latency_micros.Percentile(95) << "  p99 "
+     << latency_micros.Percentile(99) << "  p999 "
+     << latency_micros.Percentile(99.9) << "\n";
+}
+
+util::Result<LoadReport> RunClosedLoop(const LoadOptions& options) {
+  if (options.queries.empty()) {
+    return util::Status::InvalidArgument("closed loop needs >= 1 query");
+  }
+  const std::size_t concurrency = std::max<std::size_t>(1, options.concurrency);
+
+  // Connect up front so setup failures abort instead of skewing the run.
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(concurrency);
+  for (std::size_t i = 0; i < concurrency; ++i) {
+    auto client = std::make_unique<Client>();
+    RDFC_RETURN_NOT_OK(client->Connect(options.host, options.port));
+    clients.push_back(std::move(client));
+  }
+
+  LoadReport report;
+  util::Mutex report_mu;
+  std::atomic<std::uint64_t> next{0};
+  util::Timer wall;
+  {
+    util::ThreadPool::Options pool_options;
+    pool_options.num_threads = concurrency;
+    pool_options.queue_capacity = concurrency;
+    util::ThreadPool pool(pool_options);
+    for (std::size_t c = 0; c < concurrency; ++c) {
+      Client* client = clients[c].get();
+      const util::Status submitted =
+          pool.TrySubmit([&options, &report, &report_mu, &next,
+                          client](std::size_t) {
+            LoadReport local;
+            util::Timer rtt;
+            while (true) {
+              const std::uint64_t i =
+                  next.fetch_add(1, std::memory_order_relaxed);
+              if (i >= options.total_requests) break;
+              rtt.Restart();
+              util::Result<WireResponse> response =
+                  client->Probe(QueryFor(options, i), options.deadline_ms,
+                                options.simulated_io_micros);
+              ++local.sent;
+              local.latency_micros.Add(rtt.ElapsedMicros());
+              if (response.ok()) {
+                local.Count(response.value());
+              } else {
+                ++local.other_errors;
+              }
+            }
+            util::MutexLock lock(&report_mu);
+            report.sent += local.sent;
+            report.ok += local.ok;
+            report.degraded += local.degraded;
+            report.deadline_exceeded += local.deadline_exceeded;
+            report.shed += local.shed;
+            report.quarantined += local.quarantined;
+            report.invalid += local.invalid;
+            report.shutting_down += local.shutting_down;
+            report.other_errors += local.other_errors;
+            report.latency_micros.Merge(local.latency_micros);
+          });
+      if (!submitted.ok()) return submitted;
+    }
+    pool.Shutdown();  // waits for every virtual client to finish
+  }
+  report.wall_ms = wall.ElapsedMillis();
+  report.achieved_rps =
+      report.wall_ms > 0.0 ? 1000.0 * report.sent / report.wall_ms : 0.0;
+  report.offered_rps = report.achieved_rps;  // closed loop: self-throttled
+  for (const auto& client : clients) {
+    report.bytes_sent += client->bytes_sent();
+    report.bytes_received += client->bytes_received();
+  }
+  return report;
+}
+
+util::Result<LoadReport> RunOpenLoop(const LoadOptions& options) {
+  if (options.queries.empty()) {
+    return util::Status::InvalidArgument("open loop needs >= 1 query");
+  }
+  if (options.rate_per_sec <= 0.0) {
+    return util::Status::InvalidArgument("open loop needs rate_per_sec > 0");
+  }
+  const std::size_t num_conns = std::max<std::size_t>(1, options.connections);
+
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(num_conns);
+  for (std::size_t i = 0; i < num_conns; ++i) {
+    auto client = std::make_unique<Client>();
+    RDFC_RETURN_NOT_OK(client->Connect(options.host, options.port));
+    RDFC_RETURN_NOT_OK(client->SetNonBlocking());
+    clients.push_back(std::move(client));
+  }
+
+  LoadReport report;
+  report.offered_rps = options.rate_per_sec;
+  // Send-time (µs on the wall timer) per in-flight request, per connection.
+  std::vector<std::unordered_map<std::uint64_t, double>> in_flight(num_conns);
+  std::vector<bool> alive(num_conns, true);
+  std::vector<WireResponse> responses;
+
+  const double interval_micros = 1e6 / options.rate_per_sec;
+  const double duration_micros = options.duration_ms * 1000.0;
+  const double drain_deadline_micros =
+      duration_micros + options.drain_timeout_ms * 1000.0;
+  double next_send_micros = 0.0;
+  std::uint64_t next_id = 1;
+  std::uint64_t received = 0;
+  util::Timer wall;
+
+  while (true) {
+    const double now = wall.ElapsedMicros();
+    const bool sending = now < duration_micros;
+    if (!sending && received >= report.sent) break;
+    if (!sending && now > drain_deadline_micros) break;  // lost responses
+
+    // Inject every arrival whose scheduled time has come.  The timeline does
+    // NOT stretch under backpressure: requests the sockets cannot take yet
+    // queue in userspace with their latency clock already running — that is
+    // what makes this an open loop.
+    while (sending && next_send_micros <= wall.ElapsedMicros()) {
+      const std::size_t c = report.sent % num_conns;
+      if (alive[c]) {
+        WireRequest request;
+        request.opcode = Opcode::kProbe;
+        request.id = next_id++;
+        request.deadline_ms = options.deadline_ms;
+        request.simulated_io_micros = options.simulated_io_micros;
+        request.query = QueryFor(options, report.sent);
+        clients[c]->QueueRequest(request);
+        in_flight[c].emplace(request.id, wall.ElapsedMicros());
+      } else {
+        ++report.other_errors;  // connection died earlier; arrival still counts
+      }
+      ++report.sent;
+      next_send_micros += interval_micros;
+    }
+
+    std::vector<pollfd> fds;
+    fds.reserve(num_conns);
+    for (std::size_t c = 0; c < num_conns; ++c) {
+      short events = 0;
+      if (alive[c]) {
+        events = POLLIN;
+        if (clients[c]->has_queued()) events |= POLLOUT;
+      }
+      fds.push_back({alive[c] ? clients[c]->fd() : -1, events, 0});
+    }
+    int timeout_ms = 10;
+    if (sending) {
+      const double until_next = next_send_micros - wall.ElapsedMicros();
+      timeout_ms = std::max(0, static_cast<int>(until_next / 1000.0));
+      timeout_ms = std::min(timeout_ms, 10);
+    }
+    (void)::poll(fds.data(), fds.size(), timeout_ms);
+
+    for (std::size_t c = 0; c < num_conns; ++c) {
+      if (!alive[c]) continue;
+      if (clients[c]->has_queued() && !clients[c]->FlushQueued().ok()) {
+        alive[c] = false;
+        continue;
+      }
+      responses.clear();
+      if (!clients[c]->ReadAvailable(&responses).ok()) {
+        alive[c] = false;
+        continue;
+      }
+      const double now_micros = wall.ElapsedMicros();
+      for (const WireResponse& response : responses) {
+        ++received;
+        report.Count(response);
+        const auto it = in_flight[c].find(response.id);
+        if (it != in_flight[c].end()) {
+          report.latency_micros.Add(now_micros - it->second);
+          in_flight[c].erase(it);
+        }
+      }
+    }
+  }
+
+  report.lost = report.sent - received;
+  report.wall_ms = wall.ElapsedMillis();
+  report.achieved_rps =
+      report.wall_ms > 0.0 ? 1000.0 * received / report.wall_ms : 0.0;
+  for (const auto& client : clients) {
+    report.bytes_sent += client->bytes_sent();
+    report.bytes_received += client->bytes_received();
+  }
+  return report;
+}
+
+}  // namespace net
+}  // namespace rdfc

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace rdfc {
+namespace net {
+
+/// Workload shape for the two canonical load-generation disciplines:
+///
+///  - Closed loop (RunClosedLoop): `concurrency` virtual clients, each with
+///    its own connection, issuing blocking round trips back to back.  The
+///    arrival rate self-throttles to the server's service rate, so this
+///    measures CAPACITY (throughput at a given concurrency).
+///  - Open loop (RunOpenLoop): requests are injected at a FIXED arrival
+///    rate over pipelined nonblocking connections regardless of completions
+///    — arrivals do not slow down when the server does, so this measures
+///    TAIL LATENCY under a chosen offered load, including overload.
+struct LoadOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Probe texts, cycled.  `burst` consecutive requests share one query
+  /// (request i uses queries[(i / burst) % queries.size()]), modelling the
+  /// anchor-sharing bursts the server's batch admission groups.
+  std::vector<std::string> queries;
+  std::size_t burst = 1;
+
+  // Closed loop.
+  std::size_t concurrency = 4;
+  std::size_t total_requests = 1000;
+
+  // Open loop.
+  double rate_per_sec = 1000.0;
+  double duration_ms = 1000.0;
+  std::size_t connections = 4;
+  /// Give-up bound for responses still missing after the send phase.
+  double drain_timeout_ms = 5000.0;
+
+  // Applied to every probe.
+  std::uint32_t deadline_ms = 0;
+  std::uint32_t simulated_io_micros = 0;
+};
+
+struct LoadReport {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;        // kOk, not degraded
+  std::uint64_t degraded = 0;  // kOk with the degraded flag
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t shed = 0;  // kResourceExhausted
+  std::uint64_t quarantined = 0;
+  std::uint64_t invalid = 0;  // kInvalidArgument
+  std::uint64_t shutting_down = 0;
+  std::uint64_t other_errors = 0;  // kInternal / transport failures
+  /// Open loop only: responses never received within the drain timeout.
+  std::uint64_t lost = 0;
+  double wall_ms = 0.0;
+  double offered_rps = 0.0;   // open loop: the configured arrival rate
+  double achieved_rps = 0.0;  // responses per wall-clock second
+  /// Client-observed round-trip latency (send to response).
+  util::LatencyHistogram latency_micros;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+
+  /// Folds one response into the outcome counters.
+  void Count(const WireResponse& response);
+  /// Single JSON object (counters + p50/p95/p99/p999).
+  std::string ToJson() const;
+  void Print(std::ostream& os) const;
+};
+
+/// Runs the closed-loop discipline against a running server.  Fails only on
+/// setup errors (connect failure); per-request transport errors are counted
+/// in the report.
+[[nodiscard]] util::Result<LoadReport> RunClosedLoop(
+    const LoadOptions& options);
+
+/// Runs the open-loop discipline (single-threaded poll over
+/// `options.connections` pipelined nonblocking connections).
+[[nodiscard]] util::Result<LoadReport> RunOpenLoop(const LoadOptions& options);
+
+}  // namespace net
+}  // namespace rdfc

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/wire.h"
+#include "service/containment_service.h"
+#include "util/macros.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+#include "util/thread_pool.h"
+
+namespace rdfc {
+namespace net {
+
+struct ServerOptions {
+  /// Loopback by default: the front end has no auth layer yet, so binding
+  /// wider than 127.0.0.1 is an explicit operator decision.
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is reported by NetServer::port().
+  std::uint16_t port = 0;
+  int listen_backlog = 64;
+  std::size_t max_connections = 128;
+  /// Frames longer than this are a protocol error: the offending connection
+  /// is closed (alone), nothing is buffered.
+  std::uint32_t max_frame_bytes = 1u << 20;  // 1 MiB
+  /// Anchor-signature batching window: probes arriving within this many
+  /// microseconds that share an anchor signature are admitted as one
+  /// SubmitBatch group (one queue slot, one pinned snapshot, intra-group
+  /// dedup).  0 disables accumulation — every probe is its own group.
+  double batch_window_micros = 200.0;
+  /// A signature group is flushed early once it holds this many requests.
+  std::size_t max_batch = 32;
+  /// Honour Opcode::kShutdown from clients (loopback tooling).  When false
+  /// the opcode gets INVALID_ARGUMENT and only Shutdown() stops the server.
+  bool allow_remote_shutdown = true;
+};
+
+/// Framed-TCP front end for ContainmentService (DESIGN.md "Network front
+/// end").
+///
+/// Threading: ONE I/O thread runs the accept + poll loop — connections are
+/// nonblocking and multiplexed, never one-thread-per-connection.  Probe work
+/// happens on the service's worker pool; completed responses come back to
+/// the I/O thread through a completion queue plus self-pipe wakeup, so
+/// socket writes (like all socket syscalls in this codebase) stay inside
+/// src/net/ on the I/O thread.
+///
+/// Shutdown drains: stop accepting, flush pending batch groups, wait for
+/// in-flight probes, write out every buffered response, then close.
+class NetServer {
+ public:
+  /// `service` must outlive the server.
+  NetServer(service::ContainmentService* service, const ServerOptions& options);
+  ~NetServer();  // Shutdown()
+  RDFC_DISALLOW_COPY_AND_ASSIGN(NetServer);
+
+  /// Binds, listens, and starts the I/O loop.  On OK, port() is the bound
+  /// port (resolved when options.port was 0).
+  [[nodiscard]] util::Status Start();
+
+  /// Initiates drain and joins the I/O thread.  Idempotent.
+  void Shutdown();
+
+  std::uint16_t port() const { return port_; }
+  /// True once a drain has begun (Shutdown() or a remote shutdown request).
+  bool shutting_down() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+  /// True once the I/O loop has fully drained and exited.
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
+
+ private:
+  struct Connection;
+  struct PendingProbe;
+  struct Group;
+  struct Completion;
+
+  void Loop();
+  void HandleFrame(std::uint64_t conn_id, std::string_view payload);
+  void HandleProbe(std::uint64_t conn_id, WireRequest request);
+  void FlushGroup(std::uint64_t signature);
+  void FlushDueGroups(bool flush_all);
+  /// Microseconds until the oldest group's window expires (-1 = no groups).
+  double NextFlushDueMicros() const;
+  void RespondNow(std::uint64_t conn_id, const WireResponse& response);
+  void DrainCompletions();
+  void CloseConnection(std::uint64_t conn_id, bool protocol_error);
+  void Wake();
+
+  service::ContainmentService* const service_;
+  service::ServiceMetrics* const metrics_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  // --- I/O-thread-only state (no locks needed) ---
+  std::uint64_t next_conn_id_ = 1;
+  std::unordered_map<std::uint64_t, Connection> connections_;
+  /// Anchor signature -> accumulating group.
+  std::unordered_map<std::uint64_t, Group> groups_;
+  /// Requests admitted to the service whose responses have not yet been
+  /// handed back to the I/O thread.
+  std::size_t in_flight_ = 0;
+
+  // --- Cross-thread state ---
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> stopped_{false};
+  util::Mutex completion_mu_;
+  std::vector<Completion> completions_ RDFC_GUARDED_BY(completion_mu_);
+  /// Write end of the self-pipe, shared with worker callbacks; guarded so
+  /// Shutdown can close it without racing a straggler's wakeup write.
+  int wake_write_fd_ RDFC_GUARDED_BY(completion_mu_) = -1;
+
+  /// Hosts the single I/O loop task (keeps thread creation inside
+  /// util::ThreadPool, per the raw-concurrency lint rule).
+  std::unique_ptr<util::ThreadPool> io_pool_;
+  bool started_ = false;
+};
+
+}  // namespace net
+}  // namespace rdfc

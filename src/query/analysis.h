@@ -63,5 +63,21 @@ std::vector<BgpQuery> SplitComponents(
     bool exclude_var_predicates = false,
     std::vector<rdf::Triple>* var_pred_patterns = nullptr);
 
+/// Structural signature of the query's serialisation anchor: an order- and
+/// dictionary-independent hash over the (predicate, direction) set of the
+/// edges incident on the deterministic anchor (query::ChooseAnchor), with
+/// the anchor's class set (objects of rdf:type edges) mixed in — exactly the
+/// information the first serialisation tokens dispatch on at the index root.
+///
+/// Two probes with equal signatures start their radix walk through the same
+/// root dispatch region, which is what makes the signature the batching key
+/// of the network front end (requests sharing it are admitted as one group
+/// pinning one snapshot) and the partitioning key of the planned sharded
+/// index.  Predicates and classes hash by lexical form, so signatures agree
+/// across dictionaries; variable predicates/classes fold in a fixed marker.
+/// Returns 0 for the empty query.
+std::uint64_t AnchorSignature(const BgpQuery& query,
+                              const rdf::TermDictionary& dict);
+
 }  // namespace query
 }  // namespace rdfc

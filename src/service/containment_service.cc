@@ -32,6 +32,19 @@ std::uint64_t ProbeKey(const query::BgpQuery& q) {
   return h;
 }
 
+/// Exact pattern-list equality, guarding the batch dedup cache against FNV
+/// collisions (the cache fans one probe's answer out to its twins, so a
+/// false positive would be a wrong answer, not just a slow one).
+bool SamePatterns(const query::BgpQuery& a, const query::BgpQuery& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const rdf::Triple& x = a.patterns()[i];
+    const rdf::Triple& y = b.patterns()[i];
+    if (x.s != y.s || x.p != y.p || x.o != y.o) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 /// One admitted probe: the request, the promise its future watches, and the
@@ -41,6 +54,14 @@ std::uint64_t ProbeKey(const query::BgpQuery& q) {
 struct ContainmentService::Job {
   ProbeRequest request;
   std::promise<ProbeResponse> promise;
+  util::Timer admitted;
+};
+
+/// One admitted group (grouped SubmitBatch): all requests run as one worker
+/// task against one pinned snapshot; `done` fires once per request.
+struct ContainmentService::GroupJob {
+  std::vector<ProbeRequest> requests;
+  BatchDone done;
   util::Timer admitted;
 };
 
@@ -157,6 +178,27 @@ std::vector<util::Result<ProbeResponse>> ContainmentService::SubmitBatch(
   return out;
 }
 
+util::Status ContainmentService::SubmitBatch(std::vector<ProbeRequest> group,
+                                             BatchDone done,
+                                             double accumulation_wait_micros) {
+  if (group.empty()) return util::Status::OK();
+  auto job = std::make_shared<GroupJob>();
+  job->requests = std::move(group);
+  job->done = std::move(done);
+  const std::size_t size = job->requests.size();
+  util::Status admitted = pool_->TrySubmit([this, job](
+      std::size_t worker_index) { RunGroup(worker_index, job.get()); });
+  if (!admitted.ok()) {
+    // All-or-nothing: the group held one queue slot, so every member sheds
+    // together.  No callback fires — the caller fans the error out.
+    for (std::size_t i = 0; i < size; ++i) metrics_.RecordRejected();
+    return admitted;
+  }
+  for (std::size_t i = 0; i < size; ++i) metrics_.RecordSubmitted();
+  metrics_.RecordBatch(size, accumulation_wait_micros);
+  return util::Status::OK();
+}
+
 util::Result<ProbeResponse> ContainmentService::Probe(std::string_view sparql) {
   RDFC_ASSIGN_OR_RETURN(query::BgpQuery query, Parse(sparql));
   ProbeRequest request;
@@ -203,38 +245,45 @@ void ContainmentService::NoteHealthy(std::uint64_t probe_key) {
 }
 
 void ContainmentService::RunJob(std::size_t worker_index, Job* job) {
+  // Pin the current index version; everything below is lock-free reads.
+  const IndexManager::ReadGuard guard = manager_.Acquire(worker_index);
+  job->promise.set_value(
+      ExecuteOne(worker_index, job->request, guard, job->admitted));
+}
+
+ProbeResponse ContainmentService::ExecuteOne(
+    std::size_t worker_index, const ProbeRequest& request,
+    const IndexManager::ReadGuard& guard, const util::Timer& admitted) {
   ProbeResponse response;
-  response.queue_micros = job->admitted.ElapsedMicros();
+  response.queue_micros = admitted.ElapsedMicros();
 
   // Deadline admission check: expired requests are answered, not run.
   // Distinct from mid-probe budget expiry — here no work has started, so
   // the honest answer is DeadlineExceeded, not a degraded result.
-  if (std::chrono::steady_clock::now() >= job->request.deadline) {
+  if (std::chrono::steady_clock::now() >= request.deadline) {
     metrics_.RecordDeadlineExpired(worker_index, response.queue_micros);
     response.status = util::Status::DeadlineExceeded(
         "deadline passed before the probe was picked up");
-    response.total_micros = job->admitted.ElapsedMicros();
-    job->promise.set_value(std::move(response));
-    return;
+    response.total_micros = admitted.ElapsedMicros();
+    return response;
   }
 
   // Circuit breaker: a probe that repeatedly degrades is short-circuited to
   // an (empty, maximally degraded) response for the cooldown window instead
   // of burning a worker on work known to blow its budget.
-  const std::uint64_t probe_key = ProbeKey(job->request.query);
+  const std::uint64_t probe_key = ProbeKey(request.query);
   if (CheckQuarantined(probe_key)) {
     response.degraded = true;
     response.quarantined = true;
-    response.total_micros = job->admitted.ElapsedMicros();
+    response.total_micros = admitted.ElapsedMicros();
     metrics_.RecordQuarantined(worker_index, response.queue_micros,
                                response.total_micros);
-    job->promise.set_value(std::move(response));
-    return;
+    return response;
   }
 
   // The probe budget: the request deadline, tightened by the service-wide
   // per-probe timeout when one is configured.
-  util::ProbeBudget budget = util::ProbeBudget::AtDeadline(job->request.deadline);
+  util::ProbeBudget budget = util::ProbeBudget::AtDeadline(request.deadline);
   if (options_.probe_timeout_micros > 0.0) {
     const util::ProbeBudget capped =
         util::ProbeBudget::AfterMicros(options_.probe_timeout_micros);
@@ -245,11 +294,9 @@ void ContainmentService::RunJob(std::size_t worker_index, Job* job) {
   index::ProbeOptions probe_options = options_.probe;
   probe_options.budget = &budget;
 
-  // Pin the current index version; everything below is lock-free reads.
-  IndexManager::ReadGuard guard = manager_.Acquire(worker_index);
   response.snapshot_version = guard->version;
   const containment::PreparedProbe prepared =
-      containment::PrepareProbe(job->request.query, guard->dict());
+      containment::PrepareProbe(request.query, guard->dict());
   const index::ProbeResult result = guard->Find(prepared, probe_options);
 
   response.candidates = result.candidates;
@@ -276,12 +323,12 @@ void ContainmentService::RunJob(std::size_t worker_index, Job* job) {
                   response.unverified_views.end()),
       response.unverified_views.end());
 
-  if (job->request.simulated_io_micros > 0.0) {
+  if (request.simulated_io_micros > 0.0) {
     std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
-        job->request.simulated_io_micros));
+        request.simulated_io_micros));
   }
 
-  response.total_micros = job->admitted.ElapsedMicros();
+  response.total_micros = admitted.ElapsedMicros();
   if (response.degraded) {
     NoteDegraded(probe_key);
     metrics_.RecordDegraded(worker_index, response.queue_micros,
@@ -293,7 +340,53 @@ void ContainmentService::RunJob(std::size_t worker_index, Job* job) {
                              response.filter_micros, response.verify_micros,
                              response.total_micros);
   }
-  job->promise.set_value(std::move(response));
+  return response;
+}
+
+void ContainmentService::RunGroup(std::size_t worker_index, GroupJob* group) {
+  // One snapshot pin for the whole group: siblings provably answer against
+  // the same index version, and the walk scratch stays warm across them.
+  const IndexManager::ReadGuard guard = manager_.Acquire(worker_index);
+
+  // Intra-group dedup: the first clean (completed, undegraded) answer for a
+  // pattern-identical probe is fanned out to later twins without another
+  // walk.  Keyed by the probe FNV hash, confirmed by exact pattern equality.
+  // Degraded / quarantined / expired outcomes are never cached, so dedup
+  // can only ever substitute a full answer for a full answer.
+  std::unordered_map<std::uint64_t, std::size_t> exemplar_of;
+  std::vector<ProbeResponse> finished(group->requests.size());
+
+  for (std::size_t i = 0; i < group->requests.size(); ++i) {
+    const ProbeRequest& request = group->requests[i];
+    const std::uint64_t key = ProbeKey(request.query);
+    const auto it = exemplar_of.find(key);
+    if (it != exemplar_of.end() &&
+        std::chrono::steady_clock::now() < request.deadline &&
+        SamePatterns(group->requests[it->second].query, request.query)) {
+      const ProbeResponse& exemplar = finished[it->second];
+      ProbeResponse response;
+      response.queue_micros = group->admitted.ElapsedMicros();
+      response.snapshot_version = exemplar.snapshot_version;
+      response.containing_views = exemplar.containing_views;
+      response.unverified_views = exemplar.unverified_views;
+      response.candidates = exemplar.candidates;
+      response.np_checks = exemplar.np_checks;
+      response.total_micros = group->admitted.ElapsedMicros();
+      metrics_.RecordCompleted(worker_index, response.queue_micros,
+                               /*filter_micros=*/0.0, /*verify_micros=*/0.0,
+                               response.total_micros);
+      metrics_.RecordBatchDedup();
+      group->done(i, std::move(response));
+      continue;
+    }
+    ProbeResponse response =
+        ExecuteOne(worker_index, request, guard, group->admitted);
+    if (response.status.ok() && !response.degraded && !response.quarantined) {
+      exemplar_of.emplace(key, i);
+      finished[i] = response;
+    }
+    group->done(i, std::move(response));
+  }
 }
 
 }  // namespace service

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -20,6 +21,7 @@
 #include "util/status.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace rdfc {
 namespace service {
@@ -162,6 +164,26 @@ class ContainmentService {
   std::vector<util::Result<ProbeResponse>> SubmitBatch(
       std::vector<ProbeRequest> batch);
 
+  /// Per-request completion callback of the grouped SubmitBatch.  `index`
+  /// is the request's position in the submitted group.  Invoked from a
+  /// worker thread, once per request, in group order.
+  using BatchDone =
+      std::function<void(std::size_t index, ProbeResponse response)>;
+
+  /// Grouped batch admission (the network front end's anchor-signature
+  /// batching, DESIGN.md "Network front end").  The whole group occupies ONE
+  /// queue slot and runs as one worker task pinning ONE snapshot; identical
+  /// probes inside the group are answered once and fanned out to their
+  /// siblings (batch_dedup_hits).  Admission is all-or-nothing: on
+  /// ResourceExhausted / shutdown no callback fires and the caller owns the
+  /// per-request error fan-out.  Per-request outcomes stay isolated — an
+  /// expired or quarantined request never affects its siblings.
+  /// `accumulation_wait_micros` is how long the oldest request waited in the
+  /// caller's batching window (metrics only).
+  [[nodiscard]] util::Status SubmitBatch(std::vector<ProbeRequest> group,
+                                         BatchDone done,
+                                         double accumulation_wait_micros = 0.0);
+
   /// Parse + Submit + wait: the one-call convenience used by rdfc_serve.
   [[nodiscard]] util::Result<ProbeResponse> Probe(std::string_view sparql);
 
@@ -184,6 +206,10 @@ class ContainmentService {
   std::size_t num_live_views() const { return manager_.num_live_views(); }
   IndexManager& manager() { return manager_; }
 
+  /// The raw metrics sink, for the net front end to record connection and
+  /// framing events against (so one snapshot covers service + network).
+  ServiceMetrics* mutable_metrics() { return &metrics_; }
+
   /// The shared dictionary, for single-threaded setup (workload generation)
   /// before serving starts.  While probes may be in flight, intern only via
   /// Parse/AddView — they hold the mutation mutex this accessor bypasses.
@@ -195,7 +221,16 @@ class ContainmentService {
 
  private:
   struct Job;
+  struct GroupJob;
   void RunJob(std::size_t worker_index, Job* job);
+  void RunGroup(std::size_t worker_index, GroupJob* group);
+  /// The per-request execution path shared by RunJob and RunGroup: deadline
+  /// admission check, quarantine breaker, budgeted probe against the pinned
+  /// snapshot, metrics.  `admitted` is the stopwatch started at admission.
+  ProbeResponse ExecuteOne(std::size_t worker_index,
+                           const ProbeRequest& request,
+                           const IndexManager::ReadGuard& guard,
+                           const util::Timer& admitted);
 
   /// Quarantine circuit breaker (DESIGN.md "Resilience").  Keyed by the
   /// FNV hash of the probe's pattern serialisation; an entry trips after

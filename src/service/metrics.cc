@@ -41,6 +41,16 @@ void MetricsSnapshot::Print(std::ostream& os) const {
      << "  base_views        " << base_views << '\n'
      << "  delta_views       " << delta_views << '\n'
      << "  tombstones        " << tombstones << '\n'
+     << "network\n"
+     << "  conns_accepted    " << connections_accepted << '\n'
+     << "  conns_open        " << connections_open << '\n'
+     << "  bytes_in          " << net_bytes_in << '\n'
+     << "  bytes_out         " << net_bytes_out << '\n'
+     << "  protocol_errors   " << net_protocol_errors << '\n'
+     << "batching\n"
+     << "  batches           " << batches << '\n'
+     << "  batch_requests    " << batch_requests << '\n'
+     << "  batch_dedup_hits  " << batch_dedup_hits << '\n'
      << "latency (us)   count        mean         p50         p95         p99\n";
   PrintStageRow(os, "queue", queue_micros);
   PrintStageRow(os, "filter", filter_micros);
@@ -48,6 +58,13 @@ void MetricsSnapshot::Print(std::ostream& os) const {
   PrintStageRow(os, "total", total_micros);
   PrintStageRow(os, "degraded", degraded_micros);
   PrintStageRow(os, "compact", compaction_micros);
+  PrintStageRow(os, "bwait", batch_wait_micros);
+  if (batch_size.count() > 0) {
+    // batch_size reuses the histogram machinery with value = group size.
+    os << "batch size     count        mean         p50         p95"
+          "         p99\n";
+    PrintStageRow(os, "bsize", batch_size);
+  }
 }
 
 std::string MetricsSnapshot::ToJson() const {
@@ -59,7 +76,18 @@ std::string MetricsSnapshot::ToJson() const {
      << ",\"publishes\":" << publishes
      << ",\"compactions\":" << compactions << ",\"tiers\":{\"base_views\":"
      << base_views << ",\"delta_views\":" << delta_views
-     << ",\"tombstones\":" << tombstones << "},";
+     << ",\"tombstones\":" << tombstones << "},\"net\":{\"conns_accepted\":"
+     << connections_accepted << ",\"conns_closed\":" << connections_closed
+     << ",\"conns_open\":" << connections_open
+     << ",\"bytes_in\":" << net_bytes_in << ",\"bytes_out\":" << net_bytes_out
+     << ",\"protocol_errors\":" << net_protocol_errors
+     << "},\"batching\":{\"batches\":" << batches
+     << ",\"batch_requests\":" << batch_requests
+     << ",\"batch_dedup_hits\":" << batch_dedup_hits << ',';
+  AppendStageJson(&os, "batch_size", batch_size);
+  os << ',';
+  AppendStageJson(&os, "batch_wait", batch_wait_micros);
+  os << "},";
   AppendStageJson(&os, "queue", queue_micros);
   os << ',';
   AppendStageJson(&os, "filter", filter_micros);
@@ -132,6 +160,20 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   out.publishes = publishes_.load(std::memory_order_relaxed);
   out.compactions = compactions_.load(std::memory_order_relaxed);
   compaction_.MergeInto(&out.compaction_micros);
+  out.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  out.connections_closed = connections_closed_.load(std::memory_order_relaxed);
+  out.connections_open = out.connections_accepted >= out.connections_closed
+                             ? out.connections_accepted - out.connections_closed
+                             : 0;
+  out.net_bytes_in = net_bytes_in_.load(std::memory_order_relaxed);
+  out.net_bytes_out = net_bytes_out_.load(std::memory_order_relaxed);
+  out.net_protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.batch_requests = batch_requests_.load(std::memory_order_relaxed);
+  out.batch_dedup_hits = batch_dedup_hits_.load(std::memory_order_relaxed);
+  batch_size_.MergeInto(&out.batch_size);
+  batch_wait_.MergeInto(&out.batch_wait_micros);
   for (std::size_t i = 0; i < num_shards_; ++i) {
     const Shard& s = shards_[i];
     out.completed += s.completed.load(std::memory_order_relaxed);

@@ -60,6 +60,32 @@ struct MetricsSnapshot {
   std::uint64_t delta_views = 0;  // views in the pointer-tree delta
   std::uint64_t tombstones = 0;   // base ids masked as removed
 
+  // Network front end (DESIGN.md "Network front end").  Recorded by the
+  // net::NetServer I/O loop; all zero when the service runs in-process only.
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;   // incl. protocol-error closes
+  std::uint64_t connections_open = 0;     // gauge: accepted - closed
+  std::uint64_t net_bytes_in = 0;         // frame bytes read off sockets
+  std::uint64_t net_bytes_out = 0;        // frame bytes written to sockets
+  /// Framing violations (oversized frame, truncated/garbled payload) — each
+  /// one closed exactly the offending connection.
+  std::uint64_t net_protocol_errors = 0;
+
+  // Batch admission (anchor-signature grouping at the net front end).
+  std::uint64_t batches = 0;          // groups admitted via grouped SubmitBatch
+  std::uint64_t batch_requests = 0;   // requests admitted inside those groups
+  /// Requests answered by fanning out a batch sibling's identical probe
+  /// instead of walking the index again — the measurable probe-cost saving
+  /// of anchor-signature grouping.
+  std::uint64_t batch_dedup_hits = 0;
+
+  /// Distribution of admitted group sizes (value = requests per group, not
+  /// microseconds; the power-of-two buckets read directly as sizes).
+  util::LatencyHistogram batch_size;
+  /// How long a request waited in the accumulation window before its group
+  /// was admitted — the latency cost bounded by the batching window.
+  util::LatencyHistogram batch_wait_micros;
+
   util::LatencyHistogram queue_micros;   // admission -> worker pickup
   util::LatencyHistogram filter_micros;  // radix walk (PTime filter)
   util::LatencyHistogram verify_micros;  // candidate decisions (incl. NP)
@@ -123,6 +149,38 @@ class ServiceMetrics {
                          double total_micros);
   void RecordDeadlineExpired(std::size_t shard, double queue_micros);
 
+  /// A batch sibling answered from an identical probe's result instead of a
+  /// fresh walk (worker side, but low-rate enough for one shared counter).
+  void RecordBatchDedup() RDFC_READPATH {
+    batch_dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Net front-end side.  Called from the single NetServer I/O thread (plus
+  // Shutdown), so unsharded relaxed atomics cost nothing.
+  void RecordConnectionOpened() RDFC_READPATH {
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordConnectionClosed() RDFC_READPATH {
+    connections_closed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddNetBytesIn(std::uint64_t n) RDFC_READPATH {
+    net_bytes_in_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddNetBytesOut(std::uint64_t n) RDFC_READPATH {
+    net_bytes_out_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void RecordProtocolError() RDFC_READPATH {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// One group admitted via the grouped SubmitBatch: its size and how long
+  /// its oldest request waited in the accumulation window.
+  void RecordBatch(std::size_t size, double wait_micros) RDFC_READPATH {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batch_requests_.fetch_add(size, std::memory_order_relaxed);
+    batch_size_.Record(static_cast<double>(size));
+    batch_wait_.Record(wait_micros);
+  }
+
   MetricsSnapshot Snapshot() const;
 
   std::size_t num_shards() const { return num_shards_; }
@@ -148,6 +206,17 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> publishes_{0};
   std::atomic<std::uint64_t> compactions_{0};
   AtomicHistogram compaction_;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_closed_{0};
+  std::atomic<std::uint64_t> net_bytes_in_{0};
+  std::atomic<std::uint64_t> net_bytes_out_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batch_requests_{0};
+  std::atomic<std::uint64_t> batch_dedup_hits_{0};
+  AtomicHistogram batch_size_;
+  AtomicHistogram batch_wait_;
 };
 
 }  // namespace service

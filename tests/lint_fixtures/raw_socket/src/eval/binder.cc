@@ -1,0 +1,27 @@
+// Negative fixture: things that LOOK like socket calls but are not.
+//   - capitalised wrapper methods (client.Connect, server.Shutdown);
+//   - a lambda named `bind` (the reason `bind` is not in the token list);
+//   - the tokens appearing in comments or string literals only.
+#include <string>
+
+namespace rdfc {
+namespace eval {
+
+struct FakeClient {
+  void Connect() {}
+  void Shutdown() {}
+};
+
+int BindVariables() {
+  FakeClient client;
+  client.Connect();   // wrapper, not connect(2)
+  client.Shutdown();  // wrapper, not shutdown(2)
+  auto bind = [](int term) { return term + 1; };
+  int bound = bind(41);
+  std::string note = "poll (poll the budget, not a socket)";
+  // send recv select listen -- comment text must stay silent
+  return bound + static_cast<int>(note.size());
+}
+
+}  // namespace eval
+}  // namespace rdfc

@@ -1,0 +1,17 @@
+// Negative fixture: src/net/ is the sanctioned home of socket syscalls.
+#include <cstddef>
+
+namespace rdfc {
+namespace net {
+
+int AcceptOne(int listen_fd) {
+  int fd = accept4(listen_fd, nullptr, nullptr, 0);
+  char buf[64];
+  recv(fd, buf, sizeof(buf), 0);
+  send(fd, buf, sizeof(buf), 0);
+  poll(nullptr, 0, 1);
+  return fd;
+}
+
+}  // namespace net
+}  // namespace rdfc

@@ -1,0 +1,18 @@
+// Positive fixture: raw socket syscalls in library code outside src/net/.
+#include <cstddef>
+
+namespace rdfc {
+namespace service {
+
+int OpenRawSocket() {
+  int fd = socket(2, 1, 0);          // fires: socket()
+  setsockopt(fd, 1, 2, nullptr, 0);  // fires: setsockopt()
+  char buf[16];
+  recv(fd, buf, sizeof(buf), 0);  // fires: recv()
+  poll(nullptr, 0, 10);           // fires: poll()
+  shutdown(fd, 2);  // NOLINT(raw-socket) -- suppression is honoured
+  return fd;
+}
+
+}  // namespace service
+}  // namespace rdfc

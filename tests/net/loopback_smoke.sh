@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# CI loopback smoke for the network front end (DESIGN.md "Network front
+# end"): start `rdfc_serve --listen` as a real daemon, drive it over
+# 127.0.0.1 with rdfc_client — the abuse sequence (deadline-expired probe,
+# oversized frame, garbled frame) plus a small closed-loop run — then ask it
+# to drain and assert it exits cleanly.  Under the ASan/UBSan CI leg this
+# doubles as the zero-sanitizer-findings gate for the whole socket path.
+#
+#   loopback_smoke.sh <rdfc_serve> <rdfc_client>
+set -u
+
+SERVE="$1"
+CLIENT="$2"
+LOG="$(mktemp)"
+trap 'kill "$SERVER_PID" 2>/dev/null; rm -f "$LOG"' EXIT
+
+"$SERVE" --view-workload=lubm:100 --threads=2 --listen=0 --json >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+# Readiness: the daemon prints "listening on 127.0.0.1:<port>" once bound.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$LOG" | head -1)
+  [ -n "$PORT" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: server died before binding"; cat "$LOG"; exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "FAIL: server never reported its port"; cat "$LOG"; exit 1
+fi
+echo "server up on port $PORT (pid $SERVER_PID)"
+
+FAILURES=0
+
+# The abuse sequence: healthy probe, deadline-expired probe behind busy
+# workers, oversized frame, garbled frame — neighbours must survive.
+if ! "$CLIENT" --port="$PORT" --smoke; then
+  echo "FAIL: client smoke sequence"; FAILURES=$((FAILURES + 1))
+fi
+
+# A short mixed closed-loop run: every request must be accounted for.
+if ! "$CLIENT" --port="$PORT" --mode=closed --workload=lubm:30 \
+    --requests=200 --concurrency=4 --json | grep -q '"sent":200'; then
+  echo "FAIL: closed-loop run did not account for all requests"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# Drain: the server must acknowledge, flush, and exit 0 (a sanitizer
+# finding under the ASan leg turns this into a nonzero exit).
+if ! "$CLIENT" --port="$PORT" --shutdown; then
+  echo "FAIL: shutdown request"; FAILURES=$((FAILURES + 1))
+fi
+if ! wait "$SERVER_PID"; then
+  echo "FAIL: server exited nonzero after drain"; cat "$LOG"
+  FAILURES=$((FAILURES + 1))
+fi
+trap 'rm -f "$LOG"' EXIT
+
+# The drained daemon reports its serving tallies: the JSON epilogue must
+# carry the completed AND quarantine-rejection counts (every field is
+# documented in README "rdfc_serve output").
+if ! grep -q '"completed"' "$LOG" || ! grep -q '"quarantined"' "$LOG"; then
+  echo "FAIL: serving epilogue missing completed/quarantined"; cat "$LOG"
+  FAILURES=$((FAILURES + 1))
+fi
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "loopback smoke: $FAILURES failure(s)"; exit 1
+fi
+echo "loopback smoke: all checks passed"

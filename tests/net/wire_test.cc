@@ -1,0 +1,176 @@
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "net/wire.h"
+
+// Wire codec invariants (DESIGN.md "Network front end"): every field
+// roundtrips bit-exactly, the length prefix excludes itself, and NO
+// truncation or garbling of a frame payload can decode successfully — a
+// broken peer is detected at the codec, never by reading past the buffer.
+
+namespace rdfc {
+namespace net {
+namespace {
+
+WireRequest SampleRequest() {
+  WireRequest request;
+  request.opcode = Opcode::kProbe;
+  request.id = 0x1122334455667788ull;
+  request.deadline_ms = 250;
+  request.simulated_io_micros = 77;
+  request.query = "ASK { ?x <urn:p> ?y . }";
+  return request;
+}
+
+WireResponse SampleResponse() {
+  WireResponse response;
+  response.status = WireStatus::kOk;
+  response.degraded = true;
+  response.quarantined = false;
+  response.id = 99;
+  response.snapshot_version = 7;
+  response.candidates = 12;
+  response.np_checks = 4;
+  response.server_micros = 1234.5;
+  response.containing_views = {3, 5, 8};
+  response.unverified_views = {11};
+  response.payload = "detail";
+  return response;
+}
+
+/// Strips the length prefix and checks it matches the remaining bytes.
+std::string PayloadOf(const std::string& frame) {
+  EXPECT_GE(frame.size(), kFramePrefixBytes);
+  EXPECT_EQ(PeekFrameLength(frame), frame.size() - kFramePrefixBytes);
+  return frame.substr(kFramePrefixBytes);
+}
+
+TEST(WireCodecTest, RequestRoundtrip) {
+  const WireRequest request = SampleRequest();
+  std::string frame;
+  EncodeRequest(request, &frame);
+  WireRequest decoded;
+  ASSERT_TRUE(DecodeRequest(PayloadOf(frame), &decoded).ok());
+  EXPECT_EQ(decoded.opcode, request.opcode);
+  EXPECT_EQ(decoded.id, request.id);
+  EXPECT_EQ(decoded.deadline_ms, request.deadline_ms);
+  EXPECT_EQ(decoded.simulated_io_micros, request.simulated_io_micros);
+  EXPECT_EQ(decoded.query, request.query);
+}
+
+TEST(WireCodecTest, ResponseRoundtrip) {
+  const WireResponse response = SampleResponse();
+  std::string frame;
+  EncodeResponse(response, &frame);
+  WireResponse decoded;
+  ASSERT_TRUE(DecodeResponse(PayloadOf(frame), &decoded).ok());
+  EXPECT_EQ(decoded.status, response.status);
+  EXPECT_EQ(decoded.degraded, response.degraded);
+  EXPECT_EQ(decoded.quarantined, response.quarantined);
+  EXPECT_EQ(decoded.id, response.id);
+  EXPECT_EQ(decoded.snapshot_version, response.snapshot_version);
+  EXPECT_EQ(decoded.candidates, response.candidates);
+  EXPECT_EQ(decoded.np_checks, response.np_checks);
+  EXPECT_DOUBLE_EQ(decoded.server_micros, response.server_micros);
+  EXPECT_EQ(decoded.containing_views, response.containing_views);
+  EXPECT_EQ(decoded.unverified_views, response.unverified_views);
+  EXPECT_EQ(decoded.payload, response.payload);
+}
+
+TEST(WireCodecTest, EmptyFieldsRoundtrip) {
+  WireRequest request;
+  request.opcode = Opcode::kPing;
+  std::string frame;
+  EncodeRequest(request, &frame);
+  WireRequest decoded;
+  ASSERT_TRUE(DecodeRequest(PayloadOf(frame), &decoded).ok());
+  EXPECT_EQ(decoded.opcode, Opcode::kPing);
+  EXPECT_TRUE(decoded.query.empty());
+
+  WireResponse response;
+  response.status = WireStatus::kShuttingDown;
+  frame.clear();
+  EncodeResponse(response, &frame);
+  WireResponse decoded_response;
+  ASSERT_TRUE(DecodeResponse(PayloadOf(frame), &decoded_response).ok());
+  EXPECT_EQ(decoded_response.status, WireStatus::kShuttingDown);
+  EXPECT_TRUE(decoded_response.containing_views.empty());
+}
+
+TEST(WireCodecTest, EveryTruncationOfRequestFailsCleanly) {
+  std::string frame;
+  EncodeRequest(SampleRequest(), &frame);
+  const std::string payload = PayloadOf(frame);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    WireRequest decoded;
+    EXPECT_FALSE(DecodeRequest(payload.substr(0, len), &decoded).ok())
+        << "truncation to " << len << " bytes decoded successfully";
+  }
+}
+
+TEST(WireCodecTest, EveryTruncationOfResponseFailsCleanly) {
+  std::string frame;
+  EncodeResponse(SampleResponse(), &frame);
+  const std::string payload = PayloadOf(frame);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    WireResponse decoded;
+    EXPECT_FALSE(DecodeResponse(payload.substr(0, len), &decoded).ok())
+        << "truncation to " << len << " bytes decoded successfully";
+  }
+}
+
+TEST(WireCodecTest, TrailingBytesRejected) {
+  std::string frame;
+  EncodeRequest(SampleRequest(), &frame);
+  std::string payload = PayloadOf(frame);
+  payload.push_back('\0');
+  WireRequest decoded;
+  EXPECT_FALSE(DecodeRequest(payload, &decoded).ok());
+}
+
+TEST(WireCodecTest, BadVersionAndOpcodeRejected) {
+  std::string frame;
+  EncodeRequest(SampleRequest(), &frame);
+  std::string payload = PayloadOf(frame);
+  {
+    std::string bad = payload;
+    bad[0] = static_cast<char>(kWireVersion + 1);
+    WireRequest decoded;
+    EXPECT_FALSE(DecodeRequest(bad, &decoded).ok());
+  }
+  {
+    std::string bad = payload;
+    bad[1] = 0;  // opcodes start at 1
+    WireRequest decoded;
+    EXPECT_FALSE(DecodeRequest(bad, &decoded).ok());
+  }
+}
+
+TEST(WireCodecTest, LyingInnerLengthRejected) {
+  // The query-length field claims more bytes than the payload holds — the
+  // bounds-checked cursor must refuse rather than read past the buffer.
+  WireRequest request = SampleRequest();
+  std::string frame;
+  EncodeRequest(request, &frame);
+  std::string payload = PayloadOf(frame);
+  // The query length u32 sits right before the query text at the tail.
+  const std::size_t len_offset = payload.size() - request.query.size() - 4;
+  payload[len_offset] = static_cast<char>(0xff);
+  payload[len_offset + 1] = static_cast<char>(0xff);
+  WireRequest decoded;
+  EXPECT_FALSE(DecodeRequest(payload, &decoded).ok());
+}
+
+TEST(WireCodecTest, StatusNamesCoverEveryCode) {
+  EXPECT_STREQ(WireStatusName(WireStatus::kOk), "OK");
+  for (std::uint8_t code = 0; code <= 6; ++code) {
+    EXPECT_NE(std::string(WireStatusName(static_cast<WireStatus>(code))),
+              "UNKNOWN");
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace rdfc

@@ -1,0 +1,247 @@
+// rdfc_client — framed-TCP load generator and poke tool for the rdfc_serve
+// network daemon (DESIGN.md "Network front end").
+//
+//   rdfc_client --port=8711 --ping
+//   rdfc_client --port=8711 --stats                      # metrics JSON
+//   rdfc_client --port=8711 --mode=closed --workload=lubm:50 --requests=2000 \
+//               --concurrency=8 [--burst=8] [--json]
+//   rdfc_client --port=8711 --mode=open --rate=5000 --duration-ms=2000 \
+//               --connections=8 [--deadline-ms=10] [--json]
+//   rdfc_client --port=8711 --smoke                      # CI abuse sequence
+//   rdfc_client --port=8711 --shutdown                   # drain the server
+//
+// Probe texts are generated locally from --workload (same families as
+// rdfc_serve) and sent as SPARQL over the wire; point it at a server whose
+// views come from the same family for non-trivial containment hits.
+//
+// --smoke runs the CI loopback sequence: a healthy probe, a deadline-expired
+// probe behind deliberately busy workers (asserts DEADLINE_EXCEEDED), an
+// oversized frame and a garbled frame (assert only the offending connection
+// dies), then proves the original connection still serves.  Exits 0 iff
+// every assertion held.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "net/loadgen.h"
+#include "net/wire.h"
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+#include "sparql/writer.h"
+#include "tool_util.h"
+#include "workload/workload.h"
+
+using namespace rdfc;  // NOLINT(build/namespaces)
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "rdfc_client: %s\n", message.c_str());
+  return 1;
+}
+
+util::Result<std::vector<std::string>> GenerateQueryTexts(
+    const std::string& spec, std::uint64_t seed) {
+  std::string name = spec;
+  std::size_t count = 50;
+  if (const std::size_t colon = spec.find(':'); colon != std::string::npos) {
+    name = spec.substr(0, colon);
+    count = static_cast<std::size_t>(
+        std::strtoull(spec.substr(colon + 1).c_str(), nullptr, 10));
+  }
+  rdf::TermDictionary dict;
+  util::Result<std::vector<query::BgpQuery>> generated =
+      util::Status::InvalidArgument("unknown workload: " + name);
+  if (name == "dbpedia") generated = workload::GenerateDbpedia(&dict, count, seed);
+  if (name == "watdiv") generated = workload::GenerateWatdiv(&dict, count, seed);
+  if (name == "bsbm") generated = workload::GenerateBsbm(&dict, count, seed);
+  if (name == "ldbc") generated = workload::GenerateLdbc(&dict, count, seed);
+  if (name == "lubm") {
+    generated = workload::GenerateLubmExtended(&dict, count, seed);
+  }
+  if (!generated.ok()) return generated.status();
+  std::vector<std::string> texts;
+  texts.reserve(generated.value().size());
+  for (const query::BgpQuery& q : generated.value()) {
+    if (q.empty()) continue;
+    texts.push_back(sparql::WriteQuery(q, dict));
+  }
+  if (texts.empty()) {
+    return util::Status::InvalidArgument("workload generated no queries");
+  }
+  return texts;
+}
+
+/// The CI loopback abuse sequence.  Prints one line per check; returns 0
+/// iff all pass.
+int RunSmoke(const std::string& host, std::uint16_t port,
+             const std::vector<std::string>& queries) {
+  std::size_t failures = 0;
+  auto check = [&failures](bool ok, const char* what) {
+    std::fprintf(stderr, "smoke: %-42s %s\n", what, ok ? "ok" : "FAILED");
+    if (!ok) ++failures;
+  };
+
+  net::Client main_conn;
+  if (!main_conn.Connect(host, port).ok()) {
+    return Fail("smoke: cannot connect to " + host);
+  }
+  {
+    util::Result<net::WireResponse> pong = main_conn.Ping();
+    check(pong.ok() && pong->status == net::WireStatus::kOk, "ping");
+  }
+  {
+    util::Result<net::WireResponse> response = main_conn.Probe(queries[0]);
+    check(response.ok() && response->status == net::WireStatus::kOk,
+          "healthy probe");
+  }
+
+  // Deadline propagation: occupy the workers with pipelined io-heavy probes
+  // on a side connection, then race a 1 ms deadline past them.  The deadline
+  // request reaches a worker only after >= one 50 ms io slot, so it must
+  // come back DEADLINE_EXCEEDED (expired before pickup — the wire status,
+  // not the degraded flag; see DESIGN.md status table).
+  {
+    net::Client busy;
+    if (!busy.Connect(host, port).ok()) return Fail("smoke: busy connect");
+    std::string frames;
+    const std::size_t kBusy = 6;
+    for (std::size_t i = 0; i < kBusy; ++i) {
+      net::WireRequest request;
+      request.opcode = net::Opcode::kProbe;
+      request.id = 1000 + i;
+      request.simulated_io_micros = 50000;  // 50 ms each
+      request.query = queries[i % queries.size()];
+      net::EncodeRequest(request, &frames);
+    }
+    if (!busy.SendRaw(frames).ok()) return Fail("smoke: busy send");
+    util::Result<net::WireResponse> expired = main_conn.Probe(
+        queries[0], /*deadline_ms=*/1);
+    check(expired.ok() &&
+              expired->status == net::WireStatus::kDeadlineExceeded,
+          "deadline-expired probe -> DEADLINE_EXCEEDED");
+    std::size_t busy_answered = 0;
+    for (std::size_t i = 0; i < kBusy; ++i) {
+      util::Result<net::WireResponse> response = busy.Receive();
+      if (response.ok() && response->status == net::WireStatus::kOk) {
+        ++busy_answered;
+      }
+    }
+    check(busy_answered == kBusy, "pipelined io probes all answered");
+  }
+
+  // Oversized frame: the offending connection is closed, nothing else.
+  {
+    net::Client abuser;
+    if (!abuser.Connect(host, port).ok()) return Fail("smoke: abuser connect");
+    std::string oversized;
+    const std::uint32_t huge = 64u << 20;  // 64 MiB > any sane max_frame_bytes
+    for (int i = 0; i < 4; ++i) {
+      oversized.push_back(static_cast<char>((huge >> (i * 8)) & 0xff));
+    }
+    if (!abuser.SendRaw(oversized).ok()) return Fail("smoke: oversized send");
+    util::Result<net::WireResponse> dropped = abuser.Receive();
+    check(!dropped.ok(), "oversized frame closes its connection");
+  }
+
+  // Garbled frame: plausible length, nonsense payload.
+  {
+    net::Client abuser;
+    if (!abuser.Connect(host, port).ok()) return Fail("smoke: garbled connect");
+    std::string garbled;
+    garbled.push_back(3);
+    garbled.append(3, '\0');
+    garbled += "???";
+    if (!abuser.SendRaw(garbled).ok()) return Fail("smoke: garbled send");
+    util::Result<net::WireResponse> dropped = abuser.Receive();
+    check(!dropped.ok(), "garbled frame closes its connection");
+  }
+
+  // The original connection survived every neighbour's demise.
+  {
+    util::Result<net::WireResponse> pong = main_conn.Ping();
+    check(pong.ok() && pong->status == net::WireStatus::kOk,
+          "main connection still serving");
+  }
+  {
+    util::Result<net::WireResponse> stats = main_conn.Stats();
+    check(stats.ok() && stats->payload.find("\"protocol_errors\":") !=
+                            std::string::npos,
+          "stats response carries net counters");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tools::Args args = tools::Args::Parse(argc, argv);
+  const std::string host = args.Get("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(
+      std::strtoul(args.Get("port", "0").c_str(), nullptr, 10));
+  if (port == 0) return Fail("--port is required");
+  const auto seed = static_cast<std::uint64_t>(
+      std::strtoull(args.Get("seed", "42").c_str(), nullptr, 10));
+
+  if (args.Has("ping") || args.Has("stats") || args.Has("shutdown")) {
+    net::Client client;
+    const util::Status connected = client.Connect(host, port);
+    if (!connected.ok()) return Fail(connected.ToString());
+    util::Result<net::WireResponse> response =
+        args.Has("ping")    ? client.Ping()
+        : args.Has("stats") ? client.Stats()
+                            : client.RequestShutdown();
+    if (!response.ok()) return Fail(response.status().ToString());
+    if (response->status != net::WireStatus::kOk) {
+      return Fail(std::string("server answered ") +
+                  net::WireStatusName(response->status));
+    }
+    if (args.Has("stats")) {
+      std::printf("%s\n", response->payload.c_str());
+    } else {
+      std::printf("%s\n", args.Has("ping") ? "pong" : "shutdown acknowledged");
+    }
+    return 0;
+  }
+
+  auto texts = GenerateQueryTexts(args.Get("workload", "lubm:50"), seed);
+  if (!texts.ok()) return Fail(texts.status().ToString());
+
+  if (args.Has("smoke")) return RunSmoke(host, port, texts.value());
+
+  net::LoadOptions load;
+  load.host = host;
+  load.port = port;
+  load.queries = std::move(texts).value();
+  load.burst = static_cast<std::size_t>(
+      std::strtoull(args.Get("burst", "1").c_str(), nullptr, 10));
+  load.concurrency = static_cast<std::size_t>(
+      std::strtoull(args.Get("concurrency", "4").c_str(), nullptr, 10));
+  load.total_requests = static_cast<std::size_t>(
+      std::strtoull(args.Get("requests", "1000").c_str(), nullptr, 10));
+  load.rate_per_sec = std::strtod(args.Get("rate", "1000").c_str(), nullptr);
+  load.duration_ms =
+      std::strtod(args.Get("duration-ms", "1000").c_str(), nullptr);
+  load.connections = static_cast<std::size_t>(
+      std::strtoull(args.Get("connections", "4").c_str(), nullptr, 10));
+  load.deadline_ms = static_cast<std::uint32_t>(
+      std::strtoul(args.Get("deadline-ms", "0").c_str(), nullptr, 10));
+  load.simulated_io_micros = static_cast<std::uint32_t>(
+      std::strtoul(args.Get("io-us", "0").c_str(), nullptr, 10));
+
+  const std::string mode = args.Get("mode", "closed");
+  util::Result<net::LoadReport> report =
+      mode == "open" ? net::RunOpenLoop(load) : net::RunClosedLoop(load);
+  if (!report.ok()) return Fail(report.status().ToString());
+  if (args.Has("json")) {
+    std::printf("%s\n", report->ToJson().c_str());
+  } else {
+    std::ostringstream os;
+    report->Print(os);
+    std::printf("%s", os.str().c_str());
+  }
+  return 0;
+}

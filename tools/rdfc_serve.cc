@@ -7,6 +7,7 @@
 //   rdfc_serve --view-workload=lubm:200 --probe-workload=lubm:2000
 //   rdfc_serve ... --deadline-ms=5 --io-us=100 --json
 //   rdfc_serve ... --timeout-us=2000 --retries=3 --backoff-us=200
+//   rdfc_serve --view-workload=lubm:200 --listen=8711   # network daemon
 //
 // Query files use the repo's `---`-separated SPARQL format.  The workload
 // specs accept dbpedia|watdiv|bsbm|ldbc|lubm with an optional :count.
@@ -15,13 +16,22 @@
 // are retried up to --retries times with jittered exponential backoff
 // (deterministic given --seed); --timeout-us arms the per-probe budget so
 // pathological probes come back Degraded instead of holding a worker.
+//
+// With --listen=<port> (0 = ephemeral) the tool becomes the network daemon
+// (DESIGN.md "Network front end"): views are published, then a framed-TCP
+// NetServer serves probes until SIGINT/SIGTERM or a client shutdown request,
+// drains, and prints the final metrics.  --batch-window-us / --max-batch
+// tune anchor-signature batch admission; --max-frame-bytes / --max-conns
+// bound per-connection resources.
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "net/server.h"
 #include "query/bgp_query.h"
 #include "service/containment_service.h"
 #include "tool_util.h"
@@ -32,6 +42,9 @@
 using namespace rdfc;  // NOLINT(build/namespaces)
 
 namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "rdfc_serve: %s\n", message.c_str());
@@ -106,6 +119,56 @@ int main(int argc, char** argv) {
   if (!version.ok()) return Fail(version.status().ToString());
   std::fprintf(stderr, "published version %llu with %zu views\n",
                static_cast<unsigned long long>(*version), staged);
+
+  // --- Daemon mode ---------------------------------------------------------
+  if (args.Has("listen")) {
+    net::ServerOptions server_options;
+    server_options.port = static_cast<std::uint16_t>(
+        std::strtoul(args.Get("listen", "0").c_str(), nullptr, 10));
+    server_options.batch_window_micros =
+        std::strtod(args.Get("batch-window-us", "200").c_str(), nullptr);
+    server_options.max_batch = static_cast<std::size_t>(
+        std::strtoull(args.Get("max-batch", "32").c_str(), nullptr, 10));
+    server_options.max_frame_bytes = static_cast<std::uint32_t>(
+        std::strtoul(args.Get("max-frame-bytes", "1048576").c_str(), nullptr,
+                     10));
+    server_options.max_connections = static_cast<std::size_t>(
+        std::strtoull(args.Get("max-conns", "128").c_str(), nullptr, 10));
+    net::NetServer server(&svc, server_options);
+    const util::Status started = server.Start();
+    if (!started.ok()) return Fail(started.ToString());
+    // Scripted consumers (CI smoke, bench_net) parse this line for the port.
+    std::printf("listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    (void)std::signal(SIGINT, HandleSignal);
+    (void)std::signal(SIGTERM, HandleSignal);
+    util::Timer wall;
+    while (g_stop == 0 && !server.shutting_down()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server.Shutdown();
+    const double wall_ms = wall.ElapsedMillis();
+    const service::MetricsSnapshot metrics = svc.Metrics();
+    if (args.Has("json")) {
+      std::printf(
+          "{\"wall_ms\":%.3f,\"completed\":%llu,\"degraded\":%llu,"
+          "\"quarantined\":%llu,\"rejected\":%llu,\"deadline_expired\":%llu,"
+          "\"metrics\":%s}\n",
+          wall_ms, static_cast<unsigned long long>(metrics.completed),
+          static_cast<unsigned long long>(metrics.degraded),
+          static_cast<unsigned long long>(metrics.quarantined),
+          static_cast<unsigned long long>(metrics.rejected),
+          static_cast<unsigned long long>(metrics.deadline_expired),
+          metrics.ToJson().c_str());
+    } else {
+      std::printf("served for %.1f ms\n", wall_ms);
+      std::ostringstream table;
+      metrics.Print(table);
+      std::printf("%s", table.str().c_str());
+    }
+    return 0;
+  }
 
   // --- Probes --------------------------------------------------------------
   std::vector<query::BgpQuery> probes;
@@ -199,8 +262,16 @@ int main(int argc, char** argv) {
 
   const service::MetricsSnapshot metrics = svc.Metrics();
   if (args.Has("json")) {
-    std::printf("{\"retries\":%zu,\"wall_ms\":%.3f,\"metrics\":%s}\n",
-                total_retries, wall_ms, metrics.ToJson().c_str());
+    // Top-level summary counters (README "rdfc_serve output"): every
+    // client-visible outcome, including quarantine rejections, next to the
+    // full metrics fold.
+    std::printf(
+        "{\"probes\":%zu,\"completed\":%zu,\"contained\":%zu,"
+        "\"degraded\":%zu,\"quarantined\":%zu,\"rejected\":%zu,"
+        "\"deadline_expired\":%zu,\"retries\":%zu,\"wall_ms\":%.3f,"
+        "\"metrics\":%s}\n",
+        responses.size(), ok, contained, degraded, quarantined, rejected,
+        expired, total_retries, wall_ms, metrics.ToJson().c_str());
   } else {
     std::printf("probes:           %zu\n", responses.size());
     std::printf("completed:        %zu (%zu contained in >=1 view)\n", ok,
