@@ -26,22 +26,39 @@
 //     should be a function of the batch size, not of N — the committed JSON
 //     pairs a small and a large baked count to show that.
 //
+//   - shard_scale mode: the sharded-index acceptance run (DESIGN.md
+//     "Sharded index").  Bake V synthetic views into an IndexManager at
+//     N ∈ {1,4,8,16} shards, then run homogeneous-signature write batches
+//     (each dirties exactly one shard) and measure the publish+refreeze
+//     cycle — at N=1 every cycle refreezes the whole corpus, at N>1 only
+//     the dirty shard — plus fan-out probe latency against the same index.
+//
+// With --smoke only a miniature shard_scale sweep runs (RDFC_SHARDS picks
+// the sharded point, default 4) — the CI sanitizer step uses it to drive
+// the fan-out and per-shard refreeze machinery under instrumentation.
+//
 // Env knobs: RDFC_VIEWS (default 2000), RDFC_PROBES (default 2000),
 // RDFC_IO_US (default 200), RDFC_CHURN_BAKED_SMALL (default 1000),
 // RDFC_CHURN_BAKED_LARGE (default 50000), RDFC_CHURN_BATCHES (default 32),
-// RDFC_CHURN_BATCH (default 16).
+// RDFC_CHURN_BATCH (default 16), RDFC_SHARD_VIEWS_MAX (default 1000000),
+// RDFC_SHARDS (smoke-mode shard count, default 4).
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "containment/pipeline.h"
 #include "index/mv_index.h"
 #include "service/containment_service.h"
+#include "service/index_manager.h"
 #include "sparql/writer.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "workload/workload.h"
 
@@ -311,6 +328,176 @@ ChurnResult RunWriteChurn(std::size_t baked, std::size_t batches,
   return out;
 }
 
+struct ShardScaleResult {
+  std::size_t views = 0;
+  std::size_t shards = 0;
+  double bake_ms = 0.0;
+  std::size_t batches = 0;
+  std::size_t batch_size = 0;
+  double publish_p50_us = 0.0;  // Publish() alone (delta build + swing)
+  double cycle_p50_us = 0.0;    // Publish() + Refreeze() — write visibility
+  double cycle_p99_us = 0.0;    //   through to a re-frozen base
+  double probe_p50_us = 0.0;    // FindParallel over all populated shards
+  double probe_p99_us = 0.0;
+  std::uint64_t refreezes = 0;  // sum of the per-shard refreeze counters
+  std::uint32_t max_fanout = 0;
+};
+
+/// Synthetic view for the shard sweep: anchor predicate p<k> (k in [0,32) —
+/// the shard routing key, so a fixed-k write batch stays signature-
+/// homogeneous), a 256-way chain predicate q<c> shared across many views
+/// (so probe walks collect V/(32*256) candidates and probe cost scales with
+/// the corpus), and a unique tail constant u<uniq> keeping every view
+/// distinct.
+query::BgpQuery ShardView(rdf::TermDictionary* dict, std::size_t k,
+                          std::size_t c, std::size_t uniq) {
+  query::BgpQuery q;
+  q.set_form(query::QueryForm::kAsk);
+  const rdf::TermId x = dict->MakeVariable("x");
+  const rdf::TermId y = dict->MakeVariable("y");
+  const rdf::TermId z = dict->MakeVariable("z");
+  q.AddPattern(x, dict->MakeIri("urn:b:p" + std::to_string(k % 32)), y);
+  q.AddPattern(y, dict->MakeIri("urn:b:q" + std::to_string(c % 256)), z);
+  q.AddPattern(z, dict->MakeIri("urn:b:r"),
+               dict->MakeIri("urn:b:u" + std::to_string(uniq)));
+  return q;
+}
+
+/// Matching probe: same (p<k>, q<c>) spine with an open tail, so it is
+/// contained in every view sharing the spine and the walk + verification
+/// touch all of them.
+query::BgpQuery ShardProbe(rdf::TermDictionary* dict, std::size_t k,
+                           std::size_t c) {
+  query::BgpQuery q;
+  q.set_form(query::QueryForm::kAsk);
+  const rdf::TermId a = dict->MakeVariable("a");
+  const rdf::TermId b = dict->MakeVariable("b");
+  const rdf::TermId d = dict->MakeVariable("d");
+  const rdf::TermId e = dict->MakeVariable("e");
+  q.AddPattern(a, dict->MakeIri("urn:b:p" + std::to_string(k % 32)), b);
+  q.AddPattern(b, dict->MakeIri("urn:b:q" + std::to_string(c % 256)), d);
+  q.AddPattern(d, dict->MakeIri("urn:b:r"), e);
+  return q;
+}
+
+/// Exact percentile over raw samples — the acceptance ratios need better
+/// resolution than the power-of-two histogram buckets give.
+double ExactPercentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[rank];
+}
+
+/// Shard-sweep run: bake `num_views`, then measure homogeneous-signature
+/// publish+refreeze cycles and fan-out probe latency at `num_shards`.
+/// `force_walkers` > 0 overrides FindParallel's host-derived width cap —
+/// the smoke path uses it so sanitizer CI drives the parallel machinery
+/// even on single-core runners; the measured sweep keeps the default
+/// (0 = auto), because the default path is what production serves with.
+ShardScaleResult RunShardScale(std::size_t num_views, std::size_t num_shards,
+                               std::size_t batches, std::size_t batch_size,
+                               std::uint32_t force_walkers) {
+  rdf::TermDictionary dict;
+  service::TierOptions tier;
+  tier.background_compaction = false;  // cycles are measured synchronously
+  tier.num_shards = num_shards;
+  service::IndexManager manager(&dict, {}, tier);
+
+  ShardScaleResult out;
+  out.views = num_views;
+  out.shards = num_shards;
+  out.batches = batches;
+  out.batch_size = batch_size;
+
+  util::Timer bake;
+  for (std::size_t i = 0; i < num_views; ++i) {
+    (void)manager.StageAdd(ShardView(&dict, i % 32, i, i));
+  }
+  RDFC_CHECK(manager.Publish().ok());
+  RDFC_CHECK(manager.Refreeze().ok());
+  out.bake_ms = bake.ElapsedMillis();
+
+  // Write churn: every view in batch b shares the (p<b%32>, q<b%256>) spine
+  // and differs only in the tail constant, which AnchorSignature ignores for
+  // non-rdf:type edges — so the whole batch lands on ONE shard, exactly one
+  // delta grows, and the refreeze re-freezes exactly that shard's base+delta
+  // (at N=1, "that shard" is the whole corpus — the contrast the sweep
+  // exists to show). Raw samples, not histogram buckets: the acceptance
+  // ratio needs finer resolution than power-of-two buckets give.
+  std::vector<double> publish_samples, cycle_samples;
+  std::size_t next_uniq = num_views;  // disjoint from the baked tail ids
+  for (std::size_t b = 0; b < batches; ++b) {
+    for (std::size_t j = 0; j < batch_size; ++j) {
+      (void)manager.StageAdd(ShardView(&dict, b % 32, b, next_uniq++));
+    }
+    util::Timer cycle;
+    RDFC_CHECK(manager.Publish().ok());
+    publish_samples.push_back(static_cast<double>(cycle.ElapsedMicros()));
+    RDFC_CHECK(manager.Refreeze().ok());
+    cycle_samples.push_back(static_cast<double>(cycle.ElapsedMicros()));
+  }
+  out.publish_p50_us = ExactPercentile(publish_samples, 50);
+  out.cycle_p50_us = ExactPercentile(cycle_samples, 50);
+  out.cycle_p99_us = ExactPercentile(cycle_samples, 99);
+
+  // Probe load: each probe shares its (p_k, q_c) spine with ~V/(32*256) baked
+  // views, so walk + verification cost scales with the corpus and the fan-out
+  // has real work to split; FindParallel fans the walk over the pool.
+  std::vector<containment::PreparedProbe> probes;
+  for (std::size_t i = 0; i < 64; ++i) {
+    const query::BgpQuery q = ShardProbe(&dict, i % 32, (i * 7) % 256);
+    probes.push_back(containment::PrepareProbe(q, dict));
+  }
+  util::ThreadPool pool({/*num_threads=*/4, /*queue_capacity=*/1024});
+  const std::size_t slot = manager.RegisterReader();
+  std::vector<double> probe_samples;
+  // Round 0 is a discarded warmup (first touch faults the frozen arrays
+  // in); p99 is then the tail of 512 warm samples, not of cold misses.
+  for (std::size_t round = 0; round < 9; ++round) {
+    service::IndexManager::ReadGuard guard = manager.Acquire(slot);
+    for (const containment::PreparedProbe& probe : probes) {
+      service::ProbeFanout fanout;
+      util::Timer t;
+      const index::ProbeResult result =
+          guard->FindParallel(probe, {}, &pool, /*preferred_shard=*/0,
+                              &fanout, force_walkers);
+      if (round > 0) {
+        probe_samples.push_back(static_cast<double>(t.ElapsedMicros()));
+      }
+      RDFC_CHECK(result.filter_complete);
+      if (fanout.parallel_walkers > out.max_fanout) {
+        out.max_fanout = fanout.parallel_walkers;
+      }
+    }
+  }
+  out.probe_p50_us = ExactPercentile(probe_samples, 50);
+  out.probe_p99_us = ExactPercentile(probe_samples, 99);
+  const service::IndexManager::TierStats stats = manager.tier_stats();
+  for (const service::IndexManager::ShardStats& s : stats.shards) {
+    out.refreezes += s.refreezes;
+  }
+  return out;
+}
+
+void AppendShardRun(std::string* json, const ShardScaleResult& r,
+                    bool first) {
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "%s\n      {\"views\":%zu,\"shards\":%zu,\"bake_ms\":%.1f,"
+                "\"batches\":%zu,\"batch_size\":%zu,"
+                "\"publish_p50_us\":%.1f,\"cycle_p50_us\":%.1f,"
+                "\"cycle_p99_us\":%.1f,\"probe_p50_us\":%.1f,"
+                "\"probe_p99_us\":%.1f,\"refreezes\":%llu,"
+                "\"max_fanout\":%u}",
+                first ? "" : ",", r.views, r.shards, r.bake_ms, r.batches,
+                r.batch_size, r.publish_p50_us, r.cycle_p50_us,
+                r.cycle_p99_us, r.probe_p50_us, r.probe_p99_us,
+                static_cast<unsigned long long>(r.refreezes), r.max_fanout);
+  *json += buf;
+}
+
 void AppendChurnRun(std::string* json, const ChurnResult& r, bool first) {
   char buf[384];
   std::snprintf(buf, sizeof(buf),
@@ -330,6 +517,42 @@ void AppendChurnRun(std::string* json, const ChurnResult& r, bool first) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  // Smoke: a miniature shard_scale sweep (1 shard vs RDFC_SHARDS) that the
+  // sanitizer CI step runs to drive the fan-out claim loop, the shared
+  // budget, and per-shard refreezes under instrumentation.  Fast by
+  // construction; numbers are not meant to be meaningful.
+  if (smoke) {
+    const std::size_t smoke_views = EnvSize("RDFC_VIEWS", 2000);
+    const std::size_t smoke_shards = EnvSize("RDFC_SHARDS", 4);
+    std::string json = "{\n  \"bench\": \"shard_scale_smoke\",\n  \"runs\": [";
+    bool first = true;
+    for (const std::size_t shards : {std::size_t{1}, smoke_shards}) {
+      const ShardScaleResult r = RunShardScale(
+          smoke_views, shards, /*batches=*/6, /*batch_size=*/16,
+          /*force_walkers=*/static_cast<std::uint32_t>(smoke_shards));
+      std::fprintf(stderr,
+                   "[shard-smoke] views=%zu shards=%zu cycle_p50=%.0fus "
+                   "probe_p99=%.0fus fanout=%u\n",
+                   r.views, r.shards, r.cycle_p50_us, r.probe_p99_us,
+                   r.max_fanout);
+      AppendShardRun(&json, r, first);
+      first = false;
+    }
+    json += "\n  ]\n}\n";
+    std::fputs(json.c_str(), stdout);
+    return 0;
+  }
+
   const std::size_t num_views = EnvSize("RDFC_VIEWS", 2000);
   const std::size_t num_probes = EnvSize("RDFC_PROBES", 2000);
   const double io_us = static_cast<double>(EnvSize("RDFC_IO_US", 200));
@@ -480,18 +703,100 @@ int main(int argc, char** argv) {
       "    \"note\": \"publish builds only the delta tier, so its p50 "
       "tracks the stage batch size, not the baked corpus; background "
       "compaction folds the delta into the frozen base off the write "
-      "path\"\n  }\n";
+      "path\"\n  },\n";
+
+  // Shard-scale regime: publish+refreeze cycle and fan-out probe latency as
+  // a function of (view count, shard count).
+  const std::size_t shard_views_max =
+      EnvSize("RDFC_SHARD_VIEWS_MAX", 1000000);
+  const std::size_t view_ladder[] = {100000, 300000, 1000000};
+  const std::size_t shard_counts[] = {1, 4, 8, 16};
+  json += "  \"shard_scale_mode\": {\n    \"runs\": [";
+  std::vector<ShardScaleResult> shard_results;
+  first = true;
+  for (const std::size_t v : view_ladder) {
+    if (v > shard_views_max) continue;
+    for (const std::size_t n : shard_counts) {
+      // Every cycle at N=1 re-freezes the whole corpus: fewer measured
+      // batches keep the 1M x 1-shard cell affordable.
+      const std::size_t shard_batches =
+          v >= 1000000 ? (n == 1 ? 4 : 8) : 12;
+      const ShardScaleResult r =
+          RunShardScale(v, n, shard_batches, /*batch_size=*/64,
+                        /*force_walkers=*/0);
+      std::fprintf(stderr,
+                   "[shard] views=%zu shards=%zu bake=%.0fms "
+                   "publish_p50=%.0fus cycle_p50=%.0fus probe_p50=%.0fus "
+                   "probe_p99=%.0fus fanout=%u refreezes=%llu\n",
+                   r.views, r.shards, r.bake_ms, r.publish_p50_us,
+                   r.cycle_p50_us, r.probe_p50_us, r.probe_p99_us,
+                   r.max_fanout,
+                   static_cast<unsigned long long>(r.refreezes));
+      AppendShardRun(&json, r, first);
+      shard_results.push_back(r);
+      first = false;
+    }
+  }
+  // Acceptance ratios: per view count, the N=8 publish+refreeze cycle p50
+  // against N=1 (the per-shard refreeze saving), and the N=8 probe p99
+  // against N=1 (the fan-out overhead bound).
+  json += "\n    ],\n    \"cycle_p50_ratio_n8_vs_n1\": {";
+  bool first_ratio = true;
+  for (const std::size_t v : view_ladder) {
+    if (v > shard_views_max) continue;
+    const ShardScaleResult* n1 = nullptr;
+    const ShardScaleResult* n8 = nullptr;
+    for (const ShardScaleResult& r : shard_results) {
+      if (r.views != v) continue;
+      if (r.shards == 1) n1 = &r;
+      if (r.shards == 8) n8 = &r;
+    }
+    if (n1 == nullptr || n8 == nullptr || n1->cycle_p50_us <= 0.0) continue;
+    std::snprintf(buf, sizeof(buf), "%s\"%zu\": %.3f",
+                  first_ratio ? "" : ", ", v,
+                  n8->cycle_p50_us / n1->cycle_p50_us);
+    json += buf;
+    first_ratio = false;
+  }
+  json += "},\n    \"probe_p99_ratio_n8_vs_n1\": {";
+  first_ratio = true;
+  for (const std::size_t v : view_ladder) {
+    if (v > shard_views_max) continue;
+    const ShardScaleResult* n1 = nullptr;
+    const ShardScaleResult* n8 = nullptr;
+    for (const ShardScaleResult& r : shard_results) {
+      if (r.views != v) continue;
+      if (r.shards == 1) n1 = &r;
+      if (r.shards == 8) n8 = &r;
+    }
+    if (n1 == nullptr || n8 == nullptr || n1->probe_p99_us <= 0.0) continue;
+    std::snprintf(buf, sizeof(buf), "%s\"%zu\": %.3f",
+                  first_ratio ? "" : ", ", v,
+                  n8->probe_p99_us / n1->probe_p99_us);
+    json += buf;
+    first_ratio = false;
+  }
+  json += "},\n";
+  json +=
+      "    \"note\": \"cycle = Publish + Refreeze, the write-visibility "
+      "path; batches are signature-homogeneous so each dirties one shard "
+      "and the refreeze re-freezes only that shard's base+delta — at N=1 "
+      "that is the whole corpus.  probe latency is FindParallel walking "
+      "every populated shard under one shared budget, with fan-out width "
+      "auto-capped at the host's hardware threads (max_fanout reports the "
+      "width actually used; 1 = inline walk, e.g. on a single-core "
+      "host)\"\n  }\n";
   json += "}\n";
 
-  if (argc > 1) {
-    std::FILE* out = std::fopen(argv[1], "w");
+  if (out_path != nullptr) {
+    std::FILE* out = std::fopen(out_path, "w");
     if (out == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      std::fprintf(stderr, "cannot write %s\n", out_path);
       return 1;
     }
     std::fputs(json.c_str(), out);
     std::fclose(out);
-    std::fprintf(stderr, "wrote %s\n", argv[1]);
+    std::fprintf(stderr, "wrote %s\n", out_path);
   } else {
     std::fputs(json.c_str(), stdout);
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "index/probe_walk.h"
+#include "index/walk_stats.h"
 #include "util/timer.h"
 
 namespace rdfc {
@@ -155,7 +156,12 @@ ProbeResult FrozenMvIndex::FindContaining(
   // All scratch is thread_local and state-vector buffers are recycled
   // through `spare`, so a steady-state probe allocates only for the σ_w
   // copies it actually reports — the probe path is hot enough that malloc
-  // churn was a measurable share of the walk.
+  // churn was a measurable share of the walk.  thread_local is also what
+  // makes the sharded fan-out safe: every pool worker walking a shard gets
+  // its own recycled scratch, with no sharing between concurrent walkers of
+  // the same snapshot.  The flip side is that parked scratch now scales
+  // with the worker count, so the spare pool is capped and the high-water
+  // marks are published (index/walk_stats.h, surfaced by rdfc_stats).
   struct Frame {
     std::uint32_t node = 0;
     std::vector<MatchState> states;
@@ -177,6 +183,13 @@ ProbeResult FrozenMvIndex::FindContaining(
       v.clear();
       return v;
     };
+    // Recycle a buffer, bounding each worker's parked pool: beyond the cap
+    // the buffer is freed instead, so N fanned-out workers park at most
+    // N x kMaxSpareBuffers buffers between probes, not an unbounded pile.
+    constexpr std::size_t kMaxSpareBuffers = 64;
+    auto park = [](std::vector<MatchState>&& v) {
+      if (spare.size() < kMaxSpareBuffers) spare.push_back(std::move(v));
+    };
 
     Frame root;
     root.states = acquire();
@@ -191,7 +204,7 @@ ProbeResult FrozenMvIndex::FindContaining(
       // candidates recorded so far stay genuine filter survivors.
       if (options.budget != nullptr && options.budget->Exhausted()) {
         result.filter_complete = false;
-        for (Frame& f : stack) spare.push_back(std::move(f.states));
+        for (Frame& f : stack) park(std::move(f.states));
         stack.clear();
         break;
       }
@@ -323,7 +336,7 @@ ProbeResult FrozenMvIndex::FindContaining(
         }
         for (auto& [ordinal, survivors] : pending) {
           if (survivors.empty()) {
-            spare.push_back(std::move(survivors));
+            park(std::move(survivors));
             continue;
           }
           Frame next;
@@ -332,8 +345,11 @@ ProbeResult FrozenMvIndex::FindContaining(
           stack.push_back(std::move(next));
         }
       }
-      spare.push_back(std::move(frame.states));
+      park(std::move(frame.states));
     }
+    std::uint64_t parked_states = 0;
+    for (const std::vector<MatchState>& v : spare) parked_states += v.capacity();
+    internal::NoteWalkScratch(stack.capacity(), parked_states, spare.size());
   }
   result.filter_micros = timer.ElapsedMicros();
   timer.Restart();

@@ -20,10 +20,16 @@ namespace {
 
 constexpr char kMagic[8] = {'R', 'D', 'F', 'C', 'I', 'X', '0', '1'};
 constexpr char kFrozenMagic[8] = {'R', 'D', 'F', 'C', 'F', 'Z', '0', '1'};
-constexpr char kTieredMagic[8] = {'R', 'D', 'F', 'C', 'T', 'I', '0', '1'};
+constexpr char kTieredMagic[8] = {'R', 'D', 'F', 'C', 'T', 'I', '0', '2'};
 
-std::string TieredBasePath(const std::string& path, std::uint64_t generation) {
-  return path + ".base." + std::to_string(generation);
+/// Manifest shard counts beyond this are implausible (mirrors
+/// service::IndexSnapshot::kMaxShards without a service-layer include).
+constexpr std::uint32_t kMaxTieredShards = 64;
+
+std::string TieredBasePath(const std::string& path, std::size_t shard,
+                           std::uint64_t generation) {
+  return path + ".base." + std::to_string(shard) + "." +
+         std::to_string(generation);
 }
 
 /// FNV-1a over the payload, to catch truncation/corruption on load.
@@ -558,18 +564,22 @@ util::Result<std::unique_ptr<FrozenMvIndex>> LoadFrozenIndex(
   return out;
 }
 
-util::Status SaveTieredIndex(const FrozenMvIndex* base, const MvIndex* delta,
-                             const std::vector<std::uint64_t>& tombstones,
-                             std::uint64_t generation,
+util::Status SaveTieredIndex(const std::vector<TieredShardRef>& shards,
                              const std::string& path) {
-  // Base blob first: until the manifest below commits, the previous manifest
-  // keeps pointing at the previous generation's blob, so a crash anywhere in
-  // between recovers to the older — but consistent — version.
-  if (base != nullptr) {
-    RDFC_RETURN_NOT_OK(SaveFrozenIndex(*base, TieredBasePath(path, generation)));
+  if (shards.empty() || shards.size() > kMaxTieredShards) {
+    return util::Status::InvalidArgument("implausible shard count " +
+                                         std::to_string(shards.size()));
+  }
+  // Every base blob first: until the manifest below commits, the previous
+  // manifest keeps pointing at the previous generations' blobs, so a crash
+  // anywhere in between recovers to the older — but consistent — version.
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    if (shards[s].base == nullptr) continue;
+    RDFC_RETURN_NOT_OK(SaveFrozenIndex(
+        *shards[s].base, TieredBasePath(path, s, shards[s].generation)));
   }
   if (RDFC_FAILPOINT("compact.crash")) {
-    // Simulated crash in exactly that window: new base committed, manifest
+    // Simulated crash in exactly that window: new bases committed, manifest
     // not.  rdfc_fuzz and the persistence tests assert the old manifest
     // still loads.
     return util::Status::Internal("failpoint compact.crash");
@@ -579,40 +589,58 @@ util::Status SaveTieredIndex(const FrozenMvIndex* base, const MvIndex* delta,
   RDFC_RETURN_NOT_OK(out.Open());
   Writer w(out.file());
   w.Raw(kTieredMagic, sizeof(kTieredMagic));
-  w.U64(generation);
-  w.U8(base != nullptr ? 1 : 0);
-  // Both tiers share the service dictionary; an all-empty version writes the
-  // one-slot (null term only) dictionary.
-  if (base != nullptr) {
-    WriteDictionary(&w, base->dict());
-  } else if (delta != nullptr) {
-    WriteDictionary(&w, delta->dict());
-  } else {
-    w.U32(1);
-  }
-  w.U32(static_cast<std::uint32_t>(tombstones.size()));
-  for (std::uint64_t ext : tombstones) w.U64(ext);
-  // The delta journal, in the SaveIndex live-entry encoding.
-  std::uint32_t live = 0;
-  if (delta != nullptr) {
-    for (std::uint32_t id = 0; id < delta->num_entries(); ++id) {
-      live += delta->alive(id) ? 1 : 0;
+  w.U32(static_cast<std::uint32_t>(shards.size()));
+  // Every tier of every shard shares the service dictionary; an all-empty
+  // version writes the one-slot (null term only) dictionary.
+  {
+    const rdf::TermDictionary* dict = nullptr;
+    for (const TieredShardRef& shard : shards) {
+      if (shard.base != nullptr) {
+        dict = &shard.base->dict();
+        break;
+      }
+      if (shard.delta != nullptr) {
+        dict = &shard.delta->dict();
+        break;
+      }
+    }
+    if (dict != nullptr) {
+      WriteDictionary(&w, *dict);
+    } else {
+      w.U32(1);
     }
   }
-  w.U32(live);
-  if (delta != nullptr) {
-    for (std::uint32_t id = 0; id < delta->num_entries(); ++id) {
-      if (!delta->alive(id)) continue;
-      WriteEntryBody(&w, delta->entry(id), delta->external_ids(id));
+  for (const TieredShardRef& shard : shards) {
+    w.U64(shard.generation);
+    w.U8(shard.base != nullptr ? 1 : 0);
+    w.U32(static_cast<std::uint32_t>(shard.tombstones->size()));
+    for (std::uint64_t ext : *shard.tombstones) w.U64(ext);
+    // The shard's delta journal, in the SaveIndex live-entry encoding.
+    std::uint32_t live = 0;
+    if (shard.delta != nullptr) {
+      for (std::uint32_t id = 0; id < shard.delta->num_entries(); ++id) {
+        live += shard.delta->alive(id) ? 1 : 0;
+      }
+    }
+    w.U32(live);
+    if (shard.delta != nullptr) {
+      for (std::uint32_t id = 0; id < shard.delta->num_entries(); ++id) {
+        if (!shard.delta->alive(id)) continue;
+        WriteEntryBody(&w, shard.delta->entry(id),
+                       shard.delta->external_ids(id));
+      }
     }
   }
   w.Finish();
   if (!w.ok()) return util::Status::Internal("write failed: " + path);
   RDFC_RETURN_NOT_OK(out.Commit());
-  // The previous generation's base blob is unreachable now; best effort —
+  // The previous generations' base blobs are unreachable now; best effort —
   // a leftover blob is wasted space, never incorrectness.
-  if (generation > 0) {
-    (void)std::remove(TieredBasePath(path, generation - 1).c_str());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    if (shards[s].generation > 0) {
+      (void)std::remove(
+          TieredBasePath(path, s, shards[s].generation - 1).c_str());
+    }
   }
   return util::Status::OK();
 }
@@ -629,61 +657,72 @@ util::Result<TieredImage> LoadTieredIndex(const std::string& path,
       std::memcmp(magic, kTieredMagic, sizeof(kTieredMagic)) != 0) {
     return util::Status::ParseError("bad magic in " + path);
   }
-  TieredImage image;
-  std::uint8_t has_base = 0;
-  if (!r.U64(&image.generation) || !r.U8(&has_base) || has_base > 1) {
-    return util::Status::ParseError("truncated tiered header");
+  std::uint32_t num_shards = 0;
+  if (!r.U32(&num_shards) || num_shards == 0 ||
+      num_shards > kMaxTieredShards) {
+    return util::Status::ParseError("truncated or implausible shard count");
   }
   std::vector<rdf::TermId> remap;
   RDFC_RETURN_NOT_OK(ReadDictionary(&r, dict, &remap));
 
-  std::uint32_t num_tombstones = 0;
-  if (!r.U32(&num_tombstones) ||
-      static_cast<std::uint64_t>(num_tombstones) * 8 > r.remaining()) {
-    return util::Status::ParseError("truncated or implausible tombstones");
-  }
-  image.tombstones.resize(num_tombstones);
-  for (std::uint32_t i = 0; i < num_tombstones; ++i) {
-    if (!r.U64(&image.tombstones[i])) {
-      return util::Status::ParseError("truncated tombstone");
+  TieredImage image;
+  image.shards.resize(num_shards);
+  std::vector<std::uint8_t> has_base(num_shards, 0);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    TieredShardImage& shard = image.shards[s];
+    if (!r.U64(&shard.generation) || !r.U8(&has_base[s]) || has_base[s] > 1) {
+      return util::Status::ParseError("truncated shard header");
     }
-    if (i > 0 && image.tombstones[i] <= image.tombstones[i - 1]) {
-      return util::Status::ParseError("tombstones not strictly ascending");
+    std::uint32_t num_tombstones = 0;
+    if (!r.U32(&num_tombstones) ||
+        static_cast<std::uint64_t>(num_tombstones) * 8 > r.remaining()) {
+      return util::Status::ParseError("truncated or implausible tombstones");
     }
-  }
+    shard.tombstones.resize(num_tombstones);
+    for (std::uint32_t i = 0; i < num_tombstones; ++i) {
+      if (!r.U64(&shard.tombstones[i])) {
+        return util::Status::ParseError("truncated tombstone");
+      }
+      if (i > 0 && shard.tombstones[i] <= shard.tombstones[i - 1]) {
+        return util::Status::ParseError("tombstones not strictly ascending");
+      }
+    }
 
-  std::uint32_t num_entries = 0;
-  if (!r.U32(&num_entries)) {
-    return util::Status::ParseError("truncated delta journal");
-  }
-  std::unique_ptr<MvIndex> delta;
-  if (num_entries > 0) delta = std::make_unique<MvIndex>(dict);
-  for (std::uint32_t e = 0; e < num_entries; ++e) {
-    query::BgpQuery q;
-    RDFC_RETURN_NOT_OK(ReadEntryQuery(&r, remap, &q));
-    std::uint32_t num_externals = 0;
-    if (!r.U32(&num_externals)) {
-      return util::Status::ParseError("truncated externals");
+    std::uint32_t num_entries = 0;
+    if (!r.U32(&num_entries)) {
+      return util::Status::ParseError("truncated delta journal");
     }
-    for (std::uint32_t i = 0; i < num_externals; ++i) {
-      std::uint64_t ext = 0;
-      if (!r.U64(&ext)) return util::Status::ParseError("truncated external");
-      RDFC_ASSIGN_OR_RETURN(MvIndex::InsertOutcome outcome,
-                            delta->Insert(q, ext));
-      (void)outcome;
+    std::unique_ptr<MvIndex> delta;
+    if (num_entries > 0) delta = std::make_unique<MvIndex>(dict);
+    for (std::uint32_t e = 0; e < num_entries; ++e) {
+      query::BgpQuery q;
+      RDFC_RETURN_NOT_OK(ReadEntryQuery(&r, remap, &q));
+      std::uint32_t num_externals = 0;
+      if (!r.U32(&num_externals)) {
+        return util::Status::ParseError("truncated externals");
+      }
+      for (std::uint32_t i = 0; i < num_externals; ++i) {
+        std::uint64_t ext = 0;
+        if (!r.U64(&ext)) return util::Status::ParseError("truncated external");
+        RDFC_ASSIGN_OR_RETURN(MvIndex::InsertOutcome outcome,
+                              delta->Insert(q, ext));
+        (void)outcome;
+      }
     }
+    shard.delta = std::move(delta);
   }
   if (!r.VerifyChecksum()) {
     return util::Status::ParseError("checksum mismatch in " + path);
   }
-  image.delta = std::move(delta);
 
-  // Only a checksum-clean manifest names a base generation, so this load
-  // never touches a half-written blob from a crashed compaction save.
-  if (has_base != 0) {
-    RDFC_ASSIGN_OR_RETURN(image.base,
-                          LoadFrozenIndex(TieredBasePath(path, image.generation),
-                                          dict));
+  // Only a checksum-clean manifest names base blobs, so this load never
+  // touches a half-written blob from a crashed compaction save.
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    if (has_base[s] == 0) continue;
+    RDFC_ASSIGN_OR_RETURN(
+        image.shards[s].base,
+        LoadFrozenIndex(TieredBasePath(path, s, image.shards[s].generation),
+                        dict));
   }
   return image;
 }

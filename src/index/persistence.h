@@ -58,36 +58,56 @@ namespace index {
 [[nodiscard]] util::Result<std::unique_ptr<FrozenMvIndex>> LoadFrozenIndex(
     const std::string& path, rdf::TermDictionary* dict);
 
-/// A loaded tiered image (service/index_manager.h "Tiered write path"):
-/// the frozen base, the delta journal rebuilt into a pointer tree, and the
-/// tombstoned external ids masking the base.  Either tier may be null.
-struct TieredImage {
+/// One shard of a tiered version to persist (borrowed pointers; see
+/// SaveTieredIndex).  Either tier may be null.
+struct TieredShardRef {
+  const FrozenMvIndex* base = nullptr;
+  const MvIndex* delta = nullptr;
+  const std::vector<std::uint64_t>* tombstones = nullptr;  // sorted; non-null
+  std::uint64_t generation = 0;  // shard base generation (refreeze count)
+};
+
+/// One loaded shard: the frozen base, the delta journal rebuilt into a
+/// pointer tree, and the tombstoned external ids masking the base.  Either
+/// tier may be null.
+struct TieredShardImage {
   std::unique_ptr<FrozenMvIndex> base;
   std::unique_ptr<MvIndex> delta;
   std::vector<std::uint64_t> tombstones;  // sorted external ids
-  std::uint64_t generation = 0;           // base generation (compaction count)
+  std::uint64_t generation = 0;
 };
 
-/// Saves one published tiered version as two files:
+/// A loaded sharded tiered image (service/index_manager.h "Tiered write
+/// path" / "Sharded index"), one entry per shard in routing order.
+struct TieredImage {
+  std::vector<TieredShardImage> shards;
+};
+
+/// Saves one published sharded tiered version as a blob per frozen base plus
+/// one manifest:
 ///
-///   <path>.base.<generation>   the frozen base via SaveFrozenIndex
-///                              (skipped when `base` is null);
-///   <path>                     the manifest (magic "RDFCTI01"): generation,
-///                              dictionary, sorted tombstones, and the delta
-///                              journal in the SaveIndex entry encoding.
+///   <path>.base.<shard>.<generation>   shard's frozen base via
+///                                      SaveFrozenIndex (skipped when the
+///                                      shard has no base);
+///   <path>                             the manifest (magic "RDFCTI02"):
+///                                      shard count, the shared dictionary,
+///                                      then per shard its generation,
+///                                      sorted tombstones, and delta journal
+///                                      in the SaveIndex entry encoding.
 ///
-/// The base blob is committed before the manifest, and the manifest names
-/// the generation it expects, so a crash between the two commits (failpoint
-/// `compact.crash`) leaves the previous manifest pointing at the previous
-/// base — always a consistent, loadable version.  After a successful commit
-/// the previous generation's base blob is removed best-effort.
+/// Every base blob is committed before the manifest, and the manifest names
+/// the shard/generation pair each blob carries, so a crash between the blob
+/// writes and the manifest commit (failpoint `compact.crash`) leaves the
+/// previous manifest pointing at the previous blobs — always a consistent,
+/// loadable version.  After a successful commit each shard's previous
+/// generation blob is removed best-effort.
 [[nodiscard]] util::Status SaveTieredIndex(
-    const FrozenMvIndex* base, const MvIndex* delta,
-    const std::vector<std::uint64_t>& tombstones, std::uint64_t generation,
-    const std::string& path);
+    const std::vector<TieredShardRef>& shards, const std::string& path);
 
 /// Loads a tiered image.  `dict` must be freshly constructed; the manifest's
-/// dictionary is interned first and the base blob's terms remap onto it.
+/// dictionary is interned first and the base blobs' terms remap onto it.
+/// Base blobs are opened only after the manifest passes its checksum, so a
+/// half-written blob from a crashed save is never touched.
 [[nodiscard]] util::Result<TieredImage> LoadTieredIndex(
     const std::string& path, rdf::TermDictionary* dict);
 

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace rdfc {
+namespace index {
+
+/// Process-wide high-water marks of the probe walk's thread-local scratch
+/// (frozen_index.cc FindContaining).  Every pool worker that walks a shard
+/// owns its own recycled scratch (thread_local), so with probe fan-out the
+/// total parked scratch scales with the worker count — these gauges make a
+/// shard-walk allocation regression visible in rdfc_stats instead of only
+/// in a heap profile.
+struct WalkScratchStats {
+  /// Deepest frame-stack capacity any walk reached (tree depth proxy).
+  std::uint64_t frame_high_water = 0;
+  /// Most MatchState slots parked across one thread's recycled buffers.
+  std::uint64_t states_high_water = 0;
+  /// Most recycled state buffers parked by one thread (capped by the walk).
+  std::uint64_t spare_high_water = 0;
+};
+
+namespace internal {
+
+/// Monotonic maxima, updated lock-free from the probe path.  Atomics (not a
+/// mutex) deliberately: this is RDFC_READPATH territory.
+inline std::atomic<std::uint64_t>& WalkFrameGauge() {
+  static std::atomic<std::uint64_t> gauge{0};
+  return gauge;
+}
+inline std::atomic<std::uint64_t>& WalkStatesGauge() {
+  static std::atomic<std::uint64_t> gauge{0};
+  return gauge;
+}
+inline std::atomic<std::uint64_t>& WalkSpareGauge() {
+  static std::atomic<std::uint64_t> gauge{0};
+  return gauge;
+}
+
+inline void RaiseGauge(std::atomic<std::uint64_t>& gauge, std::uint64_t value) {
+  std::uint64_t seen = gauge.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !gauge.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Called once per walk with the walk's final scratch footprint.
+inline void NoteWalkScratch(std::uint64_t frames, std::uint64_t states,
+                            std::uint64_t spares) {
+  RaiseGauge(WalkFrameGauge(), frames);
+  RaiseGauge(WalkStatesGauge(), states);
+  RaiseGauge(WalkSpareGauge(), spares);
+}
+
+}  // namespace internal
+
+inline WalkScratchStats SampleWalkScratchStats() {
+  WalkScratchStats stats;
+  stats.frame_high_water =
+      internal::WalkFrameGauge().load(std::memory_order_relaxed);
+  stats.states_high_water =
+      internal::WalkStatesGauge().load(std::memory_order_relaxed);
+  stats.spare_high_water =
+      internal::WalkSpareGauge().load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace index
+}  // namespace rdfc

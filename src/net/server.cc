@@ -453,6 +453,11 @@ void NetServer::FlushGroup(std::uint64_t signature) {
   requests.reserve(group.pending.size());
   for (PendingProbe& pending : group.pending) {
     metas->push_back({pending.conn_id, pending.wire_id});
+    // The group key IS the shard routing key: pass it down so the service
+    // skips recomputing AnchorSignature per request (latency hint only —
+    // shard selection stays sound regardless of the value).
+    pending.request.anchor_signature = signature;
+    pending.request.has_anchor_signature = true;
     requests.push_back(std::move(pending.request));
   }
   const std::size_t size = requests.size();

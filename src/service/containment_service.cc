@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "containment/pipeline.h"
+#include "query/analysis.h"
 #include "util/budget.h"
 #include "util/timer.h"
 
@@ -297,7 +298,21 @@ ProbeResponse ContainmentService::ExecuteOne(
   response.snapshot_version = guard->version;
   const containment::PreparedProbe prepared =
       containment::PrepareProbe(request.query, guard->dict());
-  const index::ProbeResult result = guard->Find(prepared, probe_options);
+  // Fan the probe out across the snapshot's shards on our own worker pool
+  // (TrySubmit never blocks: under saturation the helpers shed and this
+  // worker walks every shard inline, so probes can't deadlock on probes).
+  // The preferred shard is the probe's own routing signature — the network
+  // front end already computed it as the batching key; compute it here
+  // otherwise.
+  const std::uint64_t signature =
+      request.has_anchor_signature
+          ? request.anchor_signature
+          : query::AnchorSignature(request.query, guard->dict());
+  ProbeFanout fanout;
+  const index::ProbeResult result = guard->FindParallel(
+      prepared, probe_options, pool_.get(),
+      static_cast<std::size_t>(signature % guard->num_shards()), &fanout);
+  metrics_.RecordFanout(worker_index, fanout.parallel_walkers);
 
   response.candidates = result.candidates;
   response.np_checks = result.np_checks;

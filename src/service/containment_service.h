@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "index/mv_index.h"
+#include "index/walk_stats.h"
 #include "query/bgp_query.h"
 #include "rdf/dictionary.h"
 #include "service/index_manager.h"
@@ -59,6 +60,14 @@ struct ProbeRequest {
   /// requests get DeadlineExceeded without running the probe.  Default: none.
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  /// Optional precomputed query::AnchorSignature of `query` — the network
+  /// front end already computes it as its batching key, so it passes the
+  /// value down instead of having the worker rehash.  Used to pick the
+  /// probe's *preferred* shard (walked first in the fan-out); purely a
+  /// latency hint, never a pruning decision.  When unset the worker computes
+  /// the signature itself.
+  std::uint64_t anchor_signature = 0;
+  bool has_anchor_signature = false;
   /// Simulated downstream work per probe (result materialisation / client
   /// I/O), slept after the containment check.  Models the latency-bound
   /// serving regime in bench_concurrent and gives tests a deterministic way
@@ -192,14 +201,29 @@ class ContainmentService {
   // ------------------------------------------------------------------
 
   /// Counter/latency fold plus the tier gauges sampled from the manager
-  /// (base/delta/tombstone breakdown and lifetime compaction count).
+  /// (base/delta/tombstone breakdown, lifetime compaction count, and the
+  /// per-shard split) and the probe-walk scratch high-water marks.
   MetricsSnapshot Metrics() const {
     MetricsSnapshot snapshot = metrics_.Snapshot();
-    const IndexManager::TierStats tiers = manager_.tier_stats();
+    IndexManager::TierStats tiers = manager_.tier_stats();
     snapshot.base_views = tiers.base_views;
     snapshot.delta_views = tiers.delta_views;
     snapshot.tombstones = tiers.tombstones;
     snapshot.compactions = tiers.compactions;
+    snapshot.index_shards.reserve(tiers.shards.size());
+    for (const IndexManager::ShardStats& shard : tiers.shards) {
+      MetricsSnapshot::IndexShard out;
+      out.views = shard.views;
+      out.base_views = shard.base_views;
+      out.delta_views = shard.delta_views;
+      out.tombstones = shard.tombstones;
+      out.refreezes = shard.refreezes;
+      snapshot.index_shards.push_back(out);
+    }
+    const index::WalkScratchStats scratch = index::SampleWalkScratchStats();
+    snapshot.scratch_frame_high_water = scratch.frame_high_water;
+    snapshot.scratch_states_high_water = scratch.states_high_water;
+    snapshot.scratch_spare_high_water = scratch.spare_high_water;
     return snapshot;
   }
   std::uint64_t current_version() const { return manager_.current_version(); }

@@ -1,10 +1,13 @@
 #include "service/index_manager.h"
 
 #include <algorithm>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
 #include "index/persistence.h"
+#include "query/analysis.h"
+#include "util/budget.h"
 #include "util/failpoint.h"
 #include "util/timer.h"
 
@@ -29,15 +32,33 @@ void MergeProbeCounters(const index::ProbeResult& from,
   into->filter_complete = into->filter_complete && from.filter_complete;
 }
 
+/// Folds one shard's partial result into the merged snapshot result, adding
+/// the shard bits to every tier-tagged stored id.
+void MergeShardResult(std::size_t shard, index::ProbeResult&& partial,
+                      index::ProbeResult* merged) {
+  const std::uint32_t s = static_cast<std::uint32_t>(shard);
+  for (index::ProbeMatch& m : partial.contained) {
+    RDFC_DCHECK((m.stored_id & ~IndexSnapshot::kDeltaTierTag) <=
+                IndexSnapshot::kStoredIdMask);
+    m.stored_id = IndexSnapshot::TagShard(m.stored_id, s);
+    merged->contained.push_back(std::move(m));
+  }
+  for (std::uint32_t id : partial.unverified) {
+    RDFC_DCHECK((id & ~IndexSnapshot::kDeltaTierTag) <=
+                IndexSnapshot::kStoredIdMask);
+    merged->unverified.push_back(IndexSnapshot::TagShard(id, s));
+  }
+  MergeProbeCounters(partial, merged);
+}
+
 }  // namespace
 
 // ----------------------------------------------------------------------
-// IndexSnapshot: the merged two-tier probe
+// ShardTier: one shard's merged two-tier probe
 // ----------------------------------------------------------------------
 
-index::ProbeResult IndexSnapshot::Find(
-    const containment::PreparedProbe& probe,
-    const index::ProbeOptions& options) const {
+index::ProbeResult ShardTier::Find(const containment::PreparedProbe& probe,
+                                   const index::ProbeOptions& options) const {
   index::ProbeResult merged;
   if (base != nullptr) {
     merged = base->FindContaining(probe, options);
@@ -64,14 +85,40 @@ index::ProbeResult IndexSnapshot::Find(
     // merged answer under-reports, never over-reports.
     index::ProbeResult d = delta->FindContaining(probe, options);
     for (index::ProbeMatch& m : d.contained) {
-      RDFC_DCHECK((m.stored_id & kDeltaTierTag) == 0);
-      m.stored_id |= kDeltaTierTag;
+      RDFC_DCHECK((m.stored_id & IndexSnapshot::kDeltaTierTag) == 0);
+      m.stored_id |= IndexSnapshot::kDeltaTierTag;
       merged.contained.push_back(std::move(m));
     }
     for (std::uint32_t id : d.unverified) {
-      merged.unverified.push_back(id | kDeltaTierTag);
+      merged.unverified.push_back(id | IndexSnapshot::kDeltaTierTag);
     }
     MergeProbeCounters(d, &merged);
+  }
+  return merged;
+}
+
+// ----------------------------------------------------------------------
+// IndexSnapshot: the sharded probe
+// ----------------------------------------------------------------------
+
+std::size_t IndexSnapshot::num_populated_shards() const {
+  std::size_t populated = 0;
+  for (const auto& tier : shards) {
+    if (!tier->empty()) ++populated;
+  }
+  return populated;
+}
+
+index::ProbeResult IndexSnapshot::Find(
+    const containment::PreparedProbe& probe,
+    const index::ProbeOptions& options) const {
+  index::ProbeResult merged;
+  // Every shard walk reuses the same options object, so the whole sweep
+  // shares the caller's one budget — identical degradation semantics to the
+  // pre-sharding single-tree walk.
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    if (shards[s]->empty()) continue;
+    MergeShardResult(s, shards[s]->Find(probe, options), &merged);
   }
   return merged;
 }
@@ -81,20 +128,171 @@ index::ProbeResult IndexSnapshot::Find(const query::BgpQuery& q,
   return Find(containment::PrepareProbe(q, *dict_ptr), options);
 }
 
+namespace {
+
+/// Shared frame of one fanned-out probe.  Heap-allocated (shared_ptr held by
+/// every helper task) because a helper may dequeue *after* the fan-out
+/// caller has already merged and returned: such a late helper must still be
+/// able to load `next`, see no work left, and exit without touching the
+/// caller-frame pointers below — which are only dereferenced for claimed
+/// shards, and the caller does not return before every claimed walk is done.
+struct FanoutJob {
+  const IndexSnapshot* snapshot = nullptr;
+  const containment::PreparedProbe* probe = nullptr;
+  const index::ProbeOptions* options = nullptr;
+  util::ProbeBudget::SharedState* shared = nullptr;
+  std::vector<std::size_t> order;  // populated shards, preferred first
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::vector<index::ProbeResult> results;  // one slot per order entry
+};
+
+/// Claims shards off `job.order` until none remain.  Run by the caller and
+/// by every admitted pool helper; the claim counter makes the fan-out
+/// deadlock-free — even if no helper ever runs (saturated pool), the caller
+/// claims and walks every shard itself.
+void RunFanout(FanoutJob& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.order.size()) return;
+    // Each walker forks its own budget off the shared pool: thread-local
+    // mutable state, pooled step count and expiry (util::ProbeBudget).
+    util::ProbeBudget walker = util::ProbeBudget::Forked(job.shared);
+    index::ProbeOptions opts = *job.options;
+    opts.budget = &walker;
+    job.results[i] =
+        job.snapshot->shard(job.order[i]).Find(*job.probe, opts);
+    walker.Flush();
+    job.done.fetch_add(1, std::memory_order_release);
+  }
+}
+
+}  // namespace
+
+index::ProbeResult IndexSnapshot::FindParallel(
+    const containment::PreparedProbe& probe,
+    const index::ProbeOptions& options, util::ThreadPool* pool,
+    std::size_t preferred_shard, ProbeFanout* fanout,
+    std::uint32_t max_walkers) const {
+  std::vector<std::size_t> order;
+  order.reserve(shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    if (!shards[s]->empty()) order.push_back(s);
+  }
+  // The preferred shard (the probe's own routing signature) goes first: the
+  // calling thread claims it immediately, so the walk most likely to produce
+  // the answers starts with zero handoff latency.  Ordering only — every
+  // populated shard is still walked (a containing view can live anywhere).
+  if (preferred_shard < shards.size()) {
+    auto it = std::find(order.begin(), order.end(), preferred_shard);
+    if (it != order.end()) std::iter_swap(order.begin(), it);
+  }
+  if (fanout != nullptr) {
+    fanout->shards_probed = static_cast<std::uint32_t>(order.size());
+    fanout->parallel_walkers = 1;
+  }
+  // Width: never more walkers than the host has hardware threads — extra
+  // walkers past that point cannot run in parallel, so they only add submit
+  // and wakeup overhead to a latency-critical path (on a single-core host
+  // the walk stays fully inline).  An explicit max_walkers overrides the
+  // host-derived cap for tests and sanitizer smokes.
+  std::size_t width = max_walkers;
+  if (width == 0) {
+    static const std::size_t hw = [] {
+      const unsigned n = std::thread::hardware_concurrency();  // NOLINT(raw-concurrency): introspection, no thread spawned
+      return n == 0 ? std::size_t{1} : static_cast<std::size_t>(n);
+    }();
+    width = hw;
+  }
+  if (order.size() <= 1 || pool == nullptr || width <= 1) {
+    // Direct-routed: at most one populated shard (or no pool to fan out on,
+    // or a host where parallel walkers cannot help) — the inline sequential
+    // walk already has the right semantics.
+    return Find(probe, options);
+  }
+
+  // One budget across the fan-out: fork a shared pool off the caller's
+  // budget (or an unlimited stand-in), then absorb it back at the end so the
+  // caller's budget reflects the whole probe's spend and verdict.
+  util::ProbeBudget unlimited;
+  util::ProbeBudget* origin =
+      options.budget != nullptr ? options.budget : &unlimited;
+  util::ProbeBudget::SharedState shared(*origin);
+
+  auto job = std::make_shared<FanoutJob>();
+  job->snapshot = this;
+  job->probe = &probe;
+  job->options = &options;
+  job->shared = &shared;
+  job->order = std::move(order);
+  job->results.resize(job->order.size());
+
+  // Offer one helper per remaining shard, up to the width cap; shedding is
+  // graceful — whatever the pool declines, the caller's own claim loop
+  // picks up.
+  std::uint32_t helpers = 0;
+  for (std::size_t i = 0;
+       i + 1 < job->order.size() && helpers + 1 < width; ++i) {
+    const util::Status admitted = pool->TrySubmit(
+        [job](std::size_t /*worker_index*/) { RunFanout(*job); });
+    if (!admitted.ok()) break;
+    ++helpers;
+  }
+  RunFanout(*job);
+  // The caller ran out of shards to claim; helpers may still be finishing
+  // theirs.  Claimed walks are bounded by the shared budget, so this wait is
+  // bounded too.
+  const std::size_t total = job->order.size();
+  while (job->done.load(std::memory_order_acquire) < total) {
+    std::this_thread::yield();
+  }
+
+  index::ProbeResult merged;
+  for (std::size_t i = 0; i < total; ++i) {
+    MergeShardResult(job->order[i], std::move(job->results[i]), &merged);
+  }
+  origin->Absorb(shared);
+  if (fanout != nullptr) fanout->parallel_walkers = 1 + helpers;
+  return merged;
+}
+
 void IndexSnapshot::AppendViewIds(std::uint32_t tagged_id,
                                   std::vector<std::uint64_t>* out) const {
+  const ShardTier& tier = *shards[ShardOf(tagged_id)];
+  const std::uint32_t stored = StoredIdOf(tagged_id);
   if ((tagged_id & kDeltaTierTag) != 0) {
-    const auto& ids = delta->external_ids(tagged_id & ~kDeltaTierTag);
+    const auto& ids = tier.delta->external_ids(stored);
     out->insert(out->end(), ids.begin(), ids.end());
     return;
   }
-  for (std::uint64_t ext : base->external_ids(tagged_id)) {
-    if (!SortedContains(tombstones, ext)) out->push_back(ext);
+  for (std::uint64_t ext : tier.base->external_ids(stored)) {
+    if (!SortedContains(tier.tombstones, ext)) out->push_back(ext);
   }
 }
 
 bool IndexSnapshot::IsTombstoned(std::uint64_t external_id) const {
-  return SortedContains(tombstones, external_id);
+  for (const auto& tier : shards) {
+    if (SortedContains(tier->tombstones, external_id)) return true;
+  }
+  return false;
+}
+
+std::size_t IndexSnapshot::num_base_views() const {
+  std::size_t total = 0;
+  for (const auto& tier : shards) total += tier->num_base_views();
+  return total;
+}
+
+std::size_t IndexSnapshot::num_delta_views() const {
+  std::size_t total = 0;
+  for (const auto& tier : shards) total += tier->num_delta_views();
+  return total;
+}
+
+std::size_t IndexSnapshot::num_tombstones() const {
+  std::size_t total = 0;
+  for (const auto& tier : shards) total += tier->num_tombstones();
+  return total;
 }
 
 // ----------------------------------------------------------------------
@@ -104,13 +302,24 @@ bool IndexSnapshot::IsTombstoned(std::uint64_t external_id) const {
 IndexManager::IndexManager(rdf::TermDictionary* dict,
                            const index::IndexOptions& options,
                            const TierOptions& tier)
-    : dict_(dict), options_(options), tier_(tier) {
+    : dict_(dict),
+      options_(options),
+      tier_(tier),
+      num_shards_(std::clamp<std::size_t>(tier.num_shards, 1,
+                                          IndexSnapshot::kMaxShards)) {
   // Publish an empty version 0 so Acquire always has a snapshot to pin —
-  // readers never need a "not started yet" branch.  Both tiers empty: the
-  // base materialises at the first compaction.
+  // readers never need a "not started yet" branch.  Every shard starts as
+  // the same shared empty tier (immutable, so sharing is safe); bases
+  // materialise at each shard's first compaction.
+  auto empty_tier = std::make_shared<const ShardTier>();
+  shards_.resize(num_shards_);
+  shard_records_.resize(num_shards_);
+  shard_refreezes_.assign(num_shards_, 0);
+  for (ShardState& state : shards_) state.published = empty_tier;
   auto initial = std::make_unique<IndexSnapshot>();
   initial->version = next_version_++;
   initial->dict_ptr = dict_;
+  initial->shards.assign(num_shards_, empty_tier);
   current_.store(initial.get(), std::memory_order_seq_cst);
   versions_.push_back(std::move(initial));
   if (tier_.background_compaction) {
@@ -136,11 +345,18 @@ util::Result<std::uint64_t> IndexManager::StageAdd(query::BgpQuery view) {
   util::MutexLock lock(&mu_);
   ViewRecord record;
   record.id = next_view_id_++;
+  // The routing key: dictionary-independent, so it agrees with the
+  // signature the network front end computed for batch admission and with
+  // whatever dictionary a persisted image is restored into.
+  record.shard = static_cast<std::uint32_t>(
+      query::AnchorSignature(view, *dict_) % num_shards_);
   record.query = std::move(view);
   view_pos_.emplace(record.id, views_.size());
+  shard_records_[record.shard].push_back(views_.size());
+  const std::uint32_t shard = record.shard;
   views_.push_back(std::move(record));
-  // Ids ascend, so appending keeps the pending delta sorted.
-  pending_delta_ids_.push_back(views_.back().id);
+  // Ids ascend, so appending keeps the shard's pending delta sorted.
+  shards_[shard].pending_delta_ids.push_back(views_.back().id);
   ++num_live_views_;
   ++num_staged_;
   return views_.back().id;
@@ -157,56 +373,84 @@ util::Status IndexManager::StageRemove(std::uint64_t view_id) {
   record.alive = false;
   --num_live_views_;
   ++num_staged_;
+  ShardState& state = shards_[record.shard];
   if (record.in_base) {
-    // A base-tier removal becomes a tombstone at the next Publish.
-    pending_tombstones_.insert(
-        std::upper_bound(pending_tombstones_.begin(),
-                         pending_tombstones_.end(), view_id),
+    // A base-tier removal becomes a tombstone at the shard's next Publish.
+    state.pending_tombstones.insert(
+        std::upper_bound(state.pending_tombstones.begin(),
+                         state.pending_tombstones.end(), view_id),
         view_id);
   } else {
-    // A delta-tier (or still-staged) removal just drops out of the next
-    // delta build.
-    auto pos = std::lower_bound(pending_delta_ids_.begin(),
-                                pending_delta_ids_.end(), view_id);
-    RDFC_DCHECK(pos != pending_delta_ids_.end() && *pos == view_id);
-    pending_delta_ids_.erase(pos);
+    // A delta-tier (or still-staged) removal just drops out of the shard's
+    // next delta build.
+    auto pos = std::lower_bound(state.pending_delta_ids.begin(),
+                                state.pending_delta_ids.end(), view_id);
+    RDFC_DCHECK(pos != state.pending_delta_ids.end() && *pos == view_id);
+    state.pending_delta_ids.erase(pos);
   }
   return util::Status::OK();
 }
 
+bool IndexManager::ShardDirtyLocked(std::size_t s) const {
+  const ShardState& state = shards_[s];
+  return state.base != state.published->base ||
+         state.pending_delta_ids != state.published->delta_view_ids ||
+         state.pending_tombstones != state.published->tombstones;
+}
+
 util::Result<std::uint64_t> IndexManager::Publish() {
   util::MutexLock lock(&mu_);
-  auto next = std::make_unique<IndexSnapshot>();
-  next->version = next_version_;
-  next->dict_ptr = dict_;
-  next->base = base_;
-  next->base_view_ids = base_ids_;
-  next->tombstones = pending_tombstones_;
-  if (!pending_delta_ids_.empty()) {
-    auto delta = std::make_unique<index::MvIndex>(dict_, options_);
-    for (std::uint64_t id : pending_delta_ids_) {
-      const ViewRecord& record = views_[view_pos_.at(id)];
-      auto outcome = delta->Insert(record.query, record.id);
-      if (!outcome.ok()) {
-        // Abort the transaction: the current version stays published and the
-        // staged state is untouched, so the caller can StageRemove the
-        // offending view and Publish again.
-        return util::Status(outcome.status().code(),
-                            "publish aborted by view " +
-                                std::to_string(record.id) + ": " +
-                                outcome.status().message());
+  // Rebuild only the dirty shards' tiers, into temporaries first so an
+  // abort (bad view or injected failpoint) leaves both the published chain
+  // and the staged state untouched.  Untouched shards ride along by
+  // pointer, which is what makes Publish O(dirty shards' staged views).
+  std::vector<std::pair<std::size_t, std::shared_ptr<const ShardTier>>>
+      rebuilt;
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    if (!ShardDirtyLocked(s)) continue;
+    const ShardState& state = shards_[s];
+    auto tier = std::make_shared<ShardTier>();
+    tier->base = state.base;
+    tier->base_view_ids = state.base_ids;
+    tier->tombstones = state.pending_tombstones;
+    if (!state.pending_delta_ids.empty()) {
+      auto delta = std::make_unique<index::MvIndex>(dict_, options_);
+      for (std::uint64_t id : state.pending_delta_ids) {
+        const ViewRecord& record = views_[view_pos_.at(id)];
+        auto outcome = delta->Insert(record.query, record.id);
+        if (!outcome.ok()) {
+          // Abort the transaction: the current version stays published and
+          // the staged state is untouched, so the caller can StageRemove the
+          // offending view and Publish again.
+          return util::Status(outcome.status().code(),
+                              "publish aborted by view " +
+                                  std::to_string(record.id) + ": " +
+                                  outcome.status().message());
+        }
       }
+      tier->delta = std::move(delta);
+      tier->delta_view_ids = state.pending_delta_ids;
     }
-    next->delta = std::move(delta);
-    next->delta_view_ids = pending_delta_ids_;
+    rebuilt.emplace_back(s, std::move(tier));
   }
-  next->num_views = num_live_views_;
   if (RDFC_FAILPOINT("publish.swing")) {
-    // Fires after the new snapshot is fully built but before it becomes
+    // Fires after the new tiers are fully built but before they become
     // reachable: the transactional contract (current version unchanged,
     // staged state intact) must hold on this path like any other abort.
     return util::Status::Internal("failpoint publish.swing");
   }
+  auto next = std::make_unique<IndexSnapshot>();
+  next->version = next_version_;
+  next->dict_ptr = dict_;
+  next->shards.reserve(num_shards_);
+  for (const ShardState& state : shards_) {
+    next->shards.push_back(state.published);
+  }
+  for (auto& [s, tier] : rebuilt) {
+    next->shards[s] = tier;
+    shards_[s].published = std::move(tier);
+  }
+  next->num_views = num_live_views_;
   num_staged_ = 0;
   const std::uint64_t version = SwingLocked(std::move(next));
   MaybeScheduleCompactionLocked();
@@ -249,10 +493,20 @@ IndexManager::TierStats IndexManager::tier_stats() const {
   util::MutexLock lock(&mu_);
   const IndexSnapshot* cur = current_.load(std::memory_order_seq_cst);
   TierStats stats;
-  stats.base_views = cur->num_base_views();
-  stats.delta_views = cur->num_delta_views();
-  stats.tombstones = cur->num_tombstones();
   stats.compactions = compactions_run_;
+  stats.shards.resize(num_shards_);
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    const ShardTier& tier = cur->shard(s);
+    ShardStats& out = stats.shards[s];
+    out.base_views = tier.num_base_views();
+    out.delta_views = tier.num_delta_views();
+    out.tombstones = tier.num_tombstones();
+    out.views = tier.num_views();
+    out.refreezes = shard_refreezes_[s];
+    stats.base_views += out.base_views;
+    stats.delta_views += out.delta_views;
+    stats.tombstones += out.tombstones;
+  }
   return stats;
 }
 
@@ -316,20 +570,25 @@ util::Result<std::uint64_t> IndexManager::Refreeze() {
 
 util::Result<std::uint64_t> IndexManager::RunCompaction() {
   util::Timer timer;
-  // --- Capture: pin the current snapshot so publishes during the merge
-  // cannot reclaim it out from under the build.
+  // --- Capture: pin the current snapshot and pick the dirty shards — the
+  // ones with anything to fold (a delta or tombstones).  Only those shards
+  // are rebuilt; the rest ride into the compacted snapshot by pointer.
   const IndexSnapshot* captured = nullptr;
+  std::vector<std::size_t> dirty;
   {
     util::MutexLock lock(&mu_);
     captured = current_.load(std::memory_order_seq_cst);
-    if (captured->base != nullptr && captured->delta == nullptr &&
-        captured->tombstones.empty()) {
-      return captured->version;  // nothing to fold in
+    for (std::size_t s = 0; s < num_shards_; ++s) {
+      const ShardTier& tier = captured->shard(s);
+      if (tier.delta != nullptr || !tier.tombstones.empty()) {
+        dirty.push_back(s);
+      }
     }
+    if (dirty.empty()) return captured->version;  // nothing to fold in
     compaction_pin_ = captured;
   }
 
-  // --- Build, off every lock: merge the capture's visible views into one
+  // --- Build, off every lock: merge each dirty shard's visible views into a
   // fresh pointer tree, then freeze it.  This re-inserts only entries that
   // were prepared against this dictionary when they were first published, so
   // every canonical variable the serialisation asks for already exists and
@@ -339,97 +598,132 @@ util::Result<std::uint64_t> IndexManager::RunCompaction() {
     util::MutexLock lock(&mu_);
     compaction_pin_ = nullptr;
   };
-  auto merged = std::make_unique<index::MvIndex>(dict_, options_);
-  std::vector<std::uint64_t> merged_ids;
-  util::Status build_error = util::Status::OK();
-  auto insert_tier = [&](const auto& tier_index, bool mask_tombstones) {
-    for (std::uint32_t id = 0;
-         build_error.ok() && id < tier_index.num_entries(); ++id) {
-      if (!tier_index.alive(id)) continue;
-      for (std::uint64_t ext : tier_index.external_ids(id)) {
-        if (mask_tombstones && SortedContains(captured->tombstones, ext)) {
-          continue;
-        }
-        auto outcome = merged->Insert(tier_index.entry(id).canonical, ext);
-        if (!outcome.ok()) {
-          build_error = outcome.status();
-          break;
-        }
-        merged_ids.push_back(ext);
-      }
-    }
+  struct Folded {
+    std::size_t shard = 0;
+    std::shared_ptr<const index::FrozenMvIndex> frozen;  // null = emptied
+    std::shared_ptr<const std::vector<std::uint64_t>> frozen_ids;
   };
-  if (captured->base != nullptr) insert_tier(*captured->base, true);
-  if (captured->delta != nullptr) insert_tier(*captured->delta, false);
-  if (!build_error.ok()) {
-    clear_pin();
-    return util::Status(build_error.code(),
-                        "compaction merge failed: " + build_error.message());
+  std::vector<Folded> folded;
+  folded.reserve(dirty.size());
+  for (std::size_t s : dirty) {
+    const ShardTier& tier = captured->shard(s);
+    auto merged = std::make_unique<index::MvIndex>(dict_, options_);
+    std::vector<std::uint64_t> merged_ids;
+    util::Status build_error = util::Status::OK();
+    auto insert_tier = [&](const auto& tier_index, bool mask_tombstones) {
+      for (std::uint32_t id = 0;
+           build_error.ok() && id < tier_index.num_entries(); ++id) {
+        if (!tier_index.alive(id)) continue;
+        for (std::uint64_t ext : tier_index.external_ids(id)) {
+          if (mask_tombstones && SortedContains(tier.tombstones, ext)) {
+            continue;
+          }
+          auto outcome = merged->Insert(tier_index.entry(id).canonical, ext);
+          if (!outcome.ok()) {
+            build_error = outcome.status();
+            break;
+          }
+          merged_ids.push_back(ext);
+        }
+      }
+    };
+    if (tier.base != nullptr) insert_tier(*tier.base, true);
+    if (tier.delta != nullptr) insert_tier(*tier.delta, false);
+    if (!build_error.ok()) {
+      clear_pin();
+      return util::Status(
+          build_error.code(),
+          "compaction merge failed: " + build_error.message());
+    }
+    std::sort(merged_ids.begin(), merged_ids.end());
+    Folded fold;
+    fold.shard = s;
+    if (!merged_ids.empty()) {
+      // A shard whose every view was tombstoned folds to nothing — its tier
+      // becomes empty and probes skip it entirely.
+      fold.frozen = std::make_shared<const index::FrozenMvIndex>(  // NOLINT(frozen-construction): the sanctioned freeze site
+          *merged);
+      fold.frozen_ids = std::make_shared<const std::vector<std::uint64_t>>(
+          std::move(merged_ids));
+    }
+    folded.push_back(std::move(fold));
   }
-  std::sort(merged_ids.begin(), merged_ids.end());
-  auto frozen = std::make_shared<const index::FrozenMvIndex>(  // NOLINT(frozen-construction): the sanctioned freeze site
-      *merged);
-  auto frozen_ids =
-      std::make_shared<const std::vector<std::uint64_t>>(std::move(merged_ids));
 
   if (compaction_hook_) compaction_hook_();
 
-  // --- Swing: reconcile against whatever is current *now* (publishes may
-  // have run during the build) and publish the compacted version through
-  // the same atomic pointer swing as Publish.
+  // --- Swing: reconcile each folded shard against whatever is current *now*
+  // (publishes may have run during the build) and publish the compacted
+  // tiers through the same atomic pointer swing as Publish.
   {
     util::MutexLock lock(&mu_);
     compaction_pin_ = nullptr;
     if (RDFC_FAILPOINT("compact.swing")) {
       // Same transactional contract as publish.swing: an aborted compaction
       // leaves the published chain and all staged state untouched — the
-      // merged build is simply dropped.
+      // merged builds are simply dropped.
       return util::Status::Internal("failpoint compact.swing");
     }
     const IndexSnapshot* cur = current_.load(std::memory_order_seq_cst);
     auto next = std::make_unique<IndexSnapshot>();
     next->version = next_version_;
     next->dict_ptr = dict_;
-    next->base = frozen;
-    next->base_view_ids = frozen_ids;
     next->num_views = cur->num_views;
-    // New delta: the views published since the capture — exactly cur's delta
-    // ids not yet baked into the new base.  Small (the publishes of one
-    // compaction window), so rebuilding it under mu_ is cheap; the inserts
-    // are re-inserts of prepared views (dictionary fast path, as above).
-    std::vector<std::uint64_t> keep;
-    std::set_difference(cur->delta_view_ids.begin(),
-                        cur->delta_view_ids.end(), frozen_ids->begin(),
-                        frozen_ids->end(), std::back_inserter(keep));
-    if (!keep.empty()) {
-      auto delta = std::make_unique<index::MvIndex>(dict_, options_);
-      for (std::uint64_t id : keep) {
-        auto outcome = delta->Insert(views_[view_pos_.at(id)].query, id);
-        RDFC_CHECK(outcome.ok());  // re-insert of a published view
+    next->shards = cur->shards;
+    static const std::vector<std::uint64_t> kNoIds;
+    for (Folded& fold : folded) {
+      const std::size_t s = fold.shard;
+      const ShardTier& cur_tier = cur->shard(s);
+      const std::vector<std::uint64_t>& frozen_ids =
+          fold.frozen_ids != nullptr ? *fold.frozen_ids : kNoIds;
+      auto tier = std::make_shared<ShardTier>();
+      tier->base = fold.frozen;
+      tier->base_view_ids = fold.frozen_ids;
+      // New delta: the shard's views published since the capture — exactly
+      // cur's delta ids not yet baked into the new base.  Small (the
+      // publishes of one compaction window), so rebuilding it under mu_ is
+      // cheap; the inserts are re-inserts of prepared views (dictionary
+      // fast path, as above).
+      std::vector<std::uint64_t> keep;
+      std::set_difference(cur_tier.delta_view_ids.begin(),
+                          cur_tier.delta_view_ids.end(), frozen_ids.begin(),
+                          frozen_ids.end(), std::back_inserter(keep));
+      if (!keep.empty()) {
+        auto delta = std::make_unique<index::MvIndex>(dict_, options_);
+        for (std::uint64_t id : keep) {
+          auto outcome = delta->Insert(views_[view_pos_.at(id)].query, id);
+          RDFC_CHECK(outcome.ok());  // re-insert of a published view
+        }
+        tier->delta = std::move(delta);
+        tier->delta_view_ids = std::move(keep);
       }
-      next->delta = std::move(delta);
-      next->delta_view_ids = std::move(keep);
+      // New tombstones: ids baked into the new base but no longer visible
+      // in cur — removals published during the build.
+      std::vector<std::uint64_t> visible;
+      if (cur_tier.base_view_ids != nullptr) {
+        std::set_difference(cur_tier.base_view_ids->begin(),
+                            cur_tier.base_view_ids->end(),
+                            cur_tier.tombstones.begin(),
+                            cur_tier.tombstones.end(),
+                            std::back_inserter(visible));
+      }
+      std::vector<std::uint64_t> visible_all;
+      std::set_union(visible.begin(), visible.end(),
+                     cur_tier.delta_view_ids.begin(),
+                     cur_tier.delta_view_ids.end(),
+                     std::back_inserter(visible_all));
+      std::set_difference(frozen_ids.begin(), frozen_ids.end(),
+                          visible_all.begin(), visible_all.end(),
+                          std::back_inserter(tier->tombstones));
+      next->shards[s] = tier;
+      ShardState& state = shards_[s];
+      state.base = fold.frozen;
+      state.base_ids = fold.frozen_ids;
+      state.published = std::move(tier);
+      ++state.generation;
+      ++shard_refreezes_[s];
+      RebuildPendingLocked(s, frozen_ids);
     }
-    // New tombstones: ids baked into the new base but no longer visible in
-    // cur — removals published during the build.
-    std::vector<std::uint64_t> visible;
-    if (cur->base_view_ids != nullptr) {
-      std::set_difference(cur->base_view_ids->begin(),
-                          cur->base_view_ids->end(), cur->tombstones.begin(),
-                          cur->tombstones.end(), std::back_inserter(visible));
-    }
-    std::vector<std::uint64_t> visible_all;
-    std::set_union(visible.begin(), visible.end(),
-                   cur->delta_view_ids.begin(), cur->delta_view_ids.end(),
-                   std::back_inserter(visible_all));
-    std::set_difference(frozen_ids->begin(), frozen_ids->end(),
-                        visible_all.begin(), visible_all.end(),
-                        std::back_inserter(next->tombstones));
     const std::uint64_t version = SwingLocked(std::move(next));
-    base_ = frozen;
-    base_ids_ = frozen_ids;
-    ++base_generation_;
-    RebuildPendingLocked(*frozen_ids);
     ++compactions_run_;
     if (compaction_listener_) compaction_listener_(timer.ElapsedMicros());
     return version;
@@ -437,26 +731,29 @@ util::Result<std::uint64_t> IndexManager::RunCompaction() {
 }
 
 void IndexManager::RebuildPendingLocked(
-    const std::vector<std::uint64_t>& new_base_ids) {
-  pending_delta_ids_.clear();
-  pending_tombstones_.clear();
-  // One sweep over the records re-derives both pending sets against the new
-  // base generation: a live view not in the base still needs a delta slot; a
-  // dead view in the base needs a tombstone (whether its removal is already
-  // published or still staged, `alive` is false either way).  O(records),
-  // once per compaction — the compaction itself is O(visible index).
-  for (ViewRecord& record : views_) {
+    std::size_t s, const std::vector<std::uint64_t>& new_base_ids) {
+  ShardState& state = shards_[s];
+  state.pending_delta_ids.clear();
+  state.pending_tombstones.clear();
+  // One sweep over the shard's records re-derives both pending sets against
+  // the new base generation: a live view not in the base still needs a delta
+  // slot; a dead view in the base needs a tombstone (whether its removal is
+  // already published or still staged, `alive` is false either way).
+  // O(shard records), once per folded shard per compaction.
+  for (std::size_t pos : shard_records_[s]) {
+    ViewRecord& record = views_[pos];
     record.in_base = SortedContains(new_base_ids, record.id);
     if (record.alive && !record.in_base) {
-      pending_delta_ids_.push_back(record.id);
+      state.pending_delta_ids.push_back(record.id);
     } else if (!record.alive && record.in_base) {
-      pending_tombstones_.push_back(record.id);
+      state.pending_tombstones.push_back(record.id);
     }
   }
-  // views_ is id-ascending in normal operation but not after RestoreTiered;
-  // sort unconditionally (cheap, and the invariant stays local).
-  std::sort(pending_delta_ids_.begin(), pending_delta_ids_.end());
-  std::sort(pending_tombstones_.begin(), pending_tombstones_.end());
+  // Shard records are id-ascending in normal operation but not after
+  // RestoreTiered; sort unconditionally (cheap, and the invariant stays
+  // local).
+  std::sort(state.pending_delta_ids.begin(), state.pending_delta_ids.end());
+  std::sort(state.pending_tombstones.begin(), state.pending_tombstones.end());
 }
 
 // ----------------------------------------------------------------------
@@ -466,8 +763,18 @@ void IndexManager::RebuildPendingLocked(
 util::Status IndexManager::SaveTiered(const std::string& path) const {
   util::MutexLock lock(&mu_);
   const IndexSnapshot* cur = current_.load(std::memory_order_seq_cst);
-  return index::SaveTieredIndex(cur->base.get(), cur->delta.get(),
-                                cur->tombstones, base_generation_, path);
+  std::vector<index::TieredShardRef> refs;
+  refs.reserve(num_shards_);
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    const ShardTier& tier = cur->shard(s);
+    index::TieredShardRef ref;
+    ref.base = tier.base.get();
+    ref.delta = tier.delta.get();
+    ref.tombstones = &tier.tombstones;
+    ref.generation = shards_[s].generation;
+    refs.push_back(ref);
+  }
+  return index::SaveTieredIndex(refs, path);
 }
 
 util::Status IndexManager::RestoreTiered(const std::string& path) {
@@ -478,16 +785,27 @@ util::Status IndexManager::RestoreTiered(const std::string& path) {
   }
   RDFC_ASSIGN_OR_RETURN(index::TieredImage image,
                         index::LoadTieredIndex(path, dict_));
+  if (image.shards.size() != num_shards_) {
+    // Shard routing is baked into the frozen bases, so a restore cannot
+    // re-shard; reload with TierOptions::num_shards matching the image.
+    return util::Status::InvalidArgument(
+        "tiered image has " + std::to_string(image.shards.size()) +
+        " shards but the manager is configured for " +
+        std::to_string(num_shards_));
+  }
 
   auto next = std::make_unique<IndexSnapshot>();
   next->version = next_version_;
   next->dict_ptr = dict_;
-  next->tombstones = std::move(image.tombstones);
+  next->shards.reserve(num_shards_);
 
-  // Rebuild the authoritative view records from the two tiers: tombstoned
-  // base ids come back as dead records (they still need their tombstone
-  // until the next compaction drops them).
-  auto restore_records = [this](const auto& tier_index, bool in_base,
+  // Rebuild the authoritative view records from each shard's two tiers:
+  // tombstoned base ids come back as dead records (they still need their
+  // tombstone until the next compaction drops them).  A record's shard is
+  // the image section it came from — the signature routing that put it
+  // there is dictionary-independent, so it stays consistent.
+  auto restore_records = [this](const auto& tier_index, std::uint32_t shard,
+                                bool in_base,
                                 const std::vector<std::uint64_t>& dead) {
     std::vector<std::uint64_t> ids;
     for (std::uint32_t id = 0; id < tier_index.num_entries(); ++id) {
@@ -496,9 +814,11 @@ util::Status IndexManager::RestoreTiered(const std::string& path) {
         ViewRecord record;
         record.id = ext;
         record.query = tier_index.entry(id).canonical;
+        record.shard = shard;
         record.alive = !SortedContains(dead, ext);
         record.in_base = in_base;
         view_pos_.emplace(ext, views_.size());
+        shard_records_[shard].push_back(views_.size());
         views_.push_back(std::move(record));
         if (views_.back().alive) ++num_live_views_;
         next_view_id_ = std::max(next_view_id_, ext + 1);
@@ -508,23 +828,35 @@ util::Status IndexManager::RestoreTiered(const std::string& path) {
     std::sort(ids.begin(), ids.end());
     return ids;
   };
-  if (image.base != nullptr) {
-    std::vector<std::uint64_t> base_ids =
-        restore_records(*image.base, /*in_base=*/true, next->tombstones);
-    base_ids_ =
-        std::make_shared<const std::vector<std::uint64_t>>(std::move(base_ids));
-    base_ = std::shared_ptr<const index::FrozenMvIndex>(std::move(image.base));
-    next->base = base_;
-    next->base_view_ids = base_ids_;
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    index::TieredShardImage& shard_image = image.shards[s];
+    ShardState& state = shards_[s];
+    auto tier = std::make_shared<ShardTier>();
+    tier->tombstones = std::move(shard_image.tombstones);
+    if (shard_image.base != nullptr) {
+      std::vector<std::uint64_t> base_ids =
+          restore_records(*shard_image.base, static_cast<std::uint32_t>(s),
+                          /*in_base=*/true, tier->tombstones);
+      state.base_ids = std::make_shared<const std::vector<std::uint64_t>>(
+          std::move(base_ids));
+      state.base = std::shared_ptr<const index::FrozenMvIndex>(
+          std::move(shard_image.base));
+      tier->base = state.base;
+      tier->base_view_ids = state.base_ids;
+    }
+    if (shard_image.delta != nullptr) {
+      tier->delta_view_ids =
+          restore_records(*shard_image.delta, static_cast<std::uint32_t>(s),
+                          /*in_base=*/false, {});
+      state.pending_delta_ids = tier->delta_view_ids;
+      tier->delta = std::shared_ptr<const index::MvIndex>(
+          std::move(shard_image.delta));
+    }
+    state.pending_tombstones = tier->tombstones;
+    state.generation = shard_image.generation;
+    state.published = tier;
+    next->shards.push_back(std::move(tier));
   }
-  if (image.delta != nullptr) {
-    next->delta_view_ids =
-        restore_records(*image.delta, /*in_base=*/false, {});
-    pending_delta_ids_ = next->delta_view_ids;
-    next->delta = std::unique_ptr<const index::MvIndex>(std::move(image.delta));
-  }
-  pending_tombstones_ = next->tombstones;
-  base_generation_ = image.generation;
   next->num_views = num_live_views_;
   (void)SwingLocked(std::move(next));
   return util::Status::OK();

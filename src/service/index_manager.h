@@ -24,46 +24,111 @@
 namespace rdfc {
 namespace service {
 
-/// Tiered write-path knobs (DESIGN.md "Tiered write path").
+/// Tiered write-path knobs (DESIGN.md "Tiered write path" and "Sharded
+/// index").
 ///
-/// Publish builds only the *delta* tier — the views staged since the last
-/// refreeze — so its cost is O(delta), independent of how many views the
-/// frozen base holds.  Compaction (background or explicit Refreeze) merges
-/// the delta into a new frozen base off the write path.
+/// Publish builds only the *delta* tier of the shards a write batch touched
+/// — the views staged since the last refreeze — so its cost is O(dirty
+/// shards' deltas), independent of how many views the frozen bases hold.
+/// Compaction (background or explicit Refreeze) merges each dirty shard's
+/// delta into a new frozen base for that shard off the write path.
 struct TierOptions {
   /// Schedule a background compaction after a Publish that leaves the delta
-  /// tier over either trigger below.  Off = compaction only via Refreeze(),
+  /// tiers over either trigger below.  Off = compaction only via Refreeze(),
   /// which also serves as the pure pointer-tree A/B configuration: with no
-  /// compaction the base never materialises and every probe walks the delta.
+  /// compaction the bases never materialise and every probe walks deltas.
   bool background_compaction = true;
-  /// Compact when delta views + tombstones reach this count (0 disables).
+  /// Compact when delta views + tombstones (summed across shards) reach this
+  /// count (0 disables).
   std::size_t compact_min_delta_views = 1024;
   /// Compact when delta views + tombstones exceed this fraction of the base
   /// (0 disables; inactive until a base exists).
   double compact_min_delta_fraction = 0.25;
+  /// Index shards: views are routed by AnchorSignature(view) % num_shards,
+  /// so a write batch sharing a signature dirties — and refreezes — exactly
+  /// one shard, and a probe fans out across the populated shards.  Clamped
+  /// to [1, IndexSnapshot::kMaxShards]; 1 reproduces the unsharded index
+  /// bit-for-bit (shard tag bits stay zero).
+  std::size_t num_shards = 8;
 };
 
-/// One immutable published version of the mv-index.  Once a snapshot is
-/// reachable through IndexManager::Acquire nothing ever mutates it; probes
-/// run against the two tiers (both const) with no synchronisation at all.
+/// One shard's two probe tiers.  Immutable once published; snapshots share
+/// unchanged shards by pointer, so publishing a batch that touches one shard
+/// copies N-1 pointers and rebuilds one small delta.
 ///
-/// Tier layout:
-///   base        large FrozenMvIndex shared (shared_ptr) across versions;
-///               null until the first compaction.
+/// Tier layout (per shard):
+///   base        frozen FrozenMvIndex shared across versions; null until the
+///               shard's first compaction (or when a compaction emptied it).
 ///   tombstones  sorted external ids removed since the base was frozen —
 ///               they mask base answers (a base entry all of whose external
 ///               ids are tombstoned is dropped from the merged result).
 ///   delta       small pointer-tree MvIndex holding exactly the views staged
-///               since the last refreeze; null when that set is empty.
+///               into this shard since its last refreeze; null when empty.
 ///
-/// The two tiers partition the visible views: an external id lives in the
-/// base xor the delta, never both, so merging probe results is a union plus
-/// the tombstone mask.
+/// The tiers partition the shard's visible views: an external id lives in
+/// the base xor the delta, never both.
+struct ShardTier {
+  std::shared_ptr<const index::FrozenMvIndex> base;
+  /// Sorted external ids baked into `base` (including currently tombstoned
+  /// ones); shared with every version on the same base generation.
+  std::shared_ptr<const std::vector<std::uint64_t>> base_view_ids;
+  std::vector<std::uint64_t> tombstones;  // sorted; masks base only
+  std::shared_ptr<const index::MvIndex> delta;
+  std::vector<std::uint64_t> delta_view_ids;  // sorted
+
+  /// Probes this shard's two tiers and merges them: union of contained sets
+  /// with fully-tombstoned base matches dropped, counters summed, one shared
+  /// budget across both walks.  Delta-tier stored ids come back tagged with
+  /// IndexSnapshot::kDeltaTierTag; shard bits are added by the snapshot
+  /// merge.
+  index::ProbeResult Find(const containment::PreparedProbe& probe,
+                          const index::ProbeOptions& options) const;
+
+  bool empty() const { return base == nullptr && delta == nullptr; }
+  std::size_t num_base_views() const {
+    return base_view_ids == nullptr ? 0 : base_view_ids->size();
+  }
+  std::size_t num_delta_views() const { return delta_view_ids.size(); }
+  std::size_t num_tombstones() const { return tombstones.size(); }
+  /// Views visible through this shard (base - tombstones + delta).
+  std::size_t num_views() const {
+    return num_base_views() - num_tombstones() + num_delta_views();
+  }
+};
+
+/// How a probe was executed against a snapshot (metrics; see FindParallel).
+struct ProbeFanout {
+  std::uint32_t shards_probed = 0;   // populated shards the walk covered
+  std::uint32_t parallel_walkers = 1;  // 1 = fully inline ("direct-routed")
+};
+
+/// One immutable published version of the mv-index, as a vector of shard
+/// tiers keyed by AnchorSignature(view) % num_shards.  Once a snapshot is
+/// reachable through IndexManager::Acquire nothing ever mutates it; probes
+/// run against the shard tiers (all const) with no synchronisation at all.
 struct IndexSnapshot {
   /// High bit tagging a delta-tier stored id in a merged ProbeResult (base
-  /// and delta number their entries independently from 0).  Resolve ids
-  /// through AppendViewIds / untagged accessors, never directly.
+  /// and delta number their entries independently from 0, per shard).
   static constexpr std::uint32_t kDeltaTierTag = 0x80000000u;
+  /// Bits [30:25] of a merged stored id carry the shard index; bits [24:0]
+  /// the in-tier stored id (so a shard tier holds at most 2^25 stored
+  /// entries).  Resolve merged ids through AppendViewIds / the decode
+  /// helpers, never directly.
+  static constexpr std::uint32_t kShardShift = 25;
+  static constexpr std::uint32_t kStoredIdMask = (1u << kShardShift) - 1;
+  static constexpr std::size_t kMaxShards = 64;
+
+  static std::uint32_t TagShard(std::uint32_t tier_tagged_id,
+                                std::uint32_t shard) {
+    return tier_tagged_id |
+           (shard << kShardShift);  // tier bit already in place
+  }
+  static std::uint32_t ShardOf(std::uint32_t tagged_id) {
+    return (tagged_id & ~kDeltaTierTag) >> kShardShift;
+  }
+  static std::uint32_t StoredIdOf(std::uint32_t tagged_id) {
+    return tagged_id & kStoredIdMask;
+  }
 
   IndexSnapshot() = default;
   RDFC_DISALLOW_COPY_AND_ASSIGN(IndexSnapshot);
@@ -71,45 +136,73 @@ struct IndexSnapshot {
   std::uint64_t version = 0;
   std::size_t num_views = 0;  // live views visible in this version
 
-  std::shared_ptr<const index::FrozenMvIndex> base;
-  /// Sorted external ids baked into `base` (including currently tombstoned
-  /// ones); shared with every version on the same base generation.
-  std::shared_ptr<const std::vector<std::uint64_t>> base_view_ids;
-  std::vector<std::uint64_t> tombstones;       // sorted; masks base only
-  std::unique_ptr<const index::MvIndex> delta;
-  std::vector<std::uint64_t> delta_view_ids;   // sorted
+  /// One tier per shard; entries are never null (an untouched shard is an
+  /// empty ShardTier, shared by every version).
+  std::vector<std::shared_ptr<const ShardTier>> shards;
 
   const rdf::TermDictionary& dict() const { return *dict_ptr; }
   const rdf::TermDictionary* dict_ptr = nullptr;
 
-  /// Probes both tiers and merges the results: union of contained sets with
-  /// fully-tombstoned base matches dropped, counters and timings summed, and
-  /// one shared budget across both walks — `filter_complete` only if *both*
-  /// walks completed, so degraded merged answers still only under-report.
-  /// Delta-tier stored ids come back tagged with kDeltaTierTag.
+  std::size_t num_shards() const { return shards.size(); }
+  const ShardTier& shard(std::size_t s) const { return *shards[s]; }
+  std::size_t num_populated_shards() const;
+
+  /// Probes every populated shard sequentially and merges the results:
+  /// contained and unverified sets unioned (stored ids tagged with tier and
+  /// shard bits), counters and timings summed, and one shared budget across
+  /// every walk — `filter_complete` only if *all* walks completed, so
+  /// degraded merged answers still only under-report.
   index::ProbeResult Find(const containment::PreparedProbe& probe,
                           const index::ProbeOptions& options = {}) const;
   /// Convenience overload preparing the probe against this snapshot's dict.
   index::ProbeResult Find(const query::BgpQuery& q,
                           const index::ProbeOptions& options = {}) const;
 
-  /// Appends the external ids behind a (possibly tagged) stored id from a
-  /// merged ProbeResult, masking tombstoned base ids.  Unsorted output; the
-  /// caller dedups once at the end.
+  /// Find, fanned out across the populated shards on `pool` (DESIGN.md
+  /// "Sharded index").  Identical result semantics to Find: the walkers
+  /// fork one ProbeBudget::SharedState from options.budget, so the fan-out
+  /// spends ONE budget and a mid-fan-out expiry degrades every remaining
+  /// walk — the merged answer still only under-reports.
+  ///
+  /// `preferred_shard` (the probe's own anchor signature % num_shards, when
+  /// the caller knows it) is walked first by the calling thread — a walk-
+  /// order hint only, never a pruning decision: a containing view can live
+  /// in any shard, so every populated shard is always probed.  When at most
+  /// one shard is populated, or `pool` is null, or helper submission is
+  /// shed, the walk runs inline on the caller ("direct-routed").  The
+  /// caller's thread always claims shards too, so the fan-out cannot
+  /// deadlock even when the pool is saturated with probes doing the same.
+  ///
+  /// `max_walkers` caps the fan-out width (caller + helpers); 0 = auto,
+  /// which never uses more walkers than the host has hardware threads —
+  /// on a single-core host the walk stays inline, because extra walkers
+  /// there are pure scheduling overhead on a latency-critical path.
+  /// Tests and sanitizer smokes pass an explicit width to force the
+  /// parallel machinery regardless of host shape.
+  index::ProbeResult FindParallel(const containment::PreparedProbe& probe,
+                                  const index::ProbeOptions& options,
+                                  util::ThreadPool* pool,
+                                  std::size_t preferred_shard = 0,
+                                  ProbeFanout* fanout = nullptr,
+                                  std::uint32_t max_walkers = 0) const;
+
+  /// Appends the external ids behind a (tier- and shard-tagged) stored id
+  /// from a merged ProbeResult, masking tombstoned base ids.  Unsorted
+  /// output; the caller dedups once at the end.
   void AppendViewIds(std::uint32_t tagged_id,
                      std::vector<std::uint64_t>* out) const;
 
   bool IsTombstoned(std::uint64_t external_id) const;
 
-  std::size_t num_base_views() const {
-    return base_view_ids == nullptr ? 0 : base_view_ids->size();
-  }
-  std::size_t num_delta_views() const { return delta_view_ids.size(); }
-  std::size_t num_tombstones() const { return tombstones.size(); }
+  // Aggregates across shards (the pre-sharding accounting identity
+  // `base - tombstones + delta = live` holds on the sums).
+  std::size_t num_base_views() const;
+  std::size_t num_delta_views() const;
+  std::size_t num_tombstones() const;
 };
 
-/// Versioned, snapshot-isolated publication of the mv-index (DESIGN.md
-/// "Service layer").
+/// Versioned, snapshot-isolated publication of the sharded mv-index
+/// (DESIGN.md "Service layer", "Tiered write path", "Sharded index").
 ///
 /// The regime is the one the paper's applications live in: probes vastly
 /// outnumber view-set changes, and a probe must never block behind an
@@ -118,11 +211,13 @@ struct IndexSnapshot {
 /// atomic pointer swing; readers pin a version through a hazard-slot
 /// handshake and probe it lock-free.
 ///
-/// Write path (tiered): Publish rebuilds only the delta tier from the
-/// pending delta id set — O(views staged since the last refreeze) — and
-/// shares the frozen base by pointer.  A compaction (background task or
-/// explicit Refreeze) merges base + delta into a new frozen base off the
-/// write path and publishes the compacted snapshot through the same swing.
+/// Write path (sharded + tiered): StageAdd routes each view to shard
+/// AnchorSignature(view) % num_shards.  Publish rebuilds only the delta
+/// tiers of shards whose pending sets changed — O(dirty shards' staged
+/// views) — and shares every other shard tier by pointer.  A compaction
+/// (background task or explicit Refreeze) folds each dirty shard's
+/// base+delta into a new frozen base for that shard off the write path and
+/// publishes all of them through one swing.
 ///
 /// Threading contract:
 ///   - Writer side — StageAdd, StageRemove, Publish, RegisterReader,
@@ -158,12 +253,16 @@ class IndexManager {
   ~IndexManager();  // StopCompaction()
   RDFC_DISALLOW_COPY_AND_ASSIGN(IndexManager);
 
+  /// Shard count this manager was configured with (clamped).
+  std::size_t num_shards() const { return num_shards_; }
+
   // ------------------------------------------------------------------
   // Writer side
   // ------------------------------------------------------------------
 
   /// Stages a view for the next Publish and returns its stable external id.
-  /// The view is NOT visible to probes until Publish.
+  /// The view is NOT visible to probes until Publish.  Routed to shard
+  /// AnchorSignature(view) % num_shards.
   [[nodiscard]] util::Result<std::uint64_t> StageAdd(query::BgpQuery view)
       RDFC_EXCLUDES(mu_);
 
@@ -172,20 +271,21 @@ class IndexManager {
   [[nodiscard]] util::Status StageRemove(std::uint64_t view_id)
       RDFC_EXCLUDES(mu_);
 
-  /// Builds a fresh delta tier from the pending delta id set and publishes
-  /// it (sharing the current base) as the new current version; probes in
-  /// flight keep the version they pinned.  Transactional: if any staged view
-  /// fails to index, the error is returned, the current version stays, and
-  /// the staged state is untouched (StageRemove the offender and retry).
-  /// Returns the new version number.  O(delta) — independent of base size.
+  /// Rebuilds the delta tiers of exactly the shards whose pending sets
+  /// changed and publishes the result (sharing every untouched shard tier)
+  /// as the new current version; probes in flight keep the version they
+  /// pinned.  Transactional: if any staged view fails to index, the error is
+  /// returned, the current version stays, and the staged state is untouched
+  /// (StageRemove the offender and retry).  Returns the new version number.
+  /// O(dirty shards' deltas) — independent of base size and shard count.
   [[nodiscard]] util::Result<std::uint64_t> Publish() RDFC_EXCLUDES(mu_);
 
-  /// Synchronous compaction: merges base + delta into a new frozen base and
-  /// publishes the compacted snapshot as a new version (returned).  Waits
-  /// for any background compaction first.  No-op (returns the current
-  /// version) when there is a base and nothing to fold into it.  Safe to
-  /// call concurrently with staging/publishing — the build runs off the
-  /// writer mutex.
+  /// Synchronous compaction: folds every shard with a non-empty delta or
+  /// tombstone set into a new frozen base for that shard and publishes the
+  /// compacted snapshot as a new version (returned).  Waits for any
+  /// background compaction first.  No-op (returns the current version) when
+  /// no shard has anything to fold.  Safe to call concurrently with
+  /// staging/publishing — the builds run off the writer mutex.
   [[nodiscard]] util::Result<std::uint64_t> Refreeze()
       RDFC_EXCLUDES(mu_, compaction_mu_);
 
@@ -205,20 +305,34 @@ class IndexManager {
   /// Bounded by RegisterReader count + 1 (+1 during a compaction).
   std::size_t num_retained_versions() const RDFC_EXCLUDES(mu_);
 
-  /// Tier breakdown of the current published version plus the lifetime
-  /// compaction count (rdfc_stats --service / rdfc_serve tier reporting).
-  struct TierStats {
+  /// Per-shard gauges of the current published version (rdfc_stats
+  /// --service / rdfc_serve shard reporting).
+  struct ShardStats {
+    std::size_t views = 0;        // base - tombstones + delta
     std::size_t base_views = 0;   // external ids baked into the frozen base
     std::size_t delta_views = 0;  // views in the pointer-tree delta
     std::size_t tombstones = 0;   // base ids masked as removed
-    std::uint64_t compactions = 0;
+    std::uint64_t refreezes = 0;  // lifetime compactions of this shard
+  };
+
+  /// Tier breakdown of the current published version plus the lifetime
+  /// compaction count.  The top-level fields aggregate across shards (the
+  /// pre-sharding accounting identity holds on the sums); `shards` has the
+  /// per-shard split.
+  struct TierStats {
+    std::size_t base_views = 0;
+    std::size_t delta_views = 0;
+    std::size_t tombstones = 0;
+    std::uint64_t compactions = 0;  // compaction *runs* (each may fold
+                                    // several shards)
+    std::vector<ShardStats> shards;
   };
   TierStats tier_stats() const RDFC_EXCLUDES(mu_);
   bool compaction_in_flight() const {
     return compaction_in_flight_.load(std::memory_order_acquire);
   }
 
-  /// Test hook, invoked off-lock between a compaction's merge build and its
+  /// Test hook, invoked off-lock between a compaction's merge builds and its
   /// publication swing — the window the deterministic interleaving tests
   /// stage and publish into.  Set during single-threaded setup only.
   void set_compaction_hook(std::function<void()> hook) {
@@ -234,16 +348,20 @@ class IndexManager {
   // Persistence (writer side; see index/persistence.h for the format)
   // ------------------------------------------------------------------
 
-  /// Saves the current published version as a tiered image: the frozen base
-  /// as a sibling `<path>.base.<generation>` blob plus a manifest at `path`
-  /// holding the delta journal and tombstones.  Holds the writer mutex for
-  /// the I/O (an admin-path operation; probes are unaffected).
+  /// Saves the current published version as a sharded tiered image: each
+  /// shard's frozen base as a sibling `<path>.base.<shard>.<generation>`
+  /// blob plus one manifest at `path` holding every shard's delta journal
+  /// and tombstones.  Blobs commit before the manifest, so a crash between
+  /// the two recovers the previous image.  Holds the writer mutex for the
+  /// I/O (an admin-path operation; probes are unaffected).
   [[nodiscard]] util::Status SaveTiered(const std::string& path) const
       RDFC_EXCLUDES(mu_);
 
   /// Restores a tiered image into this manager and publishes it as the next
-  /// version.  The manager must be fresh (version 0, nothing staged) and its
-  /// dictionary freshly constructed.
+  /// version.  The manager must be fresh (version 0, nothing staged), its
+  /// dictionary freshly constructed, and its configured shard count must
+  /// equal the image's (shard routing is baked into the frozen bases, so a
+  /// restore cannot re-shard; InvalidArgument otherwise).
   [[nodiscard]] util::Status RestoreTiered(const std::string& path)
       RDFC_EXCLUDES(mu_);
 
@@ -291,9 +409,30 @@ class IndexManager {
   struct ViewRecord {
     std::uint64_t id = 0;
     query::BgpQuery query;
+    std::uint32_t shard = 0;  // AnchorSignature(query) % num_shards
     bool alive = true;
-    bool in_base = false;  // baked into the current frozen base
+    bool in_base = false;  // baked into its shard's current frozen base
   };
+
+  /// Writer-side mirror of one shard's tier state: the shared base, its id
+  /// set, the pending delta/tombstone id sets the *next* Publish would bake
+  /// (sorted), and the tier published in the current version.  Staging
+  /// updates the pending sets incrementally; a compaction swing rebuilds
+  /// them from the view records.
+  struct ShardState {
+    std::shared_ptr<const index::FrozenMvIndex> base;
+    std::shared_ptr<const std::vector<std::uint64_t>> base_ids;
+    std::vector<std::uint64_t> pending_delta_ids;
+    std::vector<std::uint64_t> pending_tombstones;
+    /// The tier the current published snapshot holds for this shard; Publish
+    /// shares it when the pending sets match its id sets.
+    std::shared_ptr<const ShardTier> published;
+    std::uint64_t generation = 0;  // refreezes (persistence blob naming)
+  };
+
+  /// True when shard `s`'s pending sets differ from its published tier (the
+  /// next Publish must rebuild that shard's delta tier).
+  bool ShardDirtyLocked(std::size_t s) const RDFC_REQUIRES(mu_);
 
   /// Sweeps the hazard slots and frees every retired version no reader (and
   /// no in-flight compaction) has pinned.
@@ -306,13 +445,15 @@ class IndexManager {
   /// Schedules a background compaction when the policy triggers fire.
   void MaybeScheduleCompactionLocked() RDFC_REQUIRES(mu_);
 
-  /// One full compaction: capture, off-lock merge + freeze, swing.
+  /// One full compaction run: capture, off-lock per-shard merge + freeze of
+  /// every dirty shard, one swing.
   [[nodiscard]] util::Result<std::uint64_t> RunCompaction() RDFC_EXCLUDES(mu_)
       RDFC_REQUIRES(compaction_mu_);
 
-  /// Recomputes pending_delta_ids_ / pending_tombstones_ / in_base flags
-  /// after the base generation changed to `new_base_ids`.
-  void RebuildPendingLocked(const std::vector<std::uint64_t>& new_base_ids)
+  /// Recomputes shard `s`'s pending sets and its records' in_base flags
+  /// after the shard's base generation changed to `new_base_ids`.
+  void RebuildPendingLocked(std::size_t s,
+                            const std::vector<std::uint64_t>& new_base_ids)
       RDFC_REQUIRES(mu_);
 
   /// Interned into by StageAdd/Publish; the dereference (not the pointer)
@@ -320,6 +461,7 @@ class IndexManager {
   rdf::TermDictionary* dict_ RDFC_PT_GUARDED_BY(mu_);
   index::IndexOptions options_;
   TierOptions tier_;
+  const std::size_t num_shards_;  // tier_.num_shards clamped
 
   mutable util::Mutex mu_;  // writer-side state below
   /// Authoritative view list, ids ascending (StageAdd order).
@@ -335,15 +477,14 @@ class IndexManager {
   std::vector<std::unique_ptr<const IndexSnapshot>> versions_
       RDFC_GUARDED_BY(mu_);
 
-  // Mirror of the tier state the *next* Publish will bake: the shared base,
-  // its id set, and the pending delta/tombstone id sets (sorted).  Staging
-  // updates the pending sets incrementally; a compaction swing rebuilds them
-  // from the view records.
-  std::shared_ptr<const index::FrozenMvIndex> base_ RDFC_GUARDED_BY(mu_);
-  std::shared_ptr<const std::vector<std::uint64_t>> base_ids_
-      RDFC_GUARDED_BY(mu_);
-  std::vector<std::uint64_t> pending_delta_ids_ RDFC_GUARDED_BY(mu_);
-  std::vector<std::uint64_t> pending_tombstones_ RDFC_GUARDED_BY(mu_);
+  /// One writer-side state per shard (size num_shards_).
+  std::vector<ShardState> shards_ RDFC_GUARDED_BY(mu_);
+  /// Positions into views_ per shard (views_ only grows, so positions are
+  /// stable) — lets a compaction rebuild one shard's pending sets in
+  /// O(shard records) instead of sweeping every record.
+  std::vector<std::vector<std::size_t>> shard_records_ RDFC_GUARDED_BY(mu_);
+  /// Per-shard lifetime refreeze counters (tier_stats).
+  std::vector<std::uint64_t> shard_refreezes_ RDFC_GUARDED_BY(mu_);
 
   // Compaction machinery.  Lock order: compaction_mu_ before mu_, and mu_ is
   // never held while acquiring compaction_mu_.
@@ -354,7 +495,6 @@ class IndexManager {
   /// as pinned so publishes during the build cannot free it.
   const IndexSnapshot* compaction_pin_ RDFC_GUARDED_BY(mu_) = nullptr;
   std::uint64_t compactions_run_ RDFC_GUARDED_BY(mu_) = 0;
-  std::uint64_t base_generation_ RDFC_GUARDED_BY(mu_) = 0;
   std::function<void()> compaction_hook_;
   std::function<void(double)> compaction_listener_;
 

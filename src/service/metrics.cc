@@ -37,10 +37,26 @@ void MetricsSnapshot::Print(std::ostream& os) const {
      << "  deadline_expired  " << deadline_expired << '\n'
      << "  publishes         " << publishes << '\n'
      << "  compactions       " << compactions << '\n'
+     << "  direct_routed     " << direct_routed << '\n'
      << "index tiers\n"
      << "  base_views        " << base_views << '\n'
      << "  delta_views       " << delta_views << '\n'
-     << "  tombstones        " << tombstones << '\n'
+     << "  tombstones        " << tombstones << '\n';
+  if (!index_shards.empty()) {
+    os << "index shards        views        base       delta       tombs"
+          "   refreezes\n";
+    for (std::size_t i = 0; i < index_shards.size(); ++i) {
+      const IndexShard& sh = index_shards[i];
+      os << "  shard " << std::left << std::setw(6) << i << std::right
+         << std::setw(11) << sh.views << std::setw(12) << sh.base_views
+         << std::setw(12) << sh.delta_views << std::setw(12) << sh.tombstones
+         << std::setw(12) << sh.refreezes << '\n';
+    }
+  }
+  os << "probe scratch high-water\n"
+     << "  frames            " << scratch_frame_high_water << '\n'
+     << "  states            " << scratch_states_high_water << '\n'
+     << "  spares            " << scratch_spare_high_water << '\n'
      << "network\n"
      << "  conns_accepted    " << connections_accepted << '\n'
      << "  conns_open        " << connections_open << '\n'
@@ -59,6 +75,12 @@ void MetricsSnapshot::Print(std::ostream& os) const {
   PrintStageRow(os, "degraded", degraded_micros);
   PrintStageRow(os, "compact", compaction_micros);
   PrintStageRow(os, "bwait", batch_wait_micros);
+  if (fanout_width.count() > 0) {
+    // fanout_width reuses the histogram machinery with value = walker count.
+    os << "fanout width   count        mean         p50         p95"
+          "         p99\n";
+    PrintStageRow(os, "width", fanout_width);
+  }
   if (batch_size.count() > 0) {
     // batch_size reuses the histogram machinery with value = group size.
     os << "batch size     count        mean         p50         p95"
@@ -74,9 +96,23 @@ std::string MetricsSnapshot::ToJson() const {
      << ",\"rejected\":" << rejected
      << ",\"deadline_expired\":" << deadline_expired
      << ",\"publishes\":" << publishes
-     << ",\"compactions\":" << compactions << ",\"tiers\":{\"base_views\":"
+     << ",\"compactions\":" << compactions
+     << ",\"direct_routed\":" << direct_routed
+     << ",\"tiers\":{\"base_views\":"
      << base_views << ",\"delta_views\":" << delta_views
-     << ",\"tombstones\":" << tombstones << "},\"net\":{\"conns_accepted\":"
+     << ",\"tombstones\":" << tombstones << "},\"shards\":[";
+  for (std::size_t i = 0; i < index_shards.size(); ++i) {
+    const IndexShard& sh = index_shards[i];
+    if (i > 0) os << ',';
+    os << "{\"views\":" << sh.views << ",\"base_views\":" << sh.base_views
+       << ",\"delta_views\":" << sh.delta_views
+       << ",\"tombstones\":" << sh.tombstones
+       << ",\"refreezes\":" << sh.refreezes << '}';
+  }
+  os << "],\"scratch\":{\"frame_high_water\":" << scratch_frame_high_water
+     << ",\"states_high_water\":" << scratch_states_high_water
+     << ",\"spare_high_water\":" << scratch_spare_high_water
+     << "},\"net\":{\"conns_accepted\":"
      << connections_accepted << ",\"conns_closed\":" << connections_closed
      << ",\"conns_open\":" << connections_open
      << ",\"bytes_in\":" << net_bytes_in << ",\"bytes_out\":" << net_bytes_out
@@ -99,6 +135,8 @@ std::string MetricsSnapshot::ToJson() const {
   AppendStageJson(&os, "degraded", degraded_micros);
   os << ',';
   AppendStageJson(&os, "compact", compaction_micros);
+  os << ',';
+  AppendStageJson(&os, "fanout", fanout_width);
   os << '}';
   return os.str();
 }
@@ -153,6 +191,14 @@ void ServiceMetrics::RecordDeadlineExpired(std::size_t shard,
   s.queue.Record(queue_micros);
 }
 
+void ServiceMetrics::RecordFanout(std::size_t shard,
+                                  std::uint32_t walkers) RDFC_READPATH {
+  RDFC_CHECK(shard < num_shards_);
+  Shard& s = shards_[shard];
+  s.fanout.Record(static_cast<double>(walkers));
+  if (walkers <= 1) s.direct_routed.fetch_add(1, std::memory_order_relaxed);
+}
+
 MetricsSnapshot ServiceMetrics::Snapshot() const {
   MetricsSnapshot out;
   out.submitted = submitted_.load(std::memory_order_relaxed);
@@ -185,6 +231,8 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
     s.verify.MergeInto(&out.verify_micros);
     s.total.MergeInto(&out.total_micros);
     s.degraded_total.MergeInto(&out.degraded_micros);
+    s.fanout.MergeInto(&out.fanout_width);
+    out.direct_routed += s.direct_routed.load(std::memory_order_relaxed);
   }
   return out;
 }

@@ -6,6 +6,7 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "util/macros.h"
 #include "util/stats.h"
@@ -56,9 +57,32 @@ struct MetricsSnapshot {
   // Tier breakdown of the current published version (DESIGN.md "Tiered
   // write path").  Gauges, not counters: the service samples them from
   // IndexManager::tier_stats() at snapshot time.
-  std::uint64_t base_views = 0;   // external ids baked into the frozen base
-  std::uint64_t delta_views = 0;  // views in the pointer-tree delta
+  std::uint64_t base_views = 0;   // external ids baked into the frozen bases
+  std::uint64_t delta_views = 0;  // views in the pointer-tree deltas
   std::uint64_t tombstones = 0;   // base ids masked as removed
+
+  /// Per-shard split of the gauges above plus each shard's lifetime
+  /// refreeze count (DESIGN.md "Sharded index"); one entry per index shard
+  /// in routing order.  Sampled from IndexManager::tier_stats().
+  struct IndexShard {
+    std::uint64_t views = 0;       // base - tombstones + delta
+    std::uint64_t base_views = 0;
+    std::uint64_t delta_views = 0;
+    std::uint64_t tombstones = 0;
+    std::uint64_t refreezes = 0;
+  };
+  std::vector<IndexShard> index_shards;
+
+  /// Probes answered without any pool fan-out (<= 1 populated shard, or the
+  /// pool shed every helper): the single-walker inline path.
+  std::uint64_t direct_routed = 0;
+
+  /// Probe-walk scratch high-water marks (index/walk_stats.h): the deepest
+  /// frame stack, most parked MatchState slots, and most parked buffers any
+  /// worker reached.  Gauges sampled at snapshot time.
+  std::uint64_t scratch_frame_high_water = 0;
+  std::uint64_t scratch_states_high_water = 0;
+  std::uint64_t scratch_spare_high_water = 0;
 
   // Network front end (DESIGN.md "Network front end").  Recorded by the
   // net::NetServer I/O loop; all zero when the service runs in-process only.
@@ -97,6 +121,10 @@ struct MetricsSnapshot {
   util::LatencyHistogram degraded_micros;
   /// Wall-clock of completed compactions (merge build + swing).
   util::LatencyHistogram compaction_micros;
+  /// Probe fan-out width: parallel walkers (caller + admitted pool helpers)
+  /// per executed probe.  Value is a walker count, not microseconds; the
+  /// power-of-two buckets read directly as widths.  Width 1 = direct_routed.
+  util::LatencyHistogram fanout_width;
 
   /// Multi-line human-readable table (rdfc_stats --service, rdfc_serve).
   void Print(std::ostream& os) const;
@@ -148,6 +176,9 @@ class ServiceMetrics {
   void RecordQuarantined(std::size_t shard, double queue_micros,
                          double total_micros);
   void RecordDeadlineExpired(std::size_t shard, double queue_micros);
+  /// Fan-out width of one executed probe: how many parallel walkers (caller
+  /// + admitted pool helpers) covered the index shards; 1 = fully inline.
+  void RecordFanout(std::size_t shard, std::uint32_t walkers);
 
   /// A batch sibling answered from an identical probe's result instead of a
   /// fresh walk (worker side, but low-rate enough for one shared counter).
@@ -191,11 +222,13 @@ class ServiceMetrics {
     std::atomic<std::uint64_t> degraded{0};
     std::atomic<std::uint64_t> quarantined{0};
     std::atomic<std::uint64_t> deadline_expired{0};
+    std::atomic<std::uint64_t> direct_routed{0};
     AtomicHistogram queue;
     AtomicHistogram filter;
     AtomicHistogram verify;
     AtomicHistogram total;
     AtomicHistogram degraded_total;
+    AtomicHistogram fanout;
   };
 
   const std::size_t num_shards_;

@@ -13,11 +13,30 @@ ProbeBudget ProbeBudget::AfterMicros(double micros) {
 
 bool ProbeBudget::PollSlow() {
   if (RDFC_FAILPOINT("budget.expire")) {
-    exhausted_ = true;
+    Expire();
     return true;
   }
+  if (shared_ != nullptr) {
+    // Flush this walker's step delta into the pool and enforce the cap
+    // against the pooled total: a probe fanned across N shards spends one
+    // budget, not N.  Remote expiry (a sibling tripping deadline or cap)
+    // propagates here too, within one poll interval.
+    const std::uint64_t pooled =
+        shared_->steps_.fetch_add(steps_ - flushed_steps_,
+                                  std::memory_order_relaxed) +
+        (steps_ - flushed_steps_);
+    flushed_steps_ = steps_;
+    if (shared_->max_steps_ != 0 && pooled > shared_->max_steps_) {
+      Expire();
+      return true;
+    }
+    if (shared_->expired_.load(std::memory_order_relaxed)) {
+      exhausted_ = true;
+      return true;
+    }
+  }
   if (has_deadline_ && Clock::now() >= deadline_) {
-    exhausted_ = true;
+    Expire();
     return true;
   }
   return false;

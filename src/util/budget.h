@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -23,10 +24,51 @@ namespace util {
 /// consistent verdict.
 ///
 /// A ProbeBudget is owned by exactly one probe (stack-local in the service
-/// worker); it is not thread-safe and never shared across requests.
+/// worker); the object itself is not thread-safe and never shared across
+/// requests.  When one probe fans out across index shards on several pool
+/// workers, each walker gets its own forked ProbeBudget attached to one
+/// SharedState (below), which pools the step count and the expiry verdict
+/// across the walkers — the one-budget-per-probe contract survives the
+/// fan-out because the mutable per-walker state stays thread-local.
 class ProbeBudget {
  public:
   using Clock = std::chrono::steady_clock;
+
+  /// The pooled half of a fanned-out budget: the deadline/step cap captured
+  /// from the origin budget plus an atomic step pool and a sticky expiry
+  /// flag every forked walker publishes into and polls.  Lives on the
+  /// fan-out caller's frame for the duration of one probe.
+  ///
+  /// Enforcement is deliberately amortised: walkers sync with the pool only
+  /// every kPollInterval local steps, so the cap can overshoot by at most
+  /// (walkers x kPollInterval) steps and an expiry propagates within one
+  /// poll interval.  Both slops only affect *when* a walk degrades, never
+  /// the soundness of the degraded answer (it still only under-reports).
+  class SharedState {
+   public:
+    explicit SharedState(const ProbeBudget& origin)
+        : deadline_(origin.deadline_),
+          max_steps_(origin.max_steps_),
+          has_deadline_(origin.has_deadline_) {
+      if (origin.exhausted_) expired_.store(true, std::memory_order_relaxed);
+    }
+    SharedState(const SharedState&) = delete;
+    SharedState& operator=(const SharedState&) = delete;
+
+    /// Steps pooled so far (walkers flush at poll granularity).
+    std::uint64_t steps() const {
+      return steps_.load(std::memory_order_relaxed);
+    }
+    bool expired() const { return expired_.load(std::memory_order_relaxed); }
+
+   private:
+    friend class ProbeBudget;
+    const Clock::time_point deadline_;
+    const std::uint64_t max_steps_;
+    std::atomic<std::uint64_t> steps_{0};
+    std::atomic<bool> expired_{false};
+    const bool has_deadline_;
+  };
 
   /// Default construction = unlimited: Exhausted() only counts steps.
   ProbeBudget() = default;
@@ -44,6 +86,41 @@ class ProbeBudget {
 
   /// Budget that trips `micros` microseconds from now.
   static ProbeBudget AfterMicros(double micros);
+
+  /// A per-walker budget attached to `shared` (which must outlive it): the
+  /// deadline comes from the shared state, the step cap is enforced against
+  /// the pooled count at poll points, and expiry — local or remote — is
+  /// published through the shared flag so sibling walkers degrade together.
+  static ProbeBudget Forked(SharedState* shared) {
+    ProbeBudget b;
+    b.shared_ = shared;
+    b.deadline_ = shared->deadline_;
+    b.has_deadline_ = shared->has_deadline_;
+    b.exhausted_ = shared->expired_.load(std::memory_order_relaxed);
+    return b;
+  }
+
+  /// Flushes any still-unflushed local steps (and a local expiry) into the
+  /// pool; a fan-out calls this on each forked budget as its walk finishes
+  /// so the origin's Absorb sees every step.
+  void Flush() {
+    if (shared_ == nullptr) return;
+    if (steps_ != flushed_steps_) {
+      shared_->steps_.fetch_add(steps_ - flushed_steps_,
+                                std::memory_order_relaxed);
+      flushed_steps_ = steps_;
+    }
+    if (exhausted_) shared_->expired_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Folds a fan-out's pooled accounting back into this (origin) budget
+  /// after every forked walker has finished: steps() absorbs the pooled
+  /// count and a shared expiry makes this budget exhausted too, so callers
+  /// inspecting the origin budget see the fan-out's verdict.
+  void Absorb(const SharedState& shared) {
+    steps_ += shared.steps();
+    if (shared.expired()) exhausted_ = true;
+  }
 
   /// Optional hard cap on polled steps (0 = uncapped); composes with the
   /// deadline — whichever trips first wins.
@@ -66,8 +143,14 @@ class ProbeBudget {
   /// need to know whether an inner phase already tripped the budget.
   bool exhausted() const RDFC_READPATH { return exhausted_; }
 
-  /// Forces exhaustion (quarantine short-circuits and tests).
-  void Expire() { exhausted_ = true; }
+  /// Forces exhaustion (quarantine short-circuits and tests).  On a forked
+  /// budget the expiry propagates to every sibling walker via the pool.
+  void Expire() {
+    exhausted_ = true;
+    if (shared_ != nullptr) {
+      shared_->expired_.store(true, std::memory_order_relaxed);
+    }
+  }
 
   std::uint64_t steps() const { return steps_; }
   bool has_deadline() const { return has_deadline_; }
@@ -81,6 +164,11 @@ class ProbeBudget {
   Clock::time_point deadline_ = Clock::time_point::max();
   std::uint64_t max_steps_ = 0;
   std::uint64_t steps_ = 0;
+  /// Non-null on a forked budget: the fan-out pool this walker flushes its
+  /// step count into and polls for remote expiry (see SharedState).
+  SharedState* shared_ = nullptr;
+  /// Steps already flushed into shared_ (flush delta = steps_ - this).
+  std::uint64_t flushed_steps_ = 0;
   bool has_deadline_ = false;
   bool exhausted_ = false;
 };

@@ -294,6 +294,7 @@ TEST(FrozenServiceTest, RefreezeBakesDeltaIntoFrozenBase) {
   rdf::TermDictionary dict;
   service::TierOptions tier;
   tier.background_compaction = false;  // compact only when told to
+  tier.num_shards = 1;                 // single shard: base is shard(0).base
   service::IndexManager manager(&dict, {}, tier);
   const std::size_t slot = manager.RegisterReader();
   ASSERT_TRUE(manager.StageAdd(ParseOrDie("ASK { ?x :p ?y . }", &dict)).ok());
@@ -301,13 +302,13 @@ TEST(FrozenServiceTest, RefreezeBakesDeltaIntoFrozenBase) {
   {
     // Freshly published views live in the pointer-tree delta tier.
     service::IndexManager::ReadGuard guard = manager.Acquire(slot);
-    EXPECT_EQ(guard->base, nullptr);
+    EXPECT_EQ(guard->shard(0).base, nullptr);
     EXPECT_EQ(guard->num_delta_views(), 1u);
   }
   ASSERT_TRUE(manager.Refreeze().ok());
   service::IndexManager::ReadGuard guard = manager.Acquire(slot);
-  ASSERT_NE(guard->base, nullptr);
-  ASSERT_TRUE(ValidateFrozen(*guard->base).ok());
+  ASSERT_NE(guard->shard(0).base, nullptr);
+  ASSERT_TRUE(ValidateFrozen(*guard->shard(0).base).ok());
   EXPECT_EQ(guard->num_base_views(), 1u);
   EXPECT_EQ(guard->num_delta_views(), 0u);
   // The merged walk over the compacted snapshot and a direct frozen walk
@@ -315,19 +316,21 @@ TEST(FrozenServiceTest, RefreezeBakesDeltaIntoFrozenBase) {
   const containment::PreparedProbe probe = containment::PrepareProbe(
       ParseOrDie("ASK { ?a :p ?b . ?b :q ?c . }", &dict), dict);
   EXPECT_EQ(ContainedIds(guard->Find(probe)),
-            ContainedIds(guard->base->FindContaining(probe)));
+            ContainedIds(guard->shard(0).base->FindContaining(probe)));
 }
 
 TEST(FrozenServiceTest, DeltaOnlyConfigurationServesFromPointerTree) {
   rdf::TermDictionary dict;
   service::TierOptions tier;
   tier.background_compaction = false;
+  tier.num_shards = 1;
   service::IndexManager manager(&dict, {}, tier);
   const std::size_t slot = manager.RegisterReader();
   ASSERT_TRUE(manager.StageAdd(ParseOrDie("ASK { ?x :p ?y . }", &dict)).ok());
   ASSERT_TRUE(manager.Publish().ok());
   service::IndexManager::ReadGuard guard = manager.Acquire(slot);
-  EXPECT_EQ(guard->base, nullptr);  // never compacted: pure pointer-tree mode
+  // Never compacted: pure pointer-tree mode.
+  EXPECT_EQ(guard->shard(0).base, nullptr);
   const containment::PreparedProbe probe =
       containment::PrepareProbe(ParseOrDie("ASK { ?a :p ?b . }", &dict), dict);
   EXPECT_EQ(ContainedIds(guard->Find(probe)).size(), 1u);

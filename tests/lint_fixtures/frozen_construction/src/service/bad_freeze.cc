@@ -23,6 +23,17 @@ std::size_t BadStack(const index::MvIndex& mv) {
   return frozen.StructureBytes();
 }
 
+index::FrozenMvIndex* BadShardArray() {
+  // Bulk-building per-shard bases must still go through the freeze sites.
+  return new index::FrozenMvIndex[4];  // NOLINT(raw-new)
+}
+
+std::shared_ptr<const index::FrozenMvIndex> BadAllocateShared(
+    const index::MvIndex& mv) {
+  return std::allocate_shared<const index::FrozenMvIndex>(
+      std::allocator<index::FrozenMvIndex>(), mv);
+}
+
 std::shared_ptr<const index::FrozenMvIndex> SanctionedCompactionBuild(
     const index::MvIndex& merged) {
   // The one blessed service-side site mirrors index_manager.cc's marker.

@@ -43,8 +43,11 @@ TEST_F(IndexManagerTest, StartsWithEmptyVersionZero) {
   auto guard = manager.Acquire(slot);
   EXPECT_EQ(guard->version, 0u);
   EXPECT_EQ(guard->num_views, 0u);
-  EXPECT_EQ(guard->base, nullptr);
-  EXPECT_EQ(guard->delta, nullptr);
+  EXPECT_EQ(guard->num_populated_shards(), 0u);
+  for (std::size_t s = 0; s < guard->num_shards(); ++s) {
+    EXPECT_EQ(guard->shard(s).base, nullptr);
+    EXPECT_EQ(guard->shard(s).delta, nullptr);
+  }
 }
 
 TEST_F(IndexManagerTest, StagedViewsInvisibleUntilPublish) {
@@ -149,8 +152,16 @@ TEST_F(IndexManagerTest, PublishedVersionsSatisfyIndexInvariants) {
   ASSERT_TRUE(manager.StageAdd(Q("ASK { ?x a :T . ?x :p ?y . }")).ok());
   ASSERT_TRUE(manager.Publish().ok());
   auto guard = manager.Acquire(slot);
-  ASSERT_NE(guard->delta, nullptr);  // freshly published views sit in delta
-  EXPECT_TRUE(index::ValidateMvIndex(*guard->delta).ok());
+  // Freshly published views sit in their shard's delta tier.
+  EXPECT_GE(guard->num_populated_shards(), 1u);
+  std::size_t delta_views = 0;
+  for (std::size_t s = 0; s < guard->num_shards(); ++s) {
+    const ShardTier& tier = guard->shard(s);
+    if (tier.delta == nullptr) continue;
+    EXPECT_TRUE(index::ValidateMvIndex(*tier.delta).ok());
+    delta_views += tier.num_delta_views();
+  }
+  EXPECT_EQ(delta_views, 3u);
 }
 
 TEST_F(IndexManagerTest, MoveTransfersGuardOwnership) {

@@ -91,9 +91,10 @@ TEST(ServiceStressTest, ProbesRaceSnapshotPublication) {
     EXPECT_EQ(*version, r + 1);
     {
       IndexManager::ReadGuard guard = svc.manager().Acquire(validator_slot);
-      if (guard->delta != nullptr) {
-        EXPECT_TRUE(index::ValidateMvIndex(*guard->delta).ok())
-            << "version " << guard->version;
+      for (std::size_t s = 0; s < guard->num_shards(); ++s) {
+        if (guard->shard(s).delta == nullptr) continue;
+        EXPECT_TRUE(index::ValidateMvIndex(*guard->shard(s).delta).ok())
+            << "version " << guard->version << " shard " << s;
       }
       EXPECT_EQ(guard->num_views, (r + 1) * kViewsPerRound);
     }
@@ -187,8 +188,9 @@ TEST(ServiceStressTest, CompactionRacesPublicationAndProbes) {
       EXPECT_EQ(guard->num_base_views() - guard->num_tombstones() +
                     guard->num_delta_views(),
                 guard->num_views);
-      if (guard->delta != nullptr) {
-        EXPECT_TRUE(index::ValidateMvIndex(*guard->delta).ok());
+      for (std::size_t s = 0; s < guard->num_shards(); ++s) {
+        if (guard->shard(s).delta == nullptr) continue;
+        EXPECT_TRUE(index::ValidateMvIndex(*guard->shard(s).delta).ok());
       }
     }
   }

@@ -159,8 +159,13 @@ TEST_F(TieredIndexTest, TombstoneMasksBaseViewUntilNextRefreeze) {
   EXPECT_EQ(guard->num_tombstones(), 0u);
   EXPECT_EQ(guard->num_base_views(), 2u);
   EXPECT_EQ(guard->num_delta_views(), 0u);
-  ASSERT_NE(guard->base, nullptr);
-  EXPECT_TRUE(index::ValidateFrozen(*guard->base).ok());
+  std::size_t frozen_shards = 0;
+  for (std::size_t s = 0; s < guard->num_shards(); ++s) {
+    if (guard->shard(s).base == nullptr) continue;
+    EXPECT_TRUE(index::ValidateFrozen(*guard->shard(s).base).ok());
+    ++frozen_shards;
+  }
+  EXPECT_GE(frozen_shards, 1u);
 }
 
 TEST_F(TieredIndexTest, RandomisedChurnMatchesScanOracle) {
@@ -342,8 +347,8 @@ TEST_F(TieredIndexTest, DegradedTieredProbeOnlyUnderReports) {
   ASSERT_TRUE(manager.Publish().ok());
 
   IndexManager::ReadGuard guard = manager.Acquire(slot);
-  ASSERT_NE(guard->base, nullptr);
-  ASSERT_NE(guard->delta, nullptr);
+  ASSERT_GT(guard->num_base_views(), 0u);
+  ASSERT_GT(guard->num_delta_views(), 0u);
   for (const std::string& text : ProbeTexts()) {
     const query::BgpQuery q = Q(text);
     const std::vector<std::uint64_t> truth = OracleIds(live, &dict_, q);
@@ -442,8 +447,13 @@ class TieredPersistenceTest : public TieredIndexTest {
  protected:
   void TearDown() override {
     std::remove(path_.c_str());
-    for (std::uint64_t gen = 0; gen < 8; ++gen) {
-      std::remove((path_ + ".base." + std::to_string(gen)).c_str());
+    // Base blobs are named <path>.base.<shard>.<generation>.
+    for (std::size_t shard = 0; shard < IndexSnapshot::kMaxShards; ++shard) {
+      for (std::uint64_t gen = 0; gen < 8; ++gen) {
+        std::remove((path_ + ".base." + std::to_string(shard) + "." +
+                     std::to_string(gen))
+                        .c_str());
+      }
     }
   }
 

@@ -3,7 +3,7 @@
 // stream through the worker pool and reports the per-stage latency metrics
 // (DESIGN.md "Service layer").
 //
-//   rdfc_serve --views=views.rq --probes=probes.rq [--threads=N]
+//   rdfc_serve --views=views.rq --probes=probes.rq [--threads=N] [--shards=N]
 //   rdfc_serve --view-workload=lubm:200 --probe-workload=lubm:2000
 //   rdfc_serve ... --deadline-ms=5 --io-us=100 --json
 //   rdfc_serve ... --timeout-us=2000 --retries=3 --backoff-us=200
@@ -96,6 +96,9 @@ int main(int argc, char** argv) {
       std::strtoull(args.Get("queue", "4096").c_str(), nullptr, 10));
   options.probe_timeout_micros =
       std::strtod(args.Get("timeout-us", "0").c_str(), nullptr);
+  // Index shard count (DESIGN.md "Sharded index"); 1 disables sharding.
+  options.tier.num_shards = static_cast<std::size_t>(
+      std::strtoull(args.Get("shards", "8").c_str(), nullptr, 10));
   service::ContainmentService svc(options);
 
   // --- Views ---------------------------------------------------------------

@@ -9,6 +9,9 @@
 // containment service (half as published views, half as probes) and prints
 // the per-stage ServiceMetrics snapshot — counters plus p50/p95/p99 for the
 // index filter vs. NP verification (--json for machine-readable output).
+// The report includes the per-shard index gauges (views/base/delta/
+// tombstones/refreezes per shard), the probe fan-out width histogram, and
+// the probe-walk scratch high-water marks; --shards=N sets the shard count.
 //
 // With --frozen, instead inserts the queries into an mv-index, freezes it
 // (index/frozen_index.h) and prints the footprint of the flat probe layout
@@ -125,6 +128,8 @@ int main(int argc, char** argv) {
     service::ServiceOptions options;
     options.num_threads = static_cast<std::size_t>(
         std::strtoull(args.Get("threads", "4").c_str(), nullptr, 10));
+    options.tier.num_shards = static_cast<std::size_t>(
+        std::strtoull(args.Get("shards", "8").c_str(), nullptr, 10));
     service::ContainmentService svc(options);
     // The queries were interned into the local dict above; reparsing their
     // canonical text into the service keeps the two dictionaries decoupled.
