@@ -1,0 +1,521 @@
+#include "index/journal.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "util/failpoint.h"
+
+namespace rdfc {
+namespace index {
+
+namespace {
+
+constexpr char kJournalMagic[8] = {'R', 'D', 'F', 'C', 'W', 'J', '0', '1'};
+/// magic + u64 base_sequence + u64 checksum.
+constexpr std::uint64_t kHeaderBytes = 8 + 8 + 8;
+/// u32 payload_len + u64 payload checksum.
+constexpr std::uint64_t kRecordPrefixBytes = 4 + 8;
+/// u64 sequence + u64 version + u32 num_ops.
+constexpr std::uint64_t kMinPayloadBytes = 8 + 8 + 4;
+
+/// FNV-1a, byte-compatible with the persistence formats.
+class Checksum {
+ public:
+  void Update(const void* data, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 0x100000001B3ull;
+    }
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ull;
+};
+
+std::uint64_t FnvOf(const std::string& payload) {
+  Checksum sum;
+  sum.Update(payload.data(), payload.size());
+  return sum.value();
+}
+
+/// In-memory payload encoder: records are assembled fully before any byte
+/// touches the file, so a failed append can roll the file back cleanly.
+class PayloadWriter {
+ public:
+  void U8(std::uint8_t v) { Raw(&v, 1); }
+  void U32(std::uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(std::uint64_t v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void Raw(const void* data, std::size_t n) {
+    buffer_.append(static_cast<const char*>(data), n);
+  }
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked cursor over one record payload.  Any short read means the
+/// record is corrupt despite a matching checksum — the caller truncates.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::string& payload) : payload_(payload) {}
+
+  bool U8(std::uint8_t* v) { return Raw(v, 1); }
+  bool U32(std::uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(std::uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool Str(std::string* s) {
+    std::uint32_t n = 0;
+    if (!U32(&n)) return false;
+    if (n > payload_.size() - pos_) return false;
+    s->assign(payload_, pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool Raw(void* data, std::size_t n) {
+    if (n > payload_.size() - pos_) return false;
+    std::memcpy(data, payload_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool exhausted() const { return pos_ == payload_.size(); }
+
+ private:
+  const std::string& payload_;
+  std::size_t pos_ = 0;
+};
+
+void EncodeTerm(PayloadWriter* w, const rdf::TermDictionary& dict,
+                rdf::TermId id) {
+  w->U8(static_cast<std::uint8_t>(dict.kind(id)));
+  w->Str(dict.lexical(id));
+}
+
+bool DecodeTerm(PayloadReader* r, rdf::TermDictionary* dict,
+                rdf::TermId* out) {
+  std::uint8_t kind = 0;
+  std::string lexical;
+  if (!r->U8(&kind) || kind > 3 || !r->Str(&lexical)) return false;
+  *out = dict->Intern(static_cast<rdf::TermKind>(kind), lexical);
+  return true;
+}
+
+/// Parses one payload into a batch, interning add-op terms.  Returns false
+/// on any structural violation (the record is then treated as corrupt).
+bool DecodeBatch(const std::string& payload, rdf::TermDictionary* dict,
+                 JournalBatch* batch) {
+  PayloadReader r(payload);
+  std::uint32_t num_ops = 0;
+  if (!r.U64(&batch->sequence) || !r.U64(&batch->version) || !r.U32(&num_ops)) {
+    return false;
+  }
+  // Each op takes at least kind + view_id bytes; a count the payload cannot
+  // hold is corruption — reject before sizing the vector by it.
+  if (static_cast<std::uint64_t>(num_ops) * 9 > payload.size()) return false;
+  batch->ops.reserve(num_ops);
+  for (std::uint32_t i = 0; i < num_ops; ++i) {
+    JournalOp op;
+    std::uint8_t kind = 0;
+    if (!r.U8(&kind) || !r.U64(&op.view_id)) return false;
+    if (kind != static_cast<std::uint8_t>(JournalOp::Kind::kAdd) &&
+        kind != static_cast<std::uint8_t>(JournalOp::Kind::kRemove)) {
+      return false;
+    }
+    op.kind = static_cast<JournalOp::Kind>(kind);
+    if (op.kind == JournalOp::Kind::kAdd) {
+      std::uint32_t num_triples = 0;
+      if (!r.U32(&num_triples)) return false;
+      if (static_cast<std::uint64_t>(num_triples) * 18 > payload.size()) {
+        return false;
+      }
+      for (std::uint32_t t = 0; t < num_triples; ++t) {
+        rdf::TermId s = rdf::kNullTerm;
+        rdf::TermId p = rdf::kNullTerm;
+        rdf::TermId o = rdf::kNullTerm;
+        if (!DecodeTerm(&r, dict, &s) || !DecodeTerm(&r, dict, &p) ||
+            !DecodeTerm(&r, dict, &o)) {
+          return false;
+        }
+        op.view.AddPattern(s, p, o);
+      }
+    }
+    batch->ops.push_back(std::move(op));
+  }
+  return r.exhausted();
+}
+
+util::Status TruncateTo(std::FILE* file, std::uint64_t length) {
+  if (std::fflush(file) != 0) {
+    return util::Status::Internal("journal flush before truncate failed");
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  if (ftruncate(fileno(file), static_cast<off_t>(length)) != 0) {
+    return util::Status::Internal("journal ftruncate failed");
+  }
+#else
+  return util::Status::Unsupported("journal truncation requires POSIX");
+#endif
+  if (std::fseek(file, static_cast<long>(length), SEEK_SET) != 0) {
+    return util::Status::Internal("journal seek after truncate failed");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+WriteAheadJournal::WriteAheadJournal(JournalOptions options, std::FILE* file)
+    : options_(std::move(options)), file_(file) {
+#if defined(__unix__) || defined(__APPLE__)
+  fd_ = fileno(file_);
+#endif
+}
+
+WriteAheadJournal::~WriteAheadJournal() {
+  if (flusher_ != nullptr) {
+    {
+      util::MutexLock lock(&flush_mu_);
+      flush_stop_ = true;
+    }
+    flush_cv_.NotifyAll();
+    flusher_->Shutdown();
+  }
+  if (file_ == nullptr) return;
+#if defined(__unix__) || defined(__APPLE__)
+  // Best-effort group-commit drain: a clean shutdown should not leave the
+  // tail of the window exposed to power loss.
+  bool dirty = false;
+  {
+    util::MutexLock lock(&flush_mu_);
+    dirty = flush_dirty_;
+  }
+  if (dirty && std::fflush(file_) == 0) (void)fsync(fd_);
+#endif
+  std::fclose(file_);
+}
+
+void WriteAheadJournal::StartFlusher() {
+  util::ThreadPool::Options pool_options;
+  pool_options.num_threads = 1;
+  pool_options.queue_capacity = 1;
+  flusher_ = std::make_unique<util::ThreadPool>(pool_options);
+  const util::Status submitted =
+      flusher_->TrySubmit([this](std::size_t) { FlusherLoop(); });
+  // A fresh 1-slot pool cannot refuse; if it somehow does, group mode
+  // degrades to syncing on Truncate()/Sync()/shutdown only — still within
+  // kGroup's documented power-loss window semantics, never losing
+  // kernel-flushed records to SIGKILL.
+  if (!submitted.ok()) flusher_.reset();
+}
+
+void WriteAheadJournal::FlusherLoop() {
+  for (;;) {
+    {
+      util::MutexLock lock(&flush_mu_);
+      while (!flush_dirty_ && !flush_stop_) flush_cv_.Wait(&flush_mu_);
+      if (flush_stop_) return;
+      // Let the window fill so neighbouring appends share one barrier.
+      flush_cv_.WaitFor(&flush_mu_, options_.group_window_micros);
+      if (flush_stop_) return;
+      flush_dirty_ = false;
+    }
+    // Off-lock: the barrier covers everything fflushed before this call;
+    // an append racing past it re-marks the tail dirty for the next round.
+#if defined(__unix__) || defined(__APPLE__)
+    const bool synced = fsync(fd_) == 0;
+#else
+    const bool synced = true;
+#endif
+    util::MutexLock lock(&flush_mu_);
+    if (synced) {
+      ++group_fsyncs_;
+    } else {
+      flush_dirty_ = true;  // transient failure: retry next window
+    }
+  }
+}
+
+JournalStats WriteAheadJournal::stats_snapshot() const {
+  JournalStats out = stats_;
+  util::MutexLock lock(&flush_mu_);
+  out.fsyncs += group_fsyncs_;
+  return out;
+}
+
+util::Result<std::unique_ptr<WriteAheadJournal>> WriteAheadJournal::Open(
+    const JournalOptions& options, rdf::TermDictionary* dict,
+    const ReplayFn& replay) {
+  if (options.path.empty()) {
+    return util::Status::InvalidArgument("journal path is empty");
+  }
+  // "a+b" creates the file when absent but pins every write to the end on
+  // some libcs; reopen in "r+b" for positioned writes once it exists.
+  std::FILE* probe = std::fopen(options.path.c_str(), "a+b");
+  if (probe == nullptr) {
+    return util::Status::InvalidArgument("cannot open journal: " +
+                                         options.path);
+  }
+  std::fclose(probe);
+  std::FILE* file = std::fopen(options.path.c_str(), "r+b");
+  if (file == nullptr) {
+    return util::Status::InvalidArgument("cannot reopen journal: " +
+                                         options.path);
+  }
+  std::unique_ptr<WriteAheadJournal> journal(
+      new WriteAheadJournal(options, file));  // NOLINT(raw-new): private ctor
+  RDFC_RETURN_NOT_OK(journal->ReplayAndRecover(dict, replay));
+  if (options.fsync == JournalFsync::kGroup) journal->StartFlusher();
+  return journal;
+}
+
+util::Status WriteAheadJournal::WriteHeader(std::uint64_t base_sequence) {
+  RDFC_RETURN_NOT_OK(TruncateTo(file_, 0));
+  Checksum sum;
+  sum.Update(kJournalMagic, sizeof(kJournalMagic));
+  sum.Update(&base_sequence, sizeof(base_sequence));
+  const std::uint64_t checksum = sum.value();
+  bool ok = std::fwrite(kJournalMagic, 1, sizeof(kJournalMagic), file_) ==
+            sizeof(kJournalMagic);
+  ok = ok && std::fwrite(&base_sequence, 1, sizeof(base_sequence), file_) ==
+                 sizeof(base_sequence);
+  ok = ok && std::fwrite(&checksum, 1, sizeof(checksum), file_) ==
+                 sizeof(checksum);
+  if (!ok || std::fflush(file_) != 0) {
+    return util::Status::Internal("journal header write failed: " +
+                                  options_.path);
+  }
+  end_offset_ = kHeaderBytes;
+  stats_.last_sequence = base_sequence;
+  return util::Status::OK();
+}
+
+util::Status WriteAheadJournal::ReplayAndRecover(rdf::TermDictionary* dict,
+                                                 const ReplayFn& replay) {
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return util::Status::Internal("journal seek failed: " + options_.path);
+  }
+  const long end = std::ftell(file_);
+  const std::uint64_t size = end > 0 ? static_cast<std::uint64_t>(end) : 0;
+  std::rewind(file_);
+
+  // Header: absent (fresh file) or corrupt both reset to a fresh journal.
+  // Only Truncate() rewrites the header, and its caller has already
+  // committed a covering image, so a corrupt header can only cost records a
+  // crashed Truncate() was about to drop anyway.
+  bool header_ok = size >= kHeaderBytes;
+  std::uint64_t base_sequence = 0;
+  if (header_ok) {
+    char magic[8] = {};
+    std::uint64_t stored_sum = 0;
+    header_ok = std::fread(magic, 1, sizeof(magic), file_) == sizeof(magic) &&
+                std::fread(&base_sequence, 1, sizeof(base_sequence), file_) ==
+                    sizeof(base_sequence) &&
+                std::fread(&stored_sum, 1, sizeof(stored_sum), file_) ==
+                    sizeof(stored_sum);
+    if (header_ok) {
+      Checksum sum;
+      sum.Update(magic, sizeof(magic));
+      sum.Update(&base_sequence, sizeof(base_sequence));
+      header_ok = std::memcmp(magic, kJournalMagic, sizeof(magic)) == 0 &&
+                  stored_sum == sum.value();
+    }
+  }
+  if (!header_ok) {
+    stats_.truncated_bytes += size;
+    return WriteHeader(0);
+  }
+  stats_.last_sequence = base_sequence;
+
+  // Record scan: each record must be fully present, checksum-clean,
+  // structurally parseable, and carry the next sequence number; the first
+  // violation ends the journal there.
+  std::uint64_t offset = kHeaderBytes;
+  bool torn = false;
+  while (offset < size) {
+    const std::uint64_t remaining = size - offset;
+    std::uint32_t payload_len = 0;
+    std::uint64_t stored_sum = 0;
+    if (remaining < kRecordPrefixBytes ||
+        std::fread(&payload_len, 1, sizeof(payload_len), file_) !=
+            sizeof(payload_len) ||
+        std::fread(&stored_sum, 1, sizeof(stored_sum), file_) !=
+            sizeof(stored_sum)) {
+      torn = true;
+      break;
+    }
+    if (payload_len < kMinPayloadBytes ||
+        payload_len > remaining - kRecordPrefixBytes) {
+      torn = true;
+      break;
+    }
+    std::string payload(payload_len, '\0');
+    if (std::fread(payload.data(), 1, payload_len, file_) != payload_len) {
+      torn = true;
+      break;
+    }
+    JournalBatch batch;
+    if (FnvOf(payload) != stored_sum || !DecodeBatch(payload, dict, &batch) ||
+        batch.sequence != stats_.last_sequence + 1) {
+      torn = true;
+      break;
+    }
+    if (RDFC_FAILPOINT("journal.replay")) {
+      // Simulated replay interruption (I/O error mid-recovery): stop WITHOUT
+      // truncating — the unreplayed records are acknowledged data, so the
+      // journal goes degraded (appends refused) and a clean re-open replays
+      // everything.
+      stats_.degraded = true;
+      break;
+    }
+    RDFC_RETURN_NOT_OK(replay(batch));
+    offset += kRecordPrefixBytes + payload_len;
+    stats_.last_sequence = batch.sequence;
+    ++stats_.records_replayed;
+    stats_.ops_replayed += batch.ops.size();
+  }
+
+  end_offset_ = offset;
+  if (torn && offset < size) {
+    stats_.truncated_bytes += size - offset;
+    RDFC_RETURN_NOT_OK(TruncateTo(file_, offset));
+  } else if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return util::Status::Internal("journal seek failed: " + options_.path);
+  }
+  return util::Status::OK();
+}
+
+util::Status WriteAheadJournal::Append(const JournalBatch& batch,
+                                       const rdf::TermDictionary& dict) {
+  if (stats_.degraded) {
+    return util::Status::Internal(
+        "journal is degraded (interrupted replay left unreplayed records); "
+        "reopen to recover before appending");
+  }
+  if (batch.sequence != next_sequence()) {
+    return util::Status::InvalidArgument("journal sequence gap");
+  }
+  if (RDFC_FAILPOINT("journal.append")) {
+    return util::Status::Internal("failpoint journal.append");
+  }
+
+  PayloadWriter w;
+  w.U64(batch.sequence);
+  w.U64(batch.version);
+  w.U32(static_cast<std::uint32_t>(batch.ops.size()));
+  for (const JournalOp& op : batch.ops) {
+    w.U8(static_cast<std::uint8_t>(op.kind));
+    w.U64(op.view_id);
+    if (op.kind == JournalOp::Kind::kAdd) {
+      w.U32(static_cast<std::uint32_t>(op.view.size()));
+      for (const rdf::Triple& t : op.view.patterns()) {
+        EncodeTerm(&w, dict, t.s);
+        EncodeTerm(&w, dict, t.p);
+        EncodeTerm(&w, dict, t.o);
+      }
+    }
+  }
+  const std::string& payload = w.buffer();
+  const std::uint32_t payload_len = static_cast<std::uint32_t>(payload.size());
+  const std::uint64_t payload_sum = FnvOf(payload);
+  std::string record;
+  record.reserve(kRecordPrefixBytes + payload.size());
+  record.append(reinterpret_cast<const char*>(&payload_len),
+                sizeof(payload_len));
+  record.append(reinterpret_cast<const char*>(&payload_sum),
+                sizeof(payload_sum));
+  record.append(payload);
+
+  const std::uint64_t pre = end_offset_;
+  if (RDFC_FAILPOINT("journal.crash")) {
+    // Simulated power-cut mid-append: flush a torn prefix to the kernel and
+    // die like a SIGKILL'd process — recovery must truncate exactly here.
+    const std::size_t torn = std::max<std::size_t>(1, record.size() / 2);
+    (void)std::fwrite(record.data(), 1, torn, file_);
+    (void)std::fflush(file_);
+    (void)std::raise(SIGKILL);
+    std::abort();  // unreachable on POSIX; keep the site noreturn anyway
+  }
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size() ||
+      std::fflush(file_) != 0) {
+    RollBackTo(pre);
+    return util::Status::Internal("journal append write failed: " +
+                                  options_.path);
+  }
+  if (options_.fsync == JournalFsync::kAlways) {
+    const util::Status st = Sync();
+    if (!st.ok()) {
+      RollBackTo(pre);
+      return st;
+    }
+  } else if (options_.fsync == JournalFsync::kGroup) {
+    // Group commit off the append path: the record is already in the
+    // kernel (fflush above), so only power loss — never SIGKILL — can
+    // reach it; the flusher pays the disk barrier within one window.
+    util::MutexLock lock(&flush_mu_);
+    if (!flush_dirty_) {
+      flush_dirty_ = true;
+      flush_cv_.NotifyAll();
+    }
+  }
+
+  end_offset_ = pre + record.size();
+  stats_.last_sequence = batch.sequence;
+  ++stats_.records_appended;
+  return util::Status::OK();
+}
+
+util::Status WriteAheadJournal::Sync() {
+  if (RDFC_FAILPOINT("journal.fsync")) {
+    return util::Status::Internal("failpoint journal.fsync");
+  }
+  if (std::fflush(file_) != 0) {
+    return util::Status::Internal("journal flush failed: " + options_.path);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  if (options_.fsync != JournalFsync::kOff && fsync(fd_) != 0) {
+    return util::Status::Internal("journal fsync failed: " + options_.path);
+  }
+#endif
+  ++stats_.fsyncs;
+  util::MutexLock lock(&flush_mu_);
+  flush_dirty_ = false;
+  return util::Status::OK();
+}
+
+util::Status WriteAheadJournal::Truncate() {
+  if (stats_.degraded) {
+    return util::Status::Internal(
+        "refusing to truncate a degraded journal (unreplayed records)");
+  }
+  RDFC_RETURN_NOT_OK(WriteHeader(stats_.last_sequence));
+#if defined(__unix__) || defined(__APPLE__)
+  // The new header must be durable before the caller deletes or overwrites
+  // the image that now covers the dropped records.
+  if (fsync(fd_) != 0) {
+    return util::Status::Internal("journal fsync failed: " + options_.path);
+  }
+#endif
+  util::MutexLock lock(&flush_mu_);
+  flush_dirty_ = false;
+  return util::Status::OK();
+}
+
+void WriteAheadJournal::RollBackTo(std::uint64_t length) {
+  // Best effort: a failed rollback leaves a record recovery would replay
+  // even though the publish was not acknowledged — replay is idempotent, so
+  // that is a liveness wart, not a soundness hole.
+  (void)TruncateTo(file_, length).ok();
+}
+
+}  // namespace index
+}  // namespace rdfc

@@ -155,6 +155,13 @@ util::Result<WireResponse> Client::Ping() {
   return Call(request);
 }
 
+util::Result<WireResponse> Client::Health() {
+  WireRequest request;
+  request.opcode = Opcode::kHealth;
+  request.id = next_id_++;
+  return Call(request);
+}
+
 util::Result<WireResponse> Client::RequestShutdown() {
   WireRequest request;
   request.opcode = Opcode::kShutdown;

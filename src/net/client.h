@@ -48,6 +48,9 @@ class Client {
   /// Metrics snapshot; the JSON lands in WireResponse::payload.
   [[nodiscard]] util::Result<WireResponse> Stats();
   [[nodiscard]] util::Result<WireResponse> Ping();
+  /// Liveness/readiness probe; the readiness JSON (`ready`, `recovering`,
+  /// journal replay counters) lands in WireResponse::payload.
+  [[nodiscard]] util::Result<WireResponse> Health();
   /// Asks the server to drain and exit (needs ServerOptions::
   /// allow_remote_shutdown).
   [[nodiscard]] util::Result<WireResponse> RequestShutdown();

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <utility>
 
+#include "index/journal.h"
 #include "query/analysis.h"
 #include "util/timer.h"
 
@@ -352,6 +353,38 @@ void NetServer::HandleFrame(std::uint64_t conn_id, std::string_view payload) {
       WireResponse response;
       response.id = request.id;
       response.payload = service_->Metrics().ToJson();
+      RespondNow(conn_id, response);
+      return;
+    }
+    case Opcode::kHealth: {
+      // Answered inline on the I/O thread, like kPing: getting ANY response
+      // proves liveness even while startup recovery holds the mutation lock.
+      // The payload reports readiness separately, so orchestration can wait
+      // for `ready` without killing a process that is merely replaying.
+      WireResponse response;
+      response.id = request.id;
+      response.snapshot_version = service_->current_version();
+      const bool recovering = service_->recovering();
+      const index::JournalStats journal = service_->manager().journal_stats();
+      std::string json;
+      json += "{\"ready\":";
+      json += recovering ? "false" : "true";
+      json += ",\"recovering\":";
+      json += recovering ? "true" : "false";
+      json += ",\"journal_enabled\":";
+      json += service_->manager().journal_enabled() ? "true" : "false";
+      json += ",\"replayed_records\":";
+      json += std::to_string(journal.records_replayed);
+      json += ",\"replayed_ops\":";
+      json += std::to_string(journal.ops_replayed);
+      json += ",\"last_sequence\":";
+      json += std::to_string(journal.last_sequence);
+      json += ",\"truncated_bytes\":";
+      json += std::to_string(journal.truncated_bytes);
+      json += ",\"degraded\":";
+      json += journal.degraded ? "true" : "false";
+      json += "}";
+      response.payload = std::move(json);
       RespondNow(conn_id, response);
       return;
     }

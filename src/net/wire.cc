@@ -198,7 +198,8 @@ util::Status DecodeRequest(std::string_view payload, WireRequest* out) {
   if (version != kWireVersion) {
     return util::Status::ParseError("unsupported wire version");
   }
-  if (opcode < 1 || opcode > 4) {
+  if (opcode < static_cast<std::uint8_t>(Opcode::kProbe) ||
+      opcode > static_cast<std::uint8_t>(Opcode::kHealth)) {
     return util::Status::ParseError("unknown opcode");
   }
   out->opcode = static_cast<Opcode>(opcode);

@@ -30,6 +30,12 @@ enum class Opcode : std::uint8_t {
   kStats = 2,     // metrics snapshot as JSON in the response payload
   kPing = 3,      // liveness no-op
   kShutdown = 4,  // ask the server to drain and exit (if permitted)
+  /// Liveness/readiness split (DESIGN.md "Durability"): answered directly by
+  /// the I/O thread like kPing — it never queues behind recovery or probe
+  /// work, so a response proves the process is *live* — while the JSON
+  /// payload (`ready`, `recovering`, journal replay counters) reports
+  /// whether the service is *ready* to serve current answers.
+  kHealth = 5,
 };
 
 /// Machine-readable response statuses.  Service outcomes map onto these

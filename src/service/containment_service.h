@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -153,6 +154,33 @@ class ContainmentService {
     return manager_.Refreeze();
   }
 
+  /// Opens the write-ahead journal and replays it over the current state
+  /// (IndexManager::EnableJournal), under the mutation mutex — replay
+  /// interns terms, and the lock also makes the *recovering* window
+  /// observable: Parse/AddView block behind it while kPing/kHealth stay
+  /// responsive, which is exactly the liveness/readiness split the health
+  /// endpoint reports.  Call during startup, after any restore; bracket with
+  /// set_recovering(true/false) so health probes see the state.
+  [[nodiscard]] util::Status EnableJournal(
+      const index::JournalOptions& options, std::string checkpoint_path = "")
+      RDFC_EXCLUDES(mutation_mu_) {
+    util::MutexLock lock(&mutation_mu_);
+    return manager_.EnableJournal(options, std::move(checkpoint_path));
+  }
+
+  /// Readiness flag (DESIGN.md "Durability": recovery state machine).  True
+  /// while startup recovery (restore + journal replay) is in flight: the
+  /// process is *live* (answers kPing/kHealth) but not *ready* (mutations
+  /// and probes may stall behind recovery; answers served from restored
+  /// bases may predate journalled writes).  Flipped by the startup path,
+  /// read by the health endpoint and Metrics().
+  void set_recovering(bool recovering) {
+    recovering_.store(recovering, std::memory_order_release);
+  }
+  bool recovering() const {
+    return recovering_.load(std::memory_order_acquire);
+  }
+
   // ------------------------------------------------------------------
   // Probing (reader side)
   // ------------------------------------------------------------------
@@ -224,6 +252,18 @@ class ContainmentService {
     snapshot.scratch_frame_high_water = scratch.frame_high_water;
     snapshot.scratch_states_high_water = scratch.states_high_water;
     snapshot.scratch_spare_high_water = scratch.spare_high_water;
+    snapshot.journal_enabled = manager_.journal_enabled();
+    if (snapshot.journal_enabled) {
+      const index::JournalStats journal = manager_.journal_stats();
+      snapshot.journal_appends = journal.records_appended;
+      snapshot.journal_fsyncs = journal.fsyncs;
+      snapshot.journal_replayed_records = journal.records_replayed;
+      snapshot.journal_replayed_ops = journal.ops_replayed;
+      snapshot.journal_truncated_bytes = journal.truncated_bytes;
+      snapshot.journal_last_sequence = journal.last_sequence;
+      snapshot.journal_degraded = journal.degraded;
+    }
+    snapshot.recovering = recovering();
     return snapshot;
   }
   std::uint64_t current_version() const { return manager_.current_version(); }
@@ -280,6 +320,8 @@ class ContainmentService {
   rdf::TermDictionary dict_;
   IndexManager manager_;
   ServiceMetrics metrics_;
+  /// Readiness: true while startup recovery runs (see set_recovering).
+  std::atomic<bool> recovering_{false};
   util::Mutex mutation_mu_;  // serializes dictionary writers (parse/stage)
   util::Mutex quarantine_mu_;
   std::unordered_map<std::uint64_t, Offender> offenders_

@@ -357,6 +357,7 @@ util::Result<std::uint64_t> IndexManager::StageAdd(query::BgpQuery view) {
   views_.push_back(std::move(record));
   // Ids ascend, so appending keeps the shard's pending delta sorted.
   shards_[shard].pending_delta_ids.push_back(views_.back().id);
+  staged_ops_.push_back({index::JournalOp::Kind::kAdd, views_.back().id});
   ++num_live_views_;
   ++num_staged_;
   return views_.back().id;
@@ -388,6 +389,7 @@ util::Status IndexManager::StageRemove(std::uint64_t view_id) {
     RDFC_DCHECK(pos != state.pending_delta_ids.end() && *pos == view_id);
     state.pending_delta_ids.erase(pos);
   }
+  staged_ops_.push_back({index::JournalOp::Kind::kRemove, view_id});
   return util::Status::OK();
 }
 
@@ -400,6 +402,11 @@ bool IndexManager::ShardDirtyLocked(std::size_t s) const {
 
 util::Result<std::uint64_t> IndexManager::Publish() {
   util::MutexLock lock(&mu_);
+  return PublishBatchLocked(/*with_journal=*/true);
+}
+
+util::Result<std::uint64_t> IndexManager::PublishBatchLocked(
+    bool with_journal) {
   // Rebuild only the dirty shards' tiers, into temporaries first so an
   // abort (bad view or injected failpoint) leaves both the published chain
   // and the staged state untouched.  Untouched shards ride along by
@@ -439,6 +446,31 @@ util::Result<std::uint64_t> IndexManager::Publish() {
     // staged state intact) must hold on this path like any other abort.
     return util::Status::Internal("failpoint publish.swing");
   }
+  if (with_journal && journal_ != nullptr) {
+    // Write-ahead: the batch record must be durable (per the fsync policy)
+    // before the swing makes it visible — an acknowledged publish is exactly
+    // one that reached the journal.  A failed append aborts like any other
+    // publish error: nothing swings, the staged state stays, the caller can
+    // retry the same batch.  An empty batch still journals one record, so
+    // the journal sequence counts acknowledged publishes one-for-one.
+    index::JournalBatch batch;
+    batch.sequence = journal_->next_sequence();
+    batch.version = next_version_;
+    batch.ops.reserve(staged_ops_.size());
+    for (const StagedOp& staged : staged_ops_) {
+      index::JournalOp op;
+      op.kind = staged.kind;
+      op.view_id = staged.id;
+      if (staged.kind == index::JournalOp::Kind::kAdd) {
+        // A staged add that was staged-removed again is journalled too (its
+        // record is dead but still holds the query); replay nets it out.
+        op.view = views_[view_pos_.at(staged.id)].query;
+      }
+      batch.ops.push_back(std::move(op));
+    }
+    const util::Status appended = journal_->Append(batch, *dict_);
+    if (!appended.ok()) return appended;
+  }
   auto next = std::make_unique<IndexSnapshot>();
   next->version = next_version_;
   next->dict_ptr = dict_;
@@ -452,6 +484,7 @@ util::Result<std::uint64_t> IndexManager::Publish() {
   }
   next->num_views = num_live_views_;
   num_staged_ = 0;
+  staged_ops_.clear();
   const std::uint64_t version = SwingLocked(std::move(next));
   MaybeScheduleCompactionLocked();
   return version;
@@ -575,8 +608,10 @@ util::Result<std::uint64_t> IndexManager::RunCompaction() {
   // are rebuilt; the rest ride into the compacted snapshot by pointer.
   const IndexSnapshot* captured = nullptr;
   std::vector<std::size_t> dirty;
+  std::string checkpoint_path;
   {
     util::MutexLock lock(&mu_);
+    checkpoint_path = checkpoint_path_;
     captured = current_.load(std::memory_order_seq_cst);
     for (std::size_t s = 0; s < num_shards_; ++s) {
       const ShardTier& tier = captured->shard(s);
@@ -654,6 +689,7 @@ util::Result<std::uint64_t> IndexManager::RunCompaction() {
   // --- Swing: reconcile each folded shard against whatever is current *now*
   // (publishes may have run during the build) and publish the compacted
   // tiers through the same atomic pointer swing as Publish.
+  std::uint64_t swung_version = 0;
   {
     util::MutexLock lock(&mu_);
     compaction_pin_ = nullptr;
@@ -723,11 +759,20 @@ util::Result<std::uint64_t> IndexManager::RunCompaction() {
       ++shard_refreezes_[s];
       RebuildPendingLocked(s, frozen_ids);
     }
-    const std::uint64_t version = SwingLocked(std::move(next));
+    swung_version = SwingLocked(std::move(next));
     ++compactions_run_;
     if (compaction_listener_) compaction_listener_(timer.ElapsedMicros());
-    return version;
   }
+  if (!checkpoint_path.empty()) {
+    // Checkpoint-on-compaction (EnableJournal): persisting the compacted
+    // image here is what lets the journal truncate, so its length tracks
+    // the delta published since the last fold instead of growing without
+    // bound.  Best-effort: a failed checkpoint keeps every record and the
+    // next compaction retries.
+    const util::Status checkpointed = SaveTiered(checkpoint_path);
+    (void)checkpointed;
+  }
+  return swung_version;
 }
 
 void IndexManager::RebuildPendingLocked(
@@ -760,7 +805,7 @@ void IndexManager::RebuildPendingLocked(
 // Persistence
 // ----------------------------------------------------------------------
 
-util::Status IndexManager::SaveTiered(const std::string& path) const {
+util::Status IndexManager::SaveTiered(const std::string& path) {
   util::MutexLock lock(&mu_);
   const IndexSnapshot* cur = current_.load(std::memory_order_seq_cst);
   std::vector<index::TieredShardRef> refs;
@@ -774,7 +819,16 @@ util::Status IndexManager::SaveTiered(const std::string& path) const {
     ref.generation = shards_[s].generation;
     refs.push_back(ref);
   }
-  return index::SaveTieredIndex(refs, path);
+  RDFC_RETURN_NOT_OK(index::SaveTieredIndex(refs, path));
+  if (journal_ != nullptr) {
+    // Every journal record belongs to a batch published at or below the
+    // version just committed (append happens strictly before the swing), so
+    // the image covers the whole journal.  A crash between the commit above
+    // and this truncation replays covered records over the restored image —
+    // harmless, replay is idempotent.
+    RDFC_RETURN_NOT_OK(journal_->Truncate());
+  }
+  return util::Status::OK();
 }
 
 util::Status IndexManager::RestoreTiered(const std::string& path) {
@@ -860,6 +914,128 @@ util::Status IndexManager::RestoreTiered(const std::string& path) {
   next->num_views = num_live_views_;
   (void)SwingLocked(std::move(next));
   return util::Status::OK();
+}
+
+// ----------------------------------------------------------------------
+// Write-ahead journal (DESIGN.md "Durability")
+// ----------------------------------------------------------------------
+
+util::Status IndexManager::EnableJournal(const index::JournalOptions& options,
+                                         std::string checkpoint_path) {
+  {
+    util::MutexLock lock(&mu_);
+    if (journal_ != nullptr) {
+      return util::Status::InvalidArgument("journal already enabled");
+    }
+    if (num_staged_ != 0) {
+      return util::Status::InvalidArgument(
+          "EnableJournal with staged changes: publish or drop them first "
+          "(staged intents predate the journal and would not be covered)");
+    }
+  }
+  // Open + replay outside mu_: the replay callback applies each batch under
+  // mu_ itself.  No publish can interleave — the caller owns the dictionary
+  // writer side (service mutation lock) for the whole call.
+  auto replay = [this](const index::JournalBatch& batch) {
+    return ApplyReplay(batch);
+  };
+  auto opened = index::WriteAheadJournal::Open(options, dict_, replay);
+  if (!opened.ok()) return opened.status();
+
+  util::MutexLock lock(&mu_);
+  journal_ = std::move(opened).value();
+  checkpoint_path_ = std::move(checkpoint_path);
+  if (journal_->stats().records_replayed > 0) {
+    // One unjournaled publish makes everything the replay staged visible.
+    // Unjournaled because these ops came *from* the journal: re-appending
+    // them would double them on the next recovery.
+    auto published = PublishBatchLocked(/*with_journal=*/false);
+    if (!published.ok()) return published.status();
+  }
+  return util::Status::OK();
+}
+
+util::Status IndexManager::ApplyReplay(const index::JournalBatch& batch) {
+  util::MutexLock lock(&mu_);
+  for (const index::JournalOp& op : batch.ops) {
+    if (op.kind == index::JournalOp::Kind::kAdd) {
+      RDFC_RETURN_NOT_OK(ApplyReplayAddLocked(op.view_id, op.view));
+    } else {
+      ApplyReplayRemoveLocked(op.view_id);
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Status IndexManager::ApplyReplayAddLocked(std::uint64_t id,
+                                                const query::BgpQuery& view) {
+  if (view_pos_.count(id) != 0) {
+    // Already present (restored image, or a record surviving a crash between
+    // a checkpoint commit and its journal truncation): skip — idempotence.
+    return util::Status::OK();
+  }
+  if (view.empty()) {
+    return util::Status::Internal("journal replay: empty view " +
+                                  std::to_string(id));
+  }
+  ViewRecord record;
+  record.id = id;
+  record.shard = static_cast<std::uint32_t>(
+      query::AnchorSignature(view, *dict_) % num_shards_);
+  record.query = view;
+  view_pos_.emplace(record.id, views_.size());
+  shard_records_[record.shard].push_back(views_.size());
+  const std::uint32_t shard = record.shard;
+  views_.push_back(std::move(record));
+  // Replayed ids ascend within the journal but may interleave with a
+  // restored image's delta ids, so insert sorted rather than append.
+  ShardState& state = shards_[shard];
+  state.pending_delta_ids.insert(
+      std::upper_bound(state.pending_delta_ids.begin(),
+                       state.pending_delta_ids.end(), id),
+      id);
+  ++num_live_views_;
+  ++num_staged_;
+  // Keep fresh StageAdd ids disjoint from everything the journal ever
+  // assigned, exactly as RestoreTiered does for image ids.
+  next_view_id_ = std::max(next_view_id_, id + 1);
+  return util::Status::OK();
+}
+
+void IndexManager::ApplyReplayRemoveLocked(std::uint64_t id) {
+  auto it = view_pos_.find(id);
+  if (it == view_pos_.end() || !views_[it->second].alive) {
+    // Unknown (its add was folded away before the covering image) or already
+    // dead (restored as tombstoned): skip — idempotence.
+    return;
+  }
+  ViewRecord& record = views_[it->second];
+  record.alive = false;
+  --num_live_views_;
+  ++num_staged_;
+  ShardState& state = shards_[record.shard];
+  if (record.in_base) {
+    state.pending_tombstones.insert(
+        std::upper_bound(state.pending_tombstones.begin(),
+                         state.pending_tombstones.end(), id),
+        id);
+  } else {
+    auto pos = std::lower_bound(state.pending_delta_ids.begin(),
+                                state.pending_delta_ids.end(), id);
+    RDFC_DCHECK(pos != state.pending_delta_ids.end() && *pos == id);
+    state.pending_delta_ids.erase(pos);
+  }
+}
+
+index::JournalStats IndexManager::journal_stats() const {
+  util::MutexLock lock(&mu_);
+  return journal_ != nullptr ? journal_->stats_snapshot()
+                             : index::JournalStats{};
+}
+
+bool IndexManager::journal_enabled() const {
+  util::MutexLock lock(&mu_);
+  return journal_ != nullptr;
 }
 
 // ----------------------------------------------------------------------

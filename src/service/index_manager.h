@@ -11,6 +11,7 @@
 
 #include "containment/pipeline.h"
 #include "index/frozen_index.h"
+#include "index/journal.h"
 #include "index/mv_index.h"
 #include "query/bgp_query.h"
 #include "rdf/dictionary.h"
@@ -353,8 +354,12 @@ class IndexManager {
   /// blob plus one manifest at `path` holding every shard's delta journal
   /// and tombstones.  Blobs commit before the manifest, so a crash between
   /// the two recovers the previous image.  Holds the writer mutex for the
-  /// I/O (an admin-path operation; probes are unaffected).
-  [[nodiscard]] util::Status SaveTiered(const std::string& path) const
+  /// I/O (an admin-path operation; probes are unaffected).  With a journal
+  /// enabled, a committed image covers every journalled batch (records are
+  /// appended strictly before their publish swing), so the journal is
+  /// truncated after the commit; a crash between the two is harmless
+  /// because replay over the new image is idempotent.
+  [[nodiscard]] util::Status SaveTiered(const std::string& path)
       RDFC_EXCLUDES(mu_);
 
   /// Restores a tiered image into this manager and publishes it as the next
@@ -364,6 +369,27 @@ class IndexManager {
   /// restore cannot re-shard; InvalidArgument otherwise).
   [[nodiscard]] util::Status RestoreTiered(const std::string& path)
       RDFC_EXCLUDES(mu_);
+
+  /// Opens (creating if absent) the write-ahead journal at `options.path`,
+  /// replays every intact record over the current state (idempotently:
+  /// already-present adds and already-dead removes are skipped, so a journal
+  /// overlapping a restored image is fine), publishes the replayed state as
+  /// one version, and arms journaling: from here every Publish appends its
+  /// batch to the journal *before* the snapshot swing, and a failed append
+  /// aborts the publish transactionally.  `checkpoint_path` (optional) arms
+  /// checkpoint-on-compaction: after each successful compaction the image is
+  /// saved there, which truncates the journal (DESIGN.md "Durability").
+  ///
+  /// Call once, during startup, after any RestoreTiered; the caller must be
+  /// the sole dictionary writer for the duration (replay interns terms).
+  [[nodiscard]] util::Status EnableJournal(
+      const index::JournalOptions& options, std::string checkpoint_path = "")
+      RDFC_EXCLUDES(mu_);
+
+  /// Snapshot of the journal counters (zero-initialised stats when no
+  /// journal is enabled).
+  index::JournalStats journal_stats() const RDFC_EXCLUDES(mu_);
+  bool journal_enabled() const RDFC_EXCLUDES(mu_);
 
   // ------------------------------------------------------------------
   // Reader side
@@ -430,9 +456,32 @@ class IndexManager {
     std::uint64_t generation = 0;  // refreezes (persistence blob naming)
   };
 
+  /// One staged intent in stage order, for the journal record of the next
+  /// Publish.  Only the id is kept; add views are serialized from views_ at
+  /// append time.
+  struct StagedOp {
+    index::JournalOp::Kind kind = index::JournalOp::Kind::kAdd;
+    std::uint64_t id = 0;
+  };
+
   /// True when shard `s`'s pending sets differ from its published tier (the
   /// next Publish must rebuild that shard's delta tier).
   bool ShardDirtyLocked(std::size_t s) const RDFC_REQUIRES(mu_);
+
+  /// Publish body.  `with_journal` is false only for the internal publish
+  /// that makes journal-replayed state visible (those ops came *from* the
+  /// journal and must not be re-appended).
+  [[nodiscard]] util::Result<std::uint64_t> PublishBatchLocked(
+      bool with_journal) RDFC_REQUIRES(mu_);
+
+  /// Applies one replayed journal batch to the staged state (no publish).
+  /// Idempotent per op; see EnableJournal.
+  [[nodiscard]] util::Status ApplyReplay(const index::JournalBatch& batch)
+      RDFC_EXCLUDES(mu_);
+  [[nodiscard]] util::Status ApplyReplayAddLocked(std::uint64_t id,
+                                                  const query::BgpQuery& view)
+      RDFC_REQUIRES(mu_);
+  void ApplyReplayRemoveLocked(std::uint64_t id) RDFC_REQUIRES(mu_);
 
   /// Sweeps the hazard slots and frees every retired version no reader (and
   /// no in-flight compaction) has pinned.
@@ -476,6 +525,15 @@ class IndexManager {
   /// Retained versions (current + reader-pinned).
   std::vector<std::unique_ptr<const IndexSnapshot>> versions_
       RDFC_GUARDED_BY(mu_);
+
+  /// Staged intents since the last Publish, in stage order (the journal
+  /// record of the next batch).  Cleared by every publish.
+  std::vector<StagedOp> staged_ops_ RDFC_GUARDED_BY(mu_);
+  /// Write-ahead journal; null until EnableJournal.  All access rides the
+  /// writer mutex (the journal itself is not thread-safe).
+  std::unique_ptr<index::WriteAheadJournal> journal_ RDFC_GUARDED_BY(mu_);
+  /// Checkpoint-on-compaction target ("" = off); set once by EnableJournal.
+  std::string checkpoint_path_ RDFC_GUARDED_BY(mu_);
 
   /// One writer-side state per shard (size num_shards_).
   std::vector<ShardState> shards_ RDFC_GUARDED_BY(mu_);

@@ -38,6 +38,7 @@ void MetricsSnapshot::Print(std::ostream& os) const {
      << "  publishes         " << publishes << '\n'
      << "  compactions       " << compactions << '\n'
      << "  direct_routed     " << direct_routed << '\n'
+     << "  recovering        " << (recovering ? "yes" : "no") << '\n'
      << "index tiers\n"
      << "  base_views        " << base_views << '\n'
      << "  delta_views       " << delta_views << '\n'
@@ -52,6 +53,16 @@ void MetricsSnapshot::Print(std::ostream& os) const {
          << std::setw(12) << sh.delta_views << std::setw(12) << sh.tombstones
          << std::setw(12) << sh.refreezes << '\n';
     }
+  }
+  if (journal_enabled) {
+    os << "journal\n"
+       << "  appends           " << journal_appends << '\n'
+       << "  fsyncs            " << journal_fsyncs << '\n'
+       << "  replayed_records  " << journal_replayed_records << '\n'
+       << "  replayed_ops      " << journal_replayed_ops << '\n'
+       << "  truncated_bytes   " << journal_truncated_bytes << '\n'
+       << "  last_sequence     " << journal_last_sequence << '\n'
+       << "  degraded          " << (journal_degraded ? "yes" : "no") << '\n';
   }
   os << "probe scratch high-water\n"
      << "  frames            " << scratch_frame_high_water << '\n'
@@ -98,7 +109,16 @@ std::string MetricsSnapshot::ToJson() const {
      << ",\"publishes\":" << publishes
      << ",\"compactions\":" << compactions
      << ",\"direct_routed\":" << direct_routed
-     << ",\"tiers\":{\"base_views\":"
+     << ",\"recovering\":" << (recovering ? "true" : "false")
+     << ",\"journal\":{\"enabled\":" << (journal_enabled ? "true" : "false")
+     << ",\"appends\":" << journal_appends
+     << ",\"fsyncs\":" << journal_fsyncs
+     << ",\"replayed_records\":" << journal_replayed_records
+     << ",\"replayed_ops\":" << journal_replayed_ops
+     << ",\"truncated_bytes\":" << journal_truncated_bytes
+     << ",\"last_sequence\":" << journal_last_sequence
+     << ",\"degraded\":" << (journal_degraded ? "true" : "false")
+     << "},\"tiers\":{\"base_views\":"
      << base_views << ",\"delta_views\":" << delta_views
      << ",\"tombstones\":" << tombstones << "},\"shards\":[";
   for (std::size_t i = 0; i < index_shards.size(); ++i) {

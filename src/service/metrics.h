@@ -73,6 +73,23 @@ struct MetricsSnapshot {
   };
   std::vector<IndexShard> index_shards;
 
+  // Durability (DESIGN.md "Durability").  Gauges sampled from
+  // IndexManager::journal_stats() at snapshot time; all zero while no
+  // journal is enabled.
+  bool journal_enabled = false;
+  std::uint64_t journal_appends = 0;           // batch records written
+  std::uint64_t journal_fsyncs = 0;            // disk barriers issued
+  std::uint64_t journal_replayed_records = 0;  // records recovered at open
+  std::uint64_t journal_replayed_ops = 0;      // ops inside those records
+  std::uint64_t journal_truncated_bytes = 0;   // torn/corrupt tail dropped
+  std::uint64_t journal_last_sequence = 0;     // latest durable batch
+  /// Replay stopped early leaving unreplayed records; appends are refused
+  /// until a clean re-open (index::JournalStats::degraded).
+  bool journal_degraded = false;
+  /// Startup recovery (restore + replay) in flight: the process is live but
+  /// not ready (ContainmentService::recovering).
+  bool recovering = false;
+
   /// Probes answered without any pool fan-out (<= 1 populated shard, or the
   /// pool shed every helper): the single-walker inline path.
   std::uint64_t direct_routed = 0;

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "util/macros.h"
@@ -56,6 +58,15 @@ class CondVar {
     // to the caller's MutexLock exactly as the analysis assumes.
     std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
     cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Blocks until notified or `micros` have elapsed, whichever comes first
+  /// (spurious wakeups possible — always re-check the predicate).  The
+  /// caller must hold *mu.
+  void WaitFor(Mutex* mu, std::uint64_t micros) RDFC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait_for(lock, std::chrono::microseconds(micros));
     lock.release();
   }
 

@@ -1,0 +1,273 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/journal.h"
+#include "query/bgp_query.h"
+#include "rdf/dictionary.h"
+#include "util/status.h"
+
+// Corruption contract of the write-ahead journal (DESIGN.md "Durability"):
+// opening ANY byte prefix of a valid journal, and any single-byte corruption
+// of one, must replay a clean prefix of the original batches — never crash,
+// never abort, never replay a record that was not appended (over-reporting),
+// and never replay a record differently from how it was appended.  Exhausted
+// exhaustively: every prefix length and every byte position.
+
+namespace rdfc {
+namespace index {
+namespace {
+
+constexpr std::uint64_t kBatches = 6;
+
+query::BgpQuery MakeView(rdf::TermDictionary* dict, int tag) {
+  query::BgpQuery q;
+  q.set_form(query::QueryForm::kAsk);
+  const rdf::TermId s = dict->MakeVariable("s" + std::to_string(tag));
+  const rdf::TermId o = dict->MakeVariable("o" + std::to_string(tag));
+  q.AddPattern(s, dict->MakeIri("urn:wal:p" + std::to_string(tag % 4)), o);
+  if (tag % 2 == 0) {
+    q.AddPattern(o, dict->MakeIri("urn:wal:q"),
+                 dict->MakeIri("urn:wal:c" + std::to_string(tag % 3)));
+  }
+  return q;
+}
+
+std::string TermSig(const rdf::TermDictionary& dict, rdf::TermId id) {
+  return std::to_string(static_cast<int>(dict.kind(id))) + ":" +
+         std::string(dict.lexical(id));
+}
+
+/// Dictionary-independent fingerprint of a batch: sequence, version, and
+/// every op down to the lexical triples.  Two batches with equal signatures
+/// carry the same logical mutation regardless of which dictionary interned
+/// them — exactly the equality replay must preserve.
+std::string BatchSig(const JournalBatch& batch,
+                     const rdf::TermDictionary& dict) {
+  std::string sig = "seq=" + std::to_string(batch.sequence) +
+                    " ver=" + std::to_string(batch.version);
+  for (const JournalOp& op : batch.ops) {
+    sig += op.kind == JournalOp::Kind::kAdd ? " +" : " -";
+    sig += std::to_string(op.view_id);
+    if (op.kind == JournalOp::Kind::kAdd) {
+      for (const rdf::Triple& t : op.view.patterns()) {
+        sig += "(" + TermSig(dict, t.s) + "," + TermSig(dict, t.p) + "," +
+               TermSig(dict, t.o) + ")";
+      }
+    }
+  }
+  return sig;
+}
+
+class TornJournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "torn_journal_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".wal";
+    mutated_path_ = path_ + ".mutated";
+    std::remove(path_.c_str());
+    std::remove(mutated_path_.c_str());
+
+    rdf::TermDictionary dict;
+    auto journal = WriteAheadJournal::Open(Options(path_), &dict, NoReplay());
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    int next_id = 1;
+    for (std::uint64_t seq = 1; seq <= kBatches; ++seq) {
+      JournalBatch batch;
+      batch.sequence = seq;
+      batch.version = seq + 10;
+      const int adds = 1 + static_cast<int>(seq % 2);
+      for (int a = 0; a < adds; ++a) {
+        JournalOp op;
+        op.kind = JournalOp::Kind::kAdd;
+        op.view_id = static_cast<std::uint64_t>(next_id);
+        op.view = MakeView(&dict, next_id);
+        ++next_id;
+        batch.ops.push_back(std::move(op));
+      }
+      if (seq % 3 == 0) {
+        JournalOp op;
+        op.kind = JournalOp::Kind::kRemove;
+        op.view_id = static_cast<std::uint64_t>(next_id / 2);
+        batch.ops.push_back(std::move(op));
+      }
+      ASSERT_TRUE(journal.value()->Append(batch, dict).ok());
+      expected_.push_back(BatchSig(batch, dict));
+    }
+    journal.value().reset();  // close
+
+    std::ifstream in(path_, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    bytes_.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes_.size(), 24u);  // header + records
+  }
+
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove(mutated_path_.c_str());
+  }
+
+  static JournalOptions Options(const std::string& path) {
+    JournalOptions options;
+    options.path = path;
+    options.fsync = JournalFsync::kOff;  // speed: kernel durability suffices
+    return options;
+  }
+
+  static WriteAheadJournal::ReplayFn NoReplay() {
+    return [](const JournalBatch&) { return util::Status::OK(); };
+  }
+
+  void WriteMutated(const std::string& content) {
+    std::ofstream out(mutated_path_, std::ios::binary | std::ios::trunc);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    ASSERT_TRUE(out.good());
+  }
+
+  /// Opens `mutated_path_` and returns the replayed batch signatures.  The
+  /// open itself must ALWAYS succeed — corruption is recovered, not
+  /// reported as an error.
+  std::vector<std::string> ReplayMutated(std::uint64_t* truncated_bytes) {
+    rdf::TermDictionary dict;
+    std::vector<std::string> sigs;
+    auto journal = WriteAheadJournal::Open(
+        Options(mutated_path_), &dict,
+        [&sigs, &dict](const JournalBatch& batch) {
+          sigs.push_back(BatchSig(batch, dict));
+          return util::Status::OK();
+        });
+    EXPECT_TRUE(journal.ok()) << journal.status().ToString();
+    if (journal.ok() && truncated_bytes != nullptr) {
+      *truncated_bytes = journal.value()->stats().truncated_bytes;
+    }
+    return sigs;
+  }
+
+  /// The prefix property: whatever replayed must be exactly the first
+  /// sigs.size() appended batches, in order.
+  void ExpectCleanPrefix(const std::vector<std::string>& sigs,
+                         const std::string& what) {
+    ASSERT_LE(sigs.size(), expected_.size()) << what << ": over-reported";
+    for (std::size_t i = 0; i < sigs.size(); ++i) {
+      ASSERT_EQ(sigs[i], expected_[i]) << what << ": batch " << i << " mutated";
+    }
+  }
+
+  std::string path_;
+  std::string mutated_path_;
+  std::string bytes_;
+  std::vector<std::string> expected_;
+};
+
+TEST_F(TornJournalTest, IntactJournalReplaysEverything) {
+  WriteMutated(bytes_);
+  std::uint64_t truncated = 0;
+  const std::vector<std::string> sigs = ReplayMutated(&truncated);
+  EXPECT_EQ(sigs.size(), expected_.size());
+  EXPECT_EQ(truncated, 0u);
+  ExpectCleanPrefix(sigs, "intact");
+}
+
+TEST_F(TornJournalTest, EveryPrefixReplaysCleanPrefix) {
+  for (std::size_t len = 0; len <= bytes_.size(); ++len) {
+    WriteMutated(bytes_.substr(0, len));
+    const std::vector<std::string> sigs = ReplayMutated(nullptr);
+    ExpectCleanPrefix(sigs, "prefix len " + std::to_string(len));
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST_F(TornJournalTest, EverySingleByteFlipReplaysCleanPrefix) {
+  for (std::size_t i = 0; i < bytes_.size(); ++i) {
+    std::string corrupt = bytes_;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x5A);
+    WriteMutated(corrupt);
+    const std::vector<std::string> sigs = ReplayMutated(nullptr);
+    ExpectCleanPrefix(sigs, "flip at byte " + std::to_string(i));
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST_F(TornJournalTest, TornTailIsTruncatedAndAppendContinues) {
+  // Tear the final record mid-payload: recovery must drop exactly that
+  // record, physically truncate the file, and leave the journal appendable
+  // at the next sequence.
+  WriteMutated(bytes_.substr(0, bytes_.size() - 3));
+  rdf::TermDictionary dict;
+  std::size_t replayed = 0;
+  auto journal = WriteAheadJournal::Open(
+      Options(mutated_path_), &dict,
+      [&replayed](const JournalBatch&) {
+        ++replayed;
+        return util::Status::OK();
+      });
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  EXPECT_EQ(replayed, kBatches - 1);
+  EXPECT_GT(journal.value()->stats().truncated_bytes, 0u);
+  EXPECT_EQ(journal.value()->next_sequence(), kBatches);
+  EXPECT_FALSE(journal.value()->stats().degraded);
+
+  JournalBatch batch;
+  batch.sequence = journal.value()->next_sequence();
+  batch.version = 99;
+  JournalOp op;
+  op.kind = JournalOp::Kind::kAdd;
+  op.view_id = 1000;
+  op.view = MakeView(&dict, 1000);
+  batch.ops.push_back(std::move(op));
+  ASSERT_TRUE(journal.value()->Append(batch, dict).ok());
+  journal.value().reset();
+
+  // A fresh open sees the surviving prefix plus the new record, all intact.
+  rdf::TermDictionary dict2;
+  std::vector<std::uint64_t> sequences;
+  auto reopened = WriteAheadJournal::Open(
+      Options(mutated_path_), &dict2,
+      [&sequences](const JournalBatch& b) {
+        sequences.push_back(b.sequence);
+        return util::Status::OK();
+      });
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ(sequences.size(), kBatches);
+  EXPECT_EQ(sequences.back(), kBatches);
+  EXPECT_EQ(reopened.value()->stats().truncated_bytes, 0u);
+}
+
+TEST_F(TornJournalTest, TruncateKeepsSequencesMonotone) {
+  // After Truncate (checkpoint committed) the file holds only a header, but
+  // the next append must continue the old sequence, and a reopen must agree.
+  WriteMutated(bytes_);
+  rdf::TermDictionary dict;
+  auto journal =
+      WriteAheadJournal::Open(Options(mutated_path_), &dict, NoReplay());
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(journal.value()->Truncate().ok());
+  EXPECT_EQ(journal.value()->next_sequence(), kBatches + 1);
+  JournalBatch batch;
+  batch.sequence = kBatches + 1;
+  batch.version = 100;
+  ASSERT_TRUE(journal.value()->Append(batch, dict).ok());
+  journal.value().reset();
+
+  rdf::TermDictionary dict2;
+  std::vector<std::uint64_t> sequences;
+  auto reopened = WriteAheadJournal::Open(
+      Options(mutated_path_), &dict2,
+      [&sequences](const JournalBatch& b) {
+        sequences.push_back(b.sequence);
+        return util::Status::OK();
+      });
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ(sequences.size(), 1u);
+  EXPECT_EQ(sequences[0], kBatches + 1);
+  EXPECT_EQ(reopened.value()->stats().last_sequence, kBatches + 1);
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace rdfc

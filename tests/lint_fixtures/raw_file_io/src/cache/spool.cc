@@ -1,0 +1,28 @@
+// Negative fixture: things that LOOK like file I/O but are not.
+//   - capitalised wrapper methods (writer.Open, writer.Write, writer.Rename);
+//   - identifiers containing the tokens (rewrite);
+//   - the tokens appearing in comments or string literals only.
+#include <string>
+
+namespace rdfc {
+namespace cache {
+
+struct SpoolWriter {
+  void Open() {}
+  void Write(const std::string&) {}
+  void Rename(const std::string&) {}
+};
+
+int RewriteSpool() {
+  SpoolWriter writer;
+  writer.Open();              // wrapper, not open(2)
+  writer.Write("fsync me");   // string literal stays silent
+  writer.Rename("spool.bin");
+  int rewrite = 1;  // identifier containing `write`
+  const std::string note = "rename (atomic rename happens in persistence)";
+  // open write fsync rename -- comment text must stay silent
+  return rewrite + static_cast<int>(note.size());
+}
+
+}  // namespace cache
+}  // namespace rdfc

@@ -1,0 +1,14 @@
+// Negative fixture: src/index/journal.cc is the sanctioned journal writer.
+#include <cstdio>
+
+namespace rdfc {
+namespace index {
+
+bool AppendRecord(std::FILE* file, const char* bytes, unsigned long n) {
+  if (std::fwrite(bytes, 1, n, file) != n) return false;
+  if (std::fflush(file) != 0) return false;
+  return fsync(fileno(file)) == 0;
+}
+
+}  // namespace index
+}  // namespace rdfc

@@ -1,0 +1,22 @@
+// Positive fixture: raw file I/O in library code outside the durability
+// layer (src/index/persistence.cc, src/index/journal.cc, src/net/).
+#include <cstdio>
+
+namespace rdfc {
+namespace service {
+
+bool SpillToDisk(const char* path) {
+  std::FILE* f = std::fopen(path, "wb");  // fires: fopen()
+  if (f == nullptr) return false;
+  char byte = 0;
+  std::fwrite(&byte, 1, 1, f);  // fires: fwrite()
+  const int fd = fileno(f);     // fires: fileno()
+  fsync(fd);                    // fires: fsync()
+  std::fclose(f);
+  std::rename(path, "spill.bin");  // fires: rename()
+  unlink(path);  // NOLINT(raw-file-io) -- suppression is honoured
+  return true;
+}
+
+}  // namespace service
+}  // namespace rdfc

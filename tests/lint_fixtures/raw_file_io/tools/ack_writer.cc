@@ -1,0 +1,8 @@
+// Negative fixture: tools/ are exempt -- CLI binaries write ack logs and
+// fixture files without durability obligations.
+#include <cstdio>
+
+bool WriteAckLine(std::FILE* acks) {
+  const char line[] = "ack 1 1\n";
+  return std::fwrite(line, 1, sizeof(line) - 1, acks) == sizeof(line) - 1;
+}

@@ -1,0 +1,207 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/journal.h"
+#include "service/containment_service.h"
+
+// Crash-recovery contract of the journalled service (DESIGN.md
+// "Durability"): a ContainmentService brought up over the journal of a dead
+// one must answer every probe exactly as the dead one would have — for every
+// publish that was acknowledged — with no re-journalling, stable external
+// ids, and fresh ids disjoint from everything recovered.
+
+namespace rdfc {
+namespace service {
+namespace {
+
+ServiceOptions TestOptions() {
+  ServiceOptions options;
+  options.num_threads = 2;
+  options.queue_capacity = 64;
+  options.parser.default_prefixes[""] = "urn:j:";
+  return options;
+}
+
+index::JournalOptions Journal(const std::string& path) {
+  index::JournalOptions options;
+  options.path = path;
+  options.fsync = index::JournalFsync::kOff;  // kernel durability is enough
+  return options;
+}
+
+class JournalRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string stem =
+        ::testing::TempDir() + "journal_recovery_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    journal_path_ = stem + ".wal";
+    snapshot_path_ = stem + ".rdfcti";
+    CleanFiles();
+  }
+
+  void TearDown() override { CleanFiles(); }
+
+  void CleanFiles() {
+    std::remove(journal_path_.c_str());
+    std::remove(snapshot_path_.c_str());
+    for (int shard = 0; shard < 16; ++shard) {
+      for (int gen = 0; gen < 8; ++gen) {
+        std::remove((snapshot_path_ + ".base." + std::to_string(shard) + "." +
+                     std::to_string(gen))
+                        .c_str());
+      }
+    }
+  }
+
+  static std::vector<std::string> ProbeTexts() {
+    return {
+        "ASK { ?a :p ?b . ?a :q ?c . }", "ASK { ?a :p ?b . }",
+        "ASK { ?a :q ?b . }",            "ASK { ?a :r ?b . ?b :q ?c . }",
+        "ASK { ?a :r ?b . }",
+    };
+  }
+
+  /// Contained-id answers for the shared probe set.
+  static std::vector<std::vector<std::uint64_t>> Answers(
+      ContainmentService* svc) {
+    std::vector<std::vector<std::uint64_t>> out;
+    for (const std::string& text : ProbeTexts()) {
+      auto response = svc->Probe(text);
+      EXPECT_TRUE(response.ok()) << response.status().ToString();
+      out.push_back(response.ok() ? response->containing_views
+                                  : std::vector<std::uint64_t>{});
+    }
+    return out;
+  }
+
+  std::string journal_path_;
+  std::string snapshot_path_;
+};
+
+TEST_F(JournalRecoveryTest, ReplayRestoresAcknowledgedPublishes) {
+  std::vector<std::vector<std::uint64_t>> expected;
+  std::uint64_t removed_id = 0;
+  {
+    ContainmentService svc(TestOptions());
+    ASSERT_TRUE(svc.EnableJournal(Journal(journal_path_)).ok());
+    // Three acknowledged batches: adds, an empty publish, a remove.
+    auto v1 = svc.AddView("ASK { ?x :p ?y . }");
+    auto v2 = svc.AddView("ASK { ?x :q ?y . }");
+    ASSERT_TRUE(v1.ok() && v2.ok());
+    ASSERT_TRUE(svc.Publish().ok());
+    ASSERT_TRUE(svc.Publish().ok());  // empty: still one journal record
+    auto v3 = svc.AddView("ASK { ?x :r ?y . ?y :q ?z . }");
+    ASSERT_TRUE(v3.ok());
+    removed_id = *v2;
+    ASSERT_TRUE(svc.RemoveView(removed_id).ok());
+    ASSERT_TRUE(svc.Publish().ok());
+    EXPECT_EQ(svc.manager().journal_stats().last_sequence, 3u);
+    expected = Answers(&svc);
+  }
+
+  ContainmentService recovered(TestOptions());
+  ASSERT_TRUE(recovered.EnableJournal(Journal(journal_path_)).ok());
+  const index::JournalStats stats = recovered.manager().journal_stats();
+  EXPECT_EQ(stats.records_replayed, 3u);
+  EXPECT_EQ(stats.last_sequence, 3u);
+  EXPECT_EQ(stats.records_appended, 0u);  // replay must not re-journal
+  EXPECT_FALSE(stats.degraded);
+  EXPECT_EQ(Answers(&recovered), expected);
+
+  // The tombstoned view stays dead after recovery.
+  auto gone = recovered.Probe("ASK { ?a :q ?b . }");
+  ASSERT_TRUE(gone.ok());
+  for (std::uint64_t id : gone->containing_views) EXPECT_NE(id, removed_id);
+}
+
+TEST_F(JournalRecoveryTest, EnableJournalRefusesPreexistingStagedIntents) {
+  ContainmentService svc(TestOptions());
+  ASSERT_TRUE(svc.AddView("ASK { ?x :p ?y . }").ok());
+  // Staged intents from before the journal would be acknowledged by the next
+  // publish yet invisible to replay — refuse rather than silently leak.
+  EXPECT_EQ(svc.EnableJournal(Journal(journal_path_)).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(JournalRecoveryTest, DoubleEnableIsRejected) {
+  ContainmentService svc(TestOptions());
+  ASSERT_TRUE(svc.EnableJournal(Journal(journal_path_)).ok());
+  EXPECT_EQ(svc.EnableJournal(Journal(journal_path_)).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(JournalRecoveryTest, SaveTieredTruncatesJournalAndRestartUsesBoth) {
+  std::vector<std::vector<std::uint64_t>> expected;
+  {
+    ContainmentService svc(TestOptions());
+    ASSERT_TRUE(svc.EnableJournal(Journal(journal_path_)).ok());
+    ASSERT_TRUE(svc.AddView("ASK { ?x :p ?y . }").ok());
+    ASSERT_TRUE(svc.AddView("ASK { ?x :q ?y . }").ok());
+    ASSERT_TRUE(svc.Publish().ok());
+    // The image covers sequences 1..1; the journal resets to a bare header.
+    ASSERT_TRUE(svc.manager().SaveTiered(snapshot_path_).ok());
+    ASSERT_TRUE(svc.AddView("ASK { ?x :r ?y . ?y :q ?z . }").ok());
+    ASSERT_TRUE(svc.Publish().ok());  // sequence 2: lives only in the journal
+    expected = Answers(&svc);
+  }
+
+  ContainmentService recovered(TestOptions());
+  ASSERT_TRUE(recovered.manager().RestoreTiered(snapshot_path_).ok());
+  ASSERT_TRUE(recovered.EnableJournal(Journal(journal_path_)).ok());
+  const index::JournalStats stats = recovered.manager().journal_stats();
+  EXPECT_EQ(stats.records_replayed, 1u);  // only the post-checkpoint batch
+  EXPECT_EQ(stats.last_sequence, 2u);     // but sequences stay monotone
+  EXPECT_EQ(Answers(&recovered), expected);
+}
+
+TEST_F(JournalRecoveryTest, PostRecoveryAddsGetFreshIds) {
+  std::vector<std::uint64_t> ids;
+  {
+    ContainmentService svc(TestOptions());
+    ASSERT_TRUE(svc.EnableJournal(Journal(journal_path_)).ok());
+    for (int i = 0; i < 5; ++i) {
+      auto id = svc.AddView("ASK { ?x :p" + std::to_string(i) + " ?y . }");
+      ASSERT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    ASSERT_TRUE(svc.Publish().ok());
+  }
+
+  ContainmentService recovered(TestOptions());
+  ASSERT_TRUE(recovered.EnableJournal(Journal(journal_path_)).ok());
+  auto fresh = recovered.AddView("ASK { ?x :fresh ?y . }");
+  ASSERT_TRUE(fresh.ok());
+  for (std::uint64_t id : ids) EXPECT_GT(*fresh, id);
+}
+
+TEST_F(JournalRecoveryTest, RecoveredServiceKeepsJournalling) {
+  // A batch published AFTER recovery must itself be recoverable: the journal
+  // chain survives any number of restarts.
+  {
+    ContainmentService svc(TestOptions());
+    ASSERT_TRUE(svc.EnableJournal(Journal(journal_path_)).ok());
+    ASSERT_TRUE(svc.AddView("ASK { ?x :p ?y . }").ok());
+    ASSERT_TRUE(svc.Publish().ok());
+  }
+  std::vector<std::vector<std::uint64_t>> expected;
+  {
+    ContainmentService svc(TestOptions());
+    ASSERT_TRUE(svc.EnableJournal(Journal(journal_path_)).ok());
+    ASSERT_TRUE(svc.AddView("ASK { ?x :q ?y . }").ok());
+    ASSERT_TRUE(svc.Publish().ok());
+    EXPECT_EQ(svc.manager().journal_stats().last_sequence, 2u);
+    expected = Answers(&svc);
+  }
+  ContainmentService svc(TestOptions());
+  ASSERT_TRUE(svc.EnableJournal(Journal(journal_path_)).ok());
+  EXPECT_EQ(svc.manager().journal_stats().records_replayed, 2u);
+  EXPECT_EQ(Answers(&svc), expected);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace rdfc

@@ -1,0 +1,101 @@
+#pragma once
+
+// Deterministic publish/churn schedule shared by `rdfc_serve --churn-ops`
+// and the `rdfc_chaos` crash-restart harness.  Both sides regenerate the
+// exact same add/remove batches from (seed, batch_index), so an in-process
+// oracle can reconstruct precisely what any acknowledged prefix of publishes
+// must contain — that is what makes "no acknowledged publish lost" checkable
+// after a SIGKILL (DESIGN.md "Durability").
+//
+// The schedule leans on one serving invariant: IndexManager::StageAdd hands
+// out view ids sequentially (1, 2, 3, ...), and journal replay restores
+// next_view_id past every replayed id.  ChurnState mirrors that counter, so
+// replaying the schedule from batch 0 reconstructs which ids each batch
+// added or removed without talking to the server.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rdfc {
+namespace tools {
+
+/// Mirror of the server's id-assignment state.  Fast-forward it over already
+/// published batches (discarding the generated ops) before resuming churn at
+/// batch k, so removals keep pointing at the ids the server actually holds.
+struct ChurnState {
+  std::uint64_t next_id = 1;
+  std::vector<std::uint64_t> live;
+};
+
+/// One publish batch: the adds are staged in order (ids assigned
+/// sequentially from ChurnState::next_id), then the removes, then Publish.
+struct ChurnBatch {
+  std::vector<std::string> add_texts;
+  std::vector<std::uint64_t> remove_ids;
+};
+
+/// Closed vocabulary (`urn:churn:*`) shared by views and probes, small
+/// enough that probes embed into live views non-trivially often.
+inline std::string ChurnTerm(const char* kind, std::uint64_t n) {
+  return "<urn:churn:" + std::string(kind) + std::to_string(n) + ">";
+}
+
+/// A 2-pattern star view over the churn vocabulary.
+inline std::string ChurnViewText(util::Rng* rng) {
+  const std::uint64_t p = rng->Uniform(0, 5);
+  const std::uint64_t o = rng->Uniform(0, 3);
+  const std::uint64_t q = rng->Uniform(0, 5);
+  return "ASK { ?x " + ChurnTerm("p", p) + " " + ChurnTerm("o", o) + " . ?x " +
+         ChurnTerm("q", q) + " ?y . }";
+}
+
+/// A probe one pattern more specific than the view shape, so it is
+/// contained in every live view whose star it embeds.
+inline std::string ChurnProbeText(util::Rng* rng) {
+  const std::uint64_t p = rng->Uniform(0, 5);
+  const std::uint64_t o = rng->Uniform(0, 3);
+  const std::uint64_t q = rng->Uniform(0, 5);
+  const std::uint64_t r = rng->Uniform(0, 5);
+  return "ASK { ?x " + ChurnTerm("p", p) + " " + ChurnTerm("o", o) + " . ?x " +
+         ChurnTerm("q", q) + " ?y . ?y " + ChurnTerm("r", r) + " ?z . }";
+}
+
+/// Generates batch `batch_index` and advances `state` as if it were
+/// published.  Deterministic in (seed, batch_index, prior state); the prior
+/// state is itself deterministic in (seed, batch_index), so any two replays
+/// of the same seed agree batch for batch.
+inline ChurnBatch ChurnBatchOps(std::uint64_t seed, std::uint64_t batch_index,
+                                ChurnState* state) {
+  util::Rng rng(seed * 0x9E3779B97F4A7C15ull + batch_index + 1);
+  ChurnBatch out;
+  const std::uint64_t adds = rng.Uniform(1, 3);
+  for (std::uint64_t i = 0; i < adds; ++i) {
+    out.add_texts.push_back(ChurnViewText(&rng));
+    state->live.push_back(state->next_id++);
+  }
+  // Keep a working set: start removing only once enough views are live, so
+  // early batches grow the index and later ones genuinely churn it.
+  if (state->live.size() > 8 && rng.Chance(0.4)) {
+    const auto idx = static_cast<std::size_t>(
+        rng.Uniform(0, state->live.size() - 1));
+    out.remove_ids.push_back(state->live[idx]);
+    state->live.erase(state->live.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  return out;
+}
+
+/// The probe set both the harness oracle and the wire client evaluate.
+inline std::vector<std::string> ChurnProbes(std::uint64_t seed,
+                                            std::size_t count) {
+  util::Rng rng(seed ^ 0xC0FFEEULL);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(ChurnProbeText(&rng));
+  return out;
+}
+
+}  // namespace tools
+}  // namespace rdfc

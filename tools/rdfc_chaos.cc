@@ -1,0 +1,428 @@
+// rdfc_chaos — kill -9 crash-restart harness for the durable journal
+// (DESIGN.md "Durability").
+//
+//   rdfc_chaos <path-to-rdfc_serve> [--trials=N] [--seed=S]
+//              [--kill-min-ms=50] [--kill-max-ms=400] [--probes=48]
+//              [--keep]   # keep trial workdirs for post-mortem
+//
+// Each trial:
+//
+//   1. Launches rdfc_serve with the journal armed and the deterministic
+//      churn schedule (tools/churn_schedule.h) publishing batches, each
+//      acknowledged by an `ack <batch> <version>` line flushed to a log.
+//   2. SIGKILLs it at a randomized point mid-churn — no drain, no flush
+//      courtesy.  K = the highest fully written ack line.
+//   3. Restarts the server over the same snapshot + journal and polls the
+//      kHealth endpoint until it reports ready; M = the recovered journal
+//      sequence.  The durability contract is K <= M <= K + 1: nothing
+//      acknowledged may be lost, and at most the one in-flight batch
+//      (journalled but not yet acked) may additionally survive.
+//   4. Rebuilds an in-process oracle by applying churn batches 0..M-1 to a
+//      fresh ContainmentService, then probes BOTH sides with the same probe
+//      set and requires identical contained sets, id for id.
+//
+// When the build carries -DRDFC_FAILPOINTS=ON, extra trials run the child
+// under journal failpoints (append/fsync failures plus journal.crash, which
+// tears a record mid-write and raises SIGKILL from inside the writer) — the
+// recovery contract must hold through those too.
+
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "churn_schedule.h"
+#include "net/client.h"
+#include "net/wire.h"
+#include "service/containment_service.h"
+#include "tool_util.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace rdfc;  // NOLINT(build/namespaces)
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "rdfc_chaos: FAILED: %s\n", message.c_str());
+  return 1;
+}
+
+void SleepMillis(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+/// Extracts the integer following `"key":` from a flat JSON payload.
+bool JsonU64(const std::string& json, const std::string& key,
+             std::uint64_t* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+  return true;
+}
+
+/// One child rdfc_serve process with stdout/stderr redirected to files.
+struct ServeProcess {
+  pid_t pid = -1;
+  std::string stdout_path;
+  std::uint16_t port = 0;
+};
+
+/// fork/exec `serve_path` with `argv_tail`, stdout -> out_path, stderr ->
+/// err_path.  Returns the pid, or -1.
+pid_t Spawn(const std::string& serve_path,
+            const std::vector<std::string>& argv_tail,
+            const std::string& out_path, const std::string& err_path) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  // Child: redirect, then exec.
+  const int out_fd =
+      ::open(out_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int err_fd =
+      ::open(err_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (out_fd < 0 || err_fd < 0 || ::dup2(out_fd, 1) < 0 ||
+      ::dup2(err_fd, 2) < 0) {
+    ::_exit(126);
+  }
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(serve_path.c_str()));
+  for (const std::string& a : argv_tail) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+  ::execv(serve_path.c_str(), argv.data());
+  ::_exit(127);
+}
+
+/// Polls the child's stdout file for the `listening on 127.0.0.1:<port>`
+/// line.  Returns 0 if the child exits (reaping it and clearing pid) or the
+/// deadline passes first.
+std::uint16_t WaitForPort(ServeProcess* proc, double timeout_ms) {
+  util::Timer timer;
+  while (timer.ElapsedMillis() < timeout_ms) {
+    const std::string out = ReadFileOrEmpty(proc->stdout_path);
+    const std::size_t pos = out.find("listening on 127.0.0.1:");
+    if (pos != std::string::npos &&
+        out.find('\n', pos) != std::string::npos) {
+      return static_cast<std::uint16_t>(std::strtoul(
+          out.c_str() + pos + std::strlen("listening on 127.0.0.1:"), nullptr,
+          10));
+    }
+    int status = 0;
+    if (::waitpid(proc->pid, &status, WNOHANG) == proc->pid) {
+      proc->pid = -1;
+      return 0;
+    }
+    SleepMillis(10);
+  }
+  return 0;
+}
+
+/// Polls kHealth until `ready:true`, returning the final payload (empty on
+/// timeout).  Any successful response en route proves liveness, so a
+/// live-but-recovering window is fine — the poll just keeps going.
+std::string WaitForReady(std::uint16_t port, double timeout_ms) {
+  util::Timer timer;
+  while (timer.ElapsedMillis() < timeout_ms) {
+    net::Client client;
+    if (client.Connect("127.0.0.1", port, /*recv_timeout_micros=*/2e6).ok()) {
+      util::Result<net::WireResponse> health = client.Health();
+      if (health.ok() && health->status == net::WireStatus::kOk &&
+          health->payload.find("\"ready\":true") != std::string::npos) {
+        return health->payload;
+      }
+    }
+    SleepMillis(20);
+  }
+  return "";
+}
+
+/// The highest batch number with a complete `ack <k> <v>` line.  Acks are
+/// written in order with a flush per line, so the count survives SIGKILL.
+std::uint64_t LastAckedBatch(const std::string& ack_path) {
+  const std::string text = ReadFileOrEmpty(ack_path);
+  std::uint64_t last = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) break;  // torn final line: not acked
+    unsigned long long batch = 0, version = 0;
+    if (std::sscanf(text.c_str() + pos, "ack %llu %llu", &batch, &version) ==
+        2) {
+      last = std::max<std::uint64_t>(last, batch);
+    }
+    pos = eol + 1;
+  }
+  return last;
+}
+
+void KillAndReap(pid_t pid, int sig) {
+  if (pid <= 0) return;  // never signal pid 0 / -1 (process groups!)
+  ::kill(pid, sig);
+  int status = 0;
+  (void)::waitpid(pid, &status, 0);
+}
+
+std::string U64(std::uint64_t v) { return std::to_string(v); }
+
+/// One crash-restart trial.  `failpoints` optionally injects journal faults
+/// into the churn phase (requires a failpoint build of rdfc_serve).
+int RunTrial(const std::string& serve, std::uint64_t seed, std::uint64_t trial,
+             const std::string& failpoints, std::size_t probe_count,
+             double kill_min_ms, double kill_max_ms, bool keep) {
+  char tmpl[] = "/tmp/rdfc_chaos_XXXXXX";
+  const char* dir_c = ::mkdtemp(tmpl);
+  if (dir_c == nullptr) return Fail("mkdtemp");
+  const std::string dir = dir_c;
+  const std::string journal = dir + "/j.wal";
+  const std::string snapshot = dir + "/ckpt.rdfcti";
+  const std::string acks = dir + "/acks.txt";
+  const std::uint64_t churn_seed = seed * 1000 + trial;
+
+  // --- Phase A: churn until the kill ---------------------------------------
+  std::vector<std::string> churn_args = {
+      "--listen=0",
+      "--journal=" + journal,
+      "--snapshot=" + snapshot,
+      "--ack-log=" + acks,
+      "--churn-ops=1000000",  // effectively: churn until killed
+      "--churn-sleep-us=300",
+      "--checkpoint-every=16",
+      "--seed=" + U64(churn_seed),
+  };
+  if (!failpoints.empty()) {
+    churn_args.push_back("--failpoints=" + failpoints);
+    churn_args.push_back("--failpoint-seed=" + U64(churn_seed));
+  }
+  ServeProcess churn;
+  churn.stdout_path = dir + "/churn.out";
+  churn.pid = Spawn(serve, churn_args, churn.stdout_path, dir + "/churn.err");
+  if (churn.pid < 0) return Fail("fork (churn phase)");
+  churn.port = WaitForPort(&churn, 10000);
+  if (churn.port == 0 && failpoints.empty()) {
+    KillAndReap(churn.pid, SIGKILL);
+    return Fail("churn server never listened; stderr:\n" +
+                ReadFileOrEmpty(dir + "/churn.err"));
+  }
+  // Let churn run, then murder the process mid-stream.  Under journal.crash
+  // failpoints the child may SIGKILL itself first — same thing, and exactly
+  // the point: the kill lands inside the journal writer.
+  util::Rng rng(churn_seed ^ 0x5EEDFACEull);
+  const double kill_after =
+      kill_min_ms + rng.UniformReal() * (kill_max_ms - kill_min_ms);
+  util::Timer timer;
+  while (timer.ElapsedMillis() < kill_after) {
+    int status = 0;
+    if (::waitpid(churn.pid, &status, WNOHANG) == churn.pid) {
+      churn.pid = -1;  // died on its own (journal.crash failpoint)
+      break;
+    }
+    SleepMillis(5);
+  }
+  if (churn.pid > 0) KillAndReap(churn.pid, SIGKILL);
+  const std::uint64_t acked = LastAckedBatch(acks);
+
+  // --- Phase B: restart and recover ----------------------------------------
+  // No failpoints here: recovery itself must be clean for the equivalence
+  // check to be meaningful (failpointed recovery is rdfc_fuzz territory).
+  const std::vector<std::string> recover_args = {
+      "--listen=0",
+      "--journal=" + journal,
+      "--snapshot=" + snapshot,
+      "--churn-ops=0",
+      "--seed=" + U64(churn_seed),
+  };
+  ServeProcess recovered;
+  recovered.stdout_path = dir + "/recover.out";
+  recovered.pid =
+      Spawn(serve, recover_args, recovered.stdout_path, dir + "/recover.err");
+  if (recovered.pid < 0) return Fail("fork (recover phase)");
+  recovered.port = WaitForPort(&recovered, 15000);
+  if (recovered.port == 0) {
+    KillAndReap(recovered.pid, SIGKILL);
+    return Fail("recovered server never listened; stderr:\n" +
+                ReadFileOrEmpty(dir + "/recover.err"));
+  }
+  const std::string health = WaitForReady(recovered.port, 20000);
+  if (health.empty()) {
+    KillAndReap(recovered.pid, SIGKILL);
+    return Fail("recovered server never reported ready");
+  }
+  std::uint64_t recovered_seq = 0;
+  if (!JsonU64(health, "last_sequence", &recovered_seq)) {
+    KillAndReap(recovered.pid, SIGKILL);
+    return Fail("health payload missing last_sequence: " + health);
+  }
+
+  // --- The durability contract ---------------------------------------------
+  // Every acknowledged publish must have survived (acked <= recovered_seq);
+  // at most ONE additional batch — journalled but killed before its ack
+  // line — may appear (recovered_seq <= acked + 1).
+  if (recovered_seq < acked || recovered_seq > acked + 1) {
+    KillAndReap(recovered.pid, SIGKILL);
+    return Fail("durability contract broken: acked " + U64(acked) +
+                " batches but recovered sequence " + U64(recovered_seq) +
+                " (want acked <= seq <= acked+1); dir " + dir);
+  }
+
+  // --- Oracle equivalence ---------------------------------------------------
+  // Rebuild what the store MUST contain by replaying the deterministic
+  // schedule up to the recovered sequence, then compare contained sets
+  // probe for probe over the wire.
+  service::ServiceOptions oracle_options;
+  oracle_options.num_threads = 2;
+  service::ContainmentService oracle(oracle_options);
+  tools::ChurnState state;
+  for (std::uint64_t batch = 0; batch < recovered_seq; ++batch) {
+    const tools::ChurnBatch ops =
+        tools::ChurnBatchOps(churn_seed, batch, &state);
+    for (const std::string& text : ops.add_texts) {
+      auto id = oracle.AddView(text);
+      if (!id.ok()) return Fail("oracle add: " + id.status().ToString());
+    }
+    for (const std::uint64_t id : ops.remove_ids) {
+      const util::Status removed = oracle.RemoveView(id);
+      if (!removed.ok()) return Fail("oracle remove: " + removed.ToString());
+    }
+  }
+  if (recovered_seq > 0) {
+    auto published = oracle.Publish();
+    if (!published.ok()) {
+      return Fail("oracle publish: " + published.status().ToString());
+    }
+  }
+
+  net::Client client;
+  if (!client.Connect("127.0.0.1", recovered.port).ok()) {
+    return Fail("probe connect");
+  }
+  std::size_t nonempty = 0;
+  for (const std::string& text : tools::ChurnProbes(churn_seed, probe_count)) {
+    util::Result<net::WireResponse> wire = client.Probe(text);
+    if (!wire.ok() || wire->status != net::WireStatus::kOk) {
+      KillAndReap(recovered.pid, SIGKILL);
+      return Fail("wire probe failed: " + text);
+    }
+    query::BgpQuery parsed;
+    {
+      auto q = oracle.Parse(text);
+      if (!q.ok()) return Fail("oracle parse: " + q.status().ToString());
+      parsed = std::move(q).value();
+    }
+    service::ProbeRequest request;
+    request.query = std::move(parsed);
+    auto future = oracle.Submit(std::move(request));
+    if (!future.ok()) return Fail("oracle submit");
+    const service::ProbeResponse expected = future.value().get();
+    std::vector<std::uint64_t> got = wire->containing_views;
+    std::vector<std::uint64_t> want = expected.containing_views;
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    if (got != want) {
+      KillAndReap(recovered.pid, SIGKILL);
+      std::string detail = "contained-set mismatch for probe: " + text +
+                           "\n  recovered:";
+      for (std::uint64_t id : got) detail += " " + U64(id);
+      detail += "\n  oracle:   ";
+      for (std::uint64_t id : want) detail += " " + U64(id);
+      detail += "\n  (acked " + U64(acked) + ", recovered seq " +
+                U64(recovered_seq) + ", dir " + dir + ")";
+      return Fail(detail);
+    }
+    if (!got.empty()) ++nonempty;
+  }
+
+  KillAndReap(recovered.pid, SIGTERM);
+  std::printf("trial %llu%s: acked %llu, recovered seq %llu, %zu probes "
+              "(%zu with hits) identical to oracle\n",
+              static_cast<unsigned long long>(trial),
+              failpoints.empty() ? "" : " [failpoints]",
+              static_cast<unsigned long long>(acked),
+              static_cast<unsigned long long>(recovered_seq), probe_count,
+              nonempty);
+  std::fflush(stdout);
+  if (!keep) {
+    // Best-effort cleanup of the trial's scratch files.
+    const std::string cmd = "rm -rf '" + dir + "'";
+    (void)std::system(cmd.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tools::Args args = tools::Args::Parse(argc, argv);
+  if (args.positional.empty()) {
+    return Fail("usage: rdfc_chaos <path-to-rdfc_serve> [--trials=N] ...");
+  }
+  const std::string serve = args.positional[0];
+  const auto trials = static_cast<std::uint64_t>(
+      std::strtoull(args.Get("trials", "3").c_str(), nullptr, 10));
+  const auto seed = static_cast<std::uint64_t>(
+      std::strtoull(args.Get("seed", "1").c_str(), nullptr, 10));
+  const auto probe_count = static_cast<std::size_t>(
+      std::strtoull(args.Get("probes", "48").c_str(), nullptr, 10));
+  const double kill_min_ms =
+      std::strtod(args.Get("kill-min-ms", "50").c_str(), nullptr);
+  const double kill_max_ms =
+      std::strtod(args.Get("kill-max-ms", "400").c_str(), nullptr);
+  const bool keep = args.Has("keep");
+
+  // SIGKILL-at-random trials.
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const int rc = RunTrial(serve, seed, t, /*failpoints=*/"", probe_count,
+                            kill_min_ms, kill_max_ms, keep);
+    if (rc != 0) return rc;
+  }
+#ifdef RDFC_FAILPOINTS
+  // Crash-inside-the-writer trials: the journal tears its own record and
+  // SIGKILLs from the failpoint, plus background append/fsync failures that
+  // the publish retry loop must ride out.
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const int rc = RunTrial(
+        serve, seed, 1000 + t,
+        "journal.append=0.05,journal.fsync=0.05,journal.crash=0.01",
+        probe_count, kill_min_ms, kill_max_ms, keep);
+    if (rc != 0) return rc;
+  }
+#endif
+  std::printf("OK (%llu trials)\n", static_cast<unsigned long long>(trials));
+  return 0;
+}
+
+#else  // !unix
+
+int main() {
+  std::fprintf(stderr, "rdfc_chaos: POSIX-only harness; skipping\n");
+  return 0;
+}
+
+#endif

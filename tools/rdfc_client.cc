@@ -2,6 +2,8 @@
 // network daemon (DESIGN.md "Network front end").
 //
 //   rdfc_client --port=8711 --ping
+//   rdfc_client --port=8711 --health    # readiness JSON; exit 0 ready,
+//                                       # 3 recovering, 1 unreachable
 //   rdfc_client --port=8711 --stats                      # metrics JSON
 //   rdfc_client --port=8711 --mode=closed --workload=lubm:50 --requests=2000 \
 //               --concurrency=8 [--burst=8] [--json]
@@ -185,6 +187,25 @@ int main(int argc, char** argv) {
   if (port == 0) return Fail("--port is required");
   const auto seed = static_cast<std::uint64_t>(
       std::strtoull(args.Get("seed", "42").c_str(), nullptr, 10));
+
+  if (args.Has("health")) {
+    // Liveness/readiness split (DESIGN.md "Durability"): ANY response means
+    // the process is live; the payload says whether it is ready.  Exit codes
+    // are script-friendly: 0 ready, 3 live-but-recovering, 1 unreachable.
+    net::Client client;
+    const util::Status connected = client.Connect(host, port);
+    if (!connected.ok()) return Fail(connected.ToString());
+    util::Result<net::WireResponse> response = client.Health();
+    if (!response.ok()) return Fail(response.status().ToString());
+    if (response->status != net::WireStatus::kOk) {
+      return Fail(std::string("server answered ") +
+                  net::WireStatusName(response->status));
+    }
+    std::printf("%s\n", response->payload.c_str());
+    const bool ready =
+        response->payload.find("\"ready\":true") != std::string::npos;
+    return ready ? 0 : 3;
+  }
 
   if (args.Has("ping") || args.Has("stats") || args.Has("shutdown")) {
     net::Client client;

@@ -14,10 +14,11 @@
 //
 // --failpoints switches to the fault-injection campaign (requires a build
 // with -DRDFC_FAILPOINTS=ON; otherwise it reports that and exits 0): random
-// faults in persistence I/O, index publication, admission, and budget expiry,
-// with the resilience invariants checked after every injected failure —
-// previous snapshots stay loadable, aborted publishes leave the current
-// version untouched, degraded probes stay sound.  --smoke shrinks the round
+// faults in persistence I/O, index publication, admission, budget expiry,
+// and the write-ahead journal, with the resilience invariants checked after
+// every injected failure — previous snapshots stay loadable, aborted
+// publishes leave the current version untouched, degraded probes stay sound,
+// acknowledged journal records always replay.  --smoke shrinks the round
 // counts for CI.
 //
 // Exit code 0 = no divergence.  Any mismatch prints a minimal reproducer
@@ -35,6 +36,7 @@
 #include "containment/pipeline.h"
 #include "eval/evaluator.h"
 #include "index/frozen_index.h"
+#include "index/journal.h"
 #include "index/mv_index.h"
 #include "index/persistence.h"
 #include "index/validate.h"
@@ -460,9 +462,179 @@ int RunFailpointCampaign(std::uint64_t seed, bool smoke, bool verbose) {
     registry.Reset();
   }
 
+  // --- Part 7: write-ahead journal.  Faults in the append/fsync path must
+  // leave the acknowledged history exactly replayable: a failed Publish
+  // keeps its staged intents so the SAME batch retries, every publish that
+  // WAS acknowledged survives a re-open, a fault mid-replay stops on a
+  // sound prefix without truncating (degraded: appends refused), and a
+  // clean re-open after that recovers everything.
+  std::size_t journal_faults = 0;
+  {
+    const std::string wal = dir + "/service.wal";
+    std::remove(wal.c_str());
+    const std::vector<std::string> probe_texts = {
+        "ASK { ?a <urn:fz:p0> ?b . }",
+        "ASK { ?a <urn:fz:p1> ?b . ?b <urn:fz:p2> ?c . }",
+        "ASK { ?a <urn:fz:p2> <urn:fz:c0> . }",
+        "ASK { ?a <urn:fz:p0> ?b . ?a <urn:fz:p1> <urn:fz:c1> . }",
+    };
+    index::JournalOptions jopts;
+    jopts.path = wal;
+    jopts.fsync = index::JournalFsync::kAlways;  // exercise the Sync() site
+    service::ServiceOptions sopts;
+    sopts.num_threads = 2;
+    sopts.queue_capacity = 64;
+
+    std::uint64_t acked = 0;
+    std::vector<std::vector<std::uint64_t>> expected;
+    {
+      service::ContainmentService svc(sopts);
+      if (auto st = svc.EnableJournal(jopts); !st.ok()) {
+        return FailpointFail("journal enable", st);
+      }
+      if (auto st = registry.Configure(
+              "journal.append=0.25,journal.fsync=0.25", seed + 6);
+          !st.ok()) {
+        return FailpointFail("configure journal faults", st);
+      }
+      util::Rng rng(seed + 6);
+      std::vector<std::uint64_t> live;
+      for (std::size_t r = 0; r < (smoke ? 20 : 120); ++r) {
+        const std::size_t adds = 1 + rng.Uniform(0, 1);
+        for (std::size_t a = 0; a < adds; ++a) {
+          std::string text =
+              "ASK { ?x <urn:fz:p" + std::to_string(rng.Uniform(0, 2)) +
+              "> ?y . ";
+          if (rng.Chance(0.5)) {
+            text += "?y <urn:fz:p" + std::to_string(rng.Uniform(0, 2)) +
+                    "> <urn:fz:c" + std::to_string(rng.Uniform(0, 1)) + "> . ";
+          }
+          text += "}";
+          if (auto id = svc.AddView(text); id.ok()) live.push_back(*id);
+        }
+        if (live.size() > 6 && rng.Chance(0.4)) {
+          (void)svc.RemoveView(live.front());
+          live.erase(live.begin());
+        }
+        // Retry the SAME publish: an injected append/fsync failure leaves
+        // the staged intents in place, so the batch lands exactly once.
+        bool published = false;
+        for (int attempt = 0; attempt < 64 && !published; ++attempt) {
+          if (auto version = svc.Publish(); version.ok()) {
+            published = true;
+          } else {
+            ++journal_faults;
+          }
+        }
+        if (!published) {
+          return FailpointFail(
+              "journalled publish never succeeded",
+              util::Status::Internal("64 retries exhausted"));
+        }
+        ++acked;
+      }
+      registry.Reset();
+      if (svc.manager().journal_stats().last_sequence != acked) {
+        return FailpointFail(
+            "journal sequence drift",
+            util::Status::Internal("last_sequence != acknowledged publishes"));
+      }
+      for (const std::string& text : probe_texts) {
+        auto response = svc.Probe(text);
+        if (!response.ok()) {
+          return FailpointFail("baseline probe", response.status());
+        }
+        expected.push_back(response->containing_views);
+      }
+    }
+    if (journal_faults == 0) {
+      return FailpointFail(
+          "journal fault schedule degenerate",
+          util::Status::Internal("no append/fsync faults fired"));
+    }
+
+    // A fault mid-replay stops on a sound prefix WITHOUT truncating — the
+    // unreplayed tail is acknowledged data.  The journal comes up degraded
+    // and must refuse appends until a clean re-open replays everything.
+    if (auto st = registry.Configure("journal.replay=0.4", seed + 7);
+        !st.ok()) {
+      return FailpointFail("configure replay fault", st);
+    }
+    bool saw_degraded = false;
+    for (int attempt = 0; attempt < 8 && !saw_degraded; ++attempt) {
+      service::ContainmentService svc(sopts);
+      if (auto st = svc.EnableJournal(jopts); !st.ok()) {
+        return FailpointFail("degraded open", st);
+      }
+      const index::JournalStats stats = svc.manager().journal_stats();
+      if (stats.records_replayed > acked) {
+        return FailpointFail(
+            "degraded replay over-reported",
+            util::Status::Internal("replayed more records than acknowledged"));
+      }
+      if (!stats.degraded) {
+        if (stats.records_replayed != acked) {
+          return FailpointFail(
+              "records lost without degraded flag",
+              util::Status::Internal("short replay reported as clean"));
+        }
+        continue;  // schedule happened not to fire this open; try again
+      }
+      saw_degraded = true;
+      if (stats.truncated_bytes != 0) {
+        return FailpointFail(
+            "degraded replay truncated",
+            util::Status::Internal("acknowledged records dropped on a "
+                                   "replay fault"));
+      }
+      (void)svc.AddView("ASK { ?x <urn:fz:p0> ?y . }");
+      if (svc.Publish().ok()) {
+        return FailpointFail(
+            "append accepted while degraded",
+            util::Status::Internal("publish would overwrite unreplayed "
+                                   "acknowledged records"));
+      }
+    }
+    registry.Reset();
+    if (!saw_degraded) {
+      return FailpointFail(
+          "replay fault schedule degenerate",
+          util::Status::Internal("journal.replay never fired in 8 opens"));
+    }
+
+    // Clean re-open: every acknowledged publish replays, bit-exact answers.
+    {
+      service::ContainmentService svc(sopts);
+      if (auto st = svc.EnableJournal(jopts); !st.ok()) {
+        return FailpointFail("clean re-open", st);
+      }
+      const index::JournalStats stats = svc.manager().journal_stats();
+      if (stats.degraded || stats.records_replayed != acked) {
+        return FailpointFail(
+            "clean re-open incomplete",
+            util::Status::Internal("expected all acknowledged records to "
+                                   "replay"));
+      }
+      for (std::size_t i = 0; i < probe_texts.size(); ++i) {
+        auto response = svc.Probe(probe_texts[i]);
+        if (!response.ok()) {
+          return FailpointFail("recovered probe", response.status());
+        }
+        if (response->containing_views != expected[i]) {
+          return FailpointFail(
+              "recovered answers diverge",
+              util::Status::Internal("probe " + std::to_string(i) +
+                                     " differs from the pre-restart service"));
+        }
+      }
+    }
+    std::remove(wal.c_str());
+  }
+
   if (verbose) {
-    std::printf("failpoints: %zu save faults injected, all resilience "
-                "invariants held\n", save_failures);
+    std::printf("failpoints: %zu save faults, %zu journal faults injected, "
+                "all resilience invariants held\n",
+                save_failures, journal_faults);
   } else {
     std::printf("OK (failpoints)\n");
   }

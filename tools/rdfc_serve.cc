@@ -23,6 +23,20 @@
 // drains, and prints the final metrics.  --batch-window-us / --max-batch
 // tune anchor-signature batch admission; --max-frame-bytes / --max-conns
 // bound per-connection resources.
+//
+// Durability (DESIGN.md "Durability", daemon mode only):
+//
+//   rdfc_serve --listen=0 --journal=j.wal [--journal-fsync=always|group|off]
+//              [--journal-group-us=10000] [--snapshot=ckpt.rdfcti]
+//              [--churn-ops=N] [--churn-sleep-us=U] [--ack-log=acks.txt]
+//              [--checkpoint-every=K] [--failpoints=SPEC] [--failpoint-seed=S]
+//
+// --journal arms the write-ahead journal: on startup the snapshot (if any)
+// is restored, the server starts answering kPing/kHealth immediately (live
+// but not ready), the journal replays, and only then does the service report
+// ready.  --churn-ops drives the deterministic publish schedule from
+// tools/churn_schedule.h, emitting one `ack <batch> <version>` line per
+// acknowledged publish — the oracle input of the rdfc_chaos kill -9 harness.
 
 #include <chrono>
 #include <csignal>
@@ -31,10 +45,13 @@
 #include <thread>
 #include <vector>
 
+#include "churn_schedule.h"
+#include "index/journal.h"
 #include "net/server.h"
 #include "query/bgp_query.h"
 #include "service/containment_service.h"
 #include "tool_util.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 #include "util/timer.h"
 #include "workload/workload.h"
@@ -101,27 +118,79 @@ int main(int argc, char** argv) {
       std::strtoull(args.Get("shards", "8").c_str(), nullptr, 10));
   service::ContainmentService svc(options);
 
+  // --- Fault injection -----------------------------------------------------
+  if (args.Has("failpoints")) {
+#ifdef RDFC_FAILPOINTS
+    const auto fp_seed = static_cast<std::uint64_t>(
+        std::strtoull(args.Get("failpoint-seed", "1").c_str(), nullptr, 10));
+    const util::Status configured = util::FailpointRegistry::Instance()
+                                        .Configure(args.Get("failpoints"),
+                                                   fp_seed);
+    if (!configured.ok()) return Fail(configured.ToString());
+#else
+    return Fail("--failpoints requires a build with -DRDFC_FAILPOINTS=ON");
+#endif
+  }
+
+  // --- Durability setup (phase 1: checkpoint restore) ----------------------
+  const std::string journal_path = args.Get("journal", "");
+  const std::string snapshot_path = args.Get("snapshot", "");
+  if (!journal_path.empty() && !args.Has("listen")) {
+    return Fail("--journal requires --listen (daemon mode)");
+  }
+  bool restored = false;
+  if (!journal_path.empty()) {
+    // Recovery starts here: restore the latest checkpoint if one exists (a
+    // missing file is a cold start, not an error), then — once the server is
+    // up and answering liveness — the journal replays everything
+    // acknowledged after it.
+    svc.set_recovering(true);
+    if (!snapshot_path.empty()) {
+      if (std::FILE* probe = std::fopen(snapshot_path.c_str(), "rb")) {
+        std::fclose(probe);
+        const util::Status loaded = svc.manager().RestoreTiered(snapshot_path);
+        if (!loaded.ok()) return Fail("restore: " + loaded.ToString());
+        restored = true;
+      }
+    }
+  }
+
   // --- Views ---------------------------------------------------------------
-  std::vector<query::BgpQuery> views;
-  if (args.Has("views")) {
-    auto parsed = ParseFile(args.Get("views"), &svc);
-    if (!parsed.ok()) return Fail(parsed.status().ToString());
-    views = std::move(parsed).value();
-  } else {
-    auto generated = GenerateSpec(args.Get("view-workload", "lubm:200"),
-                                  svc.mutable_dict(), seed);
-    if (!generated.ok()) return Fail(generated.status().ToString());
-    views = std::move(generated).value();
+  // With a journal, recovered state IS the workload: the default view set is
+  // staged only on an explicit request against a cold store, so a restart
+  // reconstructs exactly what was acknowledged and nothing else.
+  const auto churn_total = static_cast<std::uint64_t>(
+      std::strtoull(args.Get("churn-ops", "0").c_str(), nullptr, 10));
+  const bool stage_default_views =
+      journal_path.empty() ||
+      ((args.Has("views") || args.Has("view-workload")) && !restored &&
+       churn_total == 0);
+  auto stage_initial_views = [&]() -> int {
+    std::vector<query::BgpQuery> views;
+    if (args.Has("views")) {
+      auto parsed = ParseFile(args.Get("views"), &svc);
+      if (!parsed.ok()) return Fail(parsed.status().ToString());
+      views = std::move(parsed).value();
+    } else {
+      auto generated = GenerateSpec(args.Get("view-workload", "lubm:200"),
+                                    svc.mutable_dict(), seed);
+      if (!generated.ok()) return Fail(generated.status().ToString());
+      views = std::move(generated).value();
+    }
+    std::size_t staged = 0;
+    for (query::BgpQuery& view : views) {
+      auto id = svc.manager().StageAdd(std::move(view));
+      if (id.ok()) ++staged;  // empty/degenerate views are skipped
+    }
+    auto version = svc.Publish();
+    if (!version.ok()) return Fail(version.status().ToString());
+    std::fprintf(stderr, "published version %llu with %zu views\n",
+                 static_cast<unsigned long long>(*version), staged);
+    return 0;
+  };
+  if (journal_path.empty() && stage_default_views) {
+    if (const int rc = stage_initial_views(); rc != 0) return rc;
   }
-  std::size_t staged = 0;
-  for (query::BgpQuery& view : views) {
-    auto id = svc.manager().StageAdd(std::move(view));
-    if (id.ok()) ++staged;  // empty/degenerate views are skipped
-  }
-  auto version = svc.Publish();
-  if (!version.ok()) return Fail(version.status().ToString());
-  std::fprintf(stderr, "published version %llu with %zu views\n",
-               static_cast<unsigned long long>(*version), staged);
 
   // --- Daemon mode ---------------------------------------------------------
   if (args.Has("listen")) {
@@ -140,12 +209,113 @@ int main(int argc, char** argv) {
     net::NetServer server(&svc, server_options);
     const util::Status started = server.Start();
     if (!started.ok()) return Fail(started.ToString());
-    // Scripted consumers (CI smoke, bench_net) parse this line for the port.
+    // Scripted consumers (CI smoke, bench_net, rdfc_chaos) parse this line
+    // for the port.  Printed BEFORE journal replay on purpose: the server is
+    // already answering kPing/kHealth from its I/O thread, so a health poll
+    // during a long replay sees live-but-not-ready — the readiness split the
+    // chaos harness exercises.
     std::printf("listening on 127.0.0.1:%u\n",
                 static_cast<unsigned>(server.port()));
     std::fflush(stdout);
     (void)std::signal(SIGINT, HandleSignal);
     (void)std::signal(SIGTERM, HandleSignal);
+
+    // --- Durability setup (phase 2: journal replay) ------------------------
+    if (!journal_path.empty()) {
+      index::JournalOptions jopts;
+      jopts.path = journal_path;
+      const std::string policy = args.Get("journal-fsync", "group");
+      if (policy == "always") {
+        jopts.fsync = index::JournalFsync::kAlways;
+      } else if (policy == "group") {
+        jopts.fsync = index::JournalFsync::kGroup;
+      } else if (policy == "off") {
+        jopts.fsync = index::JournalFsync::kOff;
+      } else {
+        return Fail("unknown --journal-fsync (want always|group|off)");
+      }
+      jopts.group_window_micros = std::strtod(
+          args.Get("journal-group-us", "10000").c_str(), nullptr);
+      const util::Status enabled = svc.EnableJournal(jopts, snapshot_path);
+      if (!enabled.ok()) return Fail("journal: " + enabled.ToString());
+      const index::JournalStats js = svc.manager().journal_stats();
+      std::fprintf(stderr,
+                   "journal: replayed %llu records / %llu ops, last sequence "
+                   "%llu, truncated %llu bytes\n",
+                   static_cast<unsigned long long>(js.records_replayed),
+                   static_cast<unsigned long long>(js.ops_replayed),
+                   static_cast<unsigned long long>(js.last_sequence),
+                   static_cast<unsigned long long>(js.truncated_bytes));
+      svc.set_recovering(false);
+      if (stage_default_views && js.records_replayed == 0 &&
+          js.last_sequence == 0) {
+        if (const int rc = stage_initial_views(); rc != 0) return rc;
+      }
+    }
+
+    // --- Churn loop --------------------------------------------------------
+    const auto churn_sleep_us =
+        std::strtod(args.Get("churn-sleep-us", "0").c_str(), nullptr);
+    const auto checkpoint_every = static_cast<std::uint64_t>(
+        std::strtoull(args.Get("checkpoint-every", "0").c_str(), nullptr, 10));
+    if (churn_total > 0) {
+      // Fast-forward the deterministic schedule over every batch the journal
+      // already holds, so batch k stages the same ops with the same ids in
+      // every run of this seed (tools/churn_schedule.h).
+      tools::ChurnState churn;
+      const std::uint64_t start = svc.manager().journal_stats().last_sequence;
+      for (std::uint64_t k = 0; k < start; ++k) {
+        (void)tools::ChurnBatchOps(seed, k, &churn);
+      }
+      std::FILE* acks = stdout;
+      if (args.Has("ack-log")) {
+        acks = std::fopen(args.Get("ack-log").c_str(), "a");
+        if (acks == nullptr) return Fail("cannot open --ack-log");
+      }
+      for (std::uint64_t batch = start;
+           batch < churn_total && g_stop == 0 && !server.shutting_down();
+           ++batch) {
+        const tools::ChurnBatch ops = tools::ChurnBatchOps(seed, batch, &churn);
+        for (const std::string& text : ops.add_texts) {
+          auto id = svc.AddView(text);
+          if (!id.ok()) return Fail("churn add: " + id.status().ToString());
+        }
+        for (const std::uint64_t id : ops.remove_ids) {
+          const util::Status removed = svc.RemoveView(id);
+          if (!removed.ok()) return Fail("churn remove: " + removed.ToString());
+        }
+        // Publish (and its journal append) is what the ack line certifies.
+        // A failed append leaves the intents staged, so retry the SAME
+        // publish — never regenerate the batch — until it lands.
+        auto version = svc.Publish();
+        for (int attempt = 0; !version.ok() && attempt < 64; ++attempt) {
+          version = svc.Publish();
+        }
+        if (!version.ok()) {
+          return Fail("churn publish: " + version.status().ToString());
+        }
+        std::fprintf(acks, "ack %llu %llu\n",
+                     static_cast<unsigned long long>(batch + 1),
+                     static_cast<unsigned long long>(*version));
+        std::fflush(acks);
+        if (checkpoint_every > 0 && !snapshot_path.empty() &&
+            (batch + 1) % checkpoint_every == 0) {
+          const util::Status saved = svc.manager().SaveTiered(snapshot_path);
+          if (!saved.ok()) {
+            std::fprintf(stderr, "checkpoint: %s\n", saved.ToString().c_str());
+          }
+        }
+        if (churn_sleep_us > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::micro>(churn_sleep_us));
+        }
+      }
+      if (acks != stdout) std::fclose(acks);
+      // Tell scripted consumers churn ran dry (vs. was killed mid-stream).
+      std::printf("churn done\n");
+      std::fflush(stdout);
+    }
+
     util::Timer wall;
     while (g_stop == 0 && !server.shutting_down()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
